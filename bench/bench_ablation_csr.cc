@@ -1,0 +1,127 @@
+// Ablation: serving-path data layout (adjacency-list graph vs frozen CSR
+// snapshot) for extended-inverse-P-distance query evaluation.
+//
+// The mutable WeightedDigraph indirects through an edge table on every
+// out-edge access (the layout the optimizer needs for O(1) weight writes);
+// CsrSnapshot + FastEipdEvaluator serve from contiguous (target, weight)
+// pairs. This bench measures end-to-end query latency for both on the
+// Taobao-scale augmented graph, plus google-benchmark microbenchmarks.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "graph/csr.h"
+#include "ppr/fast_eipd.h"
+#include "qa/kg_builder.h"
+
+namespace kgov {
+namespace {
+
+struct Setup {
+  qa::Corpus corpus;
+  qa::KnowledgeGraph kg;
+  graph::CsrSnapshot snapshot;
+  std::vector<ppr::QuerySeed> seeds;
+};
+
+Setup* MakeSetup() {
+  auto* setup = new Setup();
+  Rng rng(3141);
+  Result<qa::Corpus> corpus =
+      qa::GenerateCorpus(qa::TaobaoScaleParams(), rng);
+  KGOV_CHECK(corpus.ok());
+  setup->corpus = std::move(corpus).value();
+  Result<qa::KnowledgeGraph> kg = qa::BuildKnowledgeGraph(setup->corpus);
+  KGOV_CHECK(kg.ok());
+  setup->kg = std::move(kg).value();
+  setup->snapshot = graph::CsrSnapshot(setup->kg.graph);
+
+  std::vector<qa::Question> questions = qa::GenerateQuestions(
+      setup->corpus, 64, qa::TaobaoScaleParams(), rng);
+  for (const qa::Question& q : questions) {
+    setup->seeds.push_back(qa::LinkQuestion(q, setup->kg.num_entities));
+  }
+  return setup;
+}
+
+Setup* GlobalSetup() {
+  static Setup* setup = MakeSetup();
+  return setup;
+}
+
+void BM_AdjacencyListServe(benchmark::State& state) {
+  Setup* s = GlobalSetup();
+  ppr::EipdOptions options;
+  options.max_length = 5;
+  ppr::EipdEvaluator evaluator(&s->kg.graph, options);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.RankAnswers(
+        s->seeds[i % s->seeds.size()], s->kg.answer_nodes, 20));
+    ++i;
+  }
+}
+BENCHMARK(BM_AdjacencyListServe)->Unit(benchmark::kMillisecond);
+
+void BM_CsrSnapshotServe(benchmark::State& state) {
+  Setup* s = GlobalSetup();
+  ppr::EipdOptions options;
+  options.max_length = 5;
+  ppr::FastEipdEvaluator evaluator(&s->snapshot, options);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.RankAnswers(
+        s->seeds[i % s->seeds.size()], s->kg.answer_nodes, 20));
+    ++i;
+  }
+}
+BENCHMARK(BM_CsrSnapshotServe)->Unit(benchmark::kMillisecond);
+
+void PrintSummary() {
+  bench::Banner("Ablation: serving layout (adjacency list vs CSR snapshot)",
+                "kgov serving-path design (DESIGN.md SS4)");
+  Setup* s = GlobalSetup();
+  std::printf("graph: %zu nodes, %zu edges; %zu query seeds; top-20 over "
+              "%zu answers\n",
+              s->kg.graph.NumNodes(), s->kg.graph.NumEdges(),
+              s->seeds.size(), s->kg.answer_nodes.size());
+
+  ppr::EipdOptions options;
+  options.max_length = 5;
+  ppr::EipdEvaluator slow(&s->kg.graph, options);
+  ppr::FastEipdEvaluator fast(&s->snapshot, options);
+
+  constexpr int kRounds = 3;
+  Timer timer;
+  for (int r = 0; r < kRounds; ++r) {
+    for (const ppr::QuerySeed& seed : s->seeds) {
+      benchmark::DoNotOptimize(
+          slow.RankAnswers(seed, s->kg.answer_nodes, 20));
+    }
+  }
+  double slow_seconds = timer.ElapsedSeconds();
+  timer.Restart();
+  for (int r = 0; r < kRounds; ++r) {
+    for (const ppr::QuerySeed& seed : s->seeds) {
+      benchmark::DoNotOptimize(
+          fast.RankAnswers(seed, s->kg.answer_nodes, 20));
+    }
+  }
+  double fast_seconds = timer.ElapsedSeconds();
+  size_t queries = kRounds * s->seeds.size();
+  std::printf("adjacency list: %.3f ms/query\nCSR snapshot:   %.3f ms/query "
+              "(%.2fx)\n",
+              slow_seconds / queries * 1e3, fast_seconds / queries * 1e3,
+              slow_seconds / fast_seconds);
+}
+
+}  // namespace
+}  // namespace kgov
+
+int main(int argc, char** argv) {
+  kgov::PrintSummary();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

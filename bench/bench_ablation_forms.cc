@@ -1,0 +1,127 @@
+// Ablation: SGP formulations and the judgment filter.
+//
+// Compares the three solver formulations on the same multi-vote problem:
+//   * hard constraints (augmented Lagrangian; fails on conflicting votes),
+//   * deviation variables (the paper's Eq. 15 exactly),
+//   * reduced sigmoid (deviation variables substituted out; kgov default),
+// and measures the effect of the judgment filter (SV) on runtime and
+// Omega_avg. This backs DESIGN.md's claim that the reduced form is an
+// equivalent but cheaper realization of Eq. 15/19.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "math/gp_condensation.h"
+#include "common/timer.h"
+#include "core/scoring.h"
+#include "graph/generators.h"
+#include "votes/vote_generator.h"
+
+namespace kgov {
+namespace {
+
+int Run() {
+  bench::Banner("Ablation: SGP formulation and judgment filter",
+                "design choices behind SV (Eq. 15/18/19)");
+
+  Rng rng(881);
+  Result<graph::WeightedDigraph> base =
+      graph::ScaleFreeWithTargetEdges(4000, 16000, rng);
+  if (!base.ok()) return 1;
+
+  votes::SyntheticVoteParams params;
+  params.num_queries = 50;
+  params.num_answers = 500;
+  params.subgraph_nodes = 2000;
+  params.top_k = 12;
+  params.avg_negative_rank = 6.0;
+  Result<votes::SyntheticWorkload> workload =
+      votes::GenerateSyntheticWorkload(*base, params, rng);
+  if (!workload.ok()) return 1;
+
+  bench::TablePrinter table({"formulation", "filter", "time", "omega_avg",
+                             "satisfied"},
+                            {20, 7, 9, 10, 10});
+  table.PrintHeader();
+
+  struct Case {
+    const char* name;
+    math::SgpFormulation formulation;
+    bool filter;
+  };
+  std::vector<Case> cases{
+      {"hard-constraints", math::SgpFormulation::kHardConstraints, true},
+      {"deviation (Eq.15)", math::SgpFormulation::kDeviationVariables, true},
+      {"reduced-sigmoid", math::SgpFormulation::kReducedSigmoid, true},
+      {"reduced-sigmoid", math::SgpFormulation::kReducedSigmoid, false},
+  };
+
+  for (const Case& c : cases) {
+    core::OptimizerOptions options;
+    options.encoder.symbolic.eipd.max_length = 4;
+    options.encoder.symbolic.min_path_mass = 1e-8;
+    options.encoder.is_variable = workload->EntityEdgePredicate();
+    options.sgp.formulation = c.formulation;
+    options.apply_judgment_filter = c.filter;
+
+    core::KgOptimizer optimizer(&workload->graph, options);
+    Timer timer;
+    Result<core::OptimizeReport> report =
+        optimizer.MultiVoteSolve(workload->votes);
+    double seconds = timer.ElapsedSeconds();
+    if (!report.ok()) {
+      table.PrintRow({c.name, c.filter ? "on" : "off",
+                      FormatDuration(seconds), "failed", "-"});
+      continue;
+    }
+    core::OmegaResult omega =
+        core::EvaluateOmega(report->optimized, workload->votes,
+                            options.encoder.symbolic.eipd);
+    table.PrintRow({c.name, c.filter ? "on" : "off",
+                    FormatDuration(seconds), bench::Num(omega.average),
+                    std::to_string(report->constraints_satisfied) + "/" +
+                        std::to_string(report->constraints_total)});
+  }
+
+  // Condensation (successive GP approximation, cf. paper ref. [35]):
+  // solved outside KgOptimizer since it swaps the proximal notion for the
+  // GP-compatible minimal multiplicative change.
+  {
+    votes::EncoderOptions eo;
+    eo.symbolic.eipd.max_length = 4;
+    eo.symbolic.min_path_mass = 1e-8;
+    eo.is_variable = workload->EntityEdgePredicate();
+    votes::VoteEncoder encoder(&workload->graph, eo);
+    Result<votes::EncodedProgram> program =
+        encoder.EncodeBatch(workload->votes);
+    if (program.ok()) {
+      Timer timer;
+      math::CondensationSgpSolver solver;
+      math::SgpSolution sol = solver.Solve(program->problem);
+      double seconds = timer.ElapsedSeconds();
+      graph::WeightedDigraph optimized = workload->graph;
+      program->variables.ApplyValues(sol.x, &optimized);
+      optimized.NormalizeAllOutWeights();
+      core::OmegaResult omega =
+          core::EvaluateOmega(optimized, workload->votes, eo.symbolic.eipd);
+      table.PrintRow({"condensation (GP/SCA)", "off", FormatDuration(seconds),
+                      bench::Num(omega.average),
+                      std::to_string(sol.satisfied_constraints) + "/" +
+                          std::to_string(sol.total_constraints)});
+    }
+  }
+
+  std::printf(
+      "\nExpected: deviation and reduced forms reach similar Omega_avg "
+      "(same\noptima), reduced is faster (no auxiliary variables, no "
+      "augmented\nLagrangian); hard constraints struggle when votes "
+      "conflict; the filter\ntrades a little encoding time for discarding "
+      "unsatisfiable votes;\ncondensation (successive GP approximation) "
+      "trades runtime for the\nclassical convex-approximation guarantees.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace kgov
+
+int main() { return kgov::Run(); }

@@ -1,0 +1,106 @@
+// Search engine with click feedback (the paper's Example 2).
+//
+// A web-search knowledge graph ranks pages for queries; user clicks on
+// lower-ranked results are implicit votes. This example streams clicks in
+// small batches and applies the distributed split-and-merge optimizer
+// after each batch, showing the click-through position improving over
+// time - the online-learning usage pattern the paper's framework targets.
+//
+// Run: ./build/examples/search_click_feedback
+
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/kg_optimizer.h"
+#include "graph/generators.h"
+#include "ppr/eipd.h"
+#include "votes/vote_generator.h"
+
+using namespace kgov;
+
+int main() {
+  Rng rng(99);
+
+  // Term graph (concept co-occurrence on the web) + pages as answers.
+  Result<graph::WeightedDigraph> base =
+      graph::ScaleFreeWithTargetEdges(2000, 9000, rng);
+  if (!base.ok()) {
+    std::fprintf(stderr, "graph generation failed\n");
+    return 1;
+  }
+
+  // Synthetic search traffic: 45 queries with clicks. A click on a result
+  // below rank 1 is a negative vote; a click on the top result confirms.
+  votes::SyntheticVoteParams params;
+  params.num_queries = 45;
+  params.num_answers = 300;     // indexed pages
+  params.subgraph_nodes = 800;  // the topic neighbourhood searched
+  params.top_k = 10;
+  params.avg_negative_rank = 4.0;  // clicks concentrate near the top
+  params.negative_fraction = 0.7;
+  Result<votes::SyntheticWorkload> workload =
+      votes::GenerateSyntheticWorkload(*base, params, rng);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "traffic generation failed: %s\n",
+                 workload.status().ToString().c_str());
+    return 1;
+  }
+
+  core::OptimizerOptions options;
+  options.encoder.symbolic.eipd.max_length = 5;
+  options.encoder.symbolic.min_path_mass = 1e-8;
+  options.encoder.is_variable = workload->EntityEdgePredicate();
+
+  ppr::EipdOptions eipd = options.encoder.symbolic.eipd;
+  ThreadPool pool(4);
+
+  // Mean clicked-result position under a given graph (lower = better).
+  auto mean_click_position = [&](const graph::WeightedDigraph& g) {
+    ppr::EipdEvaluator evaluator(&g, eipd);
+    double total = 0.0;
+    for (const votes::Vote& vote : workload->votes) {
+      std::vector<ppr::ScoredAnswer> ranked = evaluator.RankAnswers(
+          vote.query, vote.answer_list, vote.answer_list.size());
+      for (size_t i = 0; i < ranked.size(); ++i) {
+        if (ranked[i].node == vote.best_answer) {
+          total += static_cast<double>(i + 1);
+          break;
+        }
+      }
+    }
+    return total / static_cast<double>(workload->votes.size());
+  };
+
+  graph::WeightedDigraph current = workload->graph;
+  std::printf("Streaming click feedback in batches of 15:\n");
+  std::printf("  batch 0 (no feedback): mean clicked position %.2f\n",
+              mean_click_position(current));
+
+  const size_t batch_size = 15;
+  for (size_t start = 0; start < workload->votes.size();
+       start += batch_size) {
+    size_t end = std::min(start + batch_size, workload->votes.size());
+    std::vector<votes::Vote> batch(workload->votes.begin() + start,
+                                   workload->votes.begin() + end);
+    core::KgOptimizer optimizer(&current, options);
+    Result<core::OptimizeReport> report =
+        optimizer.DistributedSplitMergeSolve(batch, &pool);
+    if (!report.ok()) {
+      std::fprintf(stderr, "batch failed: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    current = std::move(report->optimized);
+    std::printf("  batch %zu (%zu clicks, %zu clusters): mean clicked "
+                "position %.2f\n",
+                start / batch_size + 1, batch.size(), report->num_clusters,
+                mean_click_position(current));
+  }
+
+  std::printf(
+      "\nThe clicked results drift toward the top as feedback accumulates -"
+      "\nthe search engine adapts its knowledge graph without retraining.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+#include "cluster/merge.h"
+
+#include <algorithm>
+
+namespace kgov::cluster {
+
+std::unordered_map<graph::EdgeId, double> MergeClusterDeltas(
+    const std::vector<ClusterDelta>& clusters, MergeRule rule) {
+  // Gather all proposals per edge: (delta, cluster vote count).
+  std::unordered_map<graph::EdgeId, std::vector<std::pair<double, size_t>>>
+      proposals;
+  for (const ClusterDelta& cluster : clusters) {
+    for (const auto& [edge, delta] : cluster.delta) {
+      proposals[edge].emplace_back(delta, cluster.num_votes);
+    }
+  }
+
+  std::unordered_map<graph::EdgeId, double> merged;
+  merged.reserve(proposals.size());
+  for (const auto& [edge, changes] : proposals) {
+    if (changes.size() == 1) {
+      merged[edge] = changes.front().first;
+      continue;
+    }
+    switch (rule) {
+      case MergeRule::kWeightedSignExtreme: {
+        // Sign of sum_C n_C * Delta, then max (positive) or min (negative).
+        double weighted = 0.0;
+        for (const auto& [delta, votes] : changes) {
+          weighted += static_cast<double>(votes) * delta;
+        }
+        double chosen;
+        if (weighted >= 0.0) {
+          chosen = changes.front().first;
+          for (const auto& [delta, votes] : changes) {
+            chosen = std::max(chosen, delta);
+          }
+        } else {
+          chosen = changes.front().first;
+          for (const auto& [delta, votes] : changes) {
+            chosen = std::min(chosen, delta);
+          }
+        }
+        merged[edge] = chosen;
+        break;
+      }
+      case MergeRule::kWeightedAverage: {
+        double weighted = 0.0;
+        double total_votes = 0.0;
+        for (const auto& [delta, votes] : changes) {
+          weighted += static_cast<double>(votes) * delta;
+          total_votes += static_cast<double>(votes);
+        }
+        merged[edge] = total_votes > 0.0 ? weighted / total_votes : 0.0;
+        break;
+      }
+    }
+  }
+  return merged;
+}
+
+}  // namespace kgov::cluster

@@ -1,0 +1,44 @@
+// Merging per-cluster optimization results (paper SVI-A, Fig. 4).
+//
+// After solving one SGP per cluster, each cluster reports the weight change
+// Delta x_e of every edge it touched. Edges changed in a single cluster
+// keep that change; edges changed in several clusters are resolved by a
+// voting mechanism: the sign of sum_C (n_C * Delta x_e^C) (clusters
+// weighted by their vote counts) picks the direction, then the maximum
+// (positive direction) or minimum (negative direction) of the proposed
+// changes is applied.
+
+#ifndef KGOV_CLUSTER_MERGE_H_
+#define KGOV_CLUSTER_MERGE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace kgov::cluster {
+
+/// One cluster's contribution to the merge.
+struct ClusterDelta {
+  /// Number of votes in the cluster (n_C).
+  size_t num_votes = 0;
+  /// Edge-weight changes produced by this cluster's SGP solution.
+  std::unordered_map<graph::EdgeId, double> delta;
+};
+
+/// How multi-cluster conflicts on an edge are resolved.
+enum class MergeRule {
+  /// The paper's rule: weighted-sign vote, then max/min (SVI-A).
+  kWeightedSignExtreme,
+  /// Plain vote-weighted average (ablation baseline).
+  kWeightedAverage,
+};
+
+/// Combines the clusters' deltas into one final delta per edge.
+std::unordered_map<graph::EdgeId, double> MergeClusterDeltas(
+    const std::vector<ClusterDelta>& clusters,
+    MergeRule rule = MergeRule::kWeightedSignExtreme);
+
+}  // namespace kgov::cluster
+
+#endif  // KGOV_CLUSTER_MERGE_H_

@@ -1,0 +1,34 @@
+#include "cluster/vote_similarity.h"
+
+namespace kgov::cluster {
+
+double JaccardSimilarity(const std::unordered_set<graph::EdgeId>& a,
+                         const std::unordered_set<graph::EdgeId>& b) {
+  if (a.empty() && b.empty()) return 0.0;
+  const auto& small = a.size() <= b.size() ? a : b;
+  const auto& large = a.size() <= b.size() ? b : a;
+  size_t intersection = 0;
+  for (graph::EdgeId e : small) {
+    if (large.count(e) > 0) ++intersection;
+  }
+  size_t union_size = a.size() + b.size() - intersection;
+  return static_cast<double>(intersection) /
+         static_cast<double>(union_size);
+}
+
+std::vector<std::vector<double>> VoteSimilarityMatrix(
+    const std::vector<std::unordered_set<graph::EdgeId>>& vote_edges) {
+  const size_t n = vote_edges.size();
+  std::vector<std::vector<double>> sim(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    sim[i][i] = 1.0;
+    for (size_t j = i + 1; j < n; ++j) {
+      double s = JaccardSimilarity(vote_edges[i], vote_edges[j]);
+      sim[i][j] = s;
+      sim[j][i] = s;
+    }
+  }
+  return sim;
+}
+
+}  // namespace kgov::cluster

@@ -1,0 +1,26 @@
+// Vote-to-vote similarity (paper Eq. 20): the Jaccard overlap of the edge
+// sets each vote's similarity evaluation touches. Votes whose walks share
+// many edges conflict-interact and belong in the same SGP sub-problem.
+
+#ifndef KGOV_CLUSTER_VOTE_SIMILARITY_H_
+#define KGOV_CLUSTER_VOTE_SIMILARITY_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace kgov::cluster {
+
+/// Jaccard similarity |a n b| / |a u b|; 0 when both sets are empty.
+double JaccardSimilarity(const std::unordered_set<graph::EdgeId>& a,
+                         const std::unordered_set<graph::EdgeId>& b);
+
+/// Dense symmetric similarity matrix over votes' associated edge sets
+/// (diagonal = 1).
+std::vector<std::vector<double>> VoteSimilarityMatrix(
+    const std::vector<std::unordered_set<graph::EdgeId>>& vote_edges);
+
+}  // namespace kgov::cluster
+
+#endif  // KGOV_CLUSTER_VOTE_SIMILARITY_H_

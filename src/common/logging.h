@@ -1,0 +1,88 @@
+// Minimal leveled logging with stream syntax:
+//
+//   KGOV_LOG(INFO) << "solved " << n << " programs";
+//   KGOV_CHECK(x > 0) << "x must be positive, got " << x;
+//
+// The global level defaults to WARNING so library users are not spammed;
+// benchmarks and examples raise it explicitly.
+
+#ifndef KGOV_COMMON_LOGGING_H_
+#define KGOV_COMMON_LOGGING_H_
+
+#include <cassert>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace kgov {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Sets the minimum level that is emitted to stderr. Thread-safe.
+void SetLogLevel(LogLevel level);
+
+/// Returns the current minimum emitted level.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it (with level prefix) on destruction.
+/// FATAL messages abort the process after emission.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Turns the streamed expression into void so it can sit on the RHS of a
+/// ternary whose other arm is (void)0. operator& binds looser than <<.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace kgov
+
+#define KGOV_LOG_DEBUG ::kgov::LogLevel::kDebug
+#define KGOV_LOG_INFO ::kgov::LogLevel::kInfo
+#define KGOV_LOG_WARNING ::kgov::LogLevel::kWarning
+#define KGOV_LOG_ERROR ::kgov::LogLevel::kError
+#define KGOV_LOG_FATAL ::kgov::LogLevel::kFatal
+
+#define KGOV_LOG(severity)                                             \
+  (KGOV_LOG_##severity < ::kgov::GetLogLevel())                        \
+      ? static_cast<void>(0)                                           \
+      : ::kgov::internal::Voidify() &                                  \
+            ::kgov::internal::LogMessage(KGOV_LOG_##severity,          \
+                                         __FILE__, __LINE__)           \
+                .stream()
+
+/// Always-on invariant check; logs the streamed message and aborts on
+/// failure. Used for programmer errors, not user-input validation.
+#define KGOV_CHECK(condition)                                          \
+  (condition)                                                          \
+      ? static_cast<void>(0)                                           \
+      : ::kgov::internal::Voidify() &                                  \
+            ::kgov::internal::LogMessage(::kgov::LogLevel::kFatal,     \
+                                         __FILE__, __LINE__)           \
+                    .stream()                                          \
+                << "Check failed: " #condition " "
+
+#define KGOV_DCHECK(condition) assert(condition)
+
+#endif  // KGOV_COMMON_LOGGING_H_

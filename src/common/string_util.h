@@ -1,0 +1,35 @@
+// Small string helpers shared by the corpus generator, graph I/O, and the
+// benchmark table printers.
+
+#ifndef KGOV_COMMON_STRING_UTIL_H_
+#define KGOV_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kgov {
+
+/// Splits `input` on any character in `delims`, dropping empty pieces.
+std::vector<std::string> SplitString(std::string_view input,
+                                     std::string_view delims);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view TrimWhitespace(std::string_view input);
+
+/// Joins `parts` with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// True when `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Formats a double with `precision` fractional digits ("%.*f").
+std::string FormatDouble(double value, int precision);
+
+/// Formats seconds adaptively: "950us", "12.3ms", "4.56s", "3.2min".
+std::string FormatDuration(double seconds);
+
+}  // namespace kgov
+
+#endif  // KGOV_COMMON_STRING_UTIL_H_

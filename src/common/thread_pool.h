@@ -1,0 +1,67 @@
+// Fixed-size worker pool used to parallelize independent SGP sub-problems in
+// the distributed split-and-merge strategy (paper SVI). The paper ran the
+// clusters on four machines; the clusters are independent by construction,
+// so a thread pool reproduces the same speedup structure on one machine.
+
+#ifndef KGOV_COMMON_THREAD_POOL_H_
+#define KGOV_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace kgov {
+
+/// A simple FIFO thread pool. Tasks may not block on other tasks submitted
+/// to the same pool (no nested dependency scheduling).
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `fn` and returns a future for its result.
+  template <typename Fn>
+  auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.emplace_back([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Number of worker threads.
+  size_t size() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool shutting_down_ = false;
+};
+
+/// Runs `fn(i)` for i in [0, n) on `pool` (or inline when pool is null),
+/// blocking until all iterations complete.
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace kgov
+
+#endif  // KGOV_COMMON_THREAD_POOL_H_

@@ -1,0 +1,76 @@
+// Wall-clock timing helpers used by benchmark harnesses and the optimizer's
+// self-reporting.
+
+#ifndef KGOV_COMMON_TIMER_H_
+#define KGOV_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace kgov {
+
+/// Measures elapsed wall time from construction (or the last Restart).
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Resets the epoch to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since the epoch.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since the epoch.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Microseconds elapsed since the epoch.
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates time across multiple start/stop windows (e.g. total solver
+/// time excluding setup).
+class StopWatch {
+ public:
+  void Start() {
+    if (!running_) {
+      timer_.Restart();
+      running_ = true;
+    }
+  }
+
+  void Stop() {
+    if (running_) {
+      accumulated_ += timer_.ElapsedSeconds();
+      running_ = false;
+    }
+  }
+
+  void Reset() {
+    accumulated_ = 0.0;
+    running_ = false;
+  }
+
+  /// Total accumulated seconds, including the open window if running.
+  double TotalSeconds() const {
+    return accumulated_ + (running_ ? timer_.ElapsedSeconds() : 0.0);
+  }
+
+ private:
+  Timer timer_;
+  double accumulated_ = 0.0;
+  bool running_ = false;
+};
+
+}  // namespace kgov
+
+#endif  // KGOV_COMMON_TIMER_H_

@@ -1,0 +1,268 @@
+#include "core/kg_optimizer.h"
+
+#include <algorithm>
+#include <mutex>
+#include <utility>
+
+#include "cluster/vote_similarity.h"
+#include "common/logging.h"
+#include "common/timer.h"
+#include "ppr/eipd.h"
+
+namespace kgov::core {
+
+namespace {
+
+// Accumulates per-variable deltas (x - x0) into `changes`, keyed by edge.
+void RecordDeltas(const ppr::EdgeVariableMap& vars,
+                  const std::vector<double>& initial,
+                  const std::vector<double>& solution,
+                  std::unordered_map<graph::EdgeId, double>* changes) {
+  for (size_t v = 0; v < vars.NumVariables(); ++v) {
+    double delta = solution[v] - initial[v];
+    if (delta != 0.0) {
+      (*changes)[vars.EdgeOf(static_cast<math::VarId>(v))] += delta;
+    }
+  }
+}
+
+}  // namespace
+
+KgOptimizer::KgOptimizer(const graph::WeightedDigraph* graph,
+                         OptimizerOptions options)
+    : graph_(graph), options_(std::move(options)) {
+  KGOV_CHECK(graph_ != nullptr);
+}
+
+std::vector<votes::Vote> KgOptimizer::Filter(
+    const std::vector<votes::Vote>& votes,
+    const graph::WeightedDigraph& graph) const {
+  if (!options_.apply_judgment_filter) {
+    std::vector<votes::Vote> kept;
+    kept.reserve(votes.size());
+    for (const votes::Vote& vote : votes) {
+      if (vote.IsWellFormed()) kept.push_back(vote);
+    }
+    return kept;
+  }
+  votes::JudgmentOptions judgment;
+  judgment.symbolic = options_.encoder.symbolic;
+  judgment.is_variable = options_.encoder.is_variable;
+  judgment.shared_edge_weight = options_.judgment_shared_weight;
+  votes::JudgmentFilter filter(&graph, std::move(judgment));
+  return filter.FilterVotes(votes);
+}
+
+Result<OptimizeReport> KgOptimizer::SingleVoteSolve(
+    const std::vector<votes::Vote>& votes) const {
+  OptimizeReport report;
+  report.votes_in = votes.size();
+  report.optimized = *graph_;
+  graph::WeightedDigraph& current = report.optimized;
+
+  math::SgpSolverOptions sgp = options_.sgp;
+  sgp.formulation = math::SgpFormulation::kHardConstraints;
+  math::SgpSolver solver(sgp);
+
+  Timer timer;
+  const int rounds = std::max(1, options_.single_vote_refine_rounds);
+  for (const votes::Vote& vote : votes) {
+    if (!vote.IsWellFormed() || vote.IsPositive()) continue;
+
+    bool encoded_any = false;
+    for (int round = 0; round < rounds; ++round) {
+      timer.Restart();
+      // Encode against the *current* graph: the greedy algorithm folds
+      // each vote's result into the graph before the next (Alg. 1), and
+      // refinement rounds see the effect of normalization.
+      votes::VoteEncoder encoder(&current, options_.encoder);
+      Result<votes::EncodedProgram> encoded = encoder.EncodeSingle(vote);
+      report.encode_seconds += timer.ElapsedSeconds();
+      if (!encoded.ok()) {
+        KGOV_LOG(DEBUG) << "vote " << vote.id
+                        << " not encodable: " << encoded.status();
+        break;
+      }
+      votes::EncodedProgram& program = encoded.value();
+
+      timer.Restart();
+      math::SgpSolution solution = solver.Solve(program.problem);
+      report.solve_seconds += timer.ElapsedSeconds();
+      // A greedy baseline applies the solver's point even when full
+      // feasibility was not reached (fmincon behaves the same way).
+      RecordDeltas(program.variables, program.problem.initial(), solution.x,
+                   &report.weight_changes);
+      program.variables.ApplyValues(solution.x, &current);
+      if (options_.normalize_after_update) {
+        current.NormalizeAllOutWeights();
+      }
+      if (!encoded_any) {
+        report.constraints_total += solution.total_constraints;
+        ++report.votes_encoded;
+        encoded_any = true;
+      }
+
+      // Refinement check: is the voted best answer ranked first now?
+      ppr::EipdEvaluator evaluator(&current,
+                                   options_.encoder.symbolic.eipd);
+      std::vector<ppr::ScoredAnswer> reranked = evaluator.RankAnswers(
+          vote.query, vote.answer_list, vote.answer_list.size());
+      if (!reranked.empty() && reranked.front().node == vote.best_answer) {
+        report.constraints_satisfied += solution.total_constraints;
+        break;
+      }
+      if (round + 1 == rounds) {
+        report.constraints_satisfied += solution.satisfied_constraints;
+      }
+    }
+  }
+  report.votes_after_filter = report.votes_encoded;
+  return report;
+}
+
+Result<OptimizeReport> KgOptimizer::MultiVoteSolve(
+    const std::vector<votes::Vote>& votes) const {
+  OptimizeReport report;
+  report.votes_in = votes.size();
+  report.optimized = *graph_;
+
+  Timer timer;
+  std::vector<votes::Vote> filtered = Filter(votes, *graph_);
+  report.votes_after_filter = filtered.size();
+  if (filtered.empty()) {
+    return Status::InvalidArgument("no votes survive filtering");
+  }
+
+  votes::VoteEncoder encoder(graph_, options_.encoder);
+  Result<votes::EncodedProgram> encoded = encoder.EncodeBatch(filtered);
+  KGOV_RETURN_IF_ERROR(encoded.status());
+  votes::EncodedProgram& program = encoded.value();
+  report.votes_encoded = program.encoded_vote_ids.size();
+  report.encode_seconds = timer.ElapsedSeconds();
+
+  timer.Restart();
+  math::SgpSolver solver(options_.sgp);
+  math::SgpSolution solution = solver.Solve(program.problem);
+  report.solve_seconds = timer.ElapsedSeconds();
+
+  RecordDeltas(program.variables, program.problem.initial(), solution.x,
+               &report.weight_changes);
+  program.variables.ApplyValues(solution.x, &report.optimized);
+  if (options_.normalize_after_update) {
+    report.optimized.NormalizeAllOutWeights();
+  }
+  report.constraints_total = solution.total_constraints;
+  report.constraints_satisfied = solution.satisfied_constraints;
+  return report;
+}
+
+Result<OptimizeReport> KgOptimizer::SplitMergeSolve(
+    const std::vector<votes::Vote>& votes) const {
+  return SplitMergeImpl(votes, nullptr);
+}
+
+Result<OptimizeReport> KgOptimizer::DistributedSplitMergeSolve(
+    const std::vector<votes::Vote>& votes, ThreadPool* pool) const {
+  if (pool == nullptr) {
+    return Status::InvalidArgument(
+        "DistributedSplitMergeSolve requires a thread pool");
+  }
+  return SplitMergeImpl(votes, pool);
+}
+
+Result<OptimizeReport> KgOptimizer::SplitMergeImpl(
+    const std::vector<votes::Vote>& votes, ThreadPool* pool) const {
+  OptimizeReport report;
+  report.votes_in = votes.size();
+  report.optimized = *graph_;
+
+  Timer timer;
+  std::vector<votes::Vote> filtered = Filter(votes, *graph_);
+  report.votes_after_filter = filtered.size();
+  if (filtered.empty()) {
+    return Status::InvalidArgument("no votes survive filtering");
+  }
+
+  // Split: edge sets per vote -> similarity matrix -> affinity propagation.
+  votes::VoteEncoder encoder(graph_, options_.encoder);
+  std::vector<std::unordered_set<graph::EdgeId>> vote_edges;
+  vote_edges.reserve(filtered.size());
+  for (const votes::Vote& vote : filtered) {
+    vote_edges.push_back(encoder.AssociatedEdges(vote));
+  }
+  std::vector<std::vector<double>> similarity =
+      cluster::VoteSimilarityMatrix(vote_edges);
+  Result<cluster::ApResult> clustering =
+      cluster::AffinityPropagation(similarity, options_.ap);
+  KGOV_RETURN_IF_ERROR(clustering.status());
+
+  size_t num_clusters = clustering->exemplars.size();
+  std::vector<std::vector<votes::Vote>> groups(num_clusters);
+  for (size_t i = 0; i < filtered.size(); ++i) {
+    groups[clustering->labels[i]].push_back(filtered[i]);
+  }
+  report.num_clusters = num_clusters;
+  report.encode_seconds = timer.ElapsedSeconds();
+
+  // Solve one multi-vote SGP per cluster (clusters are independent by
+  // construction, so they may run in parallel).
+  timer.Restart();
+  std::vector<cluster::ClusterDelta> deltas(num_clusters);
+  report.cluster_seconds.assign(num_clusters, 0.0);
+  std::mutex report_mu;
+  Status first_error;
+  math::SgpSolver solver(options_.sgp);
+
+  auto solve_cluster = [&](size_t c) {
+    if (groups[c].empty()) return;
+    Timer cluster_timer;
+    votes::VoteEncoder cluster_encoder(graph_, options_.encoder);
+    Result<votes::EncodedProgram> encoded =
+        cluster_encoder.EncodeBatch(groups[c]);
+    if (!encoded.ok()) {
+      std::lock_guard<std::mutex> lock(report_mu);
+      if (first_error.ok()) first_error = encoded.status();
+      return;
+    }
+    votes::EncodedProgram& program = encoded.value();
+    math::SgpSolution solution = solver.Solve(program.problem);
+
+    cluster::ClusterDelta delta;
+    delta.num_votes = groups[c].size();
+    const std::vector<double>& initial = program.problem.initial();
+    for (size_t v = 0; v < program.variables.NumVariables(); ++v) {
+      double d = solution.x[v] - initial[v];
+      if (d != 0.0) {
+        delta.delta[program.variables.EdgeOf(static_cast<math::VarId>(v))] =
+            d;
+      }
+    }
+    deltas[c] = std::move(delta);
+    std::lock_guard<std::mutex> lock(report_mu);
+    report.cluster_seconds[c] = cluster_timer.ElapsedSeconds();
+    report.votes_encoded += program.encoded_vote_ids.size();
+    report.constraints_total += solution.total_constraints;
+    report.constraints_satisfied += solution.satisfied_constraints;
+  };
+
+  ParallelFor(pool, num_clusters, solve_cluster);
+  report.solve_seconds = timer.ElapsedSeconds();
+  KGOV_RETURN_IF_ERROR(first_error);
+
+  // Merge: resolve multi-cluster conflicts, apply, normalize.
+  std::unordered_map<graph::EdgeId, double> merged =
+      cluster::MergeClusterDeltas(deltas, options_.merge_rule);
+  for (const auto& [edge, delta] : merged) {
+    double w = report.optimized.Weight(edge) + delta;
+    w = std::clamp(w, options_.encoder.weight_lower_bound,
+                   options_.encoder.weight_upper_bound);
+    report.optimized.SetWeight(edge, w);
+  }
+  report.weight_changes = std::move(merged);
+  if (options_.normalize_after_update) {
+    report.optimized.NormalizeAllOutWeights();
+  }
+  return report;
+}
+
+}  // namespace kgov::core

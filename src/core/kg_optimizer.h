@@ -1,0 +1,130 @@
+// KgOptimizer: the public entry point of kgov, implementing the paper's
+// four graph-optimization strategies:
+//
+//   * SingleVoteSolve           - Algorithm 1: one hard-constrained SGP per
+//                                 negative vote, solved greedily in
+//                                 sequence (SIV).
+//   * MultiVoteSolve            - one SGP over all votes (negative and
+//                                 positive) with deviation-variable /
+//                                 sigmoid objective (SV, Eq. 15/19).
+//   * SplitMergeSolve           - the S-M strategy: cluster votes by edge
+//                                 overlap with affinity propagation, solve
+//                                 one multi-vote SGP per cluster, merge the
+//                                 weight changes by the voting rule (SVI).
+//   * DistributedSplitMergeSolve- S-M with clusters solved in parallel on a
+//                                 thread pool (the paper's 4-machine
+//                                 distributed variant).
+//
+// All strategies leave the input graph untouched and return the optimized
+// copy G* plus a report of what happened.
+
+#ifndef KGOV_CORE_KG_OPTIMIZER_H_
+#define KGOV_CORE_KG_OPTIMIZER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/affinity_propagation.h"
+#include "cluster/merge.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "graph/graph.h"
+#include "math/sgp_solver.h"
+#include "votes/judgment.h"
+#include "votes/vote.h"
+#include "votes/vote_encoder.h"
+
+namespace kgov::core {
+
+struct OptimizerOptions {
+  /// Vote -> SGP encoding settings (path length L, variable predicate,
+  /// weight bounds).
+  votes::EncoderOptions encoder;
+  /// SGP solver settings (formulation, lambda1/lambda2, sigmoid w, inner
+  /// solver). SingleVoteSolve always uses hard constraints regardless of
+  /// the formulation set here.
+  math::SgpSolverOptions sgp;
+  /// Run the judgment filter before multi-vote encoding (SV). The filter
+  /// inherits the encoder's symbolic settings.
+  bool apply_judgment_filter = true;
+  /// Constant for shared edges in the judgment extreme condition.
+  double judgment_shared_weight = 0.5;
+  /// Re-normalize out-weights after applying a solution (Alg. 1 line 16).
+  bool normalize_after_update = true;
+  /// Single-vote refinement: the hard-constraint solution sits exactly on
+  /// the feasibility boundary, and the subsequent normalization can cancel
+  /// slack placed on out-degree-1 edges (whose relative weight is
+  /// normalization-invariant). Re-encode and re-solve against the
+  /// normalized graph until the vote is satisfied, up to this many rounds.
+  /// 1 reproduces the paper's Algorithm 1 verbatim.
+  int single_vote_refine_rounds = 3;
+  /// Affinity-propagation settings for SplitMergeSolve.
+  cluster::ApOptions ap;
+  /// Conflict-resolution rule for SplitMergeSolve.
+  cluster::MergeRule merge_rule = cluster::MergeRule::kWeightedSignExtreme;
+};
+
+struct OptimizeReport {
+  /// The optimized graph G*.
+  graph::WeightedDigraph optimized;
+  /// Votes given / surviving the judgment filter / actually encoded.
+  size_t votes_in = 0;
+  size_t votes_after_filter = 0;
+  size_t votes_encoded = 0;
+  /// Constraint satisfaction at the solution (multi-vote strategies).
+  int constraints_total = 0;
+  int constraints_satisfied = 0;
+  /// Cluster count (split-and-merge strategies; 0 otherwise).
+  size_t num_clusters = 0;
+  /// Per-cluster solve wall times (split-and-merge strategies). Lets
+  /// callers compute a simulated distributed makespan on machines with too
+  /// few cores to measure real parallel speedups.
+  std::vector<double> cluster_seconds;
+  /// Wall time spent building programs vs solving them.
+  double encode_seconds = 0.0;
+  double solve_seconds = 0.0;
+  /// Net weight change applied per edge (before normalization).
+  std::unordered_map<graph::EdgeId, double> weight_changes;
+};
+
+class KgOptimizer {
+ public:
+  /// `graph` is borrowed (never mutated) and must outlive the optimizer.
+  KgOptimizer(const graph::WeightedDigraph* graph, OptimizerOptions options);
+
+  const OptimizerOptions& options() const { return options_; }
+
+  /// Algorithm 1. Positive votes are ignored (SIV-B). Infeasible votes
+  /// still apply the solver's best-effort point, matching the greedy
+  /// baseline behaviour.
+  Result<OptimizeReport> SingleVoteSolve(
+      const std::vector<votes::Vote>& votes) const;
+
+  /// One batch SGP over all votes (SV).
+  Result<OptimizeReport> MultiVoteSolve(
+      const std::vector<votes::Vote>& votes) const;
+
+  /// Split-and-merge (SVI); sequential cluster solves.
+  Result<OptimizeReport> SplitMergeSolve(
+      const std::vector<votes::Vote>& votes) const;
+
+  /// Split-and-merge with clusters solved on `pool` (must have >= 1
+  /// worker; the paper used 4 machines).
+  Result<OptimizeReport> DistributedSplitMergeSolve(
+      const std::vector<votes::Vote>& votes, ThreadPool* pool) const;
+
+ private:
+  Result<OptimizeReport> SplitMergeImpl(const std::vector<votes::Vote>& votes,
+                                        ThreadPool* pool) const;
+
+  /// Applies judgment filtering when enabled; returns surviving votes.
+  std::vector<votes::Vote> Filter(const std::vector<votes::Vote>& votes,
+                                  const graph::WeightedDigraph& graph) const;
+
+  const graph::WeightedDigraph* graph_;
+  OptimizerOptions options_;
+};
+
+}  // namespace kgov::core
+
+#endif  // KGOV_CORE_KG_OPTIMIZER_H_

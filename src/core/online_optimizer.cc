@@ -1,0 +1,51 @@
+#include "core/online_optimizer.h"
+
+#include <utility>
+
+#include "common/timer.h"
+
+namespace kgov::core {
+
+OnlineKgOptimizer::OnlineKgOptimizer(const graph::WeightedDigraph& initial,
+                                     OnlineOptimizerOptions options)
+    : options_(std::move(options)),
+      graph_(initial),
+      snapshot_(std::make_shared<graph::CsrSnapshot>(graph_)) {}
+
+Result<FlushReport> OnlineKgOptimizer::AddVote(votes::Vote vote) {
+  buffer_.push_back(std::move(vote));
+  if (buffer_.size() >= options_.batch_size) {
+    return Flush();
+  }
+  return FlushReport{};
+}
+
+Result<FlushReport> OnlineKgOptimizer::Flush() {
+  FlushReport report;
+  if (buffer_.empty()) return report;
+
+  Timer timer;
+  KgOptimizer optimizer(&graph_, options_.optimizer);
+  Result<OptimizeReport> result =
+      options_.strategy == FlushStrategy::kMultiVote
+          ? optimizer.MultiVoteSolve(buffer_)
+          : optimizer.SplitMergeSolve(buffer_);
+  if (!result.ok()) {
+    // An unusable batch (e.g. every vote filtered) is dropped rather than
+    // wedging the pipeline; the error is surfaced to the caller.
+    buffer_.clear();
+    return result.status();
+  }
+
+  graph_ = std::move(result->optimized);
+  snapshot_ = std::make_shared<graph::CsrSnapshot>(graph_);
+  report.votes_flushed = buffer_.size();
+  report.constraints_total = result->constraints_total;
+  report.constraints_satisfied = result->constraints_satisfied;
+  report.solve_seconds = timer.ElapsedSeconds();
+  total_applied_ += buffer_.size();
+  buffer_.clear();
+  return report;
+}
+
+}  // namespace kgov::core

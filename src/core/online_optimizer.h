@@ -1,0 +1,86 @@
+// OnlineKgOptimizer: the deployment loop around KgOptimizer.
+//
+// A live system interleaves serving and learning: votes stream in, and the
+// graph should be re-optimized in batches while queries keep being served
+// from a stable view. This class owns the evolving graph, buffers votes,
+// flushes them through a configurable strategy when the batch is full (or
+// on demand), and maintains a frozen CSR snapshot for the serving path -
+// the pattern the paper's Examples 1-2 (recommendations, search clicks)
+// imply but leave to the reader.
+
+#ifndef KGOV_CORE_ONLINE_OPTIMIZER_H_
+#define KGOV_CORE_ONLINE_OPTIMIZER_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "core/kg_optimizer.h"
+#include "graph/csr.h"
+
+namespace kgov::core {
+
+/// Which strategy flush batches go through.
+enum class FlushStrategy {
+  kMultiVote,
+  kSplitMerge,
+};
+
+struct OnlineOptimizerOptions {
+  OptimizerOptions optimizer;
+  /// Votes buffered before an automatic flush.
+  size_t batch_size = 25;
+  FlushStrategy strategy = FlushStrategy::kSplitMerge;
+};
+
+/// Result of one flush.
+struct FlushReport {
+  size_t votes_flushed = 0;
+  int constraints_total = 0;
+  int constraints_satisfied = 0;
+  double solve_seconds = 0.0;
+};
+
+/// Owns a knowledge graph that evolves under vote feedback. Not
+/// thread-safe; a serving thread should read only via snapshot() (which
+/// returns a stable shared_ptr that survives later flushes).
+class OnlineKgOptimizer {
+ public:
+  /// Starts from a copy of `initial`.
+  OnlineKgOptimizer(const graph::WeightedDigraph& initial,
+                    OnlineOptimizerOptions options);
+
+  /// The current (latest) graph.
+  const graph::WeightedDigraph& graph() const { return graph_; }
+
+  /// Frozen view for serving; refreshed on every flush. Callers may hold
+  /// the returned pointer across flushes (it stays valid and immutable).
+  std::shared_ptr<const graph::CsrSnapshot> snapshot() const {
+    return snapshot_;
+  }
+
+  /// Buffers one vote; flushes automatically when the batch is full.
+  /// Returns the flush report when a flush happened, std::nullopt-like
+  /// empty report otherwise (votes_flushed == 0).
+  Result<FlushReport> AddVote(votes::Vote vote);
+
+  /// Forces a flush of the current buffer (no-op on an empty buffer).
+  Result<FlushReport> Flush();
+
+  /// Votes currently buffered.
+  size_t PendingVotes() const { return buffer_.size(); }
+
+  /// Total votes folded into the graph so far.
+  size_t TotalVotesApplied() const { return total_applied_; }
+
+ private:
+  OnlineOptimizerOptions options_;
+  graph::WeightedDigraph graph_;
+  std::shared_ptr<const graph::CsrSnapshot> snapshot_;
+  std::vector<votes::Vote> buffer_;
+  size_t total_applied_ = 0;
+};
+
+}  // namespace kgov::core
+
+#endif  // KGOV_CORE_ONLINE_OPTIMIZER_H_

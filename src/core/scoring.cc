@@ -1,0 +1,33 @@
+#include "core/scoring.h"
+
+#include "common/logging.h"
+
+namespace kgov::core {
+
+OmegaResult EvaluateOmega(const graph::WeightedDigraph& optimized,
+                          const std::vector<votes::Vote>& votes,
+                          const ppr::EipdOptions& eipd) {
+  OmegaResult result;
+  ppr::EipdEvaluator evaluator(&optimized, eipd);
+  for (const votes::Vote& vote : votes) {
+    if (!vote.IsWellFormed()) continue;
+    int before = vote.BestAnswerRank();
+    std::vector<ppr::ScoredAnswer> reranked = evaluator.RankAnswers(
+        vote.query, vote.answer_list, vote.answer_list.size());
+    std::vector<graph::NodeId> order;
+    order.reserve(reranked.size());
+    for (const ppr::ScoredAnswer& sa : reranked) order.push_back(sa.node);
+    int after = votes::RankOf(order, vote.best_answer);
+    if (after == 0) after = static_cast<int>(order.size());  // defensive
+    result.before_ranks.push_back(before);
+    result.after_ranks.push_back(after);
+    result.total += static_cast<double>(before - after);
+  }
+  if (!result.before_ranks.empty()) {
+    result.average =
+        result.total / static_cast<double>(result.before_ranks.size());
+  }
+  return result;
+}
+
+}  // namespace kgov::core

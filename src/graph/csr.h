@@ -1,0 +1,63 @@
+// Immutable CSR (compressed sparse row) snapshot of a WeightedDigraph.
+//
+// The mutable adjacency-list graph is ideal for the optimizer (O(1) weight
+// writes), but each out-edge access indirects through the edge table. A
+// serving system that answers many queries between optimization rounds can
+// freeze the current weights into a CSR snapshot: contiguous
+// (target, weight) pairs per node, cache-friendly and pointer-free. The
+// fast evaluator in ppr/fast_eipd.h runs on snapshots.
+
+#ifndef KGOV_GRAPH_CSR_H_
+#define KGOV_GRAPH_CSR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace kgov::graph {
+
+/// Frozen graph view. Cheap to move, immutable after construction.
+class CsrSnapshot {
+ public:
+  /// A single out-neighbor entry.
+  struct Neighbor {
+    NodeId to;
+    double weight;
+  };
+
+  CsrSnapshot() = default;
+
+  /// Captures the current topology and weights of `graph`.
+  explicit CsrSnapshot(const WeightedDigraph& graph);
+
+  size_t NumNodes() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  size_t NumEdges() const { return neighbors_.size(); }
+  bool IsValidNode(NodeId node) const { return node < NumNodes(); }
+
+  /// Out-neighbors of `node` as a contiguous range.
+  const Neighbor* begin(NodeId node) const {
+    return neighbors_.data() + offsets_[node];
+  }
+  const Neighbor* end(NodeId node) const {
+    return neighbors_.data() + offsets_[node + 1];
+  }
+  size_t OutDegree(NodeId node) const {
+    return offsets_[node + 1] - offsets_[node];
+  }
+
+  /// Sum of outgoing weights of `node`.
+  double OutWeightSum(NodeId node) const;
+
+ private:
+  // offsets_[v]..offsets_[v+1] indexes neighbors_ for node v; has
+  // NumNodes()+1 entries (empty graph: stays empty).
+  std::vector<size_t> offsets_;
+  std::vector<Neighbor> neighbors_;
+};
+
+}  // namespace kgov::graph
+
+#endif  // KGOV_GRAPH_CSR_H_

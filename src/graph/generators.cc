@@ -1,0 +1,153 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace kgov::graph {
+
+namespace {
+
+// Packs a (from, to) pair into one key for duplicate detection.
+uint64_t EdgeKey(NodeId from, NodeId to) {
+  return (static_cast<uint64_t>(from) << 32) | to;
+}
+
+}  // namespace
+
+void InitializeWeights(WeightedDigraph* graph, WeightInit init, Rng& rng) {
+  switch (init) {
+    case WeightInit::kNormalizedRandom:
+      for (EdgeId e = 0; e < graph->NumEdges(); ++e) {
+        graph->SetWeight(e, rng.Uniform(0.05, 1.0));
+      }
+      graph->NormalizeAllOutWeights();
+      break;
+    case WeightInit::kUniformStochastic:
+      for (NodeId node = 0; node < graph->NumNodes(); ++node) {
+        size_t degree = graph->OutDegree(node);
+        if (degree == 0) continue;
+        for (const OutEdge& out : graph->OutEdges(node)) {
+          graph->SetWeight(out.edge, 1.0 / static_cast<double>(degree));
+        }
+      }
+      break;
+  }
+}
+
+Result<WeightedDigraph> ErdosRenyi(size_t num_nodes, size_t num_edges,
+                                   Rng& rng, WeightInit init) {
+  if (num_nodes < 2 && num_edges > 0) {
+    return Status::InvalidArgument("ErdosRenyi: too few nodes");
+  }
+  if (num_edges > num_nodes * (num_nodes - 1)) {
+    return Status::InvalidArgument("ErdosRenyi: too many edges requested");
+  }
+  WeightedDigraph graph(num_nodes);
+  std::unordered_set<uint64_t> used;
+  used.reserve(num_edges * 2);
+  while (graph.NumEdges() < num_edges) {
+    NodeId from = static_cast<NodeId>(rng.NextIndex(num_nodes));
+    NodeId to = static_cast<NodeId>(rng.NextIndex(num_nodes));
+    if (from == to) continue;
+    if (!used.insert(EdgeKey(from, to)).second) continue;
+    Result<EdgeId> added = graph.AddEdge(from, to, 1.0);
+    KGOV_CHECK(added.ok());
+  }
+  InitializeWeights(&graph, init, rng);
+  return graph;
+}
+
+Result<WeightedDigraph> BarabasiAlbert(size_t num_nodes,
+                                       size_t edges_per_node, Rng& rng,
+                                       WeightInit init) {
+  if (num_nodes < edges_per_node + 1) {
+    return Status::InvalidArgument("BarabasiAlbert: num_nodes too small");
+  }
+  WeightedDigraph graph(num_nodes);
+  // Repeated-node list trick: attachment probability proportional to
+  // (in-degree + 1) by mixing a uniform pick with a pick from endpoints.
+  std::vector<NodeId> endpoint_pool;
+  endpoint_pool.reserve(num_nodes * edges_per_node);
+  std::unordered_set<uint64_t> used;
+
+  size_t seed_nodes = edges_per_node + 1;
+  // Seed clique among the first few nodes (ring, to keep it sparse).
+  for (NodeId v = 0; v < seed_nodes; ++v) {
+    NodeId next = static_cast<NodeId>((v + 1) % seed_nodes);
+    if (graph.AddEdge(v, next, 1.0).ok()) {
+      used.insert(EdgeKey(v, next));
+      endpoint_pool.push_back(next);
+    }
+  }
+
+  for (NodeId v = static_cast<NodeId>(seed_nodes); v < num_nodes; ++v) {
+    size_t attached = 0;
+    size_t attempts = 0;
+    while (attached < edges_per_node && attempts < 50 * edges_per_node) {
+      ++attempts;
+      NodeId target;
+      if (!endpoint_pool.empty() && rng.Bernoulli(0.75)) {
+        target = endpoint_pool[rng.NextIndex(endpoint_pool.size())];
+      } else {
+        target = static_cast<NodeId>(rng.NextIndex(v));
+      }
+      if (target == v) continue;
+      if (!used.insert(EdgeKey(v, target)).second) continue;
+      KGOV_CHECK(graph.AddEdge(v, target, 1.0).ok());
+      endpoint_pool.push_back(target);
+      ++attached;
+    }
+  }
+  InitializeWeights(&graph, init, rng);
+  return graph;
+}
+
+Result<WeightedDigraph> ScaleFreeWithTargetEdges(size_t num_nodes,
+                                                 size_t num_edges, Rng& rng,
+                                                 WeightInit init) {
+  if (num_nodes == 0) {
+    return Status::InvalidArgument("ScaleFreeWithTargetEdges: empty graph");
+  }
+  if (num_edges > num_nodes * (num_nodes - 1)) {
+    return Status::InvalidArgument(
+        "ScaleFreeWithTargetEdges: too many edges");
+  }
+  // Backbone: preferential attachment with about 3/4 of the edge budget.
+  size_t per_node = std::max<size_t>(1, (num_edges * 3 / 4) / num_nodes);
+  Result<WeightedDigraph> backbone =
+      BarabasiAlbert(num_nodes, per_node, rng, WeightInit::kUniformStochastic);
+  KGOV_RETURN_IF_ERROR(backbone.status());
+  WeightedDigraph graph = std::move(backbone).value();
+
+  std::unordered_set<uint64_t> used;
+  used.reserve(num_edges * 2);
+  for (const Edge& e : graph.edges()) {
+    used.insert(EdgeKey(e.from, e.to));
+  }
+  // Top up with uniform random edges to hit the exact target.
+  while (graph.NumEdges() < num_edges) {
+    NodeId from = static_cast<NodeId>(rng.NextIndex(num_nodes));
+    NodeId to = static_cast<NodeId>(rng.NextIndex(num_nodes));
+    if (from == to) continue;
+    if (!used.insert(EdgeKey(from, to)).second) continue;
+    KGOV_CHECK(graph.AddEdge(from, to, 1.0).ok());
+  }
+  InitializeWeights(&graph, init, rng);
+  return graph;
+}
+
+GraphProfile TwitterProfile() { return {"twitter", 23370, 33101}; }
+GraphProfile DiggProfile() { return {"digg", 30398, 87627}; }
+GraphProfile GnutellaProfile() { return {"gnutella", 62586, 147892}; }
+GraphProfile TaobaoProfile() { return {"taobao", 1663, 17591}; }
+
+Result<WeightedDigraph> GenerateFromProfile(const GraphProfile& profile,
+                                            Rng& rng) {
+  return ScaleFreeWithTargetEdges(profile.num_nodes, profile.num_edges, rng);
+}
+
+}  // namespace kgov::graph

@@ -1,0 +1,76 @@
+// Synthetic graph generators.
+//
+// The paper's efficiency experiments (SVII-D) run on three KONECT graphs
+// (Twitter, Digg, Gnutella). We cannot ship those datasets, so seeded
+// generators reproduce each graph's |V|, |E| and average degree; an
+// edge-list loader (graph_io.h) accepts the real files when available.
+// Edge weights are initialized as random conditional probabilities
+// (uniform, then normalized per source node), matching the paper's
+// construction where weights are conditional co-occurrence probabilities.
+
+#ifndef KGOV_GRAPH_GENERATORS_H_
+#define KGOV_GRAPH_GENERATORS_H_
+
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace kgov::graph {
+
+/// How edge weights are assigned by the generators.
+enum class WeightInit {
+  /// Uniform(0,1] then per-node normalization to sum 1 (default).
+  kNormalizedRandom,
+  /// Every out-edge of a node gets 1/out-degree.
+  kUniformStochastic,
+};
+
+/// G(n, m): n nodes, m distinct directed edges chosen uniformly at random
+/// (no self-loops). Fails when m exceeds n*(n-1).
+Result<WeightedDigraph> ErdosRenyi(size_t num_nodes, size_t num_edges,
+                                   Rng& rng,
+                                   WeightInit init = WeightInit::kNormalizedRandom);
+
+/// Barabasi-Albert preferential attachment: each new node attaches
+/// `edges_per_node` out-edges to existing nodes with probability
+/// proportional to (in-degree + 1). Produces a heavy-tailed in-degree
+/// distribution like real social graphs.
+Result<WeightedDigraph> BarabasiAlbert(size_t num_nodes,
+                                       size_t edges_per_node, Rng& rng,
+                                       WeightInit init = WeightInit::kNormalizedRandom);
+
+/// Hybrid generator targeting an exact edge count: a preferential-
+/// attachment backbone plus uniform random extra edges until |E| =
+/// num_edges. This is what the KONECT profiles use.
+Result<WeightedDigraph> ScaleFreeWithTargetEdges(size_t num_nodes,
+                                                 size_t num_edges, Rng& rng,
+                                                 WeightInit init = WeightInit::kNormalizedRandom);
+
+/// Named profiles matching the datasets in the paper's Table II.
+struct GraphProfile {
+  std::string name;
+  size_t num_nodes;
+  size_t num_edges;
+};
+
+/// Twitter follow graph profile: 23,370 nodes, 33,101 edges.
+GraphProfile TwitterProfile();
+/// Digg reply graph profile: 30,398 nodes, 87,627 edges.
+GraphProfile DiggProfile();
+/// Gnutella host graph profile: 62,586 nodes, 147,892 edges.
+GraphProfile GnutellaProfile();
+/// Taobao-scale knowledge-graph profile: 1,663 nodes, 17,591 edges.
+GraphProfile TaobaoProfile();
+
+/// Generates a synthetic stand-in for `profile` (ScaleFreeWithTargetEdges).
+Result<WeightedDigraph> GenerateFromProfile(const GraphProfile& profile,
+                                            Rng& rng);
+
+/// Assigns weights per `init` to an already-built topology.
+void InitializeWeights(WeightedDigraph* graph, WeightInit init, Rng& rng);
+
+}  // namespace kgov::graph
+
+#endif  // KGOV_GRAPH_GENERATORS_H_

@@ -1,0 +1,75 @@
+#include "graph/graph_io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace kgov::graph {
+
+Status SaveEdgeList(const WeightedDigraph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  out << "# kgov edge list: " << graph.NumNodes() << " nodes, "
+      << graph.NumEdges() << " edges\n";
+  char line[96];
+  for (const Edge& e : graph.edges()) {
+    std::snprintf(line, sizeof(line), "%u %u %.17g\n", e.from, e.to,
+                  e.weight);
+    out << line;
+  }
+  if (!out.good()) {
+    return Status::IoError("write failure on '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Result<WeightedDigraph> LoadEdgeList(const std::string& path,
+                                     double default_weight) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  struct RawEdge {
+    NodeId from;
+    NodeId to;
+    double weight;
+  };
+  std::vector<RawEdge> raw;
+  NodeId max_node = 0;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view trimmed = TrimWhitespace(line);
+    if (trimmed.empty() || trimmed[0] == '#' || trimmed[0] == '%') continue;
+    std::istringstream fields{std::string(trimmed)};
+    long long from = -1;
+    long long to = -1;
+    double weight = default_weight;
+    fields >> from >> to;
+    if (from < 0 || to < 0 || fields.fail()) {
+      return Status::IoError("malformed edge at " + path + ":" +
+                             std::to_string(line_no));
+    }
+    fields >> weight;  // optional third column
+    raw.push_back(RawEdge{static_cast<NodeId>(from),
+                          static_cast<NodeId>(to), weight});
+    max_node = std::max({max_node, raw.back().from, raw.back().to});
+  }
+  WeightedDigraph graph(raw.empty() ? 0 : static_cast<size_t>(max_node) + 1);
+  for (const RawEdge& e : raw) {
+    // Duplicate edges in source data: keep the first occurrence.
+    Result<EdgeId> added = graph.AddEdge(e.from, e.to, e.weight);
+    if (!added.ok() && added.status().code() != StatusCode::kAlreadyExists) {
+      return added.status();
+    }
+  }
+  return graph;
+}
+
+}  // namespace kgov::graph

@@ -1,0 +1,30 @@
+// Plain-text edge-list persistence.
+//
+// Format: one edge per line, "<from> <to> <weight>", '#' comments and blank
+// lines ignored. This accepts KONECT-style edge lists directly (their
+// unweighted lines default to weight 1, which callers can re-normalize), so
+// the real Twitter/Digg/Gnutella files can be dropped in for the efficiency
+// experiments.
+
+#ifndef KGOV_GRAPH_GRAPH_IO_H_
+#define KGOV_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace kgov::graph {
+
+/// Writes `graph` to `path`, one edge per line.
+Status SaveEdgeList(const WeightedDigraph& graph, const std::string& path);
+
+/// Loads an edge list. Node ids are taken verbatim (the graph is sized to
+/// the max id + 1); missing weights default to `default_weight`; duplicate
+/// edges keep the first occurrence.
+Result<WeightedDigraph> LoadEdgeList(const std::string& path,
+                                     double default_weight = 1.0);
+
+}  // namespace kgov::graph
+
+#endif  // KGOV_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,62 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+namespace kgov::graph {
+
+GraphStats ComputeGraphStats(const WeightedDigraph& graph) {
+  GraphStats stats;
+  stats.num_nodes = graph.NumNodes();
+  stats.num_edges = graph.NumEdges();
+  if (stats.num_nodes == 0) return stats;
+
+  stats.average_out_degree =
+      static_cast<double>(stats.num_edges) /
+      static_cast<double>(stats.num_nodes);
+
+  std::vector<char> has_in(graph.NumNodes(), 0);
+  double weight_sum = 0.0;
+  double min_w = std::numeric_limits<double>::infinity();
+  double max_w = 0.0;
+  for (const Edge& e : graph.edges()) {
+    has_in[e.to] = 1;
+    if (e.from == e.to) ++stats.self_loops;
+    if (e.weight == 0.0) ++stats.zero_weight_edges;
+    weight_sum += e.weight;
+    min_w = std::min(min_w, e.weight);
+    max_w = std::max(max_w, e.weight);
+  }
+  if (stats.num_edges > 0) {
+    stats.min_weight = min_w;
+    stats.max_weight = max_w;
+    stats.mean_weight = weight_sum / static_cast<double>(stats.num_edges);
+  }
+
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    size_t degree = graph.OutDegree(v);
+    stats.max_out_degree = std::max(stats.max_out_degree, degree);
+    if (degree == 0) ++stats.dangling_nodes;
+    if (!has_in[v]) ++stats.source_nodes;
+    if (graph.OutWeightSum(v) > 1.0 + 1e-9) ++stats.super_stochastic_nodes;
+  }
+  return stats;
+}
+
+std::string GraphStats::ToString() const {
+  std::ostringstream os;
+  os << "nodes " << num_nodes << ", edges " << num_edges
+     << ", avg out-degree " << average_out_degree << ", max out-degree "
+     << max_out_degree << "\n";
+  os << "dangling " << dangling_nodes << ", sources " << source_nodes
+     << ", self-loops " << self_loops << ", zero-weight edges "
+     << zero_weight_edges << "\n";
+  os << "weights: min " << min_weight << ", mean " << mean_weight
+     << ", max " << max_weight << "; super-stochastic nodes "
+     << super_stochastic_nodes;
+  return os.str();
+}
+
+}  // namespace kgov::graph

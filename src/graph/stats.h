@@ -1,0 +1,43 @@
+// Structural and weight diagnostics for knowledge graphs: what an operator
+// checks before trusting a graph with optimization (dangling nodes,
+// stochasticity violations, degree distribution, weight spread).
+
+#ifndef KGOV_GRAPH_STATS_H_
+#define KGOV_GRAPH_STATS_H_
+
+#include <string>
+
+#include "graph/graph.h"
+
+namespace kgov::graph {
+
+struct GraphStats {
+  size_t num_nodes = 0;
+  size_t num_edges = 0;
+  double average_out_degree = 0.0;
+  size_t max_out_degree = 0;
+  /// Nodes with no outgoing edges (answer nodes, absorbing states).
+  size_t dangling_nodes = 0;
+  /// Nodes with no incoming edges (unreachable except as seeds).
+  size_t source_nodes = 0;
+  /// Self-loop edges.
+  size_t self_loops = 0;
+  /// Nodes whose out-weights sum above 1 + 1e-9 (break random-walk
+  /// semantics until normalized).
+  size_t super_stochastic_nodes = 0;
+  /// Zero-weight edges (structurally present, dynamically dead).
+  size_t zero_weight_edges = 0;
+  double min_weight = 0.0;
+  double max_weight = 0.0;
+  double mean_weight = 0.0;
+
+  /// Multi-line human-readable summary.
+  std::string ToString() const;
+};
+
+/// Computes diagnostics in one pass over nodes and edges.
+GraphStats ComputeGraphStats(const WeightedDigraph& graph);
+
+}  // namespace kgov::graph
+
+#endif  // KGOV_GRAPH_STATS_H_

@@ -1,0 +1,91 @@
+#include "graph/subgraph.h"
+
+#include <deque>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace kgov::graph {
+
+std::vector<NodeId> SelectBfsRegion(const WeightedDigraph& graph,
+                                    size_t target, Rng& rng) {
+  const size_t n = graph.NumNodes();
+  target = std::min(target, n);
+  std::vector<char> visited(n, 0);
+  std::vector<NodeId> region;
+  region.reserve(target);
+  std::deque<NodeId> frontier;
+
+  while (region.size() < target) {
+    if (frontier.empty()) {
+      NodeId start;
+      do {
+        start = static_cast<NodeId>(rng.NextIndex(n));
+      } while (visited[start]);
+      visited[start] = 1;
+      region.push_back(start);
+      frontier.push_back(start);
+      continue;
+    }
+    NodeId u = frontier.front();
+    frontier.pop_front();
+    for (const OutEdge& out : graph.OutEdges(u)) {
+      if (region.size() >= target) break;
+      if (visited[out.to]) continue;
+      visited[out.to] = 1;
+      region.push_back(out.to);
+      frontier.push_back(out.to);
+    }
+  }
+  return region;
+}
+
+Result<InducedSubgraph> ExtractInducedSubgraph(
+    const WeightedDigraph& graph, const std::vector<NodeId>& nodes) {
+  std::unordered_map<NodeId, NodeId> to_local;
+  to_local.reserve(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (!graph.IsValidNode(nodes[i])) {
+      return Status::InvalidArgument("subgraph node out of range");
+    }
+    auto [it, inserted] =
+        to_local.emplace(nodes[i], static_cast<NodeId>(i));
+    if (!inserted) {
+      return Status::InvalidArgument("duplicate node in subgraph set");
+    }
+  }
+
+  InducedSubgraph out;
+  out.graph = WeightedDigraph(nodes.size());
+  out.to_original = nodes;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    for (const OutEdge& edge : graph.OutEdges(nodes[i])) {
+      auto it = to_local.find(edge.to);
+      if (it == to_local.end()) continue;
+      Result<EdgeId> added = out.graph.AddEdge(
+          static_cast<NodeId>(i), it->second, graph.Weight(edge.edge));
+      KGOV_CHECK(added.ok());
+    }
+    // Preserve labels where present.
+    const std::string& label = graph.NodeLabel(nodes[i]);
+    if (!label.empty()) {
+      out.graph.SetNodeLabel(static_cast<NodeId>(i), label);
+    }
+  }
+  return out;
+}
+
+size_t CountInternalEdges(const WeightedDigraph& graph,
+                          const std::vector<NodeId>& nodes) {
+  std::vector<char> inside(graph.NumNodes(), 0);
+  for (NodeId v : nodes) {
+    if (graph.IsValidNode(v)) inside[v] = 1;
+  }
+  size_t count = 0;
+  for (const Edge& e : graph.edges()) {
+    if (inside[e.from] && inside[e.to]) ++count;
+  }
+  return count;
+}
+
+}  // namespace kgov::graph

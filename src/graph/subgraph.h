@@ -1,0 +1,44 @@
+// Subgraph utilities: BFS region selection and induced-subgraph
+// extraction. The synthetic vote workloads (paper SVII-A) link queries and
+// answers into an Nnodes-node region of a larger graph; these helpers are
+// also useful for ad-hoc analysis of optimization locality (which part of
+// the graph a vote set can touch).
+
+#ifndef KGOV_GRAPH_SUBGRAPH_H_
+#define KGOV_GRAPH_SUBGRAPH_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace kgov::graph {
+
+/// Collects up to `target` nodes by BFS over out-edges from random start
+/// nodes (re-seeding on frontier exhaustion until the target is met or all
+/// nodes are visited). Deterministic given `rng`.
+std::vector<NodeId> SelectBfsRegion(const WeightedDigraph& graph,
+                                    size_t target, Rng& rng);
+
+/// The subgraph induced by `nodes`: a new graph whose node i corresponds
+/// to nodes[i], containing exactly the edges with both endpoints in the
+/// set (weights preserved).
+struct InducedSubgraph {
+  WeightedDigraph graph;
+  /// node id in the induced graph -> node id in the original graph.
+  std::vector<NodeId> to_original;
+};
+
+/// Extracts the induced subgraph. Duplicate entries in `nodes` are an
+/// error.
+Result<InducedSubgraph> ExtractInducedSubgraph(
+    const WeightedDigraph& graph, const std::vector<NodeId>& nodes);
+
+/// Number of edges with both endpoints inside `nodes`.
+size_t CountInternalEdges(const WeightedDigraph& graph,
+                          const std::vector<NodeId>& nodes);
+
+}  // namespace kgov::graph
+
+#endif  // KGOV_GRAPH_SUBGRAPH_H_

@@ -1,0 +1,302 @@
+#include "math/gp_condensation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/logging.h"
+#include "math/vector_ops.h"
+
+namespace kgov::math {
+
+namespace {
+
+// One posynomial term in log space: value(y) = log_coef + m . y.
+struct LogTerm {
+  double log_coef = 0.0;
+  std::vector<std::pair<VarId, double>> powers;
+
+  double Eval(const std::vector<double>& y) const {
+    double v = log_coef;
+    for (const auto& [var, exp] : powers) v += exp * y[var];
+    return v;
+  }
+};
+
+// Constraint logsumexp_j(p_j(y)) - (c_q + a_q . y) + shift <= 0: the
+// condensed GP constraint in log space. Convex and smooth.
+class LogGpConstraint : public DifferentiableFunction {
+ public:
+  LogGpConstraint(std::vector<LogTerm> p_terms, double c_q,
+                  std::vector<double> a_q, double shift)
+      : p_terms_(std::move(p_terms)),
+        c_q_(c_q),
+        a_q_(std::move(a_q)),
+        shift_(shift) {}
+
+  double Evaluate(const std::vector<double>& y,
+                  std::vector<double>* grad) const override {
+    // Max-shifted logsumexp over the numerator terms.
+    double max_term = -std::numeric_limits<double>::infinity();
+    values_.resize(p_terms_.size());
+    for (size_t j = 0; j < p_terms_.size(); ++j) {
+      values_[j] = p_terms_[j].Eval(y);
+      max_term = std::max(max_term, values_[j]);
+    }
+    double sum = 0.0;
+    for (double v : values_) sum += std::exp(v - max_term);
+    double lse = max_term + std::log(sum);
+
+    double affine = c_q_;
+    for (size_t i = 0; i < a_q_.size(); ++i) affine += a_q_[i] * y[i];
+
+    if (grad) {
+      grad->assign(y.size(), 0.0);
+      for (size_t j = 0; j < p_terms_.size(); ++j) {
+        double softmax = std::exp(values_[j] - max_term) / sum;
+        for (const auto& [var, exp] : p_terms_[j].powers) {
+          (*grad)[var] += softmax * exp;
+        }
+      }
+      for (size_t i = 0; i < a_q_.size(); ++i) {
+        (*grad)[i] -= a_q_[i];
+      }
+    }
+    return lse - affine + shift_;
+  }
+
+ private:
+  std::vector<LogTerm> p_terms_;
+  double c_q_;
+  std::vector<double> a_q_;  // dense over all variables (incl. t)
+  double shift_;
+  mutable std::vector<double> values_;  // scratch
+};
+
+// Affine constraint c + a . y <= 0 (used for the ratio-proximal bounds).
+class AffineConstraint : public DifferentiableFunction {
+ public:
+  AffineConstraint(double c, std::vector<std::pair<VarId, double>> terms)
+      : c_(c), terms_(std::move(terms)) {}
+
+  double Evaluate(const std::vector<double>& y,
+                  std::vector<double>* grad) const override {
+    if (grad) grad->assign(y.size(), 0.0);
+    double v = c_;
+    for (const auto& [var, coef] : terms_) {
+      v += coef * y[var];
+      if (grad) (*grad)[var] += coef;
+    }
+    return v;
+  }
+
+ private:
+  double c_;
+  std::vector<std::pair<VarId, double>> terms_;
+};
+
+// Minimize y_t: gradient is the unit vector on the t variable.
+class LinearObjective : public DifferentiableFunction {
+ public:
+  explicit LinearObjective(VarId t_var) : t_var_(t_var) {}
+
+  double Evaluate(const std::vector<double>& y,
+                  std::vector<double>* grad) const override {
+    if (grad) {
+      grad->assign(y.size(), 0.0);
+      (*grad)[t_var_] = 1.0;
+    }
+    return y[t_var_];
+  }
+
+ private:
+  VarId t_var_;
+};
+
+}  // namespace
+
+SgpSolution CondensationSgpSolver::Solve(const SgpProblem& problem) const {
+  SgpSolution solution;
+  solution.x = problem.initial();
+  solution.total_constraints = static_cast<int>(problem.constraints().size());
+
+  Status valid = problem.Validate();
+  if (!valid.ok()) {
+    solution.status = valid;
+    return solution;
+  }
+
+  const size_t n = problem.num_variables();
+  // GP requires strictly positive variables.
+  std::vector<double> lo = problem.bounds().lower;
+  std::vector<double> hi = problem.bounds().upper;
+  for (size_t i = 0; i < n; ++i) {
+    if (lo[i] <= 0.0) lo[i] = 1e-8;
+    if (hi[i] <= lo[i]) {
+      solution.status =
+          Status::InvalidArgument("condensation requires positive box");
+      return solution;
+    }
+  }
+
+  // Split every constraint into posynomial parts P - Q.
+  struct SplitConstraint {
+    std::vector<Monomial> p;  // positive terms
+    std::vector<Monomial> q;  // negated negative terms (positive coefs)
+    bool trivial = false;     // no positive part: always satisfied
+    bool impossible = false;  // no negative part: never satisfiable
+  };
+  std::vector<SplitConstraint> split;
+  size_t impossible_count = 0;
+  split.reserve(problem.constraints().size());
+  for (const SgpConstraint& c : problem.constraints()) {
+    SplitConstraint sc;
+    for (const Monomial& term : c.g.terms()) {
+      if (term.coefficient() > 0.0) {
+        sc.p.push_back(term);
+      } else if (term.coefficient() < 0.0) {
+        sc.q.push_back(term.Scaled(-1.0));
+      }
+    }
+    if (sc.p.empty()) {
+      sc.trivial = true;
+    } else if (sc.q.empty()) {
+      // posynomial <= 0 cannot hold for positive x (e.g. the best answer's
+      // walks were all pruned away). Drop it from the program - it stays
+      // counted as unsatisfied - rather than abort the whole solve.
+      sc.impossible = true;
+      ++impossible_count;
+    }
+    split.push_back(std::move(sc));
+  }
+  if (impossible_count == split.size() && !split.empty()) {
+    solution.status = Status::Infeasible(
+        "every constraint lacks a negative part; nothing to optimize");
+    return solution;
+  }
+
+  // Log-space variable layout: y_0..y_{n-1} edge logs, y_n = log t.
+  const VarId t_var = static_cast<VarId>(n);
+  BoxBounds log_bounds;
+  log_bounds.lower.resize(n + 1);
+  log_bounds.upper.resize(n + 1);
+  double max_ratio = 1.0;
+  for (size_t i = 0; i < n; ++i) {
+    log_bounds.lower[i] = std::log(lo[i]);
+    log_bounds.upper[i] = std::log(hi[i]);
+    max_ratio = std::max(max_ratio, hi[i] / lo[i]);
+  }
+  log_bounds.lower[t_var] = 0.0;                       // t >= 1
+  log_bounds.upper[t_var] = std::log(max_ratio) + 1.0;  // generous cap
+
+  // Anchor (the x0 of the ratio objective) = the problem's anchor.
+  std::vector<double> anchor = problem.anchor();
+  for (size_t i = 0; i < n; ++i) {
+    anchor[i] = std::clamp(anchor[i], lo[i], hi[i]);
+  }
+
+  // Current iterate in log space.
+  std::vector<double> y(n + 1, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    y[i] = std::log(std::clamp(solution.x[i], lo[i], hi[i]));
+  }
+  y[t_var] = 0.5;  // small positive slack to start
+
+  LinearObjective objective(t_var);
+  const double shift = std::log1p(options_.strict_margin);
+
+  int total_iterations = 0;
+  for (int outer = 0; outer < options_.max_outer_iterations; ++outer) {
+    // Build the condensed GP at the current iterate.
+    std::vector<std::unique_ptr<DifferentiableFunction>> owned;
+    std::vector<const DifferentiableFunction*> constraints;
+
+    // Ratio-proximal constraints: y_i - log(anchor_i) - y_t <= 0 and
+    // log(anchor_i) - y_i - y_t <= 0.
+    for (size_t i = 0; i < n; ++i) {
+      if (!problem.proximal_mask()[i]) continue;
+      double la = std::log(anchor[i]);
+      owned.push_back(std::make_unique<AffineConstraint>(
+          -la, std::vector<std::pair<VarId, double>>{
+                   {static_cast<VarId>(i), 1.0}, {t_var, -1.0}}));
+      constraints.push_back(owned.back().get());
+      owned.push_back(std::make_unique<AffineConstraint>(
+          la, std::vector<std::pair<VarId, double>>{
+                  {static_cast<VarId>(i), -1.0}, {t_var, -1.0}}));
+      constraints.push_back(owned.back().get());
+    }
+
+    // Condensed vote constraints.
+    std::vector<double> x_now(n);
+    for (size_t i = 0; i < n; ++i) x_now[i] = std::exp(y[i]);
+    for (const SplitConstraint& sc : split) {
+      if (sc.trivial || sc.impossible) continue;
+      // Condense Q at x_now.
+      double q0 = 0.0;
+      std::vector<double> u(sc.q.size());
+      for (size_t k = 0; k < sc.q.size(); ++k) {
+        u[k] = sc.q[k].Evaluate(x_now);
+        q0 += u[k];
+      }
+      if (q0 <= 0.0) {
+        // Denominator vanished at the iterate (e.g. a weight at the tiny
+        // floor); nudge with uniform alphas.
+        q0 = static_cast<double>(sc.q.size());
+        std::fill(u.begin(), u.end(), 1.0);
+      }
+      double c_q = 0.0;
+      std::vector<double> a_q(n + 1, 0.0);
+      for (size_t k = 0; k < sc.q.size(); ++k) {
+        double alpha = u[k] / q0;
+        if (alpha <= 0.0) continue;
+        c_q += alpha * (std::log(sc.q[k].coefficient()) - std::log(alpha));
+        for (const auto& [var, exp] : sc.q[k].powers()) {
+          a_q[var] += alpha * exp;
+        }
+      }
+      std::vector<LogTerm> p_terms;
+      p_terms.reserve(sc.p.size());
+      for (const Monomial& term : sc.p) {
+        LogTerm lt;
+        lt.log_coef = std::log(term.coefficient());
+        lt.powers.assign(term.powers().begin(), term.powers().end());
+        p_terms.push_back(std::move(lt));
+      }
+      owned.push_back(std::make_unique<LogGpConstraint>(
+          std::move(p_terms), c_q, std::move(a_q), shift));
+      constraints.push_back(owned.back().get());
+    }
+
+    AugLagOptions auglag = options_.auglag;
+    auglag.inner = options_.inner;
+    auglag.inner_solver = InnerSolverKind::kLbfgs;
+    AugmentedLagrangianSolver solver(auglag);
+    SolveResult result = solver.Minimize(objective, constraints, y,
+                                         log_bounds);
+    total_iterations += result.iterations;
+
+    double step = 0.0;
+    for (size_t i = 0; i <= n; ++i) {
+      step = std::max(step, std::fabs(result.x[i] - y[i]));
+    }
+    y = std::move(result.x);
+    solution.converged = result.converged;
+    solution.status = result.status;
+    if (step < options_.outer_tolerance) break;
+  }
+
+  solution.x.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    solution.x[i] = std::exp(y[i]);
+  }
+  solution.objective = std::exp(y[t_var]);  // the max weight ratio t
+  solution.iterations = total_iterations;
+  solution.satisfied_constraints = 0;
+  for (const SgpConstraint& c : problem.constraints()) {
+    if (c.g.Evaluate(solution.x) <= 1e-9) ++solution.satisfied_constraints;
+  }
+  return solution;
+}
+
+}  // namespace kgov::math

@@ -1,0 +1,64 @@
+// Condensation solver for signomial programs (successive geometric-
+// programming approximation).
+//
+// The classical approach to SGP (cf. the paper's reference [35], Xu 2014,
+// and Boyd et al.'s GP tutorial [11]): each vote constraint has the form
+//   p(x) <= q(x)        with p, q posynomials
+// (in kgov's encoding p = S(vq, a_other) and q = S(vq, a_best), both sums
+// of positive walk terms). At the current iterate x0, the denominator
+// posynomial is *condensed* to its arithmetic-geometric-mean monomial
+// lower bound
+//   q(x) >= q~(x) = prod_k (u_k(x) / alpha_k)^{alpha_k},
+//   alpha_k = u_k(x0) / q(x0),
+// which turns p(x)/q~(x) <= 1 into a valid posynomial (GP) constraint.
+// The resulting geometric program is convex in log-space and solved with
+// the augmented Lagrangian + L-BFGS stack; the condensation point is then
+// moved to the solution and the process repeats (a standard inner-convex
+// successive approximation, which converges to a KKT point of the SGP).
+//
+// The objective is the GP-compatible *minimal multiplicative change*:
+//   minimize t  s.t.  x_e <= t * x0_e  and  x0_e <= t * x_e,
+// i.e. the largest ratio by which any edge weight moves - the natural
+// proximal notion for conditional-probability weights (the paper's
+// Euclidean objective, Eq. 12, is not posynomial). Constraint strictness
+// uses a multiplicative margin: p(x) <= q(x) / (1 + margin).
+
+#ifndef KGOV_MATH_GP_CONDENSATION_H_
+#define KGOV_MATH_GP_CONDENSATION_H_
+
+#include "math/optimizer.h"
+#include "math/sgp_problem.h"
+#include "math/sgp_solver.h"
+
+namespace kgov::math {
+
+struct CondensationOptions {
+  /// Outer successive-approximation iterations.
+  int max_outer_iterations = 15;
+  /// Stop when the iterate moves less than this (inf-norm, log space).
+  double outer_tolerance = 1e-6;
+  /// Multiplicative strictness: p <= q / (1 + margin).
+  double strict_margin = 1e-4;
+  /// Inner (log-space GP) solver settings.
+  SolveOptions inner;
+  AugLagOptions auglag;
+};
+
+/// Solves an SgpProblem whose every constraint splits into
+/// posynomial - posynomial with a nonempty negative part (true for all
+/// vote-encoded programs). Returns Infeasible/InvalidArgument status on
+/// problems outside that class or without a feasible condensed iterate.
+class CondensationSgpSolver {
+ public:
+  explicit CondensationSgpSolver(CondensationOptions options = {})
+      : options_(options) {}
+
+  SgpSolution Solve(const SgpProblem& problem) const;
+
+ private:
+  CondensationOptions options_;
+};
+
+}  // namespace kgov::math
+
+#endif  // KGOV_MATH_GP_CONDENSATION_H_

@@ -1,0 +1,114 @@
+#include "math/monomial.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace kgov::math {
+
+Monomial::Monomial(double coefficient,
+                   std::vector<std::pair<VarId, double>> powers)
+    : coefficient_(coefficient), powers_(std::move(powers)) {
+  Normalize();
+}
+
+void Monomial::Normalize() {
+  std::sort(powers_.begin(), powers_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  // Merge duplicate variable ids (exponents add) and drop zero exponents.
+  size_t out = 0;
+  for (size_t i = 0; i < powers_.size();) {
+    VarId var = powers_[i].first;
+    double exp = 0.0;
+    while (i < powers_.size() && powers_[i].first == var) {
+      exp += powers_[i].second;
+      ++i;
+    }
+    if (exp != 0.0) {
+      powers_[out++] = {var, exp};
+    }
+  }
+  powers_.resize(out);
+}
+
+double Monomial::Degree() const {
+  double degree = 0.0;
+  for (const auto& [var, exp] : powers_) degree += exp;
+  return degree;
+}
+
+double Monomial::ExponentOf(VarId var) const {
+  auto it = std::lower_bound(
+      powers_.begin(), powers_.end(), var,
+      [](const auto& entry, VarId v) { return entry.first < v; });
+  if (it != powers_.end() && it->first == var) return it->second;
+  return 0.0;
+}
+
+double Monomial::Evaluate(const std::vector<double>& x) const {
+  double value = coefficient_;
+  for (const auto& [var, exp] : powers_) {
+    KGOV_DCHECK(var < x.size());
+    value *= std::pow(x[var], exp);
+  }
+  return value;
+}
+
+void Monomial::AccumulateGradient(const std::vector<double>& x, double scale,
+                                  std::vector<double>* grad) const {
+  if (powers_.empty() || coefficient_ == 0.0 || scale == 0.0) return;
+  // d/dx_j [ c * prod_i x_i^{e_i} ] = c * e_j * x_j^{e_j-1} * prod_{i!=j}
+  // x_i^{e_i}. Computed by exclusion so x_j == 0 stays well-defined.
+  const size_t k = powers_.size();
+  for (size_t j = 0; j < k; ++j) {
+    const auto [var_j, exp_j] = powers_[j];
+    KGOV_DCHECK(var_j < grad->size());
+    double partial = coefficient_ * exp_j * std::pow(x[var_j], exp_j - 1.0);
+    if (partial == 0.0 || !std::isfinite(partial)) {
+      if (!std::isfinite(partial)) continue;  // x_j==0 with e_j<1: skip
+      continue;
+    }
+    for (size_t i = 0; i < k; ++i) {
+      if (i == j) continue;
+      partial *= std::pow(x[powers_[i].first], powers_[i].second);
+    }
+    (*grad)[var_j] += scale * partial;
+  }
+}
+
+Monomial Monomial::Scaled(double factor) const {
+  Monomial out = *this;
+  out.coefficient_ *= factor;
+  return out;
+}
+
+Monomial Monomial::operator*(const Monomial& other) const {
+  std::vector<std::pair<VarId, double>> powers = powers_;
+  powers.insert(powers.end(), other.powers_.begin(), other.powers_.end());
+  return Monomial(coefficient_ * other.coefficient_, std::move(powers));
+}
+
+void Monomial::MultiplyByPower(VarId var, double exponent) {
+  if (exponent == 0.0) return;
+  powers_.emplace_back(var, exponent);
+  Normalize();
+}
+
+int64_t Monomial::MaxVarId() const {
+  if (powers_.empty()) return -1;
+  return static_cast<int64_t>(powers_.back().first);
+}
+
+std::string Monomial::ToString() const {
+  std::ostringstream os;
+  os << coefficient_;
+  for (const auto& [var, exp] : powers_) {
+    os << "*x" << var;
+    if (exp != 1.0) os << "^" << exp;
+  }
+  return os.str();
+}
+
+}  // namespace kgov::math

@@ -1,0 +1,86 @@
+// Monomial terms of a signomial: c * x_{i1}^{e1} * x_{i2}^{e2} * ...
+//
+// In the paper's encoding (Eq. 8/11), a monomial is the probability of one
+// random-walk path: the coefficient is c*(1-c)^{|z|} times the product of
+// the fixed (non-variable) edge weights on the path, and the variables are
+// the optimizable edge weights, with exponents counting how often the path
+// traverses each such edge. Exponents are kept as doubles because signomial
+// geometric programs allow arbitrary real exponents (Eq. 3).
+
+#ifndef KGOV_MATH_MONOMIAL_H_
+#define KGOV_MATH_MONOMIAL_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace kgov::math {
+
+/// Identifier of an optimization variable (dense, 0-based).
+using VarId = uint32_t;
+
+/// One signomial term. Immutable value type; powers are kept sorted by
+/// variable id with no zero exponents and no duplicate ids.
+class Monomial {
+ public:
+  /// A constant term (no variables).
+  explicit Monomial(double coefficient = 0.0) : coefficient_(coefficient) {}
+
+  /// Term with explicit powers; `powers` is normalized (sorted, merged,
+  /// zero-exponent entries dropped).
+  Monomial(double coefficient, std::vector<std::pair<VarId, double>> powers);
+
+  double coefficient() const { return coefficient_; }
+  const std::vector<std::pair<VarId, double>>& powers() const {
+    return powers_;
+  }
+
+  /// True when the term has no variables.
+  bool IsConstant() const { return powers_.empty(); }
+
+  /// Degree: sum of exponents.
+  double Degree() const;
+
+  /// Exponent of `var` (0 when absent).
+  double ExponentOf(VarId var) const;
+
+  /// Value of the term at `x`. Variables beyond x.size() are an error.
+  double Evaluate(const std::vector<double>& x) const;
+
+  /// Adds `scale` * d(term)/dx to `grad` (which must have size >= the max
+  /// variable id + 1). Numerically robust at x_j == 0: partial products are
+  /// computed by exclusion rather than by division.
+  void AccumulateGradient(const std::vector<double>& x, double scale,
+                          std::vector<double>* grad) const;
+
+  /// Returns the term scaled by `factor`.
+  Monomial Scaled(double factor) const;
+
+  /// Product of two monomials (coefficients multiply, exponents add).
+  Monomial operator*(const Monomial& other) const;
+
+  /// Multiplies this term by x_{var}^{exponent}.
+  void MultiplyByPower(VarId var, double exponent);
+
+  /// Largest variable id used, or -1 when constant.
+  int64_t MaxVarId() const;
+
+  /// e.g. "0.25*x3^2*x7".
+  std::string ToString() const;
+
+  /// Structural equality (same coefficient and powers).
+  bool operator==(const Monomial& other) const {
+    return coefficient_ == other.coefficient_ && powers_ == other.powers_;
+  }
+
+ private:
+  void Normalize();
+
+  double coefficient_;
+  std::vector<std::pair<VarId, double>> powers_;
+};
+
+}  // namespace kgov::math
+
+#endif  // KGOV_MATH_MONOMIAL_H_

@@ -1,0 +1,401 @@
+#include "math/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+#include "common/logging.h"
+#include "math/vector_ops.h"
+
+namespace kgov::math {
+
+namespace {
+
+// Projected point x - t*g, clamped to the box.
+std::vector<double> ProjectedStep(const std::vector<double>& x,
+                                  const std::vector<double>& direction,
+                                  double t, const BoxBounds& bounds) {
+  std::vector<double> out(x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    out[i] = x[i] + t * direction[i];
+  }
+  bounds.Project(&out);
+  return out;
+}
+
+// Projected gradient: P(x - g) - x, the first-order stationarity measure for
+// box-constrained problems.
+std::vector<double> ProjectedGradient(const std::vector<double>& x,
+                                      const std::vector<double>& grad,
+                                      const BoxBounds& bounds) {
+  std::vector<double> probe(x.size());
+  for (size_t i = 0; i < x.size(); ++i) probe[i] = x[i] - grad[i];
+  bounds.Project(&probe);
+  for (size_t i = 0; i < x.size(); ++i) probe[i] -= x[i];
+  return probe;
+}
+
+}  // namespace
+
+BoxBounds BoxBounds::Uniform(size_t n, double lo, double hi) {
+  KGOV_CHECK(lo <= hi);
+  BoxBounds b;
+  b.lower.assign(n, lo);
+  b.upper.assign(n, hi);
+  return b;
+}
+
+void BoxBounds::Project(std::vector<double>* x) const {
+  if (!lower.empty()) {
+    KGOV_DCHECK(lower.size() == x->size());
+    for (size_t i = 0; i < x->size(); ++i) {
+      (*x)[i] = std::max((*x)[i], lower[i]);
+    }
+  }
+  if (!upper.empty()) {
+    KGOV_DCHECK(upper.size() == x->size());
+    for (size_t i = 0; i < x->size(); ++i) {
+      (*x)[i] = std::min((*x)[i], upper[i]);
+    }
+  }
+}
+
+bool BoxBounds::Contains(const std::vector<double>& x, double tol) const {
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (!lower.empty() && x[i] < lower[i] - tol) return false;
+    if (!upper.empty() && x[i] > upper[i] + tol) return false;
+  }
+  return true;
+}
+
+SolveResult ProjectedBbSolver::Minimize(const DifferentiableFunction& f,
+                                        const std::vector<double>& x0,
+                                        const BoxBounds& bounds) const {
+  SolveResult result;
+  std::vector<double> x = x0;
+  bounds.Project(&x);
+
+  std::vector<double> grad;
+  double fx = f.Evaluate(x, &grad);
+  KGOV_DCHECK(grad.size() == x.size());
+
+  // Nonmonotone reference values (Grippo-Lampariello-Lucidi style).
+  std::deque<double> recent_values = {fx};
+
+  double step = 1.0;
+  std::vector<double> prev_x = x;
+  std::vector<double> prev_grad = grad;
+  bool have_history = false;
+
+  int iter = 0;
+  for (; iter < options_.max_iterations; ++iter) {
+    std::vector<double> pg = ProjectedGradient(x, grad, bounds);
+    if (NormInf(pg) <= options_.gradient_tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    if (have_history) {
+      // Barzilai-Borwein step length: <s,s>/<s,y> (BB1).
+      std::vector<double> s = Subtract(x, prev_x);
+      std::vector<double> y = Subtract(grad, prev_grad);
+      double sy = Dot(s, y);
+      double ss = Dot(s, s);
+      if (sy > 1e-16 && ss > 0.0) {
+        step = ss / sy;
+      } else {
+        step = 1.0;
+      }
+      step = std::clamp(step, 1e-10, 1e10);
+    }
+
+    // Descent direction: negative gradient.
+    std::vector<double> direction(grad.size());
+    for (size_t i = 0; i < grad.size(); ++i) direction[i] = -grad[i];
+
+    // Nonmonotone Armijo backtracking on the projected arc.
+    double reference =
+        *std::max_element(recent_values.begin(), recent_values.end());
+    double t = step;
+    std::vector<double> candidate;
+    double f_candidate = 0.0;
+    bool accepted = false;
+    for (int bt = 0; bt < 60; ++bt) {
+      candidate = ProjectedStep(x, direction, t, bounds);
+      std::vector<double> delta = Subtract(candidate, x);
+      double directional = Dot(grad, delta);
+      f_candidate = f.Evaluate(candidate, nullptr);
+      if (std::isfinite(f_candidate) &&
+          f_candidate <= reference + options_.armijo_c * directional) {
+        accepted = true;
+        break;
+      }
+      if (NormInf(delta) < 1e-16) break;  // step fully absorbed by the box
+      t *= options_.backtrack_rho;
+    }
+    if (!accepted) {
+      // Could not make progress along the projected arc.
+      result.converged = NormInf(pg) <= 1e2 * options_.gradient_tolerance;
+      break;
+    }
+
+    prev_x.swap(x);
+    prev_grad.swap(grad);
+    x = std::move(candidate);
+    double f_prev = fx;
+    fx = f.Evaluate(x, &grad);
+    have_history = true;
+
+    recent_values.push_back(fx);
+    while (recent_values.size() >
+           static_cast<size_t>(std::max(1, options_.nonmonotone_window))) {
+      recent_values.pop_front();
+    }
+
+    if (std::fabs(fx - f_prev) <=
+        options_.value_tolerance * (1.0 + std::fabs(fx))) {
+      result.converged = true;
+      ++iter;
+      break;
+    }
+  }
+
+  result.x = std::move(x);
+  result.objective = fx;
+  result.iterations = iter;
+  result.status = result.converged
+                      ? Status::OK()
+                      : Status::NotConverged("projected BB hit iteration cap");
+  return result;
+}
+
+SolveResult LbfgsSolver::Minimize(const DifferentiableFunction& f,
+                                  const std::vector<double>& x0,
+                                  const BoxBounds& bounds) const {
+  SolveResult result;
+  const size_t n = x0.size();
+  std::vector<double> x = x0;
+  bounds.Project(&x);
+
+  std::vector<double> grad;
+  double fx = f.Evaluate(x, &grad);
+
+  std::deque<std::vector<double>> s_history;
+  std::deque<std::vector<double>> y_history;
+  std::deque<double> rho_history;
+
+  int iter = 0;
+  for (; iter < options_.max_iterations; ++iter) {
+    std::vector<double> pg = ProjectedGradient(x, grad, bounds);
+    if (NormInf(pg) <= options_.gradient_tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    // Two-loop recursion to get direction = -H*grad.
+    std::vector<double> q = grad;
+    std::vector<double> alpha(s_history.size());
+    for (size_t i = s_history.size(); i-- > 0;) {
+      alpha[i] = rho_history[i] * Dot(s_history[i], q);
+      Axpy(-alpha[i], y_history[i], &q);
+    }
+    double gamma = 1.0;
+    if (!s_history.empty()) {
+      const auto& s = s_history.back();
+      const auto& y = y_history.back();
+      double yy = Dot(y, y);
+      if (yy > 1e-16) gamma = Dot(s, y) / yy;
+    }
+    ScaleInPlace(&q, gamma);
+    for (size_t i = 0; i < s_history.size(); ++i) {
+      double beta = rho_history[i] * Dot(y_history[i], q);
+      Axpy(alpha[i] - beta, s_history[i], &q);
+    }
+    std::vector<double> direction(n);
+    for (size_t i = 0; i < n; ++i) direction[i] = -q[i];
+
+    // Safeguard: ensure a descent direction.
+    if (Dot(direction, grad) >= 0.0) {
+      for (size_t i = 0; i < n; ++i) direction[i] = -grad[i];
+    }
+
+    // Armijo backtracking along the projected arc.
+    double t = 1.0;
+    std::vector<double> candidate;
+    double f_candidate = 0.0;
+    bool accepted = false;
+    for (int bt = 0; bt < 60; ++bt) {
+      candidate = ProjectedStep(x, direction, t, bounds);
+      std::vector<double> delta = Subtract(candidate, x);
+      double directional = Dot(grad, delta);
+      f_candidate = f.Evaluate(candidate, nullptr);
+      if (std::isfinite(f_candidate) &&
+          f_candidate <= fx + options_.armijo_c * directional) {
+        accepted = true;
+        break;
+      }
+      if (NormInf(delta) < 1e-16) break;
+      t *= options_.backtrack_rho;
+    }
+    if (!accepted) {
+      result.converged = NormInf(pg) <= 1e2 * options_.gradient_tolerance;
+      break;
+    }
+
+    std::vector<double> new_grad;
+    double f_new = f.Evaluate(candidate, &new_grad);
+
+    std::vector<double> s = Subtract(candidate, x);
+    std::vector<double> y = Subtract(new_grad, grad);
+    double sy = Dot(s, y);
+    if (sy > 1e-12) {  // curvature condition; skip update otherwise
+      s_history.push_back(std::move(s));
+      y_history.push_back(std::move(y));
+      rho_history.push_back(1.0 / sy);
+      while (s_history.size() >
+             static_cast<size_t>(std::max(1, options_.lbfgs_memory))) {
+        s_history.pop_front();
+        y_history.pop_front();
+        rho_history.pop_front();
+      }
+    }
+
+    double f_prev = fx;
+    x = std::move(candidate);
+    grad = std::move(new_grad);
+    fx = f_new;
+
+    if (std::fabs(fx - f_prev) <=
+        options_.value_tolerance * (1.0 + std::fabs(fx))) {
+      result.converged = true;
+      ++iter;
+      break;
+    }
+  }
+
+  result.x = std::move(x);
+  result.objective = fx;
+  result.iterations = iter;
+  result.status = result.converged
+                      ? Status::OK()
+                      : Status::NotConverged("L-BFGS hit iteration cap");
+  return result;
+}
+
+double AugmentedLagrangianSolver::MaxViolation(
+    const std::vector<const DifferentiableFunction*>& constraints,
+    const std::vector<double>& x) {
+  double worst = 0.0;
+  for (const auto* g : constraints) {
+    worst = std::max(worst, g->Evaluate(x, nullptr));
+  }
+  return std::max(worst, 0.0);
+}
+
+SolveResult AugmentedLagrangianSolver::Minimize(
+    const DifferentiableFunction& objective,
+    const std::vector<const DifferentiableFunction*>& constraints,
+    const std::vector<double>& x0, const BoxBounds& bounds) const {
+  std::vector<double> x = x0;
+  bounds.Project(&x);
+
+  if (constraints.empty()) {
+    ProjectedBbSolver inner(options_.inner);
+    return inner.Minimize(objective, x, bounds);
+  }
+
+  std::vector<double> lambda(constraints.size(), 0.0);
+  double mu = options_.initial_penalty;
+  double previous_violation = std::numeric_limits<double>::infinity();
+
+  SolveResult last_inner;
+  int total_inner_iterations = 0;
+
+  for (int outer = 0; outer < options_.max_outer_iterations; ++outer) {
+    // PHR augmented Lagrangian for inequality constraints.
+    CallbackFunction auglag([&](const std::vector<double>& point,
+                                std::vector<double>* grad) {
+      double value = objective.Evaluate(point, grad);
+      std::vector<double> g_grad;
+      for (size_t i = 0; i < constraints.size(); ++i) {
+        double gi = constraints[i]->Evaluate(point, grad ? &g_grad : nullptr);
+        double shifted = lambda[i] + mu * gi;
+        if (shifted > 0.0) {
+          value += (shifted * shifted - lambda[i] * lambda[i]) / (2.0 * mu);
+          if (grad) {
+            KGOV_DCHECK(g_grad.size() == point.size());
+            Axpy(shifted, g_grad, grad);
+          }
+        } else {
+          value -= lambda[i] * lambda[i] / (2.0 * mu);
+        }
+      }
+      return value;
+    });
+
+    if (options_.inner_solver == InnerSolverKind::kLbfgs) {
+      LbfgsSolver inner(options_.inner);
+      last_inner = inner.Minimize(auglag, x, bounds);
+    } else {
+      ProjectedBbSolver inner(options_.inner);
+      last_inner = inner.Minimize(auglag, x, bounds);
+    }
+    x = last_inner.x;
+    total_inner_iterations += last_inner.iterations;
+
+    // Multiplier update and violation bookkeeping.
+    double violation = 0.0;
+    for (size_t i = 0; i < constraints.size(); ++i) {
+      double gi = constraints[i]->Evaluate(x, nullptr);
+      lambda[i] = std::max(0.0, lambda[i] + mu * gi);
+      violation = std::max(violation, std::max(gi, 0.0));
+    }
+
+    if (violation <= options_.feasibility_tolerance) {
+      SolveResult result;
+      result.x = std::move(x);
+      result.objective = objective.Evaluate(result.x, nullptr);
+      result.iterations = total_inner_iterations;
+      result.converged = true;
+      result.status = Status::OK();
+      return result;
+    }
+
+    if (violation > options_.required_progress * previous_violation) {
+      mu = std::min(mu * options_.penalty_growth, options_.max_penalty);
+    }
+    previous_violation = violation;
+  }
+
+  SolveResult result;
+  result.x = std::move(x);
+  result.objective = objective.Evaluate(result.x, nullptr);
+  result.iterations = total_inner_iterations;
+  result.converged = false;
+  double final_violation = MaxViolation(constraints, result.x);
+  result.status = Status::Infeasible(
+      "augmented Lagrangian could not reach feasibility; max violation " +
+      std::to_string(final_violation));
+  return result;
+}
+
+double MaxGradientError(const DifferentiableFunction& f,
+                        const std::vector<double>& x, double step) {
+  std::vector<double> analytic;
+  f.Evaluate(x, &analytic);
+  double worst = 0.0;
+  std::vector<double> probe = x;
+  for (size_t i = 0; i < x.size(); ++i) {
+    probe[i] = x[i] + step;
+    double fp = f.Evaluate(probe, nullptr);
+    probe[i] = x[i] - step;
+    double fm = f.Evaluate(probe, nullptr);
+    probe[i] = x[i];
+    double numeric = (fp - fm) / (2.0 * step);
+    worst = std::max(worst, std::fabs(numeric - analytic[i]));
+  }
+  return worst;
+}
+
+}  // namespace kgov::math

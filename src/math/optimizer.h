@@ -1,0 +1,185 @@
+// Smooth box-constrained optimization used to solve the signomial geometric
+// programs built from user votes.
+//
+// The paper solved its SGP instances with MATLAB's fmincon, a generic local
+// NLP solver; SGP is NP-hard (paper SVI-A cites [35]), so any practical
+// solver is a local heuristic. This module provides the equivalent
+// from-scratch machinery:
+//
+//  * ProjectedBbSolver  - projected gradient descent with Barzilai-Borwein
+//                         steps and a nonmonotone Armijo line search; the
+//                         workhorse inner solver.
+//  * LbfgsSolver        - limited-memory BFGS with gradient projection onto
+//                         the box; used as an alternative inner solver
+//                         (ablation bench compares the two).
+//  * AugmentedLagrangianSolver - handles hard inequality constraints
+//                         g_i(x) <= 0 (single-vote formulation, Eq. 11).
+
+#ifndef KGOV_MATH_OPTIMIZER_H_
+#define KGOV_MATH_OPTIMIZER_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+
+namespace kgov::math {
+
+/// A smooth scalar function with analytic gradient.
+class DifferentiableFunction {
+ public:
+  virtual ~DifferentiableFunction() = default;
+
+  /// Returns f(x); when `grad` is non-null, fills it with grad f(x)
+  /// (resizing to x.size()).
+  virtual double Evaluate(const std::vector<double>& x,
+                          std::vector<double>* grad) const = 0;
+};
+
+/// Wraps a lambda as a DifferentiableFunction.
+class CallbackFunction : public DifferentiableFunction {
+ public:
+  using Fn = std::function<double(const std::vector<double>&,
+                                  std::vector<double>*)>;
+  explicit CallbackFunction(Fn fn) : fn_(std::move(fn)) {}
+
+  double Evaluate(const std::vector<double>& x,
+                  std::vector<double>* grad) const override {
+    return fn_(x, grad);
+  }
+
+ private:
+  Fn fn_;
+};
+
+/// Elementwise box x_l <= x <= x_u. Empty vectors mean unbounded.
+struct BoxBounds {
+  std::vector<double> lower;
+  std::vector<double> upper;
+
+  /// Box [lo, hi]^n.
+  static BoxBounds Uniform(size_t n, double lo, double hi);
+
+  /// Unbounded problem.
+  static BoxBounds Unbounded() { return BoxBounds{}; }
+
+  bool IsUnbounded() const { return lower.empty() && upper.empty(); }
+
+  /// Clamps `x` into the box in place.
+  void Project(std::vector<double>* x) const;
+
+  /// True when `x` lies inside the box (within `tol`).
+  bool Contains(const std::vector<double>& x, double tol = 1e-12) const;
+};
+
+/// Shared knobs for the iterative solvers.
+struct SolveOptions {
+  int max_iterations = 500;
+  /// Converged when the projected-gradient infinity norm drops below this.
+  double gradient_tolerance = 1e-7;
+  /// Also converged when |f_k - f_{k-1}| <= value_tolerance*(1+|f_k|).
+  double value_tolerance = 1e-12;
+  /// Armijo sufficient-decrease parameter.
+  double armijo_c = 1e-4;
+  /// Backtracking shrink factor.
+  double backtrack_rho = 0.5;
+  /// History window for the nonmonotone line search (1 = monotone).
+  int nonmonotone_window = 8;
+  /// L-BFGS memory.
+  int lbfgs_memory = 8;
+};
+
+/// Outcome of a minimization.
+struct SolveResult {
+  std::vector<double> x;
+  double objective = 0.0;
+  int iterations = 0;
+  bool converged = false;
+  /// OK or NotConverged; never carries a fatal error for smooth inputs.
+  Status status;
+};
+
+/// Projected Barzilai-Borwein gradient descent.
+class ProjectedBbSolver {
+ public:
+  explicit ProjectedBbSolver(SolveOptions options = {}) : options_(options) {}
+
+  /// Minimizes `f` over the box starting from `x0` (projected first).
+  SolveResult Minimize(const DifferentiableFunction& f,
+                       const std::vector<double>& x0,
+                       const BoxBounds& bounds) const;
+
+ private:
+  SolveOptions options_;
+};
+
+/// Limited-memory BFGS with projection onto the box after each step.
+class LbfgsSolver {
+ public:
+  explicit LbfgsSolver(SolveOptions options = {}) : options_(options) {}
+
+  SolveResult Minimize(const DifferentiableFunction& f,
+                       const std::vector<double>& x0,
+                       const BoxBounds& bounds) const;
+
+ private:
+  SolveOptions options_;
+};
+
+/// Which inner solver the augmented-Lagrangian loop (and the multi-vote
+/// optimizer) should use.
+enum class InnerSolverKind {
+  kProjectedBb,
+  kLbfgs,
+};
+
+/// Options specific to the augmented-Lagrangian outer loop.
+struct AugLagOptions {
+  SolveOptions inner;
+  InnerSolverKind inner_solver = InnerSolverKind::kProjectedBb;
+  int max_outer_iterations = 30;
+  /// Initial quadratic penalty.
+  double initial_penalty = 10.0;
+  /// Penalty growth factor when constraint violation stalls.
+  double penalty_growth = 4.0;
+  /// Violation must shrink by this ratio per outer iteration to avoid growth.
+  double required_progress = 0.5;
+  /// Feasibility declared when max violation <= this.
+  double feasibility_tolerance = 1e-8;
+  double max_penalty = 1e10;
+};
+
+/// Minimizes f(x) subject to g_i(x) <= 0 and box bounds via the standard
+/// PHR augmented Lagrangian:
+///   L(x; lambda, mu) = f + (1/2mu) sum_i [ max(0, lambda_i + mu g_i)^2
+///                                          - lambda_i^2 ].
+class AugmentedLagrangianSolver {
+ public:
+  explicit AugmentedLagrangianSolver(AugLagOptions options = {})
+      : options_(options) {}
+
+  /// `constraints` are viewed, not owned; they must outlive the call.
+  SolveResult Minimize(
+      const DifferentiableFunction& objective,
+      const std::vector<const DifferentiableFunction*>& constraints,
+      const std::vector<double>& x0, const BoxBounds& bounds) const;
+
+  /// Max_i max(0, g_i(x)): the constraint violation at x.
+  static double MaxViolation(
+      const std::vector<const DifferentiableFunction*>& constraints,
+      const std::vector<double>& x);
+
+ private:
+  AugLagOptions options_;
+};
+
+/// Finite-difference gradient check helper (central differences); returns
+/// the max absolute component error against the analytic gradient. Used by
+/// tests and by debug assertions.
+double MaxGradientError(const DifferentiableFunction& f,
+                        const std::vector<double>& x, double step = 1e-6);
+
+}  // namespace kgov::math
+
+#endif  // KGOV_MATH_OPTIMIZER_H_

@@ -1,0 +1,320 @@
+#include "math/sgp_solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "common/logging.h"
+#include "math/vector_ops.h"
+
+namespace kgov::math {
+
+namespace {
+
+// Objective shared by every formulation:
+//   lambda1 * sum_{i in mask} (x_i - anchor_i)^2
+//   + lambda2 * sum_j sigmoid(w * s_j(x))
+// where the s_j differ per formulation (deviation monomials or full
+// constraint signomials).
+class CompositeObjective : public DifferentiableFunction {
+ public:
+  /// `term_weights` scales each sigmoid term (empty = all 1).
+  CompositeObjective(double lambda1, const std::vector<double>& anchor,
+                     const std::vector<bool>& proximal_mask, double lambda2,
+                     double steepness,
+                     const std::vector<const Signomial*>& sigmoid_terms,
+                     std::vector<double> term_weights = {})
+      : lambda1_(lambda1),
+        anchor_(anchor),
+        proximal_mask_(proximal_mask),
+        lambda2_(lambda2),
+        steepness_(steepness),
+        sigmoid_terms_(sigmoid_terms),
+        term_weights_(std::move(term_weights)) {}
+
+  double Evaluate(const std::vector<double>& x,
+                  std::vector<double>* grad) const override {
+    if (grad) grad->assign(x.size(), 0.0);
+    double value = 0.0;
+    if (lambda1_ != 0.0) {
+      for (size_t i = 0; i < anchor_.size(); ++i) {
+        if (!proximal_mask_[i]) continue;
+        double d = x[i] - anchor_[i];
+        value += lambda1_ * d * d;
+        if (grad) (*grad)[i] += 2.0 * lambda1_ * d;
+      }
+    }
+    if (lambda2_ != 0.0) {
+      for (size_t i = 0; i < sigmoid_terms_.size(); ++i) {
+        const Signomial* s = sigmoid_terms_[i];
+        double term_weight =
+            term_weights_.empty() ? 1.0 : term_weights_[i];
+        double sv = s->Evaluate(x);
+        value += lambda2_ * term_weight * Sigmoid(sv, steepness_);
+        if (grad) {
+          double outer =
+              lambda2_ * term_weight * SigmoidDerivative(sv, steepness_);
+          if (outer != 0.0) s->AccumulateGradient(x, outer, grad);
+        }
+      }
+    }
+    return value;
+  }
+
+ private:
+  double lambda1_;
+  const std::vector<double>& anchor_;
+  const std::vector<bool>& proximal_mask_;
+  double lambda2_;
+  double steepness_;
+  std::vector<const Signomial*> sigmoid_terms_;
+  std::vector<double> term_weights_;
+};
+
+// Constraint wrapper g(x) + margin <= 0 for the augmented Lagrangian.
+class SignomialConstraint : public DifferentiableFunction {
+ public:
+  SignomialConstraint(const Signomial& g, double margin)
+      : g_(g), margin_(margin) {}
+
+  double Evaluate(const std::vector<double>& x,
+                  std::vector<double>* grad) const override {
+    if (grad) {
+      grad->assign(x.size(), 0.0);
+      g_.AccumulateGradient(x, 1.0, grad);
+    }
+    return g_.Evaluate(x) + margin_;
+  }
+
+ private:
+  const Signomial& g_;
+  double margin_;
+};
+
+SolveResult RunInner(const SgpSolverOptions& options,
+                     const DifferentiableFunction& f,
+                     const std::vector<double>& x0, const BoxBounds& bounds) {
+  if (options.inner_solver == InnerSolverKind::kLbfgs) {
+    return LbfgsSolver(options.inner).Minimize(f, x0, bounds);
+  }
+  return ProjectedBbSolver(options.inner).Minimize(f, x0, bounds);
+}
+
+// Geometric steepness schedule from a shallow start (w ~ 4, where the
+// sigmoid has useful gradients everywhere) up to `target`. With the paper's
+// w = 300 the sigmoid is numerically flat away from the boundary, so a
+// direct solve stalls at the start point; the homotopy fixes that, exactly
+// as interior-point solvers do with their barrier parameter.
+std::vector<double> SteepnessSchedule(double target, int steps) {
+  steps = std::max(steps, 1);
+  const double start = std::min(4.0, target);
+  if (steps == 1 || target <= start) return {target};
+  std::vector<double> schedule(steps);
+  double ratio = std::pow(target / start, 1.0 / (steps - 1));
+  double w = start;
+  for (int i = 0; i < steps; ++i) {
+    schedule[i] = w;
+    w *= ratio;
+  }
+  schedule.back() = target;
+  return schedule;
+}
+
+}  // namespace
+
+int SgpSolver::CountSatisfied(const SgpProblem& problem,
+                              const std::vector<double>& x,
+                              double tolerance) {
+  int satisfied = 0;
+  for (const SgpConstraint& c : problem.constraints()) {
+    if (c.g.Evaluate(x) <= tolerance) ++satisfied;
+  }
+  return satisfied;
+}
+
+SgpSolution SgpSolver::Solve(const SgpProblem& problem) const {
+  SgpSolution solution;
+  Status valid = problem.Validate();
+  if (!valid.ok()) {
+    solution.status = valid;
+    solution.x = problem.initial();
+    return solution;
+  }
+  switch (options_.formulation) {
+    case SgpFormulation::kHardConstraints:
+      return SolveHard(problem);
+    case SgpFormulation::kDeviationVariables:
+      return SolveDeviation(problem);
+    case SgpFormulation::kReducedSigmoid:
+      return SolveReduced(problem);
+  }
+  solution.status = Status::Internal("unknown formulation");
+  solution.x = problem.initial();
+  return solution;
+}
+
+SgpSolution SgpSolver::SolveHard(const SgpProblem& problem) const {
+  CompositeObjective objective(options_.lambda1, problem.anchor(),
+                               problem.proximal_mask(), 0.0,
+                               options_.sigmoid_steepness, {});
+
+  std::vector<std::unique_ptr<SignomialConstraint>> owned;
+  std::vector<const DifferentiableFunction*> constraints;
+  owned.reserve(problem.constraints().size());
+  for (const SgpConstraint& c : problem.constraints()) {
+    owned.push_back(
+        std::make_unique<SignomialConstraint>(c.g, options_.strict_margin));
+    constraints.push_back(owned.back().get());
+  }
+
+  AugLagOptions auglag = options_.auglag;
+  auglag.inner = options_.inner;
+  auglag.inner_solver = options_.inner_solver;
+  AugmentedLagrangianSolver solver(auglag);
+  SolveResult result =
+      solver.Minimize(objective, constraints, problem.initial(),
+                      problem.bounds());
+
+  SgpSolution solution;
+  solution.x = std::move(result.x);
+  solution.objective = result.objective;
+  solution.iterations = result.iterations;
+  solution.converged = result.converged;
+  solution.status = result.status;
+  solution.total_constraints =
+      static_cast<int>(problem.constraints().size());
+  solution.satisfied_constraints =
+      CountSatisfied(problem, solution.x, options_.strict_margin * 0.5);
+  return solution;
+}
+
+SgpSolution SgpSolver::SolveDeviation(const SgpProblem& problem) const {
+  // Extend the variable space with one deviation variable per constraint
+  // (paper Eq. 15): g_i(x) - d_i <= 0 becomes a hard constraint, and the
+  // objective gains sigmoid(w d_i).
+  const size_t n = problem.num_variables();
+  const size_t m = problem.constraints().size();
+
+  std::vector<double> initial = problem.initial();
+  BoxBounds bounds = problem.bounds();
+  std::vector<bool> proximal_mask = problem.proximal_mask();
+  std::vector<double> anchor = problem.anchor();
+
+  // Deviation variables: bounded generously (similarity differences lie in
+  // [-1, 1]; the bound only needs to contain them). Started at a point that
+  // makes the initial iterate feasible: d_i = g_i(x0) (clamped).
+  constexpr double kDevBound = 4.0;
+  std::vector<Signomial> sigmoid_monomials;
+  std::vector<Signomial> shifted_constraints;
+  sigmoid_monomials.reserve(m);
+  shifted_constraints.reserve(m);
+  for (size_t i = 0; i < m; ++i) {
+    VarId dev_id = static_cast<VarId>(n + i);
+    double g0 = problem.constraints()[i].g.Evaluate(problem.initial());
+    double d0 = std::clamp(g0, -kDevBound, kDevBound);
+    initial.push_back(d0);
+    bounds.lower.push_back(-kDevBound);
+    bounds.upper.push_back(kDevBound);
+    proximal_mask.push_back(false);
+    anchor.push_back(0.0);
+
+    Signomial dev_term;
+    dev_term.AddTerm(Monomial(1.0, {{dev_id, 1.0}}));
+    sigmoid_monomials.push_back(std::move(dev_term));
+
+    Signomial shifted = problem.constraints()[i].g;
+    shifted.AddTerm(Monomial(-1.0, {{dev_id, 1.0}}));
+    shifted_constraints.push_back(std::move(shifted));
+  }
+
+  std::vector<const Signomial*> sigmoid_ptrs;
+  std::vector<double> term_weights;
+  sigmoid_ptrs.reserve(m);
+  for (const Signomial& s : sigmoid_monomials) sigmoid_ptrs.push_back(&s);
+  for (const SgpConstraint& c : problem.constraints()) {
+    term_weights.push_back(c.weight);
+  }
+
+  std::vector<std::unique_ptr<SignomialConstraint>> owned;
+  std::vector<const DifferentiableFunction*> constraints;
+  owned.reserve(m);
+  for (const Signomial& g : shifted_constraints) {
+    owned.push_back(std::make_unique<SignomialConstraint>(g, 0.0));
+    constraints.push_back(owned.back().get());
+  }
+
+  AugLagOptions auglag = options_.auglag;
+  auglag.inner = options_.inner;
+  auglag.inner_solver = options_.inner_solver;
+  AugmentedLagrangianSolver solver(auglag);
+
+  std::vector<double> x = initial;
+  SolveResult result;
+  int total_iterations = 0;
+  for (double steepness : SteepnessSchedule(options_.sigmoid_steepness,
+                                            options_.continuation_steps)) {
+    CompositeObjective objective(options_.lambda1, anchor, proximal_mask,
+                                 options_.lambda2, steepness, sigmoid_ptrs,
+                                 term_weights);
+    result = solver.Minimize(objective, constraints, x, bounds);
+    x = result.x;
+    total_iterations += result.iterations;
+  }
+  result.iterations = total_iterations;
+  result.x = std::move(x);
+
+  SgpSolution solution;
+  solution.x.assign(result.x.begin(), result.x.begin() + n);
+  solution.objective = result.objective;
+  solution.iterations = result.iterations;
+  solution.converged = result.converged;
+  solution.status = result.status;
+  solution.total_constraints = static_cast<int>(m);
+  solution.satisfied_constraints = CountSatisfied(problem, solution.x, 1e-9);
+  return solution;
+}
+
+SgpSolution SgpSolver::SolveReduced(const SgpProblem& problem) const {
+  // Substitute d_i = g_i(x): minimize
+  //   lambda1 * prox + lambda2 * sum_i sigmoid(w g_i(x))
+  // over the box. Smooth, unconstrained besides the box.
+  std::vector<const Signomial*> sigmoid_ptrs;
+  std::vector<double> term_weights;
+  sigmoid_ptrs.reserve(problem.constraints().size() +
+                       problem.sigmoid_terms().size());
+  for (const SgpConstraint& c : problem.constraints()) {
+    sigmoid_ptrs.push_back(&c.g);
+    term_weights.push_back(c.weight);
+  }
+  for (const Signomial& s : problem.sigmoid_terms()) {
+    sigmoid_ptrs.push_back(&s);
+    term_weights.push_back(1.0);
+  }
+
+  std::vector<double> x = problem.initial();
+  SolveResult result;
+  int total_iterations = 0;
+  for (double steepness : SteepnessSchedule(options_.sigmoid_steepness,
+                                            options_.continuation_steps)) {
+    CompositeObjective objective(options_.lambda1, problem.anchor(),
+                                 problem.proximal_mask(), options_.lambda2,
+                                 steepness, sigmoid_ptrs, term_weights);
+    result = RunInner(options_, objective, x, problem.bounds());
+    x = result.x;
+    total_iterations += result.iterations;
+  }
+  result.iterations = total_iterations;
+
+  SgpSolution solution;
+  solution.x = std::move(result.x);
+  solution.objective = result.objective;
+  solution.iterations = result.iterations;
+  solution.converged = result.converged;
+  solution.status = result.status;
+  solution.total_constraints =
+      static_cast<int>(problem.constraints().size());
+  solution.satisfied_constraints = CountSatisfied(problem, solution.x, 1e-9);
+  return solution;
+}
+
+}  // namespace kgov::math

@@ -1,0 +1,93 @@
+// Solver front-end for SgpProblem instances.
+//
+// Three formulations are supported, mirroring the paper:
+//
+//  * kHardConstraints    - single-vote form (SIV): minimize the proximal
+//                          objective subject to every constraint, via the
+//                          augmented Lagrangian. May report Infeasible.
+//  * kDeviationVariables - multi-vote form exactly as written (SV, Eq. 15):
+//                          each constraint g_i(x) <= 0 is relaxed to
+//                          g_i(x) - d_i <= 0 with a fresh variable d_i and a
+//                          sigmoid(w d_i) objective term (Eq. 18/19).
+//  * kReducedSigmoid     - analytically equivalent multi-vote form: because
+//                          the sigmoid is increasing, the optimum of the
+//                          deviation form has d_i = g_i(x), so the deviation
+//                          variables can be substituted out, leaving the
+//                          smooth box-constrained problem
+//                          min lambda1*prox + lambda2*sum sigmoid(w g_i(x)).
+//                          This is the default (faster, same optima); the
+//                          ablation bench compares all three.
+
+#ifndef KGOV_MATH_SGP_SOLVER_H_
+#define KGOV_MATH_SGP_SOLVER_H_
+
+#include <vector>
+
+#include "math/sgp_problem.h"
+#include "math/sigmoid.h"
+
+namespace kgov::math {
+
+enum class SgpFormulation {
+  kHardConstraints,
+  kDeviationVariables,
+  kReducedSigmoid,
+};
+
+struct SgpSolverOptions {
+  SgpFormulation formulation = SgpFormulation::kReducedSigmoid;
+  /// Preference weight on edge-weight change (paper lambda1, Eq. 19).
+  double lambda1 = 0.5;
+  /// Preference weight on vote satisfaction (paper lambda2, Eq. 19).
+  double lambda2 = 0.5;
+  /// Sigmoid steepness w (paper uses 300).
+  double sigmoid_steepness = kPaperSigmoidSteepness;
+  /// With w = 300 the sigmoid saturates (zero gradient) far from the
+  /// boundary; continuation solves a sequence of problems with increasing
+  /// steepness ending at `sigmoid_steepness`, each warm-started from the
+  /// previous solution. 1 disables continuation.
+  int continuation_steps = 6;
+  /// Margin enforcing strict inequalities: g(x) <= -margin.
+  double strict_margin = 1e-6;
+  InnerSolverKind inner_solver = InnerSolverKind::kProjectedBb;
+  SolveOptions inner;
+  AugLagOptions auglag;
+};
+
+struct SgpSolution {
+  /// Optimized values for the problem's original variables (deviation
+  /// variables, when present, are stripped).
+  std::vector<double> x;
+  double objective = 0.0;
+  int iterations = 0;
+  /// Number of constraints with g_i(x) <= tolerance at the solution.
+  int satisfied_constraints = 0;
+  int total_constraints = 0;
+  bool converged = false;
+  Status status;
+};
+
+class SgpSolver {
+ public:
+  explicit SgpSolver(SgpSolverOptions options = {}) : options_(options) {}
+
+  const SgpSolverOptions& options() const { return options_; }
+
+  /// Solves `problem` from its initial point.
+  SgpSolution Solve(const SgpProblem& problem) const;
+
+ private:
+  SgpSolution SolveHard(const SgpProblem& problem) const;
+  SgpSolution SolveDeviation(const SgpProblem& problem) const;
+  SgpSolution SolveReduced(const SgpProblem& problem) const;
+
+  /// Counts satisfied constraints of `problem` at `x`.
+  static int CountSatisfied(const SgpProblem& problem,
+                            const std::vector<double>& x, double tolerance);
+
+  SgpSolverOptions options_;
+};
+
+}  // namespace kgov::math
+
+#endif  // KGOV_MATH_SGP_SOLVER_H_

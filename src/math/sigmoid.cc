@@ -1,0 +1,19 @@
+#include "math/sigmoid.h"
+
+#include <algorithm>
+
+namespace kgov::math {
+
+double SigmoidStepMaxDeviation(double steepness, double lo, double hi,
+                               int samples) {
+  double worst = 0.0;
+  for (int i = 0; i <= samples; ++i) {
+    double d = lo + (hi - lo) * static_cast<double>(i) / samples;
+    if (d == 0.0) continue;  // the step is discontinuous exactly at 0
+    worst = std::max(worst,
+                     std::fabs(Sigmoid(d, steepness) - StepFunction(d)));
+  }
+  return worst;
+}
+
+}  // namespace kgov::math

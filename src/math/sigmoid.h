@@ -1,0 +1,46 @@
+// Step function and its sigmoid approximation (paper Eq. 16-18, Fig. 2).
+//
+// The multi-vote objective counts violated constraints via the step function
+// F(d) = 1[d > 0]; because the step is discontinuous at 0, the paper
+// substitutes the sigmoid L(d) = 1 / (1 + exp(-w d)) with a large steepness
+// w (w = 300 in Fig. 2).
+
+#ifndef KGOV_MATH_SIGMOID_H_
+#define KGOV_MATH_SIGMOID_H_
+
+#include <cmath>
+
+namespace kgov::math {
+
+/// Steepness used by the paper for the step approximation (Fig. 2).
+inline constexpr double kPaperSigmoidSteepness = 300.0;
+
+/// Heaviside step: 1 when d > 0, else 0 (paper Eq. 16).
+inline double StepFunction(double d) { return d > 0.0 ? 1.0 : 0.0; }
+
+/// Sigmoid approximation L(d) = 1/(1+e^{-w d}) (paper Eq. 17).
+/// Numerically stable for large |w*d|.
+inline double Sigmoid(double d, double steepness = kPaperSigmoidSteepness) {
+  double t = steepness * d;
+  if (t >= 0.0) {
+    return 1.0 / (1.0 + std::exp(-t));
+  }
+  double e = std::exp(t);
+  return e / (1.0 + e);
+}
+
+/// d/dd of Sigmoid(d, w) = w * L * (1 - L).
+inline double SigmoidDerivative(double d,
+                                double steepness = kPaperSigmoidSteepness) {
+  double s = Sigmoid(d, steepness);
+  return steepness * s * (1.0 - s);
+}
+
+/// Max absolute deviation |L(d) - F(d)| over the sampled interval, used to
+/// validate the approximation quality (Fig. 2's visual claim).
+double SigmoidStepMaxDeviation(double steepness, double lo, double hi,
+                               int samples);
+
+}  // namespace kgov::math
+
+#endif  // KGOV_MATH_SIGMOID_H_

@@ -1,0 +1,118 @@
+#include "math/signomial.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+namespace kgov::math {
+
+Signomial::Signomial(double constant) {
+  if (constant != 0.0) terms_.push_back(Monomial(constant));
+}
+
+Signomial::Signomial(Monomial term) {
+  if (term.coefficient() != 0.0) terms_.push_back(std::move(term));
+}
+
+Signomial::Signomial(std::vector<Monomial> terms) : terms_(std::move(terms)) {}
+
+void Signomial::AddTerm(Monomial term) {
+  if (term.coefficient() != 0.0) terms_.push_back(std::move(term));
+}
+
+void Signomial::Add(const Signomial& other) {
+  terms_.insert(terms_.end(), other.terms_.begin(), other.terms_.end());
+}
+
+void Signomial::Subtract(const Signomial& other) {
+  terms_.reserve(terms_.size() + other.terms_.size());
+  for (const Monomial& term : other.terms_) {
+    terms_.push_back(term.Scaled(-1.0));
+  }
+}
+
+void Signomial::Scale(double factor) {
+  for (Monomial& term : terms_) {
+    term = term.Scaled(factor);
+  }
+  if (factor == 0.0) terms_.clear();
+}
+
+void Signomial::Compact() {
+  // Group by power vector; map key is the normalized powers() of each term.
+  std::map<std::vector<std::pair<VarId, double>>, double> grouped;
+  for (const Monomial& term : terms_) {
+    grouped[term.powers()] += term.coefficient();
+  }
+  terms_.clear();
+  terms_.reserve(grouped.size());
+  for (auto& [powers, coeff] : grouped) {
+    if (coeff != 0.0) {
+      terms_.push_back(Monomial(coeff, powers));
+    }
+  }
+}
+
+double Signomial::Evaluate(const std::vector<double>& x) const {
+  double value = 0.0;
+  for (const Monomial& term : terms_) {
+    value += term.Evaluate(x);
+  }
+  return value;
+}
+
+void Signomial::AccumulateGradient(const std::vector<double>& x, double scale,
+                                   std::vector<double>* grad) const {
+  for (const Monomial& term : terms_) {
+    term.AccumulateGradient(x, scale, grad);
+  }
+}
+
+double Signomial::EvaluateWithGradient(const std::vector<double>& x,
+                                       size_t num_vars,
+                                       std::vector<double>* grad) const {
+  grad->assign(num_vars, 0.0);
+  AccumulateGradient(x, 1.0, grad);
+  return Evaluate(x);
+}
+
+int64_t Signomial::MaxVarId() const {
+  int64_t max_id = -1;
+  for (const Monomial& term : terms_) {
+    max_id = std::max(max_id, term.MaxVarId());
+  }
+  return max_id;
+}
+
+bool Signomial::IsPosynomial() const {
+  return std::all_of(terms_.begin(), terms_.end(), [](const Monomial& t) {
+    return t.coefficient() > 0.0;
+  });
+}
+
+Signomial Signomial::Sum(const Signomial& f, const Signomial& g) {
+  Signomial out = f;
+  out.Add(g);
+  out.Compact();
+  return out;
+}
+
+Signomial Signomial::Difference(const Signomial& f, const Signomial& g) {
+  Signomial out = f;
+  out.Subtract(g);
+  out.Compact();
+  return out;
+}
+
+std::string Signomial::ToString() const {
+  if (terms_.empty()) return "0";
+  std::ostringstream os;
+  for (size_t i = 0; i < terms_.size(); ++i) {
+    if (i > 0) os << " + ";
+    os << terms_[i].ToString();
+  }
+  return os.str();
+}
+
+}  // namespace kgov::math

@@ -1,0 +1,78 @@
+// Signomial functions: sums of monomial terms with real coefficients and
+// real exponents (paper Eq. 3). The similarity S(vq, va) expressed over the
+// optimizable edge-weight variables (Eq. 9/11) is a signomial, as are all
+// SGP constraint functions built from user votes.
+
+#ifndef KGOV_MATH_SIGNOMIAL_H_
+#define KGOV_MATH_SIGNOMIAL_H_
+
+#include <string>
+#include <vector>
+
+#include "math/monomial.h"
+
+namespace kgov::math {
+
+/// A signomial f(x) = sum_k c_k * prod_i x_i^{e_ik}. Mutable builder-style
+/// value type.
+class Signomial {
+ public:
+  Signomial() = default;
+  /// A constant signomial (single constant term, omitted when 0).
+  explicit Signomial(double constant);
+  explicit Signomial(Monomial term);
+  explicit Signomial(std::vector<Monomial> terms);
+
+  const std::vector<Monomial>& terms() const { return terms_; }
+  size_t NumTerms() const { return terms_.size(); }
+  bool IsZero() const { return terms_.empty(); }
+
+  /// Appends a term (no like-term merging; call Compact()).
+  void AddTerm(Monomial term);
+
+  /// Adds `other` term-wise.
+  void Add(const Signomial& other);
+
+  /// Subtracts `other` term-wise.
+  void Subtract(const Signomial& other);
+
+  /// Multiplies every coefficient by `factor`.
+  void Scale(double factor);
+
+  /// Merges terms with identical power vectors and drops zero terms.
+  void Compact();
+
+  /// Value at `x`.
+  double Evaluate(const std::vector<double>& x) const;
+
+  /// Adds `scale` * grad f(x) into `grad` (size >= max var id + 1).
+  void AccumulateGradient(const std::vector<double>& x, double scale,
+                          std::vector<double>* grad) const;
+
+  /// Value and gradient in one pass; `grad` is overwritten (resized to
+  /// `num_vars`).
+  double EvaluateWithGradient(const std::vector<double>& x, size_t num_vars,
+                              std::vector<double>* grad) const;
+
+  /// Largest variable id used, or -1 for a constant/zero signomial.
+  int64_t MaxVarId() const;
+
+  /// True when every coefficient is positive (posynomial).
+  bool IsPosynomial() const;
+
+  /// Sum: f + g.
+  static Signomial Sum(const Signomial& f, const Signomial& g);
+
+  /// Difference: f - g.
+  static Signomial Difference(const Signomial& f, const Signomial& g);
+
+  /// Human-readable form, e.g. "0.2*x1*x3 - 0.5*x2^2 + 1".
+  std::string ToString() const;
+
+ private:
+  std::vector<Monomial> terms_;
+};
+
+}  // namespace kgov::math
+
+#endif  // KGOV_MATH_SIGNOMIAL_H_

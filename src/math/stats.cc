@@ -1,0 +1,57 @@
+#include "math/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kgov::math {
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double Median(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  double upper = values[mid];
+  if (values.size() % 2 == 1) return upper;
+  double lower = *std::max_element(values.begin(), values.begin() + mid);
+  return 0.5 * (lower + upper);
+}
+
+double StdDev(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  double mean = Mean(values);
+  double ss = 0.0;
+  for (double v : values) {
+    double d = v - mean;
+    ss += d * d;
+  }
+  return std::sqrt(ss / static_cast<double>(values.size() - 1));
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  p = std::clamp(p, 0.0, 100.0);
+  double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, values.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double Min(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  return *std::min_element(values.begin(), values.end());
+}
+
+double Max(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  return *std::max_element(values.begin(), values.end());
+}
+
+}  // namespace kgov::math

@@ -1,0 +1,29 @@
+// Summary statistics used by the evaluation metrics and the benchmark
+// harnesses.
+
+#ifndef KGOV_MATH_STATS_H_
+#define KGOV_MATH_STATS_H_
+
+#include <vector>
+
+namespace kgov::math {
+
+/// Arithmetic mean; 0 for an empty input.
+double Mean(const std::vector<double>& values);
+
+/// Median (average of the two middle elements for even sizes); 0 for empty.
+double Median(std::vector<double> values);
+
+/// Sample standard deviation (n-1 denominator); 0 for n < 2.
+double StdDev(const std::vector<double>& values);
+
+/// Linear-interpolated percentile, p in [0, 100]; 0 for empty.
+double Percentile(std::vector<double> values, double p);
+
+/// Min / max; 0 for empty.
+double Min(const std::vector<double>& values);
+double Max(const std::vector<double>& values);
+
+}  // namespace kgov::math
+
+#endif  // KGOV_MATH_STATS_H_

@@ -1,0 +1,53 @@
+#include "math/vector_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace kgov::math {
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  KGOV_DCHECK(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double Norm2(const std::vector<double>& a) { return std::sqrt(Dot(a, a)); }
+
+double NormInf(const std::vector<double>& a) {
+  double best = 0.0;
+  for (double v : a) best = std::max(best, std::fabs(v));
+  return best;
+}
+
+void Axpy(double alpha, const std::vector<double>& x, std::vector<double>* y) {
+  KGOV_DCHECK(x.size() == y->size());
+  for (size_t i = 0; i < x.size(); ++i) (*y)[i] += alpha * x[i];
+}
+
+std::vector<double> Subtract(const std::vector<double>& a,
+                             const std::vector<double>& b) {
+  KGOV_DCHECK(a.size() == b.size());
+  std::vector<double> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+void ScaleInPlace(std::vector<double>* v, double alpha) {
+  for (double& x : *v) x *= alpha;
+}
+
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  KGOV_DCHECK(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+}  // namespace kgov::math

@@ -1,0 +1,37 @@
+// Dense vector helpers used by the solvers. Deliberately simple free
+// functions over std::vector<double>; the problem sizes here (hundreds to a
+// few thousand variables) do not warrant a BLAS dependency.
+
+#ifndef KGOV_MATH_VECTOR_OPS_H_
+#define KGOV_MATH_VECTOR_OPS_H_
+
+#include <vector>
+
+namespace kgov::math {
+
+/// Dot product. Requires equal sizes.
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Euclidean norm.
+double Norm2(const std::vector<double>& a);
+
+/// Max-abs (infinity) norm.
+double NormInf(const std::vector<double>& a);
+
+/// y += alpha * x. Requires equal sizes.
+void Axpy(double alpha, const std::vector<double>& x, std::vector<double>* y);
+
+/// out = a - b. Requires equal sizes.
+std::vector<double> Subtract(const std::vector<double>& a,
+                             const std::vector<double>& b);
+
+/// Scales `v` in place by alpha.
+void ScaleInPlace(std::vector<double>* v, double alpha);
+
+/// Squared Euclidean distance between a and b. Requires equal sizes.
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b);
+
+}  // namespace kgov::math
+
+#endif  // KGOV_MATH_VECTOR_OPS_H_

@@ -1,0 +1,55 @@
+// Bidirectional mapping between graph edges and SGP optimization variables.
+//
+// The paper's ObtainVariableSet (Alg. 1 line 4) introduces one variable
+// x_{i,j} per optimizable edge that appears on some walk relevant to a
+// vote. Variables are registered lazily while collecting symbolic
+// similarities, so the variable space of a program is exactly the set of
+// edges its votes can influence.
+
+#ifndef KGOV_PPR_EDGE_VARS_H_
+#define KGOV_PPR_EDGE_VARS_H_
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "math/monomial.h"
+
+namespace kgov::ppr {
+
+class EdgeVariableMap {
+ public:
+  EdgeVariableMap() = default;
+
+  /// Variable for `edge`, registering it on first use.
+  math::VarId GetOrRegister(graph::EdgeId edge);
+
+  /// Variable for `edge` if already registered.
+  std::optional<math::VarId> Find(graph::EdgeId edge) const;
+
+  /// Edge behind `var`. Requires var < NumVariables().
+  graph::EdgeId EdgeOf(math::VarId var) const;
+
+  size_t NumVariables() const { return var_to_edge_.size(); }
+
+  /// var -> edge table (index = variable id).
+  const std::vector<graph::EdgeId>& variables() const { return var_to_edge_; }
+
+  /// Current weights of all registered edges, indexed by variable id: the
+  /// SGP initial point (Alg. 1 lines 5-8).
+  std::vector<double> InitialValues(const graph::WeightedDigraph& graph) const;
+
+  /// Writes `values` (indexed by variable id) back into the graph
+  /// (Alg. 1 lines 13-15).
+  void ApplyValues(const std::vector<double>& values,
+                   graph::WeightedDigraph* graph) const;
+
+ private:
+  std::unordered_map<graph::EdgeId, math::VarId> edge_to_var_;
+  std::vector<graph::EdgeId> var_to_edge_;
+};
+
+}  // namespace kgov::ppr
+
+#endif  // KGOV_PPR_EDGE_VARS_H_

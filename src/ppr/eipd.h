@@ -1,0 +1,80 @@
+// Extended inverse P-distance (paper SIV-A, Eq. 7-9).
+//
+//   Phi(vq, va) = sum over walks z : vq ~> va, |z| <= L of P[z]*c*(1-c)^|z|
+//
+// Numerically this is evaluated by level-synchronous mass propagation (a
+// truncated power iteration over the walk length), which yields the scores
+// of *all* candidate answers in one pass - the property behind the paper's
+// Table VI efficiency result. Walks longer than the pruning threshold L are
+// dropped (SIV-A; L = 5 in the paper's experiments, justified by Fig. 7).
+
+#ifndef KGOV_PPR_EIPD_H_
+#define KGOV_PPR_EIPD_H_
+
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "ppr/query_seed.h"
+
+namespace kgov::ppr {
+
+struct EipdOptions {
+  /// Maximum walk length L (number of edges, including the query's first
+  /// hop). Paper default: 5.
+  int max_length = 5;
+  /// Restart probability c. Paper default: ~0.15.
+  double restart = 0.15;
+};
+
+/// A ranked answer.
+struct ScoredAnswer {
+  graph::NodeId node = graph::kInvalidNode;
+  double score = 0.0;
+};
+
+/// Numeric extended-inverse-P-distance evaluation over a fixed graph.
+/// Thread-compatible: concurrent calls on one instance are safe because all
+/// evaluation state is call-local.
+class EipdEvaluator {
+ public:
+  /// `graph` is borrowed and must outlive the evaluator.
+  explicit EipdEvaluator(const graph::WeightedDigraph* graph,
+                         EipdOptions options = {});
+
+  const EipdOptions& options() const { return options_; }
+
+  /// Phi(seed, answer).
+  double Similarity(const QuerySeed& seed, graph::NodeId answer) const;
+
+  /// Phi(seed, a) for every a in `answers`, in one propagation pass.
+  std::vector<double> SimilarityMany(
+      const QuerySeed& seed, const std::vector<graph::NodeId>& answers) const;
+
+  /// Like SimilarityMany, but edge weights in `overrides` replace the
+  /// graph's weights (used by the judgment filter's extreme condition).
+  std::vector<double> SimilarityManyWithOverrides(
+      const QuerySeed& seed, const std::vector<graph::NodeId>& answers,
+      const std::unordered_map<graph::EdgeId, double>& overrides) const;
+
+  /// Top-k candidates sorted by descending score (ties by ascending node
+  /// id, making rankings deterministic).
+  std::vector<ScoredAnswer> RankAnswers(
+      const QuerySeed& seed, const std::vector<graph::NodeId>& candidates,
+      size_t k) const;
+
+ private:
+  /// Phi contributions for all nodes; overrides may be null.
+  std::vector<double> Propagate(
+      const QuerySeed& seed,
+      const std::unordered_map<graph::EdgeId, double>* overrides) const;
+
+  const graph::WeightedDigraph* graph_;
+  EipdOptions options_;
+};
+
+}  // namespace kgov::ppr
+
+#endif  // KGOV_PPR_EIPD_H_

@@ -1,0 +1,52 @@
+// Extended inverse P-distance over an immutable CSR snapshot.
+//
+// Mirrors EipdEvaluator's numeric API but runs on graph::CsrSnapshot:
+// contiguous neighbor ranges with inlined weights, no edge-table
+// indirection. Intended for the serving path of a deployed Q&A system,
+// where the graph only changes at optimization boundaries: freeze a
+// snapshot after each optimize, answer queries from it concurrently.
+// bench_ablation_csr quantifies the speedup over the mutable evaluator.
+
+#ifndef KGOV_PPR_FAST_EIPD_H_
+#define KGOV_PPR_FAST_EIPD_H_
+
+#include <vector>
+
+#include "graph/csr.h"
+#include "ppr/eipd.h"
+#include "ppr/query_seed.h"
+
+namespace kgov::ppr {
+
+/// Numeric EIPD evaluation on a frozen snapshot. Thread-compatible: all
+/// evaluation state is call-local.
+class FastEipdEvaluator {
+ public:
+  /// `snapshot` is borrowed and must outlive the evaluator.
+  explicit FastEipdEvaluator(const graph::CsrSnapshot* snapshot,
+                             EipdOptions options = {});
+
+  const EipdOptions& options() const { return options_; }
+
+  /// Phi(seed, answer).
+  double Similarity(const QuerySeed& seed, graph::NodeId answer) const;
+
+  /// Phi(seed, a) for every a in `answers`, in one propagation pass.
+  std::vector<double> SimilarityMany(
+      const QuerySeed& seed, const std::vector<graph::NodeId>& answers) const;
+
+  /// Top-k candidates sorted by descending score (ties by node id).
+  std::vector<ScoredAnswer> RankAnswers(
+      const QuerySeed& seed, const std::vector<graph::NodeId>& candidates,
+      size_t k) const;
+
+ private:
+  std::vector<double> Propagate(const QuerySeed& seed) const;
+
+  const graph::CsrSnapshot* snapshot_;
+  EipdOptions options_;
+};
+
+}  // namespace kgov::ppr
+
+#endif  // KGOV_PPR_FAST_EIPD_H_

@@ -1,0 +1,60 @@
+// Personalized PageRank (paper Eq. 1) by power iteration, and the
+// linear-equation-group random-walk similarity of Yang et al. [5], which the
+// paper uses as the similarity-evaluation baseline in Table VI.
+
+#ifndef KGOV_PPR_PPR_H_
+#define KGOV_PPR_PPR_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "ppr/query_seed.h"
+
+namespace kgov::ppr {
+
+struct PprOptions {
+  /// Restart probability c (paper uses c ~ 0.15).
+  double restart = 0.15;
+  int max_iterations = 500;
+  /// Stop when the L1 change between iterates drops below this.
+  double tolerance = 1e-12;
+};
+
+/// Solves pi = (1-c) M pi + c e_source by power iteration, where
+/// M_ij = w(vj, vi) (column-sub-stochastic). Returns the full PPR vector.
+Result<std::vector<double>> PowerIterationPpr(
+    const graph::WeightedDigraph& graph, graph::NodeId source,
+    const PprOptions& options = {});
+
+/// PPR of a *virtual* query node whose out-edges are `seed`: the stationary
+/// scores of walks whose first hop follows the seed links. Equals
+/// (1-c) * sum_s seed(s) * PPR_s, and matches the extended inverse
+/// P-distance of the same seed as L -> infinity (paper Theorem 1).
+Result<std::vector<double>> PowerIterationPprFromSeed(
+    const graph::WeightedDigraph& graph, const QuerySeed& seed,
+    const PprOptions& options = {});
+
+/// The random-walk baseline of [5]: evaluates the similarity of ONE
+/// (query, answer) pair by solving the linear equation group with
+/// Gauss-Seidel and reading the answer entry. Per-pair cost is a full
+/// system solve, which is what makes the baseline's total cost linear in
+/// the number of answers (Table VI).
+class RandomWalkBaseline {
+ public:
+  explicit RandomWalkBaseline(const graph::WeightedDigraph* graph,
+                              PprOptions options = {});
+
+  /// Similarity of one pair; re-solves the system each call (baseline
+  /// behaviour under measurement).
+  Result<double> Similarity(const QuerySeed& seed,
+                            graph::NodeId answer) const;
+
+ private:
+  const graph::WeightedDigraph* graph_;
+  PprOptions options_;
+};
+
+}  // namespace kgov::ppr
+
+#endif  // KGOV_PPR_PPR_H_

@@ -1,0 +1,38 @@
+#include "ppr/query_seed.h"
+
+namespace kgov::ppr {
+
+QuerySeed QuerySeed::FromNode(const graph::WeightedDigraph& graph,
+                              graph::NodeId node) {
+  QuerySeed seed;
+  for (const graph::OutEdge& out : graph.OutEdges(node)) {
+    seed.links.emplace_back(out.to, graph.Weight(out.edge));
+  }
+  return seed;
+}
+
+QuerySeed QuerySeed::UniformOver(const std::vector<graph::NodeId>& entities) {
+  QuerySeed seed;
+  if (entities.empty()) return seed;
+  double w = 1.0 / static_cast<double>(entities.size());
+  for (graph::NodeId node : entities) {
+    seed.links.emplace_back(node, w);
+  }
+  return seed;
+}
+
+void QuerySeed::Normalize() {
+  double total = TotalWeight();
+  if (total <= 0.0) return;
+  for (auto& [node, weight] : links) {
+    weight /= total;
+  }
+}
+
+double QuerySeed::TotalWeight() const {
+  double total = 0.0;
+  for (const auto& [node, weight] : links) total += weight;
+  return total;
+}
+
+}  // namespace kgov::ppr

@@ -1,0 +1,43 @@
+// Virtual query nodes.
+//
+// The paper links each query q to the knowledge graph with weights
+// w(vq, vi) = #(q, vi) / sum_j #(q, vj) (SIII-A). Rather than mutating the
+// shared graph per query, kgov represents a query as a seed distribution
+// over entity nodes; every similarity routine accepts a QuerySeed and
+// treats its links as the first hop of each random-walk path.
+
+#ifndef KGOV_PPR_QUERY_SEED_H_
+#define KGOV_PPR_QUERY_SEED_H_
+
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace kgov::ppr {
+
+/// A query's links into the graph: (entity node, first-hop weight) pairs.
+struct QuerySeed {
+  std::vector<std::pair<graph::NodeId, double>> links;
+
+  /// Seed equivalent to starting walks at physical node `node`: one link
+  /// per out-edge of `node`, carrying the edge weight.
+  static QuerySeed FromNode(const graph::WeightedDigraph& graph,
+                            graph::NodeId node);
+
+  /// Uniform links to the given entities (weight 1/n each), mirroring the
+  /// paper's equal-frequency example (all 0.33 in Fig. 1).
+  static QuerySeed UniformOver(const std::vector<graph::NodeId>& entities);
+
+  /// Scales link weights to sum to 1 (no-op when the total is 0).
+  void Normalize();
+
+  /// Sum of link weights.
+  double TotalWeight() const;
+
+  bool empty() const { return links.empty(); }
+};
+
+}  // namespace kgov::ppr
+
+#endif  // KGOV_PPR_QUERY_SEED_H_

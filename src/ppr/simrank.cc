@@ -1,0 +1,90 @@
+#include "ppr/simrank.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kgov::ppr {
+
+std::vector<std::pair<graph::NodeId, double>> SimRankResult::MostSimilar(
+    graph::NodeId node, size_t k) const {
+  std::vector<std::pair<graph::NodeId, double>> ranked;
+  ranked.reserve(n_ - 1);
+  for (graph::NodeId other = 0; other < n_; ++other) {
+    if (other == node) continue;
+    ranked.emplace_back(other, Score(node, other));
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (ranked.size() > k) ranked.resize(k);
+  return ranked;
+}
+
+Result<SimRankResult> ComputeSimRank(const graph::WeightedDigraph& graph,
+                                     const SimRankOptions& options) {
+  const size_t n = graph.NumNodes();
+  if (n == 0) {
+    return Status::InvalidArgument("SimRank on an empty graph");
+  }
+  if (n > options.max_nodes) {
+    return Status::InvalidArgument(
+        "graph too large for all-pairs SimRank (max_nodes=" +
+        std::to_string(options.max_nodes) + ")");
+  }
+  if (options.decay <= 0.0 || options.decay >= 1.0) {
+    return Status::InvalidArgument("SimRank decay must lie in (0, 1)");
+  }
+
+  // In-neighbor lists.
+  std::vector<std::vector<graph::NodeId>> in_neighbors(n);
+  for (const graph::Edge& e : graph.edges()) {
+    in_neighbors[e.to].push_back(e.from);
+  }
+
+  SimRankResult current(n, 0, false);
+  for (size_t v = 0; v < n; ++v) {
+    current.SetScore(v, v, 1.0);
+  }
+  SimRankResult next = current;
+
+  int iter = 0;
+  bool converged = false;
+  for (; iter < options.max_iterations && !converged; ++iter) {
+    double max_delta = 0.0;
+    for (graph::NodeId a = 0; a < n; ++a) {
+      for (graph::NodeId b = a + 1; b < n; ++b) {
+        const auto& ia = in_neighbors[a];
+        const auto& ib = in_neighbors[b];
+        double value = 0.0;
+        if (!ia.empty() && !ib.empty()) {
+          double sum = 0.0;
+          for (graph::NodeId i : ia) {
+            for (graph::NodeId j : ib) {
+              sum += current.Score(i, j);
+            }
+          }
+          value = options.decay * sum /
+                  (static_cast<double>(ia.size()) *
+                   static_cast<double>(ib.size()));
+        }
+        max_delta = std::max(max_delta,
+                             std::fabs(value - current.Score(a, b)));
+        next.SetScore(a, b, value);
+        next.SetScore(b, a, value);
+      }
+    }
+    std::swap(current, next);
+    converged = max_delta < options.tolerance;
+  }
+
+  SimRankResult result(n, iter, converged);
+  for (graph::NodeId a = 0; a < n; ++a) {
+    for (graph::NodeId b = 0; b < n; ++b) {
+      result.SetScore(a, b, current.Score(a, b));
+    }
+  }
+  return result;
+}
+
+}  // namespace kgov::ppr

@@ -1,0 +1,74 @@
+// SimRank (Jeh & Widom, KDD 2002): the "similar if referenced by similar
+// objects" similarity the paper contrasts with random-walk measures in its
+// related work (SII). Provided as an additional comparator for the
+// similarity-measurement layer; the Q&A pipeline itself uses the extended
+// inverse P-distance.
+//
+//   s(a, a) = 1
+//   s(a, b) = C / (|I(a)||I(b)|) * sum_{i in I(a)} sum_{j in I(b)} s(i, j)
+//
+// where I(v) is v's in-neighbor set and C in (0, 1) the decay factor.
+// Computed by the standard fixed-point iteration over all pairs - O(K n^2
+// d^2) - so intended for the small/medium graphs where SimRank is
+// meaningful, not the KONECT-scale profiles.
+
+#ifndef KGOV_PPR_SIMRANK_H_
+#define KGOV_PPR_SIMRANK_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace kgov::ppr {
+
+struct SimRankOptions {
+  /// Decay factor C (0, 1); 0.8 in the original paper.
+  double decay = 0.8;
+  int max_iterations = 10;
+  /// Early stop when the max entry change falls below this.
+  double tolerance = 1e-6;
+  /// Safety cap: graphs larger than this are rejected (the all-pairs
+  /// matrix is n^2 doubles).
+  size_t max_nodes = 5000;
+};
+
+/// Dense symmetric SimRank matrix. scores[a][b] in [0, 1], diagonal 1.
+class SimRankResult {
+ public:
+  SimRankResult(size_t n, int iterations, bool converged)
+      : n_(n),
+        iterations_(iterations),
+        converged_(converged),
+        scores_(n * n, 0.0) {}
+
+  double Score(graph::NodeId a, graph::NodeId b) const {
+    return scores_[a * n_ + b];
+  }
+  void SetScore(graph::NodeId a, graph::NodeId b, double value) {
+    scores_[a * n_ + b] = value;
+  }
+  size_t NumNodes() const { return n_; }
+  int iterations() const { return iterations_; }
+  bool converged() const { return converged_; }
+
+  /// The k most similar nodes to `node` (excluding itself), sorted by
+  /// descending score then ascending id.
+  std::vector<std::pair<graph::NodeId, double>> MostSimilar(
+      graph::NodeId node, size_t k) const;
+
+ private:
+  size_t n_;
+  int iterations_;
+  bool converged_;
+  std::vector<double> scores_;
+};
+
+/// Runs the SimRank fixed point on `graph` (edge weights are ignored;
+/// SimRank is a structural measure).
+Result<SimRankResult> ComputeSimRank(const graph::WeightedDigraph& graph,
+                                     const SimRankOptions& options = {});
+
+}  // namespace kgov::ppr
+
+#endif  // KGOV_PPR_SIMRANK_H_

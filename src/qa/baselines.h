@@ -1,0 +1,65 @@
+// Comparison systems from the paper's Table V / Table VI:
+//
+//  * IrBaseline    - information-retrieval approach: ranks documents by the
+//                    coincidence rate of question and document entities.
+//  * RandomWalkQa  - the KG-based Q&A of Yang et al. [5]: similarity per
+//                    (question, answer) pair by solving the random-walk
+//                    linear equation group; equivalent scores to PPR, but
+//                    cost linear in the number of answers.
+
+#ifndef KGOV_QA_BASELINES_H_
+#define KGOV_QA_BASELINES_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "ppr/ppr.h"
+#include "qa/corpus.h"
+#include "qa/qa_system.h"
+
+namespace kgov::qa {
+
+class IrBaseline {
+ public:
+  /// `corpus` is borrowed.
+  explicit IrBaseline(const Corpus* corpus);
+
+  /// Top-k documents by entity-coincidence rate
+  /// |Q n D| / |Q u D| over the distinct entity sets.
+  std::vector<RankedDocument> Ask(const Question& question, size_t k) const;
+
+ private:
+  const Corpus* corpus_;
+};
+
+class RandomWalkQa {
+ public:
+  /// Serves from the same augmented graph as QaSystem; borrows referents.
+  RandomWalkQa(const graph::WeightedDigraph* graph,
+               const std::vector<graph::NodeId>* answer_nodes,
+               size_t num_entities, ppr::PprOptions options = {},
+               size_t top_k = 20);
+
+  /// Top-k documents; each answer's score is a separate linear-system
+  /// solve (the baseline's cost model). Use this form when *timing* the
+  /// baseline (Table VI).
+  std::vector<RankedDocument> Ask(const Question& question) const;
+
+  /// Same ranking via a single system solve per question. PPR scores are
+  /// identical either way (the per-answer resolves of Ask() are the cost
+  /// model, not a different similarity), so accuracy experiments
+  /// (Table V) can use this fast path.
+  std::vector<RankedDocument> AskFast(const Question& question) const;
+
+ private:
+  const graph::WeightedDigraph* graph_;
+  const std::vector<graph::NodeId>* answer_nodes_;
+  size_t num_entities_;
+  ppr::PprOptions options_;
+  size_t top_k_;
+  ppr::RandomWalkBaseline walker_;
+};
+
+}  // namespace kgov::qa
+
+#endif  // KGOV_QA_BASELINES_H_

@@ -1,0 +1,199 @@
+#include "qa/corpus_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace kgov::qa {
+
+namespace {
+
+// Parses "<entity>:<count>" into a mention; count defaults to 1 when the
+// colon is absent.
+Result<EntityMention> ParseMention(const std::string& token) {
+  EntityMention mention;
+  size_t colon = token.find(':');
+  long long entity = -1;
+  long long count = 1;
+  std::istringstream head(token.substr(0, colon));
+  head >> entity;
+  if (head.fail() || entity < 0) {
+    return Status::IoError("bad mention token '" + token + "'");
+  }
+  if (colon != std::string::npos) {
+    std::istringstream tail(token.substr(colon + 1));
+    tail >> count;
+    if (tail.fail() || count < 1) {
+      return Status::IoError("bad mention count in '" + token + "'");
+    }
+  }
+  mention.entity = static_cast<EntityId>(entity);
+  mention.count = static_cast<int>(count);
+  return mention;
+}
+
+void WriteMention(std::ostream& out, const EntityMention& m) {
+  out << ' ' << m.entity << ':' << m.count;
+}
+
+}  // namespace
+
+Status SaveCorpus(const Corpus& corpus, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  out << "# kgov corpus: " << corpus.documents.size() << " documents\n";
+  out << "E " << corpus.num_entities << "\n";
+  for (size_t e = 0; e < corpus.entity_names.size(); ++e) {
+    if (!corpus.entity_names[e].empty()) {
+      out << "N " << e << ' ' << corpus.entity_names[e] << "\n";
+    }
+  }
+  for (const Document& doc : corpus.documents) {
+    out << "D " << doc.topic;
+    for (const EntityMention& m : doc.mentions) WriteMention(out, m);
+    if (!doc.query_mentions.empty()) {
+      out << " |";
+      for (const EntityMention& m : doc.query_mentions) WriteMention(out, m);
+    }
+    out << "\n";
+  }
+  if (!out.good()) {
+    return Status::IoError("write failure on '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Result<Corpus> LoadCorpus(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  Corpus corpus;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view trimmed = TrimWhitespace(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::istringstream fields{std::string(trimmed)};
+    std::string tag;
+    fields >> tag;
+    if (tag == "E") {
+      fields >> corpus.num_entities;
+      if (fields.fail()) {
+        return Status::IoError("bad E line at " + path + ":" +
+                               std::to_string(line_no));
+      }
+      corpus.entity_names.assign(corpus.num_entities, "");
+    } else if (tag == "N") {
+      size_t id = 0;
+      std::string name;
+      fields >> id >> name;
+      if (fields.fail() || id >= corpus.entity_names.size()) {
+        return Status::IoError("bad N line at " + path + ":" +
+                               std::to_string(line_no));
+      }
+      corpus.entity_names[id] = name;
+    } else if (tag == "D") {
+      Document doc;
+      fields >> doc.topic;
+      if (fields.fail()) {
+        return Status::IoError("bad D line at " + path + ":" +
+                               std::to_string(line_no));
+      }
+      bool query_side = false;
+      std::string token;
+      while (fields >> token) {
+        if (token == "|") {
+          query_side = true;
+          continue;
+        }
+        KGOV_ASSIGN_OR_RETURN(EntityMention mention, ParseMention(token));
+        if (mention.entity >= corpus.num_entities) {
+          return Status::IoError("entity id out of range at " + path + ":" +
+                                 std::to_string(line_no));
+        }
+        (query_side ? doc.query_mentions : doc.mentions).push_back(mention);
+      }
+      corpus.documents.push_back(std::move(doc));
+    } else {
+      return Status::IoError("unknown tag '" + tag + "' at " + path + ":" +
+                             std::to_string(line_no));
+    }
+  }
+  if (corpus.num_entities == 0) {
+    return Status::IoError("corpus file lacks an E header: " + path);
+  }
+  return corpus;
+}
+
+Status SaveQuestions(const std::vector<Question>& questions,
+                     const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  out << "# kgov questions: " << questions.size() << "\n";
+  for (const Question& q : questions) {
+    out << "Q " << q.best_document;
+    for (const EntityMention& m : q.mentions) WriteMention(out, m);
+    if (!q.relevant_documents.empty()) {
+      out << " R";
+      for (int d : q.relevant_documents) out << ' ' << d;
+    }
+    out << "\n";
+  }
+  if (!out.good()) {
+    return Status::IoError("write failure on '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Question>> LoadQuestions(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  std::vector<Question> questions;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view trimmed = TrimWhitespace(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::istringstream fields{std::string(trimmed)};
+    std::string tag;
+    fields >> tag;
+    if (tag != "Q") {
+      return Status::IoError("unknown tag '" + tag + "' at " + path + ":" +
+                             std::to_string(line_no));
+    }
+    Question q;
+    fields >> q.best_document;
+    if (fields.fail()) {
+      return Status::IoError("bad Q line at " + path + ":" +
+                             std::to_string(line_no));
+    }
+    std::string token;
+    bool relevant_section = false;
+    while (fields >> token) {
+      if (token == "R") {
+        relevant_section = true;
+        continue;
+      }
+      if (relevant_section) {
+        q.relevant_documents.push_back(std::stoi(token));
+      } else {
+        KGOV_ASSIGN_OR_RETURN(EntityMention mention, ParseMention(token));
+        q.mentions.push_back(mention);
+      }
+    }
+    questions.push_back(std::move(q));
+  }
+  return questions;
+}
+
+}  // namespace kgov::qa

@@ -1,0 +1,40 @@
+// Plain-text persistence for corpora and question sets, so experiments can
+// be generated once and replayed (and real corpora can be imported). Used
+// by the kgov_cli tool.
+//
+// Corpus format (line-oriented, '#' comments allowed):
+//   E <num_entities>
+//   N <entity_id> <name>                          (optional, any number)
+//   D <topic> <e>:<count> ... [| <e>:<count> ...] (one per document;
+//                                                  entries after '|' are
+//                                                  query-side mentions)
+// Question format:
+//   Q <best_document> <e>:<count> ... [R <doc> <doc> ...]
+
+#ifndef KGOV_QA_CORPUS_IO_H_
+#define KGOV_QA_CORPUS_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "qa/corpus.h"
+
+namespace kgov::qa {
+
+/// Writes `corpus` to `path`.
+Status SaveCorpus(const Corpus& corpus, const std::string& path);
+
+/// Reads a corpus written by SaveCorpus (or hand-authored in the format).
+Result<Corpus> LoadCorpus(const std::string& path);
+
+/// Writes `questions` to `path`.
+Status SaveQuestions(const std::vector<Question>& questions,
+                     const std::string& path);
+
+/// Reads questions written by SaveQuestions.
+Result<std::vector<Question>> LoadQuestions(const std::string& path);
+
+}  // namespace kgov::qa
+
+#endif  // KGOV_QA_CORPUS_IO_H_

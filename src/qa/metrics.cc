@@ -1,0 +1,127 @@
+#include "qa/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace kgov::qa {
+
+int DocumentRank(const std::vector<RankedDocument>& ranking, int document) {
+  for (size_t i = 0; i < ranking.size(); ++i) {
+    if (ranking[i].document == document) return static_cast<int>(i) + 1;
+  }
+  return 0;
+}
+
+RankingMetrics EvaluateRankings(
+    const std::vector<Question>& questions,
+    const std::vector<std::vector<RankedDocument>>& rankings,
+    std::vector<size_t> ks) {
+  KGOV_CHECK(questions.size() == rankings.size());
+  RankingMetrics metrics;
+  metrics.ks = std::move(ks);
+  metrics.hits_at.assign(metrics.ks.size(), 0.0);
+  metrics.precision_at.assign(metrics.ks.size(), 0.0);
+
+  double mrr_sum = 0.0;
+  double map_sum = 0.0;
+  double rank_sum = 0.0;
+  double ndcg_sum = 0.0;
+  size_t counted = 0;
+
+  for (size_t q = 0; q < questions.size(); ++q) {
+    const Question& question = questions[q];
+    if (question.best_document < 0) continue;
+    const std::vector<RankedDocument>& ranking = rankings[q];
+    ++counted;
+
+    int rank = DocumentRank(ranking, question.best_document);
+    for (size_t i = 0; i < metrics.ks.size(); ++i) {
+      if (rank > 0 && static_cast<size_t>(rank) <= metrics.ks[i]) {
+        metrics.hits_at[i] += 1.0;
+      }
+    }
+    if (rank > 0) {
+      mrr_sum += 1.0 / static_cast<double>(rank);
+      rank_sum += static_cast<double>(rank);
+    } else {
+      rank_sum += static_cast<double>(ranking.size() + 1);
+    }
+
+    // Average precision over the graded relevance set.
+    std::unordered_set<int> relevant(question.relevant_documents.begin(),
+                                     question.relevant_documents.end());
+    if (relevant.empty()) relevant.insert(question.best_document);
+    double hits = 0.0;
+    double precision_sum = 0.0;
+    for (size_t i = 0; i < ranking.size(); ++i) {
+      if (relevant.count(ranking[i].document) > 0) {
+        hits += 1.0;
+        precision_sum += hits / static_cast<double>(i + 1);
+      }
+    }
+    map_sum += relevant.empty()
+                   ? 0.0
+                   : precision_sum / static_cast<double>(relevant.size());
+
+    // Precision@k over the graded relevance set.
+    for (size_t i = 0; i < metrics.ks.size(); ++i) {
+      size_t k = metrics.ks[i];
+      size_t hits_at_k = 0;
+      for (size_t r = 0; r < ranking.size() && r < k; ++r) {
+        if (relevant.count(ranking[r].document) > 0) ++hits_at_k;
+      }
+      metrics.precision_at[i] +=
+          static_cast<double>(hits_at_k) / static_cast<double>(k);
+    }
+
+    // NDCG with graded gains: best answer 2, other relevant 1.
+    auto gain_of = [&](int doc) {
+      if (doc == question.best_document) return 2.0;
+      return relevant.count(doc) > 0 ? 1.0 : 0.0;
+    };
+    double dcg = 0.0;
+    for (size_t r = 0; r < ranking.size(); ++r) {
+      double gain = gain_of(ranking[r].document);
+      if (gain > 0.0) dcg += gain / std::log2(static_cast<double>(r) + 2.0);
+    }
+    // Ideal ordering: the best answer first, then the other relevant docs.
+    double idcg = 2.0 / std::log2(2.0);
+    size_t others = relevant.size() - (relevant.count(question.best_document)
+                                           ? 1
+                                           : 0);
+    for (size_t r = 0; r < others; ++r) {
+      idcg += 1.0 / std::log2(static_cast<double>(r) + 3.0);
+    }
+    ndcg_sum += idcg > 0.0 ? dcg / idcg : 0.0;
+  }
+
+  metrics.num_questions = counted;
+  if (counted > 0) {
+    for (double& h : metrics.hits_at) h /= static_cast<double>(counted);
+    for (double& p : metrics.precision_at) p /= static_cast<double>(counted);
+    metrics.mrr = mrr_sum / static_cast<double>(counted);
+    metrics.map = map_sum / static_cast<double>(counted);
+    metrics.average_rank = rank_sum / static_cast<double>(counted);
+    metrics.ndcg = ndcg_sum / static_cast<double>(counted);
+  }
+  return metrics;
+}
+
+double AveragePercentImprovement(const std::vector<double>& ranks_before,
+                                 const std::vector<double>& ranks_after) {
+  KGOV_CHECK(ranks_before.size() == ranks_after.size());
+  if (ranks_before.empty()) return 0.0;
+  double sum = 0.0;
+  size_t counted = 0;
+  for (size_t i = 0; i < ranks_before.size(); ++i) {
+    if (ranks_before[i] <= 0.0) continue;
+    sum += (ranks_before[i] - ranks_after[i]) / ranks_before[i];
+    ++counted;
+  }
+  return counted > 0 ? sum / static_cast<double>(counted) : 0.0;
+}
+
+}  // namespace kgov::qa

@@ -1,0 +1,54 @@
+// Ranking-quality metrics used by the paper's effectiveness experiments:
+// H@k (Table V), MRR and MAP (Fig. 5), Ravg / Pavg (Table IV).
+
+#ifndef KGOV_QA_METRICS_H_
+#define KGOV_QA_METRICS_H_
+
+#include <vector>
+
+#include "qa/corpus.h"
+#include "qa/qa_system.h"
+
+namespace kgov::qa {
+
+/// Metrics over a batch of questions. All values are means across
+/// questions with a valid ground-truth label.
+struct RankingMetrics {
+  /// hits_at[i]: fraction of questions whose best answer ranks <= ks[i].
+  std::vector<double> hits_at;
+  std::vector<size_t> ks;
+  /// Mean reciprocal rank of the best answer (0 contribution when absent
+  /// from the list).
+  double mrr = 0.0;
+  /// Mean average precision over the graded relevance set.
+  double map = 0.0;
+  /// Mean rank of the best answer; absent answers count as list size + 1
+  /// (paper's Ravg).
+  double average_rank = 0.0;
+  /// Mean NDCG over the graded relevance set (best answer gain 2, other
+  /// relevant documents gain 1, log2 position discount). Extension beyond
+  /// the paper's metric set.
+  double ndcg = 0.0;
+  /// Mean precision@k for the same ks as hits_at.
+  std::vector<double> precision_at;
+  size_t num_questions = 0;
+};
+
+/// Evaluates ranked lists (one per question, aligned by index) against the
+/// questions' ground truth.
+RankingMetrics EvaluateRankings(
+    const std::vector<Question>& questions,
+    const std::vector<std::vector<RankedDocument>>& rankings,
+    std::vector<size_t> ks = {1, 3, 5, 10});
+
+/// Per-question mean of (rank_before - rank_after) / rank_before, the
+/// paper's Pavg (percentage-wise ranking improvement).
+double AveragePercentImprovement(const std::vector<double>& ranks_before,
+                                 const std::vector<double>& ranks_after);
+
+/// Convenience: 1-based rank of `document` in `ranking` (0 when absent).
+int DocumentRank(const std::vector<RankedDocument>& ranking, int document);
+
+}  // namespace kgov::qa
+
+#endif  // KGOV_QA_METRICS_H_

@@ -1,0 +1,58 @@
+#include "qa/qa_system.h"
+
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace kgov::qa {
+
+ppr::QuerySeed LinkQuestion(const Question& question, size_t num_entities) {
+  ppr::QuerySeed seed;
+  int total = 0;
+  for (const EntityMention& m : question.mentions) {
+    if (m.entity < num_entities) total += m.count;
+  }
+  if (total <= 0) return seed;
+  for (const EntityMention& m : question.mentions) {
+    if (m.entity >= num_entities) continue;
+    seed.links.emplace_back(
+        static_cast<graph::NodeId>(m.entity),
+        static_cast<double>(m.count) / static_cast<double>(total));
+  }
+  return seed;
+}
+
+QaSystem::QaSystem(const graph::WeightedDigraph* graph,
+                   const std::vector<graph::NodeId>* answer_nodes,
+                   size_t num_entities, QaOptions options)
+    : graph_(graph),
+      answer_nodes_(answer_nodes),
+      num_entities_(num_entities),
+      options_(options),
+      evaluator_(graph, options.eipd) {
+  KGOV_CHECK(graph_ != nullptr && answer_nodes_ != nullptr);
+}
+
+std::vector<ppr::ScoredAnswer> QaSystem::AskSeed(
+    const ppr::QuerySeed& seed) const {
+  if (seed.empty()) return {};
+  return evaluator_.RankAnswers(seed, *answer_nodes_, options_.top_k);
+}
+
+std::vector<RankedDocument> QaSystem::Ask(const Question& question) const {
+  ppr::QuerySeed seed = LinkQuestion(question, num_entities_);
+  std::vector<ppr::ScoredAnswer> ranked = AskSeed(seed);
+  // Node -> document translation (answer nodes are contiguous after the
+  // entities, so this is arithmetic).
+  std::vector<RankedDocument> docs;
+  docs.reserve(ranked.size());
+  for (const ppr::ScoredAnswer& sa : ranked) {
+    RankedDocument doc;
+    doc.document = static_cast<int>(sa.node - num_entities_);
+    doc.score = sa.score;
+    docs.push_back(doc);
+  }
+  return docs;
+}
+
+}  // namespace kgov::qa

@@ -1,0 +1,62 @@
+// The knowledge-graph Q&A system (paper Fig. 1): link a question into the
+// graph, evaluate extended-inverse-P-distance similarities, return ranked
+// answers.
+
+#ifndef KGOV_QA_QA_SYSTEM_H_
+#define KGOV_QA_QA_SYSTEM_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "ppr/eipd.h"
+#include "ppr/query_seed.h"
+#include "qa/corpus.h"
+#include "qa/kg_builder.h"
+
+namespace kgov::qa {
+
+/// Builds the query seed of a question: w(vq, vi) = #(q, vi) / sum_j
+/// #(q, vj) over the question's entity mentions (paper SIII-A). Mentions of
+/// entities outside [0, num_entities) are ignored.
+ppr::QuerySeed LinkQuestion(const Question& question, size_t num_entities);
+
+struct QaOptions {
+  ppr::EipdOptions eipd;
+  /// Length of the returned answer list.
+  size_t top_k = 20;
+};
+
+/// A ranked document with its similarity score.
+struct RankedDocument {
+  int document = -1;
+  double score = 0.0;
+};
+
+class QaSystem {
+ public:
+  /// Serves answers from `graph` (typically a KnowledgeGraph's graph or an
+  /// optimized copy of it). `answer_nodes[d]` must be document d's node.
+  /// Both referents are borrowed.
+  QaSystem(const graph::WeightedDigraph* graph,
+           const std::vector<graph::NodeId>* answer_nodes,
+           size_t num_entities, QaOptions options = {});
+
+  const QaOptions& options() const { return options_; }
+
+  /// Top-k documents for `question`, best first.
+  std::vector<RankedDocument> Ask(const Question& question) const;
+
+  /// Top-k answer *nodes* for a pre-linked query.
+  std::vector<ppr::ScoredAnswer> AskSeed(const ppr::QuerySeed& seed) const;
+
+ private:
+  const graph::WeightedDigraph* graph_;
+  const std::vector<graph::NodeId>* answer_nodes_;
+  size_t num_entities_;
+  QaOptions options_;
+  ppr::EipdEvaluator evaluator_;
+};
+
+}  // namespace kgov::qa
+
+#endif  // KGOV_QA_QA_SYSTEM_H_

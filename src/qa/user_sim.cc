@@ -1,0 +1,111 @@
+#include "qa/user_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "ppr/eipd.h"
+
+namespace kgov::qa {
+
+KnowledgeGraph CorruptKnowledgeGraph(const KnowledgeGraph& truth,
+                                     const UserSimParams& params, Rng& rng) {
+  KnowledgeGraph deployed = truth;
+  graph::WeightedDigraph& g = deployed.graph;
+  for (graph::EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const graph::Edge& edge = g.edge(e);
+    bool entity_edge = edge.from < deployed.num_entities &&
+                       edge.to < deployed.num_entities;
+    if (!entity_edge) continue;
+    if (rng.Bernoulli(params.edge_dropout)) {
+      g.SetWeight(e, 1e-4);
+      continue;
+    }
+    double factor = std::exp(params.weight_noise * rng.NextGaussian());
+    g.SetWeight(e, edge.weight * factor);
+  }
+  g.NormalizeAllOutWeights();
+  return deployed;
+}
+
+namespace {
+
+// Internal vote construction with explicit node translation.
+votes::Vote MakeVote(uint32_t vote_id, const Question& question,
+                     const KnowledgeGraph& deployed,
+                     const std::vector<RankedDocument>& shown, int best_doc) {
+  votes::Vote vote;
+  vote.id = vote_id;
+  vote.query = LinkQuestion(question, deployed.num_entities);
+  vote.answer_list.reserve(shown.size());
+  for (const RankedDocument& rd : shown) {
+    vote.answer_list.push_back(deployed.answer_nodes[rd.document]);
+  }
+  vote.best_answer = deployed.answer_nodes[best_doc];
+  return vote;
+}
+
+}  // namespace
+
+Result<SimulatedEnvironment> BuildEnvironment(
+    const CorpusParams& corpus_params, const UserSimParams& params,
+    Rng& rng) {
+  SimulatedEnvironment env;
+  KGOV_ASSIGN_OR_RETURN(env.corpus, GenerateCorpus(corpus_params, rng));
+  KGOV_ASSIGN_OR_RETURN(env.truth, BuildKnowledgeGraph(env.corpus));
+  env.deployed = CorruptKnowledgeGraph(env.truth, params, rng);
+
+  env.train_questions =
+      GenerateQuestions(env.corpus, params.num_votes, corpus_params, rng);
+  env.test_questions = GenerateQuestions(env.corpus,
+                                         params.num_test_questions,
+                                         corpus_params, rng);
+
+  QaSystem deployed_system(&env.deployed.graph, &env.deployed.answer_nodes,
+                           env.deployed.num_entities, params.qa);
+  QaSystem truth_system(&env.truth.graph, &env.truth.answer_nodes,
+                        env.truth.num_entities, params.qa);
+
+  uint32_t vote_id = 0;
+  for (const Question& question : env.train_questions) {
+    std::vector<RankedDocument> shown = deployed_system.Ask(question);
+    while (!shown.empty() && shown.back().score <= 0.0) shown.pop_back();
+    if (shown.size() < 2) continue;
+
+    int best_doc = -1;
+    if (rng.Bernoulli(params.vote_error_rate)) {
+      best_doc = shown[rng.NextIndex(shown.size())].document;
+    } else {
+      for (const RankedDocument& rd : shown) {
+        if (rd.document == question.best_document) {
+          best_doc = rd.document;
+          break;
+        }
+      }
+      if (best_doc < 0) {
+        std::vector<RankedDocument> truth_view = truth_system.Ask(question);
+        for (const RankedDocument& rd : truth_view) {
+          bool is_shown =
+              std::any_of(shown.begin(), shown.end(),
+                          [&](const RankedDocument& s) {
+                            return s.document == rd.document;
+                          });
+          if (is_shown) {
+            best_doc = rd.document;
+            break;
+          }
+        }
+      }
+      if (best_doc < 0) best_doc = shown.front().document;
+    }
+    env.votes.push_back(
+        MakeVote(vote_id++, question, env.deployed, shown, best_doc));
+  }
+
+  if (env.votes.empty()) {
+    return Status::Internal("simulation produced no usable votes");
+  }
+  return env;
+}
+
+}  // namespace kgov::qa

@@ -1,0 +1,68 @@
+// Simulated users and the deployed-vs-truth environment (substitute for
+// the paper's volunteer study; see DESIGN.md SS1).
+//
+// The simulation separates the *world* (a clean knowledge graph built from
+// the corpus) from the *deployed system* (the same graph with corrupted
+// entity-entity weights, standing in for source-data errors and staleness,
+// the paper's SI motivation). Simulated users see the deployed system's
+// top-k answers and vote for the one the truth graph ranks best - exactly
+// the information a human vote carries - with a configurable error rate for
+// careless votes.
+
+#ifndef KGOV_QA_USER_SIM_H_
+#define KGOV_QA_USER_SIM_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "qa/corpus.h"
+#include "qa/kg_builder.h"
+#include "qa/qa_system.h"
+#include "votes/vote.h"
+
+namespace kgov::qa {
+
+struct UserSimParams {
+  /// Std-dev of the multiplicative log-normal noise applied to deployed
+  /// entity-entity weights.
+  double weight_noise = 0.6;
+  /// Fraction of entity-entity edges whose weight is crushed to near zero
+  /// (simulates missing/stale relations).
+  double edge_dropout = 0.05;
+  /// Probability a vote picks a uniformly random listed answer instead of
+  /// the truth-best one (erroneous votes, SV).
+  double vote_error_rate = 0.05;
+  /// Number of training questions used to collect votes.
+  size_t num_votes = 100;
+  /// Number of expert-labeled test questions.
+  size_t num_test_questions = 100;
+  QaOptions qa;
+};
+
+/// The complete simulated study.
+struct SimulatedEnvironment {
+  Corpus corpus;
+  /// The clean world graph.
+  KnowledgeGraph truth;
+  /// The corrupted graph the Q&A system actually serves from.
+  KnowledgeGraph deployed;
+  std::vector<Question> train_questions;
+  std::vector<Question> test_questions;
+  /// Votes collected against the deployed graph.
+  std::vector<votes::Vote> votes;
+};
+
+/// Corrupts entity-entity weights of `truth` in place on a copy (answer
+/// links are left intact) and re-normalizes.
+KnowledgeGraph CorruptKnowledgeGraph(const KnowledgeGraph& truth,
+                                     const UserSimParams& params, Rng& rng);
+
+/// Builds corpus -> truth KG -> deployed KG -> votes -> test set.
+Result<SimulatedEnvironment> BuildEnvironment(const CorpusParams& corpus_params,
+                                              const UserSimParams& params,
+                                              Rng& rng);
+
+}  // namespace kgov::qa
+
+#endif  // KGOV_QA_USER_SIM_H_

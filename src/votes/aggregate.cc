@@ -1,0 +1,67 @@
+#include "votes/aggregate.h"
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace kgov::votes {
+
+namespace {
+
+// Structural fingerprint of (query seed, answer list, best answer).
+// FNV-1a over the vote's defining fields; collisions are resolved by a
+// full equality check.
+uint64_t Fingerprint(const Vote& vote) {
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (const auto& [node, weight] : vote.query.links) {
+    mix(node);
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(weight));
+    __builtin_memcpy(&bits, &weight, sizeof(bits));
+    mix(bits);
+  }
+  for (graph::NodeId node : vote.answer_list) mix(node);
+  mix(vote.best_answer);
+  return h;
+}
+
+bool SameVote(const Vote& a, const Vote& b) {
+  return a.best_answer == b.best_answer && a.answer_list == b.answer_list &&
+         a.query.links == b.query.links;
+}
+
+}  // namespace
+
+std::vector<Vote> AggregateVotes(const std::vector<Vote>& votes) {
+  std::vector<Vote> out;
+  out.reserve(votes.size());
+  // fingerprint -> indices into `out` (bucket for collision resolution).
+  std::unordered_map<uint64_t, std::vector<size_t>> buckets;
+
+  for (const Vote& vote : votes) {
+    if (!vote.IsWellFormed()) {
+      out.push_back(vote);
+      continue;
+    }
+    uint64_t fp = Fingerprint(vote);
+    std::vector<size_t>& bucket = buckets[fp];
+    bool merged = false;
+    for (size_t idx : bucket) {
+      if (SameVote(out[idx], vote)) {
+        out[idx].weight += vote.weight;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) {
+      bucket.push_back(out.size());
+      out.push_back(vote);
+    }
+  }
+  return out;
+}
+
+}  // namespace kgov::votes

@@ -1,0 +1,80 @@
+#include "votes/conflict.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace kgov::votes {
+
+namespace {
+
+std::unordered_set<graph::NodeId> SeedNodes(const Vote& vote) {
+  std::unordered_set<graph::NodeId> nodes;
+  for (const auto& [node, weight] : vote.query.links) {
+    if (weight > 0.0) nodes.insert(node);
+  }
+  return nodes;
+}
+
+double Overlap(const std::unordered_set<graph::NodeId>& a,
+               const std::unordered_set<graph::NodeId>& b) {
+  if (a.empty() && b.empty()) return 0.0;
+  size_t intersection = 0;
+  const auto& small = a.size() <= b.size() ? a : b;
+  const auto& large = a.size() <= b.size() ? b : a;
+  for (graph::NodeId v : small) {
+    if (large.count(v) > 0) ++intersection;
+  }
+  return static_cast<double>(intersection) /
+         static_cast<double>(a.size() + b.size() - intersection);
+}
+
+bool Lists(const Vote& vote, graph::NodeId node) {
+  return std::find(vote.answer_list.begin(), vote.answer_list.end(),
+                   node) != vote.answer_list.end();
+}
+
+}  // namespace
+
+ConflictReport AnalyzeConflicts(const std::vector<Vote>& votes,
+                                const ConflictOptions& options) {
+  ConflictReport report;
+  std::vector<std::unordered_set<graph::NodeId>> seeds;
+  seeds.reserve(votes.size());
+  for (const Vote& vote : votes) {
+    seeds.push_back(SeedNodes(vote));
+  }
+
+  std::vector<char> involved(votes.size(), 0);
+  for (size_t i = 0; i < votes.size(); ++i) {
+    if (!votes[i].IsWellFormed()) continue;
+    for (size_t j = i + 1; j < votes.size(); ++j) {
+      if (!votes[j].IsWellFormed()) continue;
+      double overlap = Overlap(seeds[i], seeds[j]);
+      if (overlap < options.min_query_overlap) continue;
+      ++report.overlapping_pairs;
+
+      // Contradiction: each vote's best answer is dominated by the
+      // other's (A: bestA > bestB, B: bestB > bestA).
+      graph::NodeId best_i = votes[i].best_answer;
+      graph::NodeId best_j = votes[j].best_answer;
+      if (best_i == best_j) continue;
+      if (Lists(votes[i], best_j) && Lists(votes[j], best_i)) {
+        VoteConflict conflict;
+        conflict.vote_a = i;
+        conflict.vote_b = j;
+        conflict.answer_x = best_i;
+        conflict.answer_y = best_j;
+        conflict.query_overlap = overlap;
+        report.conflicts.push_back(conflict);
+        involved[i] = 1;
+        involved[j] = 1;
+      }
+    }
+  }
+  for (char flag : involved) {
+    if (flag) ++report.conflicted_votes;
+  }
+  return report;
+}
+
+}  // namespace kgov::votes

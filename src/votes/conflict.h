@@ -1,0 +1,56 @@
+// Vote-conflict diagnostics (supporting the discussion in paper SV).
+//
+// Two votes conflict *explicitly* when they impose contradictory pairwise
+// orderings: vote A requires S(a1) > S(a2) (a1 is A's best and a2 is
+// listed) while vote B requires S(a2) > S(a1) for an overlapping query.
+// Conflicts are the reason the multi-vote solution exists; this analyzer
+// surfaces them so operators can inspect noisy feedback before optimizing,
+// and so experiments can report conflict rates.
+
+#ifndef KGOV_VOTES_CONFLICT_H_
+#define KGOV_VOTES_CONFLICT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "votes/vote.h"
+
+namespace kgov::votes {
+
+/// One contradictory pair of votes.
+struct VoteConflict {
+  /// Indices into the analyzed vote vector.
+  size_t vote_a = 0;
+  size_t vote_b = 0;
+  /// The two answers ordered oppositely by the votes.
+  graph::NodeId answer_x = graph::kInvalidNode;
+  graph::NodeId answer_y = graph::kInvalidNode;
+  /// Jaccard overlap of the votes' query seed nodes in [0, 1]; conflicts
+  /// only matter when the queries overlap (0 overlap = unrelated queries
+  /// that happen to disagree, typically harmless).
+  double query_overlap = 0.0;
+};
+
+struct ConflictReport {
+  std::vector<VoteConflict> conflicts;
+  /// Votes involved in at least one conflict.
+  size_t conflicted_votes = 0;
+  /// Pairs inspected (votes with query overlap above the threshold).
+  size_t overlapping_pairs = 0;
+};
+
+struct ConflictOptions {
+  /// Only vote pairs whose query seeds overlap at least this much (Jaccard
+  /// over seed nodes) are considered related enough to conflict.
+  double min_query_overlap = 0.0;
+};
+
+/// Scans all vote pairs for contradictory orderings.
+/// O(votes^2 * k^2) worst case; intended for diagnostic runs, not the
+/// serving path.
+ConflictReport AnalyzeConflicts(const std::vector<Vote>& votes,
+                                const ConflictOptions& options = {});
+
+}  // namespace kgov::votes
+
+#endif  // KGOV_VOTES_CONFLICT_H_

@@ -1,0 +1,73 @@
+#include "votes/judgment.h"
+
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "ppr/eipd.h"
+
+namespace kgov::votes {
+
+JudgmentFilter::JudgmentFilter(const graph::WeightedDigraph* graph,
+                               JudgmentOptions options)
+    : graph_(graph), options_(std::move(options)) {
+  KGOV_CHECK(graph_ != nullptr);
+  KGOV_CHECK(options_.shared_edge_weight > 0.0 &&
+             options_.shared_edge_weight < 1.0);
+}
+
+bool JudgmentFilter::IsSatisfiable(const Vote& vote) const {
+  if (!vote.IsWellFormed()) return false;
+  if (vote.IsPositive()) return true;
+
+  int rank = vote.BestAnswerRank();  // 1-based; >= 2 for negative votes
+  KGOV_DCHECK(rank >= 2);
+  graph::NodeId best = vote.best_answer;
+  graph::NodeId rival = vote.answer_list[rank - 2];  // ranked one above
+
+  // Edge sets of contributing walks to each of the two answers.
+  ppr::SymbolicEipd symbolic(graph_, options_.is_variable, options_.symbolic);
+  ppr::EdgeVariableMap scratch;
+  std::vector<ppr::SymbolicAnswer> answers =
+      symbolic.Collect(vote.query, {best, rival}, &scratch);
+  const auto& best_edges = answers[0].path_edges;
+  const auto& rival_edges = answers[1].path_edges;
+
+  // Extreme condition: favour a* maximally, the rival minimally. Only
+  // optimizable edges are reassigned; fixed edges keep their weights.
+  auto changeable = [this](graph::EdgeId e) {
+    return !options_.is_variable || options_.is_variable(*graph_, e);
+  };
+  std::unordered_map<graph::EdgeId, double> overrides;
+  overrides.reserve(best_edges.size() + rival_edges.size());
+  for (graph::EdgeId e : best_edges) {
+    if (!changeable(e)) continue;
+    overrides[e] = rival_edges.count(e) > 0 ? options_.shared_edge_weight
+                                            : 1.0;
+  }
+  for (graph::EdgeId e : rival_edges) {
+    if (!changeable(e)) continue;
+    if (best_edges.count(e) == 0) overrides[e] = 0.0;
+  }
+
+  ppr::EipdEvaluator evaluator(graph_, options_.symbolic.eipd);
+  std::vector<double> scores =
+      evaluator.SimilarityManyWithOverrides(vote.query, {best, rival},
+                                            overrides);
+  return scores[0] > scores[1];
+}
+
+std::vector<Vote> JudgmentFilter::FilterVotes(
+    const std::vector<Vote>& votes) const {
+  std::vector<Vote> kept;
+  kept.reserve(votes.size());
+  for (const Vote& vote : votes) {
+    if (IsSatisfiable(vote)) {
+      kept.push_back(vote);
+    } else {
+      KGOV_LOG(DEBUG) << "judgment filter discarded vote " << vote.id;
+    }
+  }
+  return kept;
+}
+
+}  // namespace kgov::votes

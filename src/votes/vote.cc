@@ -1,0 +1,30 @@
+#include "votes/vote.h"
+
+namespace kgov::votes {
+
+int Vote::BestAnswerRank() const { return RankOf(answer_list, best_answer); }
+
+bool Vote::IsWellFormed() const {
+  return !answer_list.empty() && BestAnswerRank() > 0 && !query.empty();
+}
+
+int RankOf(const std::vector<graph::NodeId>& ranked, graph::NodeId node) {
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    if (ranked[i] == node) return static_cast<int>(i) + 1;
+  }
+  return 0;
+}
+
+VoteSetSummary Summarize(const std::vector<Vote>& votes) {
+  VoteSetSummary summary;
+  for (const Vote& vote : votes) {
+    if (vote.IsPositive()) {
+      ++summary.positive;
+    } else {
+      ++summary.negative;
+    }
+  }
+  return summary;
+}
+
+}  // namespace kgov::votes

@@ -1,0 +1,61 @@
+// User votes (paper Definition 2).
+//
+// A vote records the query, the ranked top-k answer list the system
+// returned, and the answer the user singled out as best. When the best
+// answer is already ranked first the vote is *positive* (a confirmation);
+// otherwise it is *negative* (a correction).
+
+#ifndef KGOV_VOTES_VOTE_H_
+#define KGOV_VOTES_VOTE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "ppr/query_seed.h"
+
+namespace kgov::votes {
+
+struct Vote {
+  /// Stable id used in diagnostics and cluster assignments.
+  uint32_t id = 0;
+  /// The query, as links into the knowledge graph.
+  ppr::QuerySeed query;
+  /// Ranked top-k answers shown to the user (best-ranked first).
+  std::vector<graph::NodeId> answer_list;
+  /// The user's choice of best answer; must appear in answer_list.
+  graph::NodeId best_answer = graph::kInvalidNode;
+  /// Relative trust/importance of this vote (> 0). Scales the vote's
+  /// constraint penalties in the multi-vote objective; use e.g. a user's
+  /// historical reliability, or a count when identical implicit votes are
+  /// aggregated. Extension beyond the paper (which weighs all votes
+  /// equally).
+  double weight = 1.0;
+
+  /// True when the user confirmed the top-ranked answer.
+  bool IsPositive() const {
+    return !answer_list.empty() && answer_list.front() == best_answer;
+  }
+  bool IsNegative() const { return !IsPositive(); }
+
+  /// 1-based rank of the best answer in answer_list; 0 when absent.
+  int BestAnswerRank() const;
+
+  /// Structural sanity: non-empty list, best answer present, query seeded.
+  bool IsWellFormed() const;
+};
+
+/// 1-based position of `node` in `ranked` (0 when absent).
+int RankOf(const std::vector<graph::NodeId>& ranked, graph::NodeId node);
+
+/// Counts of positive/negative votes in `votes`.
+struct VoteSetSummary {
+  size_t positive = 0;
+  size_t negative = 0;
+};
+VoteSetSummary Summarize(const std::vector<Vote>& votes);
+
+}  // namespace kgov::votes
+
+#endif  // KGOV_VOTES_VOTE_H_

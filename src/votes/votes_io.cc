@@ -1,0 +1,94 @@
+#include "votes/votes_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace kgov::votes {
+
+Status SaveVotes(const std::vector<Vote>& votes, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  out << std::setprecision(17);
+  out << "# kgov votes: " << votes.size() << "\n";
+  for (const Vote& vote : votes) {
+    out << "V " << vote.id << ' ' << vote.weight << " B "
+        << vote.best_answer << " A";
+    for (graph::NodeId node : vote.answer_list) out << ' ' << node;
+    out << " S";
+    for (const auto& [node, weight] : vote.query.links) {
+      out << ' ' << node << ':' << weight;
+    }
+    out << "\n";
+  }
+  if (!out.good()) {
+    return Status::IoError("write failure on '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Vote>> LoadVotes(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  std::vector<Vote> votes;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view trimmed = TrimWhitespace(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::istringstream fields{std::string(trimmed)};
+    std::string tag;
+    fields >> tag;
+    if (tag != "V") {
+      return Status::IoError("unknown tag '" + tag + "' at " + path + ":" +
+                             std::to_string(line_no));
+    }
+    Vote vote;
+    std::string section;
+    fields >> vote.id >> vote.weight >> section;
+    if (fields.fail() || section != "B" || vote.weight <= 0.0) {
+      return Status::IoError("bad vote header at " + path + ":" +
+                             std::to_string(line_no));
+    }
+    fields >> vote.best_answer;
+    // Answer list.
+    fields >> section;
+    if (fields.fail() || section != "A") {
+      return Status::IoError("missing answer list at " + path + ":" +
+                             std::to_string(line_no));
+    }
+    std::string token;
+    bool in_seed = false;
+    while (fields >> token) {
+      if (token == "S") {
+        in_seed = true;
+        continue;
+      }
+      if (!in_seed) {
+        vote.answer_list.push_back(
+            static_cast<graph::NodeId>(std::stoul(token)));
+      } else {
+        size_t colon = token.find(':');
+        if (colon == std::string::npos) {
+          return Status::IoError("bad seed link '" + token + "' at " + path +
+                                 ":" + std::to_string(line_no));
+        }
+        graph::NodeId node =
+            static_cast<graph::NodeId>(std::stoul(token.substr(0, colon)));
+        double weight = std::stod(token.substr(colon + 1));
+        vote.query.links.emplace_back(node, weight);
+      }
+    }
+    votes.push_back(std::move(vote));
+  }
+  return votes;
+}
+
+}  // namespace kgov::votes

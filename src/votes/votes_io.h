@@ -1,0 +1,28 @@
+// Plain-text persistence for vote sets, so collected feedback can be
+// batched to the optimizer offline (and the kgov_cli tool can replay it).
+//
+// Format (one vote per line, '#' comments allowed):
+//   V <id> <weight> B <best_node> A <node> <node> ... S <node>:<w> ...
+// where A lists the ranked answer nodes shown to the user and S the query
+// seed links.
+
+#ifndef KGOV_VOTES_VOTES_IO_H_
+#define KGOV_VOTES_VOTES_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "votes/vote.h"
+
+namespace kgov::votes {
+
+/// Writes `votes` to `path`.
+Status SaveVotes(const std::vector<Vote>& votes, const std::string& path);
+
+/// Reads votes written by SaveVotes.
+Result<std::vector<Vote>> LoadVotes(const std::string& path);
+
+}  // namespace kgov::votes
+
+#endif  // KGOV_VOTES_VOTES_IO_H_

@@ -1,0 +1,75 @@
+#include "votes/aggregate.h"
+
+#include <gtest/gtest.h>
+
+namespace kgov::votes {
+namespace {
+
+Vote MakeVote(uint32_t id, graph::NodeId seed, graph::NodeId best,
+              double weight = 1.0) {
+  Vote vote;
+  vote.id = id;
+  vote.weight = weight;
+  vote.query.links.emplace_back(seed, 1.0);
+  vote.answer_list = {10, 11, 12};
+  vote.best_answer = best;
+  return vote;
+}
+
+TEST(AggregateTest, MergesIdenticalVotes) {
+  std::vector<Vote> votes{MakeVote(0, 5, 11), MakeVote(1, 5, 11),
+                          MakeVote(2, 5, 11)};
+  std::vector<Vote> merged = AggregateVotes(votes);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].id, 0u);  // first occurrence wins
+  EXPECT_DOUBLE_EQ(merged[0].weight, 3.0);
+}
+
+TEST(AggregateTest, SumsExistingWeights) {
+  std::vector<Vote> votes{MakeVote(0, 5, 11, 2.0), MakeVote(1, 5, 11, 0.5)};
+  std::vector<Vote> merged = AggregateVotes(votes);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_DOUBLE_EQ(merged[0].weight, 2.5);
+}
+
+TEST(AggregateTest, DifferentBestAnswersKeptSeparate) {
+  std::vector<Vote> votes{MakeVote(0, 5, 11), MakeVote(1, 5, 12)};
+  EXPECT_EQ(AggregateVotes(votes).size(), 2u);
+}
+
+TEST(AggregateTest, DifferentSeedsKeptSeparate) {
+  std::vector<Vote> votes{MakeVote(0, 5, 11), MakeVote(1, 6, 11)};
+  EXPECT_EQ(AggregateVotes(votes).size(), 2u);
+}
+
+TEST(AggregateTest, DifferentAnswerListsKeptSeparate) {
+  Vote a = MakeVote(0, 5, 11);
+  Vote b = MakeVote(1, 5, 11);
+  b.answer_list = {10, 11};
+  std::vector<Vote> merged = AggregateVotes({a, b});
+  EXPECT_EQ(merged.size(), 2u);
+}
+
+TEST(AggregateTest, OrderOfFirstOccurrencesPreserved) {
+  std::vector<Vote> votes{MakeVote(0, 5, 11), MakeVote(1, 6, 12),
+                          MakeVote(2, 5, 11), MakeVote(3, 7, 10)};
+  std::vector<Vote> merged = AggregateVotes(votes);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].id, 0u);
+  EXPECT_EQ(merged[1].id, 1u);
+  EXPECT_EQ(merged[2].id, 3u);
+  EXPECT_DOUBLE_EQ(merged[0].weight, 2.0);
+}
+
+TEST(AggregateTest, MalformedVotesPassThrough) {
+  Vote bad;
+  std::vector<Vote> merged = AggregateVotes({bad, bad});
+  EXPECT_EQ(merged.size(), 2u);
+}
+
+TEST(AggregateTest, EmptyInput) {
+  EXPECT_TRUE(AggregateVotes({}).empty());
+}
+
+}  // namespace
+}  // namespace kgov::votes

@@ -1,0 +1,91 @@
+#include "votes/conflict.h"
+
+#include <gtest/gtest.h>
+
+namespace kgov::votes {
+namespace {
+
+Vote MakeVote(std::vector<graph::NodeId> seed_nodes,
+              std::vector<graph::NodeId> answers, graph::NodeId best) {
+  Vote vote;
+  for (graph::NodeId node : seed_nodes) {
+    vote.query.links.emplace_back(node, 1.0 / seed_nodes.size());
+  }
+  vote.answer_list = std::move(answers);
+  vote.best_answer = best;
+  return vote;
+}
+
+TEST(ConflictTest, DetectsContradictoryPair) {
+  // A: 10 best over {10, 11}; B: 11 best over {10, 11}.
+  std::vector<Vote> votes{MakeVote({0}, {10, 11}, 10),
+                          MakeVote({0}, {11, 10}, 11)};
+  ConflictReport report = AnalyzeConflicts(votes);
+  ASSERT_EQ(report.conflicts.size(), 1u);
+  EXPECT_EQ(report.conflicts[0].vote_a, 0u);
+  EXPECT_EQ(report.conflicts[0].vote_b, 1u);
+  EXPECT_EQ(report.conflicted_votes, 2u);
+  EXPECT_DOUBLE_EQ(report.conflicts[0].query_overlap, 1.0);
+}
+
+TEST(ConflictTest, AgreeingVotesDoNotConflict) {
+  std::vector<Vote> votes{MakeVote({0}, {10, 11}, 10),
+                          MakeVote({0}, {11, 10}, 10)};
+  ConflictReport report = AnalyzeConflicts(votes);
+  EXPECT_TRUE(report.conflicts.empty());
+}
+
+TEST(ConflictTest, DisjointAnswerListsDoNotConflict) {
+  std::vector<Vote> votes{MakeVote({0}, {10, 11}, 11),
+                          MakeVote({0}, {20, 21}, 21)};
+  EXPECT_TRUE(AnalyzeConflicts(votes).conflicts.empty());
+}
+
+TEST(ConflictTest, OneSidedDominationIsNotAConflict) {
+  // B's best (12) is not in A's list, so only one ordering binds both.
+  std::vector<Vote> votes{MakeVote({0}, {10, 11}, 10),
+                          MakeVote({0}, {10, 12}, 12)};
+  EXPECT_TRUE(AnalyzeConflicts(votes).conflicts.empty());
+}
+
+TEST(ConflictTest, OverlapThresholdFilters) {
+  std::vector<Vote> votes{MakeVote({0, 1}, {10, 11}, 10),
+                          MakeVote({2, 3}, {11, 10}, 11)};
+  ConflictOptions strict;
+  strict.min_query_overlap = 0.5;
+  EXPECT_TRUE(AnalyzeConflicts(votes, strict).conflicts.empty());
+
+  ConflictOptions loose;  // overlap 0 allowed
+  ConflictReport report = AnalyzeConflicts(votes, loose);
+  EXPECT_EQ(report.conflicts.size(), 1u);
+  EXPECT_DOUBLE_EQ(report.conflicts[0].query_overlap, 0.0);
+}
+
+TEST(ConflictTest, PartialOverlapComputed) {
+  std::vector<Vote> votes{MakeVote({0, 1}, {10, 11}, 10),
+                          MakeVote({1, 2}, {11, 10}, 11)};
+  ConflictReport report = AnalyzeConflicts(votes);
+  ASSERT_EQ(report.conflicts.size(), 1u);
+  EXPECT_NEAR(report.conflicts[0].query_overlap, 1.0 / 3.0, 1e-12);
+}
+
+TEST(ConflictTest, MalformedVotesIgnored) {
+  Vote bad;  // no list, no seed
+  std::vector<Vote> votes{bad, MakeVote({0}, {10, 11}, 11)};
+  ConflictReport report = AnalyzeConflicts(votes);
+  EXPECT_TRUE(report.conflicts.empty());
+  EXPECT_EQ(report.overlapping_pairs, 0u);
+}
+
+TEST(ConflictTest, CountsOverlappingPairs) {
+  std::vector<Vote> votes{MakeVote({0}, {10, 11}, 10),
+                          MakeVote({0}, {10, 11}, 10),
+                          MakeVote({0}, {11, 10}, 11)};
+  ConflictReport report = AnalyzeConflicts(votes);
+  EXPECT_EQ(report.overlapping_pairs, 3u);
+  EXPECT_EQ(report.conflicts.size(), 2u);  // votes 0-2 and 1-2
+  EXPECT_EQ(report.conflicted_votes, 3u);
+}
+
+}  // namespace
+}  // namespace kgov::votes

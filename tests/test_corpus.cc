@@ -1,0 +1,228 @@
+#include "qa/corpus.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+namespace kgov::qa {
+namespace {
+
+CorpusParams SmallParams() {
+  CorpusParams params;
+  params.num_entities = 100;
+  params.num_topics = 10;
+  params.num_documents = 80;
+  params.mentions_per_document = 6;
+  params.mentions_per_question = 3;
+  // Plain layout for the structural tests: no ambient vocabulary and no
+  // query-side entities (those features get dedicated tests below).
+  params.common_entity_fraction = 0.0;
+  params.common_mentions_per_document = 0;
+  params.query_entities_per_topic = 0;
+  params.question_paraphrase_fraction = 0.0;
+  return params;
+}
+
+TEST(CorpusTest, GeneratesRequestedShape) {
+  Rng rng(1);
+  Result<Corpus> corpus = GenerateCorpus(SmallParams(), rng);
+  ASSERT_TRUE(corpus.ok());
+  EXPECT_EQ(corpus->num_entities, 100u);
+  EXPECT_EQ(corpus->entity_names.size(), 100u);
+  EXPECT_EQ(corpus->documents.size(), 80u);
+}
+
+TEST(CorpusTest, DocumentsHaveDistinctMentions) {
+  Rng rng(2);
+  Result<Corpus> corpus = GenerateCorpus(SmallParams(), rng);
+  ASSERT_TRUE(corpus.ok());
+  for (const Document& doc : corpus->documents) {
+    EXPECT_EQ(doc.mentions.size(), 6u);
+    std::set<EntityId> seen;
+    for (const EntityMention& m : doc.mentions) {
+      EXPECT_TRUE(seen.insert(m.entity).second);
+      EXPECT_LT(m.entity, 100u);
+      EXPECT_GE(m.count, 1);
+      EXPECT_LE(m.count, 3);
+    }
+  }
+}
+
+TEST(CorpusTest, TopicsAssigned) {
+  Rng rng(3);
+  Result<Corpus> corpus = GenerateCorpus(SmallParams(), rng);
+  ASSERT_TRUE(corpus.ok());
+  for (const Document& doc : corpus->documents) {
+    EXPECT_GE(doc.topic, 0);
+    EXPECT_LT(doc.topic, 10);
+  }
+}
+
+TEST(CorpusTest, DocumentsMostlyWithinTopic) {
+  Rng rng(4);
+  CorpusParams params = SmallParams();
+  params.cross_topic_noise = 0.1;
+  Result<Corpus> corpus = GenerateCorpus(params, rng);
+  ASSERT_TRUE(corpus.ok());
+  size_t per_topic = params.num_entities / params.num_topics;
+  size_t in_topic = 0, total = 0;
+  for (const Document& doc : corpus->documents) {
+    for (const EntityMention& m : doc.mentions) {
+      size_t topic = std::min<size_t>(m.entity / per_topic,
+                                      params.num_topics - 1);
+      if (static_cast<int>(topic) == doc.topic) ++in_topic;
+      ++total;
+    }
+  }
+  EXPECT_GT(static_cast<double>(in_topic) / total, 0.75);
+}
+
+TEST(CorpusTest, RejectsBadParams) {
+  Rng rng(5);
+  CorpusParams params = SmallParams();
+  params.num_entities = 0;
+  EXPECT_FALSE(GenerateCorpus(params, rng).ok());
+
+  params = SmallParams();
+  params.num_topics = 90;  // < 2 entities per topic
+  EXPECT_FALSE(GenerateCorpus(params, rng).ok());
+
+  params = SmallParams();
+  params.mentions_per_document = 1000;
+  EXPECT_FALSE(GenerateCorpus(params, rng).ok());
+}
+
+TEST(CorpusTest, DeterministicUnderSeed) {
+  Rng rng1(7), rng2(7);
+  Result<Corpus> a = GenerateCorpus(SmallParams(), rng1);
+  Result<Corpus> b = GenerateCorpus(SmallParams(), rng2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t d = 0; d < a->documents.size(); ++d) {
+    ASSERT_EQ(a->documents[d].mentions.size(),
+              b->documents[d].mentions.size());
+    for (size_t m = 0; m < a->documents[d].mentions.size(); ++m) {
+      EXPECT_EQ(a->documents[d].mentions[m].entity,
+                b->documents[d].mentions[m].entity);
+    }
+  }
+}
+
+TEST(CorpusTest, TaobaoScaleParamsMatchPaper) {
+  CorpusParams params = TaobaoScaleParams();
+  EXPECT_EQ(params.num_entities, 1663u);
+  EXPECT_EQ(params.num_documents, 2379u);
+}
+
+TEST(CorpusTest, QueryEntitiesNeverAppearInDocuments) {
+  CorpusParams params = SmallParams();
+  params.query_entities_per_topic = 3;
+  Rng rng(31);
+  Result<Corpus> corpus = GenerateCorpus(params, rng);
+  ASSERT_TRUE(corpus.ok());
+  // Query-side entities are the first 3 of each topic block.
+  size_t per_topic = params.num_entities / params.num_topics;
+  auto is_query_side = [&](EntityId e) {
+    return (e % per_topic) < 3 && e / per_topic < params.num_topics;
+  };
+  for (const Document& doc : corpus->documents) {
+    for (const EntityMention& m : doc.mentions) {
+      EXPECT_FALSE(is_query_side(m.entity))
+          << "doc mentions query-side entity " << m.entity;
+    }
+    for (const EntityMention& m : doc.query_mentions) {
+      EXPECT_TRUE(is_query_side(m.entity));
+    }
+  }
+}
+
+TEST(CorpusTest, CommonEntitiesAppearAcrossTopics) {
+  CorpusParams params = SmallParams();
+  params.common_entity_fraction = 0.05;  // 5 common entities
+  params.common_mentions_per_document = 2;
+  Rng rng(32);
+  Result<Corpus> corpus = GenerateCorpus(params, rng);
+  ASSERT_TRUE(corpus.ok());
+  size_t docs_with_common = 0;
+  for (const Document& doc : corpus->documents) {
+    for (const EntityMention& m : doc.mentions) {
+      if (m.entity < 5) {
+        ++docs_with_common;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(docs_with_common, corpus->documents.size());
+}
+
+TEST(QuestionsTest, ParaphraseMentionsComeFromQueryVocabulary) {
+  CorpusParams params = SmallParams();
+  params.query_entities_per_topic = 3;
+  params.question_paraphrase_fraction = 1.0;  // paraphrase whenever possible
+  Rng rng(33);
+  Result<Corpus> corpus = GenerateCorpus(params, rng);
+  ASSERT_TRUE(corpus.ok());
+  std::vector<Question> questions =
+      GenerateQuestions(*corpus, 50, params, rng);
+  size_t paraphrased = 0;
+  for (const Question& q : questions) {
+    const Document& doc = corpus->documents[q.best_document];
+    std::unordered_set<EntityId> doc_entities;
+    for (const EntityMention& m : doc.mentions) doc_entities.insert(m.entity);
+    for (const EntityMention& m : q.mentions) {
+      if (doc_entities.count(m.entity) == 0) ++paraphrased;
+    }
+  }
+  EXPECT_GT(paraphrased, 20u);  // a healthy share is query-side vocabulary
+}
+
+TEST(QuestionsTest, TargetsAreValidDocuments) {
+  Rng rng(8);
+  Result<Corpus> corpus = GenerateCorpus(SmallParams(), rng);
+  ASSERT_TRUE(corpus.ok());
+  std::vector<Question> questions =
+      GenerateQuestions(*corpus, 40, SmallParams(), rng);
+  EXPECT_EQ(questions.size(), 40u);
+  for (const Question& q : questions) {
+    EXPECT_GE(q.best_document, 0);
+    EXPECT_LT(q.best_document, 80);
+    EXPECT_FALSE(q.mentions.empty());
+    EXPECT_LE(q.mentions.size(), 3u);
+  }
+}
+
+TEST(QuestionsTest, RelevantDocumentsIncludeBest) {
+  Rng rng(9);
+  Result<Corpus> corpus = GenerateCorpus(SmallParams(), rng);
+  ASSERT_TRUE(corpus.ok());
+  std::vector<Question> questions =
+      GenerateQuestions(*corpus, 30, SmallParams(), rng);
+  for (const Question& q : questions) {
+    ASSERT_FALSE(q.relevant_documents.empty());
+    EXPECT_EQ(q.relevant_documents.front(), q.best_document);
+    EXPECT_LE(q.relevant_documents.size(), 5u);
+  }
+}
+
+TEST(QuestionsTest, MentionsMostlyFromTargetDocument) {
+  Rng rng(10);
+  CorpusParams params = SmallParams();
+  params.cross_topic_noise = 0.0;  // no noise: all mentions from the doc
+  Result<Corpus> corpus = GenerateCorpus(params, rng);
+  ASSERT_TRUE(corpus.ok());
+  std::vector<Question> questions =
+      GenerateQuestions(*corpus, 30, params, rng);
+  for (const Question& q : questions) {
+    const Document& doc = corpus->documents[q.best_document];
+    std::unordered_set<EntityId> doc_entities;
+    for (const EntityMention& m : doc.mentions) {
+      doc_entities.insert(m.entity);
+    }
+    for (const EntityMention& m : q.mentions) {
+      EXPECT_TRUE(doc_entities.count(m.entity) > 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kgov::qa

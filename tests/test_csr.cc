@@ -1,0 +1,72 @@
+#include "graph/csr.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace kgov::graph {
+namespace {
+
+TEST(CsrTest, EmptyGraph) {
+  CsrSnapshot snap{WeightedDigraph{}};
+  EXPECT_EQ(snap.NumNodes(), 0u);
+  EXPECT_EQ(snap.NumEdges(), 0u);
+  EXPECT_FALSE(snap.IsValidNode(0));
+}
+
+TEST(CsrTest, DefaultConstructedIsEmpty) {
+  CsrSnapshot snap;
+  EXPECT_EQ(snap.NumNodes(), 0u);
+}
+
+TEST(CsrTest, CapturesTopologyAndWeights) {
+  WeightedDigraph g(3);
+  ASSERT_TRUE(g.AddEdge(0, 1, 0.3).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2, 0.7).ok());
+  ASSERT_TRUE(g.AddEdge(2, 1, 1.0).ok());
+  CsrSnapshot snap(g);
+  EXPECT_EQ(snap.NumNodes(), 3u);
+  EXPECT_EQ(snap.NumEdges(), 3u);
+  EXPECT_EQ(snap.OutDegree(0), 2u);
+  EXPECT_EQ(snap.OutDegree(1), 0u);
+  EXPECT_EQ(snap.OutDegree(2), 1u);
+  EXPECT_EQ(snap.begin(0)[0].to, 1u);
+  EXPECT_DOUBLE_EQ(snap.begin(0)[0].weight, 0.3);
+  EXPECT_EQ(snap.begin(0)[1].to, 2u);
+  EXPECT_DOUBLE_EQ(snap.begin(2)->weight, 1.0);
+}
+
+TEST(CsrTest, SnapshotIsImmutableUnderGraphMutation) {
+  WeightedDigraph g(2);
+  EdgeId e = *g.AddEdge(0, 1, 0.5);
+  CsrSnapshot snap(g);
+  g.SetWeight(e, 0.9);
+  EXPECT_DOUBLE_EQ(snap.begin(0)->weight, 0.5);
+}
+
+TEST(CsrTest, OutWeightSumMatchesGraph) {
+  Rng rng(5);
+  Result<WeightedDigraph> g = ErdosRenyi(40, 160, rng);
+  ASSERT_TRUE(g.ok());
+  CsrSnapshot snap(*g);
+  for (NodeId v = 0; v < g->NumNodes(); ++v) {
+    EXPECT_NEAR(snap.OutWeightSum(v), g->OutWeightSum(v), 1e-12);
+  }
+}
+
+TEST(CsrTest, NeighborRangesPartitionEdges) {
+  Rng rng(6);
+  Result<WeightedDigraph> g = ErdosRenyi(30, 120, rng);
+  ASSERT_TRUE(g.ok());
+  CsrSnapshot snap(*g);
+  size_t total = 0;
+  for (NodeId v = 0; v < snap.NumNodes(); ++v) {
+    total += static_cast<size_t>(snap.end(v) - snap.begin(v));
+    EXPECT_EQ(static_cast<size_t>(snap.end(v) - snap.begin(v)),
+              g->OutDegree(v));
+  }
+  EXPECT_EQ(total, g->NumEdges());
+}
+
+}  // namespace
+}  // namespace kgov::graph

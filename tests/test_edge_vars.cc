@@ -1,0 +1,69 @@
+#include "ppr/edge_vars.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph.h"
+
+namespace kgov::ppr {
+namespace {
+
+TEST(EdgeVariableMapTest, RegisterAssignsSequentialIds) {
+  EdgeVariableMap vars;
+  EXPECT_EQ(vars.GetOrRegister(10), 0u);
+  EXPECT_EQ(vars.GetOrRegister(20), 1u);
+  EXPECT_EQ(vars.GetOrRegister(10), 0u);  // idempotent
+  EXPECT_EQ(vars.NumVariables(), 2u);
+}
+
+TEST(EdgeVariableMapTest, FindReturnsNulloptForUnknown) {
+  EdgeVariableMap vars;
+  vars.GetOrRegister(5);
+  EXPECT_TRUE(vars.Find(5).has_value());
+  EXPECT_FALSE(vars.Find(6).has_value());
+}
+
+TEST(EdgeVariableMapTest, EdgeOfInvertsRegistration) {
+  EdgeVariableMap vars;
+  vars.GetOrRegister(42);
+  vars.GetOrRegister(17);
+  EXPECT_EQ(vars.EdgeOf(0), 42u);
+  EXPECT_EQ(vars.EdgeOf(1), 17u);
+  EXPECT_EQ(vars.variables(), (std::vector<graph::EdgeId>{42, 17}));
+}
+
+TEST(EdgeVariableMapTest, InitialValuesReadGraphWeights) {
+  graph::WeightedDigraph g(3);
+  graph::EdgeId e01 = *g.AddEdge(0, 1, 0.3);
+  graph::EdgeId e12 = *g.AddEdge(1, 2, 0.8);
+  EdgeVariableMap vars;
+  vars.GetOrRegister(e12);
+  vars.GetOrRegister(e01);
+  EXPECT_EQ(vars.InitialValues(g), (std::vector<double>{0.8, 0.3}));
+}
+
+TEST(EdgeVariableMapTest, ApplyValuesWritesBack) {
+  graph::WeightedDigraph g(3);
+  graph::EdgeId e01 = *g.AddEdge(0, 1, 0.3);
+  graph::EdgeId e12 = *g.AddEdge(1, 2, 0.8);
+  EdgeVariableMap vars;
+  vars.GetOrRegister(e01);
+  vars.GetOrRegister(e12);
+  vars.ApplyValues({0.55, 0.11}, &g);
+  EXPECT_DOUBLE_EQ(g.Weight(e01), 0.55);
+  EXPECT_DOUBLE_EQ(g.Weight(e12), 0.11);
+}
+
+TEST(EdgeVariableMapTest, RoundTripInitialApply) {
+  graph::WeightedDigraph g(4);
+  for (graph::NodeId v = 0; v + 1 < 4; ++v) {
+    ASSERT_TRUE(g.AddEdge(v, v + 1, 0.1 * (v + 1)).ok());
+  }
+  EdgeVariableMap vars;
+  for (graph::EdgeId e = 0; e < g.NumEdges(); ++e) vars.GetOrRegister(e);
+  std::vector<double> values = vars.InitialValues(g);
+  vars.ApplyValues(values, &g);  // identity round trip
+  EXPECT_EQ(vars.InitialValues(g), values);
+}
+
+}  // namespace
+}  // namespace kgov::ppr

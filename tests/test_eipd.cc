@@ -1,0 +1,198 @@
+#include "ppr/eipd.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+#include "ppr/ppr.h"
+
+namespace kgov::ppr {
+namespace {
+
+using graph::WeightedDigraph;
+
+// Small hand-checkable graph:
+//   0 -> 1 (0.5), 0 -> 2 (0.5), 1 -> 3 (1.0), 2 -> 4 (0.6), 2 -> 1 (0.4)
+// Nodes 3 and 4 are answers (no out-edges).
+WeightedDigraph MakeFixture() {
+  WeightedDigraph g(5);
+  EXPECT_TRUE(g.AddEdge(0, 1, 0.5).ok());
+  EXPECT_TRUE(g.AddEdge(0, 2, 0.5).ok());
+  EXPECT_TRUE(g.AddEdge(1, 3, 1.0).ok());
+  EXPECT_TRUE(g.AddEdge(2, 4, 0.6).ok());
+  EXPECT_TRUE(g.AddEdge(2, 1, 0.4).ok());
+  return g;
+}
+
+QuerySeed SeedAt(graph::NodeId node) {
+  QuerySeed seed;
+  seed.links.emplace_back(node, 1.0);
+  return seed;
+}
+
+TEST(EipdTest, HandComputedSimilarity) {
+  WeightedDigraph g = MakeFixture();
+  const double c = 0.15;
+  EipdOptions options;
+  options.max_length = 4;
+  options.restart = c;
+  EipdEvaluator evaluator(&g, options);
+  QuerySeed seed = SeedAt(0);
+
+  // Walks to 3: q->0->1->3 (len 3, P=0.5) and q->0->2->1->3 (len 4, P=0.2).
+  double expected3 = c * (0.5 * std::pow(1 - c, 3) + 0.2 * std::pow(1 - c, 4));
+  // Walks to 4: q->0->2->4 (len 3, P=0.3).
+  double expected4 = c * 0.3 * std::pow(1 - c, 3);
+  EXPECT_NEAR(evaluator.Similarity(seed, 3), expected3, 1e-12);
+  EXPECT_NEAR(evaluator.Similarity(seed, 4), expected4, 1e-12);
+}
+
+TEST(EipdTest, PruningDropsLongWalks) {
+  WeightedDigraph g = MakeFixture();
+  const double c = 0.15;
+  EipdOptions options;
+  options.max_length = 3;  // drops the len-4 walk to node 3
+  options.restart = c;
+  EipdEvaluator evaluator(&g, options);
+  double expected3 = c * 0.5 * std::pow(1 - c, 3);
+  EXPECT_NEAR(evaluator.Similarity(SeedAt(0), 3), expected3, 1e-12);
+}
+
+TEST(EipdTest, UnreachableAnswerIsZero) {
+  WeightedDigraph g = MakeFixture();
+  EipdEvaluator evaluator(&g);
+  // Node 0 is unreachable from node 3 (3 has no out-edges).
+  EXPECT_DOUBLE_EQ(evaluator.Similarity(SeedAt(3), 0), 0.0);
+}
+
+TEST(EipdTest, SimilarityManyMatchesIndividual) {
+  WeightedDigraph g = MakeFixture();
+  EipdEvaluator evaluator(&g);
+  QuerySeed seed = SeedAt(0);
+  std::vector<double> many = evaluator.SimilarityMany(seed, {1, 2, 3, 4});
+  EXPECT_NEAR(many[0], evaluator.Similarity(seed, 1), 1e-15);
+  EXPECT_NEAR(many[1], evaluator.Similarity(seed, 2), 1e-15);
+  EXPECT_NEAR(many[2], evaluator.Similarity(seed, 3), 1e-15);
+  EXPECT_NEAR(many[3], evaluator.Similarity(seed, 4), 1e-15);
+}
+
+TEST(EipdTest, MultiLinkSeedIsWeightedSum) {
+  WeightedDigraph g = MakeFixture();
+  EipdEvaluator evaluator(&g);
+  QuerySeed mix;
+  mix.links.emplace_back(1, 0.4);
+  mix.links.emplace_back(2, 0.6);
+  double expected = 0.4 * evaluator.Similarity(SeedAt(1), 3) +
+                    0.6 * evaluator.Similarity(SeedAt(2), 3);
+  EXPECT_NEAR(evaluator.Similarity(mix, 3), expected, 1e-14);
+}
+
+TEST(EipdTest, OverridesChangeScores) {
+  WeightedDigraph g = MakeFixture();
+  EipdEvaluator evaluator(&g);
+  QuerySeed seed = SeedAt(0);
+  graph::EdgeId e02 = *g.FindEdge(0, 2);
+
+  std::unordered_map<graph::EdgeId, double> overrides{{e02, 0.0}};
+  std::vector<double> scores =
+      evaluator.SimilarityManyWithOverrides(seed, {3, 4}, overrides);
+  // Blocking 0->2 kills all walks to 4 and the len-4 walk to 3.
+  const double c = 0.15;
+  EXPECT_NEAR(scores[0], c * 0.5 * std::pow(1 - c, 3), 1e-12);
+  EXPECT_DOUBLE_EQ(scores[1], 0.0);
+  // The graph itself must be untouched.
+  EXPECT_DOUBLE_EQ(g.Weight(e02), 0.5);
+}
+
+TEST(EipdTest, RankAnswersSortsByScore) {
+  WeightedDigraph g = MakeFixture();
+  EipdEvaluator evaluator(&g);
+  std::vector<ScoredAnswer> ranked =
+      evaluator.RankAnswers(SeedAt(0), {3, 4}, 10);
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].node, 3u);  // higher score per hand computation
+  EXPECT_EQ(ranked[1].node, 4u);
+  EXPECT_GT(ranked[0].score, ranked[1].score);
+}
+
+TEST(EipdTest, RankAnswersTruncatesToK) {
+  WeightedDigraph g = MakeFixture();
+  EipdEvaluator evaluator(&g);
+  std::vector<ScoredAnswer> ranked =
+      evaluator.RankAnswers(SeedAt(0), {1, 2, 3, 4}, 2);
+  EXPECT_EQ(ranked.size(), 2u);
+}
+
+TEST(EipdTest, RankAnswersTieBreaksByNodeId) {
+  WeightedDigraph g(4);
+  ASSERT_TRUE(g.AddEdge(0, 1, 0.5).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2, 0.5).ok());
+  EipdEvaluator evaluator(&g);
+  std::vector<ScoredAnswer> ranked =
+      evaluator.RankAnswers(SeedAt(0), {2, 1}, 5);
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].node, 1u);
+  EXPECT_EQ(ranked[1].node, 2u);
+}
+
+// --- Theorem 1 (paper): extended inverse P-distance equals the PPR vector
+// scores, verified as a property over random graphs and seeds. ---
+
+class Theorem1Property : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Theorem1Property, EipdConvergesToPpr) {
+  Rng rng(GetParam());
+  Result<WeightedDigraph> g = graph::ErdosRenyi(
+      30, 150, rng, graph::WeightInit::kNormalizedRandom);
+  ASSERT_TRUE(g.ok());
+
+  graph::NodeId source = static_cast<graph::NodeId>(rng.NextIndex(30));
+  QuerySeed seed = QuerySeed::FromNode(*g, source);
+  if (seed.empty()) GTEST_SKIP() << "source has no out-edges";
+
+  EipdOptions options;
+  options.max_length = 80;  // effectively L -> infinity at (1-c)^80
+  EipdEvaluator evaluator(&*g, options);
+
+  Result<std::vector<double>> pi = PowerIterationPprFromSeed(*g, seed);
+  ASSERT_TRUE(pi.ok());
+
+  for (graph::NodeId v = 0; v < g->NumNodes(); ++v) {
+    EXPECT_NEAR(evaluator.Similarity(seed, v), (*pi)[v], 1e-6)
+        << "node " << v << " seed " << source;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, Theorem1Property,
+                         ::testing::Values(101, 202, 303, 404, 505, 606, 707,
+                                           808));
+
+// Monotonicity property: longer L never decreases a similarity.
+class MonotoneLengthProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MonotoneLengthProperty, SimilarityGrowsWithL) {
+  Rng rng(99);
+  Result<WeightedDigraph> g = graph::ErdosRenyi(20, 100, rng);
+  ASSERT_TRUE(g.ok());
+  QuerySeed seed = QuerySeed::FromNode(*g, 0);
+  if (seed.empty()) GTEST_SKIP();
+
+  int length = GetParam();
+  EipdOptions shorter;
+  shorter.max_length = length;
+  EipdOptions longer;
+  longer.max_length = length + 1;
+  EipdEvaluator eval_short(&*g, shorter);
+  EipdEvaluator eval_long(&*g, longer);
+  for (graph::NodeId v = 0; v < g->NumNodes(); ++v) {
+    EXPECT_LE(eval_short.Similarity(seed, v),
+              eval_long.Similarity(seed, v) + 1e-15);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, MonotoneLengthProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace kgov::ppr

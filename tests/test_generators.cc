@@ -1,0 +1,136 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+namespace kgov::graph {
+namespace {
+
+TEST(ErdosRenyiTest, ExactCounts) {
+  Rng rng(1);
+  Result<WeightedDigraph> g = ErdosRenyi(100, 400, rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumNodes(), 100u);
+  EXPECT_EQ(g->NumEdges(), 400u);
+}
+
+TEST(ErdosRenyiTest, NoSelfLoops) {
+  Rng rng(2);
+  Result<WeightedDigraph> g = ErdosRenyi(50, 300, rng);
+  ASSERT_TRUE(g.ok());
+  for (const Edge& e : g->edges()) {
+    EXPECT_NE(e.from, e.to);
+  }
+}
+
+TEST(ErdosRenyiTest, RejectsImpossibleEdgeCount) {
+  Rng rng(3);
+  EXPECT_FALSE(ErdosRenyi(3, 100, rng).ok());
+}
+
+TEST(ErdosRenyiTest, NormalizedRandomWeightsAreStochastic) {
+  Rng rng(4);
+  Result<WeightedDigraph> g = ErdosRenyi(60, 240, rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(g->IsSubStochastic());
+  for (NodeId v = 0; v < g->NumNodes(); ++v) {
+    if (g->OutDegree(v) > 0) {
+      EXPECT_NEAR(g->OutWeightSum(v), 1.0, 1e-9);
+    }
+  }
+}
+
+TEST(ErdosRenyiTest, UniformStochasticInit) {
+  Rng rng(5);
+  Result<WeightedDigraph> g =
+      ErdosRenyi(40, 160, rng, WeightInit::kUniformStochastic);
+  ASSERT_TRUE(g.ok());
+  for (NodeId v = 0; v < g->NumNodes(); ++v) {
+    size_t d = g->OutDegree(v);
+    for (const OutEdge& out : g->OutEdges(v)) {
+      EXPECT_DOUBLE_EQ(g->Weight(out.edge), 1.0 / static_cast<double>(d));
+    }
+  }
+}
+
+TEST(ErdosRenyiTest, DeterministicUnderSeed) {
+  Rng rng1(42), rng2(42);
+  Result<WeightedDigraph> a = ErdosRenyi(30, 90, rng1);
+  Result<WeightedDigraph> b = ErdosRenyi(30, 90, rng2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->NumEdges(), b->NumEdges());
+  for (EdgeId e = 0; e < a->NumEdges(); ++e) {
+    EXPECT_EQ(a->edge(e).from, b->edge(e).from);
+    EXPECT_EQ(a->edge(e).to, b->edge(e).to);
+    EXPECT_DOUBLE_EQ(a->edge(e).weight, b->edge(e).weight);
+  }
+}
+
+TEST(BarabasiAlbertTest, NodeCountAndConnectivity) {
+  Rng rng(6);
+  Result<WeightedDigraph> g = BarabasiAlbert(200, 3, rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumNodes(), 200u);
+  // Every non-seed node attaches ~3 out-edges.
+  EXPECT_GT(g->NumEdges(), 500u);
+  EXPECT_LE(g->NumEdges(), 600u);
+}
+
+TEST(BarabasiAlbertTest, RejectsTinyGraphs) {
+  Rng rng(7);
+  EXPECT_FALSE(BarabasiAlbert(3, 5, rng).ok());
+}
+
+TEST(BarabasiAlbertTest, HeavyTailedInDegree) {
+  Rng rng(8);
+  Result<WeightedDigraph> g = BarabasiAlbert(2000, 2, rng);
+  ASSERT_TRUE(g.ok());
+  std::vector<size_t> in_degree(g->NumNodes(), 0);
+  for (const Edge& e : g->edges()) ++in_degree[e.to];
+  size_t max_in = 0;
+  for (size_t d : in_degree) max_in = std::max(max_in, d);
+  // Preferential attachment produces hubs far above the mean (~2).
+  EXPECT_GT(max_in, 20u);
+}
+
+TEST(ScaleFreeTest, HitsExactEdgeTarget) {
+  Rng rng(9);
+  Result<WeightedDigraph> g = ScaleFreeWithTargetEdges(1000, 4000, rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumNodes(), 1000u);
+  EXPECT_EQ(g->NumEdges(), 4000u);
+  EXPECT_TRUE(g->IsSubStochastic());
+}
+
+TEST(ProfileTest, MatchTablesInPaper) {
+  EXPECT_EQ(TwitterProfile().num_nodes, 23370u);
+  EXPECT_EQ(TwitterProfile().num_edges, 33101u);
+  EXPECT_EQ(DiggProfile().num_nodes, 30398u);
+  EXPECT_EQ(DiggProfile().num_edges, 87627u);
+  EXPECT_EQ(GnutellaProfile().num_nodes, 62586u);
+  EXPECT_EQ(GnutellaProfile().num_edges, 147892u);
+  EXPECT_EQ(TaobaoProfile().num_nodes, 1663u);
+  EXPECT_EQ(TaobaoProfile().num_edges, 17591u);
+}
+
+TEST(ProfileTest, GenerateFromTaobaoProfile) {
+  Rng rng(10);
+  Result<WeightedDigraph> g = GenerateFromProfile(TaobaoProfile(), rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumNodes(), 1663u);
+  EXPECT_EQ(g->NumEdges(), 17591u);
+  EXPECT_NEAR(g->AverageDegree(), 10.57, 0.1);
+}
+
+TEST(InitializeWeightsTest, Reassign) {
+  Rng rng(11);
+  WeightedDigraph g(3);
+  ASSERT_TRUE(g.AddEdge(0, 1, 1.0).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2, 1.0).ok());
+  InitializeWeights(&g, WeightInit::kNormalizedRandom, rng);
+  EXPECT_NEAR(g.OutWeightSum(0), 1.0, 1e-9);
+  // Random init almost surely asymmetric.
+  EXPECT_NE(g.Weight(0), g.Weight(1));
+}
+
+}  // namespace
+}  // namespace kgov::graph

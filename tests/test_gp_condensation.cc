@@ -1,0 +1,121 @@
+#include "math/gp_condensation.h"
+
+#include <gtest/gtest.h>
+
+#include "math/sgp_solver.h"
+
+namespace kgov::math {
+namespace {
+
+SgpProblem MakeSwapProblem() {
+  SgpProblem problem;
+  problem.AddVariable(0.3, 0.01, 1.0);
+  problem.AddVariable(0.7, 0.01, 1.0);
+  Signomial g;
+  g.AddTerm(Monomial(1.0, {{1, 1.0}}));
+  g.AddTerm(Monomial(-1.0, {{0, 1.0}}));
+  problem.AddConstraint(g, "x1<=x0");
+  return problem;
+}
+
+TEST(CondensationTest, SolvesSwapProblem) {
+  CondensationSgpSolver solver;
+  SgpSolution s = solver.Solve(MakeSwapProblem());
+  ASSERT_TRUE(s.status.ok());
+  EXPECT_EQ(s.satisfied_constraints, 1);
+  EXPECT_GE(s.x[0], s.x[1] - 1e-6);
+}
+
+TEST(CondensationTest, MinimalMultiplicativeChangeIsSymmetric) {
+  // The optimum moves both variables by the same ratio toward each other:
+  // x0 * t = x1 / t  =>  t = sqrt(x1/x0) = sqrt(7/3).
+  CondensationSgpSolver solver;
+  SgpSolution s = solver.Solve(MakeSwapProblem());
+  ASSERT_TRUE(s.status.ok());
+  double expected_t = std::sqrt(0.7 / 0.3);
+  EXPECT_NEAR(s.objective, expected_t, 0.05);
+  EXPECT_NEAR(s.x[0], 0.3 * expected_t, 0.03);
+  EXPECT_NEAR(s.x[1], 0.7 / expected_t, 0.03);
+}
+
+TEST(CondensationTest, AlreadyFeasibleStaysNearAnchor) {
+  SgpProblem problem;
+  problem.AddVariable(0.8, 0.01, 1.0);
+  problem.AddVariable(0.2, 0.01, 1.0);
+  Signomial g;  // x1 - x0 <= 0, already satisfied
+  g.AddTerm(Monomial(1.0, {{1, 1.0}}));
+  g.AddTerm(Monomial(-1.0, {{0, 1.0}}));
+  problem.AddConstraint(g, "x1<=x0");
+  CondensationSgpSolver solver;
+  SgpSolution s = solver.Solve(problem);
+  ASSERT_TRUE(s.status.ok());
+  EXPECT_NEAR(s.objective, 1.0, 0.02);  // t ~ 1: nothing needs to move
+  EXPECT_NEAR(s.x[0], 0.8, 0.02);
+  EXPECT_NEAR(s.x[1], 0.2, 0.02);
+}
+
+TEST(CondensationTest, PurePosynomialConstraintInfeasible) {
+  SgpProblem problem;
+  problem.AddVariable(0.5, 0.01, 1.0);
+  // x0 <= 0 has no negative part: unsatisfiable for positive x.
+  problem.AddConstraint(Signomial(Monomial(1.0, {{0, 1.0}})), "bad");
+  CondensationSgpSolver solver;
+  SgpSolution s = solver.Solve(problem);
+  EXPECT_TRUE(s.status.IsInfeasible());
+}
+
+TEST(CondensationTest, TrivialConstraintSkipped) {
+  SgpProblem problem;
+  problem.AddVariable(0.5, 0.01, 1.0);
+  // -x0 <= 0: no positive part, always true.
+  problem.AddConstraint(Signomial(Monomial(-1.0, {{0, 1.0}})), "trivial");
+  CondensationSgpSolver solver;
+  SgpSolution s = solver.Solve(problem);
+  ASSERT_TRUE(s.status.ok());
+  EXPECT_EQ(s.satisfied_constraints, 1);
+  EXPECT_NEAR(s.x[0], 0.5, 0.02);
+}
+
+TEST(CondensationTest, MultiTermWalkConstraint) {
+  // A vote-shaped constraint with multi-edge walk monomials:
+  //   0.1*x0*x1 + 0.05*x2 - 0.08*x3*x4 <= 0.
+  SgpProblem problem;
+  for (int i = 0; i < 5; ++i) problem.AddVariable(0.5, 0.01, 1.0);
+  Signomial g;
+  g.AddTerm(Monomial(0.1, {{0, 1.0}, {1, 1.0}}));
+  g.AddTerm(Monomial(0.05, {{2, 1.0}}));
+  g.AddTerm(Monomial(-0.08, {{3, 1.0}, {4, 1.0}}));
+  problem.AddConstraint(g, "walks");
+  CondensationSgpSolver solver;
+  SgpSolution s = solver.Solve(problem);
+  ASSERT_TRUE(s.status.ok());
+  EXPECT_EQ(s.satisfied_constraints, 1);
+  EXPECT_LE(g.Evaluate(s.x), 1e-6);
+}
+
+TEST(CondensationTest, AgreesWithReducedSigmoidOnSatisfiability) {
+  SgpProblem problem = MakeSwapProblem();
+  CondensationSgpSolver condensation;
+  SgpSolution a = condensation.Solve(problem);
+
+  SgpSolverOptions options;
+  options.formulation = SgpFormulation::kReducedSigmoid;
+  SgpSolution b = SgpSolver(options).Solve(problem);
+
+  EXPECT_EQ(a.satisfied_constraints, b.satisfied_constraints);
+  // Both flip the ordering (different proximal notions, same feasibility).
+  EXPECT_GE(a.x[0], a.x[1] - 1e-6);
+  EXPECT_GE(b.x[0], b.x[1] - 1e-6);
+}
+
+TEST(CondensationTest, SolutionInsideBox) {
+  CondensationSgpSolver solver;
+  SgpSolution s = solver.Solve(MakeSwapProblem());
+  for (double v : s.x) {
+    EXPECT_GE(v, 0.01 - 1e-9);
+    EXPECT_LE(v, 1.0 + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace kgov::math

@@ -1,0 +1,186 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace kgov::graph {
+namespace {
+
+TEST(GraphTest, EmptyGraph) {
+  WeightedDigraph g;
+  EXPECT_EQ(g.NumNodes(), 0u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+  EXPECT_FALSE(g.IsValidNode(0));
+  EXPECT_DOUBLE_EQ(g.AverageDegree(), 0.0);
+}
+
+TEST(GraphTest, PreSizedConstructor) {
+  WeightedDigraph g(5);
+  EXPECT_EQ(g.NumNodes(), 5u);
+  EXPECT_TRUE(g.IsValidNode(4));
+  EXPECT_FALSE(g.IsValidNode(5));
+}
+
+TEST(GraphTest, AddNodeReturnsSequentialIds) {
+  WeightedDigraph g;
+  EXPECT_EQ(g.AddNode(), 0u);
+  EXPECT_EQ(g.AddNode(), 1u);
+  EXPECT_EQ(g.NumNodes(), 2u);
+}
+
+TEST(GraphTest, AddNodesBulk) {
+  WeightedDigraph g(2);
+  EXPECT_EQ(g.AddNodes(3), 2u);
+  EXPECT_EQ(g.NumNodes(), 5u);
+}
+
+TEST(GraphTest, AddEdgeStoresWeight) {
+  WeightedDigraph g(3);
+  Result<EdgeId> e = g.AddEdge(0, 1, 0.4);
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(g.edge(*e).from, 0u);
+  EXPECT_EQ(g.edge(*e).to, 1u);
+  EXPECT_DOUBLE_EQ(g.Weight(*e), 0.4);
+  EXPECT_EQ(g.NumEdges(), 1u);
+}
+
+TEST(GraphTest, AddEdgeRejectsInvalidEndpoints) {
+  WeightedDigraph g(2);
+  EXPECT_TRUE(g.AddEdge(0, 5, 0.1).status().IsInvalidArgument());
+  EXPECT_TRUE(g.AddEdge(9, 0, 0.1).status().IsInvalidArgument());
+}
+
+TEST(GraphTest, AddEdgeRejectsNegativeWeight) {
+  WeightedDigraph g(2);
+  EXPECT_TRUE(g.AddEdge(0, 1, -0.1).status().IsInvalidArgument());
+}
+
+TEST(GraphTest, AddEdgeRejectsDuplicates) {
+  WeightedDigraph g(2);
+  ASSERT_TRUE(g.AddEdge(0, 1, 0.5).ok());
+  Result<EdgeId> dup = g.AddEdge(0, 1, 0.7);
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(g.NumEdges(), 1u);
+}
+
+TEST(GraphTest, ReverseEdgeIsDistinct) {
+  WeightedDigraph g(2);
+  ASSERT_TRUE(g.AddEdge(0, 1, 0.5).ok());
+  EXPECT_TRUE(g.AddEdge(1, 0, 0.5).ok());
+  EXPECT_EQ(g.NumEdges(), 2u);
+}
+
+TEST(GraphTest, SelfLoopAllowed) {
+  WeightedDigraph g(1);
+  EXPECT_TRUE(g.AddEdge(0, 0, 0.3).ok());
+}
+
+TEST(GraphTest, FindEdge) {
+  WeightedDigraph g(3);
+  Result<EdgeId> e = g.AddEdge(0, 2, 0.9);
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(g.FindEdge(0, 2), *e);
+  EXPECT_FALSE(g.FindEdge(2, 0).has_value());
+  EXPECT_FALSE(g.FindEdge(0, 1).has_value());
+  EXPECT_FALSE(g.FindEdge(99, 0).has_value());
+}
+
+TEST(GraphTest, SetWeightUpdatesAndClampsNegative) {
+  WeightedDigraph g(2);
+  EdgeId e = *g.AddEdge(0, 1, 0.5);
+  g.SetWeight(e, 0.8);
+  EXPECT_DOUBLE_EQ(g.Weight(e), 0.8);
+  g.SetWeight(e, -0.3);
+  EXPECT_DOUBLE_EQ(g.Weight(e), 0.0);
+}
+
+TEST(GraphTest, OutEdgesAndDegree) {
+  WeightedDigraph g(4);
+  ASSERT_TRUE(g.AddEdge(0, 1, 0.2).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2, 0.3).ok());
+  ASSERT_TRUE(g.AddEdge(1, 3, 0.5).ok());
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_EQ(g.OutDegree(3), 0u);
+  EXPECT_EQ(g.OutEdges(0)[0].to, 1u);
+  EXPECT_EQ(g.OutEdges(0)[1].to, 2u);
+}
+
+TEST(GraphTest, OutWeightSum) {
+  WeightedDigraph g(3);
+  ASSERT_TRUE(g.AddEdge(0, 1, 0.2).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2, 0.3).ok());
+  EXPECT_DOUBLE_EQ(g.OutWeightSum(0), 0.5);
+  EXPECT_DOUBLE_EQ(g.OutWeightSum(1), 0.0);
+}
+
+TEST(GraphTest, NormalizeOutWeights) {
+  WeightedDigraph g(3);
+  EdgeId e1 = *g.AddEdge(0, 1, 2.0);
+  EdgeId e2 = *g.AddEdge(0, 2, 6.0);
+  g.NormalizeOutWeights(0);
+  EXPECT_DOUBLE_EQ(g.Weight(e1), 0.25);
+  EXPECT_DOUBLE_EQ(g.Weight(e2), 0.75);
+  EXPECT_DOUBLE_EQ(g.OutWeightSum(0), 1.0);
+}
+
+TEST(GraphTest, NormalizeNoOutEdgesIsNoOp) {
+  WeightedDigraph g(1);
+  g.NormalizeOutWeights(0);  // must not crash
+  SUCCEED();
+}
+
+TEST(GraphTest, NormalizeAllOutWeights) {
+  WeightedDigraph g(3);
+  ASSERT_TRUE(g.AddEdge(0, 1, 3.0).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2, 5.0).ok());
+  g.NormalizeAllOutWeights();
+  EXPECT_DOUBLE_EQ(g.OutWeightSum(0), 1.0);
+  EXPECT_DOUBLE_EQ(g.OutWeightSum(1), 1.0);
+}
+
+TEST(GraphTest, IsSubStochastic) {
+  WeightedDigraph g(2);
+  ASSERT_TRUE(g.AddEdge(0, 1, 0.7).ok());
+  EXPECT_TRUE(g.IsSubStochastic());
+  EdgeId e = *g.AddEdge(1, 0, 1.5);
+  EXPECT_FALSE(g.IsSubStochastic());
+  g.SetWeight(e, 1.0);
+  EXPECT_TRUE(g.IsSubStochastic());
+}
+
+TEST(GraphTest, AverageDegree) {
+  WeightedDigraph g(4);
+  ASSERT_TRUE(g.AddEdge(0, 1, 0.1).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2, 0.1).ok());
+  EXPECT_DOUBLE_EQ(g.AverageDegree(), 0.5);
+}
+
+TEST(GraphTest, NodeLabels) {
+  WeightedDigraph g(3);
+  EXPECT_EQ(g.NodeLabel(1), "");
+  g.SetNodeLabel(1, "Outlook");
+  EXPECT_EQ(g.NodeLabel(1), "Outlook");
+  EXPECT_EQ(g.NodeLabel(0), "");
+  EXPECT_EQ(g.NodeLabel(2), "");
+}
+
+TEST(GraphTest, CopyIsIndependent) {
+  WeightedDigraph g(2);
+  EdgeId e = *g.AddEdge(0, 1, 0.5);
+  WeightedDigraph copy = g;
+  copy.SetWeight(e, 0.9);
+  EXPECT_DOUBLE_EQ(g.Weight(e), 0.5);
+  EXPECT_DOUBLE_EQ(copy.Weight(e), 0.9);
+}
+
+TEST(GraphTest, EdgesVectorIndexedByEdgeId) {
+  WeightedDigraph g(3);
+  EdgeId e0 = *g.AddEdge(0, 1, 0.1);
+  EdgeId e1 = *g.AddEdge(1, 2, 0.2);
+  EXPECT_EQ(e0, 0u);
+  EXPECT_EQ(e1, 1u);
+  EXPECT_EQ(g.edges().size(), 2u);
+  EXPECT_EQ(g.edges()[1].to, 2u);
+}
+
+}  // namespace
+}  // namespace kgov::graph

@@ -1,0 +1,106 @@
+#include "graph/graph_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "graph/generators.h"
+
+namespace kgov::graph {
+namespace {
+
+class GraphIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "kgov_graph_io_test.txt";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  void WriteFile(const std::string& content) {
+    std::ofstream out(path_);
+    out << content;
+  }
+
+  std::string path_;
+};
+
+TEST_F(GraphIoTest, RoundTripPreservesStructureAndWeights) {
+  Rng rng(1);
+  Result<WeightedDigraph> original = ErdosRenyi(50, 200, rng);
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(SaveEdgeList(*original, path_).ok());
+
+  Result<WeightedDigraph> loaded = LoadEdgeList(path_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->NumEdges(), original->NumEdges());
+  for (EdgeId e = 0; e < original->NumEdges(); ++e) {
+    EXPECT_EQ(loaded->edge(e).from, original->edge(e).from);
+    EXPECT_EQ(loaded->edge(e).to, original->edge(e).to);
+    EXPECT_DOUBLE_EQ(loaded->edge(e).weight, original->edge(e).weight);
+  }
+}
+
+TEST_F(GraphIoTest, LoadSkipsCommentsAndBlankLines) {
+  WriteFile("# comment\n% konect header\n\n0 1 0.5\n1 2 0.25\n");
+  Result<WeightedDigraph> g = LoadEdgeList(path_);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumEdges(), 2u);
+  EXPECT_EQ(g->NumNodes(), 3u);
+}
+
+TEST_F(GraphIoTest, MissingWeightUsesDefault) {
+  WriteFile("0 1\n1 0\n");
+  Result<WeightedDigraph> g = LoadEdgeList(path_, 0.75);
+  ASSERT_TRUE(g.ok());
+  EXPECT_DOUBLE_EQ(g->Weight(0), 0.75);
+  EXPECT_DOUBLE_EQ(g->Weight(1), 0.75);
+}
+
+TEST_F(GraphIoTest, DuplicateEdgesKeepFirst) {
+  WriteFile("0 1 0.5\n0 1 0.9\n");
+  Result<WeightedDigraph> g = LoadEdgeList(path_);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumEdges(), 1u);
+  EXPECT_DOUBLE_EQ(g->Weight(0), 0.5);
+}
+
+TEST_F(GraphIoTest, MalformedLineIsError) {
+  WriteFile("0 1 0.5\nnot an edge\n");
+  EXPECT_FALSE(LoadEdgeList(path_).ok());
+}
+
+TEST_F(GraphIoTest, NegativeNodeIdIsError) {
+  WriteFile("-1 2 0.5\n");
+  EXPECT_FALSE(LoadEdgeList(path_).ok());
+}
+
+TEST_F(GraphIoTest, MissingFileIsIoError) {
+  Result<WeightedDigraph> g = LoadEdgeList("/nonexistent/dir/graph.txt");
+  EXPECT_EQ(g.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(GraphIoTest, SaveToUnwritablePathIsIoError) {
+  WeightedDigraph g(1);
+  EXPECT_EQ(SaveEdgeList(g, "/nonexistent/dir/out.txt").code(),
+            StatusCode::kIoError);
+}
+
+TEST_F(GraphIoTest, EmptyFileYieldsEmptyGraph) {
+  WriteFile("# nothing here\n");
+  Result<WeightedDigraph> g = LoadEdgeList(path_);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumNodes(), 0u);
+  EXPECT_EQ(g->NumEdges(), 0u);
+}
+
+TEST_F(GraphIoTest, NodeIdsTakenVerbatim) {
+  WriteFile("5 9 0.1\n");
+  Result<WeightedDigraph> g = LoadEdgeList(path_);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumNodes(), 10u);  // sized to max id + 1
+  EXPECT_TRUE(g->FindEdge(5, 9).has_value());
+}
+
+}  // namespace
+}  // namespace kgov::graph

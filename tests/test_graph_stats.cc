@@ -1,0 +1,68 @@
+#include "graph/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace kgov::graph {
+namespace {
+
+TEST(GraphStatsTest, EmptyGraph) {
+  GraphStats stats = ComputeGraphStats(WeightedDigraph{});
+  EXPECT_EQ(stats.num_nodes, 0u);
+  EXPECT_EQ(stats.num_edges, 0u);
+  EXPECT_DOUBLE_EQ(stats.average_out_degree, 0.0);
+}
+
+TEST(GraphStatsTest, CountsBasics) {
+  WeightedDigraph g(4);
+  ASSERT_TRUE(g.AddEdge(0, 1, 0.4).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2, 0.6).ok());
+  ASSERT_TRUE(g.AddEdge(1, 1, 0.5).ok());  // self-loop
+  GraphStats stats = ComputeGraphStats(g);
+  EXPECT_EQ(stats.num_nodes, 4u);
+  EXPECT_EQ(stats.num_edges, 3u);
+  EXPECT_EQ(stats.max_out_degree, 2u);
+  EXPECT_EQ(stats.self_loops, 1u);
+  EXPECT_DOUBLE_EQ(stats.average_out_degree, 0.75);
+}
+
+TEST(GraphStatsTest, DanglingAndSourceNodes) {
+  WeightedDigraph g(4);
+  ASSERT_TRUE(g.AddEdge(0, 1, 0.5).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2, 0.5).ok());
+  GraphStats stats = ComputeGraphStats(g);
+  // 2 and 3 have no out-edges; 0 and 3 have no in-edges.
+  EXPECT_EQ(stats.dangling_nodes, 2u);
+  EXPECT_EQ(stats.source_nodes, 2u);
+}
+
+TEST(GraphStatsTest, WeightSummary) {
+  WeightedDigraph g(3);
+  ASSERT_TRUE(g.AddEdge(0, 1, 0.2).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2, 0.8).ok());
+  ASSERT_TRUE(g.AddEdge(2, 0, 0.0).ok());
+  GraphStats stats = ComputeGraphStats(g);
+  EXPECT_DOUBLE_EQ(stats.min_weight, 0.0);
+  EXPECT_DOUBLE_EQ(stats.max_weight, 0.8);
+  EXPECT_NEAR(stats.mean_weight, 1.0 / 3.0, 1e-12);
+  EXPECT_EQ(stats.zero_weight_edges, 1u);
+}
+
+TEST(GraphStatsTest, SuperStochasticDetection) {
+  WeightedDigraph g(3);
+  ASSERT_TRUE(g.AddEdge(0, 1, 0.7).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2, 0.7).ok());  // sums to 1.4
+  ASSERT_TRUE(g.AddEdge(1, 2, 1.0).ok());  // exactly 1: fine
+  GraphStats stats = ComputeGraphStats(g);
+  EXPECT_EQ(stats.super_stochastic_nodes, 1u);
+}
+
+TEST(GraphStatsTest, ToStringMentionsKeyNumbers) {
+  WeightedDigraph g(2);
+  ASSERT_TRUE(g.AddEdge(0, 1, 0.5).ok());
+  std::string text = ComputeGraphStats(g).ToString();
+  EXPECT_NE(text.find("nodes 2"), std::string::npos);
+  EXPECT_NE(text.find("edges 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kgov::graph

@@ -1,0 +1,161 @@
+#include "qa/kg_builder.h"
+
+#include <gtest/gtest.h>
+
+namespace kgov::qa {
+namespace {
+
+// Tiny hand-built corpus:
+//   doc0: e0 (x2), e1 (x1)
+//   doc1: e0 (x1), e2 (x1)
+//   doc2: e1 (x1), e2 (x3)
+Corpus MakeTinyCorpus() {
+  Corpus corpus;
+  corpus.num_entities = 3;
+  corpus.entity_names = {"alpha", "beta", "gamma"};
+  corpus.documents.resize(3);
+  corpus.documents[0].mentions = {{0, 2}, {1, 1}};
+  corpus.documents[1].mentions = {{0, 1}, {2, 1}};
+  corpus.documents[2].mentions = {{1, 1}, {2, 3}};
+  return corpus;
+}
+
+TEST(KgBuilderTest, RejectsEmptyCorpus) {
+  Corpus empty;
+  EXPECT_FALSE(BuildKnowledgeGraph(empty).ok());
+}
+
+TEST(KgBuilderTest, NodeLayout) {
+  Result<KnowledgeGraph> kg = BuildKnowledgeGraph(MakeTinyCorpus());
+  ASSERT_TRUE(kg.ok());
+  EXPECT_EQ(kg->num_entities, 3u);
+  EXPECT_EQ(kg->graph.NumNodes(), 6u);  // 3 entities + 3 answers
+  EXPECT_EQ(kg->answer_nodes.size(), 3u);
+  EXPECT_EQ(kg->answer_nodes[0], 3u);
+  EXPECT_EQ(kg->DocumentOf(4), 1);
+  EXPECT_EQ(kg->DocumentOf(1), -1);
+}
+
+TEST(KgBuilderTest, ConditionalProbabilityWeights) {
+  // Before normalization, w(e0, e1) = #(e0,e1)/#(e0) = 1/2 (docs with both:
+  // doc0; docs with e0: doc0, doc1). We verify the *ratios* survive the
+  // final normalization: from e0, the co-doc counts to e1 and e2 are equal
+  // (1 and 1), so the normalized entity-entity weights from e0 are equal.
+  Result<KnowledgeGraph> kg = BuildKnowledgeGraph(MakeTinyCorpus());
+  ASSERT_TRUE(kg.ok());
+  auto e01 = kg->graph.FindEdge(0, 1);
+  auto e02 = kg->graph.FindEdge(0, 2);
+  ASSERT_TRUE(e01.has_value() && e02.has_value());
+  EXPECT_NEAR(kg->graph.Weight(*e01), kg->graph.Weight(*e02), 1e-12);
+}
+
+TEST(KgBuilderTest, AsymmetricConditionals) {
+  // #(e1,e2)/#(e1) = 1/2 vs #(e2,e1)/#(e2) = 1/2 both 0.5 here, but the
+  // out-normalization differs because e1 and e2 have different co-doc
+  // profiles; simply assert both directions exist.
+  Result<KnowledgeGraph> kg = BuildKnowledgeGraph(MakeTinyCorpus());
+  ASSERT_TRUE(kg.ok());
+  EXPECT_TRUE(kg->graph.FindEdge(1, 2).has_value());
+  EXPECT_TRUE(kg->graph.FindEdge(2, 1).has_value());
+}
+
+TEST(KgBuilderTest, NoCooccurrenceNoEdge) {
+  Corpus corpus;
+  corpus.num_entities = 3;
+  corpus.documents.resize(2);
+  corpus.documents[0].mentions = {{0, 1}};
+  corpus.documents[1].mentions = {{1, 1}, {2, 1}};
+  Result<KnowledgeGraph> kg = BuildKnowledgeGraph(corpus);
+  ASSERT_TRUE(kg.ok());
+  EXPECT_FALSE(kg->graph.FindEdge(0, 1).has_value());
+  EXPECT_TRUE(kg->graph.FindEdge(1, 2).has_value());
+}
+
+TEST(KgBuilderTest, AnswerLinksProportionalToMentionCounts) {
+  Result<KnowledgeGraph> kg = BuildKnowledgeGraph(MakeTinyCorpus());
+  ASSERT_TRUE(kg.ok());
+  // doc0 mentions e0 twice, e1 once: before normalization the link weights
+  // are 2/3 and 1/3. e0's outgoing edges get normalized together, but the
+  // *ratio* of e0->doc0 to e1->doc0 reflects the mention shares scaled by
+  // each entity's total out-weight.
+  auto link0 = kg->graph.FindEdge(0, kg->answer_nodes[0]);
+  auto link1 = kg->graph.FindEdge(1, kg->answer_nodes[0]);
+  ASSERT_TRUE(link0.has_value() && link1.has_value());
+  EXPECT_GT(kg->graph.Weight(*link0), 0.0);
+  EXPECT_GT(kg->graph.Weight(*link1), 0.0);
+}
+
+TEST(KgBuilderTest, GraphIsSubStochastic) {
+  Result<KnowledgeGraph> kg = BuildKnowledgeGraph(MakeTinyCorpus());
+  ASSERT_TRUE(kg.ok());
+  EXPECT_TRUE(kg->graph.IsSubStochastic(1e-9));
+}
+
+TEST(KgBuilderTest, AnswersHaveNoOutEdges) {
+  Result<KnowledgeGraph> kg = BuildKnowledgeGraph(MakeTinyCorpus());
+  ASSERT_TRUE(kg.ok());
+  for (graph::NodeId answer : kg->answer_nodes) {
+    EXPECT_EQ(kg->graph.OutDegree(answer), 0u);
+  }
+}
+
+TEST(KgBuilderTest, MinEdgeWeightPrunes) {
+  KgBuildParams params;
+  params.min_edge_weight = 0.9;  // everything below 0.9 dropped
+  Result<KnowledgeGraph> pruned =
+      BuildKnowledgeGraph(MakeTinyCorpus(), params);
+  Result<KnowledgeGraph> full = BuildKnowledgeGraph(MakeTinyCorpus());
+  ASSERT_TRUE(pruned.ok() && full.ok());
+  EXPECT_LT(pruned->graph.NumEdges(), full->graph.NumEdges());
+}
+
+TEST(KgBuilderTest, MaxOutEdgesCapsHubs) {
+  KgBuildParams params;
+  params.max_out_edges_per_entity = 1;
+  Result<KnowledgeGraph> kg = BuildKnowledgeGraph(MakeTinyCorpus(), params);
+  ASSERT_TRUE(kg.ok());
+  for (EntityId e = 0; e < 3; ++e) {
+    size_t entity_out = 0;
+    for (const graph::OutEdge& out : kg->graph.OutEdges(e)) {
+      if (out.to < kg->num_entities) ++entity_out;
+    }
+    EXPECT_LE(entity_out, 1u);
+  }
+}
+
+TEST(KgBuilderTest, EntityEdgePredicateSeparatesLinkEdges) {
+  Result<KnowledgeGraph> kg = BuildKnowledgeGraph(MakeTinyCorpus());
+  ASSERT_TRUE(kg.ok());
+  auto predicate = kg->EntityEdgePredicate();
+  for (graph::EdgeId e = 0; e < kg->graph.NumEdges(); ++e) {
+    bool is_entity_edge = kg->graph.edge(e).to < kg->num_entities;
+    EXPECT_EQ(predicate(kg->graph, e), is_entity_edge);
+  }
+}
+
+TEST(KgBuilderTest, LabelsCopiedFromCorpus) {
+  Result<KnowledgeGraph> kg = BuildKnowledgeGraph(MakeTinyCorpus());
+  ASSERT_TRUE(kg.ok());
+  EXPECT_EQ(kg->graph.NodeLabel(0), "alpha");
+  EXPECT_EQ(kg->graph.NodeLabel(3), "doc0");
+}
+
+TEST(KgBuilderTest, PaperScaleGraphRoughlyMatchesTableII) {
+  // The Taobao-scale corpus should produce a KG in the ballpark of 1,663
+  // nodes (exact: entities are fixed) and order-10k entity edges.
+  Rng rng(42);
+  Result<Corpus> corpus = GenerateCorpus(TaobaoScaleParams(), rng);
+  ASSERT_TRUE(corpus.ok());
+  Result<KnowledgeGraph> kg = BuildKnowledgeGraph(*corpus);
+  ASSERT_TRUE(kg.ok());
+  EXPECT_EQ(kg->num_entities, 1663u);
+  size_t entity_edges = 0;
+  for (const graph::Edge& e : kg->graph.edges()) {
+    if (e.to < kg->num_entities) ++entity_edges;
+  }
+  EXPECT_GT(entity_edges, 8000u);
+  EXPECT_LT(entity_edges, 60000u);
+}
+
+}  // namespace
+}  // namespace kgov::qa

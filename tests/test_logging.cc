@@ -1,0 +1,65 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace kgov {
+namespace {
+
+// Restores the global level after each test.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = GetLogLevel(); }
+  void TearDown() override { SetLogLevel(previous_); }
+  LogLevel previous_;
+};
+
+TEST_F(LoggingTest, DefaultLevelIsWarning) {
+  // The library must not spam users by default.
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
+}
+
+TEST_F(LoggingTest, SetAndGetRoundTrip) {
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+}
+
+TEST_F(LoggingTest, SuppressedLogDoesNotEvaluateNothingWeird) {
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  // The streamed expression IS evaluated when the level passes, and the
+  // macro must compile and run cleanly either way.
+  KGOV_LOG(DEBUG) << "hidden " << ++evaluations;
+  SUCCEED();
+}
+
+TEST_F(LoggingTest, EmittedLogRuns) {
+  SetLogLevel(LogLevel::kDebug);
+  KGOV_LOG(INFO) << "test message " << 42;  // must not crash
+  KGOV_LOG(ERROR) << "error message";
+  SUCCEED();
+}
+
+TEST_F(LoggingTest, CheckPassesSilently) {
+  KGOV_CHECK(1 + 1 == 2) << "never shown";
+  SUCCEED();
+}
+
+TEST_F(LoggingTest, CheckFailureAborts) {
+  EXPECT_DEATH({ KGOV_CHECK(false) << "boom"; }, "Check failed");
+}
+
+TEST_F(LoggingTest, LogInsideExpressionContexts) {
+  SetLogLevel(LogLevel::kDebug);
+  // The macro must compose with if/else without dangling-else surprises.
+  bool flag = true;
+  if (flag)
+    KGOV_LOG(INFO) << "then-branch";
+  else
+    KGOV_LOG(INFO) << "else-branch";
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace kgov

@@ -1,0 +1,83 @@
+#include "cluster/merge.h"
+
+#include <gtest/gtest.h>
+
+namespace kgov::cluster {
+namespace {
+
+TEST(MergeTest, SingleClusterPassesThrough) {
+  ClusterDelta c;
+  c.num_votes = 5;
+  c.delta = {{1, 0.2}, {2, -0.1}};
+  auto merged = MergeClusterDeltas({c});
+  EXPECT_DOUBLE_EQ(merged.at(1), 0.2);
+  EXPECT_DOUBLE_EQ(merged.at(2), -0.1);
+}
+
+TEST(MergeTest, EdgeChangedInOneClusterOnly) {
+  ClusterDelta a{3, {{1, 0.2}}};
+  ClusterDelta b{7, {{2, -0.5}}};
+  auto merged = MergeClusterDeltas({a, b});
+  EXPECT_EQ(merged.size(), 2u);
+  EXPECT_DOUBLE_EQ(merged.at(1), 0.2);
+  EXPECT_DOUBLE_EQ(merged.at(2), -0.5);
+}
+
+TEST(MergeTest, PaperExampleFromFigure4) {
+  // Changes <-0.01, +0.03, +0.07> with votes <10, 8, 9>:
+  // weighted sum = -0.1 + 0.24 + 0.63 > 0, so choose the max 0.07.
+  ClusterDelta c2{10, {{5, -0.01}}};
+  ClusterDelta c3{8, {{5, 0.03}}};
+  ClusterDelta c4{9, {{5, 0.07}}};
+  auto merged = MergeClusterDeltas({c2, c3, c4});
+  EXPECT_DOUBLE_EQ(merged.at(5), 0.07);
+}
+
+TEST(MergeTest, NegativeWeightedSignPicksMinimum) {
+  ClusterDelta a{10, {{5, -0.08}}};
+  ClusterDelta b{2, {{5, 0.05}}};
+  // weighted sum = -0.8 + 0.1 < 0 -> minimum (-0.08).
+  auto merged = MergeClusterDeltas({a, b});
+  EXPECT_DOUBLE_EQ(merged.at(5), -0.08);
+}
+
+TEST(MergeTest, TieBreaksPositive) {
+  // Weighted sum exactly zero: implementation treats >= 0 as positive.
+  ClusterDelta a{1, {{5, -0.1}}};
+  ClusterDelta b{1, {{5, 0.1}}};
+  auto merged = MergeClusterDeltas({a, b});
+  EXPECT_DOUBLE_EQ(merged.at(5), 0.1);
+}
+
+TEST(MergeTest, WeightedAverageRule) {
+  ClusterDelta a{10, {{5, -0.01}}};
+  ClusterDelta b{8, {{5, 0.03}}};
+  ClusterDelta c{9, {{5, 0.07}}};
+  auto merged =
+      MergeClusterDeltas({a, b, c}, MergeRule::kWeightedAverage);
+  double expected = (10 * -0.01 + 8 * 0.03 + 9 * 0.07) / 27.0;
+  EXPECT_NEAR(merged.at(5), expected, 1e-12);
+}
+
+TEST(MergeTest, EmptyInput) {
+  EXPECT_TRUE(MergeClusterDeltas({}).empty());
+}
+
+TEST(MergeTest, ClusterWithNoChanges) {
+  ClusterDelta empty{4, {}};
+  ClusterDelta real{2, {{3, 0.5}}};
+  auto merged = MergeClusterDeltas({empty, real});
+  EXPECT_EQ(merged.size(), 1u);
+  EXPECT_DOUBLE_EQ(merged.at(3), 0.5);
+}
+
+TEST(MergeTest, ManyEdgesResolvedIndependently) {
+  ClusterDelta a{5, {{1, 0.1}, {2, -0.2}}};
+  ClusterDelta b{5, {{1, 0.3}, {2, -0.4}}};
+  auto merged = MergeClusterDeltas({a, b});
+  EXPECT_DOUBLE_EQ(merged.at(1), 0.3);   // positive sum -> max
+  EXPECT_DOUBLE_EQ(merged.at(2), -0.4);  // negative sum -> min
+}
+
+}  // namespace
+}  // namespace kgov::cluster

@@ -1,0 +1,147 @@
+#include "math/monomial.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace kgov::math {
+namespace {
+
+TEST(MonomialTest, ConstantTerm) {
+  Monomial m(2.5);
+  EXPECT_TRUE(m.IsConstant());
+  EXPECT_EQ(m.Degree(), 0.0);
+  EXPECT_EQ(m.Evaluate({}), 2.5);
+  EXPECT_EQ(m.MaxVarId(), -1);
+}
+
+TEST(MonomialTest, SingleVariableEvaluation) {
+  Monomial m(3.0, {{0, 2.0}});  // 3 x0^2
+  EXPECT_EQ(m.Evaluate({2.0}), 12.0);
+  EXPECT_EQ(m.Evaluate({0.0}), 0.0);
+}
+
+TEST(MonomialTest, MultiVariableEvaluation) {
+  Monomial m(0.5, {{0, 1.0}, {2, 3.0}});  // 0.5 x0 x2^3
+  EXPECT_DOUBLE_EQ(m.Evaluate({2.0, 99.0, 2.0}), 0.5 * 2.0 * 8.0);
+}
+
+TEST(MonomialTest, PowersAreSortedAndMerged) {
+  Monomial m(1.0, {{3, 1.0}, {1, 2.0}, {3, 2.0}});
+  ASSERT_EQ(m.powers().size(), 2u);
+  EXPECT_EQ(m.powers()[0].first, 1u);
+  EXPECT_EQ(m.powers()[0].second, 2.0);
+  EXPECT_EQ(m.powers()[1].first, 3u);
+  EXPECT_EQ(m.powers()[1].second, 3.0);
+}
+
+TEST(MonomialTest, ZeroExponentsDropped) {
+  Monomial m(1.0, {{0, 1.0}, {1, 0.0}});
+  EXPECT_EQ(m.powers().size(), 1u);
+  EXPECT_EQ(m.ExponentOf(1), 0.0);
+}
+
+TEST(MonomialTest, CancellingExponentsDropped) {
+  Monomial m(1.0, {{2, 1.0}, {2, -1.0}});
+  EXPECT_TRUE(m.IsConstant());
+}
+
+TEST(MonomialTest, ExponentOf) {
+  Monomial m(1.0, {{1, 2.0}, {5, 1.0}});
+  EXPECT_EQ(m.ExponentOf(1), 2.0);
+  EXPECT_EQ(m.ExponentOf(5), 1.0);
+  EXPECT_EQ(m.ExponentOf(0), 0.0);
+  EXPECT_EQ(m.ExponentOf(9), 0.0);
+}
+
+TEST(MonomialTest, Degree) {
+  Monomial m(1.0, {{0, 2.0}, {1, 1.5}});
+  EXPECT_DOUBLE_EQ(m.Degree(), 3.5);
+}
+
+TEST(MonomialTest, GradientSimple) {
+  // f = 3 x0^2 -> df/dx0 = 6 x0.
+  Monomial m(3.0, {{0, 2.0}});
+  std::vector<double> grad(1, 0.0);
+  m.AccumulateGradient({2.0}, 1.0, &grad);
+  EXPECT_DOUBLE_EQ(grad[0], 12.0);
+}
+
+TEST(MonomialTest, GradientProductRule) {
+  // f = x0 * x1 -> df/dx0 = x1, df/dx1 = x0.
+  Monomial m(1.0, {{0, 1.0}, {1, 1.0}});
+  std::vector<double> grad(2, 0.0);
+  m.AccumulateGradient({3.0, 4.0}, 1.0, &grad);
+  EXPECT_DOUBLE_EQ(grad[0], 4.0);
+  EXPECT_DOUBLE_EQ(grad[1], 3.0);
+}
+
+TEST(MonomialTest, GradientAtZeroIsWellDefined) {
+  // f = x0 * x1 at x0 = 0: df/dx1 = 0, df/dx0 = x1 (must not be NaN).
+  Monomial m(1.0, {{0, 1.0}, {1, 1.0}});
+  std::vector<double> grad(2, 0.0);
+  m.AccumulateGradient({0.0, 5.0}, 1.0, &grad);
+  EXPECT_DOUBLE_EQ(grad[0], 5.0);
+  EXPECT_DOUBLE_EQ(grad[1], 0.0);
+}
+
+TEST(MonomialTest, GradientScaleApplies) {
+  Monomial m(2.0, {{0, 1.0}});
+  std::vector<double> grad(1, 1.0);  // pre-existing content preserved
+  m.AccumulateGradient({7.0}, 0.5, &grad);
+  EXPECT_DOUBLE_EQ(grad[0], 1.0 + 0.5 * 2.0);
+}
+
+TEST(MonomialTest, GradientMatchesFiniteDifference) {
+  Monomial m(0.7, {{0, 2.0}, {1, 1.0}, {2, 3.0}});
+  std::vector<double> x{1.3, 0.8, 1.1};
+  std::vector<double> grad(3, 0.0);
+  m.AccumulateGradient(x, 1.0, &grad);
+  const double h = 1e-6;
+  for (size_t i = 0; i < x.size(); ++i) {
+    std::vector<double> xp = x, xm = x;
+    xp[i] += h;
+    xm[i] -= h;
+    double numeric = (m.Evaluate(xp) - m.Evaluate(xm)) / (2 * h);
+    EXPECT_NEAR(grad[i], numeric, 1e-5);
+  }
+}
+
+TEST(MonomialTest, Scaled) {
+  Monomial m(2.0, {{0, 1.0}});
+  Monomial s = m.Scaled(-0.5);
+  EXPECT_DOUBLE_EQ(s.coefficient(), -1.0);
+  EXPECT_EQ(s.powers(), m.powers());
+}
+
+TEST(MonomialTest, ProductMultipliesCoefficientsAddsExponents) {
+  Monomial a(2.0, {{0, 1.0}});
+  Monomial b(3.0, {{0, 2.0}, {1, 1.0}});
+  Monomial p = a * b;
+  EXPECT_DOUBLE_EQ(p.coefficient(), 6.0);
+  EXPECT_DOUBLE_EQ(p.ExponentOf(0), 3.0);
+  EXPECT_DOUBLE_EQ(p.ExponentOf(1), 1.0);
+}
+
+TEST(MonomialTest, MultiplyByPower) {
+  Monomial m(1.0, {{0, 1.0}});
+  m.MultiplyByPower(0, 1.0);
+  m.MultiplyByPower(2, 2.0);
+  EXPECT_DOUBLE_EQ(m.ExponentOf(0), 2.0);
+  EXPECT_DOUBLE_EQ(m.ExponentOf(2), 2.0);
+  EXPECT_EQ(m.MaxVarId(), 2);
+}
+
+TEST(MonomialTest, ToStringReadable) {
+  Monomial m(0.25, {{3, 2.0}, {7, 1.0}});
+  EXPECT_EQ(m.ToString(), "0.25*x3^2*x7");
+}
+
+TEST(MonomialTest, EqualityIsStructural) {
+  EXPECT_EQ(Monomial(1.0, {{0, 1.0}}), Monomial(1.0, {{0, 1.0}}));
+  EXPECT_FALSE(Monomial(1.0, {{0, 1.0}}) == Monomial(2.0, {{0, 1.0}}));
+  EXPECT_FALSE(Monomial(1.0, {{0, 1.0}}) == Monomial(1.0, {{1, 1.0}}));
+}
+
+}  // namespace
+}  // namespace kgov::math

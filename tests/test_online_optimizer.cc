@@ -1,0 +1,125 @@
+#include "core/online_optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "ppr/fast_eipd.h"
+
+namespace kgov::core {
+namespace {
+
+using graph::WeightedDigraph;
+
+WeightedDigraph MakeFixture() {
+  WeightedDigraph g(5);
+  EXPECT_TRUE(g.AddEdge(0, 1, 0.6).ok());
+  EXPECT_TRUE(g.AddEdge(0, 2, 0.4).ok());
+  EXPECT_TRUE(g.AddEdge(1, 3, 1.0).ok());
+  EXPECT_TRUE(g.AddEdge(2, 4, 1.0).ok());
+  return g;
+}
+
+votes::Vote MakeVote(graph::NodeId best, uint32_t id) {
+  votes::Vote vote;
+  vote.id = id;
+  vote.query.links.emplace_back(0, 1.0);
+  vote.answer_list = {3, 4};
+  vote.best_answer = best;
+  return vote;
+}
+
+OnlineOptimizerOptions SmallOptions(size_t batch) {
+  OnlineOptimizerOptions options;
+  options.batch_size = batch;
+  options.optimizer.encoder.symbolic.eipd.max_length = 4;
+  options.optimizer.apply_judgment_filter = false;
+  options.strategy = FlushStrategy::kMultiVote;
+  return options;
+}
+
+TEST(OnlineOptimizerTest, BuffersUntilBatchFull) {
+  WeightedDigraph g = MakeFixture();
+  OnlineKgOptimizer online(g, SmallOptions(3));
+  for (uint32_t i = 0; i < 2; ++i) {
+    Result<FlushReport> r = online.AddVote(MakeVote(4, i));
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->votes_flushed, 0u);
+  }
+  EXPECT_EQ(online.PendingVotes(), 2u);
+  Result<FlushReport> r = online.AddVote(MakeVote(4, 2));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->votes_flushed, 3u);
+  EXPECT_EQ(online.PendingVotes(), 0u);
+  EXPECT_EQ(online.TotalVotesApplied(), 3u);
+}
+
+TEST(OnlineOptimizerTest, FlushChangesGraph) {
+  WeightedDigraph g = MakeFixture();
+  OnlineKgOptimizer online(g, SmallOptions(10));
+  ASSERT_TRUE(online.AddVote(MakeVote(4, 0)).ok());
+  Result<FlushReport> r = online.Flush();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->votes_flushed, 1u);
+  // The voted answer now ranks first on the evolved graph.
+  ppr::EipdOptions eipd;
+  eipd.max_length = 4;
+  ppr::EipdEvaluator evaluator(&online.graph(), eipd);
+  votes::Vote vote = MakeVote(4, 0);
+  EXPECT_GT(evaluator.Similarity(vote.query, 4),
+            evaluator.Similarity(vote.query, 3));
+}
+
+TEST(OnlineOptimizerTest, EmptyFlushIsNoOp) {
+  WeightedDigraph g = MakeFixture();
+  OnlineKgOptimizer online(g, SmallOptions(5));
+  Result<FlushReport> r = online.Flush();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->votes_flushed, 0u);
+}
+
+TEST(OnlineOptimizerTest, SnapshotStableAcrossFlushes) {
+  WeightedDigraph g = MakeFixture();
+  OnlineKgOptimizer online(g, SmallOptions(10));
+  std::shared_ptr<const graph::CsrSnapshot> before = online.snapshot();
+  ppr::FastEipdEvaluator before_eval(before.get(), {.max_length = 4});
+  votes::Vote vote = MakeVote(4, 0);
+  double s4_before = before_eval.Similarity(vote.query, 4);
+
+  ASSERT_TRUE(online.AddVote(vote).ok());
+  ASSERT_TRUE(online.Flush().ok());
+
+  // Old snapshot still serves old scores; the new one reflects the flush.
+  EXPECT_DOUBLE_EQ(before_eval.Similarity(vote.query, 4), s4_before);
+  std::shared_ptr<const graph::CsrSnapshot> after = online.snapshot();
+  EXPECT_NE(before.get(), after.get());
+  ppr::FastEipdEvaluator after_eval(after.get(), {.max_length = 4});
+  EXPECT_GT(after_eval.Similarity(vote.query, 4), s4_before);
+}
+
+TEST(OnlineOptimizerTest, BadBatchDroppedWithError) {
+  WeightedDigraph g = MakeFixture();
+  OnlineOptimizerOptions options = SmallOptions(1);
+  OnlineKgOptimizer online(g, options);
+  votes::Vote malformed;  // triggers "no votes survive filtering"
+  Result<FlushReport> r = online.AddVote(malformed);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(online.PendingVotes(), 0u);  // buffer cleared, pipeline alive
+  // Subsequent good votes still work.
+  Result<FlushReport> good = online.AddVote(MakeVote(4, 1));
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good->votes_flushed, 1u);
+}
+
+TEST(OnlineOptimizerTest, SplitMergeStrategyWorks) {
+  WeightedDigraph g = MakeFixture();
+  OnlineOptimizerOptions options = SmallOptions(2);
+  options.strategy = FlushStrategy::kSplitMerge;
+  OnlineKgOptimizer online(g, options);
+  ASSERT_TRUE(online.AddVote(MakeVote(4, 0)).ok());
+  Result<FlushReport> r = online.AddVote(MakeVote(4, 1));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->votes_flushed, 2u);
+  EXPECT_GT(r->constraints_total, 0);
+}
+
+}  // namespace
+}  // namespace kgov::core

@@ -1,0 +1,238 @@
+#include "math/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace kgov::math {
+namespace {
+
+// f(x) = (x0-1)^2 + (x1+2)^2, minimum at (1, -2).
+class Quadratic : public DifferentiableFunction {
+ public:
+  double Evaluate(const std::vector<double>& x,
+                  std::vector<double>* grad) const override {
+    double a = x[0] - 1.0;
+    double b = x[1] + 2.0;
+    if (grad) {
+      grad->assign(2, 0.0);
+      (*grad)[0] = 2.0 * a;
+      (*grad)[1] = 2.0 * b;
+    }
+    return a * a + b * b;
+  }
+};
+
+// Rosenbrock: minimum at (1, 1), notoriously curved valley.
+class Rosenbrock : public DifferentiableFunction {
+ public:
+  double Evaluate(const std::vector<double>& x,
+                  std::vector<double>* grad) const override {
+    double a = 1.0 - x[0];
+    double b = x[1] - x[0] * x[0];
+    if (grad) {
+      grad->assign(2, 0.0);
+      (*grad)[0] = -2.0 * a - 400.0 * x[0] * b;
+      (*grad)[1] = 200.0 * b;
+    }
+    return a * a + 100.0 * b * b;
+  }
+};
+
+TEST(BoxBoundsTest, UniformConstruction) {
+  BoxBounds b = BoxBounds::Uniform(3, -1.0, 2.0);
+  EXPECT_EQ(b.lower, (std::vector<double>{-1.0, -1.0, -1.0}));
+  EXPECT_EQ(b.upper, (std::vector<double>{2.0, 2.0, 2.0}));
+  EXPECT_FALSE(b.IsUnbounded());
+}
+
+TEST(BoxBoundsTest, ProjectClamps) {
+  BoxBounds b = BoxBounds::Uniform(2, 0.0, 1.0);
+  std::vector<double> x{-0.5, 1.5};
+  b.Project(&x);
+  EXPECT_EQ(x, (std::vector<double>{0.0, 1.0}));
+}
+
+TEST(BoxBoundsTest, UnboundedProjectIsIdentity) {
+  BoxBounds b = BoxBounds::Unbounded();
+  std::vector<double> x{-100.0, 100.0};
+  b.Project(&x);
+  EXPECT_EQ(x, (std::vector<double>{-100.0, 100.0}));
+}
+
+TEST(BoxBoundsTest, Contains) {
+  BoxBounds b = BoxBounds::Uniform(2, 0.0, 1.0);
+  EXPECT_TRUE(b.Contains({0.5, 1.0}));
+  EXPECT_FALSE(b.Contains({-0.1, 0.5}));
+  EXPECT_TRUE(BoxBounds::Unbounded().Contains({1e30}));
+}
+
+TEST(ProjectedBbTest, SolvesQuadratic) {
+  Quadratic f;
+  ProjectedBbSolver solver;
+  SolveResult r = solver.Minimize(f, {5.0, 5.0}, BoxBounds::Unbounded());
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-5);
+  EXPECT_NEAR(r.x[1], -2.0, 1e-5);
+  EXPECT_NEAR(r.objective, 0.0, 1e-9);
+}
+
+TEST(ProjectedBbTest, RespectsBoxConstraint) {
+  Quadratic f;  // unconstrained min at (1, -2)
+  ProjectedBbSolver solver;
+  BoxBounds box = BoxBounds::Uniform(2, 0.0, 0.5);
+  SolveResult r = solver.Minimize(f, {0.2, 0.2}, box);
+  // Constrained minimum: x0 = 0.5 (closest to 1), x1 = 0 (closest to -2).
+  EXPECT_NEAR(r.x[0], 0.5, 1e-6);
+  EXPECT_NEAR(r.x[1], 0.0, 1e-6);
+  EXPECT_TRUE(box.Contains(r.x));
+}
+
+TEST(ProjectedBbTest, SolvesRosenbrock) {
+  Rosenbrock f;
+  SolveOptions options;
+  options.max_iterations = 5000;
+  ProjectedBbSolver solver(options);
+  SolveResult r = solver.Minimize(f, {-1.2, 1.0}, BoxBounds::Unbounded());
+  EXPECT_NEAR(r.x[0], 1.0, 1e-3);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-3);
+}
+
+TEST(ProjectedBbTest, StartsOutsideBoxGetsProjected) {
+  Quadratic f;
+  ProjectedBbSolver solver;
+  BoxBounds box = BoxBounds::Uniform(2, 0.0, 2.0);
+  SolveResult r = solver.Minimize(f, {50.0, -50.0}, box);
+  EXPECT_TRUE(box.Contains(r.x));
+  EXPECT_NEAR(r.x[0], 1.0, 1e-5);
+  EXPECT_NEAR(r.x[1], 0.0, 1e-5);
+}
+
+TEST(LbfgsTest, SolvesQuadratic) {
+  Quadratic f;
+  LbfgsSolver solver;
+  SolveResult r = solver.Minimize(f, {10.0, -10.0}, BoxBounds::Unbounded());
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-5);
+  EXPECT_NEAR(r.x[1], -2.0, 1e-5);
+}
+
+TEST(LbfgsTest, SolvesRosenbrockFasterThanGradientDescent) {
+  Rosenbrock f;
+  SolveOptions options;
+  options.max_iterations = 2000;
+  LbfgsSolver solver(options);
+  SolveResult r = solver.Minimize(f, {-1.2, 1.0}, BoxBounds::Unbounded());
+  EXPECT_NEAR(r.x[0], 1.0, 1e-4);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-4);
+}
+
+TEST(LbfgsTest, RespectsBox) {
+  Quadratic f;
+  LbfgsSolver solver;
+  BoxBounds box = BoxBounds::Uniform(2, -1.0, 0.0);
+  SolveResult r = solver.Minimize(f, {-0.5, -0.5}, box);
+  EXPECT_TRUE(box.Contains(r.x));
+  EXPECT_NEAR(r.x[0], 0.0, 1e-5);   // clamped toward 1
+  EXPECT_NEAR(r.x[1], -1.0, 1e-5);  // clamped toward -2
+}
+
+TEST(AugLagTest, NoConstraintsReducesToUnconstrained) {
+  Quadratic f;
+  AugmentedLagrangianSolver solver;
+  SolveResult r = solver.Minimize(f, {}, {4.0, 4.0}, BoxBounds::Unbounded());
+  EXPECT_NEAR(r.x[0], 1.0, 1e-5);
+  EXPECT_NEAR(r.x[1], -2.0, 1e-5);
+}
+
+TEST(AugLagTest, ActiveInequalityConstraint) {
+  // min (x0-1)^2 + (x1+2)^2 s.t. x0 + x1 >= 1  (i.e. 1 - x0 - x1 <= 0).
+  // Lagrangian optimum: x = (2, -1).
+  Quadratic f;
+  CallbackFunction g([](const std::vector<double>& x,
+                        std::vector<double>* grad) {
+    if (grad) {
+      grad->assign(2, 0.0);
+      (*grad)[0] = -1.0;
+      (*grad)[1] = -1.0;
+    }
+    return 1.0 - x[0] - x[1];
+  });
+  AugmentedLagrangianSolver solver;
+  SolveResult r =
+      solver.Minimize(f, {&g}, {0.0, 0.0}, BoxBounds::Unbounded());
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0], 2.0, 1e-3);
+  EXPECT_NEAR(r.x[1], -1.0, 1e-3);
+  EXPECT_LE(g.Evaluate(r.x, nullptr), 1e-6);
+}
+
+TEST(AugLagTest, InactiveConstraintIgnored) {
+  // Constraint x0 <= 10 is inactive at the unconstrained optimum.
+  Quadratic f;
+  CallbackFunction g([](const std::vector<double>& x,
+                        std::vector<double>* grad) {
+    if (grad) {
+      grad->assign(2, 0.0);
+      (*grad)[0] = 1.0;
+    }
+    return x[0] - 10.0;
+  });
+  AugmentedLagrangianSolver solver;
+  SolveResult r =
+      solver.Minimize(f, {&g}, {0.0, 0.0}, BoxBounds::Unbounded());
+  EXPECT_NEAR(r.x[0], 1.0, 1e-4);
+  EXPECT_NEAR(r.x[1], -2.0, 1e-4);
+}
+
+TEST(AugLagTest, InfeasibleProblemReported) {
+  // x0 <= -1 and x0 >= 1 cannot both hold.
+  Quadratic f;
+  CallbackFunction g1([](const std::vector<double>& x,
+                         std::vector<double>* grad) {
+    if (grad) {
+      grad->assign(2, 0.0);
+      (*grad)[0] = 1.0;
+    }
+    return x[0] + 1.0;  // x0 <= -1
+  });
+  CallbackFunction g2([](const std::vector<double>& x,
+                         std::vector<double>* grad) {
+    if (grad) {
+      grad->assign(2, 0.0);
+      (*grad)[0] = -1.0;
+    }
+    return 1.0 - x[0];  // x0 >= 1
+  });
+  AugLagOptions options;
+  options.max_outer_iterations = 10;
+  AugmentedLagrangianSolver solver(options);
+  SolveResult r =
+      solver.Minimize(f, {&g1, &g2}, {0.0, 0.0}, BoxBounds::Unbounded());
+  EXPECT_FALSE(r.converged);
+  EXPECT_TRUE(r.status.IsInfeasible());
+}
+
+TEST(AugLagTest, MaxViolationHelper) {
+  CallbackFunction g([](const std::vector<double>& x,
+                        std::vector<double>*) { return x[0] - 1.0; });
+  EXPECT_DOUBLE_EQ(AugmentedLagrangianSolver::MaxViolation({&g}, {3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(AugmentedLagrangianSolver::MaxViolation({&g}, {0.0}), 0.0);
+}
+
+TEST(GradientCheckTest, DetectsCorrectGradient) {
+  Rosenbrock f;
+  EXPECT_LT(MaxGradientError(f, {0.3, -0.7}), 1e-4);
+}
+
+TEST(GradientCheckTest, DetectsWrongGradient) {
+  CallbackFunction broken([](const std::vector<double>& x,
+                             std::vector<double>* grad) {
+    if (grad) grad->assign(1, 0.0);  // claims zero gradient
+    return x[0] * x[0];
+  });
+  EXPECT_GT(MaxGradientError(broken, {1.0}), 1.0);
+}
+
+}  // namespace
+}  // namespace kgov::math

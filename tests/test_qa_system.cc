@@ -1,0 +1,130 @@
+#include "qa/qa_system.h"
+
+#include <gtest/gtest.h>
+
+#include "qa/kg_builder.h"
+
+namespace kgov::qa {
+namespace {
+
+Corpus MakeTinyCorpus() {
+  Corpus corpus;
+  corpus.num_entities = 3;
+  corpus.documents.resize(3);
+  corpus.documents[0].mentions = {{0, 2}, {1, 1}};
+  corpus.documents[1].mentions = {{0, 1}, {2, 1}};
+  corpus.documents[2].mentions = {{1, 1}, {2, 3}};
+  return corpus;
+}
+
+TEST(LinkQuestionTest, WeightsAreMentionShares) {
+  Question q;
+  q.mentions = {{0, 1}, {2, 3}};
+  ppr::QuerySeed seed = LinkQuestion(q, 3);
+  ASSERT_EQ(seed.links.size(), 2u);
+  EXPECT_DOUBLE_EQ(seed.links[0].second, 0.25);
+  EXPECT_DOUBLE_EQ(seed.links[1].second, 0.75);
+  EXPECT_EQ(seed.links[1].first, 2u);
+}
+
+TEST(LinkQuestionTest, OutOfVocabularyMentionsIgnored) {
+  Question q;
+  q.mentions = {{0, 1}, {99, 5}};
+  ppr::QuerySeed seed = LinkQuestion(q, 3);
+  ASSERT_EQ(seed.links.size(), 1u);
+  EXPECT_DOUBLE_EQ(seed.links[0].second, 1.0);
+}
+
+TEST(LinkQuestionTest, AllOutOfVocabularyYieldsEmptySeed) {
+  Question q;
+  q.mentions = {{99, 1}};
+  EXPECT_TRUE(LinkQuestion(q, 3).empty());
+}
+
+class QaSystemTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Result<KnowledgeGraph> kg = BuildKnowledgeGraph(MakeTinyCorpus());
+    ASSERT_TRUE(kg.ok());
+    kg_ = std::move(kg).value();
+  }
+  KnowledgeGraph kg_;
+};
+
+TEST_F(QaSystemTest, AskReturnsRankedDocuments) {
+  QaOptions options;
+  options.top_k = 3;
+  QaSystem system(&kg_.graph, &kg_.answer_nodes, kg_.num_entities, options);
+  Question q;
+  q.mentions = {{0, 1}};  // asks about entity 0
+  std::vector<RankedDocument> docs = system.Ask(q);
+  ASSERT_FALSE(docs.empty());
+  for (size_t i = 1; i < docs.size(); ++i) {
+    EXPECT_GE(docs[i - 1].score, docs[i].score);
+  }
+  for (const RankedDocument& rd : docs) {
+    EXPECT_GE(rd.document, 0);
+    EXPECT_LT(rd.document, 3);
+  }
+}
+
+TEST_F(QaSystemTest, EntityHeavyDocumentRanksHigh) {
+  QaOptions options;
+  options.top_k = 3;
+  QaSystem system(&kg_.graph, &kg_.answer_nodes, kg_.num_entities, options);
+  Question q;
+  q.mentions = {{2, 1}};  // entity 2 dominates doc2 (count 3)
+  std::vector<RankedDocument> docs = system.Ask(q);
+  ASSERT_FALSE(docs.empty());
+  EXPECT_EQ(docs.front().document, 2);
+}
+
+TEST_F(QaSystemTest, TopKTruncates) {
+  QaOptions options;
+  options.top_k = 1;
+  QaSystem system(&kg_.graph, &kg_.answer_nodes, kg_.num_entities, options);
+  Question q;
+  q.mentions = {{0, 1}};
+  EXPECT_EQ(system.Ask(q).size(), 1u);
+}
+
+TEST_F(QaSystemTest, EmptySeedYieldsNoAnswers) {
+  QaSystem system(&kg_.graph, &kg_.answer_nodes, kg_.num_entities);
+  Question q;
+  q.mentions = {{99, 1}};
+  EXPECT_TRUE(system.Ask(q).empty());
+}
+
+TEST_F(QaSystemTest, AskSeedExposesNodeLevelApi) {
+  QaSystem system(&kg_.graph, &kg_.answer_nodes, kg_.num_entities);
+  ppr::QuerySeed seed;
+  seed.links.emplace_back(0, 1.0);
+  std::vector<ppr::ScoredAnswer> ranked = system.AskSeed(seed);
+  ASSERT_FALSE(ranked.empty());
+  for (const ppr::ScoredAnswer& sa : ranked) {
+    EXPECT_GE(sa.node, kg_.num_entities);
+  }
+}
+
+TEST_F(QaSystemTest, ServesFromModifiedGraphCopy) {
+  // The system borrows the graph: serving from an optimized copy changes
+  // scores without rebuilding.
+  graph::WeightedDigraph copy = kg_.graph;
+  QaSystem system(&copy, &kg_.answer_nodes, kg_.num_entities);
+  Question q;
+  q.mentions = {{0, 1}};
+  std::vector<RankedDocument> before = system.Ask(q);
+  ASSERT_FALSE(before.empty());
+
+  // Crush all of entity 0's outgoing weights except the doc1 link.
+  for (const graph::OutEdge& out : copy.OutEdges(0)) {
+    if (out.to != kg_.answer_nodes[1]) copy.SetWeight(out.edge, 1e-6);
+  }
+  copy.NormalizeOutWeights(0);
+  std::vector<RankedDocument> after = system.Ask(q);
+  ASSERT_FALSE(after.empty());
+  EXPECT_EQ(after.front().document, 1);
+}
+
+}  // namespace
+}  // namespace kgov::qa

@@ -1,0 +1,78 @@
+#include "math/sigmoid.h"
+
+#include <gtest/gtest.h>
+
+namespace kgov::math {
+namespace {
+
+TEST(StepFunctionTest, Definition) {
+  EXPECT_EQ(StepFunction(0.5), 1.0);
+  EXPECT_EQ(StepFunction(0.0), 0.0);  // Eq. 16: F(d) = 0 for d <= 0
+  EXPECT_EQ(StepFunction(-0.5), 0.0);
+}
+
+TEST(SigmoidTest, MidpointIsHalf) {
+  EXPECT_DOUBLE_EQ(Sigmoid(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(Sigmoid(0.0, 10.0), 0.5);
+}
+
+TEST(SigmoidTest, Monotone) {
+  double prev = 0.0;
+  for (double d = -1.0; d <= 1.0; d += 0.01) {
+    double v = Sigmoid(d, 50.0);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(SigmoidTest, Bounds) {
+  for (double d : {-100.0, -1.0, 0.0, 1.0, 100.0}) {
+    double v = Sigmoid(d);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(SigmoidTest, StableForExtremeArguments) {
+  EXPECT_DOUBLE_EQ(Sigmoid(1e6), 1.0);
+  EXPECT_DOUBLE_EQ(Sigmoid(-1e6), 0.0);
+  EXPECT_FALSE(std::isnan(Sigmoid(-1e300)));
+}
+
+TEST(SigmoidTest, SymmetryAroundZero) {
+  for (double d : {0.001, 0.01, 0.1}) {
+    EXPECT_NEAR(Sigmoid(d, 300.0) + Sigmoid(-d, 300.0), 1.0, 1e-12);
+  }
+}
+
+TEST(SigmoidDerivativeTest, MatchesFiniteDifference) {
+  const double w = 37.0;
+  const double h = 1e-7;
+  for (double d : {-0.1, -0.01, 0.0, 0.02, 0.15}) {
+    double numeric = (Sigmoid(d + h, w) - Sigmoid(d - h, w)) / (2 * h);
+    EXPECT_NEAR(SigmoidDerivative(d, w), numeric, 1e-4);
+  }
+}
+
+TEST(SigmoidDerivativeTest, PeakAtZero) {
+  EXPECT_DOUBLE_EQ(SigmoidDerivative(0.0, 300.0), 300.0 * 0.25);
+  EXPECT_GT(SigmoidDerivative(0.0, 300.0), SigmoidDerivative(0.05, 300.0));
+}
+
+TEST(SigmoidStepDeviationTest, PaperSteepnessApproximatesStepClosely) {
+  // Fig. 2's claim: with w = 300 the sigmoid closely tracks the step
+  // function away from 0. Sampling [-1, 1] on a grid that excludes a small
+  // neighbourhood of 0, the deviation is tiny.
+  double dev = SigmoidStepMaxDeviation(300.0, -1.0, 1.0, 40);  // grid: 0.05
+  EXPECT_LT(dev, 1e-3);
+}
+
+TEST(SigmoidStepDeviationTest, ShallowSigmoidDeviatesMore) {
+  double shallow = SigmoidStepMaxDeviation(5.0, -1.0, 1.0, 40);
+  double steep = SigmoidStepMaxDeviation(300.0, -1.0, 1.0, 40);
+  EXPECT_GT(shallow, steep);
+  EXPECT_GT(shallow, 0.05);
+}
+
+}  // namespace
+}  // namespace kgov::math

@@ -1,0 +1,145 @@
+#include "math/signomial.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace kgov::math {
+namespace {
+
+TEST(SignomialTest, EmptyIsZero) {
+  Signomial s;
+  EXPECT_TRUE(s.IsZero());
+  EXPECT_EQ(s.Evaluate({1.0, 2.0}), 0.0);
+  EXPECT_EQ(s.MaxVarId(), -1);
+  EXPECT_EQ(s.ToString(), "0");
+}
+
+TEST(SignomialTest, ConstantConstructor) {
+  Signomial s(5.0);
+  EXPECT_EQ(s.NumTerms(), 1u);
+  EXPECT_EQ(s.Evaluate({}), 5.0);
+  EXPECT_TRUE(Signomial(0.0).IsZero());
+}
+
+TEST(SignomialTest, EvaluateSum) {
+  // f = 2 x0 + 3 x1^2 - 1
+  Signomial s;
+  s.AddTerm(Monomial(2.0, {{0, 1.0}}));
+  s.AddTerm(Monomial(3.0, {{1, 2.0}}));
+  s.AddTerm(Monomial(-1.0));
+  EXPECT_DOUBLE_EQ(s.Evaluate({2.0, 3.0}), 4.0 + 27.0 - 1.0);
+}
+
+TEST(SignomialTest, AddTermIgnoresZeroCoefficient) {
+  Signomial s;
+  s.AddTerm(Monomial(0.0, {{0, 1.0}}));
+  EXPECT_TRUE(s.IsZero());
+}
+
+TEST(SignomialTest, AddAndSubtract) {
+  Signomial a(Monomial(2.0, {{0, 1.0}}));
+  Signomial b(Monomial(5.0, {{1, 1.0}}));
+  a.Add(b);
+  EXPECT_DOUBLE_EQ(a.Evaluate({1.0, 1.0}), 7.0);
+  a.Subtract(b);
+  a.Compact();
+  EXPECT_DOUBLE_EQ(a.Evaluate({1.0, 1.0}), 2.0);
+  EXPECT_EQ(a.NumTerms(), 1u);
+}
+
+TEST(SignomialTest, ScaleMultipliesAllCoefficients) {
+  Signomial s;
+  s.AddTerm(Monomial(2.0, {{0, 1.0}}));
+  s.AddTerm(Monomial(4.0));
+  s.Scale(0.5);
+  EXPECT_DOUBLE_EQ(s.Evaluate({3.0}), 3.0 + 2.0);
+}
+
+TEST(SignomialTest, ScaleByZeroClears) {
+  Signomial s(Monomial(2.0, {{0, 1.0}}));
+  s.Scale(0.0);
+  EXPECT_TRUE(s.IsZero());
+}
+
+TEST(SignomialTest, CompactMergesLikeTerms) {
+  Signomial s;
+  s.AddTerm(Monomial(1.0, {{0, 1.0}, {1, 1.0}}));
+  s.AddTerm(Monomial(2.5, {{1, 1.0}, {0, 1.0}}));  // same powers, reordered
+  s.AddTerm(Monomial(1.0, {{0, 2.0}}));
+  s.Compact();
+  EXPECT_EQ(s.NumTerms(), 2u);
+  EXPECT_DOUBLE_EQ(s.Evaluate({1.0, 1.0}), 3.5 + 1.0);
+}
+
+TEST(SignomialTest, CompactDropsCancellation) {
+  Signomial s;
+  s.AddTerm(Monomial(1.0, {{0, 1.0}}));
+  s.AddTerm(Monomial(-1.0, {{0, 1.0}}));
+  s.Compact();
+  EXPECT_TRUE(s.IsZero());
+}
+
+TEST(SignomialTest, GradientMatchesFiniteDifference) {
+  Signomial s;
+  s.AddTerm(Monomial(1.5, {{0, 2.0}, {1, 1.0}}));
+  s.AddTerm(Monomial(-0.7, {{1, 3.0}}));
+  s.AddTerm(Monomial(2.0, {{2, 1.0}}));
+  s.AddTerm(Monomial(0.3));
+
+  std::vector<double> x{0.9, 1.2, 0.4};
+  std::vector<double> grad;
+  double value = s.EvaluateWithGradient(x, 3, &grad);
+  EXPECT_NEAR(value, s.Evaluate(x), 1e-12);
+
+  const double h = 1e-6;
+  for (size_t i = 0; i < x.size(); ++i) {
+    std::vector<double> xp = x, xm = x;
+    xp[i] += h;
+    xm[i] -= h;
+    double numeric = (s.Evaluate(xp) - s.Evaluate(xm)) / (2 * h);
+    EXPECT_NEAR(grad[i], numeric, 1e-5);
+  }
+}
+
+TEST(SignomialTest, AccumulateGradientScales) {
+  Signomial s(Monomial(2.0, {{0, 1.0}}));
+  std::vector<double> grad(1, 0.0);
+  s.AccumulateGradient({1.0}, 3.0, &grad);
+  EXPECT_DOUBLE_EQ(grad[0], 6.0);
+}
+
+TEST(SignomialTest, MaxVarId) {
+  Signomial s;
+  s.AddTerm(Monomial(1.0, {{4, 1.0}}));
+  s.AddTerm(Monomial(1.0, {{2, 1.0}}));
+  EXPECT_EQ(s.MaxVarId(), 4);
+}
+
+TEST(SignomialTest, IsPosynomial) {
+  Signomial pos;
+  pos.AddTerm(Monomial(1.0, {{0, 1.0}}));
+  pos.AddTerm(Monomial(0.5));
+  EXPECT_TRUE(pos.IsPosynomial());
+  pos.AddTerm(Monomial(-0.1, {{1, 1.0}}));
+  EXPECT_FALSE(pos.IsPosynomial());
+}
+
+TEST(SignomialTest, StaticSumAndDifference) {
+  Signomial a(Monomial(2.0, {{0, 1.0}}));
+  Signomial b(Monomial(3.0, {{0, 1.0}}));
+  EXPECT_DOUBLE_EQ(Signomial::Sum(a, b).Evaluate({1.0}), 5.0);
+  EXPECT_DOUBLE_EQ(Signomial::Difference(a, b).Evaluate({1.0}), -1.0);
+  // Difference of equal signomials compacts to zero.
+  EXPECT_TRUE(Signomial::Difference(a, a).IsZero());
+}
+
+TEST(SignomialTest, ToStringJoinsTerms) {
+  Signomial s;
+  s.AddTerm(Monomial(1.0, {{0, 1.0}}));
+  s.AddTerm(Monomial(-2.0));
+  EXPECT_EQ(s.ToString(), "1*x0 + -2");
+}
+
+}  // namespace
+}  // namespace kgov::math

@@ -1,0 +1,129 @@
+#include "ppr/simrank.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace kgov::ppr {
+namespace {
+
+using graph::WeightedDigraph;
+
+TEST(SimRankTest, EmptyGraphRejected) {
+  WeightedDigraph g;
+  EXPECT_FALSE(ComputeSimRank(g).ok());
+}
+
+TEST(SimRankTest, BadDecayRejected) {
+  WeightedDigraph g(2);
+  SimRankOptions options;
+  options.decay = 1.0;
+  EXPECT_FALSE(ComputeSimRank(g, options).ok());
+}
+
+TEST(SimRankTest, TooLargeGraphRejected) {
+  WeightedDigraph g(10);
+  SimRankOptions options;
+  options.max_nodes = 5;
+  EXPECT_FALSE(ComputeSimRank(g, options).ok());
+}
+
+TEST(SimRankTest, DiagonalIsOne) {
+  WeightedDigraph g(3);
+  ASSERT_TRUE(g.AddEdge(0, 1, 1.0).ok());
+  Result<SimRankResult> r = ComputeSimRank(g);
+  ASSERT_TRUE(r.ok());
+  for (graph::NodeId v = 0; v < 3; ++v) {
+    EXPECT_DOUBLE_EQ(r->Score(v, v), 1.0);
+  }
+}
+
+TEST(SimRankTest, CommonParentClosedForm) {
+  // 0 -> 1, 0 -> 2: s(1,2) = C * s(0,0) = 0.8, a fixed point.
+  WeightedDigraph g(3);
+  ASSERT_TRUE(g.AddEdge(0, 1, 1.0).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2, 1.0).ok());
+  Result<SimRankResult> r = ComputeSimRank(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->Score(1, 2), 0.8, 1e-9);
+  EXPECT_TRUE(r->converged());
+}
+
+TEST(SimRankTest, NoInNeighborsScoreZero) {
+  // Nodes without in-neighbors share no evidence: s = 0.
+  WeightedDigraph g(3);
+  ASSERT_TRUE(g.AddEdge(0, 2, 1.0).ok());
+  Result<SimRankResult> r = ComputeSimRank(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->Score(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(r->Score(0, 2), 0.0);  // 0 itself has no in-neighbors
+}
+
+TEST(SimRankTest, SymmetricMatrix) {
+  Rng rng(5);
+  Result<WeightedDigraph> g = graph::ErdosRenyi(20, 80, rng);
+  ASSERT_TRUE(g.ok());
+  Result<SimRankResult> r = ComputeSimRank(*g);
+  ASSERT_TRUE(r.ok());
+  for (graph::NodeId a = 0; a < 20; ++a) {
+    for (graph::NodeId b = 0; b < 20; ++b) {
+      EXPECT_DOUBLE_EQ(r->Score(a, b), r->Score(b, a));
+    }
+  }
+}
+
+TEST(SimRankTest, ScoresBounded) {
+  Rng rng(6);
+  Result<WeightedDigraph> g = graph::ErdosRenyi(25, 120, rng);
+  ASSERT_TRUE(g.ok());
+  Result<SimRankResult> r = ComputeSimRank(*g);
+  ASSERT_TRUE(r.ok());
+  for (graph::NodeId a = 0; a < 25; ++a) {
+    for (graph::NodeId b = 0; b < 25; ++b) {
+      EXPECT_GE(r->Score(a, b), 0.0);
+      EXPECT_LE(r->Score(a, b), 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST(SimRankTest, WeightsIgnoredStructureOnly) {
+  WeightedDigraph g1(3), g2(3);
+  ASSERT_TRUE(g1.AddEdge(0, 1, 0.9).ok());
+  ASSERT_TRUE(g1.AddEdge(0, 2, 0.1).ok());
+  ASSERT_TRUE(g2.AddEdge(0, 1, 0.5).ok());
+  ASSERT_TRUE(g2.AddEdge(0, 2, 0.5).ok());
+  Result<SimRankResult> r1 = ComputeSimRank(g1);
+  Result<SimRankResult> r2 = ComputeSimRank(g2);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_DOUBLE_EQ(r1->Score(1, 2), r2->Score(1, 2));
+}
+
+TEST(SimRankTest, MostSimilarRanksByScore) {
+  // 0 -> {1, 2}; 3 -> {1}: 1 is similar to 2 (shared parent 0) but not 3.
+  WeightedDigraph g(4);
+  ASSERT_TRUE(g.AddEdge(0, 1, 1.0).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2, 1.0).ok());
+  ASSERT_TRUE(g.AddEdge(3, 1, 1.0).ok());
+  Result<SimRankResult> r = ComputeSimRank(g);
+  ASSERT_TRUE(r.ok());
+  auto similar = r->MostSimilar(2, 2);
+  ASSERT_EQ(similar.size(), 2u);
+  EXPECT_EQ(similar[0].first, 1u);
+  EXPECT_GT(similar[0].second, similar[1].second);
+}
+
+TEST(SimRankTest, IterationCapReported) {
+  Rng rng(7);
+  Result<WeightedDigraph> g = graph::ErdosRenyi(30, 200, rng);
+  ASSERT_TRUE(g.ok());
+  SimRankOptions options;
+  options.max_iterations = 1;
+  options.tolerance = 0.0;  // force the cap
+  Result<SimRankResult> r = ComputeSimRank(*g, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->iterations(), 1);
+  EXPECT_FALSE(r->converged());
+}
+
+}  // namespace
+}  // namespace kgov::ppr

@@ -1,0 +1,76 @@
+#include "math/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace kgov::math {
+namespace {
+
+TEST(StatsTest, MeanBasics) {
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+}
+
+TEST(StatsTest, MedianOddSize) {
+  EXPECT_DOUBLE_EQ(Median({3.0, 1.0, 2.0}), 2.0);
+}
+
+TEST(StatsTest, MedianEvenSizeAveragesMiddle) {
+  EXPECT_DOUBLE_EQ(Median({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(StatsTest, MedianSingleAndEmpty) {
+  EXPECT_DOUBLE_EQ(Median({7.0}), 7.0);
+  EXPECT_DOUBLE_EQ(Median({}), 0.0);
+}
+
+TEST(StatsTest, MedianUnaffectedByOutliers) {
+  EXPECT_DOUBLE_EQ(Median({1.0, 2.0, 3.0, 4.0, 1e9}), 3.0);
+}
+
+TEST(StatsTest, StdDevKnownValue) {
+  // Sample stddev of {2, 4, 4, 4, 5, 5, 7, 9} is sqrt(32/7).
+  EXPECT_NEAR(StdDev({2, 4, 4, 4, 5, 5, 7, 9}), std::sqrt(32.0 / 7.0),
+              1e-12);
+}
+
+TEST(StatsTest, StdDevDegenerate) {
+  EXPECT_DOUBLE_EQ(StdDev({1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev({}), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev({3.0, 3.0, 3.0}), 0.0);
+}
+
+TEST(StatsTest, PercentileEndpoints) {
+  std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100.0), 4.0);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 50.0), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 25.0), 2.5);
+}
+
+TEST(StatsTest, PercentileClampsOutOfRangeP) {
+  std::vector<double> v{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, -5.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 150.0), 2.0);
+}
+
+TEST(StatsTest, MinMax) {
+  EXPECT_DOUBLE_EQ(Min({3.0, -1.0, 2.0}), -1.0);
+  EXPECT_DOUBLE_EQ(Max({3.0, -1.0, 2.0}), 3.0);
+  EXPECT_DOUBLE_EQ(Min({}), 0.0);
+  EXPECT_DOUBLE_EQ(Max({}), 0.0);
+}
+
+TEST(StatsTest, MedianOfPercentile50Agrees) {
+  std::vector<double> v{5.0, 1.0, 9.0, 3.0, 7.0};
+  EXPECT_DOUBLE_EQ(Median(v), Percentile(v, 50.0));
+}
+
+}  // namespace
+}  // namespace kgov::math

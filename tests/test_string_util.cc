@@ -1,0 +1,74 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace kgov {
+namespace {
+
+TEST(SplitStringTest, BasicSplit) {
+  EXPECT_EQ(SplitString("a b c", " "),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitStringTest, MultipleDelimiters) {
+  EXPECT_EQ(SplitString("a,b;c", ",;"),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitStringTest, DropsEmptyPieces) {
+  EXPECT_EQ(SplitString("  a   b  ", " "),
+            (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(SplitStringTest, EmptyInput) {
+  EXPECT_TRUE(SplitString("", " ").empty());
+}
+
+TEST(SplitStringTest, NoDelimiterFound) {
+  EXPECT_EQ(SplitString("abc", ","), (std::vector<std::string>{"abc"}));
+}
+
+TEST(TrimWhitespaceTest, TrimsBothEnds) {
+  EXPECT_EQ(TrimWhitespace("  hi there \t\n"), "hi there");
+}
+
+TEST(TrimWhitespaceTest, AllWhitespace) {
+  EXPECT_EQ(TrimWhitespace(" \t\n"), "");
+}
+
+TEST(TrimWhitespaceTest, NoWhitespace) {
+  EXPECT_EQ(TrimWhitespace("abc"), "abc");
+}
+
+TEST(JoinStringsTest, JoinsWithSeparator) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(JoinStringsTest, SingleAndEmpty) {
+  EXPECT_EQ(JoinStrings({"only"}, ","), "only");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+}
+
+TEST(StartsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("foobar", "bar"));
+  EXPECT_TRUE(StartsWith("foo", ""));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(1.0, 0), "1");
+  EXPECT_EQ(FormatDouble(-0.5, 3), "-0.500");
+}
+
+TEST(FormatDurationTest, PicksUnitByMagnitude) {
+  EXPECT_EQ(FormatDuration(0.0000005), "0us");
+  EXPECT_EQ(FormatDuration(0.00095), "950us");
+  EXPECT_EQ(FormatDuration(0.0123), "12.3ms");
+  EXPECT_EQ(FormatDuration(4.56), "4.56s");
+  EXPECT_EQ(FormatDuration(192.0), "3.2min");
+}
+
+}  // namespace
+}  // namespace kgov

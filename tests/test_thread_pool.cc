@@ -1,0 +1,99 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace kgov {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTask) {
+  ThreadPool pool(2);
+  auto future = pool.Submit([]() { return 21 * 2; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.Submit([]() { return 1; }).get(), 1);
+}
+
+TEST(ThreadPoolTest, ManyTasksAllComplete) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.Submit([&counter]() { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, TasksRunConcurrently) {
+  ThreadPool pool(4);
+  std::atomic<int> active{0};
+  std::atomic<int> peak{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(pool.Submit([&]() {
+      int now = ++active;
+      int expected = peak.load();
+      while (now > expected && !peak.compare_exchange_weak(expected, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+      --active;
+    }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_GE(peak.load(), 2);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter]() { ++counter; });
+    }
+  }  // destructor joins after draining
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, ReturnsValuesInOrderOfFutures) {
+  ThreadPool pool(3);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(pool.Submit([i]() { return i * i; }));
+  }
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(futures[i].get(), i * i);
+  }
+}
+
+TEST(ParallelForTest, NullPoolRunsInline) {
+  std::vector<int> out(10, 0);
+  ParallelFor(nullptr, out.size(), [&](size_t i) { out[i] = static_cast<int>(i); });
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(out[i], i);
+}
+
+TEST(ParallelForTest, PoolCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> counts(64);
+  ParallelFor(&pool, counts.size(), [&](size_t i) { ++counts[i]; });
+  for (auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ParallelForTest, ZeroIterations) {
+  ThreadPool pool(2);
+  bool touched = false;
+  ParallelFor(&pool, 0, [&](size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+}  // namespace
+}  // namespace kgov

@@ -1,0 +1,70 @@
+#include "common/timer.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace kgov {
+namespace {
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  double elapsed = timer.ElapsedSeconds();
+  EXPECT_GE(elapsed, 0.015);
+  EXPECT_LT(elapsed, 2.0);
+}
+
+TEST(TimerTest, RestartResetsEpoch) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  timer.Restart();
+  EXPECT_LT(timer.ElapsedSeconds(), 0.015);
+}
+
+TEST(TimerTest, UnitsAgree) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  double s = timer.ElapsedSeconds();
+  double ms = timer.ElapsedMillis();
+  EXPECT_NEAR(ms, s * 1e3, 5.0);
+  EXPECT_GT(timer.ElapsedMicros(), 0);
+}
+
+TEST(StopWatchTest, AccumulatesAcrossWindows) {
+  StopWatch watch;
+  watch.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  watch.Stop();
+  double first = watch.TotalSeconds();
+  EXPECT_GE(first, 0.008);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_NEAR(watch.TotalSeconds(), first, 1e-9);  // stopped: no growth
+
+  watch.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  watch.Stop();
+  EXPECT_GE(watch.TotalSeconds(), first + 0.008);
+}
+
+TEST(StopWatchTest, ResetClears) {
+  StopWatch watch;
+  watch.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  watch.Stop();
+  watch.Reset();
+  EXPECT_EQ(watch.TotalSeconds(), 0.0);
+}
+
+TEST(StopWatchTest, DoubleStartIsIdempotent) {
+  StopWatch watch;
+  watch.Start();
+  watch.Start();  // must not reset the open window
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  watch.Stop();
+  EXPECT_GE(watch.TotalSeconds(), 0.008);
+}
+
+}  // namespace
+}  // namespace kgov

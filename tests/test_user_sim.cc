@@ -1,0 +1,128 @@
+#include "qa/user_sim.h"
+
+#include <gtest/gtest.h>
+
+namespace kgov::qa {
+namespace {
+
+CorpusParams SmallCorpus() {
+  CorpusParams params;
+  params.num_entities = 120;
+  params.num_topics = 12;
+  params.num_documents = 100;
+  params.mentions_per_document = 6;
+  params.mentions_per_question = 3;
+  return params;
+}
+
+UserSimParams SmallSim() {
+  UserSimParams params;
+  params.num_votes = 25;
+  params.num_test_questions = 20;
+  params.qa.top_k = 8;
+  params.qa.eipd.max_length = 4;
+  return params;
+}
+
+TEST(CorruptTest, OnlyEntityEdgesPerturbed) {
+  Rng rng(1);
+  Result<Corpus> corpus = GenerateCorpus(SmallCorpus(), rng);
+  ASSERT_TRUE(corpus.ok());
+  Result<KnowledgeGraph> truth = BuildKnowledgeGraph(*corpus);
+  ASSERT_TRUE(truth.ok());
+  KnowledgeGraph deployed = CorruptKnowledgeGraph(*truth, SmallSim(), rng);
+
+  // Structure identical.
+  ASSERT_EQ(deployed.graph.NumEdges(), truth->graph.NumEdges());
+  size_t entity_changed = 0;
+  for (graph::EdgeId e = 0; e < truth->graph.NumEdges(); ++e) {
+    bool entity_edge = truth->graph.edge(e).to < truth->num_entities;
+    double before = truth->graph.Weight(e);
+    double after = deployed.graph.Weight(e);
+    if (entity_edge && before != after) ++entity_changed;
+  }
+  EXPECT_GT(entity_changed, 0u);
+  EXPECT_TRUE(deployed.graph.IsSubStochastic(1e-9));
+}
+
+TEST(CorruptTest, ZeroNoiseLeavesRatiosIntact) {
+  Rng rng(2);
+  Result<Corpus> corpus = GenerateCorpus(SmallCorpus(), rng);
+  ASSERT_TRUE(corpus.ok());
+  Result<KnowledgeGraph> truth = BuildKnowledgeGraph(*corpus);
+  ASSERT_TRUE(truth.ok());
+  UserSimParams params = SmallSim();
+  params.weight_noise = 0.0;
+  params.edge_dropout = 0.0;
+  KnowledgeGraph deployed = CorruptKnowledgeGraph(*truth, params, rng);
+  for (graph::EdgeId e = 0; e < truth->graph.NumEdges(); ++e) {
+    EXPECT_NEAR(deployed.graph.Weight(e), truth->graph.Weight(e), 1e-12);
+  }
+}
+
+class EnvironmentTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(7);
+    Result<SimulatedEnvironment> env =
+        BuildEnvironment(SmallCorpus(), SmallSim(), rng);
+    ASSERT_TRUE(env.ok());
+    env_ = std::move(env).value();
+  }
+  SimulatedEnvironment env_;
+};
+
+TEST_F(EnvironmentTest, ProducesVotesAndQuestions) {
+  EXPECT_GT(env_.votes.size(), 10u);
+  EXPECT_LE(env_.votes.size(), 25u);
+  EXPECT_EQ(env_.train_questions.size(), 25u);
+  EXPECT_EQ(env_.test_questions.size(), 20u);
+}
+
+TEST_F(EnvironmentTest, VotesAreWellFormed) {
+  for (const votes::Vote& vote : env_.votes) {
+    EXPECT_TRUE(vote.IsWellFormed());
+    for (graph::NodeId node : vote.answer_list) {
+      EXPECT_GE(node, env_.deployed.num_entities);
+    }
+  }
+}
+
+TEST_F(EnvironmentTest, MixOfPositiveAndNegativeVotes) {
+  votes::VoteSetSummary summary = votes::Summarize(env_.votes);
+  // The corruption should produce some corrections, and some confirmations
+  // should survive.
+  EXPECT_GT(summary.negative, 0u);
+  EXPECT_GT(summary.positive, 0u);
+}
+
+TEST_F(EnvironmentTest, TruthAndDeployedShareLayout) {
+  EXPECT_EQ(env_.truth.num_entities, env_.deployed.num_entities);
+  EXPECT_EQ(env_.truth.answer_nodes, env_.deployed.answer_nodes);
+  EXPECT_EQ(env_.truth.graph.NumEdges(), env_.deployed.graph.NumEdges());
+}
+
+TEST_F(EnvironmentTest, DeterministicUnderSeed) {
+  Rng rng(7);
+  Result<SimulatedEnvironment> again =
+      BuildEnvironment(SmallCorpus(), SmallSim(), rng);
+  ASSERT_TRUE(again.ok());
+  ASSERT_EQ(again->votes.size(), env_.votes.size());
+  for (size_t i = 0; i < env_.votes.size(); ++i) {
+    EXPECT_EQ(again->votes[i].best_answer, env_.votes[i].best_answer);
+    EXPECT_EQ(again->votes[i].answer_list, env_.votes[i].answer_list);
+  }
+}
+
+TEST(EnvironmentErrorRateTest, FullErrorRateStillBuilds) {
+  Rng rng(9);
+  UserSimParams params = SmallSim();
+  params.vote_error_rate = 1.0;
+  Result<SimulatedEnvironment> env =
+      BuildEnvironment(SmallCorpus(), params, rng);
+  ASSERT_TRUE(env.ok());
+  EXPECT_FALSE(env->votes.empty());
+}
+
+}  // namespace
+}  // namespace kgov::qa

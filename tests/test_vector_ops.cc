@@ -1,0 +1,70 @@
+#include "math/vector_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace kgov::math {
+namespace {
+
+TEST(VectorOpsTest, Dot) {
+  EXPECT_DOUBLE_EQ(Dot({1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}), 32.0);
+  EXPECT_DOUBLE_EQ(Dot({}, {}), 0.0);
+}
+
+TEST(VectorOpsTest, Norm2) {
+  EXPECT_DOUBLE_EQ(Norm2({3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(Norm2({0.0, 0.0}), 0.0);
+}
+
+TEST(VectorOpsTest, NormInf) {
+  EXPECT_DOUBLE_EQ(NormInf({1.0, -7.0, 3.0}), 7.0);
+  EXPECT_DOUBLE_EQ(NormInf({}), 0.0);
+}
+
+TEST(VectorOpsTest, Axpy) {
+  std::vector<double> y{1.0, 1.0};
+  Axpy(2.0, {3.0, -1.0}, &y);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  EXPECT_DOUBLE_EQ(y[1], -1.0);
+}
+
+TEST(VectorOpsTest, Subtract) {
+  std::vector<double> d = Subtract({5.0, 2.0}, {1.0, 3.0});
+  EXPECT_DOUBLE_EQ(d[0], 4.0);
+  EXPECT_DOUBLE_EQ(d[1], -1.0);
+}
+
+TEST(VectorOpsTest, ScaleInPlace) {
+  std::vector<double> v{2.0, -4.0};
+  ScaleInPlace(&v, -0.5);
+  EXPECT_DOUBLE_EQ(v[0], -1.0);
+  EXPECT_DOUBLE_EQ(v[1], 2.0);
+}
+
+TEST(VectorOpsTest, SquaredDistance) {
+  EXPECT_DOUBLE_EQ(SquaredDistance({1.0, 2.0}, {4.0, 6.0}), 9.0 + 16.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance({1.0}, {1.0}), 0.0);
+}
+
+TEST(VectorOpsTest, DotIsSymmetric) {
+  std::vector<double> a{1.5, -2.0, 0.25};
+  std::vector<double> b{-0.5, 3.0, 8.0};
+  EXPECT_DOUBLE_EQ(Dot(a, b), Dot(b, a));
+}
+
+TEST(VectorOpsTest, CauchySchwarzHolds) {
+  std::vector<double> a{1.0, 2.0, -1.0};
+  std::vector<double> b{0.5, -3.0, 2.0};
+  EXPECT_LE(std::fabs(Dot(a, b)), Norm2(a) * Norm2(b) + 1e-12);
+}
+
+TEST(VectorOpsTest, TriangleInequality) {
+  std::vector<double> a{1.0, -2.0};
+  std::vector<double> b{3.0, 0.5};
+  std::vector<double> sum{4.0, -1.5};
+  EXPECT_LE(Norm2(sum), Norm2(a) + Norm2(b) + 1e-12);
+}
+
+}  // namespace
+}  // namespace kgov::math

@@ -1,0 +1,79 @@
+#include "votes/vote.h"
+
+#include <gtest/gtest.h>
+
+namespace kgov::votes {
+namespace {
+
+Vote MakeVote(std::vector<graph::NodeId> list, graph::NodeId best) {
+  Vote vote;
+  vote.query.links.emplace_back(0, 1.0);
+  vote.answer_list = std::move(list);
+  vote.best_answer = best;
+  return vote;
+}
+
+TEST(VoteTest, PositiveWhenBestIsTop) {
+  Vote vote = MakeVote({10, 11, 12}, 10);
+  EXPECT_TRUE(vote.IsPositive());
+  EXPECT_FALSE(vote.IsNegative());
+}
+
+TEST(VoteTest, NegativeWhenBestIsNotTop) {
+  Vote vote = MakeVote({10, 11, 12}, 12);
+  EXPECT_FALSE(vote.IsPositive());
+  EXPECT_TRUE(vote.IsNegative());
+}
+
+TEST(VoteTest, EmptyListIsNegativeAndMalformed) {
+  Vote vote = MakeVote({}, 10);
+  EXPECT_FALSE(vote.IsPositive());
+  EXPECT_FALSE(vote.IsWellFormed());
+}
+
+TEST(VoteTest, BestAnswerRank) {
+  Vote vote = MakeVote({10, 11, 12}, 11);
+  EXPECT_EQ(vote.BestAnswerRank(), 2);
+  vote.best_answer = 99;
+  EXPECT_EQ(vote.BestAnswerRank(), 0);
+}
+
+TEST(VoteTest, WellFormedRequiresBestInListAndSeed) {
+  Vote ok = MakeVote({10, 11}, 11);
+  EXPECT_TRUE(ok.IsWellFormed());
+
+  Vote missing_best = MakeVote({10, 11}, 99);
+  EXPECT_FALSE(missing_best.IsWellFormed());
+
+  Vote no_seed = MakeVote({10, 11}, 10);
+  no_seed.query.links.clear();
+  EXPECT_FALSE(no_seed.IsWellFormed());
+}
+
+TEST(RankOfTest, Basics) {
+  std::vector<graph::NodeId> list{5, 9, 7};
+  EXPECT_EQ(RankOf(list, 5), 1);
+  EXPECT_EQ(RankOf(list, 7), 3);
+  EXPECT_EQ(RankOf(list, 8), 0);
+  EXPECT_EQ(RankOf({}, 8), 0);
+}
+
+TEST(SummarizeTest, CountsPositiveAndNegative) {
+  std::vector<Vote> votes{
+      MakeVote({1, 2}, 1),  // positive
+      MakeVote({1, 2}, 2),  // negative
+      MakeVote({3, 4}, 4),  // negative
+  };
+  VoteSetSummary summary = Summarize(votes);
+  EXPECT_EQ(summary.positive, 1u);
+  EXPECT_EQ(summary.negative, 2u);
+}
+
+TEST(SummarizeTest, EmptySet) {
+  VoteSetSummary summary = Summarize({});
+  EXPECT_EQ(summary.positive, 0u);
+  EXPECT_EQ(summary.negative, 0u);
+}
+
+}  // namespace
+}  // namespace kgov::votes

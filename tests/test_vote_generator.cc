@@ -1,0 +1,206 @@
+#include "votes/vote_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "math/stats.h"
+
+namespace kgov::votes {
+namespace {
+
+graph::WeightedDigraph MakeBase(uint64_t seed = 1) {
+  Rng rng(seed);
+  Result<graph::WeightedDigraph> g =
+      graph::ScaleFreeWithTargetEdges(500, 2000, rng);
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+SyntheticVoteParams SmallParams() {
+  SyntheticVoteParams params;
+  params.num_queries = 20;
+  params.num_answers = 60;
+  params.subgraph_nodes = 200;
+  params.top_k = 10;
+  params.avg_negative_rank = 5.0;
+  return params;
+}
+
+TEST(VoteGeneratorTest, ProducesRequestedVoteCount) {
+  graph::WeightedDigraph base = MakeBase();
+  Rng rng(7);
+  Result<SyntheticWorkload> w =
+      GenerateSyntheticWorkload(base, SmallParams(), rng);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w->votes.size(), 20u);
+  EXPECT_EQ(w->answers.size(), 60u);
+  EXPECT_EQ(w->num_entity_nodes, 500u);
+  EXPECT_EQ(w->graph.NumNodes(), 560u);
+}
+
+TEST(VoteGeneratorTest, AllVotesWellFormed) {
+  graph::WeightedDigraph base = MakeBase();
+  Rng rng(8);
+  Result<SyntheticWorkload> w =
+      GenerateSyntheticWorkload(base, SmallParams(), rng);
+  ASSERT_TRUE(w.ok());
+  for (const Vote& vote : w->votes) {
+    EXPECT_TRUE(vote.IsWellFormed());
+    EXPECT_LE(vote.answer_list.size(), 10u);
+  }
+}
+
+TEST(VoteGeneratorTest, AnswerListsContainOnlyAnswerNodes) {
+  graph::WeightedDigraph base = MakeBase();
+  Rng rng(9);
+  Result<SyntheticWorkload> w =
+      GenerateSyntheticWorkload(base, SmallParams(), rng);
+  ASSERT_TRUE(w.ok());
+  for (const Vote& vote : w->votes) {
+    for (graph::NodeId node : vote.answer_list) {
+      EXPECT_GE(node, w->num_entity_nodes);
+    }
+  }
+}
+
+TEST(VoteGeneratorTest, NegativeFractionRespected) {
+  graph::WeightedDigraph base = MakeBase();
+  SyntheticVoteParams params = SmallParams();
+  params.num_queries = 100;
+  params.negative_fraction = 1.0;
+  Rng rng(10);
+  Result<SyntheticWorkload> w =
+      GenerateSyntheticWorkload(base, params, rng);
+  ASSERT_TRUE(w.ok());
+  VoteSetSummary summary = Summarize(w->votes);
+  EXPECT_EQ(summary.negative, 100u);
+
+  params.negative_fraction = 0.0;
+  Rng rng2(10);
+  Result<SyntheticWorkload> w2 =
+      GenerateSyntheticWorkload(base, params, rng2);
+  ASSERT_TRUE(w2.ok());
+  EXPECT_EQ(Summarize(w2->votes).positive, 100u);
+}
+
+TEST(VoteGeneratorTest, NegativeRanksCenterOnTarget) {
+  graph::WeightedDigraph base = MakeBase();
+  SyntheticVoteParams params = SmallParams();
+  params.num_queries = 200;
+  params.negative_fraction = 1.0;
+  params.avg_negative_rank = 5.0;
+  Rng rng(11);
+  Result<SyntheticWorkload> w =
+      GenerateSyntheticWorkload(base, params, rng);
+  ASSERT_TRUE(w.ok());
+  std::vector<double> ranks;
+  for (const Vote& vote : w->votes) {
+    ranks.push_back(static_cast<double>(vote.BestAnswerRank()));
+  }
+  // Clamping to [2, list size] shifts the mean a bit; allow slack.
+  EXPECT_NEAR(math::Mean(ranks), 5.0, 1.5);
+}
+
+TEST(VoteGeneratorTest, DeterministicUnderSeed) {
+  graph::WeightedDigraph base = MakeBase();
+  Rng rng1(42), rng2(42);
+  Result<SyntheticWorkload> a =
+      GenerateSyntheticWorkload(base, SmallParams(), rng1);
+  Result<SyntheticWorkload> b =
+      GenerateSyntheticWorkload(base, SmallParams(), rng2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->votes.size(), b->votes.size());
+  for (size_t i = 0; i < a->votes.size(); ++i) {
+    EXPECT_EQ(a->votes[i].answer_list, b->votes[i].answer_list);
+    EXPECT_EQ(a->votes[i].best_answer, b->votes[i].best_answer);
+  }
+}
+
+TEST(VoteGeneratorTest, EntityEdgePredicateSeparatesLinkEdges) {
+  graph::WeightedDigraph base = MakeBase();
+  Rng rng(13);
+  Result<SyntheticWorkload> w =
+      GenerateSyntheticWorkload(base, SmallParams(), rng);
+  ASSERT_TRUE(w.ok());
+  auto predicate = w->EntityEdgePredicate();
+  size_t entity_edges = 0, link_edges = 0;
+  for (graph::EdgeId e = 0; e < w->graph.NumEdges(); ++e) {
+    if (predicate(w->graph, e)) {
+      ++entity_edges;
+      EXPECT_LT(w->graph.edge(e).to, w->num_entity_nodes);
+    } else {
+      ++link_edges;
+      EXPECT_GE(w->graph.edge(e).to, w->num_entity_nodes);
+    }
+  }
+  // Densification (Ndegree) may add entity-entity edges but never link
+  // edges.
+  EXPECT_GE(entity_edges, base.NumEdges());
+  EXPECT_GT(link_edges, 0u);
+}
+
+TEST(VoteGeneratorTest, GraphStaysSubStochastic) {
+  graph::WeightedDigraph base = MakeBase();
+  Rng rng(14);
+  Result<SyntheticWorkload> w =
+      GenerateSyntheticWorkload(base, SmallParams(), rng);
+  ASSERT_TRUE(w.ok());
+  EXPECT_TRUE(w->graph.IsSubStochastic(1e-6));
+}
+
+TEST(VoteGeneratorTest, DensificationRaisesSubgraphDegree) {
+  // A sparse base graph must be densified toward Ndegree inside the
+  // selected region.
+  Rng rng_base(21);
+  Result<graph::WeightedDigraph> sparse =
+      graph::ScaleFreeWithTargetEdges(600, 700, rng_base);
+  ASSERT_TRUE(sparse.ok());
+  SyntheticVoteParams params = SmallParams();
+  params.subgraph_target_degree = 4.0;
+  Rng rng(22);
+  Result<SyntheticWorkload> w =
+      GenerateSyntheticWorkload(*sparse, params, rng);
+  ASSERT_TRUE(w.ok());
+  // Entity-entity edges must exceed the base count substantially.
+  size_t entity_edges = 0;
+  for (const graph::Edge& e : w->graph.edges()) {
+    if (e.from < w->num_entity_nodes && e.to < w->num_entity_nodes) {
+      ++entity_edges;
+    }
+  }
+  EXPECT_GT(entity_edges, sparse->NumEdges() + 100);
+  EXPECT_TRUE(w->graph.IsSubStochastic(1e-6));
+}
+
+TEST(VoteGeneratorTest, ZeroTargetDegreeKeepsStructure) {
+  graph::WeightedDigraph base = MakeBase();
+  SyntheticVoteParams params = SmallParams();
+  params.subgraph_target_degree = 0.0;
+  Rng rng(23);
+  Result<SyntheticWorkload> w =
+      GenerateSyntheticWorkload(base, params, rng);
+  ASSERT_TRUE(w.ok());
+  size_t entity_edges = 0;
+  for (const graph::Edge& e : w->graph.edges()) {
+    if (e.from < w->num_entity_nodes && e.to < w->num_entity_nodes) {
+      ++entity_edges;
+    }
+  }
+  EXPECT_EQ(entity_edges, base.NumEdges());
+}
+
+TEST(VoteGeneratorTest, RejectsDegenerateParams) {
+  graph::WeightedDigraph base = MakeBase();
+  SyntheticVoteParams params = SmallParams();
+  params.num_answers = 1;
+  Rng rng(15);
+  EXPECT_FALSE(GenerateSyntheticWorkload(base, params, rng).ok());
+
+  graph::WeightedDigraph tiny(1);
+  Rng rng2(16);
+  EXPECT_FALSE(
+      GenerateSyntheticWorkload(tiny, SmallParams(), rng2).ok());
+}
+
+}  // namespace
+}  // namespace kgov::votes
