@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_forms.dir/bench_ablation_forms.cc.o"
+  "CMakeFiles/bench_ablation_forms.dir/bench_ablation_forms.cc.o.d"
+  "bench_ablation_forms"
+  "bench_ablation_forms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_forms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

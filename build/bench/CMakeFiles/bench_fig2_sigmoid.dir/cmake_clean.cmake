@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_sigmoid.dir/bench_fig2_sigmoid.cc.o"
+  "CMakeFiles/bench_fig2_sigmoid.dir/bench_fig2_sigmoid.cc.o.d"
+  "bench_fig2_sigmoid"
+  "bench_fig2_sigmoid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_sigmoid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

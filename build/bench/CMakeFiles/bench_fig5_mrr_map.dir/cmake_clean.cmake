@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_mrr_map.dir/bench_fig5_mrr_map.cc.o"
+  "CMakeFiles/bench_fig5_mrr_map.dir/bench_fig5_mrr_map.cc.o.d"
+  "bench_fig5_mrr_map"
+  "bench_fig5_mrr_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_mrr_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

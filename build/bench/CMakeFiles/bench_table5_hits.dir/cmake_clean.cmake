@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_hits.dir/bench_table5_hits.cc.o"
+  "CMakeFiles/bench_table5_hits.dir/bench_table5_hits.cc.o.d"
+  "bench_table5_hits"
+  "bench_table5_hits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_hits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

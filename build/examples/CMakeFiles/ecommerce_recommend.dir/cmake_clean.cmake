@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecommerce_recommend.dir/ecommerce_recommend.cpp.o"
+  "CMakeFiles/ecommerce_recommend.dir/ecommerce_recommend.cpp.o.d"
+  "ecommerce_recommend"
+  "ecommerce_recommend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecommerce_recommend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_click_feedback.dir/search_click_feedback.cpp.o"
+  "CMakeFiles/search_click_feedback.dir/search_click_feedback.cpp.o.d"
+  "search_click_feedback"
+  "search_click_feedback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_click_feedback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

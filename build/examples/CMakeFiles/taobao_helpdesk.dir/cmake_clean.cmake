@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taobao_helpdesk.dir/taobao_helpdesk.cpp.o"
+  "CMakeFiles/taobao_helpdesk.dir/taobao_helpdesk.cpp.o.d"
+  "taobao_helpdesk"
+  "taobao_helpdesk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taobao_helpdesk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/affinity_propagation.cc" "src/cluster/CMakeFiles/kgov_cluster.dir/affinity_propagation.cc.o" "gcc" "src/cluster/CMakeFiles/kgov_cluster.dir/affinity_propagation.cc.o.d"
+  "/root/repo/src/cluster/merge.cc" "src/cluster/CMakeFiles/kgov_cluster.dir/merge.cc.o" "gcc" "src/cluster/CMakeFiles/kgov_cluster.dir/merge.cc.o.d"
+  "/root/repo/src/cluster/vote_similarity.cc" "src/cluster/CMakeFiles/kgov_cluster.dir/vote_similarity.cc.o" "gcc" "src/cluster/CMakeFiles/kgov_cluster.dir/vote_similarity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kgov_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/kgov_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/kgov_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

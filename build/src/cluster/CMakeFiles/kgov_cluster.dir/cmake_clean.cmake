@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgov_cluster.dir/affinity_propagation.cc.o"
+  "CMakeFiles/kgov_cluster.dir/affinity_propagation.cc.o.d"
+  "CMakeFiles/kgov_cluster.dir/merge.cc.o"
+  "CMakeFiles/kgov_cluster.dir/merge.cc.o.d"
+  "CMakeFiles/kgov_cluster.dir/vote_similarity.cc.o"
+  "CMakeFiles/kgov_cluster.dir/vote_similarity.cc.o.d"
+  "libkgov_cluster.a"
+  "libkgov_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgov_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkgov_cluster.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgov_common.dir/logging.cc.o"
+  "CMakeFiles/kgov_common.dir/logging.cc.o.d"
+  "CMakeFiles/kgov_common.dir/rng.cc.o"
+  "CMakeFiles/kgov_common.dir/rng.cc.o.d"
+  "CMakeFiles/kgov_common.dir/status.cc.o"
+  "CMakeFiles/kgov_common.dir/status.cc.o.d"
+  "CMakeFiles/kgov_common.dir/string_util.cc.o"
+  "CMakeFiles/kgov_common.dir/string_util.cc.o.d"
+  "CMakeFiles/kgov_common.dir/thread_pool.cc.o"
+  "CMakeFiles/kgov_common.dir/thread_pool.cc.o.d"
+  "libkgov_common.a"
+  "libkgov_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgov_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

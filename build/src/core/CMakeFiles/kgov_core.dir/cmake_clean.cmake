@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgov_core.dir/kg_optimizer.cc.o"
+  "CMakeFiles/kgov_core.dir/kg_optimizer.cc.o.d"
+  "CMakeFiles/kgov_core.dir/online_optimizer.cc.o"
+  "CMakeFiles/kgov_core.dir/online_optimizer.cc.o.d"
+  "CMakeFiles/kgov_core.dir/scoring.cc.o"
+  "CMakeFiles/kgov_core.dir/scoring.cc.o.d"
+  "libkgov_core.a"
+  "libkgov_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgov_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgov_graph.dir/csr.cc.o"
+  "CMakeFiles/kgov_graph.dir/csr.cc.o.d"
+  "CMakeFiles/kgov_graph.dir/generators.cc.o"
+  "CMakeFiles/kgov_graph.dir/generators.cc.o.d"
+  "CMakeFiles/kgov_graph.dir/graph.cc.o"
+  "CMakeFiles/kgov_graph.dir/graph.cc.o.d"
+  "CMakeFiles/kgov_graph.dir/graph_io.cc.o"
+  "CMakeFiles/kgov_graph.dir/graph_io.cc.o.d"
+  "CMakeFiles/kgov_graph.dir/stats.cc.o"
+  "CMakeFiles/kgov_graph.dir/stats.cc.o.d"
+  "CMakeFiles/kgov_graph.dir/subgraph.cc.o"
+  "CMakeFiles/kgov_graph.dir/subgraph.cc.o.d"
+  "libkgov_graph.a"
+  "libkgov_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgov_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

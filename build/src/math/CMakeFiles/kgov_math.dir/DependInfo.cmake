@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/math/gp_condensation.cc" "src/math/CMakeFiles/kgov_math.dir/gp_condensation.cc.o" "gcc" "src/math/CMakeFiles/kgov_math.dir/gp_condensation.cc.o.d"
+  "/root/repo/src/math/monomial.cc" "src/math/CMakeFiles/kgov_math.dir/monomial.cc.o" "gcc" "src/math/CMakeFiles/kgov_math.dir/monomial.cc.o.d"
+  "/root/repo/src/math/optimizer.cc" "src/math/CMakeFiles/kgov_math.dir/optimizer.cc.o" "gcc" "src/math/CMakeFiles/kgov_math.dir/optimizer.cc.o.d"
+  "/root/repo/src/math/sgp_problem.cc" "src/math/CMakeFiles/kgov_math.dir/sgp_problem.cc.o" "gcc" "src/math/CMakeFiles/kgov_math.dir/sgp_problem.cc.o.d"
+  "/root/repo/src/math/sgp_solver.cc" "src/math/CMakeFiles/kgov_math.dir/sgp_solver.cc.o" "gcc" "src/math/CMakeFiles/kgov_math.dir/sgp_solver.cc.o.d"
+  "/root/repo/src/math/sigmoid.cc" "src/math/CMakeFiles/kgov_math.dir/sigmoid.cc.o" "gcc" "src/math/CMakeFiles/kgov_math.dir/sigmoid.cc.o.d"
+  "/root/repo/src/math/signomial.cc" "src/math/CMakeFiles/kgov_math.dir/signomial.cc.o" "gcc" "src/math/CMakeFiles/kgov_math.dir/signomial.cc.o.d"
+  "/root/repo/src/math/stats.cc" "src/math/CMakeFiles/kgov_math.dir/stats.cc.o" "gcc" "src/math/CMakeFiles/kgov_math.dir/stats.cc.o.d"
+  "/root/repo/src/math/vector_ops.cc" "src/math/CMakeFiles/kgov_math.dir/vector_ops.cc.o" "gcc" "src/math/CMakeFiles/kgov_math.dir/vector_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kgov_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgov_math.dir/gp_condensation.cc.o"
+  "CMakeFiles/kgov_math.dir/gp_condensation.cc.o.d"
+  "CMakeFiles/kgov_math.dir/monomial.cc.o"
+  "CMakeFiles/kgov_math.dir/monomial.cc.o.d"
+  "CMakeFiles/kgov_math.dir/optimizer.cc.o"
+  "CMakeFiles/kgov_math.dir/optimizer.cc.o.d"
+  "CMakeFiles/kgov_math.dir/sgp_problem.cc.o"
+  "CMakeFiles/kgov_math.dir/sgp_problem.cc.o.d"
+  "CMakeFiles/kgov_math.dir/sgp_solver.cc.o"
+  "CMakeFiles/kgov_math.dir/sgp_solver.cc.o.d"
+  "CMakeFiles/kgov_math.dir/sigmoid.cc.o"
+  "CMakeFiles/kgov_math.dir/sigmoid.cc.o.d"
+  "CMakeFiles/kgov_math.dir/signomial.cc.o"
+  "CMakeFiles/kgov_math.dir/signomial.cc.o.d"
+  "CMakeFiles/kgov_math.dir/stats.cc.o"
+  "CMakeFiles/kgov_math.dir/stats.cc.o.d"
+  "CMakeFiles/kgov_math.dir/vector_ops.cc.o"
+  "CMakeFiles/kgov_math.dir/vector_ops.cc.o.d"
+  "libkgov_math.a"
+  "libkgov_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgov_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ppr/edge_vars.cc" "src/ppr/CMakeFiles/kgov_ppr.dir/edge_vars.cc.o" "gcc" "src/ppr/CMakeFiles/kgov_ppr.dir/edge_vars.cc.o.d"
+  "/root/repo/src/ppr/eipd.cc" "src/ppr/CMakeFiles/kgov_ppr.dir/eipd.cc.o" "gcc" "src/ppr/CMakeFiles/kgov_ppr.dir/eipd.cc.o.d"
+  "/root/repo/src/ppr/fast_eipd.cc" "src/ppr/CMakeFiles/kgov_ppr.dir/fast_eipd.cc.o" "gcc" "src/ppr/CMakeFiles/kgov_ppr.dir/fast_eipd.cc.o.d"
+  "/root/repo/src/ppr/ppr.cc" "src/ppr/CMakeFiles/kgov_ppr.dir/ppr.cc.o" "gcc" "src/ppr/CMakeFiles/kgov_ppr.dir/ppr.cc.o.d"
+  "/root/repo/src/ppr/query_seed.cc" "src/ppr/CMakeFiles/kgov_ppr.dir/query_seed.cc.o" "gcc" "src/ppr/CMakeFiles/kgov_ppr.dir/query_seed.cc.o.d"
+  "/root/repo/src/ppr/simrank.cc" "src/ppr/CMakeFiles/kgov_ppr.dir/simrank.cc.o" "gcc" "src/ppr/CMakeFiles/kgov_ppr.dir/simrank.cc.o.d"
+  "/root/repo/src/ppr/symbolic_eipd.cc" "src/ppr/CMakeFiles/kgov_ppr.dir/symbolic_eipd.cc.o" "gcc" "src/ppr/CMakeFiles/kgov_ppr.dir/symbolic_eipd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kgov_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/kgov_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/kgov_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

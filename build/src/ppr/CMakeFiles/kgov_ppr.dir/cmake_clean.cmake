@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgov_ppr.dir/edge_vars.cc.o"
+  "CMakeFiles/kgov_ppr.dir/edge_vars.cc.o.d"
+  "CMakeFiles/kgov_ppr.dir/eipd.cc.o"
+  "CMakeFiles/kgov_ppr.dir/eipd.cc.o.d"
+  "CMakeFiles/kgov_ppr.dir/fast_eipd.cc.o"
+  "CMakeFiles/kgov_ppr.dir/fast_eipd.cc.o.d"
+  "CMakeFiles/kgov_ppr.dir/ppr.cc.o"
+  "CMakeFiles/kgov_ppr.dir/ppr.cc.o.d"
+  "CMakeFiles/kgov_ppr.dir/query_seed.cc.o"
+  "CMakeFiles/kgov_ppr.dir/query_seed.cc.o.d"
+  "CMakeFiles/kgov_ppr.dir/simrank.cc.o"
+  "CMakeFiles/kgov_ppr.dir/simrank.cc.o.d"
+  "CMakeFiles/kgov_ppr.dir/symbolic_eipd.cc.o"
+  "CMakeFiles/kgov_ppr.dir/symbolic_eipd.cc.o.d"
+  "libkgov_ppr.a"
+  "libkgov_ppr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgov_ppr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qa/baselines.cc" "src/qa/CMakeFiles/kgov_qa.dir/baselines.cc.o" "gcc" "src/qa/CMakeFiles/kgov_qa.dir/baselines.cc.o.d"
+  "/root/repo/src/qa/corpus.cc" "src/qa/CMakeFiles/kgov_qa.dir/corpus.cc.o" "gcc" "src/qa/CMakeFiles/kgov_qa.dir/corpus.cc.o.d"
+  "/root/repo/src/qa/corpus_io.cc" "src/qa/CMakeFiles/kgov_qa.dir/corpus_io.cc.o" "gcc" "src/qa/CMakeFiles/kgov_qa.dir/corpus_io.cc.o.d"
+  "/root/repo/src/qa/kg_builder.cc" "src/qa/CMakeFiles/kgov_qa.dir/kg_builder.cc.o" "gcc" "src/qa/CMakeFiles/kgov_qa.dir/kg_builder.cc.o.d"
+  "/root/repo/src/qa/metrics.cc" "src/qa/CMakeFiles/kgov_qa.dir/metrics.cc.o" "gcc" "src/qa/CMakeFiles/kgov_qa.dir/metrics.cc.o.d"
+  "/root/repo/src/qa/qa_system.cc" "src/qa/CMakeFiles/kgov_qa.dir/qa_system.cc.o" "gcc" "src/qa/CMakeFiles/kgov_qa.dir/qa_system.cc.o.d"
+  "/root/repo/src/qa/user_sim.cc" "src/qa/CMakeFiles/kgov_qa.dir/user_sim.cc.o" "gcc" "src/qa/CMakeFiles/kgov_qa.dir/user_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kgov_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/kgov_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/kgov_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/ppr/CMakeFiles/kgov_ppr.dir/DependInfo.cmake"
+  "/root/repo/build/src/votes/CMakeFiles/kgov_votes.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

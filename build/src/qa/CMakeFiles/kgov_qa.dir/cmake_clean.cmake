@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgov_qa.dir/baselines.cc.o"
+  "CMakeFiles/kgov_qa.dir/baselines.cc.o.d"
+  "CMakeFiles/kgov_qa.dir/corpus.cc.o"
+  "CMakeFiles/kgov_qa.dir/corpus.cc.o.d"
+  "CMakeFiles/kgov_qa.dir/corpus_io.cc.o"
+  "CMakeFiles/kgov_qa.dir/corpus_io.cc.o.d"
+  "CMakeFiles/kgov_qa.dir/kg_builder.cc.o"
+  "CMakeFiles/kgov_qa.dir/kg_builder.cc.o.d"
+  "CMakeFiles/kgov_qa.dir/metrics.cc.o"
+  "CMakeFiles/kgov_qa.dir/metrics.cc.o.d"
+  "CMakeFiles/kgov_qa.dir/qa_system.cc.o"
+  "CMakeFiles/kgov_qa.dir/qa_system.cc.o.d"
+  "CMakeFiles/kgov_qa.dir/user_sim.cc.o"
+  "CMakeFiles/kgov_qa.dir/user_sim.cc.o.d"
+  "libkgov_qa.a"
+  "libkgov_qa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgov_qa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

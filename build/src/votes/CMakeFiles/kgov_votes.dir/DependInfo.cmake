@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/votes/aggregate.cc" "src/votes/CMakeFiles/kgov_votes.dir/aggregate.cc.o" "gcc" "src/votes/CMakeFiles/kgov_votes.dir/aggregate.cc.o.d"
+  "/root/repo/src/votes/conflict.cc" "src/votes/CMakeFiles/kgov_votes.dir/conflict.cc.o" "gcc" "src/votes/CMakeFiles/kgov_votes.dir/conflict.cc.o.d"
+  "/root/repo/src/votes/judgment.cc" "src/votes/CMakeFiles/kgov_votes.dir/judgment.cc.o" "gcc" "src/votes/CMakeFiles/kgov_votes.dir/judgment.cc.o.d"
+  "/root/repo/src/votes/vote.cc" "src/votes/CMakeFiles/kgov_votes.dir/vote.cc.o" "gcc" "src/votes/CMakeFiles/kgov_votes.dir/vote.cc.o.d"
+  "/root/repo/src/votes/vote_encoder.cc" "src/votes/CMakeFiles/kgov_votes.dir/vote_encoder.cc.o" "gcc" "src/votes/CMakeFiles/kgov_votes.dir/vote_encoder.cc.o.d"
+  "/root/repo/src/votes/vote_generator.cc" "src/votes/CMakeFiles/kgov_votes.dir/vote_generator.cc.o" "gcc" "src/votes/CMakeFiles/kgov_votes.dir/vote_generator.cc.o.d"
+  "/root/repo/src/votes/votes_io.cc" "src/votes/CMakeFiles/kgov_votes.dir/votes_io.cc.o" "gcc" "src/votes/CMakeFiles/kgov_votes.dir/votes_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kgov_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/kgov_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/kgov_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/ppr/CMakeFiles/kgov_ppr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgov_votes.dir/aggregate.cc.o"
+  "CMakeFiles/kgov_votes.dir/aggregate.cc.o.d"
+  "CMakeFiles/kgov_votes.dir/conflict.cc.o"
+  "CMakeFiles/kgov_votes.dir/conflict.cc.o.d"
+  "CMakeFiles/kgov_votes.dir/judgment.cc.o"
+  "CMakeFiles/kgov_votes.dir/judgment.cc.o.d"
+  "CMakeFiles/kgov_votes.dir/vote.cc.o"
+  "CMakeFiles/kgov_votes.dir/vote.cc.o.d"
+  "CMakeFiles/kgov_votes.dir/vote_encoder.cc.o"
+  "CMakeFiles/kgov_votes.dir/vote_encoder.cc.o.d"
+  "CMakeFiles/kgov_votes.dir/vote_generator.cc.o"
+  "CMakeFiles/kgov_votes.dir/vote_generator.cc.o.d"
+  "CMakeFiles/kgov_votes.dir/votes_io.cc.o"
+  "CMakeFiles/kgov_votes.dir/votes_io.cc.o.d"
+  "libkgov_votes.a"
+  "libkgov_votes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgov_votes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for kgov_votes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_affinity_propagation.dir/test_affinity_propagation.cc.o"
+  "CMakeFiles/test_affinity_propagation.dir/test_affinity_propagation.cc.o.d"
+  "test_affinity_propagation"
+  "test_affinity_propagation.pdb"
+  "test_affinity_propagation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_affinity_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

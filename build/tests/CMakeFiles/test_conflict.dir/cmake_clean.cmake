@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_conflict.dir/test_conflict.cc.o"
+  "CMakeFiles/test_conflict.dir/test_conflict.cc.o.d"
+  "test_conflict"
+  "test_conflict.pdb"
+  "test_conflict[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_conflict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

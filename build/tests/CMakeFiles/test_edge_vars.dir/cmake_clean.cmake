@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_edge_vars.dir/test_edge_vars.cc.o"
+  "CMakeFiles/test_edge_vars.dir/test_edge_vars.cc.o.d"
+  "test_edge_vars"
+  "test_edge_vars.pdb"
+  "test_edge_vars[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_edge_vars.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

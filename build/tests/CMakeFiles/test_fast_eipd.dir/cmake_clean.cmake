@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fast_eipd.dir/test_fast_eipd.cc.o"
+  "CMakeFiles/test_fast_eipd.dir/test_fast_eipd.cc.o.d"
+  "test_fast_eipd"
+  "test_fast_eipd.pdb"
+  "test_fast_eipd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fast_eipd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gp_condensation.dir/test_gp_condensation.cc.o"
+  "CMakeFiles/test_gp_condensation.dir/test_gp_condensation.cc.o.d"
+  "test_gp_condensation"
+  "test_gp_condensation.pdb"
+  "test_gp_condensation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gp_condensation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_judgment.dir/test_judgment.cc.o"
+  "CMakeFiles/test_judgment.dir/test_judgment.cc.o.d"
+  "test_judgment"
+  "test_judgment.pdb"
+  "test_judgment[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_judgment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

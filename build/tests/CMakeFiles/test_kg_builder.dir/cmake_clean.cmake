@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kg_builder.dir/test_kg_builder.cc.o"
+  "CMakeFiles/test_kg_builder.dir/test_kg_builder.cc.o.d"
+  "test_kg_builder"
+  "test_kg_builder.pdb"
+  "test_kg_builder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kg_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kg_optimizer.dir/test_kg_optimizer.cc.o"
+  "CMakeFiles/test_kg_optimizer.dir/test_kg_optimizer.cc.o.d"
+  "test_kg_optimizer"
+  "test_kg_optimizer.pdb"
+  "test_kg_optimizer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kg_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

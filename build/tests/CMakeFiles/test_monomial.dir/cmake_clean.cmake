@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_monomial.dir/test_monomial.cc.o"
+  "CMakeFiles/test_monomial.dir/test_monomial.cc.o.d"
+  "test_monomial"
+  "test_monomial.pdb"
+  "test_monomial[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_monomial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_online_optimizer.dir/test_online_optimizer.cc.o"
+  "CMakeFiles/test_online_optimizer.dir/test_online_optimizer.cc.o.d"
+  "test_online_optimizer"
+  "test_online_optimizer.pdb"
+  "test_online_optimizer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_online_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

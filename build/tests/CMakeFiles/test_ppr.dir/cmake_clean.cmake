@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ppr.dir/test_ppr.cc.o"
+  "CMakeFiles/test_ppr.dir/test_ppr.cc.o.d"
+  "test_ppr"
+  "test_ppr.pdb"
+  "test_ppr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ppr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qa_system.dir/test_qa_system.cc.o"
+  "CMakeFiles/test_qa_system.dir/test_qa_system.cc.o.d"
+  "test_qa_system"
+  "test_qa_system.pdb"
+  "test_qa_system[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qa_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_sgp_solver.cc" "tests/CMakeFiles/test_sgp_solver.dir/test_sgp_solver.cc.o" "gcc" "tests/CMakeFiles/test_sgp_solver.dir/test_sgp_solver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/kgov_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/kgov_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/qa/CMakeFiles/kgov_qa.dir/DependInfo.cmake"
+  "/root/repo/build/src/votes/CMakeFiles/kgov_votes.dir/DependInfo.cmake"
+  "/root/repo/build/src/ppr/CMakeFiles/kgov_ppr.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/kgov_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/kgov_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/kgov_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sgp_solver.dir/test_sgp_solver.cc.o"
+  "CMakeFiles/test_sgp_solver.dir/test_sgp_solver.cc.o.d"
+  "test_sgp_solver"
+  "test_sgp_solver.pdb"
+  "test_sgp_solver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sgp_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sigmoid.dir/test_sigmoid.cc.o"
+  "CMakeFiles/test_sigmoid.dir/test_sigmoid.cc.o.d"
+  "test_sigmoid"
+  "test_sigmoid.pdb"
+  "test_sigmoid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sigmoid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

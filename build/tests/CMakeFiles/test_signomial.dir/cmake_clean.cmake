@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_signomial.dir/test_signomial.cc.o"
+  "CMakeFiles/test_signomial.dir/test_signomial.cc.o.d"
+  "test_signomial"
+  "test_signomial.pdb"
+  "test_signomial[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_signomial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

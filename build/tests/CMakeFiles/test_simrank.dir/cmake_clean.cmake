@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simrank.dir/test_simrank.cc.o"
+  "CMakeFiles/test_simrank.dir/test_simrank.cc.o.d"
+  "test_simrank"
+  "test_simrank.pdb"
+  "test_simrank[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simrank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

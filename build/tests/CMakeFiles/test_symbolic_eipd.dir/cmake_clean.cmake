@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_symbolic_eipd.dir/test_symbolic_eipd.cc.o"
+  "CMakeFiles/test_symbolic_eipd.dir/test_symbolic_eipd.cc.o.d"
+  "test_symbolic_eipd"
+  "test_symbolic_eipd.pdb"
+  "test_symbolic_eipd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_symbolic_eipd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_user_sim.dir/test_user_sim.cc.o"
+  "CMakeFiles/test_user_sim.dir/test_user_sim.cc.o.d"
+  "test_user_sim"
+  "test_user_sim.pdb"
+  "test_user_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_user_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

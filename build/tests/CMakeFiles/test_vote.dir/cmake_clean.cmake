@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vote.dir/test_vote.cc.o"
+  "CMakeFiles/test_vote.dir/test_vote.cc.o.d"
+  "test_vote"
+  "test_vote.pdb"
+  "test_vote[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vote.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vote_encoder.dir/test_vote_encoder.cc.o"
+  "CMakeFiles/test_vote_encoder.dir/test_vote_encoder.cc.o.d"
+  "test_vote_encoder"
+  "test_vote_encoder.pdb"
+  "test_vote_encoder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vote_encoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vote_generator.dir/test_vote_generator.cc.o"
+  "CMakeFiles/test_vote_generator.dir/test_vote_generator.cc.o.d"
+  "test_vote_generator"
+  "test_vote_generator.pdb"
+  "test_vote_generator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vote_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vote_similarity.dir/test_vote_similarity.cc.o"
+  "CMakeFiles/test_vote_similarity.dir/test_vote_similarity.cc.o.d"
+  "test_vote_similarity"
+  "test_vote_similarity.pdb"
+  "test_vote_similarity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vote_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

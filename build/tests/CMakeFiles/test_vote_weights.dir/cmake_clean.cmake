@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vote_weights.dir/test_vote_weights.cc.o"
+  "CMakeFiles/test_vote_weights.dir/test_vote_weights.cc.o.d"
+  "test_vote_weights"
+  "test_vote_weights.pdb"
+  "test_vote_weights[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vote_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

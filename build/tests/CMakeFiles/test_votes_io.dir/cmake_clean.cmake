@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_votes_io.dir/test_votes_io.cc.o"
+  "CMakeFiles/test_votes_io.dir/test_votes_io.cc.o.d"
+  "test_votes_io"
+  "test_votes_io.pdb"
+  "test_votes_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_votes_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgov_cli.dir/kgov_cli.cc.o"
+  "CMakeFiles/kgov_cli.dir/kgov_cli.cc.o.d"
+  "kgov_cli"
+  "kgov_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgov_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
