@@ -1,0 +1,125 @@
+#include "common/fault_injection.h"
+
+#include <chrono>
+#include <thread>
+
+namespace kgov {
+
+namespace {
+
+// splitmix64 finalizer: decorrelates (seed, site, hit) into a fire decision.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::string_view FaultSiteToString(FaultSite site) {
+  switch (site) {
+    case FaultSite::kSolveNonConvergence:
+      return "SolveNonConvergence";
+    case FaultSite::kNanGradient:
+      return "NanGradient";
+    case FaultSite::kSlowSolve:
+      return "SlowSolve";
+    case FaultSite::kTaskFailure:
+      return "TaskFailure";
+    case FaultSite::kGraphCorruption:
+      return "GraphCorruption";
+  }
+  return "Unknown";
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+void FaultInjector::Arm(FaultSite site, FaultConfig config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SiteState& state = sites_[static_cast<int>(site)];
+  state.config = config;
+  state.hits = 0;
+  state.fires = 0;
+  armed_mask_.fetch_or(1u << static_cast<int>(site),
+                       std::memory_order_release);
+}
+
+void FaultInjector::Disarm(FaultSite site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_mask_.fetch_and(~(1u << static_cast<int>(site)),
+                        std::memory_order_release);
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_mask_.store(0, std::memory_order_release);
+  for (SiteState& state : sites_) state = SiteState{};
+}
+
+void FaultInjector::Reseed(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  seed_ = seed;
+}
+
+bool FaultInjector::ShouldFire(FaultSite site) {
+  const uint32_t bit = 1u << static_cast<int>(site);
+  if ((armed_mask_.load(std::memory_order_acquire) & bit) == 0) return false;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if ((armed_mask_.load(std::memory_order_relaxed) & bit) == 0) return false;
+  SiteState& state = sites_[static_cast<int>(site)];
+  const int64_t hit = state.hits++;
+  if (hit < state.config.skip_hits) return false;
+  if (state.config.max_fires >= 0 &&
+      state.fires >= state.config.max_fires) {
+    return false;
+  }
+  bool fire;
+  if (state.config.probability >= 1.0) {
+    fire = true;
+  } else if (state.config.probability <= 0.0) {
+    fire = false;
+  } else {
+    // Deterministic given (seed, site, hit index): a fixed seed and hit
+    // order replay the same schedule.
+    uint64_t h = Mix64(seed_ ^ Mix64(static_cast<uint64_t>(site) * 0x1000 +
+                                     static_cast<uint64_t>(hit)));
+    double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    fire = u < state.config.probability;
+  }
+  if (fire) ++state.fires;
+  return fire;
+}
+
+double FaultInjector::SleepSeconds(FaultSite site) const {
+  const uint32_t bit = 1u << static_cast<int>(site);
+  if ((armed_mask_.load(std::memory_order_acquire) & bit) == 0) return 0.0;
+  std::lock_guard<std::mutex> lock(mu_);
+  return sites_[static_cast<int>(site)].config.sleep_seconds;
+}
+
+int64_t FaultInjector::Hits(FaultSite site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sites_[static_cast<int>(site)].hits;
+}
+
+int64_t FaultInjector::Fires(FaultSite site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sites_[static_cast<int>(site)].fires;
+}
+
+bool MaybeInjectStall(FaultSite site) {
+  FaultInjector& injector = FaultInjector::Global();
+  if (!injector.ShouldFire(site)) return false;
+  double seconds = injector.SleepSeconds(site);
+  if (seconds > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  }
+  return true;
+}
+
+}  // namespace kgov

@@ -1,0 +1,140 @@
+// Deterministic fault injection for exercising recovery paths.
+//
+// Production code calls FaultFires(site) at a handful of well-known
+// injection points (forced solver non-convergence, NaN gradients, slow
+// cluster solves, thread-pool task failure, graph corruption before the
+// snapshot swap). With nothing armed the check is a single relaxed atomic
+// load, so the hooks stay compiled in for tests and benchmarks without a
+// measurable cost on the hot paths.
+//
+// Determinism: every site keeps a hit counter, and the fire decision for
+// hit k is a pure function of (seed, site, k) via splitmix64 hashing, so a
+// fixed seed and a fixed hit order replay the exact same fault schedule.
+// Tests that need a fully deterministic schedule either run the code path
+// sequentially or arm probability-1 faults, where thread interleaving
+// cannot change the outcome.
+//
+// Typical test usage:
+//
+//   ScopedFault fault(FaultSite::kNanGradient,
+//                     {.probability = 1.0, .max_fires = 1});
+//   ... run the pipeline; the first gradient evaluation is poisoned ...
+//   // disarmed automatically when `fault` leaves scope
+
+#ifndef KGOV_COMMON_FAULT_INJECTION_H_
+#define KGOV_COMMON_FAULT_INJECTION_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string_view>
+
+namespace kgov {
+
+/// The injection points wired into the library.
+enum class FaultSite : int {
+  /// SgpSolver::Solve returns NotConverged without running the solve.
+  kSolveNonConvergence = 0,
+  /// Inner solvers poison the next evaluated gradient with NaN.
+  kNanGradient = 1,
+  /// A split-merge cluster solve sleeps before starting (drives deadlines).
+  kSlowSolve = 2,
+  /// A ParallelFor task throws std::runtime_error.
+  kTaskFailure = 3,
+  /// OnlineKgOptimizer poisons one optimized edge weight to NaN before the
+  /// graph-update validator runs (drives the rollback path).
+  kGraphCorruption = 4,
+};
+inline constexpr int kNumFaultSites = 5;
+
+std::string_view FaultSiteToString(FaultSite site);
+
+/// How an armed site decides whether a given hit fires.
+struct FaultConfig {
+  /// Probability that a hit fires (1.0 = every eligible hit).
+  double probability = 1.0;
+  /// Total fires allowed; -1 means unlimited.
+  int max_fires = -1;
+  /// Hits ignored before any fire is considered (targets the Nth hit).
+  int skip_hits = 0;
+  /// For kSlowSolve: how long the injected stall lasts.
+  double sleep_seconds = 0.0;
+};
+
+/// Process-wide registry of armed faults. All methods are thread-safe.
+/// Tests must disarm what they arm (or use ScopedFault); the library never
+/// arms anything itself.
+class FaultInjector {
+ public:
+  static FaultInjector& Global();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Arms `site` with `config` and resets its hit/fire counters.
+  void Arm(FaultSite site, FaultConfig config);
+
+  /// Disarms `site`; its counters keep their values until the next Arm.
+  void Disarm(FaultSite site);
+
+  /// Disarms every site and zeroes all counters.
+  void Reset();
+
+  /// Reseeds the deterministic fire schedule (default seed is fixed).
+  void Reseed(uint64_t seed);
+
+  /// Records a hit at `site` and returns whether the fault fires. With the
+  /// site disarmed this is one relaxed atomic load.
+  bool ShouldFire(FaultSite site);
+
+  /// Sleep duration configured for `site` (0 when disarmed).
+  double SleepSeconds(FaultSite site) const;
+
+  /// Counters for assertions: hits observed / faults fired since Arm.
+  int64_t Hits(FaultSite site) const;
+  int64_t Fires(FaultSite site) const;
+
+ private:
+  FaultInjector() = default;
+
+  struct SiteState {
+    FaultConfig config;
+    int64_t hits = 0;
+    int64_t fires = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::atomic<uint32_t> armed_mask_{0};
+  uint64_t seed_ = 0x8F0C'17B3'5E2A'D94Bull;
+  std::array<SiteState, kNumFaultSites> sites_;
+};
+
+/// True when `site` is armed and its schedule fires on this hit. This is
+/// the call production code makes at an injection point.
+inline bool FaultFires(FaultSite site) {
+  return FaultInjector::Global().ShouldFire(site);
+}
+
+/// Sleeps for the injected stall duration when `site` fires; returns
+/// whether it fired. Used at the slow-solve injection point.
+bool MaybeInjectStall(FaultSite site);
+
+/// RAII arm/disarm for tests.
+class ScopedFault {
+ public:
+  ScopedFault(FaultSite site, FaultConfig config) : site_(site) {
+    FaultInjector::Global().Arm(site_, config);
+  }
+  ~ScopedFault() { FaultInjector::Global().Disarm(site_); }
+
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+ private:
+  FaultSite site_;
+};
+
+}  // namespace kgov
+
+#endif  // KGOV_COMMON_FAULT_INJECTION_H_

@@ -26,6 +26,10 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Infeasible";
     case StatusCode::kNotConverged:
       return "NotConverged";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kNumericalError:
+      return "NumericalError";
   }
   return "Unknown";
 }

@@ -28,8 +28,10 @@ enum class StatusCode {
   kUnimplemented = 6,
   kInternal = 7,
   kIoError = 8,
-  kInfeasible = 9,      // optimization problem has no feasible point
-  kNotConverged = 10,   // iterative solver hit its iteration budget
+  kInfeasible = 9,        // optimization problem has no feasible point
+  kNotConverged = 10,     // iterative solver hit its iteration budget
+  kDeadlineExceeded = 11,  // wall-clock budget expired before completion
+  kNumericalError = 12,    // non-finite value (NaN/Inf) detected in a solve
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -79,6 +81,12 @@ class Status {
   static Status NotConverged(std::string msg) {
     return Status(StatusCode::kNotConverged, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status NumericalError(std::string msg) {
+    return Status(StatusCode::kNumericalError, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -90,6 +98,12 @@ class Status {
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
   bool IsInfeasible() const { return code_ == StatusCode::kInfeasible; }
   bool IsNotConverged() const { return code_ == StatusCode::kNotConverged; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsNumericalError() const {
+    return code_ == StatusCode::kNumericalError;
+  }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

@@ -1,5 +1,10 @@
 #include "common/thread_pool.h"
 
+#include <exception>
+#include <stdexcept>
+#include <string>
+
+#include "common/fault_injection.h"
 #include "common/logging.h"
 
 namespace kgov {
@@ -23,6 +28,11 @@ ThreadPool::~ThreadPool() {
   }
 }
 
+size_t ThreadPool::StrayExceptionCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stray_exceptions_;
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
@@ -36,22 +46,83 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    // Submit wraps tasks in packaged_task, which captures exceptions into
+    // the future; anything escaping here would otherwise terminate the
+    // process via the noexcept thread entry. Swallow and count instead.
+    try {
+      task();
+    } catch (const std::exception& e) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stray_exceptions_;
+      KGOV_LOG(ERROR) << "thread pool task escaped its wrapper: " << e.what();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stray_exceptions_;
+      KGOV_LOG(ERROR) << "thread pool task escaped its wrapper";
+    }
   }
 }
 
-void ParallelFor(ThreadPool* pool, size_t n,
-                 const std::function<void(size_t)>& fn) {
+namespace {
+
+// One guarded iteration: runs fn(i), capturing any exception (including the
+// kTaskFailure injection) into the shared failure state.
+void GuardedCall(const std::function<void(size_t)>& fn, size_t i,
+                 std::vector<char>* failed, std::mutex* mu,
+                 Status* first_error) {
+  try {
+    if (FaultFires(FaultSite::kTaskFailure)) {
+      throw std::runtime_error("injected task failure (iteration " +
+                               std::to_string(i) + ")");
+    }
+    fn(i);
+  } catch (const std::exception& e) {
+    std::lock_guard<std::mutex> lock(*mu);
+    (*failed)[i] = 1;
+    if (first_error->ok()) {
+      *first_error = Status::Internal("parallel task " + std::to_string(i) +
+                                      " threw: " + e.what());
+    }
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(*mu);
+    (*failed)[i] = 1;
+    if (first_error->ok()) {
+      *first_error = Status::Internal("parallel task " + std::to_string(i) +
+                                      " threw a non-std exception");
+    }
+  }
+}
+
+}  // namespace
+
+Status ParallelFor(ThreadPool* pool, size_t n,
+                   const std::function<void(size_t)>& fn,
+                   std::vector<char>* failed) {
+  failed->assign(n, 0);
+  std::mutex mu;
+  Status first_error;
   if (pool == nullptr || pool->size() <= 1 || n <= 1) {
-    for (size_t i = 0; i < n; ++i) fn(i);
-    return;
+    for (size_t i = 0; i < n; ++i) {
+      GuardedCall(fn, i, failed, &mu, &first_error);
+    }
+    return first_error;
   }
   std::vector<std::future<void>> futures;
   futures.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    futures.push_back(pool->Submit([&fn, i]() { fn(i); }));
+    futures.push_back(pool->Submit(
+        [&fn, i, failed, &mu, &first_error]() {
+          GuardedCall(fn, i, failed, &mu, &first_error);
+        }));
   }
   for (auto& f : futures) f.get();
+  return first_error;
+}
+
+Status ParallelFor(ThreadPool* pool, size_t n,
+                   const std::function<void(size_t)>& fn) {
+  std::vector<char> failed;
+  return ParallelFor(pool, n, fn, &failed);
 }
 
 }  // namespace kgov

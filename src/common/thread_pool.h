@@ -14,10 +14,19 @@
 #include <thread>
 #include <vector>
 
+#include "common/status.h"
+
 namespace kgov {
 
 /// A simple FIFO thread pool. Tasks may not block on other tasks submitted
 /// to the same pool (no nested dependency scheduling).
+///
+/// Exceptions: a task submitted via Submit that throws has the exception
+/// captured into its future (std::packaged_task semantics); the worker
+/// thread survives. A task that throws something a packaged_task cannot
+/// capture never reaches the worker loop, which additionally swallows and
+/// counts any stray exception as a last resort instead of terminating the
+/// process.
 class ThreadPool {
  public:
   /// Starts `num_threads` workers (at least 1).
@@ -29,7 +38,8 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues `fn` and returns a future for its result.
+  /// Enqueues `fn` and returns a future for its result. If `fn` throws,
+  /// the exception is rethrown from future.get(), not on the worker.
   template <typename Fn>
   auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
     using R = std::invoke_result_t<Fn>;
@@ -47,20 +57,35 @@ class ThreadPool {
   /// Number of worker threads.
   size_t size() const { return workers_.size(); }
 
+  /// Exceptions that escaped task wrappers and were swallowed by the worker
+  /// loop (should stay 0; non-zero indicates a task infrastructure bug).
+  size_t StrayExceptionCount() const;
+
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
+  size_t stray_exceptions_ = 0;
   bool shutting_down_ = false;
 };
 
 /// Runs `fn(i)` for i in [0, n) on `pool` (or inline when pool is null),
-/// blocking until all iterations complete.
-void ParallelFor(ThreadPool* pool, size_t n,
-                 const std::function<void(size_t)>& fn);
+/// blocking until all iterations complete. An iteration that throws is
+/// captured (it does not terminate the process or abandon the remaining
+/// iterations); the returned status is OK when every iteration completed,
+/// otherwise Internal with the first failure's message. Use the
+/// `failed` out-parameter overload to learn which iterations failed.
+Status ParallelFor(ThreadPool* pool, size_t n,
+                   const std::function<void(size_t)>& fn);
+
+/// As above, and fills `failed` (resized to n) with per-iteration failure
+/// flags so callers can isolate and retry/quarantine individual items.
+Status ParallelFor(ThreadPool* pool, size_t n,
+                   const std::function<void(size_t)>& fn,
+                   std::vector<char>* failed);
 
 }  // namespace kgov
 

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "cluster/vote_similarity.h"
+#include "common/fault_injection.h"
 #include "common/logging.h"
 #include "common/timer.h"
 #include "ppr/eipd.h"
@@ -141,9 +142,11 @@ Result<OptimizeReport> KgOptimizer::MultiVoteSolve(
   report.encode_seconds = timer.ElapsedSeconds();
 
   timer.Restart();
-  math::SgpSolver solver(options_.sgp);
-  math::SgpSolution solution = solver.Solve(program.problem);
+  ResilientSgpSolver solver(options_.sgp, options_.retry);
+  ResilientSolveOutcome outcome = solver.Solve(program.problem);
+  math::SgpSolution& solution = outcome.solution;
   report.solve_seconds = timer.ElapsedSeconds();
+  report.solve_attempts = outcome.attempts.size();
 
   RecordDeltas(program.variables, program.problem.initial(), solution.x,
                &report.weight_changes);
@@ -205,27 +208,54 @@ Result<OptimizeReport> KgOptimizer::SplitMergeImpl(
   report.encode_seconds = timer.ElapsedSeconds();
 
   // Solve one multi-vote SGP per cluster (clusters are independent by
-  // construction, so they may run in parallel).
+  // construction, so they may run in parallel). A cluster whose solve
+  // fails after the retry chain is isolated: its votes are quarantined
+  // into the report and the rest of the batch proceeds.
   timer.Restart();
   std::vector<cluster::ClusterDelta> deltas(num_clusters);
   report.cluster_seconds.assign(num_clusters, 0.0);
   std::mutex report_mu;
   Status first_error;
-  math::SgpSolver solver(options_.sgp);
+  std::vector<char> cluster_handled(num_clusters, 0);
+  ResilientSgpSolver solver(options_.sgp, options_.retry);
+
+  auto record_failure = [&](size_t c, const Status& status) {
+    // Caller holds report_mu.
+    report.failed_clusters.push_back(
+        ClusterFailure{c, groups[c].size(), status});
+    report.quarantined_votes.insert(report.quarantined_votes.end(),
+                                    groups[c].begin(), groups[c].end());
+    if (first_error.ok()) first_error = status;
+  };
 
   auto solve_cluster = [&](size_t c) {
-    if (groups[c].empty()) return;
+    if (groups[c].empty()) {
+      std::lock_guard<std::mutex> lock(report_mu);
+      cluster_handled[c] = 1;
+      return;
+    }
     Timer cluster_timer;
+    // Injection point for stalled cluster solves (deadline testing).
+    MaybeInjectStall(FaultSite::kSlowSolve);
     votes::VoteEncoder cluster_encoder(graph_, options_.encoder);
     Result<votes::EncodedProgram> encoded =
         cluster_encoder.EncodeBatch(groups[c]);
     if (!encoded.ok()) {
       std::lock_guard<std::mutex> lock(report_mu);
-      if (first_error.ok()) first_error = encoded.status();
+      cluster_handled[c] = 1;
+      record_failure(c, encoded.status());
       return;
     }
     votes::EncodedProgram& program = encoded.value();
-    math::SgpSolution solution = solver.Solve(program.problem);
+    ResilientSolveOutcome outcome = solver.Solve(program.problem, c);
+    math::SgpSolution& solution = outcome.solution;
+    if (outcome.exhausted) {
+      std::lock_guard<std::mutex> lock(report_mu);
+      cluster_handled[c] = 1;
+      report.solve_attempts += outcome.attempts.size();
+      record_failure(c, solution.status);
+      return;
+    }
 
     cluster::ClusterDelta delta;
     delta.num_votes = groups[c].size();
@@ -239,15 +269,33 @@ Result<OptimizeReport> KgOptimizer::SplitMergeImpl(
     }
     deltas[c] = std::move(delta);
     std::lock_guard<std::mutex> lock(report_mu);
+    cluster_handled[c] = 1;
     report.cluster_seconds[c] = cluster_timer.ElapsedSeconds();
+    report.solve_attempts += outcome.attempts.size();
     report.votes_encoded += program.encoded_vote_ids.size();
     report.constraints_total += solution.total_constraints;
     report.constraints_satisfied += solution.satisfied_constraints;
   };
 
-  ParallelFor(pool, num_clusters, solve_cluster);
+  Status parallel_status = ParallelFor(pool, num_clusters, solve_cluster);
   report.solve_seconds = timer.ElapsedSeconds();
-  KGOV_RETURN_IF_ERROR(first_error);
+  // A task that died (threw) before recording any outcome still isolates
+  // to its own cluster: quarantine it like a failed solve.
+  if (!parallel_status.ok()) {
+    std::lock_guard<std::mutex> lock(report_mu);
+    for (size_t c = 0; c < num_clusters; ++c) {
+      if (!cluster_handled[c] && !groups[c].empty()) {
+        record_failure(c, parallel_status);
+      }
+    }
+  }
+  if (!options_.quarantine_failed_clusters && !first_error.ok()) {
+    return first_error;
+  }
+  if (report.failed_clusters.size() == num_clusters && num_clusters > 0) {
+    // Nothing survived: surface the failure instead of a silent no-op.
+    return first_error;
+  }
 
   // Merge: resolve multi-cluster conflicts, apply, normalize.
   std::unordered_map<graph::EdgeId, double> merged =

@@ -28,6 +28,7 @@
 #include "cluster/merge.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "core/resilience.h"
 #include "graph/graph.h"
 #include "math/sgp_solver.h"
 #include "votes/judgment.h"
@@ -62,6 +63,22 @@ struct OptimizerOptions {
   cluster::ApOptions ap;
   /// Conflict-resolution rule for SplitMergeSolve.
   cluster::MergeRule merge_rule = cluster::MergeRule::kWeightedSignExtreme;
+  /// Retry/fallback policy applied to every multi-vote SGP solve (batch
+  /// and per-cluster). max_attempts = 1 reproduces the non-resilient
+  /// behaviour.
+  RetryOptions retry;
+  /// Split-and-merge failure isolation: when a cluster's solve fails after
+  /// the full retry chain (or its task dies), skip the cluster and
+  /// quarantine its votes into the report instead of aborting the batch.
+  /// When false a cluster failure fails the whole solve.
+  bool quarantine_failed_clusters = true;
+};
+
+/// A cluster whose solve failed and was isolated from the batch.
+struct ClusterFailure {
+  size_t cluster = 0;
+  size_t num_votes = 0;
+  Status status;
 };
 
 struct OptimizeReport {
@@ -85,6 +102,14 @@ struct OptimizeReport {
   double solve_seconds = 0.0;
   /// Net weight change applied per edge (before normalization).
   std::unordered_map<graph::EdgeId, double> weight_changes;
+  /// Total SGP solve attempts, counting retries (split-and-merge and
+  /// multi-vote strategies).
+  size_t solve_attempts = 0;
+  /// Clusters skipped by failure isolation (split-and-merge strategies).
+  std::vector<ClusterFailure> failed_clusters;
+  /// The failed clusters' votes, untouched, so the caller can re-queue
+  /// them (see OnlineKgOptimizer) or inspect them.
+  std::vector<votes::Vote> quarantined_votes;
 };
 
 class KgOptimizer {

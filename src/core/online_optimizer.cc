@@ -1,7 +1,11 @@
 #include "core/online_optimizer.h"
 
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
 #include <utility>
 
+#include "common/fault_injection.h"
 #include "common/timer.h"
 
 namespace kgov::core {
@@ -10,41 +14,123 @@ OnlineKgOptimizer::OnlineKgOptimizer(const graph::WeightedDigraph& initial,
                                      OnlineOptimizerOptions options)
     : options_(std::move(options)),
       graph_(initial),
-      snapshot_(std::make_shared<graph::CsrSnapshot>(graph_)) {}
+      snapshot_(std::make_shared<graph::CsrSnapshot>(graph_)) {
+  // The validator must accept anything the optimizer may legally produce:
+  // widen its weight band to cover the encoder's bounds (normalization can
+  // push weights up to 1 regardless of the encoder's upper bound).
+  GraphValidatorOptions& v = options_.validator;
+  v.weight_lower_bound = std::min(
+      v.weight_lower_bound, 0.0);  // SetWeight clamps negatives to zero
+  v.weight_upper_bound =
+      std::max({v.weight_upper_bound,
+                options_.optimizer.encoder.weight_upper_bound, 1.0});
+}
 
 Result<FlushReport> OnlineKgOptimizer::AddVote(votes::Vote vote) {
-  buffer_.push_back(std::move(vote));
+  buffer_.push_back(PendingVote{std::move(vote), 0});
   if (buffer_.size() >= options_.batch_size) {
     return Flush();
   }
   return FlushReport{};
 }
 
+size_t OnlineKgOptimizer::RequeueOrDeadLetter(
+    std::vector<PendingVote> failed) {
+  size_t dead = 0;
+  for (PendingVote& pending : failed) {
+    ++pending.attempts;
+    if (pending.attempts >= options_.max_vote_attempts) {
+      ++dead;
+      dead_letter_.push_back(std::move(pending.vote));
+    } else {
+      buffer_.push_back(std::move(pending));
+    }
+  }
+  if (dead_letter_.size() > options_.dead_letter_capacity) {
+    dead_letter_.erase(dead_letter_.begin(),
+                       dead_letter_.end() -
+                           static_cast<ptrdiff_t>(
+                               options_.dead_letter_capacity));
+  }
+  return dead;
+}
+
 Result<FlushReport> OnlineKgOptimizer::Flush() {
   FlushReport report;
   if (buffer_.empty()) return report;
+
+  std::vector<PendingVote> batch = std::move(buffer_);
+  buffer_.clear();
+  std::vector<votes::Vote> votes;
+  votes.reserve(batch.size());
+  for (const PendingVote& pending : batch) votes.push_back(pending.vote);
 
   Timer timer;
   KgOptimizer optimizer(&graph_, options_.optimizer);
   Result<OptimizeReport> result =
       options_.strategy == FlushStrategy::kMultiVote
-          ? optimizer.MultiVoteSolve(buffer_)
-          : optimizer.SplitMergeSolve(buffer_);
+          ? optimizer.MultiVoteSolve(votes)
+          : optimizer.SplitMergeSolve(votes);
   if (!result.ok()) {
-    // An unusable batch (e.g. every vote filtered) is dropped rather than
-    // wedging the pipeline; the error is surfaced to the caller.
-    buffer_.clear();
+    // The batch is unusable this round, but the votes are NOT dropped:
+    // they are re-queued (bounded by max_vote_attempts) so a later flush -
+    // possibly alongside fresh votes - can retry them.
+    last_flush_status_ = result.status();
+    RequeueOrDeadLetter(std::move(batch));
     return result.status();
   }
+  OptimizeReport& opt = result.value();
 
-  graph_ = std::move(result->optimized);
+  // Injection point: corrupt the optimized graph before validation, so the
+  // rollback path is exercised end-to-end in tests.
+  if (FaultFires(FaultSite::kGraphCorruption) &&
+      opt.optimized.NumEdges() > 0) {
+    opt.optimized.SetWeight(0, std::numeric_limits<double>::quiet_NaN());
+  }
+
+  if (options_.validate_updates) {
+    Status valid =
+        ValidateGraphUpdate(graph_, opt.optimized, options_.validator);
+    if (!valid.ok()) {
+      // Rollback: the serving graph and snapshot stay exactly as they
+      // were; the batch is re-queued for the next flush.
+      ++rollback_count_;
+      last_flush_status_ = valid;
+      RequeueOrDeadLetter(std::move(batch));
+      return valid;
+    }
+  }
+
+  // Quarantined votes (failed clusters) are re-queued with their attempt
+  // counters advanced; everything else in the batch was folded in.
+  std::unordered_map<uint32_t, std::vector<int>> attempts_by_id;
+  for (const PendingVote& pending : batch) {
+    attempts_by_id[pending.vote.id].push_back(pending.attempts);
+  }
+  std::vector<PendingVote> quarantined;
+  quarantined.reserve(opt.quarantined_votes.size());
+  for (votes::Vote& vote : opt.quarantined_votes) {
+    int attempts = 0;
+    auto it = attempts_by_id.find(vote.id);
+    if (it != attempts_by_id.end() && !it->second.empty()) {
+      attempts = it->second.back();
+      it->second.pop_back();
+    }
+    quarantined.push_back(PendingVote{std::move(vote), attempts});
+  }
+
+  const size_t applied = batch.size() - quarantined.size();
+  graph_ = std::move(opt.optimized);
   snapshot_ = std::make_shared<graph::CsrSnapshot>(graph_);
-  report.votes_flushed = buffer_.size();
-  report.constraints_total = result->constraints_total;
-  report.constraints_satisfied = result->constraints_satisfied;
+  report.votes_flushed = applied;
+  report.votes_quarantined = quarantined.size();
+  report.constraints_total = opt.constraints_total;
+  report.constraints_satisfied = opt.constraints_satisfied;
+  report.solve_attempts = opt.solve_attempts;
   report.solve_seconds = timer.ElapsedSeconds();
-  total_applied_ += buffer_.size();
-  buffer_.clear();
+  total_applied_ += applied;
+  report.votes_dead_lettered = RequeueOrDeadLetter(std::move(quarantined));
+  last_flush_status_ = Status::OK();
   return report;
 }
 

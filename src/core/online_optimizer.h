@@ -7,6 +7,18 @@
 // on demand), and maintains a frozen CSR snapshot for the serving path -
 // the pattern the paper's Examples 1-2 (recommendations, search clicks)
 // imply but leave to the reader.
+//
+// Failure semantics (see docs/robustness.md):
+//  * A failed flush PRESERVES the vote buffer - votes are never silently
+//    dropped. Each vote carries an attempt count; votes that have failed
+//    `max_vote_attempts` flushes move to a bounded dead-letter buffer.
+//  * Votes quarantined by per-cluster failure isolation are re-queued for
+//    the next flush under the same bounded-attempt policy.
+//  * Before the serving snapshot is swapped, the optimized graph is
+//    validated (finite weights, weights in bounds, out-weight
+//    normalization, no edge drift). A violation rolls the flush back:
+//    the serving graph and snapshot are left untouched and the batch is
+//    re-queued.
 
 #ifndef KGOV_CORE_ONLINE_OPTIMIZER_H_
 #define KGOV_CORE_ONLINE_OPTIMIZER_H_
@@ -16,6 +28,7 @@
 
 #include "common/status.h"
 #include "core/kg_optimizer.h"
+#include "core/resilience.h"
 #include "graph/csr.h"
 
 namespace kgov::core {
@@ -31,14 +44,32 @@ struct OnlineOptimizerOptions {
   /// Votes buffered before an automatic flush.
   size_t batch_size = 25;
   FlushStrategy strategy = FlushStrategy::kSplitMerge;
+  /// Flush attempts a vote may fail (batch error, rollback, or cluster
+  /// quarantine) before it is moved to the dead-letter buffer.
+  int max_vote_attempts = 3;
+  /// Dead-letter capacity; the oldest entries are evicted beyond this.
+  size_t dead_letter_capacity = 4096;
+  /// Validate the optimized graph before swapping it in, rolling back on
+  /// violation.
+  bool validate_updates = true;
+  /// Invariants checked by the pre-swap validator. The weight bounds are
+  /// widened to cover the encoder's configured bounds automatically.
+  GraphValidatorOptions validator;
 };
 
 /// Result of one flush.
 struct FlushReport {
+  /// Votes applied to the graph by this flush (excludes quarantined).
   size_t votes_flushed = 0;
+  /// Votes quarantined by cluster-failure isolation and re-queued.
+  size_t votes_quarantined = 0;
+  /// Votes moved to the dead-letter buffer by this flush.
+  size_t votes_dead_lettered = 0;
   int constraints_total = 0;
   int constraints_satisfied = 0;
   double solve_seconds = 0.0;
+  /// SGP solve attempts, counting retries.
+  size_t solve_attempts = 0;
 };
 
 /// Owns a knowledge graph that evolves under vote feedback. Not
@@ -53,32 +84,57 @@ class OnlineKgOptimizer {
   /// The current (latest) graph.
   const graph::WeightedDigraph& graph() const { return graph_; }
 
-  /// Frozen view for serving; refreshed on every flush. Callers may hold
-  /// the returned pointer across flushes (it stays valid and immutable).
+  /// Frozen view for serving; refreshed on every successful flush. Callers
+  /// may hold the returned pointer across flushes (it stays valid and
+  /// immutable), and a rolled-back flush never replaces it.
   std::shared_ptr<const graph::CsrSnapshot> snapshot() const {
     return snapshot_;
   }
 
   /// Buffers one vote; flushes automatically when the batch is full.
-  /// Returns the flush report when a flush happened, std::nullopt-like
-  /// empty report otherwise (votes_flushed == 0).
+  /// Returns the flush report when a flush happened, an empty report
+  /// otherwise (votes_flushed == 0). On a failed flush the error status is
+  /// returned and the buffered votes are preserved for the next attempt
+  /// (PendingVotes() stays non-zero until they succeed or dead-letter).
   Result<FlushReport> AddVote(votes::Vote vote);
 
   /// Forces a flush of the current buffer (no-op on an empty buffer).
   Result<FlushReport> Flush();
 
-  /// Votes currently buffered.
+  /// Votes currently buffered (including re-queued failures).
   size_t PendingVotes() const { return buffer_.size(); }
 
   /// Total votes folded into the graph so far.
   size_t TotalVotesApplied() const { return total_applied_; }
 
+  /// Votes abandoned after max_vote_attempts failed flushes, oldest first.
+  const std::vector<votes::Vote>& DeadLetters() const { return dead_letter_; }
+
+  /// Status of the most recent flush attempt (OK before any flush).
+  const Status& LastFlushStatus() const { return last_flush_status_; }
+
+  /// Flushes rolled back by the graph-update validator so far.
+  size_t RollbackCount() const { return rollback_count_; }
+
  private:
+  struct PendingVote {
+    votes::Vote vote;
+    int attempts = 0;
+  };
+
+  /// Re-queues `failed` votes with one more attempt on their counters;
+  /// votes out of attempts move to the dead-letter buffer. Returns how
+  /// many were dead-lettered.
+  size_t RequeueOrDeadLetter(std::vector<PendingVote> failed);
+
   OnlineOptimizerOptions options_;
   graph::WeightedDigraph graph_;
   std::shared_ptr<const graph::CsrSnapshot> snapshot_;
-  std::vector<votes::Vote> buffer_;
+  std::vector<PendingVote> buffer_;
+  std::vector<votes::Vote> dead_letter_;
+  Status last_flush_status_;
   size_t total_applied_ = 0;
+  size_t rollback_count_ = 0;
 };
 
 }  // namespace kgov::core

@@ -1,0 +1,184 @@
+#include "core/resilience.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/timer.h"
+
+namespace kgov::core {
+
+namespace {
+
+// Retryable failures: transient (a different start point or formulation can
+// succeed). InvalidArgument/Internal are structural and retried never.
+bool IsRetryable(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kNotConverged:
+    case StatusCode::kInfeasible:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kNumericalError:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// True when `a` is a strictly better solve outcome than `b`.
+bool BetterThan(const math::SgpSolution& a, const math::SgpSolution& b) {
+  if (a.status.ok() != b.status.ok()) return a.status.ok();
+  if (a.satisfied_constraints != b.satisfied_constraints) {
+    return a.satisfied_constraints > b.satisfied_constraints;
+  }
+  return a.objective < b.objective;
+}
+
+}  // namespace
+
+ResilientSolveOutcome ResilientSgpSolver::Solve(
+    const math::SgpProblem& problem, uint64_t seed_salt) const {
+  ResilientSolveOutcome outcome;
+  const int max_attempts = std::max(1, retry_.max_attempts);
+
+  // Effective fallback chain: base formulation first, then the configured
+  // chain minus duplicates of the base.
+  std::vector<math::SgpFormulation> chain = {base_.formulation};
+  for (math::SgpFormulation f : retry_.formulation_chain) {
+    if (f != base_.formulation) chain.push_back(f);
+  }
+
+  Rng jitter_rng(retry_.seed ^ (seed_salt * 0x9E3779B97F4A7C15ull));
+  const std::vector<double> original_initial = problem.initial();
+
+  bool have_best = false;
+  math::SgpSolution best;
+
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    math::SgpSolverOptions options = base_;
+    options.formulation =
+        chain[std::min<size_t>(attempt, chain.size() - 1)];
+    if (retry_.attempt_deadline_seconds > 0.0) {
+      options.deadline_seconds = retry_.attempt_deadline_seconds;
+    }
+
+    // Restart point: the original initial values on attempt 0, a jittered
+    // perturbation afterwards. The anchor (proximal target) stays pinned
+    // to the original weights either way.
+    math::SgpProblem restarted;  // only used when jitter applies
+    const math::SgpProblem* to_solve = &problem;
+    if (attempt > 0 && retry_.restart_jitter > 0.0) {
+      restarted = problem;
+      std::vector<double> x0 = original_initial;
+      const math::BoxBounds& bounds = problem.bounds();
+      for (size_t i = 0; i < x0.size(); ++i) {
+        double width = 1.0;
+        if (i < bounds.lower.size() && i < bounds.upper.size()) {
+          width = bounds.upper[i] - bounds.lower[i];
+        }
+        x0[i] += retry_.restart_jitter * jitter_rng.Uniform(-1.0, 1.0) *
+                 width;
+      }
+      restarted.SetInitial(std::move(x0));
+      to_solve = &restarted;
+    }
+
+    if (attempt > 0 && retry_.initial_backoff_seconds > 0.0) {
+      double backoff = retry_.initial_backoff_seconds *
+                       std::pow(retry_.backoff_multiplier, attempt - 1);
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+    }
+
+    Timer timer;
+    math::SgpSolution solution = math::SgpSolver(options).Solve(*to_solve);
+    SolveAttempt record;
+    record.attempt = attempt;
+    record.formulation = options.formulation;
+    record.status = solution.status;
+    record.seconds = timer.ElapsedSeconds();
+    outcome.attempts.push_back(record);
+
+    if (!have_best || BetterThan(solution, best)) {
+      best = solution;
+      have_best = true;
+    }
+    if (solution.status.ok()) {
+      outcome.solution = std::move(solution);
+      return outcome;
+    }
+    if (!IsRetryable(solution.status)) {
+      // Structural failure: retrying cannot help.
+      outcome.solution = std::move(solution);
+      outcome.exhausted = true;
+      return outcome;
+    }
+    KGOV_LOG(DEBUG) << "SGP attempt " << attempt
+                    << " failed: " << solution.status
+                    << "; retrying with fallback";
+  }
+
+  outcome.exhausted = true;
+  if (retry_.accept_best_effort) {
+    outcome.solution = std::move(best);
+  } else {
+    // Strict mode: report the failure against the untouched initial point.
+    outcome.solution.x = original_initial;
+    outcome.solution.status = best.status;
+    outcome.solution.total_constraints = best.total_constraints;
+    outcome.solution.satisfied_constraints = 0;
+  }
+  return outcome;
+}
+
+Status ValidateGraphUpdate(const graph::WeightedDigraph& before,
+                           const graph::WeightedDigraph& after,
+                           const GraphValidatorOptions& options) {
+  if (options.check_edge_drift) {
+    if (after.NumNodes() != before.NumNodes()) {
+      return Status::FailedPrecondition(
+          "node count drift: " + std::to_string(before.NumNodes()) + " -> " +
+          std::to_string(after.NumNodes()));
+    }
+    if (after.NumEdges() != before.NumEdges()) {
+      return Status::FailedPrecondition(
+          "edge count drift: " + std::to_string(before.NumEdges()) + " -> " +
+          std::to_string(after.NumEdges()));
+    }
+    for (graph::EdgeId e = 0; e < before.NumEdges(); ++e) {
+      const graph::Edge& eb = before.edge(e);
+      const graph::Edge& ea = after.edge(e);
+      if (eb.from != ea.from || eb.to != ea.to) {
+        return Status::FailedPrecondition("edge " + std::to_string(e) +
+                                          " endpoints drifted");
+      }
+    }
+  }
+  const double lo = options.weight_lower_bound - options.tolerance;
+  const double hi = options.weight_upper_bound + options.tolerance;
+  for (graph::EdgeId e = 0; e < after.NumEdges(); ++e) {
+    double w = after.Weight(e);
+    if (!std::isfinite(w)) {
+      return Status::FailedPrecondition("edge " + std::to_string(e) +
+                                        " has non-finite weight");
+    }
+    if (w < lo || w > hi) {
+      return Status::FailedPrecondition(
+          "edge " + std::to_string(e) + " weight " + std::to_string(w) +
+          " outside [" + std::to_string(options.weight_lower_bound) + ", " +
+          std::to_string(options.weight_upper_bound) + "]");
+    }
+  }
+  if (options.check_substochastic &&
+      !after.IsSubStochastic(options.tolerance)) {
+    return Status::FailedPrecondition(
+        "out-weight normalization violated: a node's out-weights sum to "
+        "more than 1");
+  }
+  return Status::OK();
+}
+
+}  // namespace kgov::core

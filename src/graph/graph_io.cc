@@ -1,6 +1,7 @@
 #include "graph/graph_io.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -57,6 +58,15 @@ Result<WeightedDigraph> LoadEdgeList(const std::string& path,
                              std::to_string(line_no));
     }
     fields >> weight;  // optional third column
+    if (fields.fail() && !fields.eof()) {
+      return Status::InvalidArgument("unparseable edge weight at " + path +
+                                     ":" + std::to_string(line_no));
+    }
+    if (!std::isfinite(weight) || weight < 0.0) {
+      return Status::InvalidArgument(
+          "edge weight must be finite and non-negative at " + path + ":" +
+          std::to_string(line_no));
+    }
     raw.push_back(RawEdge{static_cast<NodeId>(from),
                           static_cast<NodeId>(to), weight});
     max_node = std::max({max_node, raw.back().from, raw.back().to});

@@ -5,12 +5,35 @@
 #include <deque>
 #include <limits>
 
+#include "common/fault_injection.h"
 #include "common/logging.h"
+#include "common/timer.h"
 #include "math/vector_ops.h"
 
 namespace kgov::math {
 
 namespace {
+
+bool AllFinite(const std::vector<double>& v) {
+  for (double x : v) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
+// NaN-gradient injection point: poisons the freshly computed gradient so the
+// solvers' non-finite guards are exercised by real solve paths in tests.
+void MaybePoisonGradient(std::vector<double>* grad) {
+  if (!grad->empty() && FaultFires(FaultSite::kNanGradient)) {
+    (*grad)[0] = std::numeric_limits<double>::quiet_NaN();
+  }
+}
+
+// True when the deadline is enabled and `timer` has passed it.
+bool DeadlineExpired(const Timer& timer, double deadline_seconds) {
+  return deadline_seconds > 0.0 &&
+         timer.ElapsedSeconds() >= deadline_seconds;
+}
 
 // Projected point x - t*g, clamped to the box.
 std::vector<double> ProjectedStep(const std::vector<double>& x,
@@ -73,12 +96,21 @@ SolveResult ProjectedBbSolver::Minimize(const DifferentiableFunction& f,
                                         const std::vector<double>& x0,
                                         const BoxBounds& bounds) const {
   SolveResult result;
+  Timer timer;
   std::vector<double> x = x0;
   bounds.Project(&x);
 
   std::vector<double> grad;
   double fx = f.Evaluate(x, &grad);
+  MaybePoisonGradient(&grad);
   KGOV_DCHECK(grad.size() == x.size());
+  if (!std::isfinite(fx) || !AllFinite(grad)) {
+    result.x = std::move(x);
+    result.objective = fx;
+    result.status = Status::NumericalError(
+        "non-finite objective or gradient at the initial point");
+    return result;
+  }
 
   // Nonmonotone reference values (Grippo-Lampariello-Lucidi style).
   std::deque<double> recent_values = {fx};
@@ -87,9 +119,14 @@ SolveResult ProjectedBbSolver::Minimize(const DifferentiableFunction& f,
   std::vector<double> prev_x = x;
   std::vector<double> prev_grad = grad;
   bool have_history = false;
+  Status guard;  // set on deadline expiry or non-finite detection
 
   int iter = 0;
   for (; iter < options_.max_iterations; ++iter) {
+    if (DeadlineExpired(timer, options_.deadline_seconds)) {
+      guard = Status::DeadlineExceeded("projected BB wall budget expired");
+      break;
+    }
     std::vector<double> pg = ProjectedGradient(x, grad, bounds);
     if (NormInf(pg) <= options_.gradient_tolerance) {
       result.converged = true;
@@ -145,6 +182,17 @@ SolveResult ProjectedBbSolver::Minimize(const DifferentiableFunction& f,
     x = std::move(candidate);
     double f_prev = fx;
     fx = f.Evaluate(x, &grad);
+    MaybePoisonGradient(&grad);
+    if (!std::isfinite(fx) || !AllFinite(grad)) {
+      // Fall back to the last finite iterate.
+      x = std::move(prev_x);
+      grad = std::move(prev_grad);
+      fx = f_prev;
+      guard = Status::NumericalError(
+          "non-finite objective or gradient at iteration " +
+          std::to_string(iter));
+      break;
+    }
     have_history = true;
 
     recent_values.push_back(fx);
@@ -164,9 +212,15 @@ SolveResult ProjectedBbSolver::Minimize(const DifferentiableFunction& f,
   result.x = std::move(x);
   result.objective = fx;
   result.iterations = iter;
-  result.status = result.converged
-                      ? Status::OK()
-                      : Status::NotConverged("projected BB hit iteration cap");
+  if (!guard.ok()) {
+    result.converged = false;
+    result.status = guard;
+  } else {
+    result.status =
+        result.converged
+            ? Status::OK()
+            : Status::NotConverged("projected BB hit iteration cap");
+  }
   return result;
 }
 
@@ -174,19 +228,33 @@ SolveResult LbfgsSolver::Minimize(const DifferentiableFunction& f,
                                   const std::vector<double>& x0,
                                   const BoxBounds& bounds) const {
   SolveResult result;
+  Timer timer;
   const size_t n = x0.size();
   std::vector<double> x = x0;
   bounds.Project(&x);
 
   std::vector<double> grad;
   double fx = f.Evaluate(x, &grad);
+  MaybePoisonGradient(&grad);
+  if (!std::isfinite(fx) || !AllFinite(grad)) {
+    result.x = std::move(x);
+    result.objective = fx;
+    result.status = Status::NumericalError(
+        "non-finite objective or gradient at the initial point");
+    return result;
+  }
 
   std::deque<std::vector<double>> s_history;
   std::deque<std::vector<double>> y_history;
   std::deque<double> rho_history;
+  Status guard;  // set on deadline expiry or non-finite detection
 
   int iter = 0;
   for (; iter < options_.max_iterations; ++iter) {
+    if (DeadlineExpired(timer, options_.deadline_seconds)) {
+      guard = Status::DeadlineExceeded("L-BFGS wall budget expired");
+      break;
+    }
     std::vector<double> pg = ProjectedGradient(x, grad, bounds);
     if (NormInf(pg) <= options_.gradient_tolerance) {
       result.converged = true;
@@ -245,6 +313,14 @@ SolveResult LbfgsSolver::Minimize(const DifferentiableFunction& f,
 
     std::vector<double> new_grad;
     double f_new = f.Evaluate(candidate, &new_grad);
+    MaybePoisonGradient(&new_grad);
+    if (!std::isfinite(f_new) || !AllFinite(new_grad)) {
+      // Keep the last finite iterate (x, grad, fx).
+      guard = Status::NumericalError(
+          "non-finite objective or gradient at iteration " +
+          std::to_string(iter));
+      break;
+    }
 
     std::vector<double> s = Subtract(candidate, x);
     std::vector<double> y = Subtract(new_grad, grad);
@@ -277,9 +353,14 @@ SolveResult LbfgsSolver::Minimize(const DifferentiableFunction& f,
   result.x = std::move(x);
   result.objective = fx;
   result.iterations = iter;
-  result.status = result.converged
-                      ? Status::OK()
-                      : Status::NotConverged("L-BFGS hit iteration cap");
+  if (!guard.ok()) {
+    result.converged = false;
+    result.status = guard;
+  } else {
+    result.status = result.converged
+                        ? Status::OK()
+                        : Status::NotConverged("L-BFGS hit iteration cap");
+  }
   return result;
 }
 
@@ -297,11 +378,20 @@ SolveResult AugmentedLagrangianSolver::Minimize(
     const DifferentiableFunction& objective,
     const std::vector<const DifferentiableFunction*>& constraints,
     const std::vector<double>& x0, const BoxBounds& bounds) const {
+  Timer timer;
   std::vector<double> x = x0;
   bounds.Project(&x);
 
   if (constraints.empty()) {
-    ProjectedBbSolver inner(options_.inner);
+    SolveOptions inner_options = options_.inner;
+    if (options_.deadline_seconds > 0.0) {
+      inner_options.deadline_seconds =
+          inner_options.deadline_seconds > 0.0
+              ? std::min(inner_options.deadline_seconds,
+                         options_.deadline_seconds)
+              : options_.deadline_seconds;
+    }
+    ProjectedBbSolver inner(inner_options);
     return inner.Minimize(objective, x, bounds);
   }
 
@@ -311,8 +401,18 @@ SolveResult AugmentedLagrangianSolver::Minimize(
 
   SolveResult last_inner;
   int total_inner_iterations = 0;
+  Status guard;  // deadline expiry or numerical failure from an inner solve
 
   for (int outer = 0; outer < options_.max_outer_iterations; ++outer) {
+    double remaining = 0.0;
+    if (options_.deadline_seconds > 0.0) {
+      remaining = options_.deadline_seconds - timer.ElapsedSeconds();
+      if (remaining <= 0.0) {
+        guard = Status::DeadlineExceeded(
+            "augmented Lagrangian wall budget expired");
+        break;
+      }
+    }
     // PHR augmented Lagrangian for inequality constraints.
     CallbackFunction auglag([&](const std::vector<double>& point,
                                 std::vector<double>* grad) {
@@ -334,15 +434,26 @@ SolveResult AugmentedLagrangianSolver::Minimize(
       return value;
     });
 
+    SolveOptions inner_options = options_.inner;
+    if (remaining > 0.0) {
+      inner_options.deadline_seconds =
+          inner_options.deadline_seconds > 0.0
+              ? std::min(inner_options.deadline_seconds, remaining)
+              : remaining;
+    }
     if (options_.inner_solver == InnerSolverKind::kLbfgs) {
-      LbfgsSolver inner(options_.inner);
+      LbfgsSolver inner(inner_options);
       last_inner = inner.Minimize(auglag, x, bounds);
     } else {
-      ProjectedBbSolver inner(options_.inner);
+      ProjectedBbSolver inner(inner_options);
       last_inner = inner.Minimize(auglag, x, bounds);
     }
     x = last_inner.x;
     total_inner_iterations += last_inner.iterations;
+    if (last_inner.status.IsNumericalError()) {
+      guard = last_inner.status;
+      break;
+    }
 
     // Multiplier update and violation bookkeeping.
     double violation = 0.0;
@@ -373,6 +484,10 @@ SolveResult AugmentedLagrangianSolver::Minimize(
   result.objective = objective.Evaluate(result.x, nullptr);
   result.iterations = total_inner_iterations;
   result.converged = false;
+  if (!guard.ok()) {
+    result.status = guard;
+    return result;
+  }
   double final_violation = MaxViolation(constraints, result.x);
   result.status = Status::Infeasible(
       "augmented Lagrangian could not reach feasibility; max violation " +

@@ -76,6 +76,10 @@ struct BoxBounds {
 /// Shared knobs for the iterative solvers.
 struct SolveOptions {
   int max_iterations = 500;
+  /// Wall-clock budget for one Minimize call, in seconds; <= 0 disables the
+  /// deadline. When it expires the solver returns its current (best-so-far)
+  /// iterate with StatusCode::kDeadlineExceeded.
+  double deadline_seconds = 0.0;
   /// Converged when the projected-gradient infinity norm drops below this.
   double gradient_tolerance = 1e-7;
   /// Also converged when |f_k - f_{k-1}| <= value_tolerance*(1+|f_k|).
@@ -96,7 +100,9 @@ struct SolveResult {
   double objective = 0.0;
   int iterations = 0;
   bool converged = false;
-  /// OK or NotConverged; never carries a fatal error for smooth inputs.
+  /// OK, NotConverged, DeadlineExceeded (wall budget expired), or
+  /// NumericalError (NaN/Inf detected in an iterate or gradient; x holds
+  /// the last finite iterate).
   Status status;
 };
 
@@ -139,6 +145,9 @@ struct AugLagOptions {
   SolveOptions inner;
   InnerSolverKind inner_solver = InnerSolverKind::kProjectedBb;
   int max_outer_iterations = 30;
+  /// Wall-clock budget across all outer iterations; <= 0 disables. The
+  /// remaining budget is threaded into each inner solve.
+  double deadline_seconds = 0.0;
   /// Initial quadratic penalty.
   double initial_penalty = 10.0;
   /// Penalty growth factor when constraint violation stalls.

@@ -27,6 +27,15 @@ void SgpProblem::AddSigmoidTerm(Signomial s) {
   sigmoid_terms_.push_back(std::move(s));
 }
 
+void SgpProblem::SetInitial(std::vector<double> x0) {
+  KGOV_CHECK(x0.size() == initial_.size())
+      << "initial point size " << x0.size() << " != variable count "
+      << initial_.size();
+  if (anchor_.empty()) anchor_ = initial_;
+  initial_ = std::move(x0);
+  bounds_.Project(&initial_);
+}
+
 void SgpProblem::ExcludeFromProximal(VarId var) {
   KGOV_CHECK(var < proximal_mask_.size());
   proximal_mask_[var] = false;

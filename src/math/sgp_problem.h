@@ -49,6 +49,14 @@ class SgpProblem {
   /// the variable count at solve time.
   void SetAnchor(std::vector<double> anchor) { anchor_ = std::move(anchor); }
 
+  /// Replaces the initial point (projected into the box). Used by the
+  /// resilience layer to restart a failed solve from a jittered point
+  /// while keeping the anchor (and thus the proximal objective) intact.
+  /// Requires x0.size() == num_variables(). NOTE: when no explicit anchor
+  /// was set, the anchor is pinned to the *old* initial values first, so
+  /// the restart still minimizes distance from the original weights.
+  void SetInitial(std::vector<double> x0);
+
   /// Marks a variable as excluded from the proximal term (used for
   /// deviation variables, which have no "original value" to stay close to).
   void ExcludeFromProximal(VarId var);

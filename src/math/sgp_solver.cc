@@ -4,7 +4,9 @@
 #include <cmath>
 #include <memory>
 
+#include "common/fault_injection.h"
 #include "common/logging.h"
+#include "common/timer.h"
 #include "math/vector_ops.h"
 
 namespace kgov::math {
@@ -100,6 +102,14 @@ SolveResult RunInner(const SgpSolverOptions& options,
   return ProjectedBbSolver(options.inner).Minimize(f, x0, bounds);
 }
 
+// Remaining wall budget for a solve that started `timer` ago; 0 disables,
+// and an expired budget returns a tiny positive value so downstream
+// deadline checks still trigger (rather than being interpreted as "off").
+double RemainingBudget(const Timer& timer, double deadline_seconds) {
+  if (deadline_seconds <= 0.0) return 0.0;
+  return std::max(deadline_seconds - timer.ElapsedSeconds(), 1e-9);
+}
+
 // Geometric steepness schedule from a shallow start (w ~ 4, where the
 // sigmoid has useful gradients everywhere) up to `target`. With the paper's
 // w = 300 the sigmoid is numerically flat away from the boundary, so a
@@ -132,6 +142,29 @@ int SgpSolver::CountSatisfied(const SgpProblem& problem,
   return satisfied;
 }
 
+void SgpSolver::Sanitize(const SgpProblem& problem, SgpSolution* solution) {
+  bool finite = true;
+  for (double v : solution->x) {
+    if (!std::isfinite(v)) {
+      finite = false;
+      break;
+    }
+  }
+  if (finite && solution->x.size() == problem.num_variables()) return;
+  // Garbage point: never let it escape. The initial point is the safest
+  // finite fallback (it is the current graph's weights).
+  solution->x = problem.initial();
+  problem.bounds().Project(&solution->x);
+  solution->objective = 0.0;
+  solution->converged = false;
+  solution->satisfied_constraints =
+      CountSatisfied(problem, solution->x, 1e-9);
+  if (solution->status.ok() || solution->status.IsNotConverged()) {
+    solution->status = Status::NumericalError(
+        "solver produced a non-finite point; reverted to the initial point");
+  }
+}
+
 SgpSolution SgpSolver::Solve(const SgpProblem& problem) const {
   SgpSolution solution;
   Status valid = problem.Validate();
@@ -140,20 +173,38 @@ SgpSolution SgpSolver::Solve(const SgpProblem& problem) const {
     solution.x = problem.initial();
     return solution;
   }
+  // Forced-non-convergence injection point: reports the failure a
+  // pathological instance would produce, without the cost of producing one.
+  if (FaultFires(FaultSite::kSolveNonConvergence)) {
+    solution.x = problem.initial();
+    solution.total_constraints =
+        static_cast<int>(problem.constraints().size());
+    solution.satisfied_constraints =
+        CountSatisfied(problem, solution.x, 1e-9);
+    solution.status = Status::NotConverged("injected non-convergence");
+    return solution;
+  }
   switch (options_.formulation) {
     case SgpFormulation::kHardConstraints:
-      return SolveHard(problem);
+      solution = SolveHard(problem);
+      break;
     case SgpFormulation::kDeviationVariables:
-      return SolveDeviation(problem);
+      solution = SolveDeviation(problem);
+      break;
     case SgpFormulation::kReducedSigmoid:
-      return SolveReduced(problem);
+      solution = SolveReduced(problem);
+      break;
+    default:
+      solution.status = Status::Internal("unknown formulation");
+      solution.x = problem.initial();
+      break;
   }
-  solution.status = Status::Internal("unknown formulation");
-  solution.x = problem.initial();
+  Sanitize(problem, &solution);
   return solution;
 }
 
 SgpSolution SgpSolver::SolveHard(const SgpProblem& problem) const {
+  Timer timer;
   CompositeObjective objective(options_.lambda1, problem.anchor(),
                                problem.proximal_mask(), 0.0,
                                options_.sigmoid_steepness, {});
@@ -170,6 +221,7 @@ SgpSolution SgpSolver::SolveHard(const SgpProblem& problem) const {
   AugLagOptions auglag = options_.auglag;
   auglag.inner = options_.inner;
   auglag.inner_solver = options_.inner_solver;
+  auglag.deadline_seconds = RemainingBudget(timer, options_.deadline_seconds);
   AugmentedLagrangianSolver solver(auglag);
   SolveResult result =
       solver.Minimize(objective, constraints, problem.initial(),
@@ -189,6 +241,7 @@ SgpSolution SgpSolver::SolveHard(const SgpProblem& problem) const {
 }
 
 SgpSolution SgpSolver::SolveDeviation(const SgpProblem& problem) const {
+  Timer timer;
   // Extend the variable space with one deviation variable per constraint
   // (paper Eq. 15): g_i(x) - d_i <= 0 becomes a hard constraint, and the
   // objective gains sigmoid(w d_i).
@@ -246,19 +299,36 @@ SgpSolution SgpSolver::SolveDeviation(const SgpProblem& problem) const {
   AugLagOptions auglag = options_.auglag;
   auglag.inner = options_.inner;
   auglag.inner_solver = options_.inner_solver;
-  AugmentedLagrangianSolver solver(auglag);
 
   std::vector<double> x = initial;
   SolveResult result;
+  result.x = x;
   int total_iterations = 0;
   for (double steepness : SteepnessSchedule(options_.sigmoid_steepness,
                                             options_.continuation_steps)) {
+    MaybeInjectStall(FaultSite::kSlowSolve);
+    if (options_.deadline_seconds > 0.0 &&
+        timer.ElapsedSeconds() >= options_.deadline_seconds) {
+      result.converged = false;
+      result.status =
+          Status::DeadlineExceeded("SGP solve wall budget expired");
+      break;
+    }
+    auglag.deadline_seconds =
+        RemainingBudget(timer, options_.deadline_seconds);
+    AugmentedLagrangianSolver solver(auglag);
     CompositeObjective objective(options_.lambda1, anchor, proximal_mask,
                                  options_.lambda2, steepness, sigmoid_ptrs,
                                  term_weights);
     result = solver.Minimize(objective, constraints, x, bounds);
     x = result.x;
     total_iterations += result.iterations;
+    // A numerical failure or expired budget will not improve at steeper
+    // sigmoids; stop the continuation and surface the failure.
+    if (result.status.IsNumericalError() ||
+        result.status.IsDeadlineExceeded()) {
+      break;
+    }
   }
   result.iterations = total_iterations;
   result.x = std::move(x);
@@ -275,6 +345,7 @@ SgpSolution SgpSolver::SolveDeviation(const SgpProblem& problem) const {
 }
 
 SgpSolution SgpSolver::SolveReduced(const SgpProblem& problem) const {
+  Timer timer;
   // Substitute d_i = g_i(x): minimize
   //   lambda1 * prox + lambda2 * sum_i sigmoid(w g_i(x))
   // over the box. Smooth, unconstrained besides the box.
@@ -293,15 +364,36 @@ SgpSolution SgpSolver::SolveReduced(const SgpProblem& problem) const {
 
   std::vector<double> x = problem.initial();
   SolveResult result;
+  result.x = x;
   int total_iterations = 0;
   for (double steepness : SteepnessSchedule(options_.sigmoid_steepness,
                                             options_.continuation_steps)) {
+    MaybeInjectStall(FaultSite::kSlowSolve);
+    if (options_.deadline_seconds > 0.0 &&
+        timer.ElapsedSeconds() >= options_.deadline_seconds) {
+      result.converged = false;
+      result.status =
+          Status::DeadlineExceeded("SGP solve wall budget expired");
+      break;
+    }
+    SgpSolverOptions step_options = options_;
+    double remaining = RemainingBudget(timer, options_.deadline_seconds);
+    if (remaining > 0.0) {
+      step_options.inner.deadline_seconds =
+          step_options.inner.deadline_seconds > 0.0
+              ? std::min(step_options.inner.deadline_seconds, remaining)
+              : remaining;
+    }
     CompositeObjective objective(options_.lambda1, problem.anchor(),
                                  problem.proximal_mask(), options_.lambda2,
                                  steepness, sigmoid_ptrs, term_weights);
-    result = RunInner(options_, objective, x, problem.bounds());
+    result = RunInner(step_options, objective, x, problem.bounds());
     x = result.x;
     total_iterations += result.iterations;
+    if (result.status.IsNumericalError() ||
+        result.status.IsDeadlineExceeded()) {
+      break;
+    }
   }
   result.iterations = total_iterations;
 

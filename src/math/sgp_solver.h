@@ -49,6 +49,11 @@ struct SgpSolverOptions {
   int continuation_steps = 6;
   /// Margin enforcing strict inequalities: g(x) <= -margin.
   double strict_margin = 1e-6;
+  /// Wall-clock budget for one Solve call, spanning every continuation
+  /// step and augmented-Lagrangian outer iteration; <= 0 disables it. On
+  /// expiry Solve returns the best iterate reached so far with
+  /// StatusCode::kDeadlineExceeded.
+  double deadline_seconds = 0.0;
   InnerSolverKind inner_solver = InnerSolverKind::kProjectedBb;
   SolveOptions inner;
   AugLagOptions auglag;
@@ -64,6 +69,10 @@ struct SgpSolution {
   int satisfied_constraints = 0;
   int total_constraints = 0;
   bool converged = false;
+  /// OK, NotConverged, Infeasible, DeadlineExceeded, or NumericalError.
+  /// Whatever the status, `x` is always finite and inside the problem's
+  /// box: non-finite iterates are replaced by the initial point before the
+  /// solution is returned (no garbage point ever escapes the solver).
   Status status;
 };
 
@@ -84,6 +93,10 @@ class SgpSolver {
   /// Counts satisfied constraints of `problem` at `x`.
   static int CountSatisfied(const SgpProblem& problem,
                             const std::vector<double>& x, double tolerance);
+
+  /// Replaces a non-finite solution point with the (projected) initial
+  /// point and downgrades the status to kNumericalError.
+  static void Sanitize(const SgpProblem& problem, SgpSolution* solution);
 
   SgpSolverOptions options_;
 };

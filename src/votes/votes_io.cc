@@ -1,12 +1,47 @@
 #include "votes/votes_io.h"
 
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
+#include <limits>
 #include <sstream>
 
 #include "common/string_util.h"
 
 namespace kgov::votes {
+namespace {
+
+// strtoul/strtod wrappers that reject partial parses, range overflow, and
+// (for node ids) negative input - unlike std::stoul/std::stod they never
+// throw, so malformed tokens surface as Status instead of terminating.
+bool ParseNodeId(const std::string& token, graph::NodeId* out) {
+  if (token.empty() || token[0] == '-') return false;
+  const char* begin = token.c_str();
+  char* end = nullptr;
+  errno = 0;
+  unsigned long value = std::strtoul(begin, &end, 10);
+  if (end == begin || *end != '\0' || errno == ERANGE ||
+      value > std::numeric_limits<graph::NodeId>::max()) {
+    return false;
+  }
+  *out = static_cast<graph::NodeId>(value);
+  return true;
+}
+
+bool ParseFiniteWeight(const std::string& token, double* out) {
+  if (token.empty()) return false;
+  const char* begin = token.c_str();
+  char* end = nullptr;
+  errno = 0;
+  double value = std::strtod(begin, &end);
+  if (end == begin || *end != '\0' || !std::isfinite(value)) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
 
 Status SaveVotes(const std::vector<Vote>& votes, const std::string& path) {
   std::ofstream out(path);
@@ -53,9 +88,16 @@ Result<std::vector<Vote>> LoadVotes(const std::string& path) {
     Vote vote;
     std::string section;
     fields >> vote.id >> vote.weight >> section;
-    if (fields.fail() || section != "B" || vote.weight <= 0.0) {
+    if (fields.fail() || section != "B") {
       return Status::IoError("bad vote header at " + path + ":" +
                              std::to_string(line_no));
+    }
+    // NaN fails every ordered comparison, so test positivity in a form
+    // NaN cannot pass, and reject infinities explicitly.
+    if (!(vote.weight > 0.0) || !std::isfinite(vote.weight)) {
+      return Status::InvalidArgument(
+          "vote weight must be finite and > 0 at " + path + ":" +
+          std::to_string(line_no));
     }
     fields >> vote.best_answer;
     // Answer list.
@@ -72,17 +114,27 @@ Result<std::vector<Vote>> LoadVotes(const std::string& path) {
         continue;
       }
       if (!in_seed) {
-        vote.answer_list.push_back(
-            static_cast<graph::NodeId>(std::stoul(token)));
+        graph::NodeId answer = graph::kInvalidNode;
+        if (!ParseNodeId(token, &answer)) {
+          return Status::InvalidArgument("bad answer id '" + token + "' at " +
+                                         path + ":" +
+                                         std::to_string(line_no));
+        }
+        vote.answer_list.push_back(answer);
       } else {
         size_t colon = token.find(':');
         if (colon == std::string::npos) {
           return Status::IoError("bad seed link '" + token + "' at " + path +
                                  ":" + std::to_string(line_no));
         }
-        graph::NodeId node =
-            static_cast<graph::NodeId>(std::stoul(token.substr(0, colon)));
-        double weight = std::stod(token.substr(colon + 1));
+        graph::NodeId node = graph::kInvalidNode;
+        double weight = 0.0;
+        if (!ParseNodeId(token.substr(0, colon), &node) ||
+            !ParseFiniteWeight(token.substr(colon + 1), &weight)) {
+          return Status::InvalidArgument("bad seed link '" + token + "' at " +
+                                         path + ":" +
+                                         std::to_string(line_no));
+        }
         vote.query.links.emplace_back(node, weight);
       }
     }

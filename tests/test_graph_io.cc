@@ -75,6 +75,30 @@ TEST_F(GraphIoTest, NegativeNodeIdIsError) {
   EXPECT_FALSE(LoadEdgeList(path_).ok());
 }
 
+TEST_F(GraphIoTest, NegativeWeightIsInvalidArgument) {
+  WriteFile("0 1 -0.5\n");
+  EXPECT_EQ(LoadEdgeList(path_).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(GraphIoTest, NonFiniteWeightIsInvalidArgument) {
+  // "nan"/"inf" are not valid stream doubles, so they surface as
+  // unparseable; either way the loader must refuse them.
+  WriteFile("0 1 nan\n");
+  EXPECT_EQ(LoadEdgeList(path_).status().code(),
+            StatusCode::kInvalidArgument);
+  WriteFile("0 1 inf\n");
+  EXPECT_EQ(LoadEdgeList(path_).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(GraphIoTest, GarbageWeightColumnIsInvalidArgument) {
+  WriteFile("0 1 heavy\n");
+  Status status = LoadEdgeList(path_).status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("weight"), std::string::npos);
+}
+
 TEST_F(GraphIoTest, MissingFileIsIoError) {
   Result<WeightedDigraph> g = LoadEdgeList("/nonexistent/dir/graph.txt");
   EXPECT_EQ(g.status().code(), StatusCode::kIoError);

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
+#include "common/fault_injection.h"
 #include "core/scoring.h"
 #include "graph/generators.h"
 #include "ppr/eipd.h"
@@ -131,6 +134,50 @@ TEST(KgOptimizerTest, NormalizationKeepsGraphStochastic) {
   Result<OptimizeReport> report = optimizer.MultiVoteSolve({MakeVote(4)});
   ASSERT_TRUE(report.ok());
   EXPECT_TRUE(report->optimized.IsSubStochastic(1e-9));
+}
+
+TEST(KgOptimizerTest, SingleVoteBestEffortSurvivesSolverFailure) {
+  // Algorithm 1 applies the solver's best-effort point even when the solve
+  // reports failure; force every solve to fail and check the report stays
+  // well-formed with finite, sub-stochastic weights.
+  WeightedDigraph g = MakeFixture();
+  KgOptimizer optimizer(&g, SmallOptions());
+  ScopedFault fault(FaultSite::kSolveNonConvergence, {.probability = 1.0});
+  Result<OptimizeReport> report = optimizer.SingleVoteSolve({MakeVote(4)});
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->votes_encoded, 1u);
+  EXPECT_GT(report->constraints_total, 0);
+  // The injected failure returns the initial point, so nothing is
+  // satisfied and the graph keeps its original weights.
+  EXPECT_EQ(report->constraints_satisfied, 0);
+  for (graph::EdgeId e = 0; e < report->optimized.NumEdges(); ++e) {
+    EXPECT_TRUE(std::isfinite(report->optimized.Weight(e)));
+  }
+  EXPECT_TRUE(report->optimized.IsSubStochastic(1e-9));
+}
+
+TEST(KgOptimizerTest, SingleVoteBestEffortSurvivesNanGradients) {
+  // NaN gradients on every evaluation: the sanitized solutions keep the
+  // pipeline alive and the output graph finite.
+  WeightedDigraph g = MakeFixture();
+  KgOptimizer optimizer(&g, SmallOptions());
+  ScopedFault fault(FaultSite::kNanGradient, {.probability = 1.0});
+  Result<OptimizeReport> report = optimizer.SingleVoteSolve({MakeVote(4)});
+  ASSERT_TRUE(report.ok());
+  for (graph::EdgeId e = 0; e < report->optimized.NumEdges(); ++e) {
+    EXPECT_TRUE(std::isfinite(report->optimized.Weight(e)));
+  }
+  EXPECT_TRUE(report->optimized.IsSubStochastic(1e-9));
+}
+
+TEST(KgOptimizerTest, MultiVoteReportsSolveAttempts) {
+  WeightedDigraph g = MakeFixture();
+  KgOptimizer optimizer(&g, SmallOptions());
+  Result<OptimizeReport> report = optimizer.MultiVoteSolve({MakeVote(4)});
+  ASSERT_TRUE(report.ok());
+  EXPECT_GE(report->solve_attempts, 1u);
+  EXPECT_TRUE(report->failed_clusters.empty());
+  EXPECT_TRUE(report->quarantined_votes.empty());
 }
 
 TEST(KgOptimizerTest, DistributedRequiresPool) {

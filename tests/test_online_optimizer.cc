@@ -95,18 +95,38 @@ TEST(OnlineOptimizerTest, SnapshotStableAcrossFlushes) {
   EXPECT_GT(after_eval.Similarity(vote.query, 4), s4_before);
 }
 
-TEST(OnlineOptimizerTest, BadBatchDroppedWithError) {
+TEST(OnlineOptimizerTest, FailedFlushPreservesVotes) {
+  // Regression: a failed flush must NOT silently drop buffered votes.
   WeightedDigraph g = MakeFixture();
   OnlineOptimizerOptions options = SmallOptions(1);
+  options.max_vote_attempts = 3;
   OnlineKgOptimizer online(g, options);
-  votes::Vote malformed;  // triggers "no votes survive filtering"
+  votes::Vote malformed;  // empty answer list -> nothing encodes
   Result<FlushReport> r = online.AddVote(malformed);
   EXPECT_FALSE(r.ok());
-  EXPECT_EQ(online.PendingVotes(), 0u);  // buffer cleared, pipeline alive
-  // Subsequent good votes still work.
+  EXPECT_EQ(online.PendingVotes(), 1u);  // preserved, not dropped
+  EXPECT_FALSE(online.LastFlushStatus().ok());
+  EXPECT_TRUE(online.DeadLetters().empty());
+}
+
+TEST(OnlineOptimizerTest, ExhaustedVotesMoveToDeadLetterBuffer) {
+  WeightedDigraph g = MakeFixture();
+  OnlineOptimizerOptions options = SmallOptions(1);
+  options.max_vote_attempts = 2;
+  OnlineKgOptimizer online(g, options);
+  votes::Vote malformed;
+  malformed.id = 77;
+  EXPECT_FALSE(online.AddVote(malformed).ok());  // attempt 1: re-queued
+  EXPECT_EQ(online.PendingVotes(), 1u);
+  EXPECT_FALSE(online.Flush().ok());  // attempt 2: out of attempts
+  EXPECT_EQ(online.PendingVotes(), 0u);
+  ASSERT_EQ(online.DeadLetters().size(), 1u);
+  EXPECT_EQ(online.DeadLetters().front().id, 77u);
+  // The pipeline is healthy afterwards.
   Result<FlushReport> good = online.AddVote(MakeVote(4, 1));
   ASSERT_TRUE(good.ok());
   EXPECT_EQ(good->votes_flushed, 1u);
+  EXPECT_TRUE(online.LastFlushStatus().ok());
 }
 
 TEST(OnlineOptimizerTest, SplitMergeStrategyWorks) {

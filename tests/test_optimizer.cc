@@ -2,7 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
+#include <limits>
+#include <memory>
+#include <thread>
+
+#include "common/timer.h"
 
 namespace kgov::math {
 namespace {
@@ -232,6 +238,122 @@ TEST(GradientCheckTest, DetectsWrongGradient) {
     return x[0] * x[0];
   });
   EXPECT_GT(MaxGradientError(broken, {1.0}), 1.0);
+}
+
+// A slow-converging objective whose every evaluation burns wall time, for
+// deadline tests. Rosenbrock (not Quadratic) because an exact-arithmetic
+// minimum would satisfy even a zero tolerance and end the solve early.
+class SlowRosenbrock : public DifferentiableFunction {
+ public:
+  explicit SlowRosenbrock(double sleep_seconds)
+      : sleep_(std::chrono::duration<double>(sleep_seconds)) {}
+
+  double Evaluate(const std::vector<double>& x,
+                  std::vector<double>* grad) const override {
+    std::this_thread::sleep_for(sleep_);
+    Rosenbrock base;
+    return base.Evaluate(x, grad);
+  }
+
+ private:
+  std::chrono::duration<double> sleep_;
+};
+
+TEST(DeadlineTest, ProjectedBbHonorsDeadline) {
+  SlowRosenbrock f(5e-4);
+  SolveOptions options;
+  options.max_iterations = 1000000;
+  options.gradient_tolerance = 0.0;
+  options.value_tolerance = 0.0;
+  options.deadline_seconds = 0.05;
+  Timer timer;
+  SolveResult r = ProjectedBbSolver(options).Minimize(
+      f, {-1.2, 1.0}, BoxBounds::Unbounded());
+  double elapsed = timer.ElapsedSeconds();
+  EXPECT_TRUE(r.status.IsDeadlineExceeded()) << r.status.ToString();
+  EXPECT_FALSE(r.converged);
+  // Must return promptly: within 2x the budget (the acceptance bar),
+  // where one in-flight evaluation bounds the overshoot.
+  EXPECT_LT(elapsed, 2.0 * options.deadline_seconds);
+  // The best-so-far iterate is still returned, finite.
+  ASSERT_EQ(r.x.size(), 2u);
+  EXPECT_TRUE(std::isfinite(r.x[0]) && std::isfinite(r.x[1]));
+}
+
+TEST(DeadlineTest, LbfgsHonorsDeadline) {
+  SlowRosenbrock f(5e-4);
+  SolveOptions options;
+  options.max_iterations = 1000000;
+  options.gradient_tolerance = 0.0;
+  options.value_tolerance = 0.0;
+  options.deadline_seconds = 0.05;
+  Timer timer;
+  SolveResult r =
+      LbfgsSolver(options).Minimize(f, {-1.2, 1.0}, BoxBounds::Unbounded());
+  EXPECT_TRUE(r.status.IsDeadlineExceeded()) << r.status.ToString();
+  EXPECT_LT(timer.ElapsedSeconds(), 2.0 * options.deadline_seconds);
+}
+
+TEST(DeadlineTest, AugLagHonorsDeadlineAcrossOuterIterations) {
+  // Slow enough that the deadline expires well before the infeasibility
+  // detector has seen enough stagnant outer iterations to give up.
+  SlowRosenbrock f(2e-3);
+  // Unsatisfiable constraint keeps the outer loop running.
+  CallbackFunction g([](const std::vector<double>& x,
+                        std::vector<double>* grad) {
+    if (grad) grad->assign(x.size(), 0.0);
+    if (grad) (*grad)[0] = 1.0;
+    return x[0] + 100.0;  // x0 <= -100 vs box below
+  });
+  AugLagOptions options;
+  options.inner.max_iterations = 1000000;
+  options.inner.gradient_tolerance = 0.0;
+  options.inner.value_tolerance = 0.0;
+  options.deadline_seconds = 0.05;
+  Timer timer;
+  SolveResult r = AugmentedLagrangianSolver(options).Minimize(
+      f, {&g}, {0.0, 0.0}, BoxBounds::Uniform(2, -1.0, 1.0));
+  EXPECT_TRUE(r.status.IsDeadlineExceeded()) << r.status.ToString();
+  EXPECT_LT(timer.ElapsedSeconds(), 2.0 * options.deadline_seconds);
+}
+
+TEST(NumericalGuardTest, NanObjectiveAtStartReportsNumericalError) {
+  CallbackFunction f([](const std::vector<double>&,
+                        std::vector<double>* grad) {
+    if (grad) grad->assign(1, 0.0);
+    return std::numeric_limits<double>::quiet_NaN();
+  });
+  SolveResult r =
+      ProjectedBbSolver().Minimize(f, {0.5}, BoxBounds::Uniform(1, 0.0, 1.0));
+  EXPECT_TRUE(r.status.IsNumericalError()) << r.status.ToString();
+  EXPECT_FALSE(r.converged);
+}
+
+TEST(NumericalGuardTest, MidSolveNanGradientKeepsLastFiniteIterate) {
+  // The gradient turns NaN a few iterations in; the solver must report
+  // NumericalError and hand back the last finite iterate, not garbage.
+  auto counter = std::make_shared<int>(0);
+  CallbackFunction f([counter](const std::vector<double>& x,
+                               std::vector<double>* grad) {
+    Rosenbrock base;
+    double value = base.Evaluate(x, grad);
+    if (grad && ++*counter > 2) {
+      (*grad)[0] = std::numeric_limits<double>::quiet_NaN();
+    }
+    return value;
+  });
+  for (int solver = 0; solver < 2; ++solver) {
+    *counter = 0;
+    SolveResult r =
+        solver == 0 ? ProjectedBbSolver().Minimize(f, {-1.2, 1.0},
+                                                   BoxBounds::Unbounded())
+                    : LbfgsSolver().Minimize(f, {-1.2, 1.0},
+                                             BoxBounds::Unbounded());
+    EXPECT_TRUE(r.status.IsNumericalError()) << solver << ": "
+                                             << r.status.ToString();
+    ASSERT_EQ(r.x.size(), 2u);
+    EXPECT_TRUE(std::isfinite(r.x[0]) && std::isfinite(r.x[1])) << solver;
+  }
 }
 
 }  // namespace

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
+#include "common/fault_injection.h"
+#include "common/timer.h"
 #include "math/sgp_problem.h"
 
 namespace kgov::math {
@@ -195,6 +199,101 @@ TEST(SgpSolverTest, LbfgsInnerSolverWorksToo) {
   options.inner_solver = InnerSolverKind::kLbfgs;
   SgpSolution solution = SgpSolver(options).Solve(MakeSwapProblem());
   EXPECT_GE(solution.x[0], solution.x[1] - 1e-6);
+}
+
+TEST(SgpSolverTest, SetInitialMovesStartKeepsAnchor) {
+  SgpProblem problem = MakeSwapProblem();
+  std::vector<double> original = problem.initial();
+  problem.SetInitial({0.9, 0.05});
+  EXPECT_EQ(problem.initial(), (std::vector<double>{0.9, 0.05}));
+  // The proximal anchor stays pinned to the original weights, so a
+  // jittered restart still minimizes change against the real graph.
+  EXPECT_EQ(problem.anchor(), original);
+}
+
+TEST(SgpSolverTest, SetInitialProjectsIntoBox) {
+  SgpProblem problem = MakeSwapProblem();
+  problem.SetInitial({-1.0, 2.0});
+  EXPECT_EQ(problem.initial(), (std::vector<double>{0.01, 1.0}));
+}
+
+// Guardrail tests: each formulation must honor a wall budget, returning
+// DeadlineExceeded with a finite in-box point, well within 2x the budget.
+TEST(SgpSolverTest, DeadlineExceededReturnsPromptlyAllFormulations) {
+  // Stall each continuation step so the soft formulations cannot finish all
+  // 50 steps inside the budget (their penalty objectives would otherwise
+  // converge instantly even on conflicting constraints).
+  ScopedFault stall(FaultSite::kSlowSolve,
+                    {.probability = 1.0, .sleep_seconds = 2e-3});
+  for (auto formulation :
+       {SgpFormulation::kReducedSigmoid, SgpFormulation::kDeviationVariables,
+        SgpFormulation::kHardConstraints}) {
+    // A conflicting-constraint problem the solver cannot finish instantly,
+    // with convergence tolerances disabled so iterations never run out.
+    SgpProblem problem;
+    problem.AddVariable(0.5, 0.01, 1.0);
+    problem.AddVariable(0.2, 0.01, 1.0);
+    Signomial g1;
+    g1.AddTerm(Monomial(1.0, {{0, 1.0}}));
+    g1.AddTerm(Monomial(-1.0, {{1, 1.0}}));
+    g1.AddTerm(Monomial(0.05));
+    problem.AddConstraint(g1, "c1");
+    Signomial g2;
+    g2.AddTerm(Monomial(1.0, {{1, 1.0}}));
+    g2.AddTerm(Monomial(-1.0, {{0, 1.0}}));
+    g2.AddTerm(Monomial(0.05));
+    problem.AddConstraint(g2, "c2");
+
+    SgpSolverOptions options;
+    options.formulation = formulation;
+    options.deadline_seconds = 0.01;
+    options.continuation_steps = 50;
+    options.inner.max_iterations = 10000000;
+    options.inner.gradient_tolerance = 0.0;
+    options.inner.value_tolerance = 0.0;
+    options.auglag.inner = options.inner;
+    options.auglag.max_outer_iterations = 10000;
+
+    Timer timer;
+    SgpSolution solution = SgpSolver(options).Solve(problem);
+    double elapsed = timer.ElapsedSeconds();
+    EXPECT_TRUE(solution.status.IsDeadlineExceeded())
+        << static_cast<int>(formulation) << ": "
+        << solution.status.ToString();
+    EXPECT_LT(elapsed, 2.0 * options.deadline_seconds)
+        << static_cast<int>(formulation);
+    ASSERT_EQ(solution.x.size(), 2u);
+    for (double v : solution.x) {
+      EXPECT_TRUE(std::isfinite(v));
+      EXPECT_GE(v, 0.01 - 1e-12);
+      EXPECT_LE(v, 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST(SgpSolverTest, InjectedNanGradientNeverEscapes) {
+  // Poison every gradient evaluation: the solution point must still come
+  // back finite and in-box, with a NumericalError (or error) status.
+  ScopedFault fault(FaultSite::kNanGradient, {.probability = 1.0});
+  SgpSolverOptions options;
+  options.formulation = SgpFormulation::kReducedSigmoid;
+  SgpSolution solution = SgpSolver(options).Solve(MakeSwapProblem());
+  EXPECT_FALSE(solution.status.ok());
+  ASSERT_EQ(solution.x.size(), 2u);
+  for (double v : solution.x) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_GE(v, 0.01 - 1e-12);
+    EXPECT_LE(v, 1.0 + 1e-12);
+  }
+}
+
+TEST(SgpSolverTest, InjectedNonConvergenceReturnsInitialPoint) {
+  ScopedFault fault(FaultSite::kSolveNonConvergence, {.probability = 1.0});
+  SgpProblem problem = MakeSwapProblem();
+  SgpSolution solution = SgpSolver().Solve(problem);
+  EXPECT_TRUE(solution.status.IsNotConverged());
+  EXPECT_FALSE(solution.converged);
+  EXPECT_EQ(solution.x, problem.initial());
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <chrono>
 #include <numeric>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -75,24 +76,83 @@ TEST(ThreadPoolTest, ReturnsValuesInOrderOfFutures) {
   }
 }
 
+TEST(ThreadPoolTest, SubmitCapturesExceptionInFuture) {
+  ThreadPool pool(2);
+  auto future = pool.Submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+  // The worker survives and keeps serving tasks.
+  EXPECT_EQ(pool.Submit([]() { return 7; }).get(), 7);
+  EXPECT_EQ(pool.StrayExceptionCount(), 0u);
+}
+
 TEST(ParallelForTest, NullPoolRunsInline) {
   std::vector<int> out(10, 0);
-  ParallelFor(nullptr, out.size(), [&](size_t i) { out[i] = static_cast<int>(i); });
+  EXPECT_TRUE(ParallelFor(nullptr, out.size(),
+                          [&](size_t i) { out[i] = static_cast<int>(i); })
+                  .ok());
   for (int i = 0; i < 10; ++i) EXPECT_EQ(out[i], i);
 }
 
 TEST(ParallelForTest, PoolCoversAllIndices) {
   ThreadPool pool(4);
   std::vector<std::atomic<int>> counts(64);
-  ParallelFor(&pool, counts.size(), [&](size_t i) { ++counts[i]; });
+  EXPECT_TRUE(
+      ParallelFor(&pool, counts.size(), [&](size_t i) { ++counts[i]; }).ok());
   for (auto& c : counts) EXPECT_EQ(c.load(), 1);
 }
 
 TEST(ParallelForTest, ZeroIterations) {
   ThreadPool pool(2);
   bool touched = false;
-  ParallelFor(&pool, 0, [&](size_t) { touched = true; });
+  EXPECT_TRUE(ParallelFor(&pool, 0, [&](size_t) { touched = true; }).ok());
   EXPECT_FALSE(touched);
+}
+
+TEST(ParallelForTest, TaskExceptionBecomesStatusNotCrash) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> counts(16);
+  Status status = ParallelFor(&pool, counts.size(), [&](size_t i) {
+    if (i == 5) throw std::runtime_error("iteration exploded");
+    ++counts[i];
+  });
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_NE(status.message().find("iteration exploded"), std::string::npos);
+  // Every other iteration still ran to completion.
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (i != 5) {
+      EXPECT_EQ(counts[i].load(), 1) << i;
+    }
+  }
+}
+
+TEST(ParallelForTest, FailedFlagsIdentifyThrowingIterations) {
+  ThreadPool pool(4);
+  std::vector<char> failed;
+  Status status = ParallelFor(
+      &pool, 8,
+      [&](size_t i) {
+        if (i % 3 == 0) throw std::invalid_argument("bad index");
+      },
+      &failed);
+  EXPECT_FALSE(status.ok());
+  ASSERT_EQ(failed.size(), 8u);
+  for (size_t i = 0; i < failed.size(); ++i) {
+    EXPECT_EQ(failed[i] != 0, i % 3 == 0) << i;
+  }
+}
+
+TEST(ParallelForTest, InlineExceptionAlsoCaptured) {
+  std::vector<char> failed;
+  Status status = ParallelFor(
+      nullptr, 4,
+      [&](size_t i) {
+        if (i == 2) throw std::runtime_error("inline failure");
+      },
+      &failed);
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  ASSERT_EQ(failed.size(), 4u);
+  EXPECT_TRUE(failed[2]);
+  EXPECT_FALSE(failed[0] || failed[1] || failed[3]);
 }
 
 }  // namespace

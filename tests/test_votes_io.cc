@@ -78,7 +78,38 @@ TEST_F(VotesIoTest, BadTagRejected) {
 
 TEST_F(VotesIoTest, NonPositiveWeightRejected) {
   WriteFile("V 0 0.0 B 1 A 1 2 S 0:1\n");
-  EXPECT_FALSE(LoadVotes(path_).ok());
+  EXPECT_EQ(LoadVotes(path_).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(VotesIoTest, NegativeWeightIsInvalidArgument) {
+  WriteFile("V 0 -2.5 B 1 A 1 2 S 0:1\n");
+  EXPECT_EQ(LoadVotes(path_).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(VotesIoTest, GarbageAnswerIdIsInvalidArgumentNotCrash) {
+  WriteFile("V 0 1.0 B 1 A 1 oops S 0:1\n");
+  Status status = LoadVotes(path_).status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("bad answer id"), std::string::npos);
+}
+
+TEST_F(VotesIoTest, NegativeAnswerIdRejected) {
+  WriteFile("V 0 1.0 B 1 A 1 -7 S 0:1\n");
+  EXPECT_EQ(LoadVotes(path_).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(VotesIoTest, GarbageSeedLinkIsInvalidArgument) {
+  WriteFile("V 0 1.0 B 1 A 1 2 S a:b\n");
+  Status status = LoadVotes(path_).status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("bad seed link"), std::string::npos);
+}
+
+TEST_F(VotesIoTest, NonFiniteSeedWeightRejected) {
+  WriteFile("V 0 1.0 B 1 A 1 2 S 0:nan\n");
+  EXPECT_EQ(LoadVotes(path_).status().code(), StatusCode::kInvalidArgument);
+  WriteFile("V 0 1.0 B 1 A 1 2 S 0:inf\n");
+  EXPECT_EQ(LoadVotes(path_).status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST_F(VotesIoTest, MalformedSeedRejected) {

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Build and run the kgov test suite under AddressSanitizer + UBSan.
+#
+# Usage: tools/ci/sanitize.sh [build-dir] [ctest-args...]
+#
+# Uses the KGOV_SANITIZE CMake option; any failure (including a sanitizer
+# report, via -fno-sanitize-recover=all) fails the script.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/../.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build-sanitize}"
+shift || true
+
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DKGOV_SANITIZE=address,undefined \
+    -DKGOV_BUILD_BENCHMARKS=OFF \
+    -DKGOV_BUILD_EXAMPLES=OFF
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
+ctest --test-dir "$BUILD_DIR" --output-on-failure "$@"
