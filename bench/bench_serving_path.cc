@@ -1,0 +1,169 @@
+// Serving-path throughput: the mutable adjacency-list path (EipdEvaluator
+// over WeightedDigraph) vs the unified view path (EipdEngine over a
+// GraphView of a frozen CsrSnapshot, reusing one PropagationWorkspace).
+//
+// Prints queries/sec for both and writes BENCH_serving.json so CI can
+// track the serving-path trajectory (tools/ci/check.sh runs this from the
+// repo root). The view path must at least match the old snapshot
+// evaluator's throughput; FastEipdEvaluator is now an alias of the same
+// engine, so measuring the engine measures the compatibility path too.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "graph/csr.h"
+#include "ppr/eipd.h"
+#include "ppr/eipd_engine.h"
+#include "qa/kg_builder.h"
+
+namespace kgov {
+namespace {
+
+struct Setup {
+  qa::Corpus corpus;
+  qa::KnowledgeGraph kg;
+  graph::CsrSnapshot snapshot;
+  std::vector<ppr::QuerySeed> seeds;
+};
+
+Setup* GlobalSetup() {
+  static Setup* setup = [] {
+    auto* s = new Setup();
+    Rng rng(2718);
+    Result<qa::Corpus> corpus =
+        qa::GenerateCorpus(qa::TaobaoScaleParams(), rng);
+    KGOV_CHECK(corpus.ok());
+    s->corpus = std::move(corpus).value();
+    Result<qa::KnowledgeGraph> kg = qa::BuildKnowledgeGraph(s->corpus);
+    KGOV_CHECK(kg.ok());
+    s->kg = std::move(kg).value();
+    s->snapshot = graph::CsrSnapshot(s->kg.graph);
+    std::vector<qa::Question> questions = qa::GenerateQuestions(
+        s->corpus, 64, qa::TaobaoScaleParams(), rng);
+    for (const qa::Question& q : questions) {
+      s->seeds.push_back(qa::LinkQuestion(q, s->kg.num_entities));
+    }
+    return s;
+  }();
+  return setup;
+}
+
+constexpr int kRounds = 10;
+
+/// Runs `fn(seed)` over every seed for kRounds rounds (after one untimed
+/// warm-up round); returns queries/sec.
+template <typename Fn>
+double MeasureQps(const Setup& s, Fn&& fn) {
+  for (const ppr::QuerySeed& seed : s.seeds) {
+    benchmark::DoNotOptimize(fn(seed));
+  }
+  Timer timer;
+  for (int r = 0; r < kRounds; ++r) {
+    for (const ppr::QuerySeed& seed : s.seeds) {
+      benchmark::DoNotOptimize(fn(seed));
+    }
+  }
+  double seconds = timer.ElapsedSeconds();
+  return static_cast<double>(kRounds * s.seeds.size()) / seconds;
+}
+
+void BM_MutablePathServe(benchmark::State& state) {
+  Setup* s = GlobalSetup();
+  ppr::EipdEvaluator evaluator(&s->kg.graph, {.max_length = 5});
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.RankAnswers(
+        s->seeds[i % s->seeds.size()], s->kg.answer_nodes, 20));
+    ++i;
+  }
+}
+BENCHMARK(BM_MutablePathServe)->Unit(benchmark::kMillisecond);
+
+void BM_ViewPathServe(benchmark::State& state) {
+  Setup* s = GlobalSetup();
+  ppr::EipdEngine engine(s->snapshot.View(), {.max_length = 5});
+  ppr::PropagationWorkspace workspace;
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.RankAnswers(
+        s->seeds[i % s->seeds.size()], s->kg.answer_nodes, 20, &workspace));
+    ++i;
+  }
+}
+BENCHMARK(BM_ViewPathServe)->Unit(benchmark::kMillisecond);
+
+void RunAndReport(const char* json_path) {
+  bench::Banner("Serving path: mutable adjacency list vs GraphView engine",
+                "kgov read-path unification (docs/architecture.md)");
+  Setup* s = GlobalSetup();
+  std::printf("graph: %zu nodes, %zu edges; %zu seeds x %d rounds; top-20 "
+              "over %zu answers\n",
+              s->kg.graph.NumNodes(), s->kg.graph.NumEdges(),
+              s->seeds.size(), kRounds, s->kg.answer_nodes.size());
+
+  ppr::EipdOptions options;
+  options.max_length = 5;
+  ppr::EipdEvaluator mutable_eval(&s->kg.graph, options);
+  ppr::EipdEngine engine(s->snapshot.View(), options);
+  ppr::PropagationWorkspace workspace;
+
+  double mutable_qps = MeasureQps(*s, [&](const ppr::QuerySeed& seed) {
+    return mutable_eval.RankAnswers(seed, s->kg.answer_nodes, 20);
+  });
+  double view_qps = MeasureQps(*s, [&](const ppr::QuerySeed& seed) {
+    return engine.RankAnswers(seed, s->kg.answer_nodes, 20, &workspace);
+  });
+
+  bench::TablePrinter table({"path", "queries/sec", "ms/query"},
+                            {28, 12, 10});
+  table.PrintHeader();
+  table.PrintRow({"mutable (WeightedDigraph)", bench::Num(mutable_qps, 1),
+                  bench::Num(1e3 / mutable_qps, 3)});
+  table.PrintRow({"view (GraphView + workspace)", bench::Num(view_qps, 1),
+                  bench::Num(1e3 / view_qps, 3)});
+  std::printf("view/mutable speedup: %.2fx\n", view_qps / mutable_qps);
+
+  std::FILE* out = std::fopen(json_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+    return;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"serving_path\",\n"
+               "  \"nodes\": %zu,\n"
+               "  \"edges\": %zu,\n"
+               "  \"queries\": %zu,\n"
+               "  \"top_k\": 20,\n"
+               "  \"max_length\": %d,\n"
+               "  \"mutable_qps\": %.2f,\n"
+               "  \"view_qps\": %.2f,\n"
+               "  \"view_over_mutable\": %.3f\n"
+               "}\n",
+               s->kg.graph.NumNodes(), s->kg.graph.NumEdges(),
+               static_cast<size_t>(kRounds) * s->seeds.size(),
+               options.max_length, mutable_qps, view_qps,
+               view_qps / mutable_qps);
+  std::fclose(out);
+  std::printf("wrote %s\n", json_path);
+}
+
+}  // namespace
+}  // namespace kgov
+
+int main(int argc, char** argv) {
+  const char* json_path = "BENCH_serving.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      json_path = argv[i + 1];
+    }
+  }
+  kgov::RunAndReport(json_path);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

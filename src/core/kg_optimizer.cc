@@ -1,6 +1,7 @@
 #include "core/kg_optimizer.h"
 
 #include <algorithm>
+#include <memory>
 #include <mutex>
 #include <utility>
 
@@ -8,7 +9,10 @@
 #include "common/fault_injection.h"
 #include "common/logging.h"
 #include "common/timer.h"
+#include "graph/csr.h"
+#include "graph/subgraph.h"
 #include "ppr/eipd.h"
+#include "ppr/eipd_engine.h"
 
 namespace kgov::core {
 
@@ -207,6 +211,17 @@ Result<OptimizeReport> KgOptimizer::SplitMergeImpl(
   report.num_clusters = num_clusters;
   report.encode_seconds = timer.ElapsedSeconds();
 
+  // Frozen parent CSR shared (read-only) by all cluster tasks: each
+  // verification builds a zero-copy induced sub-view over it instead of
+  // materializing a per-cluster WeightedDigraph.
+  std::unique_ptr<graph::CsrSnapshot> parent_snapshot;
+  if (options_.verify_cluster_solutions) {
+    parent_snapshot = std::make_unique<graph::CsrSnapshot>(*graph_);
+  }
+  const graph::GraphView parent_view =
+      parent_snapshot == nullptr ? graph::GraphView{}
+                                 : parent_snapshot->View();
+
   // Solve one multi-vote SGP per cluster (clusters are independent by
   // construction, so they may run in parallel). A cluster whose solve
   // fails after the retry chain is isolated: its votes are quarantined
@@ -268,6 +283,59 @@ Result<OptimizeReport> KgOptimizer::SplitMergeImpl(
       }
     }
     deltas[c] = std::move(delta);
+
+    // Verify the cluster's own solution at the EIPD level: rank each
+    // vote's answer list on the L-ball sub-view around its seeds and
+    // answers, with the solved weights applied as overrides (the sub-view
+    // keeps the parent's EdgeIds, so the solver's keys apply directly).
+    size_t verified = 0;
+    size_t satisfied = 0;
+    if (options_.verify_cluster_solutions) {
+      std::unordered_map<graph::EdgeId, double> overrides;
+      overrides.reserve(program.variables.NumVariables());
+      for (size_t v = 0; v < program.variables.NumVariables(); ++v) {
+        overrides[program.variables.EdgeOf(static_cast<math::VarId>(v))] =
+            solution.x[v];
+      }
+      std::vector<graph::NodeId> roots;
+      for (const votes::Vote& vote : groups[c]) {
+        for (const auto& [node, weight] : vote.query.links) {
+          roots.push_back(node);
+        }
+        roots.insert(roots.end(), vote.answer_list.begin(),
+                     vote.answer_list.end());
+      }
+      std::vector<graph::NodeId> ball = graph::CollectOutNeighborhood(
+          parent_view, roots, options_.encoder.symbolic.eipd.max_length);
+      Result<graph::InducedSubview> sub =
+          graph::InducedSubview::Make(parent_view, ball);
+      if (sub.ok()) {
+        ppr::EipdEngine engine(sub->view(), options_.encoder.symbolic.eipd);
+        ppr::PropagationWorkspace workspace;
+        for (const votes::Vote& vote : groups[c]) {
+          if (!vote.IsWellFormed()) continue;
+          ppr::QuerySeed local_seed;
+          local_seed.links.reserve(vote.query.links.size());
+          for (const auto& [node, weight] : vote.query.links) {
+            local_seed.links.emplace_back(sub->LocalOf(node), weight);
+          }
+          std::vector<graph::NodeId> local_answers;
+          local_answers.reserve(vote.answer_list.size());
+          for (graph::NodeId a : vote.answer_list) {
+            local_answers.push_back(sub->LocalOf(a));
+          }
+          std::vector<ppr::ScoredAnswer> top =
+              engine.RankAnswersWithOverrides(local_seed, local_answers, 1,
+                                              overrides, &workspace);
+          ++verified;
+          if (!top.empty() &&
+              top.front().node == sub->LocalOf(vote.best_answer)) {
+            ++satisfied;
+          }
+        }
+      }
+    }
+
     std::lock_guard<std::mutex> lock(report_mu);
     cluster_handled[c] = 1;
     report.cluster_seconds[c] = cluster_timer.ElapsedSeconds();
@@ -275,6 +343,8 @@ Result<OptimizeReport> KgOptimizer::SplitMergeImpl(
     report.votes_encoded += program.encoded_vote_ids.size();
     report.constraints_total += solution.total_constraints;
     report.constraints_satisfied += solution.satisfied_constraints;
+    report.votes_verified += verified;
+    report.votes_satisfied += satisfied;
   };
 
   Status parallel_status = ParallelFor(pool, num_clusters, solve_cluster);

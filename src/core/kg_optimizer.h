@@ -72,6 +72,12 @@ struct OptimizerOptions {
   /// quarantine its votes into the report instead of aborting the batch.
   /// When false a cluster failure fails the whole solve.
   bool quarantine_failed_clusters = true;
+  /// Split-and-merge: after each cluster solve, re-rank the cluster's
+  /// votes by EIPD on a zero-copy induced sub-view of the parent CSR (the
+  /// L-ball around the votes' seeds and answers) with the solved weights
+  /// applied as EdgeId-keyed overrides — no per-cluster WeightedDigraph is
+  /// materialized. Fills votes_verified / votes_satisfied in the report.
+  bool verify_cluster_solutions = true;
 };
 
 /// A cluster whose solve failed and was isolated from the batch.
@@ -105,6 +111,11 @@ struct OptimizeReport {
   /// Total SGP solve attempts, counting retries (split-and-merge and
   /// multi-vote strategies).
   size_t solve_attempts = 0;
+  /// Split-and-merge with verify_cluster_solutions: votes re-ranked on
+  /// their cluster's sub-view under the solved weights, and how many of
+  /// them ranked their voted best answer first.
+  size_t votes_verified = 0;
+  size_t votes_satisfied = 0;
   /// Clusters skipped by failure isolation (split-and-merge strategies).
   std::vector<ClusterFailure> failed_clusters;
   /// The failed clusters' votes, untouched, so the caller can re-queue

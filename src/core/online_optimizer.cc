@@ -14,7 +14,7 @@ OnlineKgOptimizer::OnlineKgOptimizer(const graph::WeightedDigraph& initial,
                                      OnlineOptimizerOptions options)
     : options_(std::move(options)),
       graph_(initial),
-      snapshot_(std::make_shared<graph::CsrSnapshot>(graph_)) {
+      serving_{std::make_shared<graph::CsrSnapshot>(graph_), 0} {
   // The validator must accept anything the optimizer may legally produce:
   // widen its weight band to cover the encoder's bounds (normalization can
   // push weights up to 1 regardless of the encoder's upper bound).
@@ -121,7 +121,10 @@ Result<FlushReport> OnlineKgOptimizer::Flush() {
 
   const size_t applied = batch.size() - quarantined.size();
   graph_ = std::move(opt.optimized);
-  snapshot_ = std::make_shared<graph::CsrSnapshot>(graph_);
+  // Build the new snapshot fully before taking the epoch lock: readers
+  // only ever wait on the pointer swap, never on the optimize or the CSR
+  // construction.
+  PublishEpoch(std::make_shared<graph::CsrSnapshot>(graph_));
   report.votes_flushed = applied;
   report.votes_quarantined = quarantined.size();
   report.constraints_total = opt.constraints_total;
@@ -132,6 +135,12 @@ Result<FlushReport> OnlineKgOptimizer::Flush() {
   report.votes_dead_lettered = RequeueOrDeadLetter(std::move(quarantined));
   last_flush_status_ = Status::OK();
   return report;
+}
+
+void OnlineKgOptimizer::PublishEpoch(
+    std::shared_ptr<const graph::CsrSnapshot> snapshot) {
+  std::lock_guard<std::mutex> lock(serving_mu_);
+  serving_ = ServingEpoch{std::move(snapshot), serving_.epoch + 1};
 }
 
 }  // namespace kgov::core

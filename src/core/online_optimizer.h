@@ -19,19 +19,44 @@
 //    normalization, no edge drift). A violation rolls the flush back:
 //    the serving graph and snapshot are left untouched and the batch is
 //    re-queued.
+//
+// Serving is epoch-based: each successful flush publishes a new
+// ServingEpoch (ref-counted CsrSnapshot + monotonically increasing epoch
+// number). The writer builds the snapshot entirely outside the epoch lock
+// and holds it only for the pointer swap, so readers never block on an
+// optimize; a reader that pinned an epoch keeps serving from it until it
+// drops its reference, regardless of how many flushes happen meanwhile.
 
 #ifndef KGOV_CORE_ONLINE_OPTIMIZER_H_
 #define KGOV_CORE_ONLINE_OPTIMIZER_H_
 
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/status.h"
 #include "core/kg_optimizer.h"
 #include "core/resilience.h"
 #include "graph/csr.h"
+#include "graph/graph_view.h"
 
 namespace kgov::core {
+
+/// One published serving epoch: a frozen snapshot plus its sequence
+/// number. Copies share the snapshot (ref-counted), so readers pin an
+/// epoch by value and serve from view() while flushes publish newer
+/// epochs underneath.
+struct ServingEpoch {
+  std::shared_ptr<const graph::CsrSnapshot> snapshot;
+  /// 0 for the initial graph; +1 per successful flush.
+  uint64_t epoch = 0;
+
+  /// The epoch's read view; valid while `snapshot` is held.
+  graph::GraphView view() const {
+    return snapshot == nullptr ? graph::GraphView{} : snapshot->View();
+  }
+};
 
 /// Which strategy flush batches go through.
 enum class FlushStrategy {
@@ -72,9 +97,10 @@ struct FlushReport {
   size_t solve_attempts = 0;
 };
 
-/// Owns a knowledge graph that evolves under vote feedback. Not
-/// thread-safe; a serving thread should read only via snapshot() (which
-/// returns a stable shared_ptr that survives later flushes).
+/// Owns a knowledge graph that evolves under vote feedback. The write path
+/// (AddVote/Flush) is single-threaded; serving()/snapshot() are safe to
+/// call from concurrent reader threads and never block on an in-progress
+/// optimize (the epoch lock guards only the pointer swap).
 class OnlineKgOptimizer {
  public:
   /// Starts from a copy of `initial`.
@@ -84,11 +110,19 @@ class OnlineKgOptimizer {
   /// The current (latest) graph.
   const graph::WeightedDigraph& graph() const { return graph_; }
 
-  /// Frozen view for serving; refreshed on every successful flush. Callers
-  /// may hold the returned pointer across flushes (it stays valid and
-  /// immutable), and a rolled-back flush never replaces it.
+  /// The current serving epoch; republished on every successful flush.
+  /// Callers may hold the returned epoch across flushes (its snapshot
+  /// stays valid and immutable), and a rolled-back flush never replaces
+  /// it. Thread-safe.
+  ServingEpoch serving() const {
+    std::lock_guard<std::mutex> lock(serving_mu_);
+    return serving_;
+  }
+
+  /// Compatibility: the current epoch's frozen snapshot. Thread-safe.
   std::shared_ptr<const graph::CsrSnapshot> snapshot() const {
-    return snapshot_;
+    std::lock_guard<std::mutex> lock(serving_mu_);
+    return serving_.snapshot;
   }
 
   /// Buffers one vote; flushes automatically when the batch is full.
@@ -127,9 +161,13 @@ class OnlineKgOptimizer {
   /// many were dead-lettered.
   size_t RequeueOrDeadLetter(std::vector<PendingVote> failed);
 
+  /// Publishes `snapshot` as the next epoch (outside work done, swap only).
+  void PublishEpoch(std::shared_ptr<const graph::CsrSnapshot> snapshot);
+
   OnlineOptimizerOptions options_;
   graph::WeightedDigraph graph_;
-  std::shared_ptr<const graph::CsrSnapshot> snapshot_;
+  ServingEpoch serving_;
+  mutable std::mutex serving_mu_;
   std::vector<PendingVote> buffer_;
   std::vector<votes::Vote> dead_letter_;
   Status last_flush_status_;

@@ -1,19 +1,22 @@
 #include "core/scoring.h"
 
 #include "common/logging.h"
+#include "graph/csr.h"
+#include "ppr/eipd_engine.h"
 
 namespace kgov::core {
 
-OmegaResult EvaluateOmega(const graph::WeightedDigraph& optimized,
+OmegaResult EvaluateOmega(graph::GraphView view,
                           const std::vector<votes::Vote>& votes,
                           const ppr::EipdOptions& eipd) {
   OmegaResult result;
-  ppr::EipdEvaluator evaluator(&optimized, eipd);
+  ppr::EipdEngine engine(view, eipd);
+  ppr::PropagationWorkspace workspace;
   for (const votes::Vote& vote : votes) {
     if (!vote.IsWellFormed()) continue;
     int before = vote.BestAnswerRank();
-    std::vector<ppr::ScoredAnswer> reranked = evaluator.RankAnswers(
-        vote.query, vote.answer_list, vote.answer_list.size());
+    std::vector<ppr::ScoredAnswer> reranked = engine.RankAnswers(
+        vote.query, vote.answer_list, vote.answer_list.size(), &workspace);
     std::vector<graph::NodeId> order;
     order.reserve(reranked.size());
     for (const ppr::ScoredAnswer& sa : reranked) order.push_back(sa.node);
@@ -28,6 +31,13 @@ OmegaResult EvaluateOmega(const graph::WeightedDigraph& optimized,
         result.total / static_cast<double>(result.before_ranks.size());
   }
   return result;
+}
+
+OmegaResult EvaluateOmega(const graph::WeightedDigraph& optimized,
+                          const std::vector<votes::Vote>& votes,
+                          const ppr::EipdOptions& eipd) {
+  graph::CsrSnapshot snapshot(optimized);
+  return EvaluateOmega(snapshot.View(), votes, eipd);
 }
 
 }  // namespace kgov::core

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "graph/graph_view.h"
 #include "ppr/eipd.h"
 #include "votes/vote.h"
 
@@ -27,8 +28,15 @@ struct OmegaResult {
   std::vector<int> after_ranks;
 };
 
-/// Re-ranks each vote's recorded answer list under `optimized` and scores
-/// the improvement of the voted best answers.
+/// Re-ranks each vote's recorded answer list under `view` (a frozen view
+/// of the optimized graph) and scores the improvement of the voted best
+/// answers. One propagation per vote, shared workspace, no per-vote
+/// allocation.
+OmegaResult EvaluateOmega(graph::GraphView view,
+                          const std::vector<votes::Vote>& votes,
+                          const ppr::EipdOptions& eipd = {});
+
+/// Compatibility overload: snapshots `optimized` and scores on the view.
 OmegaResult EvaluateOmega(const graph::WeightedDigraph& optimized,
                           const std::vector<votes::Vote>& votes,
                           const ppr::EipdOptions& eipd = {});

@@ -1,0 +1,20 @@
+#include "graph/graph_view.h"
+
+namespace kgov::graph {
+
+double GraphView::OutWeightSum(NodeId node) const {
+  double sum = 0.0;
+  for (const Neighbor* it = begin(node); it != end(node); ++it) {
+    sum += it->weight;
+  }
+  return sum;
+}
+
+bool GraphView::IsSubStochastic(double tol) const {
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    if (OutWeightSum(v) > 1.0 + tol) return false;
+  }
+  return true;
+}
+
+}  // namespace kgov::graph

@@ -1,7 +1,6 @@
 #include "graph/subgraph.h"
 
 #include <deque>
-#include <unordered_map>
 
 #include "common/logging.h"
 
@@ -40,30 +39,38 @@ std::vector<NodeId> SelectBfsRegion(const WeightedDigraph& graph,
   return region;
 }
 
-Result<InducedSubgraph> ExtractInducedSubgraph(
-    const WeightedDigraph& graph, const std::vector<NodeId>& nodes) {
-  std::unordered_map<NodeId, NodeId> to_local;
-  to_local.reserve(nodes.size());
+Result<NodeSetIndex> NodeSetIndex::Make(const std::vector<NodeId>& nodes,
+                                        size_t num_nodes) {
+  NodeSetIndex index;
+  index.local_of_.assign(num_nodes, kInvalidNode);
+  index.to_original_.reserve(nodes.size());
   for (size_t i = 0; i < nodes.size(); ++i) {
-    if (!graph.IsValidNode(nodes[i])) {
+    if (nodes[i] >= num_nodes) {
       return Status::InvalidArgument("subgraph node out of range");
     }
-    auto [it, inserted] =
-        to_local.emplace(nodes[i], static_cast<NodeId>(i));
-    if (!inserted) {
+    if (index.local_of_[nodes[i]] != kInvalidNode) {
       return Status::InvalidArgument("duplicate node in subgraph set");
     }
+    index.local_of_[nodes[i]] = static_cast<NodeId>(i);
+    index.to_original_.push_back(nodes[i]);
   }
+  return index;
+}
+
+Result<InducedSubgraph> ExtractInducedSubgraph(
+    const WeightedDigraph& graph, const std::vector<NodeId>& nodes) {
+  Result<NodeSetIndex> index = NodeSetIndex::Make(nodes, graph.NumNodes());
+  if (!index.ok()) return index.status();
 
   InducedSubgraph out;
   out.graph = WeightedDigraph(nodes.size());
   out.to_original = nodes;
   for (size_t i = 0; i < nodes.size(); ++i) {
     for (const OutEdge& edge : graph.OutEdges(nodes[i])) {
-      auto it = to_local.find(edge.to);
-      if (it == to_local.end()) continue;
+      NodeId local = index.value().LocalOf(edge.to);
+      if (local == kInvalidNode) continue;
       Result<EdgeId> added = out.graph.AddEdge(
-          static_cast<NodeId>(i), it->second, graph.Weight(edge.edge));
+          static_cast<NodeId>(i), local, graph.Weight(edge.edge));
       KGOV_CHECK(added.ok());
     }
     // Preserve labels where present.
@@ -77,6 +84,8 @@ Result<InducedSubgraph> ExtractInducedSubgraph(
 
 size_t CountInternalEdges(const WeightedDigraph& graph,
                           const std::vector<NodeId>& nodes) {
+  // Tolerates out-of-range and duplicate entries (set semantics), so build
+  // the membership mask directly rather than through NodeSetIndex::Make.
   std::vector<char> inside(graph.NumNodes(), 0);
   for (NodeId v : nodes) {
     if (graph.IsValidNode(v)) inside[v] = 1;
@@ -86,6 +95,61 @@ size_t CountInternalEdges(const WeightedDigraph& graph,
     if (inside[e.from] && inside[e.to]) ++count;
   }
   return count;
+}
+
+Result<InducedSubview> InducedSubview::Make(GraphView parent,
+                                            const std::vector<NodeId>& nodes) {
+  Result<NodeSetIndex> index = NodeSetIndex::Make(nodes, parent.NumNodes());
+  if (!index.ok()) return index.status();
+
+  InducedSubview out;
+  out.index_ = std::move(index.value());
+  const size_t n = out.index_.size();
+  out.offsets_.resize(n + 1, 0);
+  for (NodeId local = 0; local < n; ++local) {
+    out.offsets_[local] = out.neighbors_.size();
+    const NodeId original = out.index_.ToOriginal(local);
+    const GraphView::Neighbor* b = parent.begin(original);
+    const GraphView::Neighbor* e = parent.end(original);
+    const EdgeId* ids = parent.edge_ids(original);
+    for (const GraphView::Neighbor* it = b; it != e; ++it) {
+      NodeId local_to = out.index_.LocalOf(it->to);
+      if (local_to == kInvalidNode) continue;
+      out.neighbors_.push_back(GraphView::Neighbor{local_to, it->weight});
+      if (ids != nullptr) out.edge_ids_.push_back(ids[it - b]);
+    }
+  }
+  out.offsets_[n] = out.neighbors_.size();
+  return out;
+}
+
+std::vector<NodeId> CollectOutNeighborhood(GraphView view,
+                                           const std::vector<NodeId>& roots,
+                                           int depth) {
+  std::vector<char> visited(view.NumNodes(), 0);
+  std::vector<NodeId> ball;
+  std::vector<NodeId> frontier;
+  for (NodeId r : roots) {
+    if (!view.IsValidNode(r) || visited[r]) continue;
+    visited[r] = 1;
+    ball.push_back(r);
+    frontier.push_back(r);
+  }
+  std::vector<NodeId> next;
+  for (int level = 0; level < depth && !frontier.empty(); ++level) {
+    next.clear();
+    for (NodeId u : frontier) {
+      for (const GraphView::Neighbor* it = view.begin(u);
+           it != view.end(u); ++it) {
+        if (visited[it->to]) continue;
+        visited[it->to] = 1;
+        ball.push_back(it->to);
+        next.push_back(it->to);
+      }
+    }
+    frontier.swap(next);
+  }
+  return ball;
 }
 
 }  // namespace kgov::graph

@@ -1,8 +1,5 @@
 #include "ppr/eipd.h"
 
-#include <algorithm>
-#include <cmath>
-
 #include "common/logging.h"
 
 namespace kgov::ppr {
@@ -15,72 +12,24 @@ EipdEvaluator::EipdEvaluator(const graph::WeightedDigraph* graph,
   KGOV_CHECK(options_.restart > 0.0 && options_.restart < 1.0);
 }
 
-std::vector<double> EipdEvaluator::Propagate(
+const std::vector<double>& EipdEvaluator::Propagate(
     const QuerySeed& seed,
     const std::unordered_map<graph::EdgeId, double>* overrides) const {
-  const size_t n = graph_->NumNodes();
-  const double c = options_.restart;
-  std::vector<double> phi(n, 0.0);
-  std::vector<double> mass(n, 0.0);
-  std::vector<double> next(n, 0.0);
-  // Frontier of nodes with nonzero mass, to avoid O(V) sweeps per level.
-  std::vector<graph::NodeId> frontier;
-  std::vector<graph::NodeId> next_frontier;
-
-  auto weight_of = [&](graph::EdgeId e) {
-    if (overrides != nullptr) {
-      auto it = overrides->find(e);
-      if (it != overrides->end()) return it->second;
-    }
-    return graph_->Weight(e);
-  };
-
-  // Level 1: the query's first hop.
-  for (const auto& [node, weight] : seed.links) {
-    KGOV_DCHECK(graph_->IsValidNode(node));
-    if (weight <= 0.0) continue;
-    if (mass[node] == 0.0) frontier.push_back(node);
-    mass[node] += weight;
-  }
-
-  double decay = c * (1.0 - c);  // c*(1-c)^len for len = 1
-  for (int len = 1; len <= options_.max_length; ++len) {
-    for (graph::NodeId v : frontier) {
-      phi[v] += mass[v] * decay;
-    }
-    if (len == options_.max_length) break;
-
-    next_frontier.clear();
-    for (graph::NodeId u : frontier) {
-      double m = mass[u];
-      for (const graph::OutEdge& out : graph_->OutEdges(u)) {
-        double w = weight_of(out.edge);
-        if (w <= 0.0) continue;
-        if (next[out.to] == 0.0) next_frontier.push_back(out.to);
-        next[out.to] += m * w;
-      }
-      mass[u] = 0.0;
-    }
-    // `next` entries touched twice keep their accumulated value;
-    // next_frontier may contain duplicates only if next[v] was exactly 0
-    // after a prior add, which cannot happen with positive weights.
-    mass.swap(next);
-    frontier.swap(next_frontier);
-    decay *= 1.0 - c;
-  }
-  return phi;
+  PropagationWorkspace& ws = ThreadLocalWorkspace();
+  internal::PropagatePhi(internal::DigraphAdjacency{graph_}, seed, options_,
+                         overrides, &ws);
+  return ws.phi;
 }
 
 double EipdEvaluator::Similarity(const QuerySeed& seed,
                                  graph::NodeId answer) const {
   KGOV_CHECK(graph_->IsValidNode(answer));
-  std::vector<double> phi = Propagate(seed, nullptr);
-  return phi[answer];
+  return Propagate(seed, nullptr)[answer];
 }
 
 std::vector<double> EipdEvaluator::SimilarityMany(
     const QuerySeed& seed, const std::vector<graph::NodeId>& answers) const {
-  std::vector<double> phi = Propagate(seed, nullptr);
+  const std::vector<double>& phi = Propagate(seed, nullptr);
   std::vector<double> out(answers.size());
   for (size_t i = 0; i < answers.size(); ++i) {
     KGOV_CHECK(graph_->IsValidNode(answers[i]));
@@ -92,7 +41,7 @@ std::vector<double> EipdEvaluator::SimilarityMany(
 std::vector<double> EipdEvaluator::SimilarityManyWithOverrides(
     const QuerySeed& seed, const std::vector<graph::NodeId>& answers,
     const std::unordered_map<graph::EdgeId, double>& overrides) const {
-  std::vector<double> phi = Propagate(seed, &overrides);
+  const std::vector<double>& phi = Propagate(seed, &overrides);
   std::vector<double> out(answers.size());
   for (size_t i = 0; i < answers.size(); ++i) {
     KGOV_CHECK(graph_->IsValidNode(answers[i]));
@@ -109,12 +58,7 @@ std::vector<ScoredAnswer> EipdEvaluator::RankAnswers(
   for (size_t i = 0; i < candidates.size(); ++i) {
     ranked[i] = ScoredAnswer{candidates[i], scores[i]};
   }
-  std::sort(ranked.begin(), ranked.end(),
-            [](const ScoredAnswer& a, const ScoredAnswer& b) {
-              if (a.score != b.score) return a.score > b.score;
-              return a.node < b.node;
-            });
-  if (ranked.size() > k) ranked.resize(k);
+  SortRankedTruncate(&ranked, k);
   return ranked;
 }
 

@@ -1,46 +1,35 @@
-// Extended inverse P-distance (paper SIV-A, Eq. 7-9).
+// Extended inverse P-distance over the live mutable graph.
 //
-//   Phi(vq, va) = sum over walks z : vq ~> va, |z| <= L of P[z]*c*(1-c)^|z|
-//
-// Numerically this is evaluated by level-synchronous mass propagation (a
-// truncated power iteration over the walk length), which yields the scores
-// of *all* candidate answers in one pass - the property behind the paper's
-// Table VI efficiency result. Walks longer than the pruning threshold L are
-// dropped (SIV-A; L = 5 in the paper's experiments, justified by Fig. 7).
+// EipdEvaluator is the compatibility front-end for write-path callers that
+// need *live* semantics: it reads the WeightedDigraph's current weights on
+// every call (the optimizer's refine loop and the judgment filter mutate or
+// override weights between calls, and constructing an evaluator must stay
+// free). It delegates to the single shared propagation kernel in
+// ppr/eipd_engine.h — the same body the CSR serving path uses — so there is
+// exactly one EIPD implementation in the codebase. Read-mostly callers
+// should use EipdEngine over a graph::CsrSnapshot view instead.
 
 #ifndef KGOV_PPR_EIPD_H_
 #define KGOV_PPR_EIPD_H_
 
 #include <unordered_map>
-#include <utility>
 #include <vector>
 
 #include "common/status.h"
 #include "graph/graph.h"
+#include "ppr/eipd_engine.h"
 #include "ppr/query_seed.h"
+#include "ppr/ranking.h"
 
 namespace kgov::ppr {
 
-struct EipdOptions {
-  /// Maximum walk length L (number of edges, including the query's first
-  /// hop). Paper default: 5.
-  int max_length = 5;
-  /// Restart probability c. Paper default: ~0.15.
-  double restart = 0.15;
-};
-
-/// A ranked answer.
-struct ScoredAnswer {
-  graph::NodeId node = graph::kInvalidNode;
-  double score = 0.0;
-};
-
-/// Numeric extended-inverse-P-distance evaluation over a fixed graph.
-/// Thread-compatible: concurrent calls on one instance are safe because all
-/// evaluation state is call-local.
+/// Numeric extended-inverse-P-distance evaluation over the live graph.
+/// Thread-compatible: concurrent calls on one instance are safe because
+/// evaluation state lives in per-thread workspaces.
 class EipdEvaluator {
  public:
-  /// `graph` is borrowed and must outlive the evaluator.
+  /// `graph` is borrowed and must outlive the evaluator. Construction is
+  /// O(1); weight changes to `graph` are visible to subsequent calls.
   explicit EipdEvaluator(const graph::WeightedDigraph* graph,
                          EipdOptions options = {});
 
@@ -66,8 +55,9 @@ class EipdEvaluator {
       size_t k) const;
 
  private:
-  /// Phi contributions for all nodes; overrides may be null.
-  std::vector<double> Propagate(
+  /// Runs the shared kernel on the live graph; overrides may be null.
+  /// Returns the thread-local workspace's phi vector.
+  const std::vector<double>& Propagate(
       const QuerySeed& seed,
       const std::unordered_map<graph::EdgeId, double>* overrides) const;
 

@@ -1,0 +1,89 @@
+#include "ppr/eipd_engine.h"
+
+namespace kgov::ppr {
+
+PropagationWorkspace& ThreadLocalWorkspace() {
+  static thread_local PropagationWorkspace workspace;
+  return workspace;
+}
+
+EipdEngine::EipdEngine(graph::GraphView view, EipdOptions options)
+    : view_(view), options_(options) {
+  KGOV_CHECK(options_.max_length >= 1);
+  KGOV_CHECK(options_.restart > 0.0 && options_.restart < 1.0);
+}
+
+const std::vector<double>& EipdEngine::Propagate(
+    const QuerySeed& seed,
+    const std::unordered_map<graph::EdgeId, double>* overrides,
+    PropagationWorkspace* ws) const {
+  if (overrides != nullptr) {
+    // Overrides are keyed by EdgeId; without the edge-id table they would
+    // be silently ignored, so fail loudly (an edgeless view has nothing to
+    // override and is fine).
+    KGOV_CHECK(view_.HasEdgeIds() || view_.NumEdges() == 0);
+  }
+  if (ws == nullptr) ws = &ThreadLocalWorkspace();
+  internal::PropagatePhi(internal::ViewAdjacency{view_}, seed, options_,
+                         overrides, ws);
+  return ws->phi;
+}
+
+double EipdEngine::Similarity(const QuerySeed& seed, graph::NodeId answer,
+                              PropagationWorkspace* ws) const {
+  KGOV_CHECK(view_.IsValidNode(answer));
+  return Propagate(seed, nullptr, ws)[answer];
+}
+
+std::vector<double> EipdEngine::SimilarityMany(
+    const QuerySeed& seed, const std::vector<graph::NodeId>& answers,
+    PropagationWorkspace* ws) const {
+  const std::vector<double>& phi = Propagate(seed, nullptr, ws);
+  std::vector<double> out(answers.size());
+  for (size_t i = 0; i < answers.size(); ++i) {
+    KGOV_CHECK(view_.IsValidNode(answers[i]));
+    out[i] = phi[answers[i]];
+  }
+  return out;
+}
+
+std::vector<double> EipdEngine::SimilarityManyWithOverrides(
+    const QuerySeed& seed, const std::vector<graph::NodeId>& answers,
+    const std::unordered_map<graph::EdgeId, double>& overrides,
+    PropagationWorkspace* ws) const {
+  const std::vector<double>& phi = Propagate(seed, &overrides, ws);
+  std::vector<double> out(answers.size());
+  for (size_t i = 0; i < answers.size(); ++i) {
+    KGOV_CHECK(view_.IsValidNode(answers[i]));
+    out[i] = phi[answers[i]];
+  }
+  return out;
+}
+
+std::vector<ScoredAnswer> EipdEngine::RankAnswers(
+    const QuerySeed& seed, const std::vector<graph::NodeId>& candidates,
+    size_t k, PropagationWorkspace* ws) const {
+  std::vector<double> scores = SimilarityMany(seed, candidates, ws);
+  std::vector<ScoredAnswer> ranked(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    ranked[i] = ScoredAnswer{candidates[i], scores[i]};
+  }
+  SortRankedTruncate(&ranked, k);
+  return ranked;
+}
+
+std::vector<ScoredAnswer> EipdEngine::RankAnswersWithOverrides(
+    const QuerySeed& seed, const std::vector<graph::NodeId>& candidates,
+    size_t k, const std::unordered_map<graph::EdgeId, double>& overrides,
+    PropagationWorkspace* ws) const {
+  std::vector<double> scores =
+      SimilarityManyWithOverrides(seed, candidates, overrides, ws);
+  std::vector<ScoredAnswer> ranked(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    ranked[i] = ScoredAnswer{candidates[i], scores[i]};
+  }
+  SortRankedTruncate(&ranked, k);
+  return ranked;
+}
+
+}  // namespace kgov::ppr

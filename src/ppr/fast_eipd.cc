@@ -1,92 +1,19 @@
 #include "ppr/fast_eipd.h"
 
-#include <algorithm>
-
 #include "common/logging.h"
 
 namespace kgov::ppr {
+namespace {
+
+graph::GraphView ViewOf(const graph::CsrSnapshot* snapshot) {
+  KGOV_CHECK(snapshot != nullptr);
+  return snapshot->View();
+}
+
+}  // namespace
 
 FastEipdEvaluator::FastEipdEvaluator(const graph::CsrSnapshot* snapshot,
                                      EipdOptions options)
-    : snapshot_(snapshot), options_(options) {
-  KGOV_CHECK(snapshot_ != nullptr);
-  KGOV_CHECK(options_.max_length >= 1);
-  KGOV_CHECK(options_.restart > 0.0 && options_.restart < 1.0);
-}
-
-std::vector<double> FastEipdEvaluator::Propagate(const QuerySeed& seed) const {
-  const size_t n = snapshot_->NumNodes();
-  const double c = options_.restart;
-  std::vector<double> phi(n, 0.0);
-  std::vector<double> mass(n, 0.0);
-  std::vector<double> next(n, 0.0);
-  std::vector<graph::NodeId> frontier;
-  std::vector<graph::NodeId> next_frontier;
-
-  for (const auto& [node, weight] : seed.links) {
-    KGOV_DCHECK(snapshot_->IsValidNode(node));
-    if (weight <= 0.0) continue;
-    if (mass[node] == 0.0) frontier.push_back(node);
-    mass[node] += weight;
-  }
-
-  double decay = c * (1.0 - c);
-  for (int len = 1; len <= options_.max_length; ++len) {
-    for (graph::NodeId v : frontier) {
-      phi[v] += mass[v] * decay;
-    }
-    if (len == options_.max_length) break;
-
-    next_frontier.clear();
-    for (graph::NodeId u : frontier) {
-      double m = mass[u];
-      for (const graph::CsrSnapshot::Neighbor* it = snapshot_->begin(u);
-           it != snapshot_->end(u); ++it) {
-        if (it->weight <= 0.0) continue;
-        if (next[it->to] == 0.0) next_frontier.push_back(it->to);
-        next[it->to] += m * it->weight;
-      }
-      mass[u] = 0.0;
-    }
-    mass.swap(next);
-    frontier.swap(next_frontier);
-    decay *= 1.0 - c;
-  }
-  return phi;
-}
-
-double FastEipdEvaluator::Similarity(const QuerySeed& seed,
-                                     graph::NodeId answer) const {
-  KGOV_CHECK(snapshot_->IsValidNode(answer));
-  return Propagate(seed)[answer];
-}
-
-std::vector<double> FastEipdEvaluator::SimilarityMany(
-    const QuerySeed& seed, const std::vector<graph::NodeId>& answers) const {
-  std::vector<double> phi = Propagate(seed);
-  std::vector<double> out(answers.size());
-  for (size_t i = 0; i < answers.size(); ++i) {
-    KGOV_CHECK(snapshot_->IsValidNode(answers[i]));
-    out[i] = phi[answers[i]];
-  }
-  return out;
-}
-
-std::vector<ScoredAnswer> FastEipdEvaluator::RankAnswers(
-    const QuerySeed& seed, const std::vector<graph::NodeId>& candidates,
-    size_t k) const {
-  std::vector<double> scores = SimilarityMany(seed, candidates);
-  std::vector<ScoredAnswer> ranked(candidates.size());
-  for (size_t i = 0; i < candidates.size(); ++i) {
-    ranked[i] = ScoredAnswer{candidates[i], scores[i]};
-  }
-  std::sort(ranked.begin(), ranked.end(),
-            [](const ScoredAnswer& a, const ScoredAnswer& b) {
-              if (a.score != b.score) return a.score > b.score;
-              return a.node < b.node;
-            });
-  if (ranked.size() > k) ranked.resize(k);
-  return ranked;
-}
+    : engine_(ViewOf(snapshot), options) {}
 
 }  // namespace kgov::ppr

@@ -1,50 +1,70 @@
 // Extended inverse P-distance over an immutable CSR snapshot.
 //
-// Mirrors EipdEvaluator's numeric API but runs on graph::CsrSnapshot:
-// contiguous neighbor ranges with inlined weights, no edge-table
-// indirection. Intended for the serving path of a deployed Q&A system,
-// where the graph only changes at optimization boundaries: freeze a
-// snapshot after each optimize, answer queries from it concurrently.
-// bench_ablation_csr quantifies the speedup over the mutable evaluator.
+// FastEipdEvaluator is a thin compatibility alias over the unified
+// EipdEngine (ppr/eipd_engine.h) bound to a snapshot's GraphView: same
+// numeric API, contiguous neighbor ranges with inlined weights, no
+// edge-table indirection, no per-query allocation (thread-local
+// PropagationWorkspace). Intended for the serving path of a deployed Q&A
+// system, where the graph only changes at optimization boundaries: freeze
+// a snapshot after each optimize, answer queries from it concurrently.
+// bench_ablation_csr and bench_serving_path quantify the speedup over the
+// mutable evaluator.
 
 #ifndef KGOV_PPR_FAST_EIPD_H_
 #define KGOV_PPR_FAST_EIPD_H_
 
+#include <unordered_map>
 #include <vector>
 
 #include "graph/csr.h"
-#include "ppr/eipd.h"
+#include "ppr/eipd_engine.h"
 #include "ppr/query_seed.h"
+#include "ppr/ranking.h"
 
 namespace kgov::ppr {
 
 /// Numeric EIPD evaluation on a frozen snapshot. Thread-compatible: all
-/// evaluation state is call-local.
+/// evaluation state lives in per-thread workspaces.
 class FastEipdEvaluator {
  public:
   /// `snapshot` is borrowed and must outlive the evaluator.
   explicit FastEipdEvaluator(const graph::CsrSnapshot* snapshot,
                              EipdOptions options = {});
 
-  const EipdOptions& options() const { return options_; }
+  const EipdOptions& options() const { return engine_.options(); }
+
+  /// The underlying unified engine (e.g. to pass an explicit workspace).
+  const EipdEngine& engine() const { return engine_; }
 
   /// Phi(seed, answer).
-  double Similarity(const QuerySeed& seed, graph::NodeId answer) const;
+  double Similarity(const QuerySeed& seed, graph::NodeId answer) const {
+    return engine_.Similarity(seed, answer);
+  }
 
   /// Phi(seed, a) for every a in `answers`, in one propagation pass.
   std::vector<double> SimilarityMany(
-      const QuerySeed& seed, const std::vector<graph::NodeId>& answers) const;
+      const QuerySeed& seed,
+      const std::vector<graph::NodeId>& answers) const {
+    return engine_.SimilarityMany(seed, answers);
+  }
+
+  /// Like SimilarityMany with edge-weight overrides (snapshots carry the
+  /// edge-id table, so EdgeId-keyed overrides work on the frozen view).
+  std::vector<double> SimilarityManyWithOverrides(
+      const QuerySeed& seed, const std::vector<graph::NodeId>& answers,
+      const std::unordered_map<graph::EdgeId, double>& overrides) const {
+    return engine_.SimilarityManyWithOverrides(seed, answers, overrides);
+  }
 
   /// Top-k candidates sorted by descending score (ties by node id).
   std::vector<ScoredAnswer> RankAnswers(
       const QuerySeed& seed, const std::vector<graph::NodeId>& candidates,
-      size_t k) const;
+      size_t k) const {
+    return engine_.RankAnswers(seed, candidates, k);
+  }
 
  private:
-  std::vector<double> Propagate(const QuerySeed& seed) const;
-
-  const graph::CsrSnapshot* snapshot_;
-  EipdOptions options_;
+  EipdEngine engine_;
 };
 
 }  // namespace kgov::ppr

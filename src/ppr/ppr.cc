@@ -10,17 +10,17 @@ namespace {
 
 // Runs pi <- (1-c) M pi + c u until the L1 delta is below tolerance.
 // `preference` must sum to <= 1.
-Result<std::vector<double>> Iterate(const graph::WeightedDigraph& graph,
+Result<std::vector<double>> Iterate(graph::GraphView view,
                                     const std::vector<double>& preference,
                                     const PprOptions& options) {
   if (options.restart <= 0.0 || options.restart >= 1.0) {
     return Status::InvalidArgument("restart must lie in (0, 1)");
   }
-  if (!graph.IsSubStochastic(1e-6)) {
+  if (!view.IsSubStochastic(1e-6)) {
     return Status::FailedPrecondition(
         "PPR requires out-weights summing to <= 1 per node; normalize first");
   }
-  const size_t n = graph.NumNodes();
+  const size_t n = view.NumNodes();
   const double c = options.restart;
   std::vector<double> pi(n, 0.0);
   for (size_t i = 0; i < n; ++i) pi[i] = c * preference[i];
@@ -28,8 +28,13 @@ Result<std::vector<double>> Iterate(const graph::WeightedDigraph& graph,
 
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     for (size_t i = 0; i < n; ++i) next[i] = c * preference[i];
-    for (const graph::Edge& e : graph.edges()) {
-      next[e.to] += (1.0 - c) * e.weight * pi[e.from];
+    for (graph::NodeId u = 0; u < n; ++u) {
+      const double scaled = (1.0 - c) * pi[u];
+      if (scaled == 0.0) continue;
+      for (const graph::GraphView::Neighbor* it = view.begin(u);
+           it != view.end(u); ++it) {
+        next[it->to] += scaled * it->weight;
+      }
     }
     double delta = 0.0;
     for (size_t i = 0; i < n; ++i) delta += std::fabs(next[i] - pi[i]);
@@ -48,20 +53,26 @@ Result<std::vector<double>> Iterate(const graph::WeightedDigraph& graph,
 
 }  // namespace
 
+Result<std::vector<double>> PowerIterationPpr(graph::GraphView view,
+                                              graph::NodeId source,
+                                              const PprOptions& options) {
+  if (!view.IsValidNode(source)) {
+    return Status::InvalidArgument("PPR source node out of range");
+  }
+  std::vector<double> preference(view.NumNodes(), 0.0);
+  preference[source] = 1.0;
+  return Iterate(view, preference, options);
+}
+
 Result<std::vector<double>> PowerIterationPpr(
     const graph::WeightedDigraph& graph, graph::NodeId source,
     const PprOptions& options) {
-  if (!graph.IsValidNode(source)) {
-    return Status::InvalidArgument("PPR source node out of range");
-  }
-  std::vector<double> preference(graph.NumNodes(), 0.0);
-  preference[source] = 1.0;
-  return Iterate(graph, preference, options);
+  graph::CsrSnapshot snapshot(graph);
+  return PowerIterationPpr(snapshot.View(), source, options);
 }
 
 Result<std::vector<double>> PowerIterationPprFromSeed(
-    const graph::WeightedDigraph& graph, const QuerySeed& seed,
-    const PprOptions& options) {
+    graph::GraphView view, const QuerySeed& seed, const PprOptions& options) {
   // A virtual query node vq with out-links `seed` and preference e_vq:
   // since vq has no in-edges, pi restricted to real nodes satisfies
   //   pi = (1-c) M pi + (1-c) c * seed,
@@ -70,31 +81,44 @@ Result<std::vector<double>> PowerIterationPprFromSeed(
   if (seed.empty()) {
     return Status::InvalidArgument("empty query seed");
   }
-  std::vector<double> preference(graph.NumNodes(), 0.0);
+  std::vector<double> preference(view.NumNodes(), 0.0);
   for (const auto& [node, weight] : seed.links) {
-    if (!graph.IsValidNode(node)) {
+    if (!view.IsValidNode(node)) {
       return Status::InvalidArgument("seed node out of range");
     }
     preference[node] += (1.0 - options.restart) * weight;
   }
-  return Iterate(graph, preference, options);
+  return Iterate(view, preference, options);
 }
+
+Result<std::vector<double>> PowerIterationPprFromSeed(
+    const graph::WeightedDigraph& graph, const QuerySeed& seed,
+    const PprOptions& options) {
+  graph::CsrSnapshot snapshot(graph);
+  return PowerIterationPprFromSeed(snapshot.View(), seed, options);
+}
+
+RandomWalkBaseline::RandomWalkBaseline(graph::GraphView view,
+                                       PprOptions options)
+    : view_(view), options_(options) {}
 
 RandomWalkBaseline::RandomWalkBaseline(const graph::WeightedDigraph* graph,
                                        PprOptions options)
-    : graph_(graph), options_(options) {
-  KGOV_CHECK(graph_ != nullptr);
+    : options_(options) {
+  KGOV_CHECK(graph != nullptr);
+  owned_snapshot_ = std::make_shared<graph::CsrSnapshot>(*graph);
+  view_ = owned_snapshot_->View();
 }
 
 Result<double> RandomWalkBaseline::Similarity(const QuerySeed& seed,
                                               graph::NodeId answer) const {
-  if (!graph_->IsValidNode(answer)) {
+  if (!view_.IsValidNode(answer)) {
     return Status::InvalidArgument("answer node out of range");
   }
   // Deliberately recomputes the full linear system per (query, answer)
   // pair: this reproduces the baseline's linear-in-answers cost profile.
   KGOV_ASSIGN_OR_RETURN(std::vector<double> pi,
-                        PowerIterationPprFromSeed(*graph_, seed, options_));
+                        PowerIterationPprFromSeed(view_, seed, options_));
   return pi[answer];
 }
 

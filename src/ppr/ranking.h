@@ -1,0 +1,49 @@
+// Shared answer-ranking helpers: the one top-k sort used by every ranking
+// path (EIPD engine, the compatibility evaluators, and the Q&A baselines).
+// Rankings are deterministic: descending score, ties broken by ascending
+// id, truncated to k.
+
+#ifndef KGOV_PPR_RANKING_H_
+#define KGOV_PPR_RANKING_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace kgov::ppr {
+
+/// A ranked answer.
+struct ScoredAnswer {
+  graph::NodeId node = graph::kInvalidNode;
+  double score = 0.0;
+};
+
+/// Sorts `entries` by descending score with ties broken by ascending id
+/// and truncates to the top k. `score_of` / `id_of` project an entry to
+/// its score and its tie-break id.
+template <typename Entry, typename ScoreFn, typename IdFn>
+void SortRankedTruncate(std::vector<Entry>* entries, size_t k,
+                        ScoreFn score_of, IdFn id_of) {
+  std::sort(entries->begin(), entries->end(),
+            [&](const Entry& a, const Entry& b) {
+              const double sa = score_of(a);
+              const double sb = score_of(b);
+              if (sa != sb) return sa > sb;
+              return id_of(a) < id_of(b);
+            });
+  if (entries->size() > k) entries->resize(k);
+}
+
+/// The common case: rank ScoredAnswers by score, ties by node id.
+inline void SortRankedTruncate(std::vector<ScoredAnswer>* entries,
+                               size_t k) {
+  SortRankedTruncate(
+      entries, k, [](const ScoredAnswer& a) { return a.score; },
+      [](const ScoredAnswer& a) { return a.node; });
+}
+
+}  // namespace kgov::ppr
+
+#endif  // KGOV_PPR_RANKING_H_

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "graph/csr.h"
+#include "ppr/ranking.h"
+
 namespace kgov::ppr {
 
 std::vector<std::pair<graph::NodeId, double>> SimRankResult::MostSimilar(
@@ -13,17 +16,15 @@ std::vector<std::pair<graph::NodeId, double>> SimRankResult::MostSimilar(
     if (other == node) continue;
     ranked.emplace_back(other, Score(node, other));
   }
-  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
-    if (a.second != b.second) return a.second > b.second;
-    return a.first < b.first;
-  });
-  if (ranked.size() > k) ranked.resize(k);
+  SortRankedTruncate(
+      &ranked, k, [](const auto& p) { return p.second; },
+      [](const auto& p) { return p.first; });
   return ranked;
 }
 
-Result<SimRankResult> ComputeSimRank(const graph::WeightedDigraph& graph,
+Result<SimRankResult> ComputeSimRank(graph::GraphView view,
                                      const SimRankOptions& options) {
-  const size_t n = graph.NumNodes();
+  const size_t n = view.NumNodes();
   if (n == 0) {
     return Status::InvalidArgument("SimRank on an empty graph");
   }
@@ -38,8 +39,11 @@ Result<SimRankResult> ComputeSimRank(const graph::WeightedDigraph& graph,
 
   // In-neighbor lists.
   std::vector<std::vector<graph::NodeId>> in_neighbors(n);
-  for (const graph::Edge& e : graph.edges()) {
-    in_neighbors[e.to].push_back(e.from);
+  for (graph::NodeId u = 0; u < n; ++u) {
+    for (const graph::GraphView::Neighbor* it = view.begin(u);
+         it != view.end(u); ++it) {
+      in_neighbors[it->to].push_back(u);
+    }
   }
 
   SimRankResult current(n, 0, false);
@@ -87,4 +91,11 @@ Result<SimRankResult> ComputeSimRank(const graph::WeightedDigraph& graph,
   return result;
 }
 
+Result<SimRankResult> ComputeSimRank(const graph::WeightedDigraph& graph,
+                                     const SimRankOptions& options) {
+  graph::CsrSnapshot snapshot(graph);
+  return ComputeSimRank(snapshot.View(), options);
+}
+
 }  // namespace kgov::ppr
+

@@ -19,6 +19,7 @@
 
 #include "common/status.h"
 #include "graph/graph.h"
+#include "graph/graph_view.h"
 
 namespace kgov::ppr {
 
@@ -64,8 +65,12 @@ class SimRankResult {
   std::vector<double> scores_;
 };
 
-/// Runs the SimRank fixed point on `graph` (edge weights are ignored;
+/// Runs the SimRank fixed point on `view` (edge weights are ignored;
 /// SimRank is a structural measure).
+Result<SimRankResult> ComputeSimRank(graph::GraphView view,
+                                     const SimRankOptions& options = {});
+
+/// Compatibility overload: snapshots `graph` and runs on the view.
 Result<SimRankResult> ComputeSimRank(const graph::WeightedDigraph& graph,
                                      const SimRankOptions& options = {});
 

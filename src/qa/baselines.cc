@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "ppr/ranking.h"
 
 namespace kgov::qa {
 
@@ -55,31 +56,48 @@ std::vector<RankedDocument> IrBaseline::Ask(const Question& question,
   return scored;
 }
 
-RandomWalkQa::RandomWalkQa(const graph::WeightedDigraph* graph,
+RandomWalkQa::RandomWalkQa(graph::GraphView view,
                            const std::vector<graph::NodeId>* answer_nodes,
                            size_t num_entities, ppr::PprOptions options,
                            size_t top_k)
-    : graph_(graph),
+    : view_(view),
       answer_nodes_(answer_nodes),
       num_entities_(num_entities),
       options_(options),
       top_k_(top_k),
-      walker_(graph, options) {
-  KGOV_CHECK(graph_ != nullptr && answer_nodes_ != nullptr);
+      walker_(view, options) {
+  KGOV_CHECK(answer_nodes_ != nullptr);
 }
 
 namespace {
 
+std::shared_ptr<const graph::CsrSnapshot> SnapshotOf(
+    const graph::WeightedDigraph* graph) {
+  KGOV_CHECK(graph != nullptr);
+  return std::make_shared<graph::CsrSnapshot>(*graph);
+}
+
 void SortAndTruncate(std::vector<RankedDocument>* scored, size_t top_k) {
-  std::sort(scored->begin(), scored->end(),
-            [](const RankedDocument& a, const RankedDocument& b) {
-              if (a.score != b.score) return a.score > b.score;
-              return a.document < b.document;
-            });
-  if (scored->size() > top_k) scored->resize(top_k);
+  ppr::SortRankedTruncate(
+      scored, top_k, [](const RankedDocument& d) { return d.score; },
+      [](const RankedDocument& d) { return d.document; });
 }
 
 }  // namespace
+
+RandomWalkQa::RandomWalkQa(const graph::WeightedDigraph* graph,
+                           const std::vector<graph::NodeId>* answer_nodes,
+                           size_t num_entities, ppr::PprOptions options,
+                           size_t top_k)
+    : owned_snapshot_(SnapshotOf(graph)),
+      view_(owned_snapshot_->View()),
+      answer_nodes_(answer_nodes),
+      num_entities_(num_entities),
+      options_(options),
+      top_k_(top_k),
+      walker_(view_, options) {
+  KGOV_CHECK(answer_nodes_ != nullptr);
+}
 
 std::vector<RankedDocument> RandomWalkQa::Ask(
     const Question& question) const {
@@ -104,7 +122,7 @@ std::vector<RankedDocument> RandomWalkQa::AskFast(
   std::vector<RankedDocument> scored;
   if (seed.empty()) return scored;
   Result<std::vector<double>> pi =
-      ppr::PowerIterationPprFromSeed(*graph_, seed, options_);
+      ppr::PowerIterationPprFromSeed(view_, seed, options_);
   if (!pi.ok()) return scored;
   scored.reserve(answer_nodes_->size());
   for (size_t d = 0; d < answer_nodes_->size(); ++d) {

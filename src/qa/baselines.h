@@ -10,9 +10,12 @@
 #ifndef KGOV_QA_BASELINES_H_
 #define KGOV_QA_BASELINES_H_
 
+#include <memory>
 #include <vector>
 
+#include "graph/csr.h"
 #include "graph/graph.h"
+#include "graph/graph_view.h"
 #include "ppr/ppr.h"
 #include "qa/corpus.h"
 #include "qa/qa_system.h"
@@ -34,7 +37,15 @@ class IrBaseline {
 
 class RandomWalkQa {
  public:
-  /// Serves from the same augmented graph as QaSystem; borrows referents.
+  /// Serves from `view` (the same augmented graph as QaSystem). The view's
+  /// backing storage and `answer_nodes` must outlive the baseline.
+  RandomWalkQa(graph::GraphView view,
+               const std::vector<graph::NodeId>* answer_nodes,
+               size_t num_entities, ppr::PprOptions options = {},
+               size_t top_k = 20);
+
+  /// Compatibility: freezes a CSR snapshot of `graph` at construction and
+  /// serves from it.
   RandomWalkQa(const graph::WeightedDigraph* graph,
                const std::vector<graph::NodeId>* answer_nodes,
                size_t num_entities, ppr::PprOptions options = {},
@@ -52,7 +63,8 @@ class RandomWalkQa {
   std::vector<RankedDocument> AskFast(const Question& question) const;
 
  private:
-  const graph::WeightedDigraph* graph_;
+  std::shared_ptr<const graph::CsrSnapshot> owned_snapshot_;
+  graph::GraphView view_;
   const std::vector<graph::NodeId>* answer_nodes_;
   size_t num_entities_;
   ppr::PprOptions options_;

@@ -110,6 +110,19 @@ RankingMetrics EvaluateRankings(
   return metrics;
 }
 
+RankingMetrics EvaluateServingView(
+    graph::GraphView view, const std::vector<graph::NodeId>& answer_nodes,
+    size_t num_entities, const std::vector<Question>& questions,
+    const QaOptions& options, std::vector<size_t> ks) {
+  QaSystem system(view, &answer_nodes, num_entities, options);
+  std::vector<std::vector<RankedDocument>> rankings;
+  rankings.reserve(questions.size());
+  for (const Question& question : questions) {
+    rankings.push_back(system.Ask(question));
+  }
+  return EvaluateRankings(questions, rankings, std::move(ks));
+}
+
 double AveragePercentImprovement(const std::vector<double>& ranks_before,
                                  const std::vector<double>& ranks_after) {
   KGOV_CHECK(ranks_before.size() == ranks_after.size());

@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "graph/graph_view.h"
 #include "qa/corpus.h"
 #include "qa/qa_system.h"
 
@@ -40,6 +41,17 @@ RankingMetrics EvaluateRankings(
     const std::vector<Question>& questions,
     const std::vector<std::vector<RankedDocument>>& rankings,
     std::vector<size_t> ks = {1, 3, 5, 10});
+
+/// One-stop snapshot-epoch evaluation: serves every question from `view`
+/// through a QaSystem and scores the resulting rankings against ground
+/// truth. The view's backing storage must stay alive for the duration of
+/// the call.
+RankingMetrics EvaluateServingView(graph::GraphView view,
+                                   const std::vector<graph::NodeId>& answer_nodes,
+                                   size_t num_entities,
+                                   const std::vector<Question>& questions,
+                                   const QaOptions& options = {},
+                                   std::vector<size_t> ks = {1, 3, 5, 10});
 
 /// Per-question mean of (rank_before - rank_after) / rank_before, the
 /// paper's Pavg (percentage-wise ranking improvement).

@@ -22,21 +22,41 @@ ppr::QuerySeed LinkQuestion(const Question& question, size_t num_entities) {
   return seed;
 }
 
+namespace {
+
+std::shared_ptr<const graph::CsrSnapshot> SnapshotOf(
+    const graph::WeightedDigraph* graph) {
+  KGOV_CHECK(graph != nullptr);
+  return std::make_shared<graph::CsrSnapshot>(*graph);
+}
+
+}  // namespace
+
+QaSystem::QaSystem(graph::GraphView view,
+                   const std::vector<graph::NodeId>* answer_nodes,
+                   size_t num_entities, QaOptions options)
+    : answer_nodes_(answer_nodes),
+      num_entities_(num_entities),
+      options_(options),
+      engine_(view, options.eipd) {
+  KGOV_CHECK(answer_nodes_ != nullptr);
+}
+
 QaSystem::QaSystem(const graph::WeightedDigraph* graph,
                    const std::vector<graph::NodeId>* answer_nodes,
                    size_t num_entities, QaOptions options)
-    : graph_(graph),
+    : owned_snapshot_(SnapshotOf(graph)),
       answer_nodes_(answer_nodes),
       num_entities_(num_entities),
       options_(options),
-      evaluator_(graph, options.eipd) {
-  KGOV_CHECK(graph_ != nullptr && answer_nodes_ != nullptr);
+      engine_(owned_snapshot_->View(), options.eipd) {
+  KGOV_CHECK(answer_nodes_ != nullptr);
 }
 
 std::vector<ppr::ScoredAnswer> QaSystem::AskSeed(
     const ppr::QuerySeed& seed) const {
   if (seed.empty()) return {};
-  return evaluator_.RankAnswers(seed, *answer_nodes_, options_.top_k);
+  return engine_.RankAnswers(seed, *answer_nodes_, options_.top_k);
 }
 
 std::vector<RankedDocument> QaSystem::Ask(const Question& question) const {

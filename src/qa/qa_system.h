@@ -1,14 +1,25 @@
 // The knowledge-graph Q&A system (paper Fig. 1): link a question into the
 // graph, evaluate extended-inverse-P-distance similarities, return ranked
 // answers.
+//
+// Serving is snapshot-backed: a QaSystem evaluates on an immutable
+// graph::GraphView (one EipdEngine, zero per-query allocation). Construct
+// it either directly over a view whose backing storage you manage (the
+// epoch-serving path, e.g. core::OnlineKgOptimizer::serving()), or from a
+// WeightedDigraph, in which case the system freezes its own CSR snapshot
+// at construction — later mutations of that graph are not visible until
+// you build a new QaSystem.
 
 #ifndef KGOV_QA_QA_SYSTEM_H_
 #define KGOV_QA_QA_SYSTEM_H_
 
+#include <memory>
 #include <vector>
 
+#include "graph/csr.h"
 #include "graph/graph.h"
-#include "ppr/eipd.h"
+#include "graph/graph_view.h"
+#include "ppr/eipd_engine.h"
 #include "ppr/query_seed.h"
 #include "qa/corpus.h"
 #include "qa/kg_builder.h"
@@ -34,9 +45,16 @@ struct RankedDocument {
 
 class QaSystem {
  public:
-  /// Serves answers from `graph` (typically a KnowledgeGraph's graph or an
-  /// optimized copy of it). `answer_nodes[d]` must be document d's node.
-  /// Both referents are borrowed.
+  /// Serves answers from `view`. The view's backing storage and
+  /// `answer_nodes` are borrowed and must outlive the system.
+  /// `answer_nodes[d]` must be document d's node.
+  QaSystem(graph::GraphView view,
+           const std::vector<graph::NodeId>* answer_nodes,
+           size_t num_entities, QaOptions options = {});
+
+  /// Compatibility: freezes a CSR snapshot of `graph` (typically a
+  /// KnowledgeGraph's graph or an optimized copy) at construction and
+  /// serves from it. Later mutations of `graph` are not visible.
   QaSystem(const graph::WeightedDigraph* graph,
            const std::vector<graph::NodeId>* answer_nodes,
            size_t num_entities, QaOptions options = {});
@@ -50,11 +68,13 @@ class QaSystem {
   std::vector<ppr::ScoredAnswer> AskSeed(const ppr::QuerySeed& seed) const;
 
  private:
-  const graph::WeightedDigraph* graph_;
+  // Set only by the WeightedDigraph constructor; declared before engine_
+  // so the view it backs is valid when engine_ initializes.
+  std::shared_ptr<const graph::CsrSnapshot> owned_snapshot_;
   const std::vector<graph::NodeId>* answer_nodes_;
   size_t num_entities_;
   QaOptions options_;
-  ppr::EipdEvaluator evaluator_;
+  ppr::EipdEngine engine_;
 };
 
 }  // namespace kgov::qa

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <unordered_map>
+
 #include "graph/generators.h"
+#include "ppr/eipd.h"
 
 namespace kgov::ppr {
 namespace {
@@ -71,6 +74,31 @@ TEST(FastEipdTest, RankAnswersMatches) {
   for (size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a[i].node, b[i].node);
     EXPECT_NEAR(a[i].score, b[i].score, 1e-14);
+  }
+}
+
+TEST(FastEipdTest, OverridesMatchMutableEvaluator) {
+  // The unified engine gives the snapshot path override support; it must
+  // agree with the live evaluator's override semantics exactly.
+  Rng rng(11);
+  Result<WeightedDigraph> g = graph::ErdosRenyi(25, 100, rng);
+  ASSERT_TRUE(g.ok());
+  CsrSnapshot snap(*g);
+  EipdEvaluator slow(&*g);
+  FastEipdEvaluator fast(&snap);
+  QuerySeed seed = QuerySeed::FromNode(*g, 0);
+  if (seed.empty()) GTEST_SKIP();
+  std::unordered_map<graph::EdgeId, double> overrides;
+  for (graph::EdgeId e = 0; e < g->NumEdges(); e += 3) {
+    overrides[e] = (e % 2 == 0) ? 0.0 : 1.0;
+  }
+  std::vector<graph::NodeId> targets{1, 5, 9, 13};
+  std::vector<double> a = slow.SimilarityManyWithOverrides(seed, targets,
+                                                           overrides);
+  std::vector<double> b = fast.SimilarityManyWithOverrides(seed, targets,
+                                                           overrides);
+  for (size_t i = 0; i < targets.size(); ++i) {
+    EXPECT_NEAR(a[i], b[i], 1e-14);
   }
 }
 

@@ -4,6 +4,8 @@
 
 #include <cmath>
 
+#include "qa/kg_builder.h"
+
 namespace kgov::qa {
 namespace {
 
@@ -138,6 +140,43 @@ TEST(MetricsTest, PrecisionAtK) {
   ASSERT_EQ(m.precision_at.size(), 2u);
   EXPECT_DOUBLE_EQ(m.precision_at[0], 1.0);
   EXPECT_NEAR(m.precision_at[1], 2.0 / 3.0, 1e-12);
+}
+
+TEST(EvaluateServingViewTest, MatchesManualAskAndEvaluate) {
+  Corpus corpus;
+  corpus.num_entities = 3;
+  corpus.documents.resize(3);
+  corpus.documents[0].mentions = {{0, 2}, {1, 1}};
+  corpus.documents[1].mentions = {{0, 1}, {2, 1}};
+  corpus.documents[2].mentions = {{1, 1}, {2, 3}};
+  Result<KnowledgeGraph> kg = BuildKnowledgeGraph(corpus);
+  ASSERT_TRUE(kg.ok());
+
+  std::vector<Question> questions(2);
+  questions[0].mentions = {{0, 1}};
+  questions[0].best_document = 0;
+  questions[0].relevant_documents = {0};
+  questions[1].mentions = {{2, 1}};
+  questions[1].best_document = 2;
+  questions[1].relevant_documents = {2};
+
+  graph::CsrSnapshot snapshot(kg->graph);
+  RankingMetrics from_view = EvaluateServingView(
+      snapshot.View(), kg->answer_nodes, kg->num_entities, questions);
+
+  QaSystem system(&kg->graph, &kg->answer_nodes, kg->num_entities);
+  std::vector<std::vector<RankedDocument>> rankings;
+  for (const Question& q : questions) rankings.push_back(system.Ask(q));
+  RankingMetrics manual = EvaluateRankings(questions, rankings);
+
+  EXPECT_EQ(from_view.num_questions, manual.num_questions);
+  EXPECT_DOUBLE_EQ(from_view.mrr, manual.mrr);
+  EXPECT_DOUBLE_EQ(from_view.map, manual.map);
+  EXPECT_DOUBLE_EQ(from_view.average_rank, manual.average_rank);
+  ASSERT_EQ(from_view.hits_at.size(), manual.hits_at.size());
+  for (size_t i = 0; i < manual.hits_at.size(); ++i) {
+    EXPECT_DOUBLE_EQ(from_view.hits_at[i], manual.hits_at[i]);
+  }
 }
 
 TEST(PercentImprovementTest, Basics) {

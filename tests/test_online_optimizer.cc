@@ -129,6 +129,58 @@ TEST(OnlineOptimizerTest, ExhaustedVotesMoveToDeadLetterBuffer) {
   EXPECT_TRUE(online.LastFlushStatus().ok());
 }
 
+TEST(OnlineOptimizerTest, EpochAdvancesOnlyOnSuccessfulFlush) {
+  WeightedDigraph g = MakeFixture();
+  OnlineOptimizerOptions options = SmallOptions(10);
+  options.max_vote_attempts = 5;
+  OnlineKgOptimizer online(g, options);
+  EXPECT_EQ(online.serving().epoch, 0u);
+
+  // An empty flush publishes nothing.
+  ASSERT_TRUE(online.Flush().ok());
+  EXPECT_EQ(online.serving().epoch, 0u);
+
+  ASSERT_TRUE(online.AddVote(MakeVote(4, 0)).ok());
+  ASSERT_TRUE(online.Flush().ok());
+  EXPECT_EQ(online.serving().epoch, 1u);
+
+  // A failed flush leaves the serving epoch untouched.
+  std::shared_ptr<const graph::CsrSnapshot> pinned = online.snapshot();
+  votes::Vote malformed;  // empty answer list -> nothing encodes
+  ASSERT_TRUE(online.AddVote(malformed).ok());  // buffered, batch not full
+  EXPECT_FALSE(online.Flush().ok());
+  EXPECT_EQ(online.serving().epoch, 1u);
+  EXPECT_EQ(online.snapshot().get(), pinned.get());
+}
+
+TEST(OnlineOptimizerTest, PinnedEpochServesIdenticalScoresAcrossFlushes) {
+  WeightedDigraph g = MakeFixture();
+  OnlineKgOptimizer online(g, SmallOptions(10));
+  ServingEpoch pinned = online.serving();
+  ppr::EipdEngine pinned_engine(pinned.view(), {.max_length = 4});
+  votes::Vote vote = MakeVote(4, 0);
+  std::vector<double> before =
+      pinned_engine.SimilarityMany(vote.query, vote.answer_list);
+
+  for (uint32_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(online.AddVote(MakeVote(4, i)).ok());
+    ASSERT_TRUE(online.Flush().ok());
+  }
+  EXPECT_EQ(online.serving().epoch, 3u);
+
+  // The pinned epoch's view is frozen: identical scores, while the latest
+  // epoch reflects the optimized graph.
+  std::vector<double> after =
+      pinned_engine.SimilarityMany(vote.query, vote.answer_list);
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_DOUBLE_EQ(after[i], before[i]);
+  }
+  ServingEpoch latest = online.serving();
+  ppr::EipdEngine latest_engine(latest.view(), {.max_length = 4});
+  EXPECT_GT(latest_engine.Similarity(vote.query, 4),
+            pinned_engine.Similarity(vote.query, 4));
+}
+
 TEST(OnlineOptimizerTest, SplitMergeStrategyWorks) {
   WeightedDigraph g = MakeFixture();
   OnlineOptimizerOptions options = SmallOptions(2);

@@ -4,8 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <functional>
+
 #include "core/kg_optimizer.h"
 #include "core/scoring.h"
+#include "graph/csr.h"
 #include "graph/generators.h"
 #include "ppr/eipd.h"
 #include "votes/aggregate.h"
@@ -14,6 +18,77 @@
 
 namespace kgov {
 namespace {
+
+// Reference implementation of Eq. 7: enumerate every walk of length <= L
+// explicitly (the first hop is the query link itself) and sum
+// P[z]*c*(1-c)^|z|, applying the override weights along the way. Only
+// viable on tiny graphs; that is the point - it is obviously correct.
+double BruteForcePhi(
+    const graph::WeightedDigraph& g, const ppr::QuerySeed& seed,
+    graph::NodeId answer, const ppr::EipdOptions& options,
+    const std::unordered_map<graph::EdgeId, double>& overrides) {
+  const double c = options.restart;
+  double total = 0.0;
+  std::function<void(graph::NodeId, int, double)> walk =
+      [&](graph::NodeId node, int len, double prob) {
+        if (node == answer) total += prob * c * std::pow(1.0 - c, len);
+        if (len == options.max_length) return;
+        for (const graph::OutEdge& out : g.OutEdges(node)) {
+          double w = g.Weight(out.edge);
+          auto it = overrides.find(out.edge);
+          if (it != overrides.end()) w = it->second;
+          if (w <= 0.0) continue;
+          walk(out.to, len + 1, prob * w);
+        }
+      };
+  for (const auto& [node, weight] : seed.links) {
+    if (weight <= 0.0) continue;
+    walk(node, 1, weight);
+  }
+  return total;
+}
+
+// The unified engine (with overrides) is exactly the truncated walk sum:
+// on graphs small enough to enumerate every walk, the level-synchronous
+// kernel and brute force agree to machine precision.
+TEST(EipdWalkSumProperty, EngineMatchesBruteForceEnumeration) {
+  for (uint64_t trial : {101u, 202u, 303u}) {
+    Rng rng(trial);
+    Result<graph::WeightedDigraph> g = graph::ErdosRenyi(8, 20, rng);
+    ASSERT_TRUE(g.ok());
+
+    std::unordered_map<graph::EdgeId, double> overrides;
+    for (graph::EdgeId e = 0; e < g->NumEdges(); e += 2) {
+      overrides[e] = (e % 4 == 0) ? 0.0 : 0.9;
+    }
+
+    ppr::QuerySeed seed;
+    seed.links.emplace_back(static_cast<graph::NodeId>(rng.NextIndex(8)),
+                            0.6);
+    seed.links.emplace_back(static_cast<graph::NodeId>(rng.NextIndex(8)),
+                            0.4);
+
+    graph::CsrSnapshot snap(*g);
+    std::vector<graph::NodeId> answers;
+    for (graph::NodeId v = 0; v < 8; ++v) answers.push_back(v);
+
+    for (int length : {1, 2, 4}) {
+      ppr::EipdOptions options;
+      options.max_length = length;
+      ppr::EipdEngine engine(snap.View(), options);
+      std::vector<double> got =
+          engine.SimilarityManyWithOverrides(seed, answers, overrides);
+      std::vector<double> plain = engine.SimilarityMany(seed, answers);
+      for (graph::NodeId v = 0; v < 8; ++v) {
+        EXPECT_NEAR(got[v], BruteForcePhi(*g, seed, v, options, overrides),
+                    1e-14)
+            << "trial " << trial << " L=" << length << " answer " << v;
+        EXPECT_NEAR(plain[v], BruteForcePhi(*g, seed, v, options, {}), 1e-14)
+            << "trial " << trial << " L=" << length << " answer " << v;
+      }
+    }
+  }
+}
 
 class RandomWorkloadProperty : public ::testing::TestWithParam<uint64_t> {
  protected:

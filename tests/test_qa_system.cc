@@ -106,9 +106,10 @@ TEST_F(QaSystemTest, AskSeedExposesNodeLevelApi) {
   }
 }
 
-TEST_F(QaSystemTest, ServesFromModifiedGraphCopy) {
-  // The system borrows the graph: serving from an optimized copy changes
-  // scores without rebuilding.
+TEST_F(QaSystemTest, FreezesSnapshotAtConstruction) {
+  // Snapshot-backed serving: the system freezes the graph's weights when
+  // it is built, so later mutations are invisible until a new system (or
+  // a new epoch's view) is constructed over the updated graph.
   graph::WeightedDigraph copy = kg_.graph;
   QaSystem system(&copy, &kg_.answer_nodes, kg_.num_entities);
   Question q;
@@ -121,9 +122,38 @@ TEST_F(QaSystemTest, ServesFromModifiedGraphCopy) {
     if (out.to != kg_.answer_nodes[1]) copy.SetWeight(out.edge, 1e-6);
   }
   copy.NormalizeOutWeights(0);
+
+  // The frozen system still serves the old ranking...
   std::vector<RankedDocument> after = system.Ask(q);
-  ASSERT_FALSE(after.empty());
-  EXPECT_EQ(after.front().document, 1);
+  ASSERT_EQ(after.size(), before.size());
+  for (size_t i = 0; i < after.size(); ++i) {
+    EXPECT_EQ(after[i].document, before[i].document);
+    EXPECT_DOUBLE_EQ(after[i].score, before[i].score);
+  }
+
+  // ...and a system rebuilt over the mutated graph sees the change.
+  QaSystem rebuilt(&copy, &kg_.answer_nodes, kg_.num_entities);
+  std::vector<RankedDocument> fresh = rebuilt.Ask(q);
+  ASSERT_FALSE(fresh.empty());
+  EXPECT_EQ(fresh.front().document, 1);
+}
+
+TEST_F(QaSystemTest, ViewConstructorServesFromCallerSnapshot) {
+  // The epoch-serving path: the caller owns the snapshot and hands the
+  // system a view of it; rankings match the digraph constructor's.
+  graph::CsrSnapshot snapshot(kg_.graph);
+  QaSystem from_view(snapshot.View(), &kg_.answer_nodes, kg_.num_entities);
+  QaSystem from_graph(&kg_.graph, &kg_.answer_nodes, kg_.num_entities);
+  Question q;
+  q.mentions = {{0, 1}, {2, 2}};
+  std::vector<RankedDocument> a = from_view.Ask(q);
+  std::vector<RankedDocument> b = from_graph.Ask(q);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_FALSE(a.empty());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].document, b[i].document);
+    EXPECT_DOUBLE_EQ(a[i].score, b[i].score);
+  }
 }
 
 }  // namespace

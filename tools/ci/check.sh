@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# The full kgov CI gate:
+#   1. tier-1: configure + build + ctest (Release-ish default flags),
+#   2. the ASan/UBSan pass (tools/ci/sanitize.sh),
+#   3. the serving-path perf probe, emitting BENCH_serving.json at the
+#      repo root so the queries/sec trajectory is tracked per commit.
+#
+# Usage: tools/ci/check.sh [build-dir]
+#   KGOV_SKIP_SANITIZE=1  skip step 2 (e.g. toolchains without ASan)
+#   KGOV_SKIP_BENCH=1     skip step 3
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/../.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build}"
+
+echo "== [1/3] tier-1 build + tests =="
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT"
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+if [[ "${KGOV_SKIP_SANITIZE:-0}" != "1" ]]; then
+  echo "== [2/3] ASan/UBSan =="
+  "$REPO_ROOT/tools/ci/sanitize.sh"
+else
+  echo "== [2/3] ASan/UBSan skipped (KGOV_SKIP_SANITIZE=1) =="
+fi
+
+if [[ "${KGOV_SKIP_BENCH:-0}" != "1" ]]; then
+  echo "== [3/3] serving-path bench =="
+  "$BUILD_DIR/bench/bench_serving_path" \
+      --json "$REPO_ROOT/BENCH_serving.json" \
+      --benchmark_min_time=0.1
+else
+  echo "== [3/3] serving bench skipped (KGOV_SKIP_BENCH=1) =="
+fi
+
+echo "CI gate passed."
