@@ -157,13 +157,20 @@ void RunAndReport(const char* json_path) {
 
 int main(int argc, char** argv) {
   const char* json_path = "BENCH_serving.json";
+  const char* telemetry_path = "BENCH_serving_telemetry.json";
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--json" && i + 1 < argc) {
       json_path = argv[i + 1];
+    }
+    if (std::string(argv[i]) == "--telemetry-json" && i + 1 < argc) {
+      telemetry_path = argv[i + 1];
     }
   }
   kgov::RunAndReport(json_path);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  // Every engine query above fed the serving.eipd.* metrics; dump them so
+  // CI can validate the snapshot shape alongside the throughput numbers.
+  kgov::bench::DumpTelemetry(telemetry_path);
   return 0;
 }

@@ -14,6 +14,7 @@
 #include "common/string_util.h"
 #include "core/kg_optimizer.h"
 #include "qa/user_sim.h"
+#include "telemetry/metrics.h"
 
 namespace kgov::bench {
 
@@ -102,6 +103,20 @@ inline Result<TaobaoEnvironment> MakeTaobaoEnvironment(double scale,
   // Algorithm 1 verbatim (no refinement rounds), as in the paper.
   out.optimizer_options.single_vote_refine_rounds = 1;
   return out;
+}
+
+/// Writes the process-wide telemetry snapshot to `path` and reports where
+/// it went. Benchmarks call this at exit so a run leaves behind the same
+/// counters/spans/histograms JSON the CLI's --telemetry-json produces.
+inline void DumpTelemetry(const std::string& path) {
+  Status status =
+      telemetry::MetricRegistry::Global().WriteSnapshotJson(path);
+  if (status.ok()) {
+    std::printf("telemetry snapshot -> %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "telemetry snapshot failed: %s\n",
+                 status.ToString().c_str());
+  }
 }
 
 /// Formats a double with the given precision into a std::string.

@@ -49,16 +49,24 @@ void ThreadPool::WorkerLoop() {
     // Submit wraps tasks in packaged_task, which captures exceptions into
     // the future; anything escaping here would otherwise terminate the
     // process via the noexcept thread entry. Swallow and count instead.
+    // The counter update takes mu_, but the log line is emitted outside
+    // it: holding the queue lock across the logging sink would serialize
+    // every queue pop and Submit on stderr I/O.
+    std::string stray_message;
     try {
       task();
     } catch (const std::exception& e) {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stray_exceptions_;
-      KGOV_LOG(ERROR) << "thread pool task escaped its wrapper: " << e.what();
+      stray_message = std::string("thread pool task escaped its wrapper: ") +
+                      e.what();
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stray_exceptions_;
-      KGOV_LOG(ERROR) << "thread pool task escaped its wrapper";
+      stray_message = "thread pool task escaped its wrapper";
+    }
+    if (!stray_message.empty()) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stray_exceptions_;
+      }
+      KGOV_LOG(ERROR) << stray_message;
     }
   }
 }

@@ -39,6 +39,19 @@ class Timer {
 
 /// Accumulates time across multiple start/stop windows (e.g. total solver
 /// time excluding setup).
+///
+/// Window semantics (telemetry::ScopedSpan and the stage timers are built
+/// on these, so they are pinned down by tests/test_timer.cc):
+///  * Start() on a running watch is a NO-OP: the open window keeps its
+///    original epoch and is NOT restarted. Exactly one window is ever
+///    open.
+///  * Stop() on a stopped watch is a no-op.
+///  * Reset() DISCARDS any open window (its elapsed time never reaches
+///    the total) and zeroes the accumulated total; the watch is stopped
+///    afterwards. To drop only the open window, call Reset() and re-add
+///    nothing; to keep it, Stop() first.
+///  * TotalSeconds() includes the open window's elapsed time, so it is
+///    monotone while running and stable while stopped.
 class StopWatch {
  public:
   void Start() {
@@ -55,10 +68,14 @@ class StopWatch {
     }
   }
 
+  /// Stops the watch, discarding the open window, and zeroes the total.
   void Reset() {
     accumulated_ = 0.0;
     running_ = false;
   }
+
+  /// True between Start() and the next Stop()/Reset().
+  bool IsRunning() const { return running_; }
 
   /// Total accumulated seconds, including the open window if running.
   double TotalSeconds() const {

@@ -13,10 +13,45 @@
 #include "graph/subgraph.h"
 #include "ppr/eipd.h"
 #include "ppr/eipd_engine.h"
+#include "telemetry/metrics.h"
 
 namespace kgov::core {
 
 namespace {
+
+// Split-and-merge stage telemetry; pointers resolved once.
+struct SplitMergeMetrics {
+  telemetry::Counter* solves;
+  telemetry::Counter* clusters;
+  telemetry::Counter* failed_clusters;
+  telemetry::Counter* quarantined_votes;
+  telemetry::Counter* votes_verified;
+  telemetry::Counter* votes_satisfied;
+  telemetry::Histogram* split_span;
+  telemetry::Histogram* solve_span;
+  telemetry::Histogram* cluster_span;
+  telemetry::Histogram* verify_span;
+  telemetry::Histogram* merge_span;
+
+  static const SplitMergeMetrics& Get() {
+    static const SplitMergeMetrics m = [] {
+      telemetry::MetricRegistry& reg = telemetry::MetricRegistry::Global();
+      return SplitMergeMetrics{
+          reg.GetCounter("split_merge.solves"),
+          reg.GetCounter("split_merge.clusters"),
+          reg.GetCounter("split_merge.failed_clusters"),
+          reg.GetCounter("split_merge.quarantined_votes"),
+          reg.GetCounter("split_merge.votes_verified"),
+          reg.GetCounter("split_merge.votes_satisfied"),
+          reg.GetHistogram("span.split_merge.split.seconds"),
+          reg.GetHistogram("span.split_merge.solve.seconds"),
+          reg.GetHistogram("span.split_merge.cluster.seconds"),
+          reg.GetHistogram("span.split_merge.verify.seconds"),
+          reg.GetHistogram("span.split_merge.merge.seconds")};
+    }();
+    return m;
+  }
+};
 
 // Accumulates per-variable deltas (x - x0) into `changes`, keyed by edge.
 void RecordDeltas(const ppr::EdgeVariableMap& vars,
@@ -179,6 +214,8 @@ Result<OptimizeReport> KgOptimizer::DistributedSplitMergeSolve(
 
 Result<OptimizeReport> KgOptimizer::SplitMergeImpl(
     const std::vector<votes::Vote>& votes, ThreadPool* pool) const {
+  const SplitMergeMetrics& metrics = SplitMergeMetrics::Get();
+  metrics.solves->Increment();
   OptimizeReport report;
   report.votes_in = votes.size();
   report.optimized = *graph_;
@@ -210,6 +247,8 @@ Result<OptimizeReport> KgOptimizer::SplitMergeImpl(
   }
   report.num_clusters = num_clusters;
   report.encode_seconds = timer.ElapsedSeconds();
+  metrics.split_span->Observe(report.encode_seconds);
+  metrics.clusters->Increment(num_clusters);
 
   // Frozen parent CSR shared (read-only) by all cluster tasks: each
   // verification builds a zero-copy induced sub-view over it instead of
@@ -240,6 +279,8 @@ Result<OptimizeReport> KgOptimizer::SplitMergeImpl(
         ClusterFailure{c, groups[c].size(), status});
     report.quarantined_votes.insert(report.quarantined_votes.end(),
                                     groups[c].begin(), groups[c].end());
+    metrics.failed_clusters->Increment();
+    metrics.quarantined_votes->Increment(groups[c].size());
     if (first_error.ok()) first_error = status;
   };
 
@@ -256,6 +297,7 @@ Result<OptimizeReport> KgOptimizer::SplitMergeImpl(
     Result<votes::EncodedProgram> encoded =
         cluster_encoder.EncodeBatch(groups[c]);
     if (!encoded.ok()) {
+      metrics.cluster_span->Observe(cluster_timer.ElapsedSeconds());
       std::lock_guard<std::mutex> lock(report_mu);
       cluster_handled[c] = 1;
       record_failure(c, encoded.status());
@@ -265,6 +307,7 @@ Result<OptimizeReport> KgOptimizer::SplitMergeImpl(
     ResilientSolveOutcome outcome = solver.Solve(program.problem, c);
     math::SgpSolution& solution = outcome.solution;
     if (outcome.exhausted) {
+      metrics.cluster_span->Observe(cluster_timer.ElapsedSeconds());
       std::lock_guard<std::mutex> lock(report_mu);
       cluster_handled[c] = 1;
       report.solve_attempts += outcome.attempts.size();
@@ -291,6 +334,7 @@ Result<OptimizeReport> KgOptimizer::SplitMergeImpl(
     size_t verified = 0;
     size_t satisfied = 0;
     if (options_.verify_cluster_solutions) {
+      telemetry::ScopedSpan verify_span(metrics.verify_span);
       std::unordered_map<graph::EdgeId, double> overrides;
       overrides.reserve(program.variables.NumVariables());
       for (size_t v = 0; v < program.variables.NumVariables(); ++v) {
@@ -336,6 +380,9 @@ Result<OptimizeReport> KgOptimizer::SplitMergeImpl(
       }
     }
 
+    metrics.cluster_span->Observe(cluster_timer.ElapsedSeconds());
+    metrics.votes_verified->Increment(verified);
+    metrics.votes_satisfied->Increment(satisfied);
     std::lock_guard<std::mutex> lock(report_mu);
     cluster_handled[c] = 1;
     report.cluster_seconds[c] = cluster_timer.ElapsedSeconds();
@@ -349,6 +396,7 @@ Result<OptimizeReport> KgOptimizer::SplitMergeImpl(
 
   Status parallel_status = ParallelFor(pool, num_clusters, solve_cluster);
   report.solve_seconds = timer.ElapsedSeconds();
+  metrics.solve_span->Observe(report.solve_seconds);
   // A task that died (threw) before recording any outcome still isolates
   // to its own cluster: quarantine it like a failed solve.
   if (!parallel_status.ok()) {
@@ -368,6 +416,7 @@ Result<OptimizeReport> KgOptimizer::SplitMergeImpl(
   }
 
   // Merge: resolve multi-cluster conflicts, apply, normalize.
+  telemetry::ScopedSpan merge_span(metrics.merge_span);
   std::unordered_map<graph::EdgeId, double> merged =
       cluster::MergeClusterDeltas(deltas, options_.merge_rule);
   for (const auto& [edge, delta] : merged) {

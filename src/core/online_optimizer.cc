@@ -7,8 +7,42 @@
 
 #include "common/fault_injection.h"
 #include "common/timer.h"
+#include "telemetry/metrics.h"
 
 namespace kgov::core {
+
+namespace {
+
+// Deployment-loop telemetry; pointers resolved once.
+struct OnlineMetrics {
+  telemetry::Counter* flushes;
+  telemetry::Counter* flush_failures;
+  telemetry::Counter* rollbacks;
+  telemetry::Counter* epoch_swaps;
+  telemetry::Counter* votes_applied;
+  telemetry::Counter* votes_quarantined;
+  telemetry::Counter* dead_lettered;
+  telemetry::Gauge* pending_votes;
+  telemetry::Histogram* flush_span;
+
+  static const OnlineMetrics& Get() {
+    static const OnlineMetrics m = [] {
+      telemetry::MetricRegistry& reg = telemetry::MetricRegistry::Global();
+      return OnlineMetrics{reg.GetCounter("online.flushes"),
+                           reg.GetCounter("online.flush_failures"),
+                           reg.GetCounter("online.rollbacks"),
+                           reg.GetCounter("online.epoch_swaps"),
+                           reg.GetCounter("online.votes_applied"),
+                           reg.GetCounter("online.votes_quarantined"),
+                           reg.GetCounter("online.dead_lettered"),
+                           reg.GetGauge("online.pending_votes"),
+                           reg.GetHistogram("span.online.flush.seconds")};
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 OnlineKgOptimizer::OnlineKgOptimizer(const graph::WeightedDigraph& initial,
                                      OnlineOptimizerOptions options)
@@ -58,6 +92,9 @@ size_t OnlineKgOptimizer::RequeueOrDeadLetter(
 Result<FlushReport> OnlineKgOptimizer::Flush() {
   FlushReport report;
   if (buffer_.empty()) return report;
+  const OnlineMetrics& metrics = OnlineMetrics::Get();
+  metrics.flushes->Increment();
+  telemetry::ScopedSpan flush_span(metrics.flush_span);
 
   std::vector<PendingVote> batch = std::move(buffer_);
   buffer_.clear();
@@ -76,7 +113,9 @@ Result<FlushReport> OnlineKgOptimizer::Flush() {
     // they are re-queued (bounded by max_vote_attempts) so a later flush -
     // possibly alongside fresh votes - can retry them.
     last_flush_status_ = result.status();
-    RequeueOrDeadLetter(std::move(batch));
+    metrics.flush_failures->Increment();
+    metrics.dead_lettered->Increment(RequeueOrDeadLetter(std::move(batch)));
+    metrics.pending_votes->Set(static_cast<double>(buffer_.size()));
     return result.status();
   }
   OptimizeReport& opt = result.value();
@@ -96,7 +135,11 @@ Result<FlushReport> OnlineKgOptimizer::Flush() {
       // were; the batch is re-queued for the next flush.
       ++rollback_count_;
       last_flush_status_ = valid;
-      RequeueOrDeadLetter(std::move(batch));
+      metrics.flush_failures->Increment();
+      metrics.rollbacks->Increment();
+      metrics.dead_lettered->Increment(
+          RequeueOrDeadLetter(std::move(batch)));
+      metrics.pending_votes->Set(static_cast<double>(buffer_.size()));
       return valid;
     }
   }
@@ -134,11 +177,16 @@ Result<FlushReport> OnlineKgOptimizer::Flush() {
   total_applied_ += applied;
   report.votes_dead_lettered = RequeueOrDeadLetter(std::move(quarantined));
   last_flush_status_ = Status::OK();
+  metrics.votes_applied->Increment(applied);
+  metrics.votes_quarantined->Increment(report.votes_quarantined);
+  metrics.dead_lettered->Increment(report.votes_dead_lettered);
+  metrics.pending_votes->Set(static_cast<double>(buffer_.size()));
   return report;
 }
 
 void OnlineKgOptimizer::PublishEpoch(
     std::shared_ptr<const graph::CsrSnapshot> snapshot) {
+  OnlineMetrics::Get().epoch_swaps->Increment();
   std::lock_guard<std::mutex> lock(serving_mu_);
   serving_ = ServingEpoch{std::move(snapshot), serving_.epoch + 1};
 }

@@ -10,6 +10,7 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/timer.h"
+#include "telemetry/metrics.h"
 
 namespace kgov::core {
 
@@ -38,10 +39,40 @@ bool BetterThan(const math::SgpSolution& a, const math::SgpSolution& b) {
   return a.objective < b.objective;
 }
 
+// Telemetry for the retry/fallback chain; pointers resolved once.
+struct ResilienceMetrics {
+  telemetry::Counter* solves;
+  telemetry::Counter* attempts;
+  telemetry::Counter* retries;
+  telemetry::Counter* fallback_switches;
+  telemetry::Counter* deadline_hits;
+  telemetry::Counter* recovered;
+  telemetry::Counter* exhausted;
+  telemetry::Histogram* attempt_span;
+
+  static const ResilienceMetrics& Get() {
+    static const ResilienceMetrics m = [] {
+      telemetry::MetricRegistry& reg = telemetry::MetricRegistry::Global();
+      return ResilienceMetrics{
+          reg.GetCounter("resilience.solves"),
+          reg.GetCounter("resilience.attempts"),
+          reg.GetCounter("resilience.retries"),
+          reg.GetCounter("resilience.fallback_switches"),
+          reg.GetCounter("resilience.deadline_hits"),
+          reg.GetCounter("resilience.recovered"),
+          reg.GetCounter("resilience.exhausted"),
+          reg.GetHistogram("span.resilience.attempt.seconds")};
+    }();
+    return m;
+  }
+};
+
 }  // namespace
 
 ResilientSolveOutcome ResilientSgpSolver::Solve(
     const math::SgpProblem& problem, uint64_t seed_salt) const {
+  const ResilienceMetrics& metrics = ResilienceMetrics::Get();
+  metrics.solves->Increment();
   ResilientSolveOutcome outcome;
   const int max_attempts = std::max(1, retry_.max_attempts);
 
@@ -102,16 +133,28 @@ ResilientSolveOutcome ResilientSgpSolver::Solve(
     record.seconds = timer.ElapsedSeconds();
     outcome.attempts.push_back(record);
 
+    metrics.attempts->Increment();
+    metrics.attempt_span->Observe(record.seconds);
+    if (attempt > 0) metrics.retries->Increment();
+    if (options.formulation != base_.formulation) {
+      metrics.fallback_switches->Increment();
+    }
+    if (solution.status.IsDeadlineExceeded()) {
+      metrics.deadline_hits->Increment();
+    }
+
     if (!have_best || BetterThan(solution, best)) {
       best = solution;
       have_best = true;
     }
     if (solution.status.ok()) {
+      if (attempt > 0) metrics.recovered->Increment();
       outcome.solution = std::move(solution);
       return outcome;
     }
     if (!IsRetryable(solution.status)) {
       // Structural failure: retrying cannot help.
+      metrics.exhausted->Increment();
       outcome.solution = std::move(solution);
       outcome.exhausted = true;
       return outcome;
@@ -122,6 +165,7 @@ ResilientSolveOutcome ResilientSgpSolver::Solve(
   }
 
   outcome.exhausted = true;
+  metrics.exhausted->Increment();
   if (retry_.accept_best_effort) {
     outcome.solution = std::move(best);
   } else {

@@ -7,6 +7,7 @@
 
 #include "common/logging.h"
 #include "math/vector_ops.h"
+#include "telemetry/metrics.h"
 
 namespace kgov::math {
 
@@ -206,8 +207,18 @@ SgpSolution CondensationSgpSolver::Solve(const SgpProblem& problem) const {
   LinearObjective objective(t_var);
   const double shift = std::log1p(options_.strict_margin);
 
+  static telemetry::Counter* const solves_counter =
+      telemetry::MetricRegistry::Global().GetCounter(
+          "sgp.condensation.solves");
+  static telemetry::Counter* const rounds_counter =
+      telemetry::MetricRegistry::Global().GetCounter(
+          "sgp.condensation.rounds");
+  telemetry::ScopedSpan span("sgp.condensation");
+  solves_counter->Increment();
+
   int total_iterations = 0;
   for (int outer = 0; outer < options_.max_outer_iterations; ++outer) {
+    rounds_counter->Increment();
     // Build the condensed GP at the current iterate.
     std::vector<std::unique_ptr<DifferentiableFunction>> owned;
     std::vector<const DifferentiableFunction*> constraints;

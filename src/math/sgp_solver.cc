@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "common/timer.h"
 #include "math/vector_ops.h"
+#include "telemetry/metrics.h"
 
 namespace kgov::math {
 
@@ -165,7 +166,54 @@ void SgpSolver::Sanitize(const SgpProblem& problem, SgpSolution* solution) {
   }
 }
 
+namespace {
+
+// Registry pointers resolved once; values survive MetricRegistry::Reset().
+struct SolverMetrics {
+  telemetry::Counter* solves;
+  telemetry::Counter* iterations;
+  telemetry::Counter* not_converged;
+  telemetry::Counter* infeasible;
+  telemetry::Counter* deadline_exceeded;
+  telemetry::Counter* numerical_errors;
+  telemetry::Histogram* solve_span;
+
+  static const SolverMetrics& Get() {
+    static const SolverMetrics m = [] {
+      telemetry::MetricRegistry& reg = telemetry::MetricRegistry::Global();
+      return SolverMetrics{reg.GetCounter("sgp.solver.solves"),
+                           reg.GetCounter("sgp.solver.iterations"),
+                           reg.GetCounter("sgp.solver.not_converged"),
+                           reg.GetCounter("sgp.solver.infeasible"),
+                           reg.GetCounter("sgp.solver.deadline_exceeded"),
+                           reg.GetCounter("sgp.solver.numerical_errors"),
+                           reg.GetHistogram("span.sgp.solve.seconds")};
+    }();
+    return m;
+  }
+};
+
+}  // namespace
+
 SgpSolution SgpSolver::Solve(const SgpProblem& problem) const {
+  const SolverMetrics& metrics = SolverMetrics::Get();
+  telemetry::ScopedSpan span(metrics.solve_span);
+  SgpSolution solution = SolveDispatch(problem);
+  metrics.solves->Increment();
+  metrics.iterations->Increment(
+      static_cast<uint64_t>(std::max(solution.iterations, 0)));
+  if (solution.status.IsNotConverged()) metrics.not_converged->Increment();
+  if (solution.status.IsInfeasible()) metrics.infeasible->Increment();
+  if (solution.status.IsDeadlineExceeded()) {
+    metrics.deadline_exceeded->Increment();
+  }
+  if (solution.status.IsNumericalError()) {
+    metrics.numerical_errors->Increment();
+  }
+  return solution;
+}
+
+SgpSolution SgpSolver::SolveDispatch(const SgpProblem& problem) const {
   SgpSolution solution;
   Status valid = problem.Validate();
   if (!valid.ok()) {

@@ -86,6 +86,10 @@ class SgpSolver {
   SgpSolution Solve(const SgpProblem& problem) const;
 
  private:
+  /// Validation + fault-injection + formulation dispatch; Solve wraps it
+  /// with the telemetry span and counters.
+  SgpSolution SolveDispatch(const SgpProblem& problem) const;
+
   SgpSolution SolveHard(const SgpProblem& problem) const;
   SgpSolution SolveDeviation(const SgpProblem& problem) const;
   SgpSolution SolveReduced(const SgpProblem& problem) const;

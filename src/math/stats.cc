@@ -33,15 +33,49 @@ double StdDev(const std::vector<double>& values) {
   return std::sqrt(ss / static_cast<double>(values.size() - 1));
 }
 
-double Percentile(std::vector<double> values, double p) {
+namespace {
+
+// Reads the linear-interpolated percentile out of an ascending-sorted
+// sample vector.
+double PercentileOfSorted(const std::vector<double>& sorted, double p) {
+  p = std::clamp(p, 0.0, 100.0);
+  double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+double Percentile(const std::vector<double>& values, double p) {
   if (values.empty()) return 0.0;
-  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values[0];
   p = std::clamp(p, 0.0, 100.0);
   double rank = p / 100.0 * static_cast<double>(values.size() - 1);
   size_t lo = static_cast<size_t>(rank);
   size_t hi = std::min(lo + 1, values.size() - 1);
   double frac = rank - static_cast<double>(lo);
-  return values[lo] * (1.0 - frac) + values[hi] * frac;
+  // Two order statistics via one nth_element: after selecting `lo`, the
+  // element at `hi` (== lo or lo+1) is the minimum of the upper partition.
+  std::vector<double> scratch = values;
+  std::nth_element(scratch.begin(), scratch.begin() + lo, scratch.end());
+  double at_lo = scratch[lo];
+  if (frac == 0.0 || hi == lo) return at_lo;
+  double at_hi =
+      *std::min_element(scratch.begin() + lo + 1, scratch.end());
+  return at_lo * (1.0 - frac) + at_hi * frac;
+}
+
+std::vector<double> Percentiles(const std::vector<double>& values,
+                                const std::vector<double>& ps) {
+  if (values.empty()) return std::vector<double>(ps.size(), 0.0);
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> out;
+  out.reserve(ps.size());
+  for (double p : ps) out.push_back(PercentileOfSorted(sorted, p));
+  return out;
 }
 
 double Min(const std::vector<double>& values) {

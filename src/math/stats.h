@@ -17,8 +17,18 @@ double Median(std::vector<double> values);
 /// Sample standard deviation (n-1 denominator); 0 for n < 2.
 double StdDev(const std::vector<double>& values);
 
-/// Linear-interpolated percentile, p in [0, 100]; 0 for empty.
-double Percentile(std::vector<double> values, double p);
+/// Linear-interpolated percentile, p in [0, 100] (clamped); 0 for empty.
+/// Takes the samples by const reference and selects via nth_element on a
+/// scratch copy of the two needed order statistics -- no full sort, no
+/// caller-visible copy of the sample set.
+double Percentile(const std::vector<double>& values, double p);
+
+/// Several percentiles of one sample set in one pass: sorts a single
+/// scratch copy and reads every requested p from it. The cheap path for
+/// telemetry snapshots (p50/p95/p99 per histogram). Returns one value per
+/// entry of `ps`, in the same order; all zeros for an empty input.
+std::vector<double> Percentiles(const std::vector<double>& values,
+                                const std::vector<double>& ps);
 
 /// Min / max; 0 for empty.
 double Min(const std::vector<double>& values);

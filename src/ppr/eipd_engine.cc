@@ -1,5 +1,8 @@
 #include "ppr/eipd_engine.h"
 
+#include "common/timer.h"
+#include "telemetry/metrics.h"
+
 namespace kgov::ppr {
 
 PropagationWorkspace& ThreadLocalWorkspace() {
@@ -17,6 +20,16 @@ const std::vector<double>& EipdEngine::Propagate(
     const QuerySeed& seed,
     const std::unordered_map<graph::EdgeId, double>* overrides,
     PropagationWorkspace* ws) const {
+  // Serving-latency telemetry: one Timer (two steady-clock reads) and one
+  // histogram Observe per propagation -- a fraction of a percent of a
+  // single propagation pass on the bench graph.
+  static telemetry::Histogram* const latency =
+      telemetry::MetricRegistry::Global().GetHistogram(
+          "serving.eipd.propagate.seconds");
+  static telemetry::Counter* const queries =
+      telemetry::MetricRegistry::Global().GetCounter(
+          "serving.eipd.queries");
+  Timer timer;
   if (overrides != nullptr) {
     // Overrides are keyed by EdgeId; without the edge-id table they would
     // be silently ignored, so fail loudly (an edgeless view has nothing to
@@ -26,6 +39,8 @@ const std::vector<double>& EipdEngine::Propagate(
   if (ws == nullptr) ws = &ThreadLocalWorkspace();
   internal::PropagatePhi(internal::ViewAdjacency{view_}, seed, options_,
                          overrides, ws);
+  queries->Increment();
+  latency->Observe(timer.ElapsedSeconds());
   return ws->phi;
 }
 

@@ -1,0 +1,248 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "math/stats.h"
+
+namespace kgov::telemetry {
+
+namespace {
+
+// Relaxed-CAS accumulate / min / max for atomic<double>: exactness of the
+// *count* is what the concurrency tests pin down; the sum converges to the
+// true total because every CAS retries until its delta lands.
+void AtomicAdd(std::atomic<double>* target, double delta) {
+  double current = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(current, current + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>* target, double value) {
+  double current = target->load(std::memory_order_relaxed);
+  while (value < current &&
+         !target->compare_exchange_weak(current, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>* target, double value) {
+  double current = target->load(std::memory_order_relaxed);
+  while (value > current &&
+         !target->compare_exchange_weak(current, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+// JSON number formatting: shortest form that round-trips doubles well
+// enough for operational snapshots; NaN/Inf (which should never appear)
+// degrade to 0 so the document stays parseable.
+std::string JsonNum(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+const std::vector<double>& DefaultLatencyBuckets() {
+  // 1us .. ~30s, roughly x2.15 per step: fine resolution where serving
+  // latencies live, coarse at the solver end.
+  static const std::vector<double> kBuckets = [] {
+    std::vector<double> b;
+    double v = 1e-6;
+    while (v < 30.0) {
+      b.push_back(v);
+      v *= 2.15;
+    }
+    b.push_back(30.0);
+    return b;
+  }();
+  return kBuckets;
+}
+
+Histogram::Histogram(HistogramOptions options)
+    : bounds_(std::move(options.bucket_bounds)),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()),
+      reservoir_capacity_(std::max<size_t>(1, options.reservoir_capacity)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  reservoir_.reserve(std::min<size_t>(reservoir_capacity_, 1024));
+}
+
+void Histogram::Observe(double value) {
+  // Bounds are inclusive upper edges ("le"): the first bound >= value is
+  // the bucket; values above every bound land in the trailing overflow.
+  size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&sum_, value);
+  AtomicMin(&min_, value);
+  AtomicMax(&max_, value);
+  {
+    std::lock_guard<std::mutex> lock(reservoir_mu_);
+    if (reservoir_.size() < reservoir_capacity_) {
+      reservoir_.push_back(value);
+    } else {
+      reservoir_[reservoir_next_] = value;
+      reservoir_next_ = (reservoir_next_ + 1) % reservoir_capacity_;
+    }
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.bucket_bounds = bounds_;
+  snap.bucket_counts.resize(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    snap.bucket_counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.mean = snap.count == 0 ? 0.0
+                              : snap.sum / static_cast<double>(snap.count);
+  snap.min = snap.count == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+  snap.max = snap.count == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+  std::vector<double> samples;
+  {
+    std::lock_guard<std::mutex> lock(reservoir_mu_);
+    samples = reservoir_;
+  }
+  if (!samples.empty()) {
+    // One sort of one scratch copy serves all three percentiles.
+    std::vector<double> ps =
+        math::Percentiles(samples, {50.0, 95.0, 99.0});
+    snap.p50 = ps[0];
+    snap.p95 = ps[1];
+    snap.p99 = ps[2];
+  }
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(reservoir_mu_);
+  reservoir_.clear();
+  reservoir_next_ = 0;
+}
+
+MetricRegistry& MetricRegistry::Global() {
+  static MetricRegistry* registry = new MetricRegistry();
+  return *registry;
+}
+
+Counter* MetricRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricRegistry::GetHistogram(const std::string& name,
+                                        const HistogramOptions& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(options);
+  return slot.get();
+}
+
+void MetricRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+std::string MetricRegistry::SnapshotJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    out << (first ? "\n" : ",\n") << "    \"" << name
+        << "\": " << counter->Value();
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    out << (first ? "\n" : ",\n") << "    \"" << name
+        << "\": " << JsonNum(gauge->Value());
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot snap = histogram->Snapshot();
+    out << (first ? "\n" : ",\n") << "    \"" << name << "\": {\n"
+        << "      \"count\": " << snap.count << ",\n"
+        << "      \"sum\": " << JsonNum(snap.sum) << ",\n"
+        << "      \"min\": " << JsonNum(snap.min) << ",\n"
+        << "      \"max\": " << JsonNum(snap.max) << ",\n"
+        << "      \"mean\": " << JsonNum(snap.mean) << ",\n"
+        << "      \"p50\": " << JsonNum(snap.p50) << ",\n"
+        << "      \"p95\": " << JsonNum(snap.p95) << ",\n"
+        << "      \"p99\": " << JsonNum(snap.p99) << ",\n"
+        << "      \"buckets\": [";
+    std::string buckets;
+    for (size_t i = 0; i < snap.bucket_counts.size(); ++i) {
+      // Sparse: zero finite buckets are elided; the trailing +inf
+      // overflow bucket always prints so parsers see the full range.
+      const bool is_overflow = i + 1 == snap.bucket_counts.size();
+      if (snap.bucket_counts[i] == 0 && !is_overflow) continue;
+      if (!buckets.empty()) buckets += ",";
+      buckets += "\n        {\"le\": ";
+      buckets += i < snap.bucket_bounds.size()
+                     ? JsonNum(snap.bucket_bounds[i])
+                     : std::string("\"+inf\"");
+      buckets += ", \"count\": " + std::to_string(snap.bucket_counts[i]) +
+                 "}";
+    }
+    out << buckets << (buckets.empty() ? "" : "\n      ") << "]\n    }";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "}\n}\n";
+  return out.str();
+}
+
+Status MetricRegistry::WriteSnapshotJson(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IoError("cannot write telemetry snapshot to " + path);
+  }
+  out << SnapshotJson();
+  if (!out.good()) {
+    return Status::IoError("short write of telemetry snapshot to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace kgov::telemetry

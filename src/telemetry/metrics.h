@@ -1,0 +1,193 @@
+// Runtime telemetry for the solve and serving pipelines: a process-wide
+// MetricRegistry of named counters, gauges, and fixed-bucket latency
+// histograms, plus RAII ScopedSpan stage timers built on common/timer.h.
+//
+// Design constraints (see docs/observability.md):
+//  * Hot-path cost must be a handful of relaxed atomic ops: counters and
+//    histogram bucket updates are lock-free; only the bounded percentile
+//    reservoir takes a (tiny, per-histogram) mutex.
+//  * Metric objects are never removed once registered, so instrumentation
+//    sites may cache the returned pointer in a function-local static and
+//    skip the registry lookup forever after. Reset() zeroes values but
+//    keeps every registration (and thus every cached pointer) valid.
+//  * Snapshots are JSON, with histogram p50/p95/p99 computed from a
+//    bounded reservoir of recent samples via math::Percentile.
+//
+// Naming scheme: dot-separated lowercase paths, `<subsystem>.<detail>`
+// (e.g. "sgp.solver.iterations"). Stage spans are histograms named
+// "span.<stage path>.seconds" and are what ScopedSpan records into.
+
+#ifndef KGOV_TELEMETRY_METRICS_H_
+#define KGOV_TELEMETRY_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/timer.h"
+
+namespace kgov::telemetry {
+
+/// Monotonically increasing event count. Lock-free; exact under any
+/// number of concurrent writers.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (queue depths, epoch numbers).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Bucket layout and reservoir size for a Histogram. Bounds are upper
+/// edges in ascending order; an implicit +inf bucket catches the rest.
+struct HistogramOptions {
+  std::vector<double> bucket_bounds;
+  /// Samples retained for percentile estimation. Once full the reservoir
+  /// wraps (a ring of the most recent samples).
+  size_t reservoir_capacity = 4096;
+};
+
+/// 26 exponential latency buckets from 1us to ~30s, the default for
+/// span/latency histograms.
+const std::vector<double>& DefaultLatencyBuckets();
+
+/// Everything a histogram knows at one instant.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  std::vector<double> bucket_bounds;
+  std::vector<uint64_t> bucket_counts;  // one extra trailing +inf bucket
+};
+
+/// Fixed-bucket histogram with a bounded percentile reservoir. Observe()
+/// is one branchless-ish bucket search plus four relaxed atomics and a
+/// short critical section appending to the reservoir ring.
+class Histogram {
+ public:
+  explicit Histogram(HistogramOptions options);
+
+  void Observe(double value);
+
+  /// Count of observations so far (exact).
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+
+  HistogramSnapshot Snapshot() const;
+
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  // +/-inf sentinels; Snapshot() reports 0 for an empty histogram.
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+
+  mutable std::mutex reservoir_mu_;
+  std::vector<double> reservoir_;  // ring buffer of recent samples
+  size_t reservoir_next_ = 0;
+  size_t reservoir_capacity_;
+};
+
+/// Process-wide metric registry. GetX() registers on first use and
+/// returns a pointer that stays valid for the process lifetime; callers
+/// on hot paths should cache it (function-local static). All methods are
+/// thread-safe.
+class MetricRegistry {
+ public:
+  static MetricRegistry& Global();
+
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// `options` applies only on first registration of `name`.
+  Histogram* GetHistogram(const std::string& name,
+                          const HistogramOptions& options = {
+                              DefaultLatencyBuckets()});
+
+  /// Zeroes every metric's value. Registrations (and cached pointers)
+  /// survive; tests and benchmarks call this between scenarios.
+  void Reset();
+
+  /// The full registry as a JSON document (metrics sorted by name, so
+  /// snapshots are diffable).
+  std::string SnapshotJson() const;
+
+  /// Writes SnapshotJson() to `path`.
+  Status WriteSnapshotJson(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// RAII stage timer: records the scope's wall time (common/timer.h
+/// steady-clock Timer) into a histogram on destruction. Use the
+/// name-based constructor for one-off stages, or hand it a cached
+/// Histogram* on hot paths.
+class ScopedSpan {
+ public:
+  /// Records into "span.<name>.seconds" in the global registry.
+  explicit ScopedSpan(const std::string& name)
+      : histogram_(MetricRegistry::Global().GetHistogram(
+            "span." + name + ".seconds")) {}
+
+  explicit ScopedSpan(Histogram* histogram) : histogram_(histogram) {}
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan() {
+    if (histogram_ != nullptr) histogram_->Observe(timer_.ElapsedSeconds());
+  }
+
+  /// Drops the measurement (the span records nothing on destruction).
+  void Cancel() { histogram_ = nullptr; }
+
+  /// Seconds since the span opened.
+  double ElapsedSeconds() const { return timer_.ElapsedSeconds(); }
+
+ private:
+  Timer timer_;
+  Histogram* histogram_;
+};
+
+}  // namespace kgov::telemetry
+
+#endif  // KGOV_TELEMETRY_METRICS_H_

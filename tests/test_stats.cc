@@ -72,5 +72,39 @@ TEST(StatsTest, MedianOfPercentile50Agrees) {
   EXPECT_DOUBLE_EQ(Median(v), Percentile(v, 50.0));
 }
 
+TEST(StatsTest, PercentileSingleElementIsThatElement) {
+  std::vector<double> v{42.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50.0), 42.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100.0), 42.0);
+}
+
+TEST(StatsTest, PercentileEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(Percentile({}, 50.0), 0.0);
+}
+
+TEST(StatsTest, PercentileDoesNotMutateInput) {
+  std::vector<double> v{9.0, 1.0, 5.0};
+  Percentile(v, 75.0);
+  EXPECT_EQ(v, (std::vector<double>{9.0, 1.0, 5.0}));
+}
+
+TEST(StatsTest, PercentilesMatchRepeatedSingleCalls) {
+  std::vector<double> v{5.0, 1.0, 9.0, 3.0, 7.0, 2.0, 8.0};
+  std::vector<double> ps{0.0, 25.0, 50.0, 95.0, 100.0};
+  std::vector<double> batch = Percentiles(v, ps);
+  ASSERT_EQ(batch.size(), ps.size());
+  for (size_t i = 0; i < ps.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], Percentile(v, ps[i])) << "p=" << ps[i];
+  }
+}
+
+TEST(StatsTest, PercentilesOnEmptyInputAreZeros) {
+  std::vector<double> out = Percentiles({}, {50.0, 95.0});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 0.0);
+}
+
 }  // namespace
 }  // namespace kgov::math

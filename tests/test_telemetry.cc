@@ -1,0 +1,340 @@
+#include "telemetry/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "common/thread_pool.h"
+#include "core/resilience.h"
+#include "math/monomial.h"
+#include "math/sgp_problem.h"
+#include "math/sgp_solver.h"
+#include "math/signomial.h"
+
+namespace kgov::telemetry {
+namespace {
+
+TEST(CounterTest, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.Value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+}
+
+TEST(GaugeTest, LastWriteWins) {
+  Gauge g;
+  EXPECT_EQ(g.Value(), 0.0);
+  g.Set(3.5);
+  g.Set(-1.25);
+  EXPECT_EQ(g.Value(), -1.25);
+  g.Reset();
+  EXPECT_EQ(g.Value(), 0.0);
+}
+
+TEST(HistogramTest, EmptySnapshotIsAllZeros) {
+  Histogram h(HistogramOptions{{1.0, 2.0}});
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.sum, 0.0);
+  EXPECT_EQ(snap.min, 0.0);
+  EXPECT_EQ(snap.max, 0.0);
+  EXPECT_EQ(snap.mean, 0.0);
+  EXPECT_EQ(snap.p50, 0.0);
+}
+
+TEST(HistogramTest, BucketAssignmentUsesUpperEdges) {
+  Histogram h(HistogramOptions{{1.0, 2.0, 4.0}});
+  // Bucket layout: (-inf,1], (1,2], (2,4], (4,+inf).
+  h.Observe(0.5);
+  h.Observe(1.0);  // boundary lands in the <=1 bucket
+  h.Observe(1.5);
+  h.Observe(3.0);
+  h.Observe(100.0);
+  HistogramSnapshot snap = h.Snapshot();
+  ASSERT_EQ(snap.bucket_counts.size(), 4u);
+  EXPECT_EQ(snap.bucket_counts[0], 2u);
+  EXPECT_EQ(snap.bucket_counts[1], 1u);
+  EXPECT_EQ(snap.bucket_counts[2], 1u);
+  EXPECT_EQ(snap.bucket_counts[3], 1u);
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_DOUBLE_EQ(snap.min, 0.5);
+  EXPECT_DOUBLE_EQ(snap.max, 100.0);
+  EXPECT_DOUBLE_EQ(snap.sum, 106.0);
+}
+
+TEST(HistogramTest, PercentilesFromReservoir) {
+  Histogram h(HistogramOptions{{1000.0}});
+  for (int i = 1; i <= 100; ++i) h.Observe(static_cast<double>(i));
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_NEAR(snap.p50, 50.5, 1.0);
+  EXPECT_NEAR(snap.p95, 95.0, 1.5);
+  EXPECT_NEAR(snap.p99, 99.0, 1.5);
+}
+
+TEST(HistogramTest, ReservoirWrapsKeepingRecentSamples) {
+  HistogramOptions options;
+  options.bucket_bounds = {1e9};
+  options.reservoir_capacity = 8;
+  Histogram h(options);
+  // 100 old samples at 1.0, then 8 fresh ones at 5.0: the ring holds only
+  // the fresh tail, so the percentiles follow the recent distribution.
+  for (int i = 0; i < 100; ++i) h.Observe(1.0);
+  for (int i = 0; i < 8; ++i) h.Observe(5.0);
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 108u);  // exact even though the reservoir wrapped
+  EXPECT_DOUBLE_EQ(snap.p50, 5.0);
+}
+
+TEST(HistogramTest, ResetRestartsMinMaxTracking) {
+  Histogram h(HistogramOptions{{10.0}});
+  h.Observe(-5.0);
+  h.Observe(7.0);
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0u);
+  // A fresh observation after Reset must not compare against stale
+  // sentinels from before the reset.
+  h.Observe(2.0);
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_DOUBLE_EQ(snap.min, 2.0);
+  EXPECT_DOUBLE_EQ(snap.max, 2.0);
+  EXPECT_EQ(snap.count, 1u);
+}
+
+TEST(RegistryTest, SameNameReturnsSamePointer) {
+  MetricRegistry registry;
+  Counter* a = registry.GetCounter("x.count");
+  Counter* b = registry.GetCounter("x.count");
+  EXPECT_EQ(a, b);
+  Histogram* ha = registry.GetHistogram("x.seconds");
+  Histogram* hb = registry.GetHistogram("x.seconds");
+  EXPECT_EQ(ha, hb);
+  EXPECT_NE(static_cast<void*>(a), static_cast<void*>(ha));
+}
+
+TEST(RegistryTest, ResetZeroesValuesButKeepsRegistrations) {
+  MetricRegistry registry;
+  Counter* c = registry.GetCounter("r.count");
+  Histogram* h = registry.GetHistogram("r.seconds");
+  c->Increment(3);
+  h->Observe(1.0);
+  registry.Reset();
+  EXPECT_EQ(c->Value(), 0u);
+  EXPECT_EQ(h->Count(), 0u);
+  // The old pointers still feed the same registered metrics.
+  c->Increment();
+  EXPECT_EQ(registry.GetCounter("r.count")->Value(), 1u);
+}
+
+TEST(RegistryTest, SnapshotJsonContainsEverySection) {
+  MetricRegistry registry;
+  registry.GetCounter("a.count")->Increment(7);
+  registry.GetGauge("a.depth")->Set(2.5);
+  registry.GetHistogram("a.seconds")->Observe(0.5);
+  std::string json = registry.SnapshotJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"a.count\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"a.depth\": 2.5"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_NE(json.find("\"+inf\""), std::string::npos);
+}
+
+TEST(RegistryTest, WriteSnapshotJsonRoundTripsToDisk) {
+  MetricRegistry registry;
+  registry.GetCounter("w.count")->Increment();
+  std::string path = testing::TempDir() + "/kgov_telemetry_snapshot.json";
+  ASSERT_TRUE(registry.WriteSnapshotJson(path).ok());
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, registry.SnapshotJson());
+  std::remove(path.c_str());
+}
+
+TEST(RegistryTest, WriteSnapshotJsonFailsCleanlyOnBadPath) {
+  MetricRegistry registry;
+  EXPECT_FALSE(
+      registry.WriteSnapshotJson("/nonexistent-dir/snapshot.json").ok());
+}
+
+TEST(ScopedSpanTest, RecordsElapsedSecondsOnDestruction) {
+  Histogram h(HistogramOptions{DefaultLatencyBuckets()});
+  {
+    ScopedSpan span(&h);
+  }
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_GE(snap.min, 0.0);
+  EXPECT_LT(snap.max, 5.0);  // an empty scope is nowhere near 5s
+}
+
+TEST(ScopedSpanTest, CancelDropsTheMeasurement) {
+  Histogram h(HistogramOptions{DefaultLatencyBuckets()});
+  {
+    ScopedSpan span(&h);
+    span.Cancel();
+  }
+  EXPECT_EQ(h.Count(), 0u);
+}
+
+TEST(ScopedSpanTest, NameConstructorTargetsSpanNamespace) {
+  Histogram* h = MetricRegistry::Global().GetHistogram(
+      "span.test_telemetry.stage.seconds");
+  uint64_t before = h->Count();
+  {
+    ScopedSpan span(std::string("test_telemetry.stage"));
+  }
+  EXPECT_EQ(h->Count(), before + 1);
+}
+
+// The satellite concurrency requirement: N threads hammering the same
+// counters and histogram through a ThreadPool must lose nothing.
+TEST(ConcurrencyTest, CountersAndHistogramsAreExactUnderContention) {
+  MetricRegistry registry;
+  Counter* counter = registry.GetCounter("stress.count");
+  Histogram* histogram = registry.GetHistogram("stress.seconds");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  {
+    ThreadPool pool(kThreads);
+    std::vector<std::future<void>> futures;
+    futures.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      futures.push_back(pool.Submit([counter, histogram, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          counter->Increment();
+          histogram->Observe(static_cast<double>(t) * 1e-4);
+        }
+      }));
+    }
+    for (auto& f : futures) f.get();
+  }
+  EXPECT_EQ(counter->Value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  HistogramSnapshot snap = histogram->Snapshot();
+  EXPECT_EQ(snap.count, static_cast<uint64_t>(kThreads) * kPerThread);
+  uint64_t bucket_total = 0;
+  for (uint64_t b : snap.bucket_counts) bucket_total += b;
+  EXPECT_EQ(bucket_total, snap.count);
+}
+
+TEST(ConcurrencyTest, RegistrationRacesResolveToOneMetric) {
+  MetricRegistry registry;
+  constexpr int kThreads = 8;
+  std::vector<Counter*> seen(kThreads);
+  {
+    ThreadPool pool(kThreads);
+    std::vector<std::future<void>> futures;
+    for (int t = 0; t < kThreads; ++t) {
+      futures.push_back(pool.Submit([&registry, &seen, t] {
+        Counter* c = registry.GetCounter("race.count");
+        c->Increment();
+        seen[static_cast<size_t>(t)] = c;
+      }));
+    }
+    for (auto& f : futures) f.get();
+  }
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(seen[0], seen[t]);
+  EXPECT_EQ(seen[0]->Value(), static_cast<uint64_t>(kThreads));
+}
+
+// The fault-injection satellite: drive ResilientSgpSolver through a
+// deterministic failure schedule and pin the global counters to it.
+class ResilienceTelemetryTest : public ::testing::Test {
+ protected:
+  static math::SgpProblem MakeSwapProblem() {
+    math::SgpProblem problem;
+    problem.AddVariable(0.3, 0.01, 1.0);
+    problem.AddVariable(0.7, 0.01, 1.0);
+    math::Signomial g;
+    g.AddTerm(math::Monomial(1.0, {{1, 1.0}}));
+    g.AddTerm(math::Monomial(-1.0, {{0, 1.0}}));
+    problem.AddConstraint(g, "x1<=x0");
+    return problem;
+  }
+};
+
+TEST_F(ResilienceTelemetryTest, RetryCountersMatchInjectedSchedule) {
+  MetricRegistry& reg = MetricRegistry::Global();
+  const uint64_t solves0 = reg.GetCounter("resilience.solves")->Value();
+  const uint64_t attempts0 = reg.GetCounter("resilience.attempts")->Value();
+  const uint64_t retries0 = reg.GetCounter("resilience.retries")->Value();
+  const uint64_t recovered0 =
+      reg.GetCounter("resilience.recovered")->Value();
+  const uint64_t span0 =
+      reg.GetHistogram("span.resilience.attempt.seconds")->Count();
+
+  // Schedule: exactly 2 forced non-convergences, then a clean solve ->
+  // one logical solve, 3 attempts, 2 retries, 1 recovery.
+  ScopedFault fault(FaultSite::kSolveNonConvergence,
+                    {.probability = 1.0, .max_fires = 2});
+  core::RetryOptions retry;
+  retry.max_attempts = 3;
+  core::ResilientSgpSolver solver(math::SgpSolverOptions{}, retry);
+  core::ResilientSolveOutcome outcome = solver.Solve(MakeSwapProblem());
+  ASSERT_TRUE(outcome.solution.status.ok());
+  ASSERT_EQ(outcome.attempts.size(), 3u);
+
+  EXPECT_EQ(reg.GetCounter("resilience.solves")->Value(), solves0 + 1);
+  EXPECT_EQ(reg.GetCounter("resilience.attempts")->Value(), attempts0 + 3);
+  EXPECT_EQ(reg.GetCounter("resilience.retries")->Value(), retries0 + 2);
+  EXPECT_EQ(reg.GetCounter("resilience.recovered")->Value(),
+            recovered0 + 1);
+  EXPECT_EQ(reg.GetHistogram("span.resilience.attempt.seconds")->Count(),
+            span0 + 3);
+}
+
+TEST_F(ResilienceTelemetryTest, ExhaustionCounterMatchesInjectedSchedule) {
+  MetricRegistry& reg = MetricRegistry::Global();
+  const uint64_t exhausted0 =
+      reg.GetCounter("resilience.exhausted")->Value();
+  const uint64_t attempts0 = reg.GetCounter("resilience.attempts")->Value();
+
+  // Every attempt fails: the chain must exhaust after max_attempts.
+  ScopedFault fault(FaultSite::kSolveNonConvergence, {.probability = 1.0});
+  core::RetryOptions retry;
+  retry.max_attempts = 2;
+  core::ResilientSgpSolver solver(math::SgpSolverOptions{}, retry);
+  core::ResilientSolveOutcome outcome = solver.Solve(MakeSwapProblem());
+  EXPECT_TRUE(outcome.exhausted);
+
+  EXPECT_EQ(reg.GetCounter("resilience.exhausted")->Value(),
+            exhausted0 + 1);
+  EXPECT_EQ(reg.GetCounter("resilience.attempts")->Value(), attempts0 + 2);
+}
+
+TEST(SolverTelemetryTest, SolveFeedsIterationAndSpanMetrics) {
+  MetricRegistry& reg = MetricRegistry::Global();
+  const uint64_t solves0 = reg.GetCounter("sgp.solver.solves")->Value();
+  const uint64_t iters0 = reg.GetCounter("sgp.solver.iterations")->Value();
+  const uint64_t span0 =
+      reg.GetHistogram("span.sgp.solve.seconds")->Count();
+
+  math::SgpProblem problem;
+  problem.AddVariable(0.3, 0.01, 1.0);
+  problem.AddVariable(0.7, 0.01, 1.0);
+  math::Signomial g;
+  g.AddTerm(math::Monomial(1.0, {{1, 1.0}}));
+  g.AddTerm(math::Monomial(-1.0, {{0, 1.0}}));
+  problem.AddConstraint(g, "x1<=x0");
+  math::SgpSolution solution =
+      math::SgpSolver(math::SgpSolverOptions{}).Solve(problem);
+  ASSERT_TRUE(solution.status.ok());
+
+  EXPECT_EQ(reg.GetCounter("sgp.solver.solves")->Value(), solves0 + 1);
+  EXPECT_GE(reg.GetCounter("sgp.solver.iterations")->Value(),
+            iters0 + static_cast<uint64_t>(solution.iterations));
+  EXPECT_EQ(reg.GetHistogram("span.sgp.solve.seconds")->Count(),
+            span0 + 1);
+}
+
+}  // namespace
+}  // namespace kgov::telemetry

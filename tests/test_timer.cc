@@ -66,5 +66,44 @@ TEST(StopWatchTest, DoubleStartIsIdempotent) {
   EXPECT_GE(watch.TotalSeconds(), 0.008);
 }
 
+TEST(StopWatchTest, StartWhileRunningKeepsTheOpenWindowsEpoch) {
+  StopWatch watch;
+  watch.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  watch.Start();  // no-op: the window opened 10ms ago stays open
+  EXPECT_TRUE(watch.IsRunning());
+  EXPECT_GE(watch.TotalSeconds(), 0.008);  // Start did not re-zero it
+}
+
+TEST(StopWatchTest, ResetDiscardsTheOpenWindow) {
+  StopWatch watch;
+  watch.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  watch.Reset();  // the 10ms open window must NOT leak into the total
+  EXPECT_FALSE(watch.IsRunning());
+  EXPECT_EQ(watch.TotalSeconds(), 0.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(watch.TotalSeconds(), 0.0);  // stays stopped after Reset
+}
+
+TEST(StopWatchTest, ResetThenStartMeasuresFreshWindow) {
+  StopWatch watch;
+  watch.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  watch.Reset();
+  watch.Start();
+  EXPECT_TRUE(watch.IsRunning());
+  // The pre-Reset 10ms is gone; the fresh window has barely begun.
+  EXPECT_LT(watch.TotalSeconds(), 0.008);
+  watch.Stop();
+}
+
+TEST(StopWatchTest, StopWithoutStartIsANoOp) {
+  StopWatch watch;
+  watch.Stop();
+  EXPECT_EQ(watch.TotalSeconds(), 0.0);
+  EXPECT_FALSE(watch.IsRunning());
+}
+
 }  // namespace
 }  // namespace kgov

@@ -27,9 +27,38 @@ fi
 
 if [[ "${KGOV_SKIP_BENCH:-0}" != "1" ]]; then
   echo "== [3/3] serving-path bench =="
+  TELEMETRY_JSON="$REPO_ROOT/BENCH_serving_telemetry.json"
+  rm -f "$TELEMETRY_JSON"
   "$BUILD_DIR/bench/bench_serving_path" \
       --json "$REPO_ROOT/BENCH_serving.json" \
+      --telemetry-json "$TELEMETRY_JSON" \
       --benchmark_min_time=0.1
+
+  # The bench must leave behind a well-formed telemetry snapshot with the
+  # serving-latency histogram populated (docs/observability.md).
+  if [[ ! -s "$TELEMETRY_JSON" ]]; then
+    echo "FAIL: telemetry snapshot $TELEMETRY_JSON missing or empty" >&2
+    exit 1
+  fi
+  python3 - "$TELEMETRY_JSON" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    snap = json.load(f)
+for section in ("counters", "gauges", "histograms"):
+    if section not in snap:
+        sys.exit(f"FAIL: telemetry snapshot lacks '{section}'")
+hist = snap["histograms"].get("serving.eipd.propagate.seconds")
+if not hist or hist.get("count", 0) == 0:
+    sys.exit("FAIL: serving.eipd.propagate.seconds histogram is empty")
+for key in ("p50", "p95", "p99", "buckets"):
+    if key not in hist:
+        sys.exit(f"FAIL: serving latency histogram lacks '{key}'")
+if snap["counters"].get("serving.eipd.queries", 0) == 0:
+    sys.exit("FAIL: serving.eipd.queries counter is zero")
+print("telemetry snapshot OK:",
+      hist["count"], "propagations,",
+      "p50={:.3g}s p99={:.3g}s".format(hist["p50"], hist["p99"]))
+EOF
 else
   echo "== [3/3] serving bench skipped (KGOV_SKIP_BENCH=1) =="
 fi

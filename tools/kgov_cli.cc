@@ -39,6 +39,7 @@
 #include "qa/kg_builder.h"
 #include "qa/metrics.h"
 #include "qa/qa_system.h"
+#include "telemetry/metrics.h"
 #include "votes/aggregate.h"
 #include "votes/conflict.h"
 #include "votes/votes_io.h"
@@ -53,7 +54,15 @@ class Flags {
   Flags(int argc, char** argv, int first) {
     for (int i = first; i < argc; ++i) {
       std::string key = argv[i];
-      if (key.rfind("--", 0) == 0 && i + 1 < argc) {
+      if (key.rfind("--", 0) != 0) {
+        extra_.push_back(key);
+        continue;
+      }
+      // Both spellings are accepted: "--key=value" and "--key value".
+      size_t eq = key.find('=');
+      if (eq != std::string::npos) {
+        values_[key.substr(2, eq - 2)] = key.substr(eq + 1);
+      } else if (i + 1 < argc) {
         values_[key.substr(2)] = argv[++i];
       } else {
         extra_.push_back(key);
@@ -383,7 +392,11 @@ int Usage() {
       "  optimize      --graph F --votes F --out F [--strategy "
       "single|multi|sm --lambda1 X --lambda2 X --length L --aggregate 0|1]\n"
       "  conflicts     --votes F [--min-overlap X]\n"
-      "  stats         --graph F\n");
+      "  stats         --graph F\n"
+      "global flags:\n"
+      "  --telemetry-json F   write a runtime-metrics snapshot (counters,\n"
+      "                       stage spans, latency histograms) to F after\n"
+      "                       the command finishes\n");
   return 2;
 }
 
@@ -412,6 +425,16 @@ int Main(int argc, char** argv) {
     status = CmdStats(flags);
   } else {
     return Usage();
+  }
+  // Dump the telemetry snapshot even when the command failed: the counters
+  // around the failure are exactly what an operator wants to see.
+  if (auto telemetry_path = flags.Get("telemetry-json")) {
+    Status dumped = telemetry::MetricRegistry::Global().WriteSnapshotJson(
+        *telemetry_path);
+    if (!dumped.ok()) {
+      std::fprintf(stderr, "error: %s\n", dumped.ToString().c_str());
+      if (status.ok()) status = dumped;
+    }
   }
   if (!status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
