@@ -1,0 +1,237 @@
+// Concurrent serving throughput: serve::QueryEngine over an
+// OnlineKgOptimizer's pinned epoch, swept across worker-thread counts
+// {1, 2, 4} with the epoch-keyed result cache off and on.
+//
+// Two throughput numbers per configuration:
+//
+//  * measured_qps - wall-clock queries/sec on this host. On a single-core
+//    CI runner the thread sweep cannot show real scaling (every worker
+//    shares one core), so the measured column mostly tracks scheduling
+//    overhead there.
+//  * ideal_qps - the single-thread busy time for the same cache setting
+//    partitioned evenly across T workers (makespan = busy_total / T), the
+//    same idealization OptimizeReport::cluster_seconds uses for the
+//    split-merge solver. host_cores is recorded in the JSON so readers
+//    can tell which column is meaningful on a given machine.
+//
+// The cache rows are measured in steady state (a warm-up round fills the
+// cache), so cache-on vs cache-off is the honest hit-path speedup.
+// Writes BENCH_concurrent.json + a telemetry snapshot with the serve.*
+// counters and the span.serve.query.seconds histogram populated
+// (tools/ci/check.sh validates both). --smoke shrinks the stream for CI.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "core/online_optimizer.h"
+#include "qa/kg_builder.h"
+#include "serve/query_engine.h"
+
+namespace kgov {
+namespace {
+
+struct Setup {
+  qa::Corpus corpus;
+  qa::KnowledgeGraph kg;
+  std::vector<ppr::QuerySeed> seeds;
+};
+
+Setup MakeSetup(size_t num_questions) {
+  Setup s;
+  Rng rng(2718);
+  Result<qa::Corpus> corpus =
+      qa::GenerateCorpus(qa::TaobaoScaleParams(), rng);
+  KGOV_CHECK(corpus.ok());
+  s.corpus = std::move(corpus).value();
+  Result<qa::KnowledgeGraph> kg = qa::BuildKnowledgeGraph(s.corpus);
+  KGOV_CHECK(kg.ok());
+  s.kg = std::move(kg).value();
+  std::vector<qa::Question> questions = qa::GenerateQuestions(
+      s.corpus, num_questions, qa::TaobaoScaleParams(), rng);
+  for (const qa::Question& q : questions) {
+    s.seeds.push_back(qa::LinkQuestion(q, s.kg.num_entities));
+  }
+  return s;
+}
+
+struct SweepPoint {
+  size_t threads = 0;
+  bool cache = false;
+  double wall_seconds = 0.0;
+  double measured_qps = 0.0;
+  double ideal_qps = 0.0;
+  double hit_rate = 0.0;
+};
+
+/// One configuration: build an engine, warm up one round (untimed; fills
+/// the cache when enabled), then serve `rounds` full replays of the
+/// stream and report wall-clock throughput.
+SweepPoint RunConfig(const Setup& s, const core::OnlineKgOptimizer& online,
+                     size_t threads, bool cache, int rounds) {
+  serve::QueryEngineOptions options;
+  options.eipd.max_length = 5;
+  options.top_k = 20;
+  options.num_threads = threads;
+  options.enable_cache = cache;
+  auto engine_or =
+      serve::QueryEngine::Create(&online, &s.kg.answer_nodes, options);
+  KGOV_CHECK(engine_or.ok());
+  serve::QueryEngine& engine = **engine_or;
+
+  auto serve_round = [&]() {
+    std::vector<StatusOr<serve::RankedAnswers>> results =
+        engine.SubmitBatch(s.seeds);
+    for (const auto& r : results) KGOV_CHECK(r.ok());
+  };
+
+  serve_round();  // warm-up (and cache fill when enabled)
+  Timer timer;
+  for (int r = 0; r < rounds; ++r) serve_round();
+  SweepPoint point;
+  point.threads = threads;
+  point.cache = cache;
+  point.wall_seconds = timer.ElapsedSeconds();
+  point.measured_qps = static_cast<double>(rounds * s.seeds.size()) /
+                       point.wall_seconds;
+  serve::ShardedResultCache::Stats stats = engine.CacheStats();
+  const uint64_t lookups = stats.hits + stats.misses;
+  point.hit_rate =
+      lookups == 0 ? 0.0
+                   : static_cast<double>(stats.hits) /
+                         static_cast<double>(lookups);
+  return point;
+}
+
+void RunAndReport(bool smoke, const char* json_path,
+                  const char* telemetry_path) {
+  bench::Banner(
+      "Concurrent serving: threads x cache sweep (serve::QueryEngine)",
+      "kgov serving subsystem (docs/serving.md)");
+
+  const size_t num_questions = smoke ? 16 : 64;
+  const int rounds = smoke ? 2 : 8;
+  Setup s = MakeSetup(num_questions);
+
+  core::OnlineOptimizerOptions online_options;
+  online_options.optimizer.apply_judgment_filter = false;
+  core::OnlineKgOptimizer online(s.kg.graph, online_options);
+
+  const unsigned host_cores = std::thread::hardware_concurrency();
+  std::printf("graph: %zu nodes, %zu edges; %zu seeds x %d rounds; "
+              "top-20 over %zu answers; host_cores=%u%s\n",
+              s.kg.graph.NumNodes(), s.kg.graph.NumEdges(),
+              s.seeds.size(), rounds, s.kg.answer_nodes.size(),
+              host_cores, smoke ? " [smoke]" : "");
+
+  const std::vector<size_t> thread_counts = {1, 2, 4};
+  std::vector<SweepPoint> sweep;
+  for (bool cache : {false, true}) {
+    double t1_wall = 0.0;
+    for (size_t threads : thread_counts) {
+      SweepPoint point = RunConfig(s, online, threads, cache, rounds);
+      if (threads == 1) t1_wall = point.wall_seconds;
+      // Ideal work partition: the single-thread busy total for this cache
+      // setting spread evenly over T workers.
+      point.ideal_qps = static_cast<double>(rounds * s.seeds.size()) /
+                        (t1_wall / static_cast<double>(threads));
+      sweep.push_back(point);
+    }
+  }
+
+  bench::TablePrinter table(
+      {"threads", "cache", "measured q/s", "ideal q/s", "hit rate"},
+      {7, 5, 12, 12, 8});
+  table.PrintHeader();
+  for (const SweepPoint& p : sweep) {
+    table.PrintRow({std::to_string(p.threads), p.cache ? "on" : "off",
+                    bench::Num(p.measured_qps, 1),
+                    bench::Num(p.ideal_qps, 1),
+                    bench::Num(p.hit_rate, 3)});
+  }
+
+  auto find = [&](size_t threads, bool cache) -> const SweepPoint& {
+    for (const SweepPoint& p : sweep) {
+      if (p.threads == threads && p.cache == cache) return p;
+    }
+    KGOV_CHECK(false);
+    return sweep.front();
+  };
+  const double scaling_ideal =
+      find(4, false).ideal_qps / find(1, false).measured_qps;
+  const double scaling_measured =
+      find(4, false).measured_qps / find(1, false).measured_qps;
+  const double cache_speedup =
+      find(1, true).measured_qps / find(1, false).measured_qps;
+  std::printf("1->4 thread scaling: %.2fx ideal, %.2fx measured "
+              "(host has %u core%s)\n",
+              scaling_ideal, scaling_measured, host_cores,
+              host_cores == 1 ? "" : "s");
+  std::printf("cache-hit speedup (1 thread, steady state): %.2fx\n",
+              cache_speedup);
+
+  std::FILE* out = std::fopen(json_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+    return;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"concurrent_serving\",\n"
+               "  \"smoke\": %s,\n"
+               "  \"host_cores\": %u,\n"
+               "  \"nodes\": %zu,\n"
+               "  \"edges\": %zu,\n"
+               "  \"queries_per_config\": %zu,\n"
+               "  \"top_k\": 20,\n"
+               "  \"max_length\": 5,\n"
+               "  \"sweep\": [\n",
+               smoke ? "true" : "false", host_cores,
+               s.kg.graph.NumNodes(), s.kg.graph.NumEdges(),
+               static_cast<size_t>(rounds) * s.seeds.size());
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const SweepPoint& p = sweep[i];
+    std::fprintf(out,
+                 "    {\"threads\": %zu, \"cache\": %s, "
+                 "\"measured_qps\": %.2f, \"ideal_qps\": %.2f, "
+                 "\"hit_rate\": %.4f}%s\n",
+                 p.threads, p.cache ? "true" : "false", p.measured_qps,
+                 p.ideal_qps, p.hit_rate,
+                 i + 1 < sweep.size() ? "," : "");
+  }
+  std::fprintf(out,
+               "  ],\n"
+               "  \"scaling_1_to_4_ideal\": %.3f,\n"
+               "  \"scaling_1_to_4_measured\": %.3f,\n"
+               "  \"cache_hit_speedup\": %.3f\n"
+               "}\n",
+               scaling_ideal, scaling_measured, cache_speedup);
+  std::fclose(out);
+  std::printf("wrote %s\n", json_path);
+
+  bench::DumpTelemetry(telemetry_path);
+}
+
+}  // namespace
+}  // namespace kgov
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  const char* json_path = "BENCH_concurrent.json";
+  const char* telemetry_path = "BENCH_concurrent_telemetry.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[i + 1];
+    }
+    if (std::strcmp(argv[i], "--telemetry-json") == 0 && i + 1 < argc) {
+      telemetry_path = argv[i + 1];
+    }
+  }
+  kgov::RunAndReport(smoke, json_path, telemetry_path);
+  return 0;
+}

@@ -14,7 +14,8 @@
 #include "common/rng.h"
 #include "core/kg_optimizer.h"
 #include "core/scoring.h"
-#include "ppr/eipd.h"
+#include "graph/csr.h"
+#include "ppr/eipd_engine.h"
 
 using namespace kgov;
 
@@ -73,9 +74,10 @@ int main() {
       ppr::QuerySeed::UniformOver({categories[0], categories[1]});
   ppr::EipdOptions eipd;
   eipd.max_length = 5;
-  ppr::EipdEvaluator evaluator(&g, eipd);
+  graph::CsrSnapshot snapshot(g);
+  ppr::EipdEngine evaluator(snapshot.View(), eipd);
   std::vector<ppr::ScoredAnswer> shown =
-      evaluator.RankAnswers(context, products, products.size());
+      evaluator.Rank(context, products, products.size()).value_or({});
 
   std::printf("Recommendations for laptop shoppers:\n");
   for (size_t i = 0; i < shown.size(); ++i) {
@@ -117,9 +119,10 @@ int main() {
     return 1;
   }
 
-  ppr::EipdEvaluator optimized(&report->optimized, eipd);
+  graph::CsrSnapshot optimized_snapshot(report->optimized);
+  ppr::EipdEngine optimized(optimized_snapshot.View(), eipd);
   std::vector<ppr::ScoredAnswer> reranked =
-      optimized.RankAnswers(context, products, products.size());
+      optimized.Rank(context, products, products.size()).value_or({});
   std::printf("\nAfter %zu implicit votes (%zu clusters):\n",
               implicit_votes.size(), report->num_clusters);
   for (size_t i = 0; i < reranked.size(); ++i) {

@@ -12,8 +12,9 @@
 #include <cstdio>
 
 #include "core/kg_optimizer.h"
+#include "graph/csr.h"
 #include "graph/graph.h"
-#include "ppr/eipd.h"
+#include "ppr/eipd_engine.h"
 #include "ppr/query_seed.h"
 #include "votes/vote.h"
 
@@ -68,9 +69,16 @@ int main() {
 
   ppr::EipdOptions eipd;
   eipd.max_length = 5;
-  ppr::EipdEvaluator evaluator(&g, eipd);
-  std::vector<ppr::ScoredAnswer> ranked =
-      evaluator.RankAnswers(question, answers, 3);
+  graph::CsrSnapshot snapshot(g);
+  ppr::EipdEngine evaluator(snapshot.View(), eipd);
+  StatusOr<std::vector<ppr::ScoredAnswer>> ranked_or =
+      evaluator.Rank(question, answers, 3);
+  if (!ranked_or.ok()) {
+    std::fprintf(stderr, "ranking failed: %s\n",
+                 ranked_or.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<ppr::ScoredAnswer> ranked = std::move(ranked_or).value();
 
   std::printf("Ranked answers before optimization:\n");
   for (size_t i = 0; i < ranked.size(); ++i) {
@@ -111,9 +119,10 @@ int main() {
   }
 
   // ---- 5. Ask again on the optimized graph ----
-  ppr::EipdEvaluator optimized_evaluator(&report->optimized, eipd);
+  graph::CsrSnapshot optimized_snapshot(report->optimized);
+  ppr::EipdEngine optimized_evaluator(optimized_snapshot.View(), eipd);
   std::vector<ppr::ScoredAnswer> reranked =
-      optimized_evaluator.RankAnswers(question, answers, 3);
+      optimized_evaluator.Rank(question, answers, 3).value_or({});
   std::printf("\nRanked answers after optimization:\n");
   for (size_t i = 0; i < reranked.size(); ++i) {
     std::printf("  %zu. %-28s score %.5f\n", i + 1,

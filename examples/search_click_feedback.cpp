@@ -14,8 +14,9 @@
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "core/kg_optimizer.h"
+#include "graph/csr.h"
 #include "graph/generators.h"
-#include "ppr/eipd.h"
+#include "ppr/eipd_engine.h"
 #include "votes/vote_generator.h"
 
 using namespace kgov;
@@ -58,11 +59,14 @@ int main() {
 
   // Mean clicked-result position under a given graph (lower = better).
   auto mean_click_position = [&](const graph::WeightedDigraph& g) {
-    ppr::EipdEvaluator evaluator(&g, eipd);
+    graph::CsrSnapshot snapshot(g);
+    ppr::EipdEngine evaluator(snapshot.View(), eipd);
     double total = 0.0;
     for (const votes::Vote& vote : workload->votes) {
-      std::vector<ppr::ScoredAnswer> ranked = evaluator.RankAnswers(
-          vote.query, vote.answer_list, vote.answer_list.size());
+      std::vector<ppr::ScoredAnswer> ranked =
+          evaluator
+              .Rank(vote.query, vote.answer_list, vote.answer_list.size())
+              .value_or({});
       for (size_t i = 0; i < ranked.size(); ++i) {
         if (ranked[i].node == vote.best_answer) {
           total += static_cast<double>(i + 1);

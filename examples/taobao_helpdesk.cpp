@@ -26,7 +26,7 @@ qa::RankingMetrics Evaluate(const graph::WeightedDigraph& graph,
                       env.deployed.num_entities, qa_options);
   std::vector<std::vector<qa::RankedDocument>> rankings;
   for (const qa::Question& q : env.test_questions) {
-    rankings.push_back(system.Ask(q));
+    rankings.push_back(system.Answer(q).value_or({}));
   }
   return qa::EvaluateRankings(env.test_questions, rankings);
 }

@@ -172,6 +172,13 @@ class Result {
   std::optional<T> value_;
 };
 
+/// Canonical spelling of the value-or-error return type for the public API
+/// surface: every public read-path entry point returns StatusOr<T> instead
+/// of an out-param plus Status. Identical to Result<T> (which remains for
+/// existing code); new signatures should spell it StatusOr<T>.
+template <typename T>
+using StatusOr = Result<T>;
+
 }  // namespace kgov
 
 /// Evaluates `expr` (a Status expression) and returns it from the enclosing

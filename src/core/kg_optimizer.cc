@@ -68,9 +68,46 @@ void RecordDeltas(const ppr::EdgeVariableMap& vars,
 
 }  // namespace
 
+Status OptimizerOptions::Validate() const {
+  KGOV_RETURN_IF_ERROR(encoder.symbolic.eipd.Validate());
+  KGOV_RETURN_IF_ERROR(sgp.Validate());
+  if (encoder.weight_lower_bound <= 0.0) {
+    return Status::InvalidArgument(
+        "OptimizerOptions.encoder.weight_lower_bound must be > 0");
+  }
+  if (encoder.weight_upper_bound < encoder.weight_lower_bound) {
+    return Status::InvalidArgument(
+        "OptimizerOptions.encoder.weight_upper_bound must be >= "
+        "weight_lower_bound");
+  }
+  if (judgment_shared_weight <= 0.0 || judgment_shared_weight >= 1.0) {
+    return Status::InvalidArgument(
+        "OptimizerOptions.judgment_shared_weight must be in (0, 1)");
+  }
+  if (single_vote_refine_rounds < 1) {
+    return Status::InvalidArgument(
+        "OptimizerOptions.single_vote_refine_rounds must be >= 1");
+  }
+  if (ap.damping < 0.5 || ap.damping >= 1.0) {
+    return Status::InvalidArgument(
+        "OptimizerOptions.ap.damping must be in [0.5, 1)");
+  }
+  if (ap.max_iterations < 1) {
+    return Status::InvalidArgument(
+        "OptimizerOptions.ap.max_iterations must be >= 1");
+  }
+  if (retry.max_attempts < 1) {
+    return Status::InvalidArgument(
+        "OptimizerOptions.retry.max_attempts must be >= 1");
+  }
+  return Status::OK();
+}
+
 KgOptimizer::KgOptimizer(const graph::WeightedDigraph* graph,
                          OptimizerOptions options)
-    : graph_(graph), options_(std::move(options)) {
+    : graph_(graph),
+      options_(std::move(options)),
+      options_status_(options_.Validate()) {
   KGOV_CHECK(graph_ != nullptr);
 }
 
@@ -95,6 +132,7 @@ std::vector<votes::Vote> KgOptimizer::Filter(
 
 Result<OptimizeReport> KgOptimizer::SingleVoteSolve(
     const std::vector<votes::Vote>& votes) const {
+  KGOV_RETURN_IF_ERROR(options_status_);
   OptimizeReport report;
   report.votes_in = votes.size();
   report.optimized = *graph_;
@@ -142,11 +180,17 @@ Result<OptimizeReport> KgOptimizer::SingleVoteSolve(
         encoded_any = true;
       }
 
-      // Refinement check: is the voted best answer ranked first now?
-      ppr::EipdEvaluator evaluator(&current,
-                                   options_.encoder.symbolic.eipd);
-      std::vector<ppr::ScoredAnswer> reranked = evaluator.RankAnswers(
+      // Refinement check: is the voted best answer ranked first now? The
+      // engine wants a frozen view; one CSR build per refine round is
+      // noise next to the SGP solve that preceded it.
+      graph::CsrSnapshot refine_snapshot(current);
+      ppr::EipdEngine evaluator(refine_snapshot.View(),
+                                options_.encoder.symbolic.eipd);
+      StatusOr<std::vector<ppr::ScoredAnswer>> reranked_or = evaluator.Rank(
           vote.query, vote.answer_list, vote.answer_list.size());
+      std::vector<ppr::ScoredAnswer> reranked =
+          reranked_or.ok() ? std::move(reranked_or).value()
+                           : std::vector<ppr::ScoredAnswer>{};
       if (!reranked.empty() && reranked.front().node == vote.best_answer) {
         report.constraints_satisfied += solution.total_constraints;
         break;
@@ -162,6 +206,7 @@ Result<OptimizeReport> KgOptimizer::SingleVoteSolve(
 
 Result<OptimizeReport> KgOptimizer::MultiVoteSolve(
     const std::vector<votes::Vote>& votes) const {
+  KGOV_RETURN_IF_ERROR(options_status_);
   OptimizeReport report;
   report.votes_in = votes.size();
   report.optimized = *graph_;
@@ -214,6 +259,7 @@ Result<OptimizeReport> KgOptimizer::DistributedSplitMergeSolve(
 
 Result<OptimizeReport> KgOptimizer::SplitMergeImpl(
     const std::vector<votes::Vote>& votes, ThreadPool* pool) const {
+  KGOV_RETURN_IF_ERROR(options_status_);
   const SplitMergeMetrics& metrics = SplitMergeMetrics::Get();
   metrics.solves->Increment();
   OptimizeReport report;
@@ -368,12 +414,12 @@ Result<OptimizeReport> KgOptimizer::SplitMergeImpl(
           for (graph::NodeId a : vote.answer_list) {
             local_answers.push_back(sub->LocalOf(a));
           }
-          std::vector<ppr::ScoredAnswer> top =
-              engine.RankAnswersWithOverrides(local_seed, local_answers, 1,
-                                              overrides, &workspace);
+          StatusOr<std::vector<ppr::ScoredAnswer>> top =
+              engine.RankWithOverrides(local_seed, local_answers, 1,
+                                       overrides, &workspace);
           ++verified;
-          if (!top.empty() &&
-              top.front().node == sub->LocalOf(vote.best_answer)) {
+          if (top.ok() && !top->empty() &&
+              top->front().node == sub->LocalOf(vote.best_answer)) {
             ++satisfied;
           }
         }

@@ -78,6 +78,12 @@ struct OptimizerOptions {
   /// applied as EdgeId-keyed overrides — no per-cluster WeightedDigraph is
   /// materialized. Fills votes_verified / votes_satisfied in the report.
   bool verify_cluster_solutions = true;
+
+  /// Checks this struct and its nested option structs; returns
+  /// InvalidArgument naming the first offending field. KgOptimizer captures
+  /// the result at construction and every solve entry point returns it
+  /// without doing work when not OK.
+  Status Validate() const;
 };
 
 /// A cluster whose solve failed and was isolated from the batch.
@@ -159,6 +165,9 @@ class KgOptimizer {
 
   const graph::WeightedDigraph* graph_;
   OptimizerOptions options_;
+  // options_.Validate() captured at construction; solve entry points fail
+  // fast with it when not OK.
+  Status options_status_;
 };
 
 }  // namespace kgov::core

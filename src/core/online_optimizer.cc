@@ -44,9 +44,23 @@ struct OnlineMetrics {
 
 }  // namespace
 
+Status OnlineOptimizerOptions::Validate() const {
+  KGOV_RETURN_IF_ERROR(optimizer.Validate());
+  if (batch_size < 1) {
+    return Status::InvalidArgument(
+        "OnlineOptimizerOptions.batch_size must be >= 1");
+  }
+  if (max_vote_attempts < 1) {
+    return Status::InvalidArgument(
+        "OnlineOptimizerOptions.max_vote_attempts must be >= 1");
+  }
+  return Status::OK();
+}
+
 OnlineKgOptimizer::OnlineKgOptimizer(const graph::WeightedDigraph& initial,
                                      OnlineOptimizerOptions options)
     : options_(std::move(options)),
+      options_status_(options_.Validate()),
       graph_(initial),
       serving_{std::make_shared<graph::CsrSnapshot>(graph_), 0} {
   // The validator must accept anything the optimizer may legally produce:
@@ -61,6 +75,7 @@ OnlineKgOptimizer::OnlineKgOptimizer(const graph::WeightedDigraph& initial,
 }
 
 Result<FlushReport> OnlineKgOptimizer::AddVote(votes::Vote vote) {
+  KGOV_RETURN_IF_ERROR(options_status_);
   buffer_.push_back(PendingVote{std::move(vote), 0});
   if (buffer_.size() >= options_.batch_size) {
     return Flush();
@@ -90,6 +105,7 @@ size_t OnlineKgOptimizer::RequeueOrDeadLetter(
 }
 
 Result<FlushReport> OnlineKgOptimizer::Flush() {
+  KGOV_RETURN_IF_ERROR(options_status_);
   FlushReport report;
   if (buffer_.empty()) return report;
   const OnlineMetrics& metrics = OnlineMetrics::Get();
@@ -189,6 +205,10 @@ void OnlineKgOptimizer::PublishEpoch(
   OnlineMetrics::Get().epoch_swaps->Increment();
   std::lock_guard<std::mutex> lock(serving_mu_);
   serving_ = ServingEpoch{std::move(snapshot), serving_.epoch + 1};
+  // Published after serving_ so CurrentEpochNumber() == N implies a
+  // subsequent CurrentEpoch() returns epoch >= N (readers synchronize on
+  // either the mutex or this release store, never on neither).
+  epoch_number_.store(serving_.epoch, std::memory_order_release);
 }
 
 }  // namespace kgov::core

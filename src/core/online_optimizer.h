@@ -30,6 +30,7 @@
 #ifndef KGOV_CORE_ONLINE_OPTIMIZER_H_
 #define KGOV_CORE_ONLINE_OPTIMIZER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -80,6 +81,11 @@ struct OnlineOptimizerOptions {
   /// Invariants checked by the pre-swap validator. The weight bounds are
   /// widened to cover the encoder's configured bounds automatically.
   GraphValidatorOptions validator;
+
+  /// Checks this struct and the nested OptimizerOptions; returns
+  /// InvalidArgument naming the first offending field. OnlineKgOptimizer
+  /// captures the result at construction; AddVote/Flush fail fast with it.
+  Status Validate() const;
 };
 
 /// Result of one flush.
@@ -117,6 +123,18 @@ class OnlineKgOptimizer {
   ServingEpoch serving() const {
     std::lock_guard<std::mutex> lock(serving_mu_);
     return serving_;
+  }
+
+  /// Documented name for serving(): pins the current epoch by value.
+  ServingEpoch CurrentEpoch() const { return serving(); }
+
+  /// The latest published epoch number, without taking the epoch lock.
+  /// The release store in PublishEpoch happens after serving_ is updated,
+  /// so a reader that observes epoch N here is guaranteed to receive a
+  /// snapshot at least as new as N from CurrentEpoch(). Intended as the
+  /// serve path's cheap staleness probe (see serve::QueryEngine).
+  uint64_t CurrentEpochNumber() const {
+    return epoch_number_.load(std::memory_order_acquire);
   }
 
   /// Compatibility: the current epoch's frozen snapshot. Thread-safe.
@@ -165,8 +183,16 @@ class OnlineKgOptimizer {
   void PublishEpoch(std::shared_ptr<const graph::CsrSnapshot> snapshot);
 
   OnlineOptimizerOptions options_;
+  // options_.Validate() captured at construction; AddVote/Flush fail fast
+  // with it when not OK (the initial epoch still publishes so readers can
+  // serve the unoptimized graph).
+  Status options_status_;
   graph::WeightedDigraph graph_;
   ServingEpoch serving_;
+  // Mirrors serving_.epoch for lock-free staleness checks. Stored with
+  // release order while serving_mu_ is held (after serving_ is updated);
+  // read with acquire in CurrentEpochNumber().
+  std::atomic<uint64_t> epoch_number_{0};
   mutable std::mutex serving_mu_;
   std::vector<PendingVote> buffer_;
   std::vector<votes::Vote> dead_letter_;

@@ -15,8 +15,10 @@ OmegaResult EvaluateOmega(graph::GraphView view,
   for (const votes::Vote& vote : votes) {
     if (!vote.IsWellFormed()) continue;
     int before = vote.BestAnswerRank();
-    std::vector<ppr::ScoredAnswer> reranked = engine.RankAnswers(
+    StatusOr<std::vector<ppr::ScoredAnswer>> ranked = engine.Rank(
         vote.query, vote.answer_list, vote.answer_list.size(), &workspace);
+    if (!ranked.ok()) continue;  // vote doesn't fit this view: skip it
+    const std::vector<ppr::ScoredAnswer>& reranked = ranked.value();
     std::vector<graph::NodeId> order;
     order.reserve(reranked.size());
     for (const ppr::ScoredAnswer& sa : reranked) order.push_back(sa.node);

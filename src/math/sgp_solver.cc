@@ -195,6 +195,34 @@ struct SolverMetrics {
 
 }  // namespace
 
+Status SgpSolverOptions::Validate() const {
+  if (!std::isfinite(lambda1) || lambda1 < 0.0) {
+    return Status::InvalidArgument(
+        "SgpSolverOptions.lambda1 must be finite and >= 0");
+  }
+  if (!std::isfinite(lambda2) || lambda2 < 0.0) {
+    return Status::InvalidArgument(
+        "SgpSolverOptions.lambda2 must be finite and >= 0");
+  }
+  if (!std::isfinite(sigmoid_steepness) || sigmoid_steepness <= 0.0) {
+    return Status::InvalidArgument(
+        "SgpSolverOptions.sigmoid_steepness must be finite and > 0");
+  }
+  if (continuation_steps < 1) {
+    return Status::InvalidArgument(
+        "SgpSolverOptions.continuation_steps must be >= 1");
+  }
+  if (!std::isfinite(strict_margin) || strict_margin < 0.0) {
+    return Status::InvalidArgument(
+        "SgpSolverOptions.strict_margin must be finite and >= 0");
+  }
+  if (!std::isfinite(deadline_seconds)) {
+    return Status::InvalidArgument(
+        "SgpSolverOptions.deadline_seconds must be finite");
+  }
+  return Status::OK();
+}
+
 SgpSolution SgpSolver::Solve(const SgpProblem& problem) const {
   const SolverMetrics& metrics = SolverMetrics::Get();
   telemetry::ScopedSpan span(metrics.solve_span);
@@ -215,6 +243,11 @@ SgpSolution SgpSolver::Solve(const SgpProblem& problem) const {
 
 SgpSolution SgpSolver::SolveDispatch(const SgpProblem& problem) const {
   SgpSolution solution;
+  if (!options_status_.ok()) {
+    solution.status = options_status_;
+    solution.x = problem.initial();
+    return solution;
+  }
   Status valid = problem.Validate();
   if (!valid.ok()) {
     solution.status = valid;

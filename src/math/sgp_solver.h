@@ -57,6 +57,11 @@ struct SgpSolverOptions {
   InnerSolverKind inner_solver = InnerSolverKind::kProjectedBb;
   SolveOptions inner;
   AugLagOptions auglag;
+
+  /// Checks every field range; returns InvalidArgument naming the first
+  /// offending field. SgpSolver captures the result at construction and
+  /// every Solve on an invalid configuration fails fast with it.
+  Status Validate() const;
 };
 
 struct SgpSolution {
@@ -78,7 +83,8 @@ struct SgpSolution {
 
 class SgpSolver {
  public:
-  explicit SgpSolver(SgpSolverOptions options = {}) : options_(options) {}
+  explicit SgpSolver(SgpSolverOptions options = {})
+      : options_(options), options_status_(options_.Validate()) {}
 
   const SgpSolverOptions& options() const { return options_; }
 
@@ -103,6 +109,9 @@ class SgpSolver {
   static void Sanitize(const SgpProblem& problem, SgpSolution* solution);
 
   SgpSolverOptions options_;
+  // Result of options_.Validate() captured at construction; Solve returns
+  // it (in SgpSolution::status) without touching the problem when not OK.
+  Status options_status_;
 };
 
 }  // namespace kgov::math

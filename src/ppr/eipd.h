@@ -1,13 +1,14 @@
 // Extended inverse P-distance over the live mutable graph.
 //
-// EipdEvaluator is the compatibility front-end for write-path callers that
-// need *live* semantics: it reads the WeightedDigraph's current weights on
-// every call (the optimizer's refine loop and the judgment filter mutate or
-// override weights between calls, and constructing an evaluator must stay
-// free). It delegates to the single shared propagation kernel in
-// ppr/eipd_engine.h — the same body the CSR serving path uses — so there is
-// exactly one EIPD implementation in the codebase. Read-mostly callers
-// should use EipdEngine over a graph::CsrSnapshot view instead.
+// DEPRECATED: ppr::EipdEngine (ppr/eipd_engine.h) is the one documented
+// EIPD evaluator; every in-repo read path (serving, scoring, metrics, the
+// judgment filter, vote generation) runs on the engine over a frozen
+// graph::CsrSnapshot view. EipdEvaluator remains for one release as a
+// compatibility shim for callers that genuinely need *live* semantics —
+// it reads the WeightedDigraph's current weights on every call with O(1)
+// construction — and delegates to the single shared propagation kernel in
+// ppr/eipd_engine.h, so there is still exactly one EIPD implementation in
+// the codebase. New code should snapshot and use EipdEngine.
 
 #ifndef KGOV_PPR_EIPD_H_
 #define KGOV_PPR_EIPD_H_
@@ -23,9 +24,10 @@
 
 namespace kgov::ppr {
 
-/// Numeric extended-inverse-P-distance evaluation over the live graph.
-/// Thread-compatible: concurrent calls on one instance are safe because
-/// evaluation state lives in per-thread workspaces.
+/// Deprecated: use ppr::EipdEngine over a graph::CsrSnapshot view (see
+/// the file comment). Numeric extended-inverse-P-distance evaluation over
+/// the live graph. Thread-compatible: concurrent calls on one instance are
+/// safe because evaluation state lives in per-thread workspaces.
 class EipdEvaluator {
  public:
   /// `graph` is borrowed and must outlive the evaluator. Construction is

@@ -1,9 +1,26 @@
 #include "ppr/eipd_engine.h"
 
+#include <cmath>
+#include <string>
+
 #include "common/timer.h"
 #include "telemetry/metrics.h"
 
 namespace kgov::ppr {
+
+Status EipdOptions::Validate() const {
+  if (max_length < 1) {
+    return Status::InvalidArgument(
+        "EipdOptions.max_length must be >= 1, got " +
+        std::to_string(max_length));
+  }
+  if (!(restart > 0.0 && restart < 1.0)) {
+    return Status::InvalidArgument(
+        "EipdOptions.restart must be in (0, 1), got " +
+        std::to_string(restart));
+  }
+  return Status::OK();
+}
 
 PropagationWorkspace& ThreadLocalWorkspace() {
   static thread_local PropagationWorkspace workspace;
@@ -12,11 +29,30 @@ PropagationWorkspace& ThreadLocalWorkspace() {
 
 EipdEngine::EipdEngine(graph::GraphView view, EipdOptions options)
     : view_(view), options_(options) {
-  KGOV_CHECK(options_.max_length >= 1);
-  KGOV_CHECK(options_.restart > 0.0 && options_.restart < 1.0);
+  Status valid = options_.Validate();
+  KGOV_CHECK(valid.ok()) << valid.ToString();
 }
 
-const std::vector<double>& EipdEngine::Propagate(
+Status EipdEngine::ValidateSeed(const QuerySeed& seed) const {
+  for (size_t i = 0; i < seed.links.size(); ++i) {
+    const auto& [node, weight] = seed.links[i];
+    if (!view_.IsValidNode(node)) {
+      return Status::InvalidArgument(
+          "seed link " + std::to_string(i) + " names node " +
+          std::to_string(node) + ", outside the view's " +
+          std::to_string(view_.NumNodes()) + " nodes");
+    }
+    if (!std::isfinite(weight) || weight < 0.0) {
+      return Status::InvalidArgument(
+          "seed link " + std::to_string(i) + " (node " +
+          std::to_string(node) + ") has non-finite or negative weight " +
+          std::to_string(weight));
+    }
+  }
+  return Status::OK();
+}
+
+const std::vector<double>& EipdEngine::PropagateInto(
     const QuerySeed& seed,
     const std::unordered_map<graph::EdgeId, double>* overrides,
     PropagationWorkspace* ws) const {
@@ -44,61 +80,133 @@ const std::vector<double>& EipdEngine::Propagate(
   return ws->phi;
 }
 
+StatusOr<std::vector<double>> EipdEngine::Propagate(
+    const QuerySeed& seed, PropagationWorkspace* ws) const {
+  KGOV_RETURN_IF_ERROR(ValidateSeed(seed));
+  return PropagateInto(seed, nullptr, ws);
+}
+
+StatusOr<std::vector<double>> EipdEngine::PropagateWithOverrides(
+    const QuerySeed& seed,
+    const std::unordered_map<graph::EdgeId, double>& overrides,
+    PropagationWorkspace* ws) const {
+  KGOV_RETURN_IF_ERROR(ValidateSeed(seed));
+  if (!view_.HasEdgeIds() && view_.NumEdges() > 0) {
+    return Status::FailedPrecondition(
+        "weight overrides require a view with an edge-id table");
+  }
+  return PropagateInto(seed, &overrides, ws);
+}
+
+StatusOr<std::vector<double>> EipdEngine::Scores(
+    const QuerySeed& seed, const std::vector<graph::NodeId>& answers,
+    PropagationWorkspace* ws) const {
+  KGOV_RETURN_IF_ERROR(ValidateSeed(seed));
+  const std::vector<double>& phi = PropagateInto(seed, nullptr, ws);
+  std::vector<double> out(answers.size());
+  for (size_t i = 0; i < answers.size(); ++i) {
+    if (!view_.IsValidNode(answers[i])) {
+      return Status::InvalidArgument(
+          "answers[" + std::to_string(i) + "] = " +
+          std::to_string(answers[i]) + " is outside the view's " +
+          std::to_string(view_.NumNodes()) + " nodes");
+    }
+    out[i] = phi[answers[i]];
+  }
+  return out;
+}
+
+StatusOr<std::vector<double>> EipdEngine::ScoresWithOverrides(
+    const QuerySeed& seed, const std::vector<graph::NodeId>& answers,
+    const std::unordered_map<graph::EdgeId, double>& overrides,
+    PropagationWorkspace* ws) const {
+  KGOV_RETURN_IF_ERROR(ValidateSeed(seed));
+  if (!view_.HasEdgeIds() && view_.NumEdges() > 0) {
+    return Status::FailedPrecondition(
+        "weight overrides require a view with an edge-id table");
+  }
+  const std::vector<double>& phi = PropagateInto(seed, &overrides, ws);
+  std::vector<double> out(answers.size());
+  for (size_t i = 0; i < answers.size(); ++i) {
+    if (!view_.IsValidNode(answers[i])) {
+      return Status::InvalidArgument(
+          "answers[" + std::to_string(i) + "] = " +
+          std::to_string(answers[i]) + " is outside the view's " +
+          std::to_string(view_.NumNodes()) + " nodes");
+    }
+    out[i] = phi[answers[i]];
+  }
+  return out;
+}
+
+StatusOr<std::vector<ScoredAnswer>> EipdEngine::Rank(
+    const QuerySeed& seed, const std::vector<graph::NodeId>& candidates,
+    size_t k, PropagationWorkspace* ws) const {
+  KGOV_RETURN_IF_ERROR(ValidateSeed(seed));
+  return TopKByScore(PropagateInto(seed, nullptr, ws), candidates, k);
+}
+
+StatusOr<std::vector<ScoredAnswer>> EipdEngine::RankWithOverrides(
+    const QuerySeed& seed, const std::vector<graph::NodeId>& candidates,
+    size_t k, const std::unordered_map<graph::EdgeId, double>& overrides,
+    PropagationWorkspace* ws) const {
+  KGOV_RETURN_IF_ERROR(ValidateSeed(seed));
+  if (!view_.HasEdgeIds() && view_.NumEdges() > 0) {
+    return Status::FailedPrecondition(
+        "weight overrides require a view with an edge-id table");
+  }
+  return TopKByScore(PropagateInto(seed, &overrides, ws), candidates, k);
+}
+
+// --- Deprecated wrappers -------------------------------------------------
+
+const std::vector<double>& EipdEngine::Propagate(
+    const QuerySeed& seed,
+    const std::unordered_map<graph::EdgeId, double>* overrides,
+    PropagationWorkspace* ws) const {
+  return PropagateInto(seed, overrides, ws);
+}
+
 double EipdEngine::Similarity(const QuerySeed& seed, graph::NodeId answer,
                               PropagationWorkspace* ws) const {
   KGOV_CHECK(view_.IsValidNode(answer));
-  return Propagate(seed, nullptr, ws)[answer];
+  return PropagateInto(seed, nullptr, ws)[answer];
 }
 
 std::vector<double> EipdEngine::SimilarityMany(
     const QuerySeed& seed, const std::vector<graph::NodeId>& answers,
     PropagationWorkspace* ws) const {
-  const std::vector<double>& phi = Propagate(seed, nullptr, ws);
-  std::vector<double> out(answers.size());
-  for (size_t i = 0; i < answers.size(); ++i) {
-    KGOV_CHECK(view_.IsValidNode(answers[i]));
-    out[i] = phi[answers[i]];
-  }
-  return out;
+  StatusOr<std::vector<double>> scores = Scores(seed, answers, ws);
+  KGOV_CHECK(scores.ok()) << scores.status().ToString();
+  return std::move(scores).value();
 }
 
 std::vector<double> EipdEngine::SimilarityManyWithOverrides(
     const QuerySeed& seed, const std::vector<graph::NodeId>& answers,
     const std::unordered_map<graph::EdgeId, double>& overrides,
     PropagationWorkspace* ws) const {
-  const std::vector<double>& phi = Propagate(seed, &overrides, ws);
-  std::vector<double> out(answers.size());
-  for (size_t i = 0; i < answers.size(); ++i) {
-    KGOV_CHECK(view_.IsValidNode(answers[i]));
-    out[i] = phi[answers[i]];
-  }
-  return out;
+  StatusOr<std::vector<double>> scores =
+      ScoresWithOverrides(seed, answers, overrides, ws);
+  KGOV_CHECK(scores.ok()) << scores.status().ToString();
+  return std::move(scores).value();
 }
 
 std::vector<ScoredAnswer> EipdEngine::RankAnswers(
     const QuerySeed& seed, const std::vector<graph::NodeId>& candidates,
     size_t k, PropagationWorkspace* ws) const {
-  std::vector<double> scores = SimilarityMany(seed, candidates, ws);
-  std::vector<ScoredAnswer> ranked(candidates.size());
-  for (size_t i = 0; i < candidates.size(); ++i) {
-    ranked[i] = ScoredAnswer{candidates[i], scores[i]};
-  }
-  SortRankedTruncate(&ranked, k);
-  return ranked;
+  StatusOr<std::vector<ScoredAnswer>> ranked = Rank(seed, candidates, k, ws);
+  KGOV_CHECK(ranked.ok()) << ranked.status().ToString();
+  return std::move(ranked).value();
 }
 
 std::vector<ScoredAnswer> EipdEngine::RankAnswersWithOverrides(
     const QuerySeed& seed, const std::vector<graph::NodeId>& candidates,
     size_t k, const std::unordered_map<graph::EdgeId, double>& overrides,
     PropagationWorkspace* ws) const {
-  std::vector<double> scores =
-      SimilarityManyWithOverrides(seed, candidates, overrides, ws);
-  std::vector<ScoredAnswer> ranked(candidates.size());
-  for (size_t i = 0; i < candidates.size(); ++i) {
-    ranked[i] = ScoredAnswer{candidates[i], scores[i]};
-  }
-  SortRankedTruncate(&ranked, k);
-  return ranked;
+  StatusOr<std::vector<ScoredAnswer>> ranked =
+      RankWithOverrides(seed, candidates, k, overrides, ws);
+  KGOV_CHECK(ranked.ok()) << ranked.status().ToString();
+  return std::move(ranked).value();
 }
 
 }  // namespace kgov::ppr

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/status.h"
 #include "graph/graph.h"
 #include "graph/graph_view.h"
 #include "ppr/query_seed.h"
@@ -35,6 +36,11 @@ struct EipdOptions {
   int max_length = 5;
   /// Restart probability c. Paper default: ~0.15.
   double restart = 0.15;
+
+  /// OK iff the options describe a usable propagation: max_length >= 1 and
+  /// restart in (0, 1). Consumers (EipdEngine, QaSystem, serve::QueryEngine)
+  /// call this at construction; the message names the offending field.
+  Status Validate() const;
 };
 
 /// Reusable per-query scratch buffers. Prepare(n) zeroes (and if needed
@@ -156,10 +162,17 @@ void PropagatePhi(const Adjacency& adj, const QuerySeed& seed,
 
 }  // namespace internal
 
-/// Numeric EIPD evaluation over a GraphView. The view's backing storage
-/// (e.g. a graph::CsrSnapshot or graph::InducedSubview) must outlive the
-/// engine. Thread-compatible: concurrent calls on one instance are safe
-/// as long as each thread uses its own workspace (the default).
+/// THE documented EIPD evaluator: numeric EIPD evaluation over a
+/// GraphView. The view's backing storage (e.g. a graph::CsrSnapshot or
+/// graph::InducedSubview) must outlive the engine. Thread-compatible:
+/// concurrent calls on one instance are safe as long as each thread uses
+/// its own workspace (the default).
+///
+/// The checked entry points (Propagate, Scores, Rank, *WithOverrides)
+/// return StatusOr<T> and reject malformed seeds/candidates with
+/// InvalidArgument instead of asserting; they are the public read-path
+/// API. The assert-based methods at the bottom are deprecated wrappers
+/// kept for one release.
 class EipdEngine {
  public:
   explicit EipdEngine(graph::GraphView view, EipdOptions options = {});
@@ -167,44 +180,96 @@ class EipdEngine {
   const EipdOptions& options() const { return options_; }
   const graph::GraphView& view() const { return view_; }
 
-  /// Phi(seed, answer).
+  /// OK iff every seed link names a valid node of the view with a finite,
+  /// non-negative weight. The error message names the offending link.
+  Status ValidateSeed(const QuerySeed& seed) const;
+
+  /// One propagation pass; returns Phi(seed, v) for every node v of the
+  /// view. Pass a workspace to reuse scratch across calls (the returned
+  /// vector is an independent copy either way).
+  StatusOr<std::vector<double>> Propagate(
+      const QuerySeed& seed, PropagationWorkspace* ws = nullptr) const;
+
+  /// Propagate with edge weights in `overrides` replacing the view's
+  /// weights (judgment filter's extreme condition, per-cluster solution
+  /// checks). The view must carry edge ids when it has any edges.
+  StatusOr<std::vector<double>> PropagateWithOverrides(
+      const QuerySeed& seed,
+      const std::unordered_map<graph::EdgeId, double>& overrides,
+      PropagationWorkspace* ws = nullptr) const;
+
+  /// Phi(seed, a) for every a in `answers`, in one propagation pass.
+  StatusOr<std::vector<double>> Scores(
+      const QuerySeed& seed, const std::vector<graph::NodeId>& answers,
+      PropagationWorkspace* ws = nullptr) const;
+
+  /// Scores under weight overrides.
+  StatusOr<std::vector<double>> ScoresWithOverrides(
+      const QuerySeed& seed, const std::vector<graph::NodeId>& answers,
+      const std::unordered_map<graph::EdgeId, double>& overrides,
+      PropagationWorkspace* ws = nullptr) const;
+
+  /// Top-k candidates sorted by descending score, ties by ascending node
+  /// id (rankings are deterministic).
+  StatusOr<std::vector<ScoredAnswer>> Rank(
+      const QuerySeed& seed, const std::vector<graph::NodeId>& candidates,
+      size_t k, PropagationWorkspace* ws = nullptr) const;
+
+  /// Rank under weight overrides.
+  StatusOr<std::vector<ScoredAnswer>> RankWithOverrides(
+      const QuerySeed& seed, const std::vector<graph::NodeId>& candidates,
+      size_t k, const std::unordered_map<graph::EdgeId, double>& overrides,
+      PropagationWorkspace* ws = nullptr) const;
+
+  // --- Deprecated wrappers (kept for one release) -----------------------
+  // Same numerics as the checked API, but malformed input asserts
+  // (KGOV_CHECK / KGOV_DCHECK) instead of returning a Status. New code
+  // should call the StatusOr<T> entry points above.
+
+  /// Deprecated: use Scores() and index the result.
   double Similarity(const QuerySeed& seed, graph::NodeId answer,
                     PropagationWorkspace* ws = nullptr) const;
 
-  /// Phi(seed, a) for every a in `answers`, in one propagation pass.
+  /// Deprecated: use Scores().
   std::vector<double> SimilarityMany(const QuerySeed& seed,
                                      const std::vector<graph::NodeId>& answers,
                                      PropagationWorkspace* ws = nullptr) const;
 
-  /// Like SimilarityMany, but edge weights in `overrides` replace the
-  /// view's weights (judgment filter's extreme condition, per-cluster
-  /// solution checks). Requires the view to carry edge ids when it has
-  /// any edges.
+  /// Deprecated: use Scores() after PropagateWithOverrides(), or
+  /// RankWithOverrides().
   std::vector<double> SimilarityManyWithOverrides(
       const QuerySeed& seed, const std::vector<graph::NodeId>& answers,
       const std::unordered_map<graph::EdgeId, double>& overrides,
       PropagationWorkspace* ws = nullptr) const;
 
-  /// Top-k candidates sorted by descending score (ties by ascending node
-  /// id, making rankings deterministic).
+  /// Deprecated: use Rank().
   std::vector<ScoredAnswer> RankAnswers(
       const QuerySeed& seed, const std::vector<graph::NodeId>& candidates,
       size_t k, PropagationWorkspace* ws = nullptr) const;
 
-  /// RankAnswers under weight overrides.
+  /// Deprecated: use RankWithOverrides().
   std::vector<ScoredAnswer> RankAnswersWithOverrides(
       const QuerySeed& seed, const std::vector<graph::NodeId>& candidates,
       size_t k, const std::unordered_map<graph::EdgeId, double>& overrides,
       PropagationWorkspace* ws = nullptr) const;
 
-  /// Runs one propagation into `ws` (nullptr: the thread-local workspace)
-  /// and returns its phi vector, valid until the workspace's next use.
+  /// Deprecated: runs one unchecked propagation into `ws` (nullptr: the
+  /// thread-local workspace) and returns its phi vector, valid until the
+  /// workspace's next use. Use the checked Propagate() overloads instead.
   const std::vector<double>& Propagate(
       const QuerySeed& seed,
       const std::unordered_map<graph::EdgeId, double>* overrides,
       PropagationWorkspace* ws = nullptr) const;
 
  private:
+  /// The one kernel invocation every entry point funnels through:
+  /// resolves the workspace, runs PropagatePhi, records telemetry, and
+  /// returns the workspace's phi vector.
+  const std::vector<double>& PropagateInto(
+      const QuerySeed& seed,
+      const std::unordered_map<graph::EdgeId, double>* overrides,
+      PropagationWorkspace* ws) const;
+
   graph::GraphView view_;
   EipdOptions options_;
 };

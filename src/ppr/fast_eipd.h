@@ -1,12 +1,13 @@
 // Extended inverse P-distance over an immutable CSR snapshot.
 //
-// FastEipdEvaluator is a thin compatibility alias over the unified
-// EipdEngine (ppr/eipd_engine.h) bound to a snapshot's GraphView: same
-// numeric API, contiguous neighbor ranges with inlined weights, no
-// edge-table indirection, no per-query allocation (thread-local
-// PropagationWorkspace). Intended for the serving path of a deployed Q&A
-// system, where the graph only changes at optimization boundaries: freeze
-// a snapshot after each optimize, answer queries from it concurrently.
+// DEPRECATED: ppr::EipdEngine (ppr/eipd_engine.h) is the one documented
+// EIPD evaluator — construct it directly over snapshot->View().
+// FastEipdEvaluator remains for one release as a thin compatibility alias
+// over the unified engine bound to a snapshot's GraphView: same numeric
+// API, contiguous neighbor ranges with inlined weights, no per-query
+// allocation (thread-local PropagationWorkspace). For a deployed Q&A
+// serving frontend use serve::QueryEngine, which adds worker threads,
+// epoch pinning, and a result cache on top of the engine.
 // bench_ablation_csr and bench_serving_path quantify the speedup over the
 // mutable evaluator.
 
@@ -23,8 +24,9 @@
 
 namespace kgov::ppr {
 
-/// Numeric EIPD evaluation on a frozen snapshot. Thread-compatible: all
-/// evaluation state lives in per-thread workspaces.
+/// Deprecated: use ppr::EipdEngine over snapshot->View() (see the file
+/// comment). Numeric EIPD evaluation on a frozen snapshot.
+/// Thread-compatible: all evaluation state lives in per-thread workspaces.
 class FastEipdEvaluator {
  public:
   /// `snapshot` is borrowed and must outlive the evaluator.

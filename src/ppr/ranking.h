@@ -8,8 +8,10 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "graph/graph.h"
 
 namespace kgov::ppr {
@@ -42,6 +44,28 @@ inline void SortRankedTruncate(std::vector<ScoredAnswer>* entries,
   SortRankedTruncate(
       entries, k, [](const ScoredAnswer& a) { return a.score; },
       [](const ScoredAnswer& a) { return a.node; });
+}
+
+/// Public top-k entry point: ranks `candidates` by their scores in `phi`
+/// (a full per-node score vector, e.g. a propagation result), descending,
+/// ties by ascending node id, truncated to k. Returns InvalidArgument
+/// naming the offending candidate when one is outside [0, phi.size()).
+inline StatusOr<std::vector<ScoredAnswer>> TopKByScore(
+    const std::vector<double>& phi,
+    const std::vector<graph::NodeId>& candidates, size_t k) {
+  std::vector<ScoredAnswer> ranked(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const graph::NodeId node = candidates[i];
+    if (node >= phi.size()) {
+      return Status::InvalidArgument(
+          "candidates[" + std::to_string(i) + "] = " + std::to_string(node) +
+          " is outside the scored node range [0, " +
+          std::to_string(phi.size()) + ")");
+    }
+    ranked[i] = ScoredAnswer{node, phi[node]};
+  }
+  SortRankedTruncate(&ranked, k);
+  return ranked;
 }
 
 }  // namespace kgov::ppr

@@ -118,7 +118,11 @@ RankingMetrics EvaluateServingView(
   std::vector<std::vector<RankedDocument>> rankings;
   rankings.reserve(questions.size());
   for (const Question& question : questions) {
-    rankings.push_back(system.Ask(question));
+    StatusOr<std::vector<RankedDocument>> ranked = system.Answer(question);
+    // A question the view cannot serve scores as an empty ranking rather
+    // than poisoning the whole batch.
+    rankings.push_back(ranked.ok() ? std::move(ranked).value()
+                                   : std::vector<RankedDocument>{});
   }
   return EvaluateRankings(questions, rankings, std::move(ks));
 }

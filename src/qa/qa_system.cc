@@ -6,6 +6,14 @@
 
 namespace kgov::qa {
 
+Status QaOptions::Validate() const {
+  KGOV_RETURN_IF_ERROR(eipd.Validate());
+  if (top_k < 1) {
+    return Status::InvalidArgument("QaOptions.top_k must be >= 1, got 0");
+  }
+  return Status::OK();
+}
+
 ppr::QuerySeed LinkQuestion(const Question& question, size_t num_entities) {
   ppr::QuerySeed seed;
   int total = 0;
@@ -40,6 +48,8 @@ QaSystem::QaSystem(graph::GraphView view,
       options_(options),
       engine_(view, options.eipd) {
   KGOV_CHECK(answer_nodes_ != nullptr);
+  Status valid = options_.Validate();
+  KGOV_CHECK(valid.ok()) << valid.ToString();
 }
 
 QaSystem::QaSystem(const graph::WeightedDigraph* graph,
@@ -51,17 +61,21 @@ QaSystem::QaSystem(const graph::WeightedDigraph* graph,
       options_(options),
       engine_(owned_snapshot_->View(), options.eipd) {
   KGOV_CHECK(answer_nodes_ != nullptr);
+  Status valid = options_.Validate();
+  KGOV_CHECK(valid.ok()) << valid.ToString();
 }
 
-std::vector<ppr::ScoredAnswer> QaSystem::AskSeed(
+StatusOr<std::vector<ppr::ScoredAnswer>> QaSystem::AnswerSeed(
     const ppr::QuerySeed& seed) const {
-  if (seed.empty()) return {};
-  return engine_.RankAnswers(seed, *answer_nodes_, options_.top_k);
+  if (seed.empty()) return std::vector<ppr::ScoredAnswer>{};
+  return engine_.Rank(seed, *answer_nodes_, options_.top_k);
 }
 
-std::vector<RankedDocument> QaSystem::Ask(const Question& question) const {
+StatusOr<std::vector<RankedDocument>> QaSystem::Answer(
+    const Question& question) const {
   ppr::QuerySeed seed = LinkQuestion(question, num_entities_);
-  std::vector<ppr::ScoredAnswer> ranked = AskSeed(seed);
+  std::vector<ppr::ScoredAnswer> ranked;
+  KGOV_ASSIGN_OR_RETURN(ranked, AnswerSeed(seed));
   // Node -> document translation (answer nodes are contiguous after the
   // entities, so this is arithmetic).
   std::vector<RankedDocument> docs;
@@ -73,6 +87,19 @@ std::vector<RankedDocument> QaSystem::Ask(const Question& question) const {
     docs.push_back(doc);
   }
   return docs;
+}
+
+std::vector<ppr::ScoredAnswer> QaSystem::AskSeed(
+    const ppr::QuerySeed& seed) const {
+  StatusOr<std::vector<ppr::ScoredAnswer>> ranked = AnswerSeed(seed);
+  if (!ranked.ok()) return {};
+  return std::move(ranked).value();
+}
+
+std::vector<RankedDocument> QaSystem::Ask(const Question& question) const {
+  StatusOr<std::vector<RankedDocument>> docs = Answer(question);
+  if (!docs.ok()) return {};
+  return std::move(docs).value();
 }
 
 }  // namespace kgov::qa

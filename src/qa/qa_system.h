@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/status.h"
 #include "graph/csr.h"
 #include "graph/graph.h"
 #include "graph/graph_view.h"
@@ -35,6 +36,9 @@ struct QaOptions {
   ppr::EipdOptions eipd;
   /// Length of the returned answer list.
   size_t top_k = 20;
+
+  /// OK iff eipd validates and top_k >= 1; the message names the field.
+  Status Validate() const;
 };
 
 /// A ranked document with its similarity score.
@@ -61,10 +65,22 @@ class QaSystem {
 
   const QaOptions& options() const { return options_; }
 
-  /// Top-k documents for `question`, best first.
+  /// Top-k documents for `question`, best first. Mentions of entities the
+  /// graph does not know are ignored (a question with no known mentions
+  /// yields an empty list); a malformed linked seed is InvalidArgument.
+  StatusOr<std::vector<RankedDocument>> Answer(const Question& question) const;
+
+  /// Top-k answer *nodes* for a pre-linked query. InvalidArgument when a
+  /// seed link is malformed for the served view.
+  StatusOr<std::vector<ppr::ScoredAnswer>> AnswerSeed(
+      const ppr::QuerySeed& seed) const;
+
+  /// Deprecated: use Answer(). Returns an empty list where Answer()
+  /// returns an error.
   std::vector<RankedDocument> Ask(const Question& question) const;
 
-  /// Top-k answer *nodes* for a pre-linked query.
+  /// Deprecated: use AnswerSeed(). Returns an empty list where
+  /// AnswerSeed() returns an error.
   std::vector<ppr::ScoredAnswer> AskSeed(const ppr::QuerySeed& seed) const;
 
  private:

@@ -4,7 +4,6 @@
 #include <cmath>
 
 #include "common/logging.h"
-#include "ppr/eipd.h"
 
 namespace kgov::qa {
 
@@ -68,7 +67,10 @@ Result<SimulatedEnvironment> BuildEnvironment(
 
   uint32_t vote_id = 0;
   for (const Question& question : env.train_questions) {
-    std::vector<RankedDocument> shown = deployed_system.Ask(question);
+    StatusOr<std::vector<RankedDocument>> shown_or =
+        deployed_system.Answer(question);
+    if (!shown_or.ok()) continue;  // unservable question: no vote
+    std::vector<RankedDocument> shown = std::move(shown_or).value();
     while (!shown.empty() && shown.back().score <= 0.0) shown.pop_back();
     if (shown.size() < 2) continue;
 
@@ -83,7 +85,11 @@ Result<SimulatedEnvironment> BuildEnvironment(
         }
       }
       if (best_doc < 0) {
-        std::vector<RankedDocument> truth_view = truth_system.Ask(question);
+        StatusOr<std::vector<RankedDocument>> truth_or =
+            truth_system.Answer(question);
+        std::vector<RankedDocument> truth_view =
+            truth_or.ok() ? std::move(truth_or).value()
+                          : std::vector<RankedDocument>{};
         for (const RankedDocument& rd : truth_view) {
           bool is_shown =
               std::any_of(shown.begin(), shown.end(),

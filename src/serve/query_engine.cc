@@ -1,0 +1,198 @@
+#include "serve/query_engine.h"
+
+#include <future>
+#include <string>
+#include <utility>
+
+#include "common/timer.h"
+#include "telemetry/metrics.h"
+
+namespace kgov::serve {
+
+namespace {
+
+// Serving-subsystem telemetry; pointers resolved once.
+struct ServeMetrics {
+  telemetry::Counter* queries;
+  telemetry::Counter* cache_hits;
+  telemetry::Counter* cache_misses;
+  telemetry::Counter* cache_evictions;
+  telemetry::Counter* cache_invalidations;
+  telemetry::Counter* epoch_refreshes;
+  telemetry::Gauge* queue_depth;
+  telemetry::Histogram* query_span;
+
+  static const ServeMetrics& Get() {
+    static const ServeMetrics m = [] {
+      telemetry::MetricRegistry& reg = telemetry::MetricRegistry::Global();
+      return ServeMetrics{reg.GetCounter("serve.queries"),
+                          reg.GetCounter("serve.cache.hits"),
+                          reg.GetCounter("serve.cache.misses"),
+                          reg.GetCounter("serve.cache.evictions"),
+                          reg.GetCounter("serve.cache.invalidations"),
+                          reg.GetCounter("serve.epoch_refreshes"),
+                          reg.GetGauge("serve.queue_depth"),
+                          reg.GetHistogram("span.serve.query.seconds")};
+    }();
+    return m;
+  }
+};
+
+}  // namespace
+
+Status QueryEngineOptions::Validate() const {
+  KGOV_RETURN_IF_ERROR(eipd.Validate());
+  if (top_k < 1) {
+    return Status::InvalidArgument("QueryEngineOptions.top_k must be >= 1");
+  }
+  if (num_threads < 1) {
+    return Status::InvalidArgument(
+        "QueryEngineOptions.num_threads must be >= 1");
+  }
+  if (cache_capacity < 1) {
+    return Status::InvalidArgument(
+        "QueryEngineOptions.cache_capacity must be >= 1");
+  }
+  if (cache_shards < 1) {
+    return Status::InvalidArgument(
+        "QueryEngineOptions.cache_shards must be >= 1");
+  }
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<QueryEngine>> QueryEngine::Create(
+    const core::OnlineKgOptimizer* source,
+    const std::vector<graph::NodeId>* candidates,
+    QueryEngineOptions options) {
+  KGOV_RETURN_IF_ERROR(options.Validate());
+  if (source == nullptr) {
+    return Status::InvalidArgument("QueryEngine requires a non-null source");
+  }
+  if (candidates == nullptr || candidates->empty()) {
+    return Status::InvalidArgument(
+        "QueryEngine requires a non-empty candidate set");
+  }
+  return std::unique_ptr<QueryEngine>(
+      new QueryEngine(source, candidates, std::move(options)));
+}
+
+QueryEngine::QueryEngine(const core::OnlineKgOptimizer* source,
+                         const std::vector<graph::NodeId>* candidates,
+                         QueryEngineOptions options)
+    : source_(source),
+      candidates_(candidates),
+      options_(std::move(options)),
+      pinned_(source->CurrentEpoch()),
+      cache_(options_.cache_capacity, options_.cache_shards),
+      workspaces_(options_.num_threads),
+      pool_(std::make_unique<ThreadPool>(options_.num_threads)) {}
+
+QueryEngine::~QueryEngine() = default;
+
+uint64_t QueryEngine::PinnedEpochNumber() const {
+  std::shared_lock<std::shared_mutex> lock(epoch_mu_);
+  return pinned_.epoch;
+}
+
+void QueryEngine::MaybeRefreshEpoch() {
+  const uint64_t latest = source_->CurrentEpochNumber();
+  {
+    std::shared_lock<std::shared_mutex> lock(epoch_mu_);
+    if (pinned_.epoch >= latest) return;
+  }
+  // Pin the fresh epoch outside the exclusive section (CurrentEpoch takes
+  // the optimizer's own lock), then swap under ours.
+  core::ServingEpoch fresh = source_->CurrentEpoch();
+  {
+    std::unique_lock<std::shared_mutex> lock(epoch_mu_);
+    if (fresh.epoch <= pinned_.epoch) return;  // raced with another refresh
+    pinned_ = std::move(fresh);
+  }
+  const ServeMetrics& metrics = ServeMetrics::Get();
+  metrics.epoch_refreshes->Increment();
+  // Wholesale invalidation: every cached entry belongs to a dead epoch.
+  // Correctness does not depend on this sweep (keys carry the epoch); it
+  // just releases the dead epoch's memory promptly.
+  metrics.cache_invalidations->Increment(cache_.InvalidateAll());
+}
+
+ppr::PropagationWorkspace* QueryEngine::WorkspaceForThisThread() {
+  const size_t index = pool_->CurrentWorkerIndex();
+  if (index == ThreadPool::kNotAWorker) {
+    return &ppr::ThreadLocalWorkspace();
+  }
+  return &workspaces_[index];
+}
+
+StatusOr<RankedAnswers> QueryEngine::ServeOne(const ppr::QuerySeed& seed) {
+  MaybeRefreshEpoch();
+  core::ServingEpoch epoch;
+  {
+    std::shared_lock<std::shared_mutex> lock(epoch_mu_);
+    epoch = pinned_;
+  }
+
+  const ServeMetrics& metrics = ServeMetrics::Get();
+  RankedAnswers result;
+  result.epoch = epoch.epoch;
+
+  std::string key;
+  if (options_.enable_cache) {
+    key = EncodeCacheKey(epoch.epoch, seed);
+    if (cache_.Get(key, &result.answers)) {
+      result.from_cache = true;
+      metrics.cache_hits->Increment();
+      return result;
+    }
+    metrics.cache_misses->Increment();
+  }
+
+  ppr::EipdEngine engine(epoch.view(), options_.eipd);
+  StatusOr<std::vector<ppr::ScoredAnswer>> ranked = engine.Rank(
+      seed, *candidates_, options_.top_k, WorkspaceForThisThread());
+  if (!ranked.ok()) return ranked.status();
+  result.answers = std::move(ranked).value();
+
+  if (options_.enable_cache) {
+    if (cache_.Put(key, result.answers)) {
+      metrics.cache_evictions->Increment();
+    }
+  }
+  return result;
+}
+
+StatusOr<RankedAnswers> QueryEngine::Submit(const ppr::QuerySeed& seed) {
+  std::vector<StatusOr<RankedAnswers>> results = SubmitBatch({seed});
+  return std::move(results.front());
+}
+
+std::vector<StatusOr<RankedAnswers>> QueryEngine::SubmitBatch(
+    const std::vector<ppr::QuerySeed>& seeds) {
+  const ServeMetrics& metrics = ServeMetrics::Get();
+  std::vector<std::future<StatusOr<RankedAnswers>>> futures;
+  futures.reserve(seeds.size());
+  for (const ppr::QuerySeed& seed : seeds) {
+    metrics.queries->Increment();
+    metrics.queue_depth->Set(static_cast<double>(
+        queue_depth_.fetch_add(1, std::memory_order_relaxed) + 1));
+    Timer enqueue_timer;
+    futures.push_back(
+        pool_->Submit([this, seed, enqueue_timer, &metrics]() {
+          // End-to-end latency: queue wait + propagation (or cache hit),
+          // observed at completion so gather order cannot inflate it.
+          StatusOr<RankedAnswers> served = ServeOne(seed);
+          metrics.queue_depth->Set(static_cast<double>(
+              queue_depth_.fetch_sub(1, std::memory_order_relaxed) - 1));
+          metrics.query_span->Observe(enqueue_timer.ElapsedSeconds());
+          return served;
+        }));
+  }
+  std::vector<StatusOr<RankedAnswers>> results;
+  results.reserve(seeds.size());
+  for (auto& future : futures) {
+    results.push_back(future.get());
+  }
+  return results;
+}
+
+}  // namespace kgov::serve

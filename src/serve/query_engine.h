@@ -1,0 +1,153 @@
+// serve::QueryEngine - the concurrent query-serving subsystem.
+//
+// Production deployments serve QA traffic continuously while the
+// OnlineKgOptimizer folds vote batches into the graph. This engine is the
+// read side of that loop:
+//
+//  * It pins a core::ServingEpoch (ref-counted CSR snapshot + epoch
+//    number) and serves every query from that frozen view; an optimizer
+//    flush never blocks or mutates an in-flight query.
+//  * Queries fan out across a ThreadPool. Each worker owns a reusable
+//    ppr::PropagationWorkspace, so steady-state serving performs no
+//    per-query allocation (the workspace is addressed by
+//    ThreadPool::CurrentWorkerIndex - no locks, no thread_local growth).
+//  * Results are memoized in an epoch-keyed ShardedResultCache. A cache
+//    hit is bitwise identical to the propagation it replaced; on epoch
+//    swap the whole cache is invalidated wholesale (and the epoch-in-key
+//    scheme makes even a racing reader safe).
+//  * Before each query the engine probes
+//    OnlineKgOptimizer::CurrentEpochNumber() (one acquire load) and
+//    re-pins when the optimizer has published a newer epoch, so fresh
+//    results appear promptly without polling threads.
+//
+// Telemetry (kgov_telemetry registry): serve.queries, serve.cache.hits /
+// .misses / .evictions / .invalidations, serve.epoch_refreshes,
+// serve.queue_depth (gauge), span.serve.query.seconds (end-to-end
+// latency histogram). See docs/serving.md.
+
+#ifndef KGOV_SERVE_QUERY_ENGINE_H_
+#define KGOV_SERVE_QUERY_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/online_optimizer.h"
+#include "ppr/eipd_engine.h"
+#include "ppr/query_seed.h"
+#include "ppr/ranking.h"
+#include "serve/result_cache.h"
+
+namespace kgov::serve {
+
+struct QueryEngineOptions {
+  /// Propagation settings used for every query.
+  ppr::EipdOptions eipd;
+  /// Answers returned per query.
+  size_t top_k = 10;
+  /// Serving worker threads.
+  size_t num_threads = 4;
+  /// Memoize per-seed rankings (epoch-keyed LRU). Disable to force every
+  /// query through a fresh propagation (the cache-off baseline).
+  bool enable_cache = true;
+  /// Total cached seed rankings across all shards.
+  size_t cache_capacity = 4096;
+  /// Cache shard count (locks per shard; more shards = less contention).
+  size_t cache_shards = 8;
+
+  /// Checks every field range; returns InvalidArgument naming the first
+  /// offending field. QueryEngine::Create fails fast with the result.
+  Status Validate() const;
+};
+
+/// One served query result.
+struct RankedAnswers {
+  /// Top-k candidates by descending EIPD score (ties by node id).
+  std::vector<ppr::ScoredAnswer> answers;
+  /// Epoch the ranking was computed on.
+  uint64_t epoch = 0;
+  /// True when the ranking came out of the result cache.
+  bool from_cache = false;
+};
+
+/// Concurrent query-serving engine over an OnlineKgOptimizer's published
+/// epochs. Submit/SubmitBatch are safe to call from any number of threads;
+/// the engine never blocks on an in-progress optimizer flush.
+class QueryEngine {
+ public:
+  /// `source` and `candidates` are borrowed and must outlive the engine.
+  /// `candidates` is the fixed answer-node universe ranked for every
+  /// query (a QA system's answer documents). Fails fast on invalid
+  /// options or null/empty inputs.
+  static StatusOr<std::unique_ptr<QueryEngine>> Create(
+      const core::OnlineKgOptimizer* source,
+      const std::vector<graph::NodeId>* candidates,
+      QueryEngineOptions options);
+
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Serves one query: enqueues it on the worker pool and blocks until
+  /// its ranking is ready. InvalidArgument when the seed does not fit the
+  /// pinned epoch's view.
+  StatusOr<RankedAnswers> Submit(const ppr::QuerySeed& seed);
+
+  /// Serves a batch: all queries are enqueued up front (saturating the
+  /// pool), then gathered in order. results[i] corresponds to seeds[i].
+  std::vector<StatusOr<RankedAnswers>> SubmitBatch(
+      const std::vector<ppr::QuerySeed>& seeds);
+
+  /// The epoch queries are currently served from (pinned; may trail the
+  /// optimizer's latest by at most one in-flight refresh).
+  uint64_t PinnedEpochNumber() const;
+
+  /// Cache counters since construction.
+  ShardedResultCache::Stats CacheStats() const { return cache_.GetStats(); }
+
+  const QueryEngineOptions& options() const { return options_; }
+
+ private:
+  QueryEngine(const core::OnlineKgOptimizer* source,
+              const std::vector<graph::NodeId>* candidates,
+              QueryEngineOptions options);
+
+  /// Re-pins the serving epoch when the optimizer has published a newer
+  /// one (cheap acquire-load probe; lock taken only on an actual swap),
+  /// then invalidates the cache wholesale.
+  void MaybeRefreshEpoch();
+
+  /// The worker-side body of one query.
+  StatusOr<RankedAnswers> ServeOne(const ppr::QuerySeed& seed);
+
+  /// This worker's reusable workspace (falls back to the thread-local
+  /// workspace for non-pool callers).
+  ppr::PropagationWorkspace* WorkspaceForThisThread();
+
+  const core::OnlineKgOptimizer* source_;
+  const std::vector<graph::NodeId>* candidates_;
+  QueryEngineOptions options_;
+
+  /// Pinned epoch; shared_mutex so concurrent queries copy it without
+  /// serializing on each other, while a refresh takes it exclusively.
+  mutable std::shared_mutex epoch_mu_;
+  core::ServingEpoch pinned_;
+
+  ShardedResultCache cache_;
+  std::vector<ppr::PropagationWorkspace> workspaces_;
+  std::atomic<int64_t> queue_depth_{0};
+
+  /// Declared last: destroyed first, so workers drain before the state
+  /// they touch goes away.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace kgov::serve
+
+#endif  // KGOV_SERVE_QUERY_ENGINE_H_

@@ -1,0 +1,111 @@
+#include "serve/result_cache.h"
+
+#include <algorithm>
+#include <cstring>
+#include <functional>
+
+namespace kgov::serve {
+
+namespace {
+
+template <typename T>
+void AppendBytes(std::string* key, const T& value) {
+  const char* bytes = reinterpret_cast<const char*>(&value);
+  key->append(bytes, sizeof(T));
+}
+
+}  // namespace
+
+std::string EncodeCacheKey(uint64_t epoch, const ppr::QuerySeed& seed) {
+  std::string key;
+  key.reserve(sizeof(epoch) +
+              seed.links.size() *
+                  (sizeof(graph::NodeId) + sizeof(double)));
+  AppendBytes(&key, epoch);
+  for (const auto& [node, weight] : seed.links) {
+    AppendBytes(&key, node);
+    AppendBytes(&key, weight);
+  }
+  return key;
+}
+
+ShardedResultCache::ShardedResultCache(size_t capacity, size_t num_shards)
+    : per_shard_capacity_(
+          std::max<size_t>(1, capacity / std::max<size_t>(1, num_shards))),
+      shards_(std::max<size_t>(1, num_shards)) {}
+
+ShardedResultCache::Shard& ShardedResultCache::ShardFor(
+    const std::string& key) {
+  return shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+bool ShardedResultCache::Get(const std::string& key,
+                             std::vector<ppr::ScoredAnswer>* out) {
+  Shard& shard = ShardFor(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      *out = it->second->second;
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+bool ShardedResultCache::Put(const std::string& key,
+                             std::vector<ppr::ScoredAnswer> value) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->second = std::move(value);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return false;
+  }
+  bool evicted = false;
+  if (shard.lru.size() >= per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    evicted = true;
+  }
+  shard.lru.emplace_front(key, std::move(value));
+  shard.index.emplace(key, shard.lru.begin());
+  return evicted;
+}
+
+size_t ShardedResultCache::InvalidateAll() {
+  size_t dropped = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    dropped += shard.lru.size();
+    shard.index.clear();
+    shard.lru.clear();
+  }
+  invalidations_.fetch_add(dropped, std::memory_order_relaxed);
+  return dropped;
+}
+
+ShardedResultCache::Stats ShardedResultCache::GetStats() const {
+  Stats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.invalidations = invalidations_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+size_t ShardedResultCache::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.lru.size();
+  }
+  return total;
+}
+
+}  // namespace kgov::serve

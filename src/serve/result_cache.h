@@ -1,0 +1,102 @@
+// Epoch-keyed sharded LRU cache of per-seed ranking results.
+//
+// The serving hot path answers many repeats of the same query seed between
+// graph updates, and an EIPD propagation is the entire cost of a query.
+// This cache memoizes ranked answers keyed by (epoch number, exact seed
+// bytes): the epoch in the key makes a stale hit structurally impossible -
+// a reader on epoch N can never observe a value computed on epoch M != N,
+// even mid-invalidation - while InvalidateAll() (called on epoch swap)
+// promptly frees the dead epoch's entries rather than waiting for LRU
+// pressure to evict them.
+//
+// Sharded to keep lock hold times off the serving tail: each shard owns an
+// independent mutex + LRU list, and a key touches exactly one shard.
+// Hit/miss/eviction/invalidation counts feed kgov_telemetry via the
+// owning serve::QueryEngine.
+
+#ifndef KGOV_SERVE_RESULT_CACHE_H_
+#define KGOV_SERVE_RESULT_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "ppr/query_seed.h"
+#include "ppr/ranking.h"
+
+namespace kgov::serve {
+
+/// Exact binary cache key: epoch number followed by the seed's links,
+/// byte for byte. Two seeds collide iff they are bitwise identical, so a
+/// cache hit returns exactly what a fresh propagation of that seed on that
+/// epoch would return (the bitwise-identity guarantee the serving tests
+/// pin down).
+std::string EncodeCacheKey(uint64_t epoch, const ppr::QuerySeed& seed);
+
+class ShardedResultCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    /// Entries dropped by InvalidateAll (epoch swaps).
+    uint64_t invalidations = 0;
+  };
+
+  /// `capacity` is the total entry budget, split evenly across
+  /// `num_shards` shards (each shard gets at least one slot).
+  ShardedResultCache(size_t capacity, size_t num_shards);
+
+  ShardedResultCache(const ShardedResultCache&) = delete;
+  ShardedResultCache& operator=(const ShardedResultCache&) = delete;
+
+  /// On hit copies the cached ranking into `*out`, refreshes the entry's
+  /// LRU position, and returns true. On miss returns false.
+  bool Get(const std::string& key, std::vector<ppr::ScoredAnswer>* out);
+
+  /// Inserts (or refreshes) `key`, evicting the shard's least recently
+  /// used entry when the shard is full. Returns true when an entry was
+  /// evicted to make room (lets the owner feed an eviction counter).
+  bool Put(const std::string& key, std::vector<ppr::ScoredAnswer> value);
+
+  /// Drops every entry (epoch swap); returns how many were dropped.
+  /// Concurrent Get/Put stay safe; the epoch-qualified keys guarantee
+  /// correctness even for entries inserted while the invalidation sweeps
+  /// the shards.
+  size_t InvalidateAll();
+
+  /// Monotonic counters since construction (relaxed reads).
+  Stats GetStats() const;
+
+  /// Entries currently resident, summed over shards.
+  size_t size() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    /// Front = most recently used. The list owns keys and values; the
+    /// index maps a key view to its list position.
+    std::list<std::pair<std::string, std::vector<ppr::ScoredAnswer>>> lru;
+    std::unordered_map<std::string,
+                       decltype(lru)::iterator> index;
+  };
+
+  Shard& ShardFor(const std::string& key);
+
+  size_t per_shard_capacity_;
+  std::vector<Shard> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> invalidations_{0};
+};
+
+}  // namespace kgov::serve
+
+#endif  // KGOV_SERVE_RESULT_CACHE_H_

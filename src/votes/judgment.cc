@@ -3,14 +3,25 @@
 #include <unordered_map>
 
 #include "common/logging.h"
-#include "ppr/eipd.h"
 
 namespace kgov::votes {
 
+namespace {
+
+std::shared_ptr<const graph::CsrSnapshot> SnapshotOf(
+    const graph::WeightedDigraph* graph) {
+  KGOV_CHECK(graph != nullptr);
+  return std::make_shared<graph::CsrSnapshot>(*graph);
+}
+
+}  // namespace
+
 JudgmentFilter::JudgmentFilter(const graph::WeightedDigraph* graph,
                                JudgmentOptions options)
-    : graph_(graph), options_(std::move(options)) {
-  KGOV_CHECK(graph_ != nullptr);
+    : graph_(graph),
+      options_(std::move(options)),
+      snapshot_(SnapshotOf(graph)),
+      engine_(snapshot_->View(), options_.symbolic.eipd) {
   KGOV_CHECK(options_.shared_edge_weight > 0.0 &&
              options_.shared_edge_weight < 1.0);
 }
@@ -49,11 +60,11 @@ bool JudgmentFilter::IsSatisfiable(const Vote& vote) const {
     if (best_edges.count(e) == 0) overrides[e] = 0.0;
   }
 
-  ppr::EipdEvaluator evaluator(graph_, options_.symbolic.eipd);
-  std::vector<double> scores =
-      evaluator.SimilarityManyWithOverrides(vote.query, {best, rival},
-                                            overrides);
-  return scores[0] > scores[1];
+  StatusOr<std::vector<double>> scores = engine_.ScoresWithOverrides(
+      vote.query, {best, rival}, overrides);
+  // A query the graph cannot even link is certainly not satisfiable.
+  if (!scores.ok()) return false;
+  return scores.value()[0] > scores.value()[1];
 }
 
 std::vector<Vote> JudgmentFilter::FilterVotes(

@@ -14,9 +14,12 @@
 #ifndef KGOV_VOTES_JUDGMENT_H_
 #define KGOV_VOTES_JUDGMENT_H_
 
+#include <memory>
 #include <vector>
 
+#include "graph/csr.h"
 #include "graph/graph.h"
+#include "ppr/eipd_engine.h"
 #include "ppr/symbolic_eipd.h"
 #include "votes/vote.h"
 
@@ -34,6 +37,10 @@ struct JudgmentOptions {
 
 class JudgmentFilter {
  public:
+  /// `graph` is borrowed and must outlive the filter; its weights are
+  /// frozen into a CSR snapshot at construction (the filter evaluates the
+  /// extreme condition on the unified EipdEngine), so construct the filter
+  /// after the batch's graph state is final.
   JudgmentFilter(const graph::WeightedDigraph* graph,
                  JudgmentOptions options);
 
@@ -47,6 +54,10 @@ class JudgmentFilter {
  private:
   const graph::WeightedDigraph* graph_;
   JudgmentOptions options_;
+  // Frozen view of `graph_` for the numeric extreme-condition evaluation;
+  // declared before engine_ so the view it backs outlives the engine.
+  std::shared_ptr<const graph::CsrSnapshot> snapshot_;
+  ppr::EipdEngine engine_;
 };
 
 }  // namespace kgov::votes

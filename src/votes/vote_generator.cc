@@ -5,7 +5,9 @@
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "graph/csr.h"
 #include "graph/subgraph.h"
+#include "ppr/eipd_engine.h"
 
 namespace kgov::votes {
 
@@ -85,8 +87,11 @@ Result<SyntheticWorkload> GenerateSyntheticWorkload(
     workload.graph.NormalizeOutWeights(entity);
   }
 
-  // Queries + votes.
-  ppr::EipdEvaluator evaluator(&workload.graph, params.eipd);
+  // Queries + votes. The graph is final from here on, so rank on the
+  // unified engine over one frozen snapshot with a reused workspace.
+  graph::CsrSnapshot snapshot(workload.graph);
+  ppr::EipdEngine evaluator(snapshot.View(), params.eipd);
+  ppr::PropagationWorkspace workspace;
   double negative_rank_mean =
       std::clamp(params.avg_negative_rank, 2.0,
                  static_cast<double>(params.top_k));
@@ -104,8 +109,10 @@ Result<SyntheticWorkload> GenerateSyntheticWorkload(
     for (size_t idx : picks) entities.push_back(region[idx]);
     ppr::QuerySeed seed = ppr::QuerySeed::UniformOver(entities);
 
-    std::vector<ppr::ScoredAnswer> ranked =
-        evaluator.RankAnswers(seed, workload.answers, params.top_k);
+    StatusOr<std::vector<ppr::ScoredAnswer>> ranked_or =
+        evaluator.Rank(seed, workload.answers, params.top_k, &workspace);
+    if (!ranked_or.ok()) continue;  // malformed sample; resample
+    std::vector<ppr::ScoredAnswer> ranked = std::move(ranked_or).value();
     // Drop zero-score tail: those answers are unreachable from the query.
     while (!ranked.empty() && ranked.back().score <= 0.0) ranked.pop_back();
     if (ranked.size() < 2) continue;  // query disconnected; resample

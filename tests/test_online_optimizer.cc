@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "ppr/fast_eipd.h"
 
 namespace kgov::core {
@@ -179,6 +182,79 @@ TEST(OnlineOptimizerTest, PinnedEpochServesIdenticalScoresAcrossFlushes) {
   ppr::EipdEngine latest_engine(latest.view(), {.max_length = 4});
   EXPECT_GT(latest_engine.Similarity(vote.query, 4),
             pinned_engine.Similarity(vote.query, 4));
+}
+
+TEST(OnlineOptimizerTest, InvalidOptionsFailFastNamingTheField) {
+  WeightedDigraph g = MakeFixture();
+  OnlineOptimizerOptions options = SmallOptions(0);  // batch_size = 0
+  OnlineKgOptimizer online(g, options);
+  Result<FlushReport> r = online.AddVote(MakeVote(4, 0));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+  EXPECT_NE(r.status().message().find("batch_size"), std::string::npos);
+  EXPECT_FALSE(online.Flush().ok());
+  // Serving still works: the initial epoch published regardless.
+  EXPECT_NE(online.serving().snapshot, nullptr);
+}
+
+TEST(OnlineOptimizerTest, PinnedEpochImmutableUnderHundredConcurrentFlushes) {
+  // The epoch-swap ordering contract: a reader that pinned an epoch keeps
+  // serving bitwise-identical scores no matter how many flushes publish
+  // newer epochs underneath, and CurrentEpochNumber() is monotone with
+  // CurrentEpoch() never trailing an observed number.
+  WeightedDigraph g = MakeFixture();
+  OnlineKgOptimizer online(g, SmallOptions(10));
+  ServingEpoch pinned = online.CurrentEpoch();
+  ASSERT_EQ(pinned.epoch, 0u);
+  votes::Vote probe = MakeVote(4, 0);
+  ppr::EipdEngine reference(pinned.view(), {.max_length = 4});
+  StatusOr<std::vector<double>> before_or =
+      reference.Scores(probe.query, probe.answer_list);
+  ASSERT_TRUE(before_or.ok());
+  const std::vector<double> before = before_or.value();
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> violations{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&]() {
+      ppr::EipdEngine engine(pinned.view(), {.max_length = 4});
+      ppr::PropagationWorkspace ws;
+      uint64_t last_seen = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        StatusOr<std::vector<double>> now =
+            engine.Scores(probe.query, probe.answer_list, &ws);
+        if (!now.ok() || now.value() != before) {  // bitwise comparison
+          violations.fetch_add(1);
+          break;
+        }
+        uint64_t number = online.CurrentEpochNumber();
+        if (number < last_seen ||
+            online.CurrentEpoch().epoch < number) {
+          violations.fetch_add(1);
+          break;
+        }
+        last_seen = number;
+      }
+    });
+  }
+
+  for (uint32_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(online.AddVote(MakeVote(4, i)).ok());
+    ASSERT_TRUE(online.Flush().ok());
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& reader : readers) reader.join();
+
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_EQ(online.CurrentEpochNumber(), 100u);
+  EXPECT_EQ(online.serving().epoch, 100u);
+  // The pinned epoch is still epoch 0 and still serves the same bits.
+  EXPECT_EQ(pinned.epoch, 0u);
+  StatusOr<std::vector<double>> after =
+      reference.Scores(probe.query, probe.answer_list);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value(), before);
 }
 
 TEST(OnlineOptimizerTest, SplitMergeStrategyWorks) {

@@ -1,0 +1,315 @@
+#include "serve/query_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "core/online_optimizer.h"
+#include "ppr/query_seed.h"
+
+namespace kgov::serve {
+namespace {
+
+using core::OnlineKgOptimizer;
+using core::OnlineOptimizerOptions;
+using graph::WeightedDigraph;
+
+WeightedDigraph MakeFixture() {
+  WeightedDigraph g(5);
+  EXPECT_TRUE(g.AddEdge(0, 1, 0.6).ok());
+  EXPECT_TRUE(g.AddEdge(0, 2, 0.4).ok());
+  EXPECT_TRUE(g.AddEdge(1, 3, 1.0).ok());
+  EXPECT_TRUE(g.AddEdge(2, 4, 1.0).ok());
+  return g;
+}
+
+votes::Vote MakeVote(graph::NodeId best, uint32_t id) {
+  votes::Vote vote;
+  vote.id = id;
+  vote.query.links.emplace_back(0, 1.0);
+  vote.answer_list = {3, 4};
+  vote.best_answer = best;
+  return vote;
+}
+
+OnlineOptimizerOptions SmallOnlineOptions() {
+  OnlineOptimizerOptions options;
+  options.batch_size = 100;  // flush explicitly
+  options.optimizer.encoder.symbolic.eipd.max_length = 4;
+  options.optimizer.apply_judgment_filter = false;
+  options.strategy = core::FlushStrategy::kMultiVote;
+  return options;
+}
+
+QueryEngineOptions SmallEngineOptions() {
+  QueryEngineOptions options;
+  options.eipd.max_length = 4;
+  options.top_k = 2;
+  options.num_threads = 2;
+  return options;
+}
+
+const std::vector<graph::NodeId>& Candidates() {
+  static const std::vector<graph::NodeId> c = {3, 4};
+  return c;
+}
+
+/// Deterministic query stream: seeds over source nodes {0, 1, 2} with
+/// pseudo-random (but seeded, hence replayable) link weights.
+std::vector<ppr::QuerySeed> SeededStream(size_t count, uint64_t rng_seed) {
+  std::mt19937_64 rng(rng_seed);
+  std::uniform_real_distribution<double> weight(0.1, 1.0);
+  std::vector<ppr::QuerySeed> seeds;
+  seeds.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    ppr::QuerySeed seed;
+    const graph::NodeId first = static_cast<graph::NodeId>(rng() % 3);
+    seed.links.emplace_back(first, weight(rng));
+    if (rng() % 2 == 0) {
+      seed.links.emplace_back((first + 1) % 3, weight(rng));
+    }
+    seed.Normalize();
+    seeds.push_back(std::move(seed));
+  }
+  return seeds;
+}
+
+bool BitwiseEqual(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+/// Bitwise comparison of two rankings (node ids and raw score bits).
+void ExpectIdenticalAnswers(const std::vector<ppr::ScoredAnswer>& a,
+                            const std::vector<ppr::ScoredAnswer>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].node, b[i].node) << "rank " << i;
+    EXPECT_TRUE(BitwiseEqual(a[i].score, b[i].score))
+        << "rank " << i << ": " << a[i].score << " vs " << b[i].score;
+  }
+}
+
+TEST(QueryEngineTest, CreateFailsFastNamingTheField) {
+  WeightedDigraph g = MakeFixture();
+  OnlineKgOptimizer online(g, SmallOnlineOptions());
+
+  QueryEngineOptions bad = SmallEngineOptions();
+  bad.top_k = 0;
+  auto engine_or = QueryEngine::Create(&online, &Candidates(), bad);
+  ASSERT_FALSE(engine_or.ok());
+  EXPECT_EQ(engine_or.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(engine_or.status().message().find("top_k"), std::string::npos)
+      << engine_or.status().message();
+
+  auto null_source = QueryEngine::Create(nullptr, &Candidates(),
+                                         SmallEngineOptions());
+  EXPECT_FALSE(null_source.ok());
+
+  auto null_candidates =
+      QueryEngine::Create(&online, nullptr, SmallEngineOptions());
+  EXPECT_FALSE(null_candidates.ok());
+}
+
+TEST(QueryEngineTest, RepeatSubmitIsServedFromCacheBitwiseIdentical) {
+  WeightedDigraph g = MakeFixture();
+  OnlineKgOptimizer online(g, SmallOnlineOptions());
+  auto engine_or =
+      QueryEngine::Create(&online, &Candidates(), SmallEngineOptions());
+  ASSERT_TRUE(engine_or.ok()) << engine_or.status();
+  QueryEngine& engine = **engine_or;
+
+  ppr::QuerySeed seed = ppr::QuerySeed::UniformOver({0});
+  StatusOr<RankedAnswers> first = engine.Submit(seed);
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_FALSE(first->from_cache);
+  EXPECT_EQ(first->epoch, 0u);
+  ASSERT_EQ(first->answers.size(), 2u);
+
+  StatusOr<RankedAnswers> second = engine.Submit(seed);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_TRUE(second->from_cache);
+  ExpectIdenticalAnswers(first->answers, second->answers);
+
+  ShardedResultCache::Stats stats = engine.CacheStats();
+  EXPECT_GE(stats.hits, 1u);
+  EXPECT_GE(stats.misses, 1u);
+}
+
+TEST(QueryEngineTest, InvalidSeedReturnsErrorNotCrash) {
+  WeightedDigraph g = MakeFixture();
+  OnlineKgOptimizer online(g, SmallOnlineOptions());
+  auto engine_or =
+      QueryEngine::Create(&online, &Candidates(), SmallEngineOptions());
+  ASSERT_TRUE(engine_or.ok()) << engine_or.status();
+
+  ppr::QuerySeed out_of_range;
+  out_of_range.links.emplace_back(999, 1.0);
+  StatusOr<RankedAnswers> served = (*engine_or)->Submit(out_of_range);
+  EXPECT_FALSE(served.ok());
+  EXPECT_EQ(served.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueryEngineTest, CacheOnAndOffIdenticalAcrossEpochSwaps) {
+  WeightedDigraph g = MakeFixture();
+  OnlineKgOptimizer online(g, SmallOnlineOptions());
+
+  QueryEngineOptions cached = SmallEngineOptions();
+  QueryEngineOptions uncached = SmallEngineOptions();
+  uncached.enable_cache = false;
+
+  auto cached_or = QueryEngine::Create(&online, &Candidates(), cached);
+  auto uncached_or = QueryEngine::Create(&online, &Candidates(), uncached);
+  ASSERT_TRUE(cached_or.ok()) << cached_or.status();
+  ASSERT_TRUE(uncached_or.ok()) << uncached_or.status();
+  QueryEngine& with_cache = **cached_or;
+  QueryEngine& without_cache = **uncached_or;
+
+  const std::vector<ppr::QuerySeed> stream = SeededStream(24, 0xC0FFEE);
+
+  // Serve the stream twice on the cached engine (second pass hits), once
+  // on the uncached engine; every ranking must be bitwise identical.
+  auto serve_and_compare = [&](uint64_t expect_epoch) {
+    std::vector<StatusOr<RankedAnswers>> fresh =
+        without_cache.SubmitBatch(stream);
+    std::vector<StatusOr<RankedAnswers>> pass1 =
+        with_cache.SubmitBatch(stream);
+    std::vector<StatusOr<RankedAnswers>> pass2 =
+        with_cache.SubmitBatch(stream);
+    ASSERT_EQ(fresh.size(), stream.size());
+    for (size_t i = 0; i < stream.size(); ++i) {
+      ASSERT_TRUE(fresh[i].ok()) << fresh[i].status();
+      ASSERT_TRUE(pass1[i].ok()) << pass1[i].status();
+      ASSERT_TRUE(pass2[i].ok()) << pass2[i].status();
+      EXPECT_EQ(fresh[i]->epoch, expect_epoch);
+      EXPECT_EQ(pass1[i]->epoch, expect_epoch);
+      EXPECT_EQ(pass2[i]->epoch, expect_epoch);
+      EXPECT_FALSE(fresh[i]->from_cache);
+      // The replay is served from the cache (duplicate seeds may make
+      // some pass1 entries hits too, which is fine).
+      EXPECT_TRUE(pass2[i]->from_cache);
+      ExpectIdenticalAnswers(fresh[i]->answers, pass1[i]->answers);
+      ExpectIdenticalAnswers(fresh[i]->answers, pass2[i]->answers);
+    }
+  };
+
+  serve_and_compare(/*expect_epoch=*/0);
+
+  // Epoch swap: fold a vote in, then re-serve the same stream. Both
+  // engines must re-pin epoch 1 and agree again (the cached engine must
+  // not leak epoch-0 rankings).
+  ASSERT_TRUE(online.AddVote(MakeVote(4, 0)).ok());
+  ASSERT_TRUE(online.Flush().ok());
+  serve_and_compare(/*expect_epoch=*/1);
+
+  ASSERT_TRUE(online.AddVote(MakeVote(3, 1)).ok());
+  ASSERT_TRUE(online.Flush().ok());
+  serve_and_compare(/*expect_epoch=*/2);
+
+  EXPECT_EQ(with_cache.PinnedEpochNumber(), 2u);
+  EXPECT_EQ(without_cache.PinnedEpochNumber(), 2u);
+}
+
+TEST(QueryEngineTest, FaultedFlushLeavesServingOnOldEpoch) {
+  WeightedDigraph g = MakeFixture();
+  OnlineKgOptimizer online(g, SmallOnlineOptions());
+  auto engine_or =
+      QueryEngine::Create(&online, &Candidates(), SmallEngineOptions());
+  ASSERT_TRUE(engine_or.ok()) << engine_or.status();
+  QueryEngine& engine = **engine_or;
+
+  ppr::QuerySeed seed = ppr::QuerySeed::UniformOver({0});
+  StatusOr<RankedAnswers> before = engine.Submit(seed);
+  ASSERT_TRUE(before.ok()) << before.status();
+  EXPECT_EQ(before->epoch, 0u);
+
+  // A corrupted optimization result must roll back: the engine keeps
+  // serving the pinned epoch-0 rankings, bit for bit.
+  ASSERT_TRUE(online.AddVote(MakeVote(4, 0)).ok());
+  {
+    ScopedFault fault(FaultSite::kGraphCorruption,
+                      {.probability = 1.0, .max_fires = 1});
+    Result<core::FlushReport> r = online.Flush();
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+  }
+  EXPECT_EQ(online.RollbackCount(), 1u);
+  EXPECT_EQ(online.CurrentEpochNumber(), 0u);
+
+  StatusOr<RankedAnswers> during = engine.Submit(seed);
+  ASSERT_TRUE(during.ok()) << during.status();
+  EXPECT_EQ(during->epoch, 0u);
+  EXPECT_EQ(engine.PinnedEpochNumber(), 0u);
+  ExpectIdenticalAnswers(before->answers, during->answers);
+
+  // With the fault gone the retry publishes epoch 1 and the engine
+  // re-pins on the next query.
+  ASSERT_TRUE(online.Flush().ok());
+  StatusOr<RankedAnswers> after = engine.Submit(seed);
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_EQ(after->epoch, 1u);
+  EXPECT_EQ(engine.PinnedEpochNumber(), 1u);
+}
+
+TEST(QueryEngineTest, ConcurrentFlushAndServeStress) {
+  WeightedDigraph g = MakeFixture();
+  OnlineKgOptimizer online(g, SmallOnlineOptions());
+  auto engine_or =
+      QueryEngine::Create(&online, &Candidates(), SmallEngineOptions());
+  ASSERT_TRUE(engine_or.ok()) << engine_or.status();
+  QueryEngine& engine = **engine_or;
+
+  constexpr int kFlushes = 20;
+  std::atomic<bool> stop{false};
+  std::atomic<int> serve_errors{0};
+  std::atomic<int> epoch_regressions{0};
+
+  // Client threads hammer Submit while the optimizer flushes. Served
+  // epochs must never go backwards from any single client's view.
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 2; ++t) {
+    clients.emplace_back([&, t]() {
+      const std::vector<ppr::QuerySeed> stream =
+          SeededStream(8, 0xBEEF + static_cast<uint64_t>(t));
+      uint64_t last_epoch = 0;
+      size_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        StatusOr<RankedAnswers> served =
+            engine.Submit(stream[i++ % stream.size()]);
+        if (!served.ok()) {
+          serve_errors.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        if (served->epoch < last_epoch) {
+          epoch_regressions.fetch_add(1, std::memory_order_relaxed);
+        }
+        last_epoch = served->epoch;
+      }
+    });
+  }
+
+  for (uint32_t i = 0; i < kFlushes; ++i) {
+    ASSERT_TRUE(online.AddVote(MakeVote(i % 2 == 0 ? 4 : 3, i)).ok());
+    ASSERT_TRUE(online.Flush().ok());
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : clients) t.join();
+
+  EXPECT_EQ(serve_errors.load(), 0);
+  EXPECT_EQ(epoch_regressions.load(), 0);
+  EXPECT_EQ(online.CurrentEpochNumber(), static_cast<uint64_t>(kFlushes));
+
+  // The next query re-pins the final epoch and serves from it.
+  StatusOr<RankedAnswers> final_result =
+      engine.Submit(ppr::QuerySeed::UniformOver({0}));
+  ASSERT_TRUE(final_result.ok()) << final_result.status();
+  EXPECT_EQ(final_result->epoch, static_cast<uint64_t>(kFlushes));
+  EXPECT_EQ(engine.PinnedEpochNumber(), static_cast<uint64_t>(kFlushes));
+}
+
+}  // namespace
+}  // namespace kgov::serve

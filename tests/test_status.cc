@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 namespace kgov {
@@ -106,6 +108,28 @@ TEST(ResultTest, CopyPreservesState) {
   Result<int> err = Status::Internal("e");
   Result<int> err_copy = err;
   EXPECT_FALSE(err_copy.ok());
+}
+
+TEST(StatusOrTest, IsTheCanonicalAliasOfResult) {
+  // StatusOr<T> is the documented spelling for public read-path returns;
+  // it must be the same type as Result<T> so the two interconvert freely.
+  static_assert(std::is_same_v<StatusOr<int>, Result<int>>);
+  StatusOr<int> r = 5;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 5);
+  Result<int> as_result = r;
+  EXPECT_EQ(*as_result, 5);
+}
+
+TEST(StatusOrTest, SupportsMoveOnlyValues) {
+  StatusOr<std::unique_ptr<int>> r = std::make_unique<int>(3);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> owned = std::move(r).value();
+  EXPECT_EQ(*owned, 3);
+
+  StatusOr<std::unique_ptr<int>> err = Status::NotFound("gone");
+  EXPECT_FALSE(err.ok());
+  EXPECT_TRUE(err.status().IsNotFound());
 }
 
 Status FailsWhenNegative(int x) {

@@ -59,8 +59,48 @@ print("telemetry snapshot OK:",
       hist["count"], "propagations,",
       "p50={:.3g}s p99={:.3g}s".format(hist["p50"], hist["p99"]))
 EOF
+
+  echo "== [3/3] concurrent-serving bench (smoke) =="
+  CONCURRENT_JSON="$BUILD_DIR/BENCH_concurrent_smoke.json"
+  CONCURRENT_TELEMETRY="$REPO_ROOT/BENCH_concurrent_telemetry.json"
+  rm -f "$CONCURRENT_JSON" "$CONCURRENT_TELEMETRY"
+  "$BUILD_DIR/bench/bench_concurrent_serving" --smoke \
+      --json "$CONCURRENT_JSON" \
+      --telemetry-json "$CONCURRENT_TELEMETRY"
+
+  # The sweep must show the cache-hit speedup and ideal thread scaling,
+  # and leave a snapshot with the serve.* metrics populated
+  # (docs/serving.md). The committed full-run artifact is
+  # BENCH_concurrent.json at the repo root; the smoke json stays in the
+  # build dir so CI never clobbers it.
+  python3 - "$CONCURRENT_JSON" "$CONCURRENT_TELEMETRY" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    bench = json.load(f)
+if bench.get("cache_hit_speedup", 0) <= 1.0:
+    sys.exit("FAIL: cache-hit speedup not > 1x")
+if bench.get("scaling_1_to_4_ideal", 0) < 2.0:
+    sys.exit("FAIL: ideal 1->4 thread scaling below 2x")
+with open(sys.argv[2]) as f:
+    snap = json.load(f)
+counters = snap.get("counters", {})
+if counters.get("serve.queries", 0) == 0:
+    sys.exit("FAIL: serve.queries counter is zero")
+if counters.get("serve.cache.hits", 0) == 0:
+    sys.exit("FAIL: serve.cache.hits counter is zero")
+hist = snap.get("histograms", {}).get("span.serve.query.seconds")
+if not hist or hist.get("count", 0) == 0:
+    sys.exit("FAIL: span.serve.query.seconds histogram is empty")
+for key in ("p50", "p95", "p99", "buckets"):
+    if key not in hist:
+        sys.exit(f"FAIL: serve latency histogram lacks '{key}'")
+print("concurrent serving OK:",
+      "{:.1f}x cache speedup,".format(bench["cache_hit_speedup"]),
+      "{:.2f}x ideal scaling,".format(bench["scaling_1_to_4_ideal"]),
+      hist["count"], "queries served")
+EOF
 else
-  echo "== [3/3] serving bench skipped (KGOV_SKIP_BENCH=1) =="
+  echo "== [3/3] serving benches skipped (KGOV_SKIP_BENCH=1) =="
 fi
 
 echo "CI gate passed."

@@ -1,16 +1,21 @@
 #!/usr/bin/env bash
-# Build and run the kgov test suite under AddressSanitizer + UBSan.
+# Build and run the kgov test suite under AddressSanitizer + UBSan, then
+# the concurrency-heavy tests (serve, thread pool, online optimizer)
+# under ThreadSanitizer.
 #
 # Usage: tools/ci/sanitize.sh [build-dir] [ctest-args...]
 #
 # Uses the KGOV_SANITIZE CMake option; any failure (including a sanitizer
 # report, via -fno-sanitize-recover=all) fails the script.
+#   KGOV_SKIP_TSAN=1  skip the ThreadSanitizer pass (TSan and ASan cannot
+#                     be combined, so it needs its own build tree)
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "$0")/../.." && pwd)"
 BUILD_DIR="${1:-$REPO_ROOT/build-sanitize}"
 shift || true
 
+echo "== sanitize: ASan/UBSan (full suite) =="
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DKGOV_SANITIZE=address,undefined \
@@ -21,3 +26,21 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
 ctest --test-dir "$BUILD_DIR" --output-on-failure "$@"
+
+if [[ "${KGOV_SKIP_TSAN:-0}" != "1" ]]; then
+  echo "== sanitize: TSan (serve / thread pool / online optimizer) =="
+  TSAN_BUILD_DIR="${BUILD_DIR}-tsan"
+  cmake -B "$TSAN_BUILD_DIR" -S "$REPO_ROOT" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DKGOV_SANITIZE=thread \
+      -DKGOV_BUILD_BENCHMARKS=OFF \
+      -DKGOV_BUILD_EXAMPLES=OFF
+  cmake --build "$TSAN_BUILD_DIR" -j "$(nproc)" --target \
+      test_query_engine test_thread_pool test_online_optimizer \
+      test_resilience
+  export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
+  ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure \
+      -R 'QueryEngine|ThreadPool|OnlineOptimizer|FaultPipeline' "$@"
+else
+  echo "== sanitize: TSan skipped (KGOV_SKIP_TSAN=1) =="
+fi

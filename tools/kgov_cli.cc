@@ -226,7 +226,8 @@ Status CmdAsk(const Flags& flags) {
   options.top_k = static_cast<size_t>(flags.GetInt("topk", 10));
   qa::QaSystem system(&kg.graph, &kg.answer_nodes, kg.num_entities,
                       options);
-  std::vector<qa::RankedDocument> docs = system.Ask(question);
+  KGOV_ASSIGN_OR_RETURN(std::vector<qa::RankedDocument> docs,
+                        system.Answer(question));
   for (size_t i = 0; i < docs.size(); ++i) {
     std::printf("%2zu. doc %-6d score %.6f\n", i + 1, docs[i].document,
                 docs[i].score);
@@ -246,7 +247,9 @@ Status CmdEval(const Flags& flags) {
   qa::QaSystem system(&kg.graph, &kg.answer_nodes, kg.num_entities,
                       options);
   std::vector<std::vector<qa::RankedDocument>> rankings;
-  for (const qa::Question& q : questions) rankings.push_back(system.Ask(q));
+  for (const qa::Question& q : questions) {
+    rankings.push_back(system.Answer(q).value_or({}));
+  }
   qa::RankingMetrics m = qa::EvaluateRankings(questions, rankings);
   std::printf("questions %zu  H@1 %.3f  H@3 %.3f  H@5 %.3f  H@10 %.3f  "
               "MRR %.3f  MAP %.3f  Ravg %.2f\n",
@@ -273,7 +276,7 @@ Status CmdCollectVotes(const Flags& flags) {
   uint32_t id = 0;
   for (const qa::Question& q : questions) {
     if (q.best_document < 0) continue;
-    std::vector<qa::RankedDocument> shown = system.Ask(q);
+    std::vector<qa::RankedDocument> shown = system.Answer(q).value_or({});
     while (!shown.empty() && shown.back().score <= 0.0) shown.pop_back();
     if (shown.size() < 2) continue;
     bool label_shown = false;
