@@ -6,12 +6,40 @@
 #include <limits>
 
 #include "math/stats.h"
+#include <string>
 
 namespace kgov::cluster {
+
+
+Status ApOptions::Validate() const {
+  if (!(damping >= 0.5 && damping < 1.0)) {
+    return Status::InvalidArgument(
+        "ApOptions.damping must be in [0.5, 1), got " +
+        std::to_string(damping));
+  }
+  if (max_iterations < 1) {
+    return Status::InvalidArgument(
+        "ApOptions.max_iterations must be >= 1, got " +
+        std::to_string(max_iterations));
+  }
+  if (convergence_window < 1) {
+    return Status::InvalidArgument(
+        "ApOptions.convergence_window must be >= 1, got " +
+        std::to_string(convergence_window));
+  }
+  // NaN selects the median-preference default; infinity is never valid.
+  if (std::isinf(preference)) {
+    return Status::InvalidArgument(
+        "ApOptions.preference must be finite or NaN, got " +
+        std::to_string(preference));
+  }
+  return Status::OK();
+}
 
 Result<ApResult> AffinityPropagation(
     const std::vector<std::vector<double>>& similarity,
     const ApOptions& options) {
+  KGOV_RETURN_IF_ERROR(options.Validate());
   const size_t n = similarity.size();
   if (n == 0) {
     return Status::InvalidArgument("empty similarity matrix");

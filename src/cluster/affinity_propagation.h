@@ -22,6 +22,10 @@ struct ApOptions {
   /// Diagonal self-similarity (exemplar preference). NaN = use the median
   /// of the off-diagonal similarities (the paper's choice, SVII-D).
   double preference = std::nan("");
+
+  /// Checks every field range (NaN preference is the documented default,
+  /// infinity is rejected). AffinityPropagation fails fast with the result.
+  Status Validate() const;
 };
 
 /// Result of a clustering run.

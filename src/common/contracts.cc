@@ -1,0 +1,61 @@
+#include "common/contracts.h"
+
+#include <atomic>
+
+namespace kgov::contracts {
+
+namespace {
+
+std::atomic<int> g_mode{static_cast<int>(CheckMode::kAbort)};
+std::atomic<uint64_t> g_violations{0};
+std::atomic<ViolationHandler> g_handler{nullptr};
+
+}  // namespace
+
+void SetCheckMode(CheckMode mode) {
+  g_mode.store(static_cast<int>(mode), std::memory_order_relaxed);
+}
+
+CheckMode GetCheckMode() {
+  return static_cast<CheckMode>(g_mode.load(std::memory_order_relaxed));
+}
+
+uint64_t ViolationCount() {
+  return g_violations.load(std::memory_order_relaxed);
+}
+
+void ResetViolationCount() {
+  g_violations.store(0, std::memory_order_relaxed);
+}
+
+void SetViolationHandler(ViolationHandler handler) {
+  g_handler.store(handler, std::memory_order_release);
+}
+
+namespace internal {
+
+ContractFailure::ContractFailure(const char* file, int line,
+                                 const char* expression)
+    : file_(file), line_(line), expression_(expression) {}
+
+ContractFailure::~ContractFailure() {
+  const std::string context = stream_.str();
+  const bool soft = GetCheckMode() == CheckMode::kSoftCount;
+  {
+    // The contract text goes through the logging layer so it lands in the
+    // same stream (and with the same serialization) as everything else.
+    ::kgov::internal::LogMessage message(
+        soft ? ::kgov::LogLevel::kError : ::kgov::LogLevel::kFatal, file_,
+        line_);
+    message.stream() << "Contract violated: " << expression_;
+    if (!context.empty()) message.stream() << " " << context;
+    // kFatal aborts when `message` goes out of scope.
+  }
+  g_violations.fetch_add(1, std::memory_order_relaxed);
+  if (ViolationHandler handler = g_handler.load(std::memory_order_acquire)) {
+    handler(file_, line_, expression_);
+  }
+}
+
+}  // namespace internal
+}  // namespace kgov::contracts

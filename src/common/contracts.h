@@ -1,0 +1,133 @@
+// Debug contracts: assertion macros with expression stringification, a
+// telemetry-countable soft-check mode, and Status-aware variants.
+//
+//   KGOV_ASSERT(x > 0) << "got " << x;        // always compiled in
+//   KGOV_DCHECK(idx < size);                  // compiled out under NDEBUG
+//   KGOV_CHECK_OK(graph::ValidateCsr(view));  // aborts with the status
+//   KGOV_DCHECK_OK(expr);                     // debug-only CHECK_OK
+//
+// Failure behavior is process-wide (contracts::SetCheckMode):
+//  * kAbort (default): the failure is logged at FATAL and the process
+//    aborts - the right behavior for tests and one-shot tools.
+//  * kSoftCount: the failure is logged at ERROR, the violation counter
+//    increments, the registered handler fires (telemetry mirrors it as
+//    the contracts.soft_violations counter), and execution continues -
+//    the canary mode for long-lived serving processes, where one bad
+//    invariant should page, not take down the fleet.
+//
+// Distinction from common/logging.h's KGOV_CHECK: KGOV_CHECK is a bare
+// always-fatal check; KGOV_ASSERT is the contract-layer entry point that
+// honors the soft mode and feeds telemetry. New invariant checks should
+// use the contracts macros. (KGOV_DCHECK used to live in logging.h as a
+// plain assert(); it now routes through this layer.)
+
+#ifndef KGOV_COMMON_CONTRACTS_H_
+#define KGOV_COMMON_CONTRACTS_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace kgov::contracts {
+
+/// What a failed KGOV_ASSERT/KGOV_DCHECK/KGOV_CHECK_OK does.
+enum class CheckMode {
+  /// Log at FATAL and abort (default).
+  kAbort,
+  /// Log at ERROR, count the violation, call the handler, continue.
+  kSoftCount,
+};
+
+/// Sets the process-wide failure mode. Thread-safe.
+void SetCheckMode(CheckMode mode);
+CheckMode GetCheckMode();
+
+/// RAII mode override for tests.
+class ScopedCheckMode {
+ public:
+  explicit ScopedCheckMode(CheckMode mode)
+      : previous_(GetCheckMode()) {
+    SetCheckMode(mode);
+  }
+  ~ScopedCheckMode() { SetCheckMode(previous_); }
+
+  ScopedCheckMode(const ScopedCheckMode&) = delete;
+  ScopedCheckMode& operator=(const ScopedCheckMode&) = delete;
+
+ private:
+  CheckMode previous_;
+};
+
+/// Soft-mode violations since process start (or the last reset).
+uint64_t ViolationCount();
+void ResetViolationCount();
+
+/// Called on every soft-mode violation, after the counter increments.
+/// telemetry::MetricRegistry installs a handler that mirrors violations
+/// into the "contracts.soft_violations" counter. Pass nullptr to clear.
+using ViolationHandler = void (*)(const char* file, int line,
+                                  const char* expression);
+void SetViolationHandler(ViolationHandler handler);
+
+namespace internal {
+
+/// Accumulates one contract-failure message; on destruction it reports the
+/// violation - FATAL + abort in kAbort mode, ERROR + count in kSoftCount.
+class ContractFailure {
+ public:
+  ContractFailure(const char* file, int line, const char* expression);
+  ~ContractFailure();
+
+  ContractFailure(const ContractFailure&) = delete;
+  ContractFailure& operator=(const ContractFailure&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expression_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace kgov::contracts
+
+/// Always-compiled invariant check with expression stringification and
+/// stream syntax for context. Honors the soft-check mode.
+#define KGOV_ASSERT(condition)                                         \
+  (condition)                                                          \
+      ? static_cast<void>(0)                                           \
+      : ::kgov::internal::Voidify() &                                  \
+            ::kgov::contracts::internal::ContractFailure(              \
+                __FILE__, __LINE__, #condition)                        \
+                .stream()
+
+/// Evaluates `expr` (a Status expression) once; reports a contract
+/// violation carrying the status text when it is not OK.
+#define KGOV_CHECK_OK(expr)                                            \
+  do {                                                                 \
+    const ::kgov::Status _kgov_contract_status = (expr);               \
+    if (!_kgov_contract_status.ok()) {                                 \
+      ::kgov::contracts::internal::ContractFailure(__FILE__, __LINE__, \
+                                                   #expr)              \
+              .stream()                                                \
+          << _kgov_contract_status.ToString();                         \
+    }                                                                  \
+  } while (0)
+
+#ifdef NDEBUG
+// Compiled out, but keeps the expression parsed (and its variables
+// "used") without evaluating it.
+#define KGOV_DCHECK(condition) \
+  static_cast<void>(sizeof(static_cast<bool>(condition) ? 0 : 0))
+#define KGOV_DCHECK_OK(expr) static_cast<void>(sizeof((expr), 0))
+#else
+#define KGOV_DCHECK(condition) KGOV_ASSERT(condition)
+#define KGOV_DCHECK_OK(expr) KGOV_CHECK_OK(expr)
+#endif
+
+#endif  // KGOV_COMMON_CONTRACTS_H_

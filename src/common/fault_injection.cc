@@ -39,7 +39,7 @@ FaultInjector& FaultInjector::Global() {
 }
 
 void FaultInjector::Arm(FaultSite site, FaultConfig config) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   SiteState& state = sites_[static_cast<int>(site)];
   state.config = config;
   state.hits = 0;
@@ -49,19 +49,19 @@ void FaultInjector::Arm(FaultSite site, FaultConfig config) {
 }
 
 void FaultInjector::Disarm(FaultSite site) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   armed_mask_.fetch_and(~(1u << static_cast<int>(site)),
                         std::memory_order_release);
 }
 
 void FaultInjector::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   armed_mask_.store(0, std::memory_order_release);
   for (SiteState& state : sites_) state = SiteState{};
 }
 
 void FaultInjector::Reseed(uint64_t seed) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   seed_ = seed;
 }
 
@@ -69,7 +69,7 @@ bool FaultInjector::ShouldFire(FaultSite site) {
   const uint32_t bit = 1u << static_cast<int>(site);
   if ((armed_mask_.load(std::memory_order_acquire) & bit) == 0) return false;
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if ((armed_mask_.load(std::memory_order_relaxed) & bit) == 0) return false;
   SiteState& state = sites_[static_cast<int>(site)];
   const int64_t hit = state.hits++;
@@ -98,17 +98,17 @@ bool FaultInjector::ShouldFire(FaultSite site) {
 double FaultInjector::SleepSeconds(FaultSite site) const {
   const uint32_t bit = 1u << static_cast<int>(site);
   if ((armed_mask_.load(std::memory_order_acquire) & bit) == 0) return 0.0;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return sites_[static_cast<int>(site)].config.sleep_seconds;
 }
 
 int64_t FaultInjector::Hits(FaultSite site) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return sites_[static_cast<int>(site)].hits;
 }
 
 int64_t FaultInjector::Fires(FaultSite site) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return sites_[static_cast<int>(site)].fires;
 }
 

@@ -27,8 +27,9 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string_view>
+
+#include "common/thread_annotations.h"
 
 namespace kgov {
 
@@ -73,27 +74,27 @@ class FaultInjector {
   FaultInjector& operator=(const FaultInjector&) = delete;
 
   /// Arms `site` with `config` and resets its hit/fire counters.
-  void Arm(FaultSite site, FaultConfig config);
+  void Arm(FaultSite site, FaultConfig config) KGOV_EXCLUDES(mu_);
 
   /// Disarms `site`; its counters keep their values until the next Arm.
-  void Disarm(FaultSite site);
+  void Disarm(FaultSite site) KGOV_EXCLUDES(mu_);
 
   /// Disarms every site and zeroes all counters.
-  void Reset();
+  void Reset() KGOV_EXCLUDES(mu_);
 
   /// Reseeds the deterministic fire schedule (default seed is fixed).
-  void Reseed(uint64_t seed);
+  void Reseed(uint64_t seed) KGOV_EXCLUDES(mu_);
 
   /// Records a hit at `site` and returns whether the fault fires. With the
   /// site disarmed this is one relaxed atomic load.
-  bool ShouldFire(FaultSite site);
+  bool ShouldFire(FaultSite site) KGOV_EXCLUDES(mu_);
 
   /// Sleep duration configured for `site` (0 when disarmed).
-  double SleepSeconds(FaultSite site) const;
+  double SleepSeconds(FaultSite site) const KGOV_EXCLUDES(mu_);
 
   /// Counters for assertions: hits observed / faults fired since Arm.
-  int64_t Hits(FaultSite site) const;
-  int64_t Fires(FaultSite site) const;
+  int64_t Hits(FaultSite site) const KGOV_EXCLUDES(mu_);
+  int64_t Fires(FaultSite site) const KGOV_EXCLUDES(mu_);
 
  private:
   FaultInjector() = default;
@@ -104,10 +105,12 @@ class FaultInjector {
     int64_t fires = 0;
   };
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
+  // Fast-path summary of which sites are armed; ShouldFire reads it with
+  // one relaxed load before touching anything mu_ guards.
   std::atomic<uint32_t> armed_mask_{0};
-  uint64_t seed_ = 0x8F0C'17B3'5E2A'D94Bull;
-  std::array<SiteState, kNumFaultSites> sites_;
+  uint64_t seed_ KGOV_GUARDED_BY(mu_) = 0x8F0C'17B3'5E2A'D94Bull;
+  std::array<SiteState, kNumFaultSites> sites_ KGOV_GUARDED_BY(mu_);
 };
 
 /// True when `site` is armed and its schedule fires on this hit. This is

@@ -2,7 +2,8 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "common/thread_annotations.h"
 
 namespace kgov {
 namespace {
@@ -10,8 +11,8 @@ namespace {
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarning)};
 
 // Serializes whole-line emission so concurrent threads do not interleave.
-std::mutex& EmitMutex() {
-  static std::mutex mu;
+Mutex& EmitMutex() {
+  static Mutex mu;
   return mu;
 }
 
@@ -54,7 +55,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   {
-    std::lock_guard<std::mutex> lock(EmitMutex());
+    MutexLock lock(EmitMutex());
     std::fprintf(stderr, "%s\n", stream_.str().c_str());
     std::fflush(stderr);
   }

@@ -9,7 +9,6 @@
 #ifndef KGOV_COMMON_LOGGING_H_
 #define KGOV_COMMON_LOGGING_H_
 
-#include <cassert>
 #include <cstdlib>
 #include <sstream>
 #include <string>
@@ -83,6 +82,7 @@ struct Voidify {
                     .stream()                                          \
                 << "Check failed: " #condition " "
 
-#define KGOV_DCHECK(condition) assert(condition)
+// KGOV_DCHECK moved to common/contracts.h, where it participates in the
+// contract layer's soft-check mode and telemetry counting.
 
 #endif  // KGOV_COMMON_LOGGING_H_

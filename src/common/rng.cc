@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/contracts.h"
+
 namespace kgov {
 namespace {
 

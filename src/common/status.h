@@ -38,7 +38,12 @@ enum class StatusCode {
 std::string_view StatusCodeToString(StatusCode code);
 
 /// The result of an operation that can fail. Cheap to copy in the OK case.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status hides failures (a lesson the
+/// robustness work keeps re-learning), so discarding one is a compile
+/// error under -Werror=unused-result. Intentional fire-and-forget sites
+/// must say so: `status.IgnoreError()` (or assign to a named variable).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -108,6 +113,11 @@ class Status {
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;
 
+  /// Explicitly discards this status. The required spelling for
+  /// fire-and-forget call sites (best-effort cleanup, logging-only
+  /// failures) - greppable, and visible in review.
+  void IgnoreError() const {}
+
   bool operator==(const Status& other) const {
     return code_ == other.code_ && message_ == other.message_;
   }
@@ -122,9 +132,10 @@ inline std::ostream& operator<<(std::ostream& os, const Status& s) {
 }
 
 /// Either a value of type T or an error Status. Analogous to
-/// absl::StatusOr<T> / arrow::Result<T>.
+/// absl::StatusOr<T> / arrow::Result<T>. [[nodiscard]] for the same
+/// reason as Status: a dropped Result is a dropped error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value: allows `return value;` in Result-returning code.
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

@@ -1,0 +1,199 @@
+// Clang thread-safety annotations and the capability-annotated mutex
+// wrappers every concurrent kgov subsystem uses.
+//
+// The locking discipline of the serving stack (epoch-swapped reads in
+// core::OnlineKgOptimizer, the sharded result cache, the thread pool's
+// task queue) used to live in comments. These macros turn those comments
+// into machine-checked contracts: under Clang with -Wthread-safety (the
+// KGOV_STATIC_ANALYSIS build, tools/ci/analyze.sh), annotating a member
+// with KGOV_GUARDED_BY(mu_) makes any unlocked access a compile error.
+// Under GCC (which has no thread-safety analysis) every macro expands to
+// nothing and the wrappers behave exactly like std::mutex +
+// std::lock_guard, so the annotations cost nothing where they cannot be
+// checked.
+//
+// Conventions (docs/static_analysis.md):
+//  * Mutex members are kgov::Mutex / kgov::SharedMutex, never raw
+//    std::mutex (enforced by tools/lint/kgov_lint.py: raw-mutex-member).
+//  * Every member a mutex protects carries KGOV_GUARDED_BY(mu_).
+//  * Functions that expect the caller to hold a lock say
+//    KGOV_REQUIRES(mu_) instead of a "caller holds mu_" comment.
+//  * Critical sections are MutexLock / ReaderMutexLock / WriterMutexLock
+//    scopes; condition waits go through MutexLock::Wait.
+
+#ifndef KGOV_COMMON_THREAD_ANNOTATIONS_H_
+#define KGOV_COMMON_THREAD_ANNOTATIONS_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+#include <utility>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define KGOV_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef KGOV_THREAD_ANNOTATION_
+#define KGOV_THREAD_ANNOTATION_(x)  // not supported by this compiler
+#endif
+
+/// Declares a type to be a capability ("mutex"-like). Applied to the
+/// wrapper classes below; user code never needs it directly.
+#define KGOV_CAPABILITY(x) KGOV_THREAD_ANNOTATION_(capability(x))
+
+/// Declares an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define KGOV_SCOPED_CAPABILITY KGOV_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Member annotation: reads/writes require holding `x`.
+#define KGOV_GUARDED_BY(x) KGOV_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer-member annotation: the pointed-to data requires holding `x`
+/// (the pointer itself may be read freely).
+#define KGOV_PT_GUARDED_BY(x) KGOV_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function annotation: the caller must hold the listed capabilities
+/// exclusively. Replaces "caller holds mu_" comments.
+#define KGOV_REQUIRES(...) \
+  KGOV_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function annotation: the caller must hold the listed capabilities at
+/// least in shared (reader) mode.
+#define KGOV_REQUIRES_SHARED(...) \
+  KGOV_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// Function annotation: the function acquires the capability and leaves it
+/// held on return.
+#define KGOV_ACQUIRE(...) \
+  KGOV_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define KGOV_ACQUIRE_SHARED(...) \
+  KGOV_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+/// Function annotation: the function releases a held capability.
+#define KGOV_RELEASE(...) \
+  KGOV_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define KGOV_RELEASE_SHARED(...) \
+  KGOV_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+/// Function annotation: acquires the capability only when returning the
+/// given value (e.g. KGOV_TRY_ACQUIRE(true) on a try_lock).
+#define KGOV_TRY_ACQUIRE(...) \
+  KGOV_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Function annotation: the caller must NOT hold the listed capabilities
+/// (deadlock prevention; e.g. public methods that lock internally).
+#define KGOV_EXCLUDES(...) KGOV_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Function annotation: returns a reference to the given capability.
+#define KGOV_RETURN_CAPABILITY(x) KGOV_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: disables analysis inside one function. Use only with a
+/// comment explaining why the analysis cannot see the invariant.
+#define KGOV_NO_THREAD_SAFETY_ANALYSIS \
+  KGOV_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace kgov {
+
+/// std::mutex with the capability annotation, so members can be declared
+/// KGOV_GUARDED_BY(mu_) and functions KGOV_REQUIRES(mu_). Lock through
+/// MutexLock; Lock()/Unlock() exist for the rare manual pairing.
+class KGOV_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() KGOV_ACQUIRE() { mu_.lock(); }
+  void Unlock() KGOV_RELEASE() { mu_.unlock(); }
+  bool TryLock() KGOV_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The wrapped handle, for condition-variable waits (MutexLock::Wait).
+  /// Locking through the handle bypasses the analysis - don't.
+  std::mutex& native_handle() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// std::shared_mutex with the capability annotation: one writer or many
+/// readers. Lock through WriterMutexLock / ReaderMutexLock.
+class KGOV_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() KGOV_ACQUIRE() { mu_.lock(); }
+  void Unlock() KGOV_RELEASE() { mu_.unlock(); }
+  void LockShared() KGOV_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() KGOV_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive critical section over a Mutex (the annotated
+/// std::lock_guard). Supports condition waits: Wait() releases and
+/// reacquires the underlying handle, which is invisible to (and safe
+/// under) the analysis because the capability is held at every sequence
+/// point the analysis can observe.
+class KGOV_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) KGOV_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() KGOV_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Blocks on `cv` until `pred()` holds. The predicate runs with the
+  /// mutex held; annotate its lambda KGOV_REQUIRES(mu) so guarded reads
+  /// inside it check out.
+  template <typename Predicate>
+  void Wait(std::condition_variable& cv, Predicate pred) {
+    std::unique_lock<std::mutex> relock(mu_.native_handle(),
+                                        std::adopt_lock);
+    cv.wait(relock, std::move(pred));
+    // The wait returned with the handle re-locked; detach so the
+    // unique_lock's destructor does not unlock what this scope still owns.
+    relock.release();
+  }
+
+ private:
+  Mutex& mu_;
+};
+
+/// RAII exclusive (writer) critical section over a SharedMutex.
+class KGOV_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) KGOV_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterMutexLock() KGOV_RELEASE() { mu_.Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII shared (reader) critical section over a SharedMutex.
+class KGOV_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) KGOV_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~ReaderMutexLock() KGOV_RELEASE() { mu_.UnlockShared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+}  // namespace kgov
+
+#endif  // KGOV_COMMON_THREAD_ANNOTATIONS_H_

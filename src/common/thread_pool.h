@@ -10,11 +10,11 @@
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace kgov {
 
@@ -27,6 +27,12 @@ namespace kgov {
 /// capture never reaches the worker loop, which additionally swallows and
 /// counts any stray exception as a last resort instead of terminating the
 /// process.
+///
+/// Locking discipline (checked by the KGOV_STATIC_ANALYSIS build): mu_
+/// guards the task queue, the shutdown flag, and the stray-exception
+/// counter; cv_ is the queue's not-empty/shutdown signal. Tasks run with
+/// no pool lock held - a task that logs or submits more work never holds
+/// mu_.
 class ThreadPool {
  public:
   /// Starts `num_threads` workers (at least 1).
@@ -47,7 +53,7 @@ class ThreadPool {
         std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
     std::future<R> result = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       queue_.emplace_back([task]() { (*task)(); });
     }
     cv_.notify_one();
@@ -59,7 +65,7 @@ class ThreadPool {
 
   /// Exceptions that escaped task wrappers and were swallowed by the worker
   /// loop (should stay 0; non-zero indicates a task infrastructure bug).
-  size_t StrayExceptionCount() const;
+  size_t StrayExceptionCount() const KGOV_EXCLUDES(mu_);
 
   /// The calling thread's worker index in [0, size()), or kNotAWorker when
   /// the caller is not one of THIS pool's workers. Lets tasks address
@@ -69,14 +75,14 @@ class ThreadPool {
   size_t CurrentWorkerIndex() const;
 
  private:
-  void WorkerLoop(size_t worker_index);
+  void WorkerLoop(size_t worker_index) KGOV_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<std::function<void()>> queue_ KGOV_GUARDED_BY(mu_);
   std::vector<std::thread> workers_;
-  size_t stray_exceptions_ = 0;
-  bool shutting_down_ = false;
+  size_t stray_exceptions_ KGOV_GUARDED_BY(mu_) = 0;
+  bool shutting_down_ KGOV_GUARDED_BY(mu_) = false;
 };
 
 /// Runs `fn(i)` for i in [0, n) on `pool` (or inline when pool is null),

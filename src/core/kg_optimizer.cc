@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <memory>
-#include <mutex>
 #include <utility>
 
 #include "cluster/vote_similarity.h"
 #include "common/fault_injection.h"
 #include "common/logging.h"
+#include "common/thread_annotations.h"
 #include "common/timer.h"
 #include "graph/csr.h"
 #include "graph/subgraph.h"
@@ -314,13 +314,13 @@ Result<OptimizeReport> KgOptimizer::SplitMergeImpl(
   timer.Restart();
   std::vector<cluster::ClusterDelta> deltas(num_clusters);
   report.cluster_seconds.assign(num_clusters, 0.0);
-  std::mutex report_mu;
+  Mutex report_mu;
   Status first_error;
   std::vector<char> cluster_handled(num_clusters, 0);
   ResilientSgpSolver solver(options_.sgp, options_.retry);
 
-  auto record_failure = [&](size_t c, const Status& status) {
-    // Caller holds report_mu.
+  auto record_failure = [&](size_t c,
+                            const Status& status) KGOV_REQUIRES(report_mu) {
     report.failed_clusters.push_back(
         ClusterFailure{c, groups[c].size(), status});
     report.quarantined_votes.insert(report.quarantined_votes.end(),
@@ -332,7 +332,7 @@ Result<OptimizeReport> KgOptimizer::SplitMergeImpl(
 
   auto solve_cluster = [&](size_t c) {
     if (groups[c].empty()) {
-      std::lock_guard<std::mutex> lock(report_mu);
+      MutexLock lock(report_mu);
       cluster_handled[c] = 1;
       return;
     }
@@ -344,7 +344,7 @@ Result<OptimizeReport> KgOptimizer::SplitMergeImpl(
         cluster_encoder.EncodeBatch(groups[c]);
     if (!encoded.ok()) {
       metrics.cluster_span->Observe(cluster_timer.ElapsedSeconds());
-      std::lock_guard<std::mutex> lock(report_mu);
+      MutexLock lock(report_mu);
       cluster_handled[c] = 1;
       record_failure(c, encoded.status());
       return;
@@ -354,7 +354,7 @@ Result<OptimizeReport> KgOptimizer::SplitMergeImpl(
     math::SgpSolution& solution = outcome.solution;
     if (outcome.exhausted) {
       metrics.cluster_span->Observe(cluster_timer.ElapsedSeconds());
-      std::lock_guard<std::mutex> lock(report_mu);
+      MutexLock lock(report_mu);
       cluster_handled[c] = 1;
       report.solve_attempts += outcome.attempts.size();
       record_failure(c, solution.status);
@@ -429,7 +429,7 @@ Result<OptimizeReport> KgOptimizer::SplitMergeImpl(
     metrics.cluster_span->Observe(cluster_timer.ElapsedSeconds());
     metrics.votes_verified->Increment(verified);
     metrics.votes_satisfied->Increment(satisfied);
-    std::lock_guard<std::mutex> lock(report_mu);
+    MutexLock lock(report_mu);
     cluster_handled[c] = 1;
     report.cluster_seconds[c] = cluster_timer.ElapsedSeconds();
     report.solve_attempts += outcome.attempts.size();
@@ -446,7 +446,7 @@ Result<OptimizeReport> KgOptimizer::SplitMergeImpl(
   // A task that died (threw) before recording any outcome still isolates
   // to its own cluster: quarantine it like a failed solve.
   if (!parallel_status.ok()) {
-    std::lock_guard<std::mutex> lock(report_mu);
+    MutexLock lock(report_mu);
     for (size_t c = 0; c < num_clusters; ++c) {
       if (!cluster_handled[c] && !groups[c].empty()) {
         record_failure(c, parallel_status);

@@ -203,7 +203,7 @@ Result<FlushReport> OnlineKgOptimizer::Flush() {
 void OnlineKgOptimizer::PublishEpoch(
     std::shared_ptr<const graph::CsrSnapshot> snapshot) {
   OnlineMetrics::Get().epoch_swaps->Increment();
-  std::lock_guard<std::mutex> lock(serving_mu_);
+  MutexLock lock(serving_mu_);
   serving_ = ServingEpoch{std::move(snapshot), serving_.epoch + 1};
   // Published after serving_ so CurrentEpochNumber() == N implies a
   // subsequent CurrentEpoch() returns epoch >= N (readers synchronize on

@@ -33,10 +33,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/kg_optimizer.h"
 #include "core/resilience.h"
 #include "graph/csr.h"
@@ -120,8 +120,8 @@ class OnlineKgOptimizer {
   /// Callers may hold the returned epoch across flushes (its snapshot
   /// stays valid and immutable), and a rolled-back flush never replaces
   /// it. Thread-safe.
-  ServingEpoch serving() const {
-    std::lock_guard<std::mutex> lock(serving_mu_);
+  ServingEpoch serving() const KGOV_EXCLUDES(serving_mu_) {
+    MutexLock lock(serving_mu_);
     return serving_;
   }
 
@@ -138,8 +138,9 @@ class OnlineKgOptimizer {
   }
 
   /// Compatibility: the current epoch's frozen snapshot. Thread-safe.
-  std::shared_ptr<const graph::CsrSnapshot> snapshot() const {
-    std::lock_guard<std::mutex> lock(serving_mu_);
+  std::shared_ptr<const graph::CsrSnapshot> snapshot() const
+      KGOV_EXCLUDES(serving_mu_) {
+    MutexLock lock(serving_mu_);
     return serving_.snapshot;
   }
 
@@ -180,7 +181,8 @@ class OnlineKgOptimizer {
   size_t RequeueOrDeadLetter(std::vector<PendingVote> failed);
 
   /// Publishes `snapshot` as the next epoch (outside work done, swap only).
-  void PublishEpoch(std::shared_ptr<const graph::CsrSnapshot> snapshot);
+  void PublishEpoch(std::shared_ptr<const graph::CsrSnapshot> snapshot)
+      KGOV_EXCLUDES(serving_mu_);
 
   OnlineOptimizerOptions options_;
   // options_.Validate() captured at construction; AddVote/Flush fail fast
@@ -188,12 +190,12 @@ class OnlineKgOptimizer {
   // serve the unoptimized graph).
   Status options_status_;
   graph::WeightedDigraph graph_;
-  ServingEpoch serving_;
+  mutable Mutex serving_mu_;
+  ServingEpoch serving_ KGOV_GUARDED_BY(serving_mu_);
   // Mirrors serving_.epoch for lock-free staleness checks. Stored with
   // release order while serving_mu_ is held (after serving_ is updated);
   // read with acquire in CurrentEpochNumber().
   std::atomic<uint64_t> epoch_number_{0};
-  mutable std::mutex serving_mu_;
   std::vector<PendingVote> buffer_;
   std::vector<votes::Vote> dead_letter_;
   Status last_flush_status_;

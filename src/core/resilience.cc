@@ -14,6 +14,54 @@
 
 namespace kgov::core {
 
+
+Status RetryOptions::Validate() const {
+  if (max_attempts < 1) {
+    return Status::InvalidArgument(
+        "RetryOptions.max_attempts must be >= 1, got " +
+        std::to_string(max_attempts));
+  }
+  if (!(initial_backoff_seconds >= 0.0) ||
+      !std::isfinite(initial_backoff_seconds)) {
+    return Status::InvalidArgument(
+        "RetryOptions.initial_backoff_seconds must be finite and >= 0, "
+        "got " + std::to_string(initial_backoff_seconds));
+  }
+  if (!(backoff_multiplier >= 1.0) || !std::isfinite(backoff_multiplier)) {
+    return Status::InvalidArgument(
+        "RetryOptions.backoff_multiplier must be finite and >= 1, got " +
+        std::to_string(backoff_multiplier));
+  }
+  if (!(restart_jitter >= 0.0 && restart_jitter < 1.0)) {
+    return Status::InvalidArgument(
+        "RetryOptions.restart_jitter must be in [0, 1), got " +
+        std::to_string(restart_jitter));
+  }
+  return Status::OK();
+}
+
+Status GraphValidatorOptions::Validate() const {
+  if (!std::isfinite(weight_lower_bound) ||
+      !std::isfinite(weight_upper_bound)) {
+    return Status::InvalidArgument(
+        "GraphValidatorOptions weight bounds must be finite, got [" +
+        std::to_string(weight_lower_bound) + ", " +
+        std::to_string(weight_upper_bound) + "]");
+  }
+  if (!(weight_lower_bound <= weight_upper_bound)) {
+    return Status::InvalidArgument(
+        "GraphValidatorOptions.weight_lower_bound must be <= "
+        "weight_upper_bound, got [" + std::to_string(weight_lower_bound) +
+        ", " + std::to_string(weight_upper_bound) + "]");
+  }
+  if (!(tolerance >= 0.0) || !std::isfinite(tolerance)) {
+    return Status::InvalidArgument(
+        "GraphValidatorOptions.tolerance must be finite and >= 0, got " +
+        std::to_string(tolerance));
+  }
+  return Status::OK();
+}
+
 namespace {
 
 // Retryable failures: transient (a different start point or formulation can
@@ -74,6 +122,12 @@ ResilientSolveOutcome ResilientSgpSolver::Solve(
   const ResilienceMetrics& metrics = ResilienceMetrics::Get();
   metrics.solves->Increment();
   ResilientSolveOutcome outcome;
+  Status retry_valid = retry_.Validate();
+  if (!retry_valid.ok()) {
+    outcome.solution.status = retry_valid;
+    outcome.exhausted = true;
+    return outcome;
+  }
   const int max_attempts = std::max(1, retry_.max_attempts);
 
   // Effective fallback chain: base formulation first, then the configured
@@ -181,6 +235,7 @@ ResilientSolveOutcome ResilientSgpSolver::Solve(
 Status ValidateGraphUpdate(const graph::WeightedDigraph& before,
                            const graph::WeightedDigraph& after,
                            const GraphValidatorOptions& options) {
+  KGOV_RETURN_IF_ERROR(options.Validate());
   if (options.check_edge_drift) {
     if (after.NumNodes() != before.NumNodes()) {
       return Status::FailedPrecondition(

@@ -55,6 +55,10 @@ struct RetryOptions {
   /// When every attempt fails, still return the best finite point seen
   /// (with the failing status). When false the last attempt is returned.
   bool accept_best_effort = true;
+
+  /// Checks every field range; returns InvalidArgument naming the first
+  /// offending field. ResilientSgpSolver::Solve fails fast with the result.
+  Status Validate() const;
 };
 
 /// What happened on one attempt.
@@ -104,6 +108,10 @@ struct GraphValidatorOptions {
   /// sets as the input (the optimizer only changes weights).
   bool check_edge_drift = true;
   double tolerance = 1e-6;
+
+  /// Checks every field range. ValidateGraphUpdate fails fast with the
+  /// result.
+  Status Validate() const;
 };
 
 /// Verifies that `after` is a legal weight-only update of `before`.

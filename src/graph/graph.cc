@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/contracts.h"
 #include "common/logging.h"
 
 namespace kgov::graph {

@@ -24,6 +24,15 @@
 
 namespace kgov::graph {
 
+class GraphView;
+
+namespace internal {
+/// Debug-build hook (see graph/validate.h): structurally validates a view
+/// built from raw arrays. Honors contracts::CheckMode, so soft-mode
+/// processes log-and-count instead of aborting.
+void DebugValidateView(const GraphView& view);
+}  // namespace internal
+
 /// Immutable CSR view over borrowed storage. Cheap to copy.
 class GraphView {
  public:
@@ -44,7 +53,14 @@ class GraphView {
       : num_nodes_(num_nodes),
         offsets_(offsets),
         neighbors_(neighbors),
-        edge_ids_(edge_ids) {}
+        edge_ids_(edge_ids) {
+#if !defined(NDEBUG)
+    // Debug builds structurally validate every view assembled from raw
+    // arrays (copies of a validated view skip the check; the default
+    // copy constructor does not re-enter here).
+    internal::DebugValidateView(*this);
+#endif
+  }
 
   size_t NumNodes() const { return num_nodes_; }
   size_t NumEdges() const {

@@ -8,8 +8,30 @@
 #include "common/logging.h"
 #include "math/vector_ops.h"
 #include "telemetry/metrics.h"
+#include <string>
 
 namespace kgov::math {
+
+
+Status CondensationOptions::Validate() const {
+  if (max_outer_iterations < 1) {
+    return Status::InvalidArgument(
+        "CondensationOptions.max_outer_iterations must be >= 1, got " +
+        std::to_string(max_outer_iterations));
+  }
+  if (!(outer_tolerance > 0.0) || !std::isfinite(outer_tolerance)) {
+    return Status::InvalidArgument(
+        "CondensationOptions.outer_tolerance must be finite and > 0, got " +
+        std::to_string(outer_tolerance));
+  }
+  if (!(strict_margin > 0.0) || !std::isfinite(strict_margin)) {
+    return Status::InvalidArgument(
+        "CondensationOptions.strict_margin must be finite and > 0, got " +
+        std::to_string(strict_margin));
+  }
+  KGOV_RETURN_IF_ERROR(inner.Validate());
+  return auglag.Validate();
+}
 
 namespace {
 
@@ -125,6 +147,11 @@ SgpSolution CondensationSgpSolver::Solve(const SgpProblem& problem) const {
   Status valid = problem.Validate();
   if (!valid.ok()) {
     solution.status = valid;
+    return solution;
+  }
+  Status options_valid = options_.Validate();
+  if (!options_valid.ok()) {
+    solution.status = options_valid;
     return solution;
   }
 

@@ -42,6 +42,9 @@ struct CondensationOptions {
   /// Inner (log-space GP) solver settings.
   SolveOptions inner;
   AugLagOptions auglag;
+
+  /// Checks this struct and the nested solver options.
+  Status Validate() const;
 };
 
 /// Solves an SgpProblem whose every constraint splits into

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/contracts.h"
 #include "common/logging.h"
 
 namespace kgov::math {

@@ -6,11 +6,89 @@
 #include <limits>
 
 #include "common/fault_injection.h"
+#include "common/contracts.h"
 #include "common/logging.h"
 #include "common/timer.h"
 #include "math/vector_ops.h"
+#include <string>
 
 namespace kgov::math {
+
+
+Status SolveOptions::Validate() const {
+  if (max_iterations < 1) {
+    return Status::InvalidArgument(
+        "SolveOptions.max_iterations must be >= 1, got " +
+        std::to_string(max_iterations));
+  }
+  if (!(gradient_tolerance > 0.0) || !std::isfinite(gradient_tolerance)) {
+    return Status::InvalidArgument(
+        "SolveOptions.gradient_tolerance must be finite and > 0, got " +
+        std::to_string(gradient_tolerance));
+  }
+  if (!(value_tolerance >= 0.0) || !std::isfinite(value_tolerance)) {
+    return Status::InvalidArgument(
+        "SolveOptions.value_tolerance must be finite and >= 0, got " +
+        std::to_string(value_tolerance));
+  }
+  if (!(armijo_c > 0.0 && armijo_c < 1.0)) {
+    return Status::InvalidArgument(
+        "SolveOptions.armijo_c must be in (0, 1), got " +
+        std::to_string(armijo_c));
+  }
+  if (!(backtrack_rho > 0.0 && backtrack_rho < 1.0)) {
+    return Status::InvalidArgument(
+        "SolveOptions.backtrack_rho must be in (0, 1), got " +
+        std::to_string(backtrack_rho));
+  }
+  if (nonmonotone_window < 1) {
+    return Status::InvalidArgument(
+        "SolveOptions.nonmonotone_window must be >= 1, got " +
+        std::to_string(nonmonotone_window));
+  }
+  if (lbfgs_memory < 1) {
+    return Status::InvalidArgument(
+        "SolveOptions.lbfgs_memory must be >= 1, got " +
+        std::to_string(lbfgs_memory));
+  }
+  return Status::OK();
+}
+
+Status AugLagOptions::Validate() const {
+  KGOV_RETURN_IF_ERROR(inner.Validate());
+  if (max_outer_iterations < 1) {
+    return Status::InvalidArgument(
+        "AugLagOptions.max_outer_iterations must be >= 1, got " +
+        std::to_string(max_outer_iterations));
+  }
+  if (!(initial_penalty > 0.0) || !std::isfinite(initial_penalty)) {
+    return Status::InvalidArgument(
+        "AugLagOptions.initial_penalty must be finite and > 0, got " +
+        std::to_string(initial_penalty));
+  }
+  if (!(penalty_growth > 1.0) || !std::isfinite(penalty_growth)) {
+    return Status::InvalidArgument(
+        "AugLagOptions.penalty_growth must be finite and > 1, got " +
+        std::to_string(penalty_growth));
+  }
+  if (!(required_progress > 0.0 && required_progress <= 1.0)) {
+    return Status::InvalidArgument(
+        "AugLagOptions.required_progress must be in (0, 1], got " +
+        std::to_string(required_progress));
+  }
+  if (!(feasibility_tolerance > 0.0) ||
+      !std::isfinite(feasibility_tolerance)) {
+    return Status::InvalidArgument(
+        "AugLagOptions.feasibility_tolerance must be finite and > 0, got " +
+        std::to_string(feasibility_tolerance));
+  }
+  if (!(max_penalty >= initial_penalty)) {
+    return Status::InvalidArgument(
+        "AugLagOptions.max_penalty must be >= initial_penalty, got " +
+        std::to_string(max_penalty));
+  }
+  return Status::OK();
+}
 
 namespace {
 

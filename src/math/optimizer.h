@@ -92,6 +92,10 @@ struct SolveOptions {
   int nonmonotone_window = 8;
   /// L-BFGS memory.
   int lbfgs_memory = 8;
+
+  /// Checks every field range; returns InvalidArgument naming the first
+  /// offending field. Solvers fail fast with the result.
+  Status Validate() const;
 };
 
 /// Outcome of a minimization.
@@ -157,6 +161,9 @@ struct AugLagOptions {
   /// Feasibility declared when max violation <= this.
   double feasibility_tolerance = 1e-8;
   double max_penalty = 1e10;
+
+  /// Checks this struct and the nested SolveOptions.
+  Status Validate() const;
 };
 
 /// Minimizes f(x) subject to g_i(x) <= 0 and box bounds via the standard

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/contracts.h"
 #include "common/logging.h"
 
 namespace kgov::math {

@@ -21,6 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/contracts.h"
 #include "common/logging.h"
 #include "common/status.h"
 #include "graph/graph.h"

@@ -3,8 +3,29 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include <string>
 
 namespace kgov::ppr {
+
+
+Status PprOptions::Validate() const {
+  if (!(restart > 0.0 && restart < 1.0)) {
+    return Status::InvalidArgument(
+        "PprOptions.restart must be in (0, 1), got " +
+        std::to_string(restart));
+  }
+  if (max_iterations < 1) {
+    return Status::InvalidArgument(
+        "PprOptions.max_iterations must be >= 1, got " +
+        std::to_string(max_iterations));
+  }
+  if (!(tolerance > 0.0) || !std::isfinite(tolerance)) {
+    return Status::InvalidArgument(
+        "PprOptions.tolerance must be finite and > 0, got " +
+        std::to_string(tolerance));
+  }
+  return Status::OK();
+}
 
 namespace {
 
@@ -56,6 +77,7 @@ Result<std::vector<double>> Iterate(graph::GraphView view,
 Result<std::vector<double>> PowerIterationPpr(graph::GraphView view,
                                               graph::NodeId source,
                                               const PprOptions& options) {
+  KGOV_RETURN_IF_ERROR(options.Validate());
   if (!view.IsValidNode(source)) {
     return Status::InvalidArgument("PPR source node out of range");
   }

@@ -25,6 +25,10 @@ struct PprOptions {
   int max_iterations = 500;
   /// Stop when the L1 change between iterates drops below this.
   double tolerance = 1e-12;
+
+  /// Checks every field range; returns InvalidArgument naming the first
+  /// offending field. PowerIterationPpr fails fast with the result.
+  Status Validate() const;
 };
 
 /// Solves pi = (1-c) M pi + c e_source by power iteration, where

@@ -5,8 +5,34 @@
 
 #include "graph/csr.h"
 #include "ppr/ranking.h"
+#include <string>
 
 namespace kgov::ppr {
+
+
+Status SimRankOptions::Validate() const {
+  if (!(decay > 0.0 && decay < 1.0)) {
+    return Status::InvalidArgument(
+        "SimRankOptions.decay must be in (0, 1), got " +
+        std::to_string(decay));
+  }
+  if (max_iterations < 1) {
+    return Status::InvalidArgument(
+        "SimRankOptions.max_iterations must be >= 1, got " +
+        std::to_string(max_iterations));
+  }
+  if (!(tolerance >= 0.0) || !std::isfinite(tolerance)) {
+    return Status::InvalidArgument(
+        "SimRankOptions.tolerance must be finite and >= 0, got " +
+        std::to_string(tolerance));
+  }
+  if (max_nodes < 1) {
+    return Status::InvalidArgument(
+        "SimRankOptions.max_nodes must be >= 1, got " +
+        std::to_string(max_nodes));
+  }
+  return Status::OK();
+}
 
 std::vector<std::pair<graph::NodeId, double>> SimRankResult::MostSimilar(
     graph::NodeId node, size_t k) const {
@@ -24,6 +50,7 @@ std::vector<std::pair<graph::NodeId, double>> SimRankResult::MostSimilar(
 
 Result<SimRankResult> ComputeSimRank(graph::GraphView view,
                                      const SimRankOptions& options) {
+  KGOV_RETURN_IF_ERROR(options.Validate());
   const size_t n = view.NumNodes();
   if (n == 0) {
     return Status::InvalidArgument("SimRank on an empty graph");

@@ -32,6 +32,10 @@ struct SimRankOptions {
   /// Safety cap: graphs larger than this are rejected (the all-pairs
   /// matrix is n^2 doubles).
   size_t max_nodes = 5000;
+
+  /// Checks every field range; returns InvalidArgument naming the first
+  /// offending field. ComputeSimRank fails fast with the result.
+  Status Validate() const;
 };
 
 /// Dense symmetric SimRank matrix. scores[a][b] in [0, 1], diagonal 1.

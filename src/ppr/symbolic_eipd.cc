@@ -4,8 +4,20 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include <string>
 
 namespace kgov::ppr {
+
+
+Status SymbolicEipdOptions::Validate() const {
+  KGOV_RETURN_IF_ERROR(eipd.Validate());
+  if (!(min_path_mass >= 0.0) || !std::isfinite(min_path_mass)) {
+    return Status::InvalidArgument(
+        "SymbolicEipdOptions.min_path_mass must be finite and >= 0, got " +
+        std::to_string(min_path_mass));
+  }
+  return Status::OK();
+}
 
 struct SymbolicEipd::DfsState {
   EdgeVariableMap* vars = nullptr;

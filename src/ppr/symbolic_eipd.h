@@ -45,6 +45,9 @@ struct SymbolicEipdOptions {
   /// Hard cap on emitted monomials per answer; further walks are dropped
   /// with a debug log. 0 = unlimited.
   size_t max_terms_per_answer = 0;
+
+  /// Checks this struct and the nested EipdOptions.
+  Status Validate() const;
 };
 
 /// DFS-based symbolic walk expansion. Thread-compatible (no shared state

@@ -4,7 +4,9 @@
 #include <string>
 #include <utility>
 
+#include "common/contracts.h"
 #include "common/timer.h"
+#include "serve/validate.h"
 #include "telemetry/metrics.h"
 
 namespace kgov::serve {
@@ -90,21 +92,21 @@ QueryEngine::QueryEngine(const core::OnlineKgOptimizer* source,
 QueryEngine::~QueryEngine() = default;
 
 uint64_t QueryEngine::PinnedEpochNumber() const {
-  std::shared_lock<std::shared_mutex> lock(epoch_mu_);
+  ReaderMutexLock lock(epoch_mu_);
   return pinned_.epoch;
 }
 
 void QueryEngine::MaybeRefreshEpoch() {
   const uint64_t latest = source_->CurrentEpochNumber();
   {
-    std::shared_lock<std::shared_mutex> lock(epoch_mu_);
+    ReaderMutexLock lock(epoch_mu_);
     if (pinned_.epoch >= latest) return;
   }
   // Pin the fresh epoch outside the exclusive section (CurrentEpoch takes
   // the optimizer's own lock), then swap under ours.
   core::ServingEpoch fresh = source_->CurrentEpoch();
   {
-    std::unique_lock<std::shared_mutex> lock(epoch_mu_);
+    WriterMutexLock lock(epoch_mu_);
     if (fresh.epoch <= pinned_.epoch) return;  // raced with another refresh
     pinned_ = std::move(fresh);
   }
@@ -128,9 +130,12 @@ StatusOr<RankedAnswers> QueryEngine::ServeOne(const ppr::QuerySeed& seed) {
   MaybeRefreshEpoch();
   core::ServingEpoch epoch;
   {
-    std::shared_lock<std::shared_mutex> lock(epoch_mu_);
+    ReaderMutexLock lock(epoch_mu_);
     epoch = pinned_;
   }
+  // Debug builds re-check the pinned epoch's structural contract on every
+  // query (compiled out under NDEBUG; see serve/validate.h).
+  KGOV_DCHECK_OK(ValidateEpochPin(epoch));
 
   const ServeMetrics& metrics = ServeMetrics::Get();
   RankedAnswers result;

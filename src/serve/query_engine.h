@@ -31,11 +31,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "core/online_optimizer.h"
 #include "ppr/eipd_engine.h"
@@ -106,7 +105,7 @@ class QueryEngine {
 
   /// The epoch queries are currently served from (pinned; may trail the
   /// optimizer's latest by at most one in-flight refresh).
-  uint64_t PinnedEpochNumber() const;
+  uint64_t PinnedEpochNumber() const KGOV_EXCLUDES(epoch_mu_);
 
   /// Cache counters since construction.
   ShardedResultCache::Stats CacheStats() const { return cache_.GetStats(); }
@@ -121,10 +120,11 @@ class QueryEngine {
   /// Re-pins the serving epoch when the optimizer has published a newer
   /// one (cheap acquire-load probe; lock taken only on an actual swap),
   /// then invalidates the cache wholesale.
-  void MaybeRefreshEpoch();
+  void MaybeRefreshEpoch() KGOV_EXCLUDES(epoch_mu_);
 
   /// The worker-side body of one query.
-  StatusOr<RankedAnswers> ServeOne(const ppr::QuerySeed& seed);
+  StatusOr<RankedAnswers> ServeOne(const ppr::QuerySeed& seed)
+      KGOV_EXCLUDES(epoch_mu_);
 
   /// This worker's reusable workspace (falls back to the thread-local
   /// workspace for non-pool callers).
@@ -134,10 +134,11 @@ class QueryEngine {
   const std::vector<graph::NodeId>* candidates_;
   QueryEngineOptions options_;
 
-  /// Pinned epoch; shared_mutex so concurrent queries copy it without
-  /// serializing on each other, while a refresh takes it exclusively.
-  mutable std::shared_mutex epoch_mu_;
-  core::ServingEpoch pinned_;
+  /// Pinned epoch; a shared (reader-writer) mutex so concurrent queries
+  /// copy it without serializing on each other, while a refresh takes it
+  /// exclusively.
+  mutable SharedMutex epoch_mu_;
+  core::ServingEpoch pinned_ KGOV_GUARDED_BY(epoch_mu_);
 
   ShardedResultCache cache_;
   std::vector<ppr::PropagationWorkspace> workspaces_;

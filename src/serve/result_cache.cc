@@ -43,7 +43,7 @@ bool ShardedResultCache::Get(const std::string& key,
                              std::vector<ppr::ScoredAnswer>* out) {
   Shard& shard = ShardFor(key);
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     auto it = shard.index.find(key);
     if (it != shard.index.end()) {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
@@ -59,7 +59,7 @@ bool ShardedResultCache::Get(const std::string& key,
 bool ShardedResultCache::Put(const std::string& key,
                              std::vector<ppr::ScoredAnswer> value) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
     it->second->second = std::move(value);
@@ -81,7 +81,7 @@ bool ShardedResultCache::Put(const std::string& key,
 size_t ShardedResultCache::InvalidateAll() {
   size_t dropped = 0;
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     dropped += shard.lru.size();
     shard.index.clear();
     shard.lru.clear();
@@ -102,7 +102,7 @@ ShardedResultCache::Stats ShardedResultCache::GetStats() const {
 size_t ShardedResultCache::size() const {
   size_t total = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     total += shard.lru.size();
   }
   return total;

@@ -21,12 +21,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "ppr/query_seed.h"
 #include "ppr/ranking.h"
 
@@ -79,12 +79,13 @@ class ShardedResultCache {
 
  private:
   struct Shard {
-    mutable std::mutex mu;
+    mutable Mutex mu;
     /// Front = most recently used. The list owns keys and values; the
     /// index maps a key view to its list position.
-    std::list<std::pair<std::string, std::vector<ppr::ScoredAnswer>>> lru;
+    std::list<std::pair<std::string, std::vector<ppr::ScoredAnswer>>> lru
+        KGOV_GUARDED_BY(mu);
     std::unordered_map<std::string,
-                       decltype(lru)::iterator> index;
+                       decltype(lru)::iterator> index KGOV_GUARDED_BY(mu);
   };
 
   Shard& ShardFor(const std::string& key);

@@ -1,0 +1,23 @@
+#include "serve/validate.h"
+
+#include <string>
+
+#include "graph/validate.h"
+
+namespace kgov::serve {
+
+Status ValidateEpochPin(const core::ServingEpoch& epoch,
+                        uint64_t min_expected_epoch) {
+  if (epoch.snapshot == nullptr) {
+    return Status::Internal("pinned epoch " + std::to_string(epoch.epoch) +
+                            " has no snapshot");
+  }
+  if (epoch.epoch < min_expected_epoch) {
+    return Status::FailedPrecondition(
+        "pinned epoch moved backwards: epoch " + std::to_string(epoch.epoch) +
+        " observed after " + std::to_string(min_expected_epoch));
+  }
+  return graph::ValidateCsr(epoch.view());
+}
+
+}  // namespace kgov::serve

@@ -7,6 +7,7 @@
 #include <limits>
 #include <sstream>
 
+#include "common/contracts.h"
 #include "math/stats.h"
 
 namespace kgov::telemetry {
@@ -67,6 +68,20 @@ const std::vector<double>& DefaultLatencyBuckets() {
   return kBuckets;
 }
 
+Status HistogramOptions::Validate() const {
+  for (double bound : bucket_bounds) {
+    if (!std::isfinite(bound)) {
+      return Status::InvalidArgument(
+          "HistogramOptions.bucket_bounds must be finite");
+    }
+  }
+  if (reservoir_capacity < 1) {
+    return Status::InvalidArgument(
+        "HistogramOptions.reservoir_capacity must be >= 1");
+  }
+  return Status::OK();
+}
+
 Histogram::Histogram(HistogramOptions options)
     : bounds_(std::move(options.bucket_bounds)),
       min_(std::numeric_limits<double>::infinity()),
@@ -93,7 +108,7 @@ void Histogram::Observe(double value) {
   AtomicMin(&min_, value);
   AtomicMax(&max_, value);
   {
-    std::lock_guard<std::mutex> lock(reservoir_mu_);
+    MutexLock lock(reservoir_mu_);
     if (reservoir_.size() < reservoir_capacity_) {
       reservoir_.push_back(value);
     } else {
@@ -118,7 +133,7 @@ HistogramSnapshot Histogram::Snapshot() const {
   snap.max = snap.count == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
   std::vector<double> samples;
   {
-    std::lock_guard<std::mutex> lock(reservoir_mu_);
+    MutexLock lock(reservoir_mu_);
     samples = reservoir_;
   }
   if (!samples.empty()) {
@@ -142,25 +157,42 @@ void Histogram::Reset() {
              std::memory_order_relaxed);
   max_.store(-std::numeric_limits<double>::infinity(),
              std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(reservoir_mu_);
+  MutexLock lock(reservoir_mu_);
   reservoir_.clear();
   reservoir_next_ = 0;
 }
 
+namespace {
+
+// Mirrors soft-mode contract violations (common/contracts.h) into the
+// registry, so a canary process that downgrades KGOV_ASSERT to counting
+// still pages through its normal metrics pipeline.
+void CountContractViolation(const char* /*file*/, int /*line*/,
+                            const char* /*expression*/) {
+  static Counter* counter =
+      MetricRegistry::Global().GetCounter("contracts.soft_violations");
+  counter->Increment();
+}
+
+}  // namespace
+
 MetricRegistry& MetricRegistry::Global() {
-  static MetricRegistry* registry = new MetricRegistry();
+  static MetricRegistry* registry = [] {
+    contracts::SetViolationHandler(&CountContractViolation);
+    return new MetricRegistry();
+  }();
   return *registry;
 }
 
 Counter* MetricRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* MetricRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return slot.get();
@@ -168,21 +200,26 @@ Gauge* MetricRegistry::GetGauge(const std::string& name) {
 
 Histogram* MetricRegistry::GetHistogram(const std::string& name,
                                         const HistogramOptions& options) {
-  std::lock_guard<std::mutex> lock(mu_);
+  // A bad bucket layout is a programmer error at the registration site;
+  // release builds still construct (the constructor sorts and dedupes).
+  // Checked before taking mu_: the soft-mode violation handler feeds this
+  // registry and must not re-enter the lock.
+  KGOV_DCHECK_OK(options.Validate());
+  MutexLock lock(mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>(options);
   return slot.get();
 }
 
 void MetricRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();
 }
 
 std::string MetricRegistry::SnapshotJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::ostringstream out;
   out << "{\n  \"counters\": {";
   bool first = true;

@@ -24,11 +24,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/timer.h"
 
 namespace kgov::telemetry {
@@ -69,6 +69,11 @@ struct HistogramOptions {
   /// Samples retained for percentile estimation. Once full the reservoir
   /// wraps (a ring of the most recent samples).
   size_t reservoir_capacity = 4096;
+
+  /// Checks every field (finite bounds, non-zero reservoir); returns
+  /// InvalidArgument naming the first offending field. Checked (debug
+  /// builds) when a histogram is first registered under a name.
+  Status Validate() const;
 };
 
 /// 26 exponential latency buckets from 1us to ~30s, the default for
@@ -96,14 +101,14 @@ class Histogram {
  public:
   explicit Histogram(HistogramOptions options);
 
-  void Observe(double value);
+  void Observe(double value) KGOV_EXCLUDES(reservoir_mu_);
 
   /// Count of observations so far (exact).
   uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
 
-  HistogramSnapshot Snapshot() const;
+  HistogramSnapshot Snapshot() const KGOV_EXCLUDES(reservoir_mu_);
 
-  void Reset();
+  void Reset() KGOV_EXCLUDES(reservoir_mu_);
 
  private:
   std::vector<double> bounds_;
@@ -114,10 +119,11 @@ class Histogram {
   std::atomic<double> min_;
   std::atomic<double> max_;
 
-  mutable std::mutex reservoir_mu_;
-  std::vector<double> reservoir_;  // ring buffer of recent samples
-  size_t reservoir_next_ = 0;
-  size_t reservoir_capacity_;
+  mutable Mutex reservoir_mu_;
+  /// Ring buffer of recent samples.
+  std::vector<double> reservoir_ KGOV_GUARDED_BY(reservoir_mu_);
+  size_t reservoir_next_ KGOV_GUARDED_BY(reservoir_mu_) = 0;
+  size_t reservoir_capacity_;  // immutable after construction
 };
 
 /// Process-wide metric registry. GetX() registers on first use and
@@ -132,29 +138,31 @@ class MetricRegistry {
   MetricRegistry(const MetricRegistry&) = delete;
   MetricRegistry& operator=(const MetricRegistry&) = delete;
 
-  Counter* GetCounter(const std::string& name);
-  Gauge* GetGauge(const std::string& name);
+  Counter* GetCounter(const std::string& name) KGOV_EXCLUDES(mu_);
+  Gauge* GetGauge(const std::string& name) KGOV_EXCLUDES(mu_);
   /// `options` applies only on first registration of `name`.
   Histogram* GetHistogram(const std::string& name,
                           const HistogramOptions& options = {
-                              DefaultLatencyBuckets()});
+                              DefaultLatencyBuckets()}) KGOV_EXCLUDES(mu_);
 
   /// Zeroes every metric's value. Registrations (and cached pointers)
   /// survive; tests and benchmarks call this between scenarios.
-  void Reset();
+  void Reset() KGOV_EXCLUDES(mu_);
 
   /// The full registry as a JSON document (metrics sorted by name, so
   /// snapshots are diffable).
-  std::string SnapshotJson() const;
+  std::string SnapshotJson() const KGOV_EXCLUDES(mu_);
 
   /// Writes SnapshotJson() to `path`.
   Status WriteSnapshotJson(const std::string& path) const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      KGOV_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ KGOV_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      KGOV_GUARDED_BY(mu_);
 };
 
 /// RAII stage timer: records the scope's wall time (common/timer.h

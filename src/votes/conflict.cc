@@ -2,8 +2,20 @@
 
 #include <algorithm>
 #include <unordered_set>
+#include <string>
+#include "common/contracts.h"
 
 namespace kgov::votes {
+
+
+Status ConflictOptions::Validate() const {
+  if (!(min_query_overlap >= 0.0 && min_query_overlap <= 1.0)) {
+    return Status::InvalidArgument(
+        "ConflictOptions.min_query_overlap must be in [0, 1], got " +
+        std::to_string(min_query_overlap));
+  }
+  return Status::OK();
+}
 
 namespace {
 
@@ -37,6 +49,9 @@ bool Lists(const Vote& vote, graph::NodeId node) {
 
 ConflictReport AnalyzeConflicts(const std::vector<Vote>& votes,
                                 const ConflictOptions& options) {
+  // Diagnostic API with no status channel; debug builds still reject a
+  // nonsensical overlap threshold.
+  KGOV_DCHECK_OK(options.Validate());
   ConflictReport report;
   std::vector<std::unordered_set<graph::NodeId>> seeds;
   seeds.reserve(votes.size());

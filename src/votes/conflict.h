@@ -13,6 +13,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/status.h"
 #include "votes/vote.h"
 
 namespace kgov::votes {
@@ -43,6 +44,9 @@ struct ConflictOptions {
   /// Only vote pairs whose query seeds overlap at least this much (Jaccard
   /// over seed nodes) are considered related enough to conflict.
   double min_query_overlap = 0.0;
+
+  /// Checks every field range (the overlap is a Jaccard index in [0, 1]).
+  Status Validate() const;
 };
 
 /// Scans all vote pairs for contradictory orderings.

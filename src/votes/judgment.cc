@@ -3,8 +3,20 @@
 #include <unordered_map>
 
 #include "common/logging.h"
+#include <string>
 
 namespace kgov::votes {
+
+
+Status JudgmentOptions::Validate() const {
+  KGOV_RETURN_IF_ERROR(symbolic.Validate());
+  if (!(shared_edge_weight > 0.0 && shared_edge_weight < 1.0)) {
+    return Status::InvalidArgument(
+        "JudgmentOptions.shared_edge_weight must be in (0, 1), got " +
+        std::to_string(shared_edge_weight));
+  }
+  return Status::OK();
+}
 
 namespace {
 
@@ -22,8 +34,8 @@ JudgmentFilter::JudgmentFilter(const graph::WeightedDigraph* graph,
       options_(std::move(options)),
       snapshot_(SnapshotOf(graph)),
       engine_(snapshot_->View(), options_.symbolic.eipd) {
-  KGOV_CHECK(options_.shared_edge_weight > 0.0 &&
-             options_.shared_edge_weight < 1.0);
+  Status valid = options_.Validate();
+  KGOV_CHECK(valid.ok()) << valid.ToString();
 }
 
 bool JudgmentFilter::IsSatisfiable(const Vote& vote) const {

@@ -33,6 +33,9 @@ struct JudgmentOptions {
   /// The constant assigned to shared edges (any value in (0,1) works; the
   /// paper leaves it unspecified).
   double shared_edge_weight = 0.5;
+
+  /// Checks this struct and the nested SymbolicEipdOptions.
+  Status Validate() const;
 };
 
 class JudgmentFilter {

@@ -5,13 +5,34 @@
 
 #include "common/logging.h"
 #include "math/signomial.h"
+#include <cmath>
 
 namespace kgov::votes {
+
+
+Status EncoderOptions::Validate() const {
+  KGOV_RETURN_IF_ERROR(symbolic.Validate());
+  if (!(weight_lower_bound > 0.0) || !std::isfinite(weight_lower_bound)) {
+    return Status::InvalidArgument(
+        "EncoderOptions.weight_lower_bound must be finite and > 0 "
+        "(paper Eq. 2: 0 < xl), got " +
+        std::to_string(weight_lower_bound));
+  }
+  if (!(weight_upper_bound >= weight_lower_bound) ||
+      !std::isfinite(weight_upper_bound)) {
+    return Status::InvalidArgument(
+        "EncoderOptions.weight_upper_bound must be finite and >= "
+        "weight_lower_bound, got " + std::to_string(weight_upper_bound));
+  }
+  return Status::OK();
+}
 
 VoteEncoder::VoteEncoder(const graph::WeightedDigraph* graph,
                          EncoderOptions options)
     : graph_(graph), options_(std::move(options)) {
   KGOV_CHECK(graph_ != nullptr);
+  Status valid = options_.Validate();
+  KGOV_CHECK(valid.ok()) << valid.ToString();
 }
 
 Result<EncodedProgram> VoteEncoder::EncodeSingle(const Vote& vote) const {

@@ -34,6 +34,10 @@ struct EncoderOptions {
   /// NormalizeEdges rescales it straight back to 1), so letting the solver
   /// spend slack on it silently undoes the optimization.
   bool skip_degree_one_sources = true;
+
+  /// Checks this struct and the nested SymbolicEipdOptions (positive box
+  /// bounds with lower <= upper, per paper Eq. 2).
+  Status Validate() const;
 };
 
 /// An encoded program plus the edge<->variable mapping needed to write the

@@ -1,0 +1,118 @@
+#!/usr/bin/env bash
+# The kgov static-analysis gate (docs/static_analysis.md):
+#
+#   1. clang thread-safety build: the whole tree compiled with
+#      -Wthread-safety{,-beta} promoted to errors (KGOV_STATIC_ANALYSIS),
+#      plus the misannotated-lock compile-FAIL demo. Requires clang;
+#      skipped with a notice when no clang++ is on PATH.
+#   2. dropped-Status compile-FAIL demo: tools/ci/compile_fail/
+#      dropped_status.cc must NOT compile ([[nodiscard]] +
+#      -Werror=unused-result). Runs under any compiler.
+#   3. clang-tidy (.clang-tidy profile) over the library sources, against
+#      the CMake-exported compile_commands.json. Skipped with a notice
+#      when clang-tidy is not installed.
+#   4. kgov_lint (tools/lint/kgov_lint.py): repo rules - options structs
+#      must declare Validate(), no logging under a lock, no raw std lock
+#      types in src/, no unseeded RNG, [[nodiscard]] kept in place.
+#
+# Any failure of an *available* phase fails the gate; unavailable tools
+# skip loudly but do not fail (the lint phase and the dropped-Status demo
+# always run, so every environment enforces a non-empty subset).
+#
+# Usage: tools/ci/analyze.sh [build-dir]
+#   build-dir (default build-analyze) is used for the clang build; the
+#   lint report lands in <build-dir>/kgov_lint_report.txt.
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/../.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build-analyze}"
+COMPILE_FAIL_DIR="$REPO_ROOT/tools/ci/compile_fail"
+mkdir -p "$BUILD_DIR"
+
+FAILURES=0
+
+fail() {
+  echo "ANALYZE FAIL: $*" >&2
+  FAILURES=$((FAILURES + 1))
+}
+
+CLANGXX="${KGOV_CLANGXX:-clang++}"
+HAVE_CLANG=0
+if command -v "$CLANGXX" >/dev/null 2>&1; then
+  HAVE_CLANG=1
+fi
+
+# ----------------------------------------------------------------------
+echo "== [1/4] clang thread-safety analysis =="
+if [[ "$HAVE_CLANG" == "1" ]]; then
+  cmake -B "$BUILD_DIR" -S "$REPO_ROOT" \
+      -DCMAKE_CXX_COMPILER="$CLANGXX" \
+      -DKGOV_STATIC_ANALYSIS=ON \
+      -DKGOV_BUILD_BENCHMARKS=OFF
+  cmake --build "$BUILD_DIR" -j "$(nproc)" \
+      || fail "thread-safety analysis reported errors"
+
+  echo "-- misannotated-lock compile-FAIL demo --"
+  if "$CLANGXX" -std=c++20 -I"$REPO_ROOT/src" \
+      -Wthread-safety -Wthread-safety-beta \
+      -Werror=thread-safety -Werror=thread-safety-beta \
+      -fsyntax-only "$COMPILE_FAIL_DIR/misannotated_lock.cc" \
+      2>"$BUILD_DIR/misannotated_lock.log"; then
+    fail "misannotated_lock.cc compiled - the thread-safety gate is dead"
+  else
+    echo "OK: misannotated lock rejected, as required"
+  fi
+else
+  echo "SKIP: no $CLANGXX on PATH - thread-safety analysis needs clang."
+  echo "      (The KGOV_* annotations compile as no-ops under this"
+  echo "      toolchain; run this script where clang is installed to"
+  echo "      check them.)"
+fi
+
+# ----------------------------------------------------------------------
+echo "== [2/4] dropped-Status compile-FAIL demo =="
+CXX_FOR_DEMO="${CXX:-}"
+if [[ -z "$CXX_FOR_DEMO" ]]; then
+  if [[ "$HAVE_CLANG" == "1" ]]; then CXX_FOR_DEMO="$CLANGXX";
+  else CXX_FOR_DEMO="c++"; fi
+fi
+if "$CXX_FOR_DEMO" -std=c++20 -I"$REPO_ROOT/src" -Werror=unused-result \
+    -fsyntax-only "$COMPILE_FAIL_DIR/dropped_status.cc" \
+    2>"$BUILD_DIR/dropped_status.log"; then
+  fail "dropped_status.cc compiled - [[nodiscard]] enforcement is dead"
+else
+  echo "OK: dropped Status rejected, as required"
+fi
+
+# ----------------------------------------------------------------------
+echo "== [3/4] clang-tidy =="
+CLANG_TIDY="${KGOV_CLANG_TIDY:-clang-tidy}"
+if command -v "$CLANG_TIDY" >/dev/null 2>&1; then
+  TIDY_DB_DIR="$BUILD_DIR"
+  if [[ ! -f "$TIDY_DB_DIR/compile_commands.json" ]]; then
+    # No clang build happened (phase 1 skipped); export a database with
+    # the default compiler instead.
+    cmake -B "$TIDY_DB_DIR" -S "$REPO_ROOT" \
+        -DKGOV_BUILD_BENCHMARKS=OFF >/dev/null
+  fi
+  mapfile -t TIDY_SOURCES < <(find "$REPO_ROOT/src" -name '*.cc' | sort)
+  "$CLANG_TIDY" -p "$TIDY_DB_DIR" --quiet "${TIDY_SOURCES[@]}" \
+      2>"$BUILD_DIR/clang_tidy.log" \
+      || fail "clang-tidy reported errors (see $BUILD_DIR/clang_tidy.log)"
+else
+  echo "SKIP: no $CLANG_TIDY on PATH (profile: .clang-tidy at repo root)."
+fi
+
+# ----------------------------------------------------------------------
+echo "== [4/4] kgov_lint =="
+python3 "$REPO_ROOT/tools/lint/kgov_lint.py" --root "$REPO_ROOT" \
+    --report "$BUILD_DIR/kgov_lint_report.txt" \
+    || fail "kgov_lint found violations"
+
+# ----------------------------------------------------------------------
+if [[ "$FAILURES" -gt 0 ]]; then
+  echo "Static-analysis gate FAILED ($FAILURES failure(s))." >&2
+  exit 1
+fi
+echo "Static-analysis gate passed."

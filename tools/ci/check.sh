@@ -1,17 +1,26 @@
 #!/usr/bin/env bash
 # The full kgov CI gate:
+#   0. static analysis + lint (tools/ci/analyze.sh),
 #   1. tier-1: configure + build + ctest (Release-ish default flags),
 #   2. the ASan/UBSan pass (tools/ci/sanitize.sh),
 #   3. the serving-path perf probe, emitting BENCH_serving.json at the
 #      repo root so the queries/sec trajectory is tracked per commit.
 #
 # Usage: tools/ci/check.sh [build-dir]
+#   KGOV_SKIP_ANALYZE=1   skip step 0
 #   KGOV_SKIP_SANITIZE=1  skip step 2 (e.g. toolchains without ASan)
 #   KGOV_SKIP_BENCH=1     skip step 3
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "$0")/../.." && pwd)"
 BUILD_DIR="${1:-$REPO_ROOT/build}"
+
+if [[ "${KGOV_SKIP_ANALYZE:-0}" != "1" ]]; then
+  echo "== [0/3] static analysis + lint =="
+  "$REPO_ROOT/tools/ci/analyze.sh"
+else
+  echo "== [0/3] static analysis skipped (KGOV_SKIP_ANALYZE=1) =="
+fi
 
 echo "== [1/3] tier-1 build + tests =="
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT"

@@ -1,0 +1,24 @@
+// Compile-FAIL demo: silently dropping a Status must not build.
+//
+// tools/ci/analyze.sh compiles this file expecting failure; if it ever
+// compiles, the [[nodiscard]] + -Werror=unused-result gate has regressed
+// (someone removed the attribute from common/status.h or the flag from
+// the root CMakeLists) and the analyze step fails the build.
+
+#include "common/status.h"
+
+namespace {
+
+kgov::Status MightFail() { return kgov::Status::Internal("boom"); }
+
+kgov::StatusOr<int> MightFailWithValue() {
+  return kgov::Status::Internal("boom");
+}
+
+}  // namespace
+
+int main() {
+  MightFail();           // dropped Status: must be a compile error
+  MightFailWithValue();  // dropped StatusOr: must be a compile error
+  return 0;
+}

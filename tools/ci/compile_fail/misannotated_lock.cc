@@ -1,0 +1,38 @@
+// Compile-FAIL demo (clang only): touching a KGOV_GUARDED_BY member
+// without holding its mutex must not build under the KGOV_STATIC_ANALYSIS
+// flags (-Wthread-safety promoted to errors).
+//
+// tools/ci/analyze.sh compiles this file with clang expecting failure; if
+// it ever compiles there, the thread-safety gate has regressed. Under gcc
+// the annotations are no-ops and the file compiles - the script only runs
+// this check when clang is available.
+
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    // BUG (deliberate): writes value_ without taking mu_. Clang:
+    // error: writing variable 'value_' requires holding mutex 'mu_'
+    ++value_;
+  }
+
+  int Get() const {
+    kgov::MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  mutable kgov::Mutex mu_;
+  int value_ KGOV_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return counter.Get();
+}

@@ -1,0 +1,275 @@
+#!/usr/bin/env python3
+"""kgov project lint: repo-specific rules the compilers cannot express.
+
+Rules (each suppressible on the offending line or the line above with
+`// kgov-lint: allow(<rule>)`):
+
+  options-validate   Every public `*Options` struct declared in a src/
+                     header must declare `Status Validate() const;` so
+                     consumers can fail fast on bad configurations.
+  no-log-under-lock  No KGOV_LOG / KGOV_LOG_IF while a lock scope
+                     (MutexLock / WriterMutexLock / ReaderMutexLock or a
+                     std lock adapter) is open: the logging sink takes its
+                     own mutex and does stderr I/O, so logging under a
+                     lock serializes unrelated threads (and risks lock
+                     cycles).
+  raw-mutex          src/ code must use the annotated kgov::Mutex /
+                     SharedMutex / MutexLock wrappers from
+                     common/thread_annotations.h, not std::mutex and
+                     friends, so clang thread-safety analysis sees every
+                     critical section.
+  unseeded-rng       No rand()/srand()/std::random_device outside the
+                     corpus generator: experiments must be reproducible
+                     from a fixed seed (kgov::Rng).
+  nodiscard-status   common/status.h must keep Status and Result<T>
+                     [[nodiscard]] and the root CMakeLists must keep
+                     -Werror=unused-result, the pair that makes a dropped
+                     Status a compile error.
+
+Usage: kgov_lint.py [--root DIR] [--report FILE]
+Exit status: 0 clean, 1 violations found.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+ALLOW_RE = re.compile(r"//\s*kgov-lint:\s*allow\(([a-z0-9-]+)\)")
+
+# Files whose job is to define the things other files are banned from.
+RAW_MUTEX_EXEMPT = {os.path.join("src", "common", "thread_annotations.h")}
+RNG_EXEMPT_PREFIXES = (os.path.join("src", "qa", "corpus"),)
+
+LOCK_DECL_RE = re.compile(
+    r"\b(?:MutexLock|WriterMutexLock|ReaderMutexLock)\s+\w+\s*[({]"
+    r"|\bstd::(?:lock_guard|unique_lock|shared_lock|scoped_lock)\b[^;]*[({]")
+LOG_RE = re.compile(r"\bKGOV_LOG(?:_IF|_EVERY_N)?\s*\(")
+RAW_MUTEX_RE = re.compile(
+    r"\bstd::(?:mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"lock_guard|unique_lock|shared_lock|scoped_lock)\b")
+RNG_RE = re.compile(r"(?<![\w:])(?:s?rand)\s*\(|\bstd::random_device\b")
+OPTIONS_STRUCT_RE = re.compile(r"^\s*struct\s+(\w*Options)\s*(?::[^{]*)?\{")
+
+
+def strip_comments_and_strings(line):
+    """Removes // comments and the contents of string/char literals so the
+    structural regexes cannot match inside them. Keeps the line length
+    roughly stable (contents become spaces)."""
+    out = []
+    i, n = 0, len(line)
+    in_str = None
+    while i < n:
+        c = line[i]
+        if in_str:
+            if c == "\\":
+                i += 2
+                continue
+            if c == in_str:
+                in_str = None
+                out.append(c)
+            else:
+                out.append(" ")
+            i += 1
+            continue
+        if c in "\"'":
+            in_str = c
+            out.append(c)
+        elif c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        else:
+            out.append(c)
+        i += 1
+    return "".join(out)
+
+
+class Linter:
+    def __init__(self, root):
+        self.root = root
+        self.violations = []  # (rule, relpath, line_number, message)
+
+    def report(self, rule, relpath, lineno, message):
+        self.violations.append((rule, relpath, lineno, message))
+
+    def allowed(self, rule, lines, index):
+        for look in (index, index - 1):
+            if 0 <= look < len(lines):
+                m = ALLOW_RE.search(lines[look])
+                if m and m.group(1) == rule:
+                    return True
+        return False
+
+    # -- per-file rules ---------------------------------------------------
+
+    def lint_source(self, relpath, text):
+        lines = text.split("\n")
+        stripped = [strip_comments_and_strings(l) for l in lines]
+        in_block_comment = False
+        # Stack of brace depths at which a lock scope opened.
+        lock_depths = []
+        depth = 0
+        for i, line in enumerate(stripped):
+            # Block comments: blank them out (coarse, line-granular).
+            if in_block_comment:
+                end = line.find("*/")
+                if end < 0:
+                    continue
+                line = " " * (end + 2) + line[end + 2:]
+                in_block_comment = False
+            while True:
+                start = line.find("/*")
+                if start < 0:
+                    break
+                end = line.find("*/", start + 2)
+                if end < 0:
+                    line = line[:start]
+                    in_block_comment = True
+                    break
+                line = line[:start] + " " * (end + 2 - start) + line[end + 2:]
+
+            if RAW_MUTEX_RE.search(line) and relpath.startswith("src" + os.sep):
+                if relpath not in RAW_MUTEX_EXEMPT and not self.allowed(
+                        "raw-mutex", lines, i):
+                    self.report(
+                        "raw-mutex", relpath, i + 1,
+                        "use the annotated wrappers from "
+                        "common/thread_annotations.h instead of std lock "
+                        "types")
+
+            if RNG_RE.search(line):
+                if not relpath.startswith(RNG_EXEMPT_PREFIXES) and \
+                        not self.allowed("unseeded-rng", lines, i):
+                    self.report(
+                        "unseeded-rng", relpath, i + 1,
+                        "use kgov::Rng with an explicit seed (reproducible "
+                        "experiments), not rand()/std::random_device")
+
+            if LOCK_DECL_RE.search(line):
+                # The lock's scope is the enclosing brace scope; it dies
+                # when depth drops below the depth at the declaration.
+                open_before = depth
+                lock_depths.append(open_before)
+            if LOG_RE.search(line) and lock_depths:
+                if not self.allowed("no-log-under-lock", lines, i):
+                    self.report(
+                        "no-log-under-lock", relpath, i + 1,
+                        "logging while holding a lock serializes unrelated "
+                        "threads on the sink; emit after releasing")
+            for c in line:
+                if c == "{":
+                    depth += 1
+                elif c == "}":
+                    depth -= 1
+                    while lock_depths and depth <= lock_depths[-1]:
+                        lock_depths.pop()
+
+    def lint_options_structs(self, relpath, text):
+        lines = text.split("\n")
+        stripped = [strip_comments_and_strings(l) for l in lines]
+        i = 0
+        while i < len(lines):
+            m = OPTIONS_STRUCT_RE.match(stripped[i])
+            if not m:
+                i += 1
+                continue
+            name = m.group(1)
+            # Collect the struct body by brace matching.
+            depth = 0
+            body = []
+            j = i
+            while j < len(lines):
+                for c in stripped[j]:
+                    if c == "{":
+                        depth += 1
+                    elif c == "}":
+                        depth -= 1
+                body.append(stripped[j])
+                if depth <= 0 and j > i:
+                    break
+                j += 1
+            if not re.search(r"\bStatus\s+Validate\(\)\s*const\s*;",
+                             "\n".join(body)):
+                if not self.allowed("options-validate", lines, i):
+                    self.report(
+                        "options-validate", relpath, i + 1,
+                        "struct " + name + " has no `Status Validate() "
+                        "const;` - every public options struct must be "
+                        "checkable before use")
+            i = j + 1
+
+    # -- repo-level rules -------------------------------------------------
+
+    def lint_nodiscard_status(self):
+        status_h = os.path.join(self.root, "src", "common", "status.h")
+        root_cmake = os.path.join(self.root, "CMakeLists.txt")
+        try:
+            status_text = open(status_h, encoding="utf-8").read()
+        except OSError:
+            self.report("nodiscard-status", "src/common/status.h", 1,
+                        "missing src/common/status.h")
+            return
+        if "class [[nodiscard]] Status" not in status_text:
+            self.report("nodiscard-status", "src/common/status.h", 1,
+                        "Status lost its [[nodiscard]] attribute")
+        if "class [[nodiscard]] Result" not in status_text:
+            self.report("nodiscard-status", "src/common/status.h", 1,
+                        "Result<T> lost its [[nodiscard]] attribute")
+        cmake_text = open(root_cmake, encoding="utf-8").read()
+        if "-Werror=unused-result" not in cmake_text:
+            self.report("nodiscard-status", "CMakeLists.txt", 1,
+                        "root CMakeLists.txt lost -Werror=unused-result")
+
+    # -- driver -----------------------------------------------------------
+
+    def run(self):
+        scan_roots = ["src", "examples", "bench", "tests", "tools"]
+        for scan_root in scan_roots:
+            top = os.path.join(self.root, scan_root)
+            for dirpath, dirnames, filenames in os.walk(top):
+                dirnames[:] = [d for d in dirnames
+                               if d not in ("CMakeFiles", "compile_fail")]
+                for fname in sorted(filenames):
+                    if not fname.endswith((".h", ".cc", ".cpp")):
+                        continue
+                    full = os.path.join(dirpath, fname)
+                    relpath = os.path.relpath(full, self.root)
+                    text = open(full, encoding="utf-8").read()
+                    self.lint_source(relpath, text)
+                    if fname.endswith(".h") and relpath.startswith(
+                            "src" + os.sep):
+                        self.lint_options_structs(relpath, text)
+        self.lint_nodiscard_status()
+        return self.violations
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: two levels up "
+                             "from this script)")
+    parser.add_argument("--report", default=None,
+                        help="also write the findings to this file")
+    args = parser.parse_args()
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    linter = Linter(root)
+    violations = linter.run()
+
+    lines = []
+    for rule, relpath, lineno, message in violations:
+        lines.append(f"{relpath}:{lineno}: [{rule}] {message}")
+    summary = (f"kgov_lint: {len(violations)} violation(s)"
+               if violations else "kgov_lint: clean")
+    output = "\n".join(lines + [summary]) + "\n"
+    sys.stdout.write(output)
+    if args.report:
+        os.makedirs(os.path.dirname(os.path.abspath(args.report)),
+                    exist_ok=True)
+        with open(args.report, "w", encoding="utf-8") as f:
+            f.write(output)
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
