@@ -1,0 +1,297 @@
+// Durability subsystem cost model: what checkpointing and recovery cost,
+// and what the write-ahead vote log adds to the online flush path.
+//
+// Four measurements over the Taobao-scale synthetic knowledge graph:
+//
+//  * snapshot write - EncodeSnapshot + atomic publish (temp, fsync,
+//    rename), reported as seconds and MB/s for the durable epoch swap.
+//  * snapshot load - MappedSnapshot::Load with the body checksum verified
+//    (recovery default) and skipped (trusted fast path). The mmap layout
+//    makes the no-verify load O(1) in the graph size; the verify pass is
+//    one sequential CRC sweep.
+//  * WAL append/replay - acknowledged votes/sec through VoteWal with
+//    sync_each_append on (every vote fdatasync'd: the strict durability
+//    point) and off (group commit: records hit the page cache now, disk
+//    at segment roll/checkpoint), plus replay votes/sec for the recovery
+//    tail.
+//  * flush-path overhead - the same AddVote+Flush workload with no vote
+//    log vs. a group-commit VoteWal attached. tools/ci/check.sh gates
+//    wal_overhead_pct_nosync < 5: logging acknowledged votes must stay
+//    in the noise next to the optimizer's own solve work.
+//
+// Writes BENCH_durability.json (+ telemetry snapshot). --smoke shrinks
+// the vote counts for CI.
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/fs.h"
+#include "common/timer.h"
+#include "core/online_optimizer.h"
+#include "durability/snapshot.h"
+#include "durability/wal.h"
+#include "graph/csr.h"
+#include "qa/kg_builder.h"
+
+namespace kgov {
+namespace {
+
+votes::Vote MakeVote(const qa::KnowledgeGraph& kg, uint32_t id) {
+  votes::Vote vote;
+  vote.id = id;
+  vote.weight = 1.0;
+  vote.query.links.emplace_back(
+      kg.EntityNode(id % static_cast<uint32_t>(kg.num_entities)), 1.0);
+  const size_t num_answers = kg.answer_nodes.size();
+  vote.answer_list = {kg.answer_nodes[id % num_answers],
+                      kg.answer_nodes[(id + 1) % num_answers]};
+  vote.best_answer = vote.answer_list[id % 2];
+  return vote;
+}
+
+double AppendThroughput(const std::string& dir,
+                        const qa::KnowledgeGraph& kg, size_t num_votes,
+                        bool sync_each_append) {
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  KGOV_CHECK(fs::CreateDirs(dir).ok());
+  durability::VoteWalOptions options;
+  options.sync_each_append = sync_each_append;
+  auto wal = durability::VoteWal::Open(dir, options);
+  KGOV_CHECK(wal.ok());
+  Timer timer;
+  for (size_t i = 0; i < num_votes; ++i) {
+    KGOV_CHECK(
+        wal.value().AppendVote(MakeVote(kg, static_cast<uint32_t>(i)))
+            .ok());
+  }
+  KGOV_CHECK(wal.value().Sync().ok());
+  return static_cast<double>(num_votes) / timer.ElapsedSeconds();
+}
+
+/// VoteLogSink decorator that accumulates the wall time spent inside the
+/// wrapped sink's appends. The flush path's WAL overhead is measured
+/// directly from this (time-in-appends / total path time) rather than by
+/// differencing two full-path wall clocks: the optimizer's threaded
+/// solves carry several percent of run-to-run variance, far above the
+/// sub-percent signal being measured.
+class TimingSink final : public votes::VoteLogSink {
+ public:
+  explicit TimingSink(votes::VoteLogSink* inner) : inner_(inner) {}
+  Status AppendVote(const votes::Vote& vote) override {
+    Timer timer;
+    Status status = inner_->AppendVote(vote);
+    seconds += timer.ElapsedSeconds();
+    return status;
+  }
+  Status AppendDeadLetter(const votes::Vote& vote) override {
+    Timer timer;
+    Status status = inner_->AppendDeadLetter(vote);
+    seconds += timer.ElapsedSeconds();
+    return status;
+  }
+
+  double seconds = 0.0;
+
+ private:
+  votes::VoteLogSink* inner_;
+};
+
+/// Wall-clock for `num_votes` acknowledged votes flushed in batches of
+/// `batch`, with an optional vote log on the acknowledgement path.
+double FlushWallSeconds(const qa::KnowledgeGraph& kg, size_t num_votes,
+                        size_t batch, votes::VoteLogSink* sink) {
+  core::OnlineOptimizerOptions options;
+  options.batch_size = batch;
+  options.optimizer.encoder.symbolic.eipd.max_length = 4;
+  options.optimizer.apply_judgment_filter = false;
+  options.strategy = core::FlushStrategy::kMultiVote;
+  core::OnlineKgOptimizer online(kg.graph, options);
+  if (sink != nullptr) online.SetVoteLog(sink);
+  Timer timer;
+  for (size_t i = 0; i < num_votes; ++i) {
+    KGOV_CHECK(online.AddVote(MakeVote(kg, static_cast<uint32_t>(i))).ok());
+  }
+  KGOV_CHECK(online.Flush().ok());
+  return timer.ElapsedSeconds();
+}
+
+void RunAndReport(bool smoke, const char* json_path,
+                  const char* telemetry_path) {
+  bench::Banner("Durability: snapshot + WAL + flush-path overhead",
+                "kgov durability subsystem (docs/durability.md)");
+
+  Rng rng(2718);
+  Result<qa::Corpus> corpus =
+      qa::GenerateCorpus(qa::TaobaoScaleParams(), rng);
+  KGOV_CHECK(corpus.ok());
+  Result<qa::KnowledgeGraph> kg_or = qa::BuildKnowledgeGraph(*corpus);
+  KGOV_CHECK(kg_or.ok());
+  const qa::KnowledgeGraph& kg = kg_or.value();
+  const graph::CsrSnapshot csr(kg.graph);
+
+  const std::string root =
+      (std::filesystem::temp_directory_path() / "kgov_bench_durability")
+          .string();
+  std::error_code ec;
+  std::filesystem::remove_all(root, ec);
+  KGOV_CHECK(fs::CreateDirs(root).ok());
+
+  const size_t wal_votes = smoke ? 2000 : 50000;
+  const size_t sync_votes = smoke ? 200 : 2000;
+  const size_t flush_votes = smoke ? 128 : 512;
+  const size_t flush_batch = 16;
+  std::printf("graph: %zu nodes, %zu edges; wal votes=%zu (sync %zu); "
+              "flush votes=%zu batch=%zu%s\n",
+              kg.graph.NumNodes(), kg.graph.NumEdges(), wal_votes,
+              sync_votes, flush_votes, flush_batch, smoke ? " [smoke]" : "");
+
+  // --- snapshot write + load ------------------------------------------
+  durability::SnapshotMeta meta;
+  meta.epoch = 1;
+  meta.num_entities = kg.num_entities;
+  meta.num_documents = kg.answer_nodes.size();
+  const std::string snap_path =
+      root + "/" + durability::SnapshotFileName(meta.epoch);
+  Timer write_timer;
+  KGOV_CHECK(durability::WriteSnapshot(snap_path, csr.View(), meta).ok());
+  const double snapshot_write_seconds = write_timer.ElapsedSeconds();
+  const int64_t snapshot_bytes = fs::FileSize(snap_path).value();
+  const double snapshot_write_mbps =
+      static_cast<double>(snapshot_bytes) / 1e6 / snapshot_write_seconds;
+
+  auto time_load = [&](bool verify) {
+    durability::SnapshotLoadOptions options;
+    options.verify_body_checksum = verify;
+    Timer timer;
+    auto loaded = durability::MappedSnapshot::Load(snap_path, options);
+    KGOV_CHECK(loaded.ok());
+    KGOV_CHECK(loaded.value().View().NumEdges() == csr.NumEdges());
+    return timer.ElapsedSeconds();
+  };
+  const double load_verify_seconds = time_load(true);
+  const double load_noverify_seconds = time_load(false);
+
+  // --- WAL append + replay --------------------------------------------
+  const double wal_append_qps_nosync =
+      AppendThroughput(root + "/wal_nosync", kg, wal_votes, false);
+  const double wal_append_qps_sync =
+      AppendThroughput(root + "/wal_sync", kg, sync_votes, true);
+
+  Timer replay_timer;
+  auto replayed = durability::ReplayWal(root + "/wal_nosync", 0, {});
+  KGOV_CHECK(replayed.ok());
+  KGOV_CHECK(replayed.value().records.size() == wal_votes);
+  const double wal_replay_qps =
+      static_cast<double>(wal_votes) / replay_timer.ElapsedSeconds();
+
+  // --- flush-path overhead --------------------------------------------
+  // Group-commit WAL (the deployment default for the gate): appends land
+  // in the page cache, fdatasync happens at roll/checkpoint. Best-of-3
+  // per mode so scheduler noise cannot fake an overhead.
+  (void)FlushWallSeconds(kg, flush_batch, flush_batch, nullptr);  // warm-up
+  const double flush_plain_seconds =
+      FlushWallSeconds(kg, flush_votes, flush_batch, nullptr);
+  std::filesystem::remove_all(root + "/wal_flush", ec);
+  KGOV_CHECK(fs::CreateDirs(root + "/wal_flush").ok());
+  durability::VoteWalOptions group_commit;
+  group_commit.sync_each_append = false;
+  auto flush_wal = durability::VoteWal::Open(root + "/wal_flush",
+                                             group_commit);
+  KGOV_CHECK(flush_wal.ok());
+  TimingSink timed(&flush_wal.value());
+  const double flush_wal_seconds =
+      FlushWallSeconds(kg, flush_votes, flush_batch, &timed);
+  // The overhead the WAL adds to the acknowledged-vote path is the time
+  // actually spent inside its appends, relative to the whole path.
+  const double wal_overhead_pct =
+      timed.seconds / flush_wal_seconds * 100.0;
+
+  bench::TablePrinter table({"measurement", "value"}, {38, 16});
+  table.PrintHeader();
+  table.PrintRow({"snapshot write (s)",
+                  bench::Num(snapshot_write_seconds, 4)});
+  table.PrintRow({"snapshot size (MB)",
+                  bench::Num(static_cast<double>(snapshot_bytes) / 1e6, 2)});
+  table.PrintRow({"snapshot write (MB/s)",
+                  bench::Num(snapshot_write_mbps, 1)});
+  table.PrintRow({"mmap load, verify (s)",
+                  bench::Num(load_verify_seconds, 5)});
+  table.PrintRow({"mmap load, no verify (s)",
+                  bench::Num(load_noverify_seconds, 5)});
+  table.PrintRow({"WAL append, group commit (votes/s)",
+                  bench::Num(wal_append_qps_nosync, 0)});
+  table.PrintRow({"WAL append, sync each (votes/s)",
+                  bench::Num(wal_append_qps_sync, 0)});
+  table.PrintRow({"WAL replay (votes/s)", bench::Num(wal_replay_qps, 0)});
+  table.PrintRow({"flush path, no WAL (s)",
+                  bench::Num(flush_plain_seconds, 3)});
+  table.PrintRow({"flush path, WAL (s)",
+                  bench::Num(flush_wal_seconds, 3)});
+  table.PrintRow({"time inside WAL appends (s)",
+                  bench::Num(timed.seconds, 5)});
+  table.PrintRow({"WAL flush overhead (%)",
+                  bench::Num(wal_overhead_pct, 2)});
+
+  std::FILE* out = std::fopen(json_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+    return;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"durability\",\n"
+               "  \"smoke\": %s,\n"
+               "  \"nodes\": %zu,\n"
+               "  \"edges\": %zu,\n"
+               "  \"snapshot_bytes\": %lld,\n"
+               "  \"snapshot_write_seconds\": %.6f,\n"
+               "  \"snapshot_write_mbps\": %.2f,\n"
+               "  \"mmap_load_verify_seconds\": %.6f,\n"
+               "  \"mmap_load_noverify_seconds\": %.6f,\n"
+               "  \"wal_append_qps_group_commit\": %.1f,\n"
+               "  \"wal_append_qps_sync_each\": %.1f,\n"
+               "  \"wal_replay_qps\": %.1f,\n"
+               "  \"flush_seconds_no_wal\": %.4f,\n"
+               "  \"flush_seconds_with_wal\": %.4f,\n"
+               "  \"wal_append_seconds_in_flush\": %.6f,\n"
+               "  \"wal_overhead_pct_nosync\": %.3f\n"
+               "}\n",
+               smoke ? "true" : "false", kg.graph.NumNodes(),
+               kg.graph.NumEdges(),
+               static_cast<long long>(snapshot_bytes),
+               snapshot_write_seconds, snapshot_write_mbps,
+               load_verify_seconds, load_noverify_seconds,
+               wal_append_qps_nosync, wal_append_qps_sync,
+               wal_replay_qps, flush_plain_seconds, flush_wal_seconds,
+               timed.seconds, wal_overhead_pct);
+  std::fclose(out);
+  std::printf("wrote %s\n", json_path);
+
+  bench::DumpTelemetry(telemetry_path);
+  std::filesystem::remove_all(root, ec);
+}
+
+}  // namespace
+}  // namespace kgov
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  const char* json_path = "BENCH_durability.json";
+  const char* telemetry_path = "BENCH_durability_telemetry.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[i + 1];
+    }
+    if (std::strcmp(argv[i], "--telemetry-json") == 0 && i + 1 < argc) {
+      telemetry_path = argv[i + 1];
+    }
+  }
+  kgov::RunAndReport(smoke, json_path, telemetry_path);
+  return 0;
+}

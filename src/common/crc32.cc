@@ -1,0 +1,43 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace kgov {
+namespace {
+
+// Byte-at-a-time table for the reflected CRC-32C polynomial 0x82F63B78.
+std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0x82F63B78u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = MakeTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t size, uint32_t seed) {
+  const std::array<uint32_t, 256>& table = Table();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ bytes[i]) & 0xFFu];
+  }
+  return ~crc;
+}
+
+uint32_t MaskCrc32c(uint32_t crc) {
+  // Rotate right by 15 bits and add a constant (the LevelDB masking).
+  return ((crc >> 15) | (crc << 17)) + 0xA282EAD8u;
+}
+
+}  // namespace kgov

@@ -1,6 +1,8 @@
 #include "common/fault_injection.h"
 
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <thread>
 
 namespace kgov {
@@ -29,6 +31,16 @@ std::string_view FaultSiteToString(FaultSite site) {
       return "TaskFailure";
     case FaultSite::kGraphCorruption:
       return "GraphCorruption";
+    case FaultSite::kFsWriteFailure:
+      return "FsWriteFailure";
+    case FaultSite::kFsyncFailure:
+      return "FsyncFailure";
+    case FaultSite::kCrashMidSnapshot:
+      return "CrashMidSnapshot";
+    case FaultSite::kCrashMidWalAppend:
+      return "CrashMidWalAppend";
+    case FaultSite::kCrashMidEpochSwap:
+      return "CrashMidEpochSwap";
   }
   return "Unknown";
 }
@@ -110,6 +122,14 @@ int64_t FaultInjector::Hits(FaultSite site) const {
 int64_t FaultInjector::Fires(FaultSite site) const {
   MutexLock lock(mu_);
   return sites_[static_cast<int>(site)].fires;
+}
+
+void MaybeKillProcess(FaultSite site) {
+  if (!FaultInjector::Global().ShouldFire(site)) return;
+  std::fprintf(stderr, "kgov fault: killing process at %.*s\n",
+               static_cast<int>(FaultSiteToString(site).size()),
+               FaultSiteToString(site).data());
+  std::_Exit(kKillTestExitCode);
 }
 
 bool MaybeInjectStall(FaultSite site) {

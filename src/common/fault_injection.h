@@ -46,8 +46,27 @@ enum class FaultSite : int {
   /// OnlineKgOptimizer poisons one optimized edge weight to NaN before the
   /// graph-update validator runs (drives the rollback path).
   kGraphCorruption = 4,
+  /// Durability-layer file writes (fs::AppendFile::Append, the atomic
+  /// snapshot writer) return a simulated EIO.
+  kFsWriteFailure = 5,
+  /// Durability-layer fsync/fdatasync calls return a simulated error.
+  kFsyncFailure = 6,
+  /// Kill point: the process _exits between the synced snapshot temp file
+  /// and the publishing rename (fs::WriteFileAtomic).
+  kCrashMidSnapshot = 7,
+  /// Kill point: the process _exits after writing a PREFIX of a WAL
+  /// record - the classic torn tail recovery must truncate.
+  kCrashMidWalAppend = 8,
+  /// Kill point: the process _exits after the new snapshot is published
+  /// but before the old WAL segments and snapshots are garbage-collected
+  /// (the durable epoch swap is half-done).
+  kCrashMidEpochSwap = 9,
 };
-inline constexpr int kNumFaultSites = 5;
+inline constexpr int kNumFaultSites = 10;
+
+/// Exit code used by the kill points above, so kill-tests can tell an
+/// injected crash from a genuine child failure.
+inline constexpr int kKillTestExitCode = 86;
 
 std::string_view FaultSiteToString(FaultSite site);
 
@@ -122,6 +141,11 @@ inline bool FaultFires(FaultSite site) {
 /// Sleeps for the injected stall duration when `site` fires; returns
 /// whether it fired. Used at the slow-solve injection point.
 bool MaybeInjectStall(FaultSite site);
+
+/// Terminates the process immediately (std::_Exit(kKillTestExitCode),
+/// no destructors, no atexit) when `site` fires - the crash simulation
+/// the durability kill-tests restart from. No-op when disarmed.
+void MaybeKillProcess(FaultSite site);
 
 /// RAII arm/disarm for tests.
 class ScopedFault {

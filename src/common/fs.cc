@@ -1,0 +1,213 @@
+#include "common/fs.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#include "common/fault_injection.h"
+
+namespace kgov::fs {
+namespace {
+
+std::string Errno(const std::string& op, const std::string& path) {
+  return op + " '" + path + "': " + std::strerror(errno);
+}
+
+Status WriteAll(int fd, std::string_view data, const std::string& path) {
+  if (FaultFires(FaultSite::kFsWriteFailure)) {
+    return Status::IoError("injected write failure on '" + path + "'");
+  }
+  const char* p = data.data();
+  size_t left = data.size();
+  while (left > 0) {
+    ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(Errno("write", path));
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status SyncFd(int fd, const std::string& path) {
+  if (FaultFires(FaultSite::kFsyncFailure)) {
+    return Status::IoError("injected fsync failure on '" + path + "'");
+  }
+  if (::fdatasync(fd) != 0) {
+    return Status::IoError(Errno("fsync", path));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return Status::IoError(Errno("open", path));
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status status = Status::IoError(Errno("read", path));
+      ::close(fd);
+      return status;
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view data) {
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                  0644);
+  if (fd < 0) return Status::IoError(Errno("open", tmp));
+  Status status = WriteAll(fd, data, tmp);
+  if (status.ok()) status = SyncFd(fd, tmp);
+  ::close(fd);
+  if (!status.ok()) {
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  // Kill-test crash point: the synced temp file exists, the target has not
+  // been replaced. Recovery must keep serving the previous file.
+  MaybeKillProcess(FaultSite::kCrashMidSnapshot);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    Status renamed = Status::IoError(Errno("rename", tmp + " -> " + path));
+    ::unlink(tmp.c_str());
+    return renamed;
+  }
+  std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  return SyncDir(parent.empty() ? "." : parent.string());
+}
+
+Status SyncDir(const std::string& dir) {
+  if (FaultFires(FaultSite::kFsyncFailure)) {
+    return Status::IoError("injected fsync failure on '" + dir + "'");
+  }
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return Status::IoError(Errno("open dir", dir));
+  Status status;
+  if (::fsync(fd) != 0) status = Status::IoError(Errno("fsync dir", dir));
+  ::close(fd);
+  return status;
+}
+
+Status CreateDirs(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  if (ec) {
+    return Status::IoError("mkdir '" + path + "': " + ec.message());
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<std::string>> ListDir(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) {
+    return Status::IoError("list '" + dir + "': " + ec.message());
+  }
+  std::vector<std::string> names;
+  for (const auto& entry : it) {
+    names.push_back(entry.path().filename().string());
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Status RemoveFile(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Status::IoError(Errno("unlink", path));
+  }
+  return Status::OK();
+}
+
+StatusOr<int64_t> FileSize(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return Status::IoError(Errno("stat", path));
+  }
+  return static_cast<int64_t>(st.st_size);
+}
+
+Status TruncateFile(const std::string& path, uint64_t size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return Status::IoError(Errno("truncate", path));
+  }
+  return Status::OK();
+}
+
+StatusOr<AppendFile> AppendFile::Open(const std::string& path) {
+  int fd = ::open(path.c_str(),
+                  O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd < 0) return Status::IoError(Errno("open", path));
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    Status status = Status::IoError(Errno("fstat", path));
+    ::close(fd);
+    return status;
+  }
+  return AppendFile(fd, static_cast<uint64_t>(st.st_size), path);
+}
+
+AppendFile::AppendFile(AppendFile&& other) noexcept
+    : fd_(other.fd_), size_(other.size_), path_(std::move(other.path_)) {
+  other.fd_ = -1;
+}
+
+AppendFile& AppendFile::operator=(AppendFile&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    size_ = other.size_;
+    path_ = std::move(other.path_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+AppendFile::~AppendFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status AppendFile::Append(std::string_view data) {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("append on closed file '" + path_ +
+                                      "'");
+  }
+  KGOV_RETURN_IF_ERROR(WriteAll(fd_, data, path_));
+  size_ += data.size();
+  return Status::OK();
+}
+
+Status AppendFile::Sync() {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("sync on closed file '" + path_ +
+                                      "'");
+  }
+  return SyncFd(fd_, path_);
+}
+
+Status AppendFile::Close() {
+  if (fd_ < 0) return Status::OK();
+  int rc = ::close(fd_);
+  fd_ = -1;
+  if (rc != 0) return Status::IoError(Errno("close", path_));
+  return Status::OK();
+}
+
+}  // namespace kgov::fs

@@ -1,0 +1,97 @@
+// Checked, fsync-aware filesystem primitives for the durability layer.
+//
+// The std::{of,if}stream API cannot express the two things crash safety
+// needs: a durability barrier (fsync) and an atomic publish (write to a
+// temp file, fsync, rename over the target, fsync the directory). These
+// helpers wrap the POSIX calls behind Status returns and thread the
+// durability fault-injection sites (FaultSite::kFsWriteFailure /
+// kFsyncFailure / kCrashMidSnapshot) through every write path, so tests
+// can fail or kill the process at any point of the publish sequence.
+//
+// All helpers are synchronous and unbuffered by design: the callers (WAL
+// append, snapshot publish) batch their own bytes and need the returned
+// Status to mean "on the platter" (modulo lying disks), not "in a stdio
+// buffer".
+
+#ifndef KGOV_COMMON_FS_H_
+#define KGOV_COMMON_FS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace kgov::fs {
+
+/// Reads the entire file into a string.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+/// Atomically publishes `data` as `path`: writes `path`.tmp, fsyncs it,
+/// renames it over `path`, and fsyncs the parent directory. On any error
+/// the temp file is removed and the previous `path` (if any) is left
+/// untouched. Fault sites: kFsWriteFailure (write), kFsyncFailure
+/// (fsync), and the kCrashMidSnapshot kill point between the synced temp
+/// write and the publishing rename.
+Status WriteFileAtomic(const std::string& path, std::string_view data);
+
+/// fsyncs a directory so a completed rename/create/unlink in it survives
+/// a crash.
+Status SyncDir(const std::string& dir);
+
+/// Creates `path` and any missing parents (OK when it already exists).
+Status CreateDirs(const std::string& path);
+
+/// Names (not paths) of the entries of `dir`, sorted ascending.
+StatusOr<std::vector<std::string>> ListDir(const std::string& dir);
+
+/// Removes a file; OK when it does not exist.
+Status RemoveFile(const std::string& path);
+
+/// Size of `path` in bytes.
+StatusOr<int64_t> FileSize(const std::string& path);
+
+/// Truncates `path` to `size` bytes (the torn-tail repair primitive).
+Status TruncateFile(const std::string& path, uint64_t size);
+
+/// Unbuffered append-only file handle (the WAL segment writer). Move-only;
+/// the destructor closes without syncing — callers that need durability
+/// must Sync() explicitly.
+class AppendFile {
+ public:
+  /// Opens (creating if needed) `path` for appending.
+  static StatusOr<AppendFile> Open(const std::string& path);
+
+  AppendFile(AppendFile&& other) noexcept;
+  AppendFile& operator=(AppendFile&& other) noexcept;
+  AppendFile(const AppendFile&) = delete;
+  AppendFile& operator=(const AppendFile&) = delete;
+  ~AppendFile();
+
+  /// Appends every byte of `data` (retrying short writes). Fault site:
+  /// kFsWriteFailure.
+  Status Append(std::string_view data);
+
+  /// Durability barrier (fdatasync). Fault site: kFsyncFailure.
+  Status Sync();
+
+  /// Closes the descriptor; further Append/Sync calls fail.
+  Status Close();
+
+  /// Bytes in the file (initial size plus appends through this handle).
+  uint64_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  AppendFile(int fd, uint64_t size, std::string path)
+      : fd_(fd), size_(size), path_(std::move(path)) {}
+
+  int fd_ = -1;
+  uint64_t size_ = 0;
+  std::string path_;
+};
+
+}  // namespace kgov::fs
+
+#endif  // KGOV_COMMON_FS_H_

@@ -5,7 +5,9 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/contracts.h"
 #include "common/fault_injection.h"
+#include "common/logging.h"
 #include "common/timer.h"
 #include "telemetry/metrics.h"
 
@@ -22,6 +24,8 @@ struct OnlineMetrics {
   telemetry::Counter* votes_applied;
   telemetry::Counter* votes_quarantined;
   telemetry::Counter* dead_lettered;
+  telemetry::Counter* dead_letter_evictions;
+  telemetry::Counter* dead_letter_persisted;
   telemetry::Gauge* pending_votes;
   telemetry::Histogram* flush_span;
 
@@ -35,6 +39,8 @@ struct OnlineMetrics {
                            reg.GetCounter("online.votes_applied"),
                            reg.GetCounter("online.votes_quarantined"),
                            reg.GetCounter("online.dead_lettered"),
+                           reg.GetCounter("online.dead_letter_evictions"),
+                           reg.GetCounter("durability.dead_letter_persisted"),
                            reg.GetGauge("online.pending_votes"),
                            reg.GetHistogram("span.online.flush.seconds")};
     }();
@@ -74,8 +80,67 @@ OnlineKgOptimizer::OnlineKgOptimizer(const graph::WeightedDigraph& initial,
                 options_.optimizer.encoder.weight_upper_bound, 1.0});
 }
 
+OnlineKgOptimizer::OnlineKgOptimizer(const graph::WeightedDigraph& initial,
+                                     OnlineOptimizerOptions options,
+                                     RestoredState restored)
+    : OnlineKgOptimizer(initial, std::move(options)) {
+  buffer_.reserve(restored.pending.size());
+  for (votes::Vote& vote : restored.pending) {
+    // Attempt counters are not checkpointed; a restored vote starts its
+    // retry budget fresh rather than being dead-lettered by stale state.
+    buffer_.push_back(PendingVote{std::move(vote), 0});
+  }
+  dead_letter_ = std::move(restored.dead_letters);
+  if (dead_letter_.size() > options_.dead_letter_capacity) {
+    dead_letter_.erase(dead_letter_.begin(),
+                       dead_letter_.end() -
+                           static_cast<ptrdiff_t>(
+                               options_.dead_letter_capacity));
+  }
+  // Recovered dead letters came FROM the log; marking them persisted
+  // prevents the destructor from re-appending (and duplicating) them.
+  dead_letter_persisted_.assign(dead_letter_.size(), 1);
+  MutexLock lock(serving_mu_);
+  serving_.epoch = restored.epoch;
+  epoch_number_.store(restored.epoch, std::memory_order_release);
+}
+
+OnlineKgOptimizer::~OnlineKgOptimizer() {
+  Status persisted = PersistDeadLetters();
+  if (!persisted.ok()) {
+    KGOV_LOG(ERROR) << "dead-letter flush on shutdown failed: "
+                    << persisted.ToString();
+  }
+}
+
+Status OnlineKgOptimizer::PersistDeadLetters() {
+  if (vote_log_ == nullptr) return Status::OK();
+  KGOV_ASSERT(dead_letter_persisted_.size() == dead_letter_.size());
+  const OnlineMetrics& metrics = OnlineMetrics::Get();
+  for (size_t i = 0; i < dead_letter_.size(); ++i) {
+    if (dead_letter_persisted_[i]) continue;
+    KGOV_RETURN_IF_ERROR(vote_log_->AppendDeadLetter(dead_letter_[i]));
+    dead_letter_persisted_[i] = 1;
+    metrics.dead_letter_persisted->Increment();
+  }
+  return Status::OK();
+}
+
+std::vector<votes::Vote> OnlineKgOptimizer::PendingVoteList() const {
+  std::vector<votes::Vote> pending;
+  pending.reserve(buffer_.size());
+  for (const PendingVote& entry : buffer_) pending.push_back(entry.vote);
+  return pending;
+}
+
 Result<FlushReport> OnlineKgOptimizer::AddVote(votes::Vote vote) {
   KGOV_RETURN_IF_ERROR(options_status_);
+  if (vote_log_ != nullptr) {
+    // Durable-acknowledgement contract: the vote is logged before it is
+    // buffered, so an append failure rejects the vote outright instead of
+    // accepting something a crash would lose.
+    KGOV_RETURN_IF_ERROR(vote_log_->AppendVote(vote));
+  }
   buffer_.push_back(PendingVote{std::move(vote), 0});
   if (buffer_.size() >= options_.batch_size) {
     return Flush();
@@ -85,21 +150,40 @@ Result<FlushReport> OnlineKgOptimizer::AddVote(votes::Vote vote) {
 
 size_t OnlineKgOptimizer::RequeueOrDeadLetter(
     std::vector<PendingVote> failed) {
+  const OnlineMetrics& metrics = OnlineMetrics::Get();
   size_t dead = 0;
   for (PendingVote& pending : failed) {
     ++pending.attempts;
     if (pending.attempts >= options_.max_vote_attempts) {
       ++dead;
+      // Persist at dead-letter time (not just on shutdown): abandonment
+      // is the last chance to record the vote before a crash drops it.
+      uint8_t persisted = 0;
+      if (vote_log_ != nullptr) {
+        Status appended = vote_log_->AppendDeadLetter(pending.vote);
+        if (appended.ok()) {
+          persisted = 1;
+          metrics.dead_letter_persisted->Increment();
+        } else {
+          KGOV_LOG(WARNING) << "dead-letter append failed (will retry on "
+                            << "PersistDeadLetters): " << appended.ToString();
+        }
+      }
       dead_letter_.push_back(std::move(pending.vote));
+      dead_letter_persisted_.push_back(persisted);
     } else {
       buffer_.push_back(std::move(pending));
     }
   }
   if (dead_letter_.size() > options_.dead_letter_capacity) {
+    const size_t evicted =
+        dead_letter_.size() - options_.dead_letter_capacity;
+    metrics.dead_letter_evictions->Increment(evicted);
     dead_letter_.erase(dead_letter_.begin(),
-                       dead_letter_.end() -
-                           static_cast<ptrdiff_t>(
-                               options_.dead_letter_capacity));
+                       dead_letter_.begin() + static_cast<ptrdiff_t>(evicted));
+    dead_letter_persisted_.erase(
+        dead_letter_persisted_.begin(),
+        dead_letter_persisted_.begin() + static_cast<ptrdiff_t>(evicted));
   }
   return dead;
 }

@@ -41,6 +41,7 @@
 #include "core/resilience.h"
 #include "graph/csr.h"
 #include "graph/graph_view.h"
+#include "votes/vote_log.h"
 
 namespace kgov::core {
 
@@ -88,6 +89,21 @@ struct OnlineOptimizerOptions {
   Status Validate() const;
 };
 
+/// State carried across a restart: what durability::Recover reassembles
+/// from the newest snapshot plus the WAL tail. Constructing an
+/// OnlineKgOptimizer with one resumes exactly where the crashed process
+/// checkpointed: the first published epoch is `epoch` (not 0), the vote
+/// buffer holds the un-flushed acknowledged votes, and the dead-letter
+/// buffer is restored (trimmed to dead_letter_capacity, oldest first).
+struct RestoredState {
+  /// Epoch number to republish (readers resume at the pre-crash epoch).
+  uint64_t epoch = 0;
+  /// Acknowledged votes that had not been folded into the graph.
+  std::vector<votes::Vote> pending;
+  /// Dead-letter buffer contents, oldest first.
+  std::vector<votes::Vote> dead_letters;
+};
+
 /// Result of one flush.
 struct FlushReport {
   /// Votes applied to the graph by this flush (excludes quarantined).
@@ -112,6 +128,16 @@ class OnlineKgOptimizer {
   /// Starts from a copy of `initial`.
   OnlineKgOptimizer(const graph::WeightedDigraph& initial,
                     OnlineOptimizerOptions options);
+
+  /// Resumes from recovered state: `initial` is the recovered graph, and
+  /// `restored` supplies the epoch to republish plus the surviving vote
+  /// buffers (see durability::Recover).
+  OnlineKgOptimizer(const graph::WeightedDigraph& initial,
+                    OnlineOptimizerOptions options, RestoredState restored);
+
+  /// Flushes any dead letters the attached vote log has not yet recorded
+  /// (see PersistDeadLetters).
+  ~OnlineKgOptimizer();
 
   /// The current (latest) graph.
   const graph::WeightedDigraph& graph() const { return graph_; }
@@ -144,11 +170,28 @@ class OnlineKgOptimizer {
     return serving_.snapshot;
   }
 
+  /// Attaches the write-ahead vote log. Once set, AddVote appends each
+  /// vote to the log BEFORE buffering it and rejects the vote if the
+  /// append fails (acknowledged implies logged), and dead-lettered votes
+  /// are recorded through AppendDeadLetter. `sink` must outlive this
+  /// object (or be detached with nullptr first); pass nullptr to detach.
+  /// Dead letters already buffered when a sink is attached are persisted
+  /// on the next PersistDeadLetters() or destruction.
+  void SetVoteLog(votes::VoteLogSink* sink) { vote_log_ = sink; }
+
+  /// Writes every dead letter the attached log has not yet recorded
+  /// through AppendDeadLetter, stopping at the first failure. Called from
+  /// the destructor; call it earlier to bound loss from an abrupt exit.
+  /// No-op without an attached sink.
+  Status PersistDeadLetters();
+
   /// Buffers one vote; flushes automatically when the batch is full.
   /// Returns the flush report when a flush happened, an empty report
   /// otherwise (votes_flushed == 0). On a failed flush the error status is
   /// returned and the buffered votes are preserved for the next attempt
   /// (PendingVotes() stays non-zero until they succeed or dead-letter).
+  /// With a vote log attached, a vote whose log append fails is rejected
+  /// outright (not buffered) and the append error is returned.
   Result<FlushReport> AddVote(votes::Vote vote);
 
   /// Forces a flush of the current buffer (no-op on an empty buffer).
@@ -156,6 +199,10 @@ class OnlineKgOptimizer {
 
   /// Votes currently buffered (including re-queued failures).
   size_t PendingVotes() const { return buffer_.size(); }
+
+  /// Copies of the buffered votes in flush order (attempt counters are
+  /// internal). What a checkpoint must capture to resume after a crash.
+  std::vector<votes::Vote> PendingVoteList() const;
 
   /// Total votes folded into the graph so far.
   size_t TotalVotesApplied() const { return total_applied_; }
@@ -198,6 +245,12 @@ class OnlineKgOptimizer {
   std::atomic<uint64_t> epoch_number_{0};
   std::vector<PendingVote> buffer_;
   std::vector<votes::Vote> dead_letter_;
+  // Parallel to dead_letter_: 1 if the entry has been written through the
+  // vote log. Entries dead-lettered while a sink is attached persist
+  // immediately; the rest (restored state, late-attached sink, append
+  // failures) are retried by PersistDeadLetters()/the destructor.
+  std::vector<uint8_t> dead_letter_persisted_;
+  votes::VoteLogSink* vote_log_ = nullptr;
   Status last_flush_status_;
   size_t total_applied_ = 0;
   size_t rollback_count_ = 0;

@@ -1,0 +1,139 @@
+// DurabilityManager: checkpoint protocol + crash recovery.
+//
+// Ties the two halves together around one directory:
+//
+//   <dir>/snapshot-<epoch>.kgs   atomic snapshots (durability/snapshot.h)
+//   <dir>/wal-<seq>.log          vote log segments (durability/wal.h)
+//
+// Checkpoint protocol (Checkpoint()):
+//   1. Roll the WAL to a fresh segment; call its seq S.
+//   2. Encode the snapshot of the CURRENT state (graph CSR, epoch,
+//      pending votes, dead letters) stamped wal_seq = S.
+//   3. Publish it with fs::WriteFileAtomic.
+//   4. Garbage-collect: delete WAL segments with seq < S and snapshots
+//      beyond the retention count.
+//
+// Crash-window analysis: a crash before step 3's rename leaves the older
+// snapshot and ALL segments intact (full replay); a crash after the
+// rename but before step 4 leaves stale segments the new snapshot's
+// wal_seq stamp tells recovery to skip. At no instant can an
+// acknowledged vote be lost, and replay never double-applies a vote the
+// snapshot already captured.
+//
+// Recovery (Recover()) scans snapshots newest-first, skipping corrupted
+// ones loudly (checksum failures are detected, never trusted), replays
+// the WAL tail (seq >= the snapshot's wal_seq), folds replayed
+// dead-letter records out of the pending list, and contract-checks the
+// result (graph::ValidateCsr + serve::ValidateEpochPin) before handing
+// it back.
+
+#ifndef KGOV_DURABILITY_MANAGER_H_
+#define KGOV_DURABILITY_MANAGER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/online_optimizer.h"
+#include "durability/wal.h"
+#include "graph/graph.h"
+#include "votes/vote.h"
+
+namespace kgov::durability {
+
+struct DurabilityOptions {
+  /// Directory holding snapshots and WAL segments (created if missing).
+  std::string dir;
+  VoteWalOptions wal;
+  /// Snapshots retained after a checkpoint (>= 1). Keeping more than one
+  /// means a checkpoint that corrupts silently (lying disk) still leaves
+  /// an older recoverable generation.
+  size_t snapshots_to_keep = 2;
+
+  Status Validate() const;
+};
+
+/// Owns the WAL and runs the checkpoint protocol. Single-threaded, like
+/// the optimizer write path it serves. Move-only.
+class DurabilityManager {
+ public:
+  static StatusOr<DurabilityManager> Open(DurabilityOptions options);
+
+  DurabilityManager(DurabilityManager&&) noexcept = default;
+  DurabilityManager& operator=(DurabilityManager&&) noexcept = default;
+
+  /// The vote log to attach via OnlineKgOptimizer::SetVoteLog. Valid for
+  /// this manager's lifetime.
+  VoteWal* wal() { return &wal_; }
+
+  /// Checkpoints `optimizer`'s current state (serving snapshot, pending
+  /// votes, dead letters) into a new snapshot file and truncates the WAL
+  /// behind it. `num_entities`/`num_documents` describe the graph's node
+  /// layout (recorded in the snapshot header). On error the previous
+  /// snapshot generation and the full WAL remain intact.
+  Status Checkpoint(const core::OnlineKgOptimizer& optimizer,
+                    uint64_t num_entities, uint64_t num_documents);
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  DurabilityManager(std::string dir, size_t snapshots_to_keep, VoteWal wal)
+      : dir_(std::move(dir)),
+        snapshots_to_keep_(snapshots_to_keep),
+        wal_(std::move(wal)) {}
+
+  Status DeleteSnapshotsBeyondRetention();
+
+  std::string dir_;
+  size_t snapshots_to_keep_ = 2;
+  VoteWal wal_;
+};
+
+struct RecoverOptions {
+  /// Verify each candidate snapshot's body checksum (see
+  /// SnapshotLoadOptions::verify_body_checksum).
+  bool verify_body_checksum = true;
+  /// Physically truncate torn WAL tails during replay.
+  bool truncate_torn_tail = true;
+  /// Contract-check the recovered state (graph::ValidateCsr +
+  /// serve::ValidateEpochPin) before returning it.
+  bool validate = true;
+
+  Status Validate() const;
+};
+
+/// What Recover reassembles. Feed `graph` + ToRestoredState() into the
+/// OnlineKgOptimizer restoring constructor to resume serving.
+struct RecoveredState {
+  graph::WeightedDigraph graph;
+  uint64_t epoch = 0;
+  uint64_t num_entities = 0;
+  uint64_t num_documents = 0;
+  /// Acknowledged, un-flushed votes: the snapshot's pending list plus the
+  /// replayed WAL tail, minus votes a replayed dead-letter record moved.
+  std::vector<votes::Vote> pending;
+  std::vector<votes::Vote> dead_letters;
+  /// Replay/repair evidence, for logs and tests.
+  size_t wal_records_replayed = 0;
+  size_t torn_tails_truncated = 0;
+  size_t corrupt_records = 0;
+  size_t snapshots_skipped = 0;
+  std::string snapshot_path;
+
+  core::RestoredState ToRestoredState() const {
+    return core::RestoredState{epoch, pending, dead_letters};
+  }
+};
+
+/// Recovers the newest consistent state from `dir`. Returns NotFound when
+/// the directory holds no loadable snapshot (a corrupted-only directory
+/// is NotFound too - after loud per-file ERROR logs - so callers can fall
+/// back to a cold start explicitly rather than silently serving an empty
+/// graph).
+StatusOr<RecoveredState> Recover(const std::string& dir,
+                                 const RecoverOptions& options);
+
+}  // namespace kgov::durability
+
+#endif  // KGOV_DURABILITY_MANAGER_H_

@@ -1,0 +1,140 @@
+// On-disk graph snapshots: the checkpoint half of the durability story.
+//
+// A snapshot file freezes one published serving epoch - the CSR arrays of
+// the deployed graph, the entity/document layout, the un-flushed vote
+// buffer, and the dead-letter buffer - into a single checksummed binary
+// file laid out for mmap. Cold start is O(1) in graph size: Load() maps
+// the file read-only and hands out a graph::GraphView directly over the
+// mapped CSR sections; nothing is parsed or copied until a caller asks
+// for the mutable graph (ToWeightedDigraph) or the vote buffers.
+//
+// Layout (host-endian; see docs/file_formats.md for the byte-level spec):
+//
+//   [0,128)           SnapshotHeader (magic, version, epoch, counts,
+//                     section offsets, body CRC, header CRC)
+//   offsets section   u64[num_nodes + 1]    64-byte aligned
+//   neighbors section {u32 to, u32 pad, f64 weight}[num_edges]
+//   edge-id section   u32[num_edges]
+//   aux section       u32 n_pending | votes | u32 n_dead | votes
+//                     (votes in the vote_wal_codec encoding)
+//
+// Files are written with fs::WriteFileAtomic (temp + fsync + rename), so
+// a crash mid-write never leaves a half-visible snapshot: readers see
+// either the old file or the new one. Corruption anywhere in the body is
+// caught by the body CRC at load time; a torn or truncated header by the
+// header CRC. Snapshots are per-host recovery artifacts, not portable
+// interchange files (the text format in graph_io.h is the portable one).
+
+#ifndef KGOV_DURABILITY_SNAPSHOT_H_
+#define KGOV_DURABILITY_SNAPSHOT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "graph/graph_view.h"
+#include "votes/vote.h"
+
+namespace kgov::durability {
+
+/// Everything a snapshot stores beyond the CSR arrays themselves.
+struct SnapshotMeta {
+  /// The serving epoch this snapshot freezes.
+  uint64_t epoch = 0;
+  /// Entity/document layout of the deployed graph (nodes [0, num_entities)
+  /// are entities, the rest documents/answers).
+  uint64_t num_entities = 0;
+  uint64_t num_documents = 0;
+  /// First WAL segment whose records post-date this snapshot; recovery
+  /// replays segments with seq >= wal_seq on top of it.
+  uint64_t wal_seq = 0;
+  /// Acknowledged votes not yet folded into the graph, flush order.
+  std::vector<votes::Vote> pending;
+  /// Dead-letter buffer contents, oldest first.
+  std::vector<votes::Vote> dead_letters;
+};
+
+/// Canonical file name for the snapshot of `epoch`
+/// ("snapshot-00000000000000000042.kgs"; zero-padded so lexicographic
+/// order is epoch order).
+std::string SnapshotFileName(uint64_t epoch);
+
+/// Parses a SnapshotFileName back to its epoch; nullopt for anything else.
+std::optional<uint64_t> ParseSnapshotFileName(std::string_view name);
+
+/// Serializes `view` + `meta` into the snapshot byte layout. Exposed
+/// separately from WriteSnapshot for tests that corrupt specific bytes.
+std::string EncodeSnapshot(const graph::GraphView& view,
+                           const SnapshotMeta& meta);
+
+/// Atomically writes the snapshot of (`view`, `meta`) to `path` via
+/// fs::WriteFileAtomic. The kCrashMidSnapshot kill point sits between the
+/// synced temp file and the publishing rename.
+Status WriteSnapshot(const std::string& path, const graph::GraphView& view,
+                     const SnapshotMeta& meta);
+
+struct SnapshotLoadOptions {
+  /// Verify the body CRC over the whole file at load time. Costs one
+  /// sequential pass; disable only for benchmarks that want to measure
+  /// the pure mmap cost. The header CRC is always checked.
+  bool verify_body_checksum = true;
+
+  Status Validate() const;
+};
+
+/// A loaded, mmap-backed snapshot. Move-only; the mapping (and every
+/// GraphView handed out by View()) is valid while this object lives.
+class MappedSnapshot {
+ public:
+  /// Maps `path` read-only and validates its header (and, per `options`,
+  /// its body CRC). Returns IoError on filesystem errors and
+  /// InvalidArgument ("snapshot ... corrupt ...") on any integrity
+  /// failure - magic, version, CRC, or section bounds.
+  static StatusOr<MappedSnapshot> Load(const std::string& path,
+                                       const SnapshotLoadOptions& options);
+
+  MappedSnapshot(MappedSnapshot&& other) noexcept;
+  MappedSnapshot& operator=(MappedSnapshot&& other) noexcept;
+  MappedSnapshot(const MappedSnapshot&) = delete;
+  MappedSnapshot& operator=(const MappedSnapshot&) = delete;
+  ~MappedSnapshot();
+
+  /// CSR view directly over the mapped file (zero-copy).
+  graph::GraphView View() const;
+
+  uint64_t epoch() const { return meta_.epoch; }
+  uint64_t wal_seq() const { return meta_.wal_seq; }
+  uint64_t num_entities() const { return meta_.num_entities; }
+  uint64_t num_documents() const { return meta_.num_documents; }
+  const std::vector<votes::Vote>& pending() const { return meta_.pending; }
+  const std::vector<votes::Vote>& dead_letters() const {
+    return meta_.dead_letters;
+  }
+  const std::string& path() const { return path_; }
+
+  /// Rebuilds the mutable graph, inserting edges in CSR row order so that
+  /// a CsrSnapshot taken of the result reproduces this snapshot's neighbor
+  /// order exactly - the property that makes recovered rankings bitwise
+  /// identical to pre-crash ones.
+  graph::WeightedDigraph ToWeightedDigraph() const;
+
+ private:
+  MappedSnapshot() = default;
+
+  const void* map_ = nullptr;
+  size_t map_size_ = 0;
+  size_t num_nodes_ = 0;
+  size_t num_edges_ = 0;
+  const uint64_t* offsets_ = nullptr;
+  const graph::GraphView::Neighbor* neighbors_ = nullptr;
+  const graph::EdgeId* edge_ids_ = nullptr;
+  SnapshotMeta meta_;  // pending/dead_letters decoded eagerly at Load
+  std::string path_;
+};
+
+}  // namespace kgov::durability
+
+#endif  // KGOV_DURABILITY_SNAPSHOT_H_

@@ -1,0 +1,321 @@
+#include "durability/wal.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "common/crc32.h"
+#include "common/fault_injection.h"
+#include "common/logging.h"
+#include "telemetry/metrics.h"
+#include "votes/vote_wal_codec.h"
+
+namespace kgov::durability {
+namespace {
+
+constexpr char kMagic[8] = {'K', 'G', 'O', 'V', 'W', 'A', 'L', '1'};
+constexpr uint32_t kVersion = 1;
+
+struct SegmentHeader {
+  char magic[8];
+  uint32_t version;
+  uint32_t reserved;
+  uint64_t seq;
+};
+static_assert(sizeof(SegmentHeader) == 24);
+
+// Record framing ahead of the payload.
+struct RecordHeader {
+  uint32_t payload_len;
+  uint32_t masked_crc;
+};
+static_assert(sizeof(RecordHeader) == 8);
+
+struct WalMetrics {
+  telemetry::Counter* appends;
+  telemetry::Counter* bytes;
+  telemetry::Counter* torn_tails;
+  telemetry::Counter* corrupt_records;
+
+  static const WalMetrics& Get() {
+    static const WalMetrics m = [] {
+      telemetry::MetricRegistry& reg = telemetry::MetricRegistry::Global();
+      return WalMetrics{reg.GetCounter("durability.wal.appends"),
+                        reg.GetCounter("durability.wal.bytes"),
+                        reg.GetCounter("durability.wal.torn_tail_truncations"),
+                        reg.GetCounter("durability.wal.corrupt_records")};
+    }();
+    return m;
+  }
+};
+
+std::string EncodeRecord(WalRecordType type, const votes::Vote& vote) {
+  std::string payload;
+  payload.push_back(static_cast<char>(type));
+  votes::EncodeVote(vote, &payload);
+
+  RecordHeader header;
+  header.payload_len = static_cast<uint32_t>(payload.size());
+  header.masked_crc = MaskCrc32c(Crc32c(payload.data(), payload.size()));
+  std::string record(sizeof(header), '\0');
+  std::memcpy(record.data(), &header, sizeof(header));
+  record += payload;
+  return record;
+}
+
+}  // namespace
+
+Status VoteWalOptions::Validate() const {
+  if (max_segment_bytes < 1) {
+    return Status::InvalidArgument(
+        "VoteWalOptions.max_segment_bytes must be >= 1");
+  }
+  return Status::OK();
+}
+
+Status WalReplayOptions::Validate() const { return Status::OK(); }
+
+std::string WalFileName(uint64_t seq) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "wal-%020llu.log",
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+std::optional<uint64_t> ParseWalFileName(std::string_view name) {
+  constexpr std::string_view kPrefix = "wal-";
+  constexpr std::string_view kSuffix = ".log";
+  if (name.size() != kPrefix.size() + 20 + kSuffix.size() ||
+      name.substr(0, kPrefix.size()) != kPrefix ||
+      name.substr(name.size() - kSuffix.size()) != kSuffix) {
+    return std::nullopt;
+  }
+  uint64_t seq = 0;
+  for (char c : name.substr(kPrefix.size(), 20)) {
+    if (c < '0' || c > '9') return std::nullopt;
+    seq = seq * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return seq;
+}
+
+StatusOr<VoteWal> VoteWal::Open(std::string dir, VoteWalOptions options) {
+  KGOV_RETURN_IF_ERROR(options.Validate());
+  KGOV_RETURN_IF_ERROR(fs::CreateDirs(dir));
+  KGOV_ASSIGN_OR_RETURN(std::vector<std::string> entries, fs::ListDir(dir));
+  uint64_t next_seq = 1;
+  for (const std::string& name : entries) {
+    if (std::optional<uint64_t> seq = ParseWalFileName(name)) {
+      // Never append to an existing segment: its tail may be torn, and
+      // replay relies on at most one torn record per segment.
+      next_seq = std::max(next_seq, *seq + 1);
+    }
+  }
+  VoteWal wal(std::move(dir), options);
+  KGOV_RETURN_IF_ERROR(wal.StartSegment(next_seq));
+  return wal;
+}
+
+Status VoteWal::StartSegment(uint64_t seq) {
+  segment_.reset();
+  KGOV_ASSIGN_OR_RETURN(fs::AppendFile file,
+                        fs::AppendFile::Open(dir_ + "/" + WalFileName(seq)));
+  SegmentHeader header{};
+  std::memcpy(header.magic, kMagic, sizeof(kMagic));
+  header.version = kVersion;
+  header.seq = seq;
+  KGOV_RETURN_IF_ERROR(file.Append(
+      std::string_view(reinterpret_cast<const char*>(&header),
+                       sizeof(header))));
+  KGOV_RETURN_IF_ERROR(file.Sync());
+  // The segment file itself must survive a crash before its first record
+  // does, or recovery would miss the roll.
+  KGOV_RETURN_IF_ERROR(fs::SyncDir(dir_));
+  segment_ = std::make_unique<fs::AppendFile>(std::move(file));
+  live_seq_ = seq;
+  return Status::OK();
+}
+
+Status VoteWal::Append(WalRecordType type, const votes::Vote& vote) {
+  if (segment_ == nullptr) {
+    // A previous roll failed; retry it so one transient error does not
+    // wedge the log forever.
+    KGOV_RETURN_IF_ERROR(StartSegment(live_seq_ + 1));
+  }
+  if (segment_->size() >= options_.max_segment_bytes) {
+    KGOV_RETURN_IF_ERROR(RollSegment());
+  }
+  const std::string record = EncodeRecord(type, vote);
+
+  // Kill point: die after a PREFIX of the record reaches the file - the
+  // torn tail every log-structured system must recover from.
+  if (FaultInjector::Global().ShouldFire(FaultSite::kCrashMidWalAppend)) {
+    Status torn = segment_->Append(
+        std::string_view(record).substr(0, record.size() / 2));
+    if (torn.ok()) torn = segment_->Sync();
+    std::fprintf(stderr, "kgov fault: killing process mid WAL append (%s)\n",
+                 torn.ok() ? "torn tail synced" : torn.ToString().c_str());
+    std::_Exit(kKillTestExitCode);
+  }
+
+  KGOV_RETURN_IF_ERROR(segment_->Append(record));
+  if (options_.sync_each_append) {
+    KGOV_RETURN_IF_ERROR(segment_->Sync());
+  }
+  const WalMetrics& metrics = WalMetrics::Get();
+  metrics.appends->Increment();
+  metrics.bytes->Increment(static_cast<int64_t>(record.size()));
+  return Status::OK();
+}
+
+Status VoteWal::AppendVote(const votes::Vote& vote) {
+  return Append(WalRecordType::kVote, vote);
+}
+
+Status VoteWal::AppendDeadLetter(const votes::Vote& vote) {
+  return Append(WalRecordType::kDeadLetter, vote);
+}
+
+Status VoteWal::Sync() {
+  if (segment_ == nullptr) return Status::OK();
+  return segment_->Sync();
+}
+
+Status VoteWal::RollSegment() {
+  if (segment_ != nullptr) {
+    KGOV_RETURN_IF_ERROR(segment_->Sync());
+    KGOV_RETURN_IF_ERROR(segment_->Close());
+  }
+  return StartSegment(live_seq_ + 1);
+}
+
+Status VoteWal::DeleteSegmentsBelow(uint64_t seq) {
+  KGOV_ASSIGN_OR_RETURN(std::vector<std::string> entries, fs::ListDir(dir_));
+  bool deleted = false;
+  for (const std::string& name : entries) {
+    std::optional<uint64_t> file_seq = ParseWalFileName(name);
+    if (file_seq.has_value() && *file_seq < seq && *file_seq != live_seq_) {
+      KGOV_RETURN_IF_ERROR(fs::RemoveFile(dir_ + "/" + name));
+      deleted = true;
+    }
+  }
+  if (deleted) KGOV_RETURN_IF_ERROR(fs::SyncDir(dir_));
+  return Status::OK();
+}
+
+StatusOr<WalReplayResult> ReplayWal(const std::string& dir, uint64_t min_seq,
+                                    const WalReplayOptions& options) {
+  KGOV_RETURN_IF_ERROR(options.Validate());
+  KGOV_ASSIGN_OR_RETURN(std::vector<std::string> entries, fs::ListDir(dir));
+  // ListDir sorts ascending and segment names zero-pad their seq, so the
+  // iteration order IS log order.
+  WalReplayResult result;
+  const WalMetrics& metrics = WalMetrics::Get();
+  for (const std::string& name : entries) {
+    std::optional<uint64_t> seq = ParseWalFileName(name);
+    if (!seq.has_value() || *seq < min_seq) continue;
+    const std::string path = dir + "/" + name;
+    KGOV_ASSIGN_OR_RETURN(std::string data, fs::ReadFileToString(path));
+    if (data.size() < sizeof(SegmentHeader)) {
+      // A crash between segment creation and the header sync can leave a
+      // short header; an empty-but-headered segment is the normal case
+      // right after a roll. Either way there are no records to recover.
+      continue;
+    }
+    SegmentHeader header;
+    std::memcpy(&header, data.data(), sizeof(header));
+    if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0 ||
+        header.version != kVersion || header.seq != *seq) {
+      KGOV_LOG(ERROR) << "WAL segment " << path
+                      << ": bad header; skipping segment";
+      ++result.corrupt_records;
+      metrics.corrupt_records->Increment();
+      continue;
+    }
+    ++result.segments_read;
+
+    size_t offset = sizeof(SegmentHeader);
+    while (offset < data.size()) {
+      RecordHeader rec;
+      const bool header_intact =
+          data.size() - offset >= sizeof(RecordHeader);
+      size_t payload_end = 0;
+      bool crc_ok = false;
+      if (header_intact) {
+        std::memcpy(&rec, data.data() + offset, sizeof(rec));
+        payload_end = offset + sizeof(RecordHeader) + rec.payload_len;
+        // Guard payload_len overflow before comparing against the size.
+        if (rec.payload_len <= data.size() &&
+            payload_end <= data.size()) {
+          const uint32_t crc = MaskCrc32c(Crc32c(
+              static_cast<const void*>(data.data() + offset +
+                                       sizeof(RecordHeader)),
+              rec.payload_len));
+          crc_ok = crc == rec.masked_crc;
+        }
+      }
+      if (!header_intact || payload_end > data.size() || !crc_ok) {
+        // Decide: torn tail (ends the file - the expected crash artifact)
+        // or mid-file corruption (bytes continue after the bad record).
+        const bool at_tail = !header_intact || payload_end >= data.size();
+        if (at_tail) {
+          KGOV_LOG(WARNING)
+              << "WAL segment " << path << ": torn final record at byte "
+              << offset << " (" << (data.size() - offset)
+              << " trailing bytes); tolerated";
+          ++result.torn_tails_truncated;
+          metrics.torn_tails->Increment();
+          if (options.truncate_torn_tail) {
+            Status truncated = fs::TruncateFile(path, offset);
+            if (!truncated.ok()) {
+              KGOV_LOG(WARNING) << "WAL segment " << path
+                                << ": torn-tail truncation failed: "
+                                << truncated.ToString();
+            }
+          }
+        } else {
+          KGOV_LOG(ERROR) << "WAL segment " << path
+                          << ": corrupt record at byte " << offset
+                          << "; skipping the rest of the segment";
+          ++result.corrupt_records;
+          metrics.corrupt_records->Increment();
+        }
+        break;
+      }
+
+      const std::string_view payload(data.data() + offset +
+                                         sizeof(RecordHeader),
+                                     rec.payload_len);
+      WalRecord record;
+      if (payload.empty() ||
+          (payload[0] != static_cast<char>(WalRecordType::kVote) &&
+           payload[0] != static_cast<char>(WalRecordType::kDeadLetter))) {
+        KGOV_LOG(ERROR) << "WAL segment " << path
+                        << ": unknown record type at byte " << offset
+                        << "; skipping the rest of the segment";
+        ++result.corrupt_records;
+        metrics.corrupt_records->Increment();
+        break;
+      }
+      record.type = static_cast<WalRecordType>(payload[0]);
+      size_t vote_offset = 1;
+      Status decoded =
+          votes::DecodeVote(payload, &vote_offset, &record.vote);
+      if (!decoded.ok() || vote_offset != payload.size()) {
+        KGOV_LOG(ERROR) << "WAL segment " << path
+                        << ": undecodable record at byte " << offset << " ("
+                        << (decoded.ok() ? std::string("trailing garbage")
+                                         : decoded.ToString())
+                        << "); skipping the rest of the segment";
+        ++result.corrupt_records;
+        metrics.corrupt_records->Increment();
+        break;
+      }
+      result.records.push_back(std::move(record));
+      offset = payload_end;
+    }
+  }
+  return result;
+}
+
+}  // namespace kgov::durability

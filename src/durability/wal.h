@@ -1,0 +1,154 @@
+// Write-ahead vote log: the other half of the durability story.
+//
+// Votes are the scarcest input in the system, so OnlineKgOptimizer logs
+// each one here (via votes::VoteLogSink) BEFORE acknowledging it. The log
+// is a directory of append-only segment files; each record carries its
+// own CRC so replay can tell a torn tail (the process died mid-append)
+// from genuine corruption mid-file:
+//
+//   segment file wal-<seq, 20 digits>.log:
+//     header  "KGOVWAL1" | u32 version | u32 reserved | u64 seq
+//     record* u32 payload_len | u32 masked_crc32c(payload) | payload
+//     payload u8 type (1 = vote accepted, 2 = dead-lettered) | vote bytes
+//                                                 (vote_wal_codec.h)
+//
+// Segment-roll + truncate-after-snapshot policy: DurabilityManager rolls
+// to a fresh segment at the START of a checkpoint, stamps the snapshot
+// with that segment's seq, and deletes the older segments only after the
+// snapshot has been atomically published - so at every instant the newest
+// valid snapshot plus the surviving segments reconstruct every
+// acknowledged vote (see docs/durability.md for the crash-window
+// analysis).
+
+#ifndef KGOV_DURABILITY_WAL_H_
+#define KGOV_DURABILITY_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/fs.h"
+#include "common/status.h"
+#include "votes/vote.h"
+#include "votes/vote_log.h"
+
+namespace kgov::durability {
+
+/// What a WAL record says happened to its vote.
+enum class WalRecordType : uint8_t {
+  /// The vote was acknowledged and entered the flush buffer.
+  kVote = 1,
+  /// The vote was abandoned into the dead-letter buffer.
+  kDeadLetter = 2,
+};
+
+struct VoteWalOptions {
+  /// fdatasync after every append. The durable default; group-commit
+  /// callers that batch acknowledgements may disable it and call Sync()
+  /// themselves (a crash then loses at most the unsynced suffix).
+  bool sync_each_append = true;
+  /// A segment exceeding this size rolls to a fresh one on the next
+  /// append (bounds replay work between checkpoints).
+  uint64_t max_segment_bytes = 64ull << 20;
+
+  Status Validate() const;
+};
+
+/// Append side of the log. Single-writer (called from the optimizer's
+/// write thread); not thread-safe. Move-only.
+class VoteWal final : public votes::VoteLogSink {
+ public:
+  /// Opens the log in `dir` (creating the directory if needed), resuming
+  /// after the highest existing segment: existing segments are never
+  /// reopened for writing, a fresh segment at max_seq + 1 is started.
+  static StatusOr<VoteWal> Open(std::string dir, VoteWalOptions options);
+
+  VoteWal(VoteWal&&) noexcept = default;
+  VoteWal& operator=(VoteWal&&) noexcept = default;
+
+  /// VoteLogSink: appends a kVote / kDeadLetter record. With
+  /// sync_each_append the record is on disk when this returns OK; a
+  /// non-OK return means the vote must not be acknowledged. Fault sites:
+  /// kFsWriteFailure, kFsyncFailure, and the kCrashMidWalAppend kill
+  /// point (which dies after writing a record PREFIX - a torn tail).
+  Status AppendVote(const votes::Vote& vote) override;
+  Status AppendDeadLetter(const votes::Vote& vote) override;
+
+  /// Durability barrier for sync_each_append == false callers.
+  Status Sync();
+
+  /// Syncs and closes the live segment and starts a fresh one at
+  /// live_seq() + 1. The checkpoint protocol calls this first, so every
+  /// record the new snapshot does NOT capture lands at seq >= the
+  /// snapshot's wal_seq stamp.
+  Status RollSegment();
+
+  /// Deletes every segment with seq < `seq` (the truncate-after-snapshot
+  /// step). Never touches the live segment.
+  Status DeleteSegmentsBelow(uint64_t seq);
+
+  /// Sequence number of the live (currently appended) segment.
+  uint64_t live_seq() const { return live_seq_; }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  VoteWal(std::string dir, VoteWalOptions options)
+      : dir_(std::move(dir)), options_(options) {}
+
+  Status Append(WalRecordType type, const votes::Vote& vote);
+  Status StartSegment(uint64_t seq);
+
+  std::string dir_;
+  VoteWalOptions options_;
+  uint64_t live_seq_ = 0;
+  // unique_ptr because AppendFile has no default construction; null only
+  // after a StartSegment failure.
+  std::unique_ptr<fs::AppendFile> segment_;
+};
+
+/// Canonical segment file name ("wal-00000000000000000007.log").
+std::string WalFileName(uint64_t seq);
+
+/// Parses a WalFileName back to its seq; nullopt for anything else.
+std::optional<uint64_t> ParseWalFileName(std::string_view name);
+
+/// One replayed record.
+struct WalRecord {
+  WalRecordType type = WalRecordType::kVote;
+  votes::Vote vote;
+};
+
+struct WalReplayOptions {
+  /// Physically truncate a torn final record off its segment, so the next
+  /// process sees a clean tail. Replay tolerates the torn record either
+  /// way; truncation just keeps the loud log from repeating forever.
+  bool truncate_torn_tail = true;
+
+  Status Validate() const;
+};
+
+struct WalReplayResult {
+  /// Every intact record of every replayed segment, in log order.
+  std::vector<WalRecord> records;
+  size_t segments_read = 0;
+  /// Torn final records encountered (0 or 1 per segment).
+  size_t torn_tails_truncated = 0;
+  /// Mid-segment records whose CRC failed; replay stops reading that
+  /// segment (loudly) and continues with the next.
+  size_t corrupt_records = 0;
+};
+
+/// Reads every segment in `dir` with seq >= `min_seq` in sequence order.
+/// A truncated or CRC-failing FINAL record is the expected crash artifact
+/// and is tolerated (and optionally truncated away); a CRC failure with
+/// intact bytes after it means real corruption - the rest of that segment
+/// is skipped with an ERROR log and counted in corrupt_records.
+StatusOr<WalReplayResult> ReplayWal(const std::string& dir, uint64_t min_seq,
+                                    const WalReplayOptions& options);
+
+}  // namespace kgov::durability
+
+#endif  // KGOV_DURABILITY_WAL_H_

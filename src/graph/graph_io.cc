@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -57,15 +58,35 @@ Result<WeightedDigraph> LoadEdgeList(const std::string& path,
       return Status::IoError("malformed edge at " + path + ":" +
                              std::to_string(line_no));
     }
-    fields >> weight;  // optional third column
-    if (fields.fail() && !fields.eof()) {
-      return Status::InvalidArgument("unparseable edge weight at " + path +
+    // Ids past the NodeId range would otherwise truncate silently in the
+    // narrowing cast below and alias an unrelated node.
+    if (from >= static_cast<long long>(kInvalidNode) ||
+        to >= static_cast<long long>(kInvalidNode)) {
+      return Status::InvalidArgument("node id out of range at " + path +
                                      ":" + std::to_string(line_no));
+    }
+    // Optional third column. Parsed via strtod rather than the stream so
+    // an overflowing literal ("1e400") surfaces as +-inf instead of
+    // setting fail+eof together, which the stream API cannot distinguish
+    // from a missing column.
+    std::string weight_token;
+    if (fields >> weight_token) {
+      char* end = nullptr;
+      weight = std::strtod(weight_token.c_str(), &end);
+      if (end != weight_token.c_str() + weight_token.size()) {
+        return Status::InvalidArgument("unparseable edge weight at " +
+                                       path + ":" + std::to_string(line_no));
+      }
     }
     if (!std::isfinite(weight) || weight < 0.0) {
       return Status::InvalidArgument(
           "edge weight must be finite and non-negative at " + path + ":" +
           std::to_string(line_no));
+    }
+    std::string rest;
+    if (fields >> rest) {
+      return Status::InvalidArgument("trailing garbage '" + rest + "' at " +
+                                     path + ":" + std::to_string(line_no));
     }
     raw.push_back(RawEdge{static_cast<NodeId>(from),
                           static_cast<NodeId>(to), weight});

@@ -21,7 +21,11 @@ Status SaveEdgeList(const WeightedDigraph& graph, const std::string& path);
 
 /// Loads an edge list. Node ids are taken verbatim (the graph is sized to
 /// the max id + 1); missing weights default to `default_weight`; duplicate
-/// edges keep the first occurrence.
+/// edges keep the first occurrence. Malformed input fails loudly with the
+/// offending line number: negative or non-numeric ids, ids past the
+/// NodeId range, NaN/infinite/negative weights, and trailing garbage
+/// after the weight column are all rejected rather than folded into the
+/// graph.
 Result<WeightedDigraph> LoadEdgeList(const std::string& path,
                                      double default_weight = 1.0);
 

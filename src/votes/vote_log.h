@@ -1,0 +1,43 @@
+// VoteLogSink: the durable-acknowledgement hook between the online
+// optimizer and the write-ahead vote log.
+//
+// User votes are the scarcest input in the system (the paper's whole
+// evaluation rests on a handful of human judges), so an acknowledged vote
+// must never exist only in process memory. core::OnlineKgOptimizer calls
+// AppendVote BEFORE buffering a vote - an append failure rejects the vote,
+// so "acknowledged" always implies "logged" - and AppendDeadLetter when a
+// vote is abandoned after its flush attempts are exhausted, so the
+// dead-letter buffer survives a crash too.
+//
+// The interface lives in votes/ (not durability/) so core can depend on
+// it without a dependency cycle; durability::VoteWal is the on-disk
+// implementation, and tests substitute in-memory fakes.
+
+#ifndef KGOV_VOTES_VOTE_LOG_H_
+#define KGOV_VOTES_VOTE_LOG_H_
+
+#include "common/status.h"
+#include "votes/vote.h"
+
+namespace kgov::votes {
+
+/// Where acknowledged votes are made durable. Implementations are called
+/// from the optimizer's single write thread; they need not be
+/// thread-safe.
+class VoteLogSink {
+ public:
+  virtual ~VoteLogSink() = default;
+
+  /// Records an incoming vote. Must return only after the record is as
+  /// durable as the implementation promises; a non-OK status means the
+  /// vote was NOT acknowledged and the caller must reject it.
+  virtual Status AppendVote(const Vote& vote) = 0;
+
+  /// Records that `vote` was moved to the dead-letter buffer (it will not
+  /// be retried, but it must never be silently dropped).
+  virtual Status AppendDeadLetter(const Vote& vote) = 0;
+};
+
+}  // namespace kgov::votes
+
+#endif  // KGOV_VOTES_VOTE_LOG_H_

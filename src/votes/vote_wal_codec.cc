@@ -1,0 +1,86 @@
+#include "votes/vote_wal_codec.h"
+
+#include <cstring>
+
+namespace kgov::votes {
+namespace {
+
+// Sanity bound on decoded list lengths: a vote's answer list is a top-k
+// page and its seed links a query's entity mentions; 1M of either means
+// the record is garbage that slipped past the CRC.
+constexpr uint32_t kMaxListLength = 1u << 20;
+
+template <typename T>
+void AppendRaw(std::string* out, T value) {
+  char bytes[sizeof(T)];
+  std::memcpy(bytes, &value, sizeof(T));
+  out->append(bytes, sizeof(T));
+}
+
+template <typename T>
+bool ReadRaw(std::string_view data, size_t* offset, T* out) {
+  if (data.size() - *offset < sizeof(T)) return false;
+  std::memcpy(out, data.data() + *offset, sizeof(T));
+  *offset += sizeof(T);
+  return true;
+}
+
+Status Truncated(size_t offset) {
+  return Status::IoError("vote record truncated at byte " +
+                         std::to_string(offset));
+}
+
+}  // namespace
+
+void EncodeVote(const Vote& vote, std::string* out) {
+  AppendRaw(out, vote.id);
+  AppendRaw(out, vote.weight);
+  AppendRaw(out, vote.best_answer);
+  AppendRaw(out, static_cast<uint32_t>(vote.answer_list.size()));
+  for (graph::NodeId node : vote.answer_list) AppendRaw(out, node);
+  AppendRaw(out, static_cast<uint32_t>(vote.query.links.size()));
+  for (const auto& [node, weight] : vote.query.links) {
+    AppendRaw(out, node);
+    AppendRaw(out, weight);
+  }
+}
+
+Status DecodeVote(std::string_view data, size_t* offset, Vote* out) {
+  *out = Vote{};
+  if (*offset > data.size()) return Truncated(*offset);
+  if (!ReadRaw(data, offset, &out->id) ||
+      !ReadRaw(data, offset, &out->weight) ||
+      !ReadRaw(data, offset, &out->best_answer)) {
+    return Truncated(*offset);
+  }
+  uint32_t n_answers = 0;
+  if (!ReadRaw(data, offset, &n_answers)) return Truncated(*offset);
+  if (n_answers > kMaxListLength) {
+    return Status::InvalidArgument("vote answer-list length " +
+                                   std::to_string(n_answers) +
+                                   " is implausible; record corrupted");
+  }
+  out->answer_list.resize(n_answers);
+  for (uint32_t i = 0; i < n_answers; ++i) {
+    if (!ReadRaw(data, offset, &out->answer_list[i])) {
+      return Truncated(*offset);
+    }
+  }
+  uint32_t n_links = 0;
+  if (!ReadRaw(data, offset, &n_links)) return Truncated(*offset);
+  if (n_links > kMaxListLength) {
+    return Status::InvalidArgument("vote seed-link length " +
+                                   std::to_string(n_links) +
+                                   " is implausible; record corrupted");
+  }
+  out->query.links.resize(n_links);
+  for (uint32_t i = 0; i < n_links; ++i) {
+    if (!ReadRaw(data, offset, &out->query.links[i].first) ||
+        !ReadRaw(data, offset, &out->query.links[i].second)) {
+      return Truncated(*offset);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace kgov::votes

@@ -1,0 +1,39 @@
+// Binary vote encoding for the write-ahead log and snapshot aux sections.
+//
+// The text format in votes_io.h is the interchange format (human-readable,
+// diff-able); the WAL needs something cheaper and framing-friendly. This
+// codec is a flat little-endian layout with explicit counts:
+//
+//   u32 id | f64 weight | u32 best_answer |
+//   u32 n_answers | u32 answer[n_answers] |
+//   u32 n_links   | (u32 node, f64 weight)[n_links]
+//
+// Framing (lengths, CRCs, record types) is the caller's job (see
+// durability/wal.h and docs/file_formats.md); DecodeVote only needs the
+// byte range to start at a record boundary. Encodings are host-endian -
+// WAL segments and snapshots are per-host recovery artifacts, not
+// portable interchange files.
+
+#ifndef KGOV_VOTES_VOTE_WAL_CODEC_H_
+#define KGOV_VOTES_VOTE_WAL_CODEC_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "votes/vote.h"
+
+namespace kgov::votes {
+
+/// Appends the binary encoding of `vote` to `*out`.
+void EncodeVote(const Vote& vote, std::string* out);
+
+/// Decodes one vote starting at `*offset` of `data`, advancing `*offset`
+/// past it. Returns IoError on truncation and InvalidArgument on
+/// structurally impossible counts (a corrupted record that happens to
+/// pass its CRC must still not allocate unbounded memory).
+Status DecodeVote(std::string_view data, size_t* offset, Vote* out);
+
+}  // namespace kgov::votes
+
+#endif  // KGOV_VOTES_VOTE_WAL_CODEC_H_

@@ -18,6 +18,7 @@ class CorpusIoTest : public ::testing::Test {
   void WriteFile(const std::string& content) {
     std::ofstream out(path_);
     out << content;
+    ASSERT_TRUE(out.good());
   }
 
   std::string path_;

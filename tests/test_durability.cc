@@ -1,0 +1,730 @@
+// Durability subsystem tests: CRC vectors, the vote codec, atomic file
+// publish, snapshot round trips (including mmap zero-copy serving and
+// corruption detection), WAL append/replay/torn-tail repair, and the full
+// checkpoint -> crash -> Recover loop with bitwise-identical rankings.
+// The process-kill crash tests live in test_durability_kill.cc.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/crc32.h"
+#include "common/fault_injection.h"
+#include "common/fs.h"
+#include "durability/manager.h"
+#include "durability/snapshot.h"
+#include "durability/wal.h"
+#include "core/online_optimizer.h"
+#include "graph/csr.h"
+#include "graph/graph.h"
+#include "graph/validate.h"
+#include "ppr/eipd_engine.h"
+#include "serve/query_engine.h"
+#include "votes/vote_wal_codec.h"
+
+namespace kgov::durability {
+namespace {
+
+// ------------------------------ fixtures ---------------------------------
+
+graph::WeightedDigraph MakeFixture() {
+  graph::WeightedDigraph g(5);
+  EXPECT_TRUE(g.AddEdge(0, 1, 0.6).ok());
+  EXPECT_TRUE(g.AddEdge(0, 2, 0.4).ok());
+  EXPECT_TRUE(g.AddEdge(1, 3, 1.0).ok());
+  EXPECT_TRUE(g.AddEdge(2, 4, 1.0).ok());
+  return g;
+}
+
+votes::Vote MakeVote(uint32_t id, graph::NodeId best = 4) {
+  votes::Vote vote;
+  vote.id = id;
+  vote.weight = 1.5;
+  vote.query.links.emplace_back(0, 1.0);
+  vote.answer_list = {3, 4};
+  vote.best_answer = best;
+  return vote;
+}
+
+core::OnlineOptimizerOptions SmallOptions(size_t batch) {
+  core::OnlineOptimizerOptions options;
+  options.batch_size = batch;
+  options.optimizer.encoder.symbolic.eipd.max_length = 4;
+  options.optimizer.apply_judgment_filter = false;
+  options.strategy = core::FlushStrategy::kMultiVote;
+  return options;
+}
+
+class DurabilityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "kgov_durability_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+    ASSERT_TRUE(fs::CreateDirs(dir_).ok());
+  }
+  void TearDown() override {
+    FaultInjector::Global().Reset();
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::string dir_;
+};
+
+// -------------------------------- CRC ------------------------------------
+
+TEST(Crc32Test, MatchesKnownCastagnoliVector) {
+  // The canonical CRC-32C check vector (iSCSI, RFC 3720 appendix B.4).
+  EXPECT_EQ(Crc32c("123456789"), 0xE3069283u);
+  EXPECT_EQ(Crc32c(""), 0u);
+}
+
+TEST(Crc32Test, SeedChainsIncrementalComputation) {
+  const std::string data = "the quick brown fox";
+  uint32_t whole = Crc32c(data);
+  uint32_t chained = Crc32c(data.substr(4), Crc32c(data.substr(0, 4)));
+  EXPECT_EQ(whole, chained);
+}
+
+TEST(Crc32Test, MaskIsNotIdentityAndIsDeterministic) {
+  const uint32_t crc = Crc32c("123456789");
+  EXPECT_NE(MaskCrc32c(crc), crc);
+  EXPECT_EQ(MaskCrc32c(crc), MaskCrc32c(crc));
+}
+
+// ------------------------------ vote codec -------------------------------
+
+TEST(VoteWalCodecTest, RoundTripsAllFields) {
+  votes::Vote vote = MakeVote(42);
+  vote.query.links.emplace_back(2, 0.25);
+  std::string encoded;
+  votes::EncodeVote(vote, &encoded);
+  size_t offset = 0;
+  votes::Vote decoded;
+  ASSERT_TRUE(votes::DecodeVote(encoded, &offset, &decoded).ok());
+  EXPECT_EQ(offset, encoded.size());
+  EXPECT_EQ(decoded.id, vote.id);
+  EXPECT_EQ(decoded.weight, vote.weight);
+  EXPECT_EQ(decoded.best_answer, vote.best_answer);
+  EXPECT_EQ(decoded.answer_list, vote.answer_list);
+  EXPECT_EQ(decoded.query.links, vote.query.links);
+}
+
+TEST(VoteWalCodecTest, EveryTruncationFailsWithByteOffset) {
+  std::string encoded;
+  votes::EncodeVote(MakeVote(7), &encoded);
+  for (size_t cut = 0; cut < encoded.size(); ++cut) {
+    size_t offset = 0;
+    votes::Vote decoded;
+    Status status =
+        votes::DecodeVote(encoded.substr(0, cut), &offset, &decoded);
+    EXPECT_FALSE(status.ok()) << "cut at " << cut;
+  }
+}
+
+TEST(VoteWalCodecTest, ImplausibleListLengthRejectedNotAllocated) {
+  // id + weight + best_answer, then a poisoned answer count.
+  std::string encoded;
+  votes::Vote vote = MakeVote(1);
+  vote.answer_list.clear();
+  vote.query.links.clear();
+  votes::EncodeVote(vote, &encoded);
+  const uint32_t poisoned = 0x7FFFFFFF;
+  std::memcpy(encoded.data() + 16, &poisoned, sizeof(poisoned));
+  size_t offset = 0;
+  votes::Vote decoded;
+  Status status = votes::DecodeVote(encoded, &offset, &decoded);
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsInvalidArgument());
+}
+
+// ----------------------------- fs primitives -----------------------------
+
+TEST_F(DurabilityTest, WriteFileAtomicPublishesAndOverwrites) {
+  const std::string path = dir_ + "/file.bin";
+  ASSERT_TRUE(fs::WriteFileAtomic(path, "one").ok());
+  StatusOr<std::string> read = fs::ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), "one");
+  ASSERT_TRUE(fs::WriteFileAtomic(path, "two").ok());
+  EXPECT_EQ(fs::ReadFileToString(path).value(), "two");
+}
+
+TEST_F(DurabilityTest, WriteFileAtomicFaultLeavesOldContentIntact) {
+  const std::string path = dir_ + "/file.bin";
+  ASSERT_TRUE(fs::WriteFileAtomic(path, "old").ok());
+  {
+    ScopedFault fault(FaultSite::kFsWriteFailure, {.probability = 1.0});
+    Status failed = fs::WriteFileAtomic(path, "new");
+    ASSERT_FALSE(failed.ok());
+  }
+  // The previous content survives and no temp file leaks.
+  EXPECT_EQ(fs::ReadFileToString(path).value(), "old");
+  StatusOr<std::vector<std::string>> entries = fs::ListDir(dir_);
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries.value().size(), 1u);
+}
+
+TEST_F(DurabilityTest, FsyncFaultSurfacesAsIoError) {
+  ScopedFault fault(FaultSite::kFsyncFailure, {.probability = 1.0});
+  Status failed = fs::WriteFileAtomic(dir_ + "/f", "data");
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.code(), StatusCode::kIoError);
+}
+
+TEST_F(DurabilityTest, AppendFileTracksSizeAndAppends) {
+  const std::string path = dir_ + "/append.log";
+  StatusOr<fs::AppendFile> opened = fs::AppendFile::Open(path);
+  ASSERT_TRUE(opened.ok());
+  fs::AppendFile file = std::move(opened.value());
+  ASSERT_TRUE(file.Append("hello ").ok());
+  ASSERT_TRUE(file.Append("world").ok());
+  EXPECT_EQ(file.size(), 11u);
+  ASSERT_TRUE(file.Sync().ok());
+  ASSERT_TRUE(file.Close().ok());
+  // Reopening resumes at the existing size.
+  StatusOr<fs::AppendFile> reopened = fs::AppendFile::Open(path);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened.value().size(), 11u);
+  EXPECT_EQ(fs::ReadFileToString(path).value(), "hello world");
+}
+
+// ------------------------------- snapshot --------------------------------
+
+TEST(SnapshotNameTest, FileNameRoundTripsAndRejectsGarbage) {
+  EXPECT_EQ(ParseSnapshotFileName(SnapshotFileName(0)), 0u);
+  EXPECT_EQ(ParseSnapshotFileName(SnapshotFileName(42)), 42u);
+  EXPECT_FALSE(ParseSnapshotFileName("snapshot-42.kgs").has_value());
+  EXPECT_FALSE(ParseSnapshotFileName("wal-00000000000000000001.log")
+                   .has_value());
+  EXPECT_EQ(ParseWalFileName(WalFileName(7)), 7u);
+  EXPECT_FALSE(ParseWalFileName("wal-7.log").has_value());
+}
+
+TEST_F(DurabilityTest, SnapshotRoundTripsGraphMetaAndVoteBuffers) {
+  graph::WeightedDigraph g = MakeFixture();
+  const graph::CsrSnapshot csr(g);
+  SnapshotMeta meta;
+  meta.epoch = 9;
+  meta.num_entities = 3;
+  meta.num_documents = 2;
+  meta.wal_seq = 4;
+  meta.pending = {MakeVote(1), MakeVote(2, 3)};
+  meta.dead_letters = {MakeVote(3)};
+  const std::string path = dir_ + "/" + SnapshotFileName(meta.epoch);
+  ASSERT_TRUE(WriteSnapshot(path, csr.View(), meta).ok());
+
+  StatusOr<MappedSnapshot> loaded = MappedSnapshot::Load(path, {});
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const MappedSnapshot& snapshot = loaded.value();
+  EXPECT_EQ(snapshot.epoch(), 9u);
+  EXPECT_EQ(snapshot.num_entities(), 3u);
+  EXPECT_EQ(snapshot.num_documents(), 2u);
+  EXPECT_EQ(snapshot.wal_seq(), 4u);
+  ASSERT_EQ(snapshot.pending().size(), 2u);
+  EXPECT_EQ(snapshot.pending()[1].best_answer, 3u);
+  ASSERT_EQ(snapshot.dead_letters().size(), 1u);
+  EXPECT_EQ(snapshot.dead_letters()[0].id, 3u);
+
+  // The mmap'd view is structurally valid and identical to the source.
+  graph::GraphView view = snapshot.View();
+  ASSERT_TRUE(graph::ValidateCsr(view).ok());
+  ASSERT_EQ(view.NumNodes(), csr.NumNodes());
+  ASSERT_EQ(view.NumEdges(), csr.NumEdges());
+  for (graph::NodeId node = 0; node < view.NumNodes(); ++node) {
+    ASSERT_EQ(view.OutDegree(node), csr.OutDegree(node));
+    const auto* got = view.begin(node);
+    const auto* want = csr.begin(node);
+    for (size_t i = 0; i < view.OutDegree(node); ++i) {
+      EXPECT_EQ(got[i].to, want[i].to);
+      EXPECT_EQ(got[i].weight, want[i].weight);  // bitwise (no arithmetic)
+    }
+  }
+}
+
+TEST_F(DurabilityTest, SnapshotServesBitwiseIdenticalRankingsAfterReload) {
+  graph::WeightedDigraph g = MakeFixture();
+  const graph::CsrSnapshot csr(g);
+  votes::Vote probe = MakeVote(0);
+  ppr::EipdEngine original(csr.View(), {.max_length = 4});
+  StatusOr<std::vector<double>> want =
+      original.Scores(probe.query, probe.answer_list);
+  ASSERT_TRUE(want.ok());
+
+  SnapshotMeta meta;
+  meta.epoch = 1;
+  const std::string path = dir_ + "/" + SnapshotFileName(1);
+  ASSERT_TRUE(WriteSnapshot(path, csr.View(), meta).ok());
+  StatusOr<MappedSnapshot> loaded = MappedSnapshot::Load(path, {});
+  ASSERT_TRUE(loaded.ok());
+
+  // Zero-copy serving straight off the mapping...
+  ppr::EipdEngine mapped(loaded.value().View(), {.max_length = 4});
+  StatusOr<std::vector<double>> got =
+      mapped.Scores(probe.query, probe.answer_list);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), want.value());  // bitwise
+
+  // ...and through the mutable-graph reconstruction (the recovery path):
+  // CSR row order is preserved, so the propagation order - and therefore
+  // every ranking bit - is too.
+  graph::WeightedDigraph rebuilt = loaded.value().ToWeightedDigraph();
+  const graph::CsrSnapshot rebuilt_csr(rebuilt);
+  ppr::EipdEngine recovered(rebuilt_csr.View(), {.max_length = 4});
+  StatusOr<std::vector<double>> after =
+      recovered.Scores(probe.query, probe.answer_list);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value(), want.value());  // bitwise
+}
+
+TEST_F(DurabilityTest, CorruptedSnapshotBodyIsDetected) {
+  graph::WeightedDigraph g = MakeFixture();
+  const graph::CsrSnapshot csr(g);
+  SnapshotMeta meta;
+  meta.epoch = 1;
+  std::string bytes = EncodeSnapshot(csr.View(), meta);
+  bytes[200] ^= 0x01;  // flip one bit in the offsets section
+  const std::string path = dir_ + "/" + SnapshotFileName(1);
+  ASSERT_TRUE(fs::WriteFileAtomic(path, bytes).ok());
+  StatusOr<MappedSnapshot> loaded = MappedSnapshot::Load(path, {});
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsInvalidArgument());
+  EXPECT_NE(loaded.status().message().find("checksum"), std::string::npos);
+}
+
+TEST_F(DurabilityTest, CorruptedSnapshotHeaderIsDetectedEvenUnverified) {
+  graph::WeightedDigraph g = MakeFixture();
+  const graph::CsrSnapshot csr(g);
+  SnapshotMeta meta;
+  meta.epoch = 1;
+  std::string bytes = EncodeSnapshot(csr.View(), meta);
+  bytes[16] ^= 0x40;  // flip a bit inside the header's epoch field
+  const std::string path = dir_ + "/" + SnapshotFileName(1);
+  ASSERT_TRUE(fs::WriteFileAtomic(path, bytes).ok());
+  SnapshotLoadOptions no_body;
+  no_body.verify_body_checksum = false;
+  StatusOr<MappedSnapshot> loaded = MappedSnapshot::Load(path, no_body);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsInvalidArgument());
+}
+
+TEST_F(DurabilityTest, TruncatedSnapshotIsDetected) {
+  graph::WeightedDigraph g = MakeFixture();
+  const graph::CsrSnapshot csr(g);
+  SnapshotMeta meta;
+  meta.epoch = 1;
+  std::string bytes = EncodeSnapshot(csr.View(), meta);
+  const std::string path = dir_ + "/" + SnapshotFileName(1);
+  ASSERT_TRUE(
+      fs::WriteFileAtomic(path, bytes.substr(0, bytes.size() - 9)).ok());
+  EXPECT_FALSE(MappedSnapshot::Load(path, {}).ok());
+  ASSERT_TRUE(fs::WriteFileAtomic(path, bytes.substr(0, 40)).ok());
+  EXPECT_FALSE(MappedSnapshot::Load(path, {}).ok());
+}
+
+TEST_F(DurabilityTest, EmptyGraphSnapshotRoundTrips) {
+  graph::WeightedDigraph empty;
+  const graph::CsrSnapshot csr(empty);
+  const std::string path = dir_ + "/" + SnapshotFileName(0);
+  ASSERT_TRUE(WriteSnapshot(path, csr.View(), {}).ok());
+  StatusOr<MappedSnapshot> loaded = MappedSnapshot::Load(path, {});
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().View().NumNodes(), 0u);
+  EXPECT_EQ(loaded.value().ToWeightedDigraph().NumNodes(), 0u);
+}
+
+// --------------------------------- WAL -----------------------------------
+
+TEST_F(DurabilityTest, WalAppendsReplayInOrderAcrossSegments) {
+  {
+    StatusOr<VoteWal> opened = VoteWal::Open(dir_, {});
+    ASSERT_TRUE(opened.ok());
+    VoteWal wal = std::move(opened.value());
+    ASSERT_TRUE(wal.AppendVote(MakeVote(1)).ok());
+    ASSERT_TRUE(wal.AppendVote(MakeVote(2)).ok());
+    ASSERT_TRUE(wal.RollSegment().ok());
+    ASSERT_TRUE(wal.AppendDeadLetter(MakeVote(3)).ok());
+  }
+  StatusOr<WalReplayResult> replayed = ReplayWal(dir_, 0, {});
+  ASSERT_TRUE(replayed.ok());
+  const WalReplayResult& result = replayed.value();
+  EXPECT_EQ(result.segments_read, 2u);
+  EXPECT_EQ(result.torn_tails_truncated, 0u);
+  EXPECT_EQ(result.corrupt_records, 0u);
+  ASSERT_EQ(result.records.size(), 3u);
+  EXPECT_EQ(result.records[0].vote.id, 1u);
+  EXPECT_EQ(result.records[0].type, WalRecordType::kVote);
+  EXPECT_EQ(result.records[2].vote.id, 3u);
+  EXPECT_EQ(result.records[2].type, WalRecordType::kDeadLetter);
+}
+
+TEST_F(DurabilityTest, WalReopenNeverAppendsToAnExistingSegment) {
+  uint64_t first_seq = 0;
+  {
+    StatusOr<VoteWal> opened = VoteWal::Open(dir_, {});
+    ASSERT_TRUE(opened.ok());
+    first_seq = opened.value().live_seq();
+    ASSERT_TRUE(opened.value().AppendVote(MakeVote(1)).ok());
+  }
+  StatusOr<VoteWal> reopened = VoteWal::Open(dir_, {});
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_GT(reopened.value().live_seq(), first_seq);
+  ASSERT_TRUE(reopened.value().AppendVote(MakeVote(2)).ok());
+  StatusOr<WalReplayResult> replayed = ReplayWal(dir_, 0, {});
+  ASSERT_TRUE(replayed.ok());
+  ASSERT_EQ(replayed.value().records.size(), 2u);
+  EXPECT_EQ(replayed.value().records[1].vote.id, 2u);
+}
+
+TEST_F(DurabilityTest, TornTailIsToleratedAndTruncated) {
+  std::string segment_path;
+  uint64_t seq = 0;
+  {
+    StatusOr<VoteWal> opened = VoteWal::Open(dir_, {});
+    ASSERT_TRUE(opened.ok());
+    VoteWal wal = std::move(opened.value());
+    seq = wal.live_seq();
+    ASSERT_TRUE(wal.AppendVote(MakeVote(1)).ok());
+    ASSERT_TRUE(wal.AppendVote(MakeVote(2)).ok());
+    segment_path = dir_ + "/" + WalFileName(seq);
+  }
+  // Tear the final record in half, as a crash mid-append would.
+  StatusOr<int64_t> size = fs::FileSize(segment_path);
+  ASSERT_TRUE(size.ok());
+  StatusOr<std::string> data = fs::ReadFileToString(segment_path);
+  ASSERT_TRUE(data.ok());
+  ASSERT_TRUE(
+      fs::TruncateFile(segment_path, size.value() - 11).ok());
+
+  StatusOr<WalReplayResult> replayed = ReplayWal(dir_, 0, {});
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(replayed.value().records.size(), 1u);
+  EXPECT_EQ(replayed.value().torn_tails_truncated, 1u);
+  EXPECT_EQ(replayed.value().corrupt_records, 0u);
+
+  // The default options physically truncated the torn record, so a second
+  // replay sees a clean segment.
+  StatusOr<WalReplayResult> again = ReplayWal(dir_, 0, {});
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().records.size(), 1u);
+  EXPECT_EQ(again.value().torn_tails_truncated, 0u);
+}
+
+TEST_F(DurabilityTest, MidSegmentCorruptionStopsThatSegmentLoudly) {
+  std::string segment_path;
+  {
+    StatusOr<VoteWal> opened = VoteWal::Open(dir_, {});
+    ASSERT_TRUE(opened.ok());
+    VoteWal wal = std::move(opened.value());
+    ASSERT_TRUE(wal.AppendVote(MakeVote(1)).ok());
+    ASSERT_TRUE(wal.AppendVote(MakeVote(2)).ok());
+    ASSERT_TRUE(wal.AppendVote(MakeVote(3)).ok());
+    segment_path = dir_ + "/" + WalFileName(wal.live_seq());
+  }
+  StatusOr<std::string> data = fs::ReadFileToString(segment_path);
+  ASSERT_TRUE(data.ok());
+  std::string bytes = data.value();
+  // Flip a payload byte of the SECOND record (records are equal-sized
+  // here; the second starts one record past the segment header).
+  const size_t record_size = (bytes.size() - 24) / 3;
+  bytes[24 + record_size + 10] ^= 0x01;
+  ASSERT_TRUE(fs::WriteFileAtomic(segment_path, bytes).ok());
+
+  StatusOr<WalReplayResult> replayed = ReplayWal(dir_, 0, {});
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(replayed.value().records.size(), 1u);  // only the first
+  EXPECT_EQ(replayed.value().corrupt_records, 1u);
+  EXPECT_EQ(replayed.value().torn_tails_truncated, 0u);
+}
+
+TEST_F(DurabilityTest, DeleteSegmentsBelowSparesLiveAndNewer) {
+  StatusOr<VoteWal> opened = VoteWal::Open(dir_, {});
+  ASSERT_TRUE(opened.ok());
+  VoteWal wal = std::move(opened.value());
+  ASSERT_TRUE(wal.AppendVote(MakeVote(1)).ok());
+  ASSERT_TRUE(wal.RollSegment().ok());
+  ASSERT_TRUE(wal.AppendVote(MakeVote(2)).ok());
+  ASSERT_TRUE(wal.RollSegment().ok());
+  const uint64_t live = wal.live_seq();
+  ASSERT_TRUE(wal.DeleteSegmentsBelow(live).ok());
+  StatusOr<std::vector<std::string>> entries = fs::ListDir(dir_);
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries.value().size(), 1u);
+  EXPECT_EQ(entries.value()[0], WalFileName(live));
+}
+
+TEST_F(DurabilityTest, WalAppendFaultMeansVoteNotAcknowledged) {
+  StatusOr<VoteWal> opened = VoteWal::Open(dir_, {});
+  ASSERT_TRUE(opened.ok());
+  VoteWal wal = std::move(opened.value());
+  {
+    ScopedFault fault(FaultSite::kFsWriteFailure, {.probability = 1.0});
+    EXPECT_FALSE(wal.AppendVote(MakeVote(1)).ok());
+  }
+  ASSERT_TRUE(wal.AppendVote(MakeVote(2)).ok());
+  StatusOr<WalReplayResult> replayed = ReplayWal(dir_, 0, {});
+  ASSERT_TRUE(replayed.ok());
+  // The failed append may have left a torn prefix; replay must still
+  // surface exactly the acknowledged vote.
+  ASSERT_EQ(replayed.value().records.size(), 1u);
+  EXPECT_EQ(replayed.value().records[0].vote.id, 2u);
+}
+
+// ----------------------- manager checkpoint/recover ----------------------
+
+TEST_F(DurabilityTest, RecoverOnEmptyDirectoryIsNotFound) {
+  StatusOr<RecoveredState> recovered = Recover(dir_, {});
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_TRUE(recovered.status().IsNotFound());
+}
+
+TEST_F(DurabilityTest, CheckpointRecoverRoundTripsFullOptimizerState) {
+  graph::WeightedDigraph g = MakeFixture();
+  DurabilityOptions options;
+  options.dir = dir_;
+  StatusOr<DurabilityManager> opened = DurabilityManager::Open(options);
+  ASSERT_TRUE(opened.ok());
+  DurabilityManager manager = std::move(opened.value());
+
+  core::OnlineKgOptimizer online(g, SmallOptions(100));
+  online.SetVoteLog(manager.wal());
+  // Two flushed batches evolve the graph to epoch 2...
+  for (uint32_t i = 0; i < 2; ++i) {
+    ASSERT_TRUE(online.AddVote(MakeVote(i)).ok());
+    ASSERT_TRUE(online.Flush().ok());
+  }
+  // ...and two acknowledged-but-unflushed votes sit in the buffer.
+  ASSERT_TRUE(online.AddVote(MakeVote(10)).ok());
+  ASSERT_TRUE(online.AddVote(MakeVote(11)).ok());
+  ASSERT_TRUE(manager.Checkpoint(online, 3, 2).ok());
+  // Votes acknowledged after the checkpoint land in the WAL tail.
+  ASSERT_TRUE(online.AddVote(MakeVote(12)).ok());
+
+  votes::Vote probe = MakeVote(0);
+  const core::ServingEpoch live_epoch = online.CurrentEpoch();
+  ppr::EipdEngine live(live_epoch.view(), {.max_length = 4});
+  StatusOr<std::vector<double>> want =
+      live.Scores(probe.query, probe.answer_list);
+  ASSERT_TRUE(want.ok());
+
+  StatusOr<RecoveredState> recovered_or = Recover(dir_, {});
+  ASSERT_TRUE(recovered_or.ok()) << recovered_or.status().ToString();
+  RecoveredState& state = recovered_or.value();
+  EXPECT_EQ(state.epoch, 2u);
+  EXPECT_EQ(state.num_entities, 3u);
+  EXPECT_EQ(state.num_documents, 2u);
+  EXPECT_EQ(state.wal_records_replayed, 1u);
+  ASSERT_EQ(state.pending.size(), 3u);
+  EXPECT_EQ(state.pending[0].id, 10u);
+  EXPECT_EQ(state.pending[1].id, 11u);
+  EXPECT_EQ(state.pending[2].id, 12u);
+  EXPECT_TRUE(state.dead_letters.empty());
+
+  // A restarted optimizer resumes at the recovered epoch and serves
+  // bitwise-identical rankings.
+  core::OnlineKgOptimizer restarted(state.graph, SmallOptions(100),
+                                    state.ToRestoredState());
+  EXPECT_EQ(restarted.CurrentEpochNumber(), 2u);
+  EXPECT_EQ(restarted.PendingVotes(), 3u);
+  const core::ServingEpoch resumed_epoch = restarted.CurrentEpoch();
+  ppr::EipdEngine resumed(resumed_epoch.view(), {.max_length = 4});
+  StatusOr<std::vector<double>> got =
+      resumed.Scores(probe.query, probe.answer_list);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), want.value());  // bitwise
+}
+
+TEST_F(DurabilityTest, RecoveredStateServesThroughQueryEngine) {
+  graph::WeightedDigraph g = MakeFixture();
+  DurabilityOptions options;
+  options.dir = dir_;
+  StatusOr<DurabilityManager> opened = DurabilityManager::Open(options);
+  ASSERT_TRUE(opened.ok());
+  DurabilityManager manager = std::move(opened.value());
+
+  core::OnlineKgOptimizer online(g, SmallOptions(100));
+  online.SetVoteLog(manager.wal());
+  ASSERT_TRUE(online.AddVote(MakeVote(0)).ok());
+  ASSERT_TRUE(online.Flush().ok());
+  ASSERT_TRUE(manager.Checkpoint(online, 3, 2).ok());
+
+  const std::vector<graph::NodeId> candidates = {3, 4};
+  serve::QueryEngineOptions serve_options;
+  serve_options.eipd.max_length = 4;
+  serve_options.num_threads = 2;
+  votes::Vote probe = MakeVote(0);
+
+  StatusOr<std::unique_ptr<serve::QueryEngine>> live_engine =
+      serve::QueryEngine::Create(&online, &candidates, serve_options);
+  ASSERT_TRUE(live_engine.ok());
+  StatusOr<serve::RankedAnswers> want =
+      live_engine.value()->Submit(probe.query);
+  ASSERT_TRUE(want.ok());
+
+  StatusOr<RecoveredState> state = Recover(dir_, {});
+  ASSERT_TRUE(state.ok());
+  core::OnlineKgOptimizer restarted(state.value().graph, SmallOptions(100),
+                                    state.value().ToRestoredState());
+  StatusOr<std::unique_ptr<serve::QueryEngine>> recovered_engine =
+      serve::QueryEngine::Create(&restarted, &candidates, serve_options);
+  ASSERT_TRUE(recovered_engine.ok());
+  StatusOr<serve::RankedAnswers> got =
+      recovered_engine.value()->Submit(probe.query);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().epoch, want.value().epoch);
+  ASSERT_EQ(got.value().answers.size(), want.value().answers.size());
+  for (size_t i = 0; i < got.value().answers.size(); ++i) {
+    EXPECT_EQ(got.value().answers[i].node, want.value().answers[i].node);
+    EXPECT_EQ(got.value().answers[i].score,
+              want.value().answers[i].score);  // bitwise
+  }
+}
+
+TEST_F(DurabilityTest, RecoverSkipsCorruptedSnapshotLoudlyAndFallsBack) {
+  graph::WeightedDigraph g = MakeFixture();
+  DurabilityOptions options;
+  options.dir = dir_;
+  StatusOr<DurabilityManager> opened = DurabilityManager::Open(options);
+  ASSERT_TRUE(opened.ok());
+  DurabilityManager manager = std::move(opened.value());
+
+  core::OnlineKgOptimizer online(g, SmallOptions(100));
+  online.SetVoteLog(manager.wal());
+  ASSERT_TRUE(online.AddVote(MakeVote(0)).ok());
+  ASSERT_TRUE(online.Flush().ok());
+  ASSERT_TRUE(manager.Checkpoint(online, 3, 2).ok());  // epoch 1
+  ASSERT_TRUE(online.AddVote(MakeVote(1)).ok());
+  ASSERT_TRUE(online.Flush().ok());
+  ASSERT_TRUE(manager.Checkpoint(online, 3, 2).ok());  // epoch 2
+
+  // Corrupt the newest snapshot; recovery must fall back to epoch 1 and
+  // report the skip.
+  const std::string newest = dir_ + "/" + SnapshotFileName(2);
+  StatusOr<std::string> bytes = fs::ReadFileToString(newest);
+  ASSERT_TRUE(bytes.ok());
+  std::string corrupted = bytes.value();
+  corrupted[140] ^= 0xFF;
+  ASSERT_TRUE(fs::WriteFileAtomic(newest, corrupted).ok());
+
+  StatusOr<RecoveredState> state = Recover(dir_, {});
+  ASSERT_TRUE(state.ok()) << state.status().ToString();
+  EXPECT_EQ(state.value().epoch, 1u);
+  EXPECT_EQ(state.value().snapshots_skipped, 1u);
+
+  // With every snapshot corrupted the failure is loud, not silent.
+  const std::string older = dir_ + "/" + SnapshotFileName(1);
+  StatusOr<std::string> older_bytes = fs::ReadFileToString(older);
+  ASSERT_TRUE(older_bytes.ok());
+  std::string also_corrupted = older_bytes.value();
+  also_corrupted[140] ^= 0xFF;
+  ASSERT_TRUE(fs::WriteFileAtomic(older, also_corrupted).ok());
+  StatusOr<RecoveredState> none = Recover(dir_, {});
+  ASSERT_FALSE(none.ok());
+  EXPECT_TRUE(none.status().IsNotFound());
+  EXPECT_NE(none.status().message().find("corrupt"), std::string::npos);
+}
+
+TEST_F(DurabilityTest, FailedCheckpointLeavesPreviousGenerationRecoverable) {
+  graph::WeightedDigraph g = MakeFixture();
+  DurabilityOptions options;
+  options.dir = dir_;
+  StatusOr<DurabilityManager> opened = DurabilityManager::Open(options);
+  ASSERT_TRUE(opened.ok());
+  DurabilityManager manager = std::move(opened.value());
+
+  core::OnlineKgOptimizer online(g, SmallOptions(100));
+  online.SetVoteLog(manager.wal());
+  ASSERT_TRUE(online.AddVote(MakeVote(0)).ok());
+  ASSERT_TRUE(online.Flush().ok());
+  ASSERT_TRUE(manager.Checkpoint(online, 3, 2).ok());
+  ASSERT_TRUE(online.AddVote(MakeVote(5)).ok());
+
+  {
+    // Fail the snapshot write of a second checkpoint attempt. skip_hits=1
+    // lets the segment-header write of the WAL roll inside Checkpoint
+    // succeed first, so the fault lands on the snapshot temp file.
+    ScopedFault fault(FaultSite::kFsWriteFailure,
+                      {.probability = 1.0, .skip_hits = 1});
+    Status failed = manager.Checkpoint(online, 3, 2);
+    ASSERT_FALSE(failed.ok()) << "fault did not land on the snapshot";
+  }
+
+  StatusOr<RecoveredState> state = Recover(dir_, {});
+  ASSERT_TRUE(state.ok()) << state.status().ToString();
+  EXPECT_EQ(state.value().epoch, 1u);
+  // The acknowledged vote survives via the WAL even though the second
+  // checkpoint never completed.
+  bool found = false;
+  for (const votes::Vote& vote : state.value().pending) {
+    if (vote.id == 5) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(DurabilityTest, CheckpointRetentionThinsOldSnapshots) {
+  graph::WeightedDigraph g = MakeFixture();
+  DurabilityOptions options;
+  options.dir = dir_;
+  options.snapshots_to_keep = 2;
+  StatusOr<DurabilityManager> opened = DurabilityManager::Open(options);
+  ASSERT_TRUE(opened.ok());
+  DurabilityManager manager = std::move(opened.value());
+
+  core::OnlineKgOptimizer online(g, SmallOptions(100));
+  online.SetVoteLog(manager.wal());
+  for (uint32_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(online.AddVote(MakeVote(i)).ok());
+    ASSERT_TRUE(online.Flush().ok());
+    ASSERT_TRUE(manager.Checkpoint(online, 3, 2).ok());
+  }
+  StatusOr<std::vector<std::string>> entries = fs::ListDir(dir_);
+  ASSERT_TRUE(entries.ok());
+  size_t snapshots = 0;
+  for (const std::string& name : entries.value()) {
+    if (ParseSnapshotFileName(name).has_value()) ++snapshots;
+  }
+  EXPECT_EQ(snapshots, 2u);
+  StatusOr<RecoveredState> state = Recover(dir_, {});
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(state.value().epoch, 4u);
+}
+
+TEST_F(DurabilityTest, ReplayedDeadLetterLeavesPendingList) {
+  // A vote checkpointed as pending and then dead-lettered must come back
+  // as a dead letter, not as a retryable pending vote.
+  DurabilityOptions options;
+  options.dir = dir_;
+  StatusOr<DurabilityManager> opened = DurabilityManager::Open(options);
+  ASSERT_TRUE(opened.ok());
+  DurabilityManager manager = std::move(opened.value());
+
+  graph::WeightedDigraph g = MakeFixture();
+  const graph::CsrSnapshot csr(g);
+  SnapshotMeta meta;
+  meta.epoch = 1;
+  meta.wal_seq = manager.wal()->live_seq();
+  meta.pending = {MakeVote(7), MakeVote(8)};
+  ASSERT_TRUE(WriteSnapshot(dir_ + "/" + SnapshotFileName(1), csr.View(),
+                            meta)
+                  .ok());
+  ASSERT_TRUE(manager.wal()->AppendDeadLetter(MakeVote(7)).ok());
+
+  StatusOr<RecoveredState> state = Recover(dir_, {});
+  ASSERT_TRUE(state.ok()) << state.status().ToString();
+  ASSERT_EQ(state.value().pending.size(), 1u);
+  EXPECT_EQ(state.value().pending[0].id, 8u);
+  ASSERT_EQ(state.value().dead_letters.size(), 1u);
+  EXPECT_EQ(state.value().dead_letters[0].id, 7u);
+}
+
+}  // namespace
+}  // namespace kgov::durability

@@ -1,0 +1,320 @@
+// Crash-recovery kill-tests: a forked child runs the online optimizer with
+// durability wired in, arms one process-kill fault site, and is genuinely
+// _Exit()ed mid-operation. The parent then recovers from the surviving
+// directory and asserts the two halves of the durability contract:
+//
+//   1. Served rankings after recovery are BITWISE identical to the last
+//      durable state the child recorded before dying.
+//   2. No acknowledged vote is lost: every vote whose AddVote() returned
+//      OK after the last applied flush is present in the recovered
+//      pending/dead-letter lists (votes torn by the crash were never
+//      acknowledged, so they may vanish).
+//
+// The child communicates its expectations through artifact files written
+// with fs::WriteFileAtomic (which fsyncs, so they survive std::_Exit).
+// Artifacts land under $KGOV_DURABILITY_ARTIFACT_DIR when set (CI uploads
+// that directory on failure) or the gtest temp dir otherwise.
+//
+// These are real fork()+waitpid() tests, not gtest death tests: the child
+// must run a multi-step workload and die at an injected point inside it,
+// and the parent needs the child's on-disk state afterwards.
+
+#include <gtest/gtest.h>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "common/fs.h"
+#include "core/online_optimizer.h"
+#include "durability/manager.h"
+#include "graph/graph.h"
+#include "ppr/eipd_engine.h"
+#include "votes/vote.h"
+
+namespace kgov::durability {
+namespace {
+
+// Child exit codes for setup failures, so a broken child is diagnosable
+// from the parent's failure message instead of looking like a wrong kill.
+enum ChildExit : int {
+  kChildSurvived = 64,  // the armed kill site never fired
+  kChildSetupFailed = 65,
+};
+
+graph::WeightedDigraph MakeFixture() {
+  graph::WeightedDigraph g(5);
+  (void)g.AddEdge(0, 1, 0.6);
+  (void)g.AddEdge(0, 2, 0.4);
+  (void)g.AddEdge(1, 3, 1.0);
+  (void)g.AddEdge(2, 4, 1.0);
+  return g;
+}
+
+votes::Vote MakeVote(uint32_t id) {
+  votes::Vote vote;
+  vote.id = id;
+  vote.weight = 1.5;
+  vote.query.links.emplace_back(0, 1.0);
+  vote.answer_list = {3, 4};
+  vote.best_answer = 4;
+  return vote;
+}
+
+core::OnlineOptimizerOptions LargeBatchOptions() {
+  core::OnlineOptimizerOptions options;
+  options.batch_size = 1000;  // no surprise auto-flushes
+  options.optimizer.encoder.symbolic.eipd.max_length = 4;
+  options.optimizer.apply_judgment_filter = false;
+  options.strategy = core::FlushStrategy::kMultiVote;
+  return options;
+}
+
+// Serializes EIPD scores for the fixture probe query with every mantissa
+// bit intact (hex-encoded IEEE 754 bits, one score per line).
+std::string RankingsFingerprint(const graph::GraphView& view) {
+  votes::Vote probe = MakeVote(0);
+  ppr::EipdEngine engine(view, {.max_length = 4});
+  StatusOr<std::vector<double>> scores =
+      engine.Scores(probe.query, probe.answer_list);
+  if (!scores.ok()) return "SCORES_FAILED: " + scores.status().ToString();
+  std::string out;
+  for (double score : scores.value()) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &score, sizeof(bits));
+    char line[32];
+    std::snprintf(line, sizeof(line), "%016" PRIx64 "\n", bits);
+    out += line;
+  }
+  return out;
+}
+
+std::string JoinIds(const std::vector<uint32_t>& ids) {
+  std::string out;
+  for (uint32_t id : ids) out += std::to_string(id) + "\n";
+  return out;
+}
+
+struct ChildPlan {
+  FaultSite kill_site;
+  // How many extra acknowledged-but-unflushed votes to add before the
+  // expectation artifacts are written (they must survive the crash).
+  int acked_after_checkpoint = 0;
+  // Flush + re-checkpoint after recording expectations, so the kill lands
+  // inside the SECOND checkpoint (mid-snapshot / mid-epoch-swap runs).
+  bool crash_in_checkpoint = false;
+  // For mid-epoch-swap: the second checkpoint itself becomes durable, so
+  // expectations are recorded against the post-flush state instead.
+  bool expect_second_epoch = false;
+};
+
+// Runs in the forked child. Only _Exit-style returns; no gtest machinery.
+// On the expected path this function never returns: the armed kill site
+// fires inside the final operation and the process dies with
+// kKillTestExitCode.
+[[noreturn]] void RunChild(const std::string& dir, const ChildPlan& plan,
+                          const std::string& artifact_dir) {
+  graph::WeightedDigraph g = MakeFixture();
+  DurabilityOptions options;
+  options.dir = dir;
+  StatusOr<DurabilityManager> opened = DurabilityManager::Open(options);
+  if (!opened.ok()) std::_Exit(kChildSetupFailed);
+  DurabilityManager manager = std::move(opened.value());
+
+  core::OnlineKgOptimizer online(g, LargeBatchOptions());
+  online.SetVoteLog(manager.wal());
+
+  // Reach a durable baseline: one applied vote, checkpointed at epoch 1.
+  if (!online.AddVote(MakeVote(0)).ok()) std::_Exit(kChildSetupFailed);
+  if (!online.Flush().ok()) std::_Exit(kChildSetupFailed);
+  if (!manager.Checkpoint(online, 3, 2).ok()) std::_Exit(kChildSetupFailed);
+
+  // Acknowledge votes that only the WAL tail (or the next snapshot's
+  // pending list) protects.
+  std::vector<uint32_t> acked;
+  for (int i = 0; i < plan.acked_after_checkpoint; ++i) {
+    const uint32_t id = 100 + static_cast<uint32_t>(i);
+    if (!online.AddVote(MakeVote(id)).ok()) std::_Exit(kChildSetupFailed);
+    acked.push_back(id);
+  }
+
+  uint64_t expected_epoch = online.CurrentEpochNumber();
+  if (plan.expect_second_epoch) {
+    // The epoch-swap run completes its snapshot before dying, so the
+    // post-flush state is the durable one.
+    if (!online.Flush().ok()) std::_Exit(kChildSetupFailed);
+    expected_epoch = online.CurrentEpochNumber();
+    acked.clear();  // flushed votes are now applied, not pending
+    const uint32_t id = 200;
+    if (!online.AddVote(MakeVote(id)).ok()) std::_Exit(kChildSetupFailed);
+    acked.push_back(id);
+  }
+
+  {
+    const core::ServingEpoch epoch = online.CurrentEpoch();
+    if (!fs::WriteFileAtomic(artifact_dir + "/expected_rankings.txt",
+                             RankingsFingerprint(epoch.view()))
+             .ok() ||
+        !fs::WriteFileAtomic(artifact_dir + "/expected_epoch.txt",
+                             std::to_string(expected_epoch))
+             .ok() ||
+        !fs::WriteFileAtomic(artifact_dir + "/acked_votes.txt",
+                             JoinIds(acked))
+             .ok()) {
+      std::_Exit(kChildSetupFailed);
+    }
+  }
+
+  FaultInjector::Global().Arm(plan.kill_site, {.probability = 1.0});
+  if (plan.crash_in_checkpoint) {
+    if (plan.expect_second_epoch) {
+      // Kill fires after the snapshot rename, before WAL/snapshot GC.
+      (void)manager.Checkpoint(online, 3, 2);
+    } else {
+      // Evolve the graph first so the dying snapshot targets a NEW epoch
+      // and cannot clobber the durable one even by name.
+      if (!online.Flush().ok()) std::_Exit(kChildSetupFailed);
+      (void)manager.Checkpoint(online, 3, 2);
+    }
+  } else {
+    // Kill fires inside the WAL append: a torn record on disk, and an
+    // AddVote that never returned - so vote 999 was never acknowledged.
+    (void)online.AddVote(MakeVote(999));
+  }
+  std::_Exit(kChildSurvived);
+}
+
+class DurabilityKillTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* env = std::getenv("KGOV_DURABILITY_ARTIFACT_DIR");
+    const std::string base = env != nullptr && *env != '\0'
+                                 ? std::string(env)
+                                 : ::testing::TempDir() + "kgov_kill";
+    const std::string name =
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    root_ = base + "/" + name;
+    std::error_code ec;
+    std::filesystem::remove_all(root_, ec);
+    ASSERT_TRUE(fs::CreateDirs(root_ + "/state").ok());
+  }
+
+  std::string ReadArtifact(const std::string& name) {
+    StatusOr<std::string> data =
+        fs::ReadFileToString(root_ + "/" + name);
+    EXPECT_TRUE(data.ok()) << "missing artifact " << name;
+    return data.ok() ? data.value() : std::string();
+  }
+
+  // Forks, runs the plan in the child, and asserts the child died at the
+  // injected kill site (exit code kKillTestExitCode).
+  void CrashChild(const ChildPlan& plan) {
+    fflush(stdout);
+    fflush(stderr);
+    pid_t pid = fork();
+    ASSERT_GE(pid, 0) << "fork failed: " << std::strerror(errno);
+    if (pid == 0) {
+      RunChild(root_ + "/state", plan, root_);  // never returns
+    }
+    int wstatus = 0;
+    ASSERT_EQ(waitpid(pid, &wstatus, 0), pid);
+    ASSERT_TRUE(WIFEXITED(wstatus)) << "child died abnormally";
+    ASSERT_EQ(WEXITSTATUS(wstatus), kKillTestExitCode)
+        << "child exited " << WEXITSTATUS(wstatus)
+        << " instead of dying at the armed kill site";
+  }
+
+  // Restart-side checks shared by all three crash scenarios.
+  void VerifyRecovery() {
+    StatusOr<RecoveredState> recovered = Recover(root_ + "/state", {});
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    RecoveredState& state = recovered.value();
+
+    const std::string want_epoch = ReadArtifact("expected_epoch.txt");
+    EXPECT_EQ(std::to_string(state.epoch), want_epoch);
+
+    // Restart the optimizer from the recovered state and compare served
+    // rankings bit for bit against the child's pre-crash fingerprint.
+    core::OnlineKgOptimizer restarted(state.graph, LargeBatchOptions(),
+                                      state.ToRestoredState());
+    const core::ServingEpoch epoch = restarted.CurrentEpoch();
+    const std::string got = RankingsFingerprint(epoch.view());
+    const std::string want = ReadArtifact("expected_rankings.txt");
+    EXPECT_EQ(got, want) << "recovered rankings are not bitwise identical";
+    // Keep the recovered fingerprint next to the expectation for the CI
+    // artifact upload.
+    EXPECT_TRUE(
+        fs::WriteFileAtomic(root_ + "/recovered_rankings.txt", got).ok());
+
+    // Every acknowledged vote must still exist somewhere recoverable.
+    std::set<uint32_t> recovered_ids;
+    for (const votes::Vote& vote : state.pending)
+      recovered_ids.insert(vote.id);
+    for (const votes::Vote& vote : state.dead_letters)
+      recovered_ids.insert(vote.id);
+    const std::string acked = ReadArtifact("acked_votes.txt");
+    size_t pos = 0;
+    while (pos < acked.size()) {
+      size_t eol = acked.find('\n', pos);
+      if (eol == std::string::npos) eol = acked.size();
+      const std::string token = acked.substr(pos, eol - pos);
+      pos = eol + 1;
+      if (token.empty()) continue;
+      const uint32_t id = static_cast<uint32_t>(std::stoul(token));
+      EXPECT_TRUE(recovered_ids.count(id) > 0)
+          << "acknowledged vote " << id << " was lost by the crash";
+    }
+    // The torn/never-acknowledged sentinel must NOT resurface as acked.
+    EXPECT_EQ(recovered_ids.count(999), 0u);
+  }
+
+  std::string root_;
+};
+
+TEST_F(DurabilityKillTest, CrashMidWalAppendTruncatesTornTailOnly) {
+  ChildPlan plan;
+  plan.kill_site = FaultSite::kCrashMidWalAppend;
+  plan.acked_after_checkpoint = 2;
+  CrashChild(plan);
+  VerifyRecovery();
+
+  // A second recovery must also observe the physical torn-tail repair.
+  StatusOr<RecoveredState> again = Recover(root_ + "/state", {});
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().torn_tails_truncated, 0u);
+  EXPECT_EQ(again.value().corrupt_records, 0u);
+}
+
+TEST_F(DurabilityKillTest, CrashMidSnapshotFallsBackToDurableEpoch) {
+  ChildPlan plan;
+  plan.kill_site = FaultSite::kCrashMidSnapshot;
+  plan.acked_after_checkpoint = 2;
+  plan.crash_in_checkpoint = true;
+  CrashChild(plan);
+  VerifyRecovery();
+}
+
+TEST_F(DurabilityKillTest, CrashMidEpochSwapServesTheNewEpoch) {
+  ChildPlan plan;
+  plan.kill_site = FaultSite::kCrashMidEpochSwap;
+  plan.acked_after_checkpoint = 2;
+  plan.crash_in_checkpoint = true;
+  plan.expect_second_epoch = true;
+  CrashChild(plan);
+  VerifyRecovery();
+}
+
+}  // namespace
+}  // namespace kgov::durability

@@ -20,6 +20,7 @@ class GraphIoTest : public ::testing::Test {
   void WriteFile(const std::string& content) {
     std::ofstream out(path_);
     out << content;
+    ASSERT_TRUE(out.good());
   }
 
   std::string path_;
@@ -97,6 +98,48 @@ TEST_F(GraphIoTest, GarbageWeightColumnIsInvalidArgument) {
   Status status = LoadEdgeList(path_).status();
   EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
   EXPECT_NE(status.message().find("weight"), std::string::npos);
+}
+
+TEST_F(GraphIoTest, OutOfRangeNodeIdIsInvalidArgumentWithLineNumber) {
+  // 4294967295 == kInvalidNode and anything beyond would truncate in the
+  // narrowing cast and alias an unrelated node; the loader must refuse.
+  WriteFile("0 1 0.5\n4294967295 2 0.5\n");
+  Status status = LoadEdgeList(path_).status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("out of range"), std::string::npos);
+  EXPECT_NE(status.message().find(":2"), std::string::npos);
+
+  WriteFile("99999999999999999 0 0.5\n");
+  EXPECT_EQ(LoadEdgeList(path_).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(GraphIoTest, OverflowingWeightIsInvalidArgument) {
+  // 1e400 parses to +inf (or fails) depending on the stream; either path
+  // must end in a line-numbered InvalidArgument, never a quiet +inf edge.
+  WriteFile("0 1 1e400\n");
+  Status status = LoadEdgeList(path_).status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find(":1"), std::string::npos);
+}
+
+TEST_F(GraphIoTest, TrailingGarbageIsInvalidArgumentWithLineNumber) {
+  WriteFile("0 1 0.5 extra\n");
+  Status status = LoadEdgeList(path_).status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("trailing garbage"), std::string::npos);
+  EXPECT_NE(status.message().find(":1"), std::string::npos);
+  // A fourth numeric column is garbage too - edge lists are three columns.
+  WriteFile("0 1 0.5 0.7\n");
+  EXPECT_EQ(LoadEdgeList(path_).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(GraphIoTest, MalformedLineReportsItsLineNumber) {
+  WriteFile("# header\n0 1 0.5\n\nnot an edge\n");
+  Status status = LoadEdgeList(path_).status();
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find(":4"), std::string::npos);
 }
 
 TEST_F(GraphIoTest, MissingFileIsIoError) {

@@ -4,8 +4,10 @@
 
 #include <atomic>
 #include <thread>
+#include <vector>
 
 #include "ppr/fast_eipd.h"
+#include "telemetry/metrics.h"
 
 namespace kgov::core {
 namespace {
@@ -255,6 +257,169 @@ TEST(OnlineOptimizerTest, PinnedEpochImmutableUnderHundredConcurrentFlushes) {
       reference.Scores(probe.query, probe.answer_list);
   ASSERT_TRUE(after.ok());
   EXPECT_EQ(after.value(), before);
+}
+
+// In-memory VoteLogSink fake: captures appends and can be told to fail
+// either channel, so the tests can pin down the acknowledge-before-buffer
+// and persist-before-drop contracts without touching a disk.
+class FakeVoteLog final : public votes::VoteLogSink {
+ public:
+  Status AppendVote(const votes::Vote& vote) override {
+    if (fail_votes) return Status::IoError("injected vote-log failure");
+    votes.push_back(vote);
+    return Status::OK();
+  }
+  Status AppendDeadLetter(const votes::Vote& vote) override {
+    if (fail_dead_letters) {
+      return Status::IoError("injected dead-letter-log failure");
+    }
+    dead_letters.push_back(vote);
+    return Status::OK();
+  }
+
+  bool fail_votes = false;
+  bool fail_dead_letters = false;
+  std::vector<votes::Vote> votes;
+  std::vector<votes::Vote> dead_letters;
+};
+
+votes::Vote MalformedVote(uint32_t id) {
+  votes::Vote vote;  // empty answer list -> every flush attempt fails
+  vote.id = id;
+  return vote;
+}
+
+TEST(OnlineOptimizerTest, DeadLetterBufferEvictsOldestAtExactCapacity) {
+  WeightedDigraph g = MakeFixture();
+  OnlineOptimizerOptions options = SmallOptions(1);
+  options.max_vote_attempts = 1;  // first failure dead-letters
+  options.dead_letter_capacity = 2;
+  OnlineKgOptimizer online(g, options);
+  telemetry::Counter* evictions =
+      telemetry::MetricRegistry::Global().GetCounter(
+          "online.dead_letter_evictions");
+  const uint64_t evictions_before = evictions->Value();
+
+  EXPECT_FALSE(online.AddVote(MalformedVote(1)).ok());
+  EXPECT_FALSE(online.AddVote(MalformedVote(2)).ok());
+  // At exactly dead_letter_capacity: both kept, nothing evicted.
+  ASSERT_EQ(online.DeadLetters().size(), 2u);
+  EXPECT_EQ(online.DeadLetters()[0].id, 1u);
+  EXPECT_EQ(online.DeadLetters()[1].id, 2u);
+  EXPECT_EQ(evictions->Value(), evictions_before);
+
+  // One past capacity: the OLDEST entry goes, order is preserved, and the
+  // eviction is counted.
+  EXPECT_FALSE(online.AddVote(MalformedVote(3)).ok());
+  ASSERT_EQ(online.DeadLetters().size(), 2u);
+  EXPECT_EQ(online.DeadLetters()[0].id, 2u);
+  EXPECT_EQ(online.DeadLetters()[1].id, 3u);
+  EXPECT_EQ(evictions->Value(), evictions_before + 1);
+}
+
+TEST(OnlineOptimizerTest, VoteLogFailureRejectsTheVoteOutright) {
+  WeightedDigraph g = MakeFixture();
+  OnlineKgOptimizer online(g, SmallOptions(3));
+  FakeVoteLog log;
+  log.fail_votes = true;
+  online.SetVoteLog(&log);
+  // The WAL could not make the vote durable, so it must NOT be
+  // acknowledged - and must not sit in the in-memory buffer either.
+  Result<FlushReport> r = online.AddVote(MakeVote(4, 1));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(online.PendingVotes(), 0u);
+
+  log.fail_votes = false;
+  ASSERT_TRUE(online.AddVote(MakeVote(4, 2)).ok());
+  EXPECT_EQ(online.PendingVotes(), 1u);
+  ASSERT_EQ(log.votes.size(), 1u);
+  EXPECT_EQ(log.votes[0].id, 2u);
+}
+
+TEST(OnlineOptimizerTest, DeadLettersPersistToVoteLogImmediately) {
+  WeightedDigraph g = MakeFixture();
+  OnlineOptimizerOptions options = SmallOptions(1);
+  options.max_vote_attempts = 1;
+  FakeVoteLog log;
+  telemetry::Counter* persisted =
+      telemetry::MetricRegistry::Global().GetCounter(
+          "durability.dead_letter_persisted");
+  const uint64_t persisted_before = persisted->Value();
+  {
+    OnlineKgOptimizer online(g, options);
+    online.SetVoteLog(&log);
+    EXPECT_FALSE(online.AddVote(MalformedVote(9)).ok());
+    ASSERT_EQ(online.DeadLetters().size(), 1u);
+    ASSERT_EQ(log.dead_letters.size(), 1u);
+    EXPECT_EQ(log.dead_letters[0].id, 9u);
+    EXPECT_EQ(persisted->Value(), persisted_before + 1);
+  }
+  // Destruction must not double-append the already-persisted entry.
+  EXPECT_EQ(log.dead_letters.size(), 1u);
+  EXPECT_EQ(persisted->Value(), persisted_before + 1);
+}
+
+TEST(OnlineOptimizerTest, DestructorFlushesUnpersistedDeadLetters) {
+  WeightedDigraph g = MakeFixture();
+  OnlineOptimizerOptions options = SmallOptions(1);
+  options.max_vote_attempts = 1;
+  FakeVoteLog log;
+  telemetry::Counter* persisted =
+      telemetry::MetricRegistry::Global().GetCounter(
+          "durability.dead_letter_persisted");
+  const uint64_t persisted_before = persisted->Value();
+  {
+    OnlineKgOptimizer online(g, options);
+    online.SetVoteLog(&log);
+    // The dead-letter append fails at dead-letter time...
+    log.fail_dead_letters = true;
+    EXPECT_FALSE(online.AddVote(MalformedVote(13)).ok());
+    ASSERT_EQ(online.DeadLetters().size(), 1u);
+    EXPECT_TRUE(log.dead_letters.empty());
+    // ...and the sink heals before shutdown: the destructor retries.
+    log.fail_dead_letters = false;
+  }
+  ASSERT_EQ(log.dead_letters.size(), 1u);
+  EXPECT_EQ(log.dead_letters[0].id, 13u);
+  EXPECT_EQ(persisted->Value(), persisted_before + 1);
+}
+
+TEST(OnlineOptimizerTest, RestoredStateResumesEpochPendingAndDeadLetters) {
+  WeightedDigraph g = MakeFixture();
+  RestoredState restored;
+  restored.epoch = 41;
+  restored.pending = {MakeVote(4, 10), MakeVote(3, 11)};
+  restored.dead_letters = {MakeVote(4, 12)};
+  FakeVoteLog log;
+  {
+    OnlineKgOptimizer online(g, SmallOptions(100), restored);
+    online.SetVoteLog(&log);
+    EXPECT_EQ(online.CurrentEpochNumber(), 41u);
+    EXPECT_EQ(online.PendingVotes(), 2u);
+    ASSERT_EQ(online.DeadLetters().size(), 1u);
+    EXPECT_EQ(online.DeadLetters()[0].id, 12u);
+    // A successful flush of the restored pending votes advances the epoch
+    // past the restored number, never backwards.
+    ASSERT_TRUE(online.Flush().ok());
+    EXPECT_EQ(online.CurrentEpochNumber(), 42u);
+    EXPECT_EQ(online.PendingVotes(), 0u);
+  }
+  // Restored dead letters were durable before the crash; the destructor
+  // must not append them to the new WAL again.
+  EXPECT_TRUE(log.dead_letters.empty());
+}
+
+TEST(OnlineOptimizerTest, RestoredDeadLettersTrimToCapacityOldestFirst) {
+  WeightedDigraph g = MakeFixture();
+  OnlineOptimizerOptions options = SmallOptions(100);
+  options.dead_letter_capacity = 2;
+  RestoredState restored;
+  restored.epoch = 1;
+  restored.dead_letters = {MakeVote(4, 1), MakeVote(4, 2), MakeVote(4, 3)};
+  OnlineKgOptimizer online(g, options, restored);
+  ASSERT_EQ(online.DeadLetters().size(), 2u);
+  EXPECT_EQ(online.DeadLetters()[0].id, 2u);
+  EXPECT_EQ(online.DeadLetters()[1].id, 3u);
 }
 
 TEST(OnlineOptimizerTest, SplitMergeStrategyWorks) {

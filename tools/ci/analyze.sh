@@ -13,7 +13,11 @@
 #      when clang-tidy is not installed.
 #   4. kgov_lint (tools/lint/kgov_lint.py): repo rules - options structs
 #      must declare Validate(), no logging under a lock, no raw std lock
-#      types in src/, no unseeded RNG, [[nodiscard]] kept in place.
+#      types in src/, no unseeded RNG, [[nodiscard]] kept in place, no
+#      unchecked ofstream/fwrite writes - plus the unchecked-io lint
+#      canary: the linter must still FLAG the planted violations in
+#      tools/ci/compile_fail/unchecked_io.cc (compile-FAIL style, but for
+#      the linter itself).
 #
 # Any failure of an *available* phase fails the gate; unavailable tools
 # skip loudly but do not fail (the lint phase and the dropped-Status demo
@@ -109,6 +113,17 @@ echo "== [4/4] kgov_lint =="
 python3 "$REPO_ROOT/tools/lint/kgov_lint.py" --root "$REPO_ROOT" \
     --report "$BUILD_DIR/kgov_lint_report.txt" \
     || fail "kgov_lint found violations"
+
+echo "-- unchecked-io lint canary --"
+if python3 "$REPO_ROOT/tools/lint/kgov_lint.py" --root "$REPO_ROOT" \
+    --file "$COMPILE_FAIL_DIR/unchecked_io.cc" \
+    >"$BUILD_DIR/unchecked_io_canary.log" 2>&1; then
+  fail "unchecked_io.cc passed the linter - the no-unchecked-io rule is dead"
+elif ! grep -q "no-unchecked-io" "$BUILD_DIR/unchecked_io_canary.log"; then
+  fail "linter rejected unchecked_io.cc for the wrong reason (see $BUILD_DIR/unchecked_io_canary.log)"
+else
+  echo "OK: planted unchecked writes flagged, as required"
+fi
 
 # ----------------------------------------------------------------------
 if [[ "$FAILURES" -gt 0 ]]; then

@@ -2,9 +2,13 @@
 # The full kgov CI gate:
 #   0. static analysis + lint (tools/ci/analyze.sh),
 #   1. tier-1: configure + build + ctest (Release-ish default flags),
+#      with the durability kill-tests rerun standalone so their recovery
+#      artifacts land in a known directory for the CI upload,
 #   2. the ASan/UBSan pass (tools/ci/sanitize.sh),
 #   3. the serving-path perf probe, emitting BENCH_serving.json at the
-#      repo root so the queries/sec trajectory is tracked per commit.
+#      repo root so the queries/sec trajectory is tracked per commit,
+#      plus the durability bench smoke run gating the WAL's flush-path
+#      overhead below 5%.
 #
 # Usage: tools/ci/check.sh [build-dir]
 #   KGOV_SKIP_ANALYZE=1   skip step 0
@@ -26,6 +30,15 @@ echo "== [1/3] tier-1 build + tests =="
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+echo "== [1/3] durability kill-tests (crash -> restart -> recover) =="
+# Rerun the kill-test binary with the artifact dir pinned: every scenario
+# leaves its expected/recovered ranking fingerprints and the crashed state
+# directory there, and CI uploads the tree when the job fails.
+export KGOV_DURABILITY_ARTIFACT_DIR="${KGOV_DURABILITY_ARTIFACT_DIR:-$BUILD_DIR/durability-kill-artifacts}"
+rm -rf "$KGOV_DURABILITY_ARTIFACT_DIR"
+mkdir -p "$KGOV_DURABILITY_ARTIFACT_DIR"
+"$BUILD_DIR/tests/test_durability_kill"
 
 if [[ "${KGOV_SKIP_SANITIZE:-0}" != "1" ]]; then
   echo "== [2/3] ASan/UBSan =="
@@ -107,6 +120,41 @@ print("concurrent serving OK:",
       "{:.1f}x cache speedup,".format(bench["cache_hit_speedup"]),
       "{:.2f}x ideal scaling,".format(bench["scaling_1_to_4_ideal"]),
       hist["count"], "queries served")
+EOF
+
+  echo "== [3/3] durability bench (smoke) =="
+  DURABILITY_JSON="$BUILD_DIR/BENCH_durability_smoke.json"
+  rm -f "$DURABILITY_JSON"
+  "$BUILD_DIR/bench/bench_durability" --smoke \
+      --json "$DURABILITY_JSON" \
+      --telemetry-json "$BUILD_DIR/BENCH_durability_telemetry_smoke.json"
+
+  # The committed full-run artifact is BENCH_durability.json at the repo
+  # root; the smoke json stays in the build dir. The gate: logging an
+  # acknowledged vote must stay in the noise on the flush path (< 5% in
+  # group-commit mode), and the recovery-side numbers must be present and
+  # sane.
+  python3 - "$DURABILITY_JSON" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    bench = json.load(f)
+for key in ("snapshot_write_mbps", "mmap_load_verify_seconds",
+            "wal_append_qps_group_commit", "wal_append_qps_sync_each",
+            "wal_replay_qps", "wal_overhead_pct_nosync"):
+    if key not in bench:
+        sys.exit(f"FAIL: durability bench json lacks '{key}'")
+overhead = bench["wal_overhead_pct_nosync"]
+if overhead >= 5.0:
+    sys.exit(f"FAIL: WAL flush-path overhead {overhead:.2f}% >= 5% "
+             "(group-commit mode)")
+if bench["wal_replay_qps"] <= bench["wal_append_qps_sync_each"]:
+    sys.exit("FAIL: WAL replay slower than synced appends - recovery "
+             "would lag the log")
+print("durability OK:",
+      "{:.2f}% WAL flush overhead,".format(overhead),
+      "{:.0f} votes/s group-commit append,".format(
+          bench["wal_append_qps_group_commit"]),
+      "{:.0f} votes/s replay".format(bench["wal_replay_qps"]))
 EOF
 else
   echo "== [3/3] serving benches skipped (KGOV_SKIP_BENCH=1) =="

@@ -1,0 +1,22 @@
+// Lint canary: kgov_lint.py --file must flag BOTH writes below with
+// no-unchecked-io, or the rule has rotted. This file is never compiled
+// (the compile_fail directory is excluded from the build and from the
+// normal lint walk); tools/ci/analyze.sh runs the linter against it and
+// fails the gate if it exits 0.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace {
+
+void UncheckedOfstream(const std::string& path) {
+  std::ofstream out(path);  // violation: stream state never checked
+  out << "results that vanish on a full disk\n";
+}
+
+void UncheckedFwrite(std::FILE* file, const char* data, size_t size) {
+  fwrite(data, 1, size, file);  // violation: written count discarded
+}
+
+}  // namespace

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
-# Build and run the kgov test suite under AddressSanitizer + UBSan, then
-# the concurrency-heavy tests (serve, thread pool, online optimizer)
-# under ThreadSanitizer.
+# Build and run the kgov test suite under AddressSanitizer + UBSan
+# (including the durability suite and its fork-based kill-tests; the
+# child's std::_Exit skips LSan's atexit hook, so the injected crashes do
+# not produce false leak reports), then the concurrency-heavy tests
+# (serve, thread pool, online optimizer, durability recovery) under
+# ThreadSanitizer.
 #
 # Usage: tools/ci/sanitize.sh [build-dir] [ctest-args...]
 #
@@ -37,10 +40,11 @@ if [[ "${KGOV_SKIP_TSAN:-0}" != "1" ]]; then
       -DKGOV_BUILD_EXAMPLES=OFF
   cmake --build "$TSAN_BUILD_DIR" -j "$(nproc)" --target \
       test_query_engine test_thread_pool test_online_optimizer \
-      test_resilience
+      test_resilience test_durability
   export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
   ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure \
-      -R 'QueryEngine|ThreadPool|OnlineOptimizer|FaultPipeline' "$@"
+      -R 'QueryEngine|ThreadPool|OnlineOptimizer|FaultPipeline|Durability' \
+      "$@"
 else
   echo "== sanitize: TSan skipped (KGOV_SKIP_TSAN=1) =="
 fi

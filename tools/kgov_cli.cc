@@ -16,9 +16,16 @@
 //   kgov_cli optimize      --corpus corpus.txt --graph graph.edges
 //                          --votes votes.txt --out optimized.edges
 //                          [--strategy single|multi|sm]
+//   kgov_cli snapshot      --graph graph.edges --dir durable/
+//                          [--votes votes.txt --epoch N]
+//   kgov_cli recover       --dir durable/ [--out recovered.edges]
 //
 // The graph file carries a "# kgov-kg entities=N documents=M" header so
-// later commands can reconstruct the node layout.
+// later commands can reconstruct the node layout. snapshot/recover bridge
+// the text interchange format and the binary durability format
+// (docs/durability.md): snapshot freezes a graph (plus optional pending
+// votes) into a checksummed binary snapshot, recover replays a durability
+// directory back into a servable graph.
 
 #include <cstdio>
 #include <cstring>
@@ -28,10 +35,14 @@
 #include <string>
 #include <vector>
 
+#include "common/fs.h"
 #include "common/rng.h"
 #include "common/string_util.h"
 #include "core/kg_optimizer.h"
 #include "core/scoring.h"
+#include "durability/manager.h"
+#include "durability/snapshot.h"
+#include "graph/csr.h"
 #include "graph/graph_io.h"
 #include "graph/stats.h"
 #include "qa/baselines.h"
@@ -117,6 +128,8 @@ Status SaveKgGraph(const qa::KnowledgeGraph& kg, const std::string& path) {
   out << "# kgov-kg entities=" << kg.num_entities
       << " documents=" << kg.answer_nodes.size() << "\n"
       << body;
+  out.flush();
+  if (!out.good()) return Status::IoError("write failure on " + path);
   return Status::OK();
 }
 
@@ -381,6 +394,65 @@ Status CmdConflicts(const Flags& flags) {
   return Status::OK();
 }
 
+Status CmdSnapshot(const Flags& flags) {
+  KGOV_ASSIGN_OR_RETURN(std::string graph_path, flags.Require("graph"));
+  KGOV_ASSIGN_OR_RETURN(std::string dir, flags.Require("dir"));
+  KGOV_ASSIGN_OR_RETURN(qa::KnowledgeGraph kg, LoadKgGraph(graph_path));
+  durability::SnapshotMeta meta;
+  meta.epoch = static_cast<uint64_t>(flags.GetInt("epoch", 0));
+  meta.num_entities = kg.num_entities;
+  meta.num_documents = kg.answer_nodes.size();
+  if (auto votes_path = flags.Get("votes")) {
+    KGOV_ASSIGN_OR_RETURN(meta.pending, votes::LoadVotes(*votes_path));
+  }
+  KGOV_RETURN_IF_ERROR(fs::CreateDirs(dir));
+  const graph::CsrSnapshot csr(kg.graph);
+  const std::string path =
+      dir + "/" + durability::SnapshotFileName(meta.epoch);
+  KGOV_RETURN_IF_ERROR(durability::WriteSnapshot(path, csr.View(), meta));
+  KGOV_ASSIGN_OR_RETURN(int64_t bytes, fs::FileSize(path));
+  std::printf("snapshot: %zu nodes, %zu edges, %zu pending votes, epoch "
+              "%llu -> %s (%lld bytes)\n",
+              kg.graph.NumNodes(), kg.graph.NumEdges(), meta.pending.size(),
+              static_cast<unsigned long long>(meta.epoch), path.c_str(),
+              static_cast<long long>(bytes));
+  return Status::OK();
+}
+
+Status CmdRecover(const Flags& flags) {
+  KGOV_ASSIGN_OR_RETURN(std::string dir, flags.Require("dir"));
+  durability::RecoverOptions options;
+  options.verify_body_checksum = flags.GetInt("verify", 1) != 0;
+  KGOV_ASSIGN_OR_RETURN(durability::RecoveredState state,
+                        durability::Recover(dir, options));
+  std::printf("recovered epoch %llu from %s\n",
+              static_cast<unsigned long long>(state.epoch),
+              state.snapshot_path.c_str());
+  std::printf("  graph: %zu nodes, %zu edges (%llu entities, %llu "
+              "documents)\n",
+              state.graph.NumNodes(), state.graph.NumEdges(),
+              static_cast<unsigned long long>(state.num_entities),
+              static_cast<unsigned long long>(state.num_documents));
+  std::printf("  votes: %zu pending, %zu dead-lettered (%zu WAL records "
+              "replayed, %zu torn tails, %zu corrupt records, %zu "
+              "snapshots skipped)\n",
+              state.pending.size(), state.dead_letters.size(),
+              state.wal_records_replayed, state.torn_tails_truncated,
+              state.corrupt_records, state.snapshots_skipped);
+  if (auto out = flags.Get("out")) {
+    qa::KnowledgeGraph kg;
+    kg.num_entities = state.num_entities;
+    for (size_t d = 0; d < state.num_documents; ++d) {
+      kg.answer_nodes.push_back(
+          static_cast<graph::NodeId>(state.num_entities + d));
+    }
+    kg.graph = std::move(state.graph);
+    KGOV_RETURN_IF_ERROR(SaveKgGraph(kg, *out));
+    std::printf("  wrote recovered graph -> %s\n", out->c_str());
+  }
+  return Status::OK();
+}
+
 int Usage() {
   std::fprintf(
       stderr,
@@ -396,6 +468,8 @@ int Usage() {
       "single|multi|sm --lambda1 X --lambda2 X --length L --aggregate 0|1]\n"
       "  conflicts     --votes F [--min-overlap X]\n"
       "  stats         --graph F\n"
+      "  snapshot      --graph F --dir D [--votes F --epoch N]\n"
+      "  recover       --dir D [--out F --verify 0|1]\n"
       "global flags:\n"
       "  --telemetry-json F   write a runtime-metrics snapshot (counters,\n"
       "                       stage spans, latency histograms) to F after\n"
@@ -426,6 +500,10 @@ int Main(int argc, char** argv) {
     status = CmdConflicts(flags);
   } else if (command == "stats") {
     status = CmdStats(flags);
+  } else if (command == "snapshot") {
+    status = CmdSnapshot(flags);
+  } else if (command == "recover") {
+    status = CmdRecover(flags);
   } else {
     return Usage();
   }

@@ -25,8 +25,18 @@ Rules (each suppressible on the offending line or the line above with
                      [[nodiscard]] and the root CMakeLists must keep
                      -Werror=unused-result, the pair that makes a dropped
                      Status a compile error.
+  no-unchecked-io    A `std::ofstream` whose stream state is never checked
+                     (.good()/.fail()/.bad() after the declaration), or a
+                     bare `fwrite(...)` statement whose result is
+                     discarded, silently loses data on a full disk or I/O
+                     error. Durable writes must go through common/fs.h;
+                     the rest must at least check the stream before
+                     reporting success. (`is_open()` alone does not count:
+                     it only proves the open succeeded, not the writes.)
 
-Usage: kgov_lint.py [--root DIR] [--report FILE]
+Usage: kgov_lint.py [--root DIR] [--report FILE] [--file FILE]
+With --file, only that file is linted (used by the CI canary that proves
+the linter still catches a planted violation).
 Exit status: 0 clean, 1 violations found.
 """
 
@@ -50,6 +60,10 @@ RAW_MUTEX_RE = re.compile(
     r"lock_guard|unique_lock|shared_lock|scoped_lock)\b")
 RNG_RE = re.compile(r"(?<![\w:])(?:s?rand)\s*\(|\bstd::random_device\b")
 OPTIONS_STRUCT_RE = re.compile(r"^\s*struct\s+(\w*Options)\s*(?::[^{]*)?\{")
+OFSTREAM_DECL_RE = re.compile(r"\bstd::ofstream\s+(\w+)\s*[({;]")
+# A statement that begins with fwrite: its size_t result (items actually
+# written) is being dropped.
+FWRITE_STMT_RE = re.compile(r"^\s*(?:std::)?fwrite\s*\(")
 
 
 def strip_comments_and_strings(line):
@@ -155,6 +169,28 @@ class Linter:
                         "no-log-under-lock", relpath, i + 1,
                         "logging while holding a lock serializes unrelated "
                         "threads on the sink; emit after releasing")
+            if FWRITE_STMT_RE.match(line):
+                if not self.allowed("no-unchecked-io", lines, i):
+                    self.report(
+                        "no-unchecked-io", relpath, i + 1,
+                        "fwrite result discarded; check the written count "
+                        "(or use common/fs.h for durable writes)")
+
+            m = OFSTREAM_DECL_RE.search(line)
+            if m:
+                var = m.group(1)
+                check_re = re.compile(
+                    r"\b" + re.escape(var) +
+                    r"\s*\.\s*(?:good|fail|bad)\s*\(")
+                if not any(check_re.search(later)
+                           for later in stripped[i:]) and \
+                        not self.allowed("no-unchecked-io", lines, i):
+                    self.report(
+                        "no-unchecked-io", relpath, i + 1,
+                        "std::ofstream '" + var + "' is written but its "
+                        "stream state is never checked (.good()/.fail()/"
+                        ".bad()); a full disk would pass silently")
+
             for c in line:
                 if c == "{":
                     depth += 1
@@ -221,6 +257,16 @@ class Linter:
 
     # -- driver -----------------------------------------------------------
 
+    def run_single(self, path):
+        """Lints one file (the per-file rules only); used by the CI canary."""
+        full = os.path.abspath(path)
+        relpath = os.path.relpath(full, self.root)
+        text = open(full, encoding="utf-8").read()
+        self.lint_source(relpath, text)
+        if full.endswith(".h") and relpath.startswith("src" + os.sep):
+            self.lint_options_structs(relpath, text)
+        return self.violations
+
     def run(self):
         scan_roots = ["src", "examples", "bench", "tests", "tools"]
         for scan_root in scan_roots:
@@ -249,12 +295,14 @@ def main():
                              "from this script)")
     parser.add_argument("--report", default=None,
                         help="also write the findings to this file")
+    parser.add_argument("--file", default=None,
+                        help="lint only this file (per-file rules)")
     args = parser.parse_args()
 
     root = args.root or os.path.dirname(
         os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
     linter = Linter(root)
-    violations = linter.run()
+    violations = linter.run_single(args.file) if args.file else linter.run()
 
     lines = []
     for rule, relpath, lineno, message in violations:
