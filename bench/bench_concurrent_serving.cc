@@ -161,16 +161,29 @@ void RunAndReport(bool smoke, const char* json_path,
     KGOV_CHECK(false);
     return sweep.front();
   };
-  const double scaling_ideal =
-      find(4, false).ideal_qps / find(1, false).measured_qps;
-  const double scaling_measured =
-      find(4, false).measured_qps / find(1, false).measured_qps;
   const double cache_speedup =
       find(1, true).measured_qps / find(1, false).measured_qps;
-  std::printf("1->4 thread scaling: %.2fx ideal, %.2fx measured "
-              "(host has %u core%s)\n",
-              scaling_ideal, scaling_measured, host_cores,
-              host_cores == 1 ? "" : "s");
+  // A single-core host cannot produce a meaningful thread-scaling verdict:
+  // every worker time-slices one core, so the "scaling" ratio only measures
+  // scheduler noise. Rather than publish a number readers might gate on,
+  // emit "scaling": null and say so loudly.
+  const bool scaling_meaningful = host_cores > 1;
+  double scaling_ideal = 0.0;
+  double scaling_measured = 0.0;
+  if (scaling_meaningful) {
+    scaling_ideal = find(4, false).ideal_qps / find(1, false).measured_qps;
+    scaling_measured =
+        find(4, false).measured_qps / find(1, false).measured_qps;
+    std::printf("1->4 thread scaling: %.2fx ideal, %.2fx measured "
+                "(host has %u cores)\n",
+                scaling_ideal, scaling_measured, host_cores);
+  } else {
+    std::printf(
+        "WARNING: host has 1 core - the thread sweep cannot measure real\n"
+        "WARNING: scaling (all workers share one core). Emitting\n"
+        "WARNING: \"scaling\": null; run on a multi-core host for a\n"
+        "WARNING: meaningful scaling verdict.\n");
+  }
   std::printf("cache-hit speedup (1 thread, steady state): %.2fx\n",
               cache_speedup);
 
@@ -203,13 +216,22 @@ void RunAndReport(bool smoke, const char* json_path,
                  p.ideal_qps, p.hit_rate,
                  i + 1 < sweep.size() ? "," : "");
   }
-  std::fprintf(out,
-               "  ],\n"
-               "  \"scaling_1_to_4_ideal\": %.3f,\n"
-               "  \"scaling_1_to_4_measured\": %.3f,\n"
-               "  \"cache_hit_speedup\": %.3f\n"
-               "}\n",
-               scaling_ideal, scaling_measured, cache_speedup);
+  if (scaling_meaningful) {
+    std::fprintf(out,
+                 "  ],\n"
+                 "  \"scaling\": {\"ideal_1_to_4\": %.3f, "
+                 "\"measured_1_to_4\": %.3f},\n"
+                 "  \"cache_hit_speedup\": %.3f\n"
+                 "}\n",
+                 scaling_ideal, scaling_measured, cache_speedup);
+  } else {
+    std::fprintf(out,
+                 "  ],\n"
+                 "  \"scaling\": null,\n"
+                 "  \"cache_hit_speedup\": %.3f\n"
+                 "}\n",
+                 cache_speedup);
+  }
   std::fclose(out);
   std::printf("wrote %s\n", json_path);
 

@@ -30,6 +30,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "DeadlineExceeded";
     case StatusCode::kNumericalError:
       return "NumericalError";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

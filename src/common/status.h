@@ -32,6 +32,7 @@ enum class StatusCode {
   kNotConverged = 10,     // iterative solver hit its iteration budget
   kDeadlineExceeded = 11,  // wall-clock budget expired before completion
   kNumericalError = 12,    // non-finite value (NaN/Inf) detected in a solve
+  kResourceExhausted = 13,  // bounded buffer/queue at capacity; shed or retry
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -92,6 +93,9 @@ class [[nodiscard]] Status {
   static Status NumericalError(std::string msg) {
     return Status(StatusCode::kNumericalError, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -101,6 +105,9 @@ class [[nodiscard]] Status {
     return code_ == StatusCode::kInvalidArgument;
   }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
   bool IsInfeasible() const { return code_ == StatusCode::kInfeasible; }
   bool IsNotConverged() const { return code_ == StatusCode::kNotConverged; }
   bool IsDeadlineExceeded() const {
@@ -108,6 +115,9 @@ class [[nodiscard]] Status {
   }
   bool IsNumericalError() const {
     return code_ == StatusCode::kNumericalError;
+  }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
   }
 
   /// "OK" or "<Code>: <message>".

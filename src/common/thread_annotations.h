@@ -24,6 +24,7 @@
 #ifndef KGOV_COMMON_THREAD_ANNOTATIONS_H_
 #define KGOV_COMMON_THREAD_ANNOTATIONS_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <shared_mutex>
@@ -157,6 +158,21 @@ class KGOV_SCOPED_CAPABILITY MutexLock {
     // The wait returned with the handle re-locked; detach so the
     // unique_lock's destructor does not unlock what this scope still owns.
     relock.release();
+  }
+
+  /// Timed variant: blocks on `cv` until `pred()` holds or `timeout`
+  /// elapses. Returns pred()'s value at wake-up (false = timed out with
+  /// the predicate still unsatisfied). The mutex is held on return either
+  /// way.
+  template <typename Rep, typename Period, typename Predicate>
+  bool WaitFor(std::condition_variable& cv,
+               const std::chrono::duration<Rep, Period>& timeout,
+               Predicate pred) {
+    std::unique_lock<std::mutex> relock(mu_.native_handle(),
+                                        std::adopt_lock);
+    const bool satisfied = cv.wait_for(relock, timeout, std::move(pred));
+    relock.release();
+    return satisfied;
   }
 
  private:

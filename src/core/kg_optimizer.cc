@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <unordered_set>
 #include <utility>
 
 #include "cluster/vote_similarity.h"
@@ -53,17 +54,45 @@ struct SplitMergeMetrics {
   }
 };
 
-// Accumulates per-variable deltas (x - x0) into `changes`, keyed by edge.
+// Accumulates per-variable deltas into `changes`, keyed by edge: the
+// difference between the value ApplyValues is about to write and the
+// weight currently in `graph`. Diff against the graph, NOT
+// problem.initial(): the encoder clamps its initial point into the
+// variable box, so a solution that "did not move" can still write a
+// clamped value over an out-of-box weight - a real bitwise change that
+// must be recorded (and its source renormalized) like any other. Call
+// before ApplyValues.
 void RecordDeltas(const ppr::EdgeVariableMap& vars,
-                  const std::vector<double>& initial,
+                  const graph::WeightedDigraph& graph,
                   const std::vector<double>& solution,
                   std::unordered_map<graph::EdgeId, double>* changes) {
   for (size_t v = 0; v < vars.NumVariables(); ++v) {
-    double delta = solution[v] - initial[v];
+    const graph::EdgeId edge = vars.EdgeOf(static_cast<math::VarId>(v));
+    const double delta = solution[v] - graph.Weight(edge);
     if (delta != 0.0) {
-      (*changes)[vars.EdgeOf(static_cast<math::VarId>(v))] += delta;
+      (*changes)[edge] += delta;
     }
   }
+}
+
+// Renormalizes only the out-weight lists the update touched (the source
+// nodes of edges whose weight moved). Untouched nodes keep their exact bit
+// patterns - the invariant the streaming epoch diff and selective cache
+// invalidation are built on. A whole-graph renormalize would divide every
+// node's weights by a sum that equals 1.0 only up to rounding, perturbing
+// the entire graph by an ulp and marking every cluster changed on every
+// flush. Normalization-per-touched-node is inductively equivalent: the
+// initial graph arrives normalized, and a node's sum only drifts when one
+// of its out-edges is updated - exactly when it is renormalized here.
+void NormalizeTouchedSources(
+    const std::unordered_map<graph::EdgeId, double>& changes,
+    graph::WeightedDigraph* g) {
+  std::unordered_set<graph::NodeId> sources;
+  sources.reserve(changes.size());
+  for (const auto& [edge, delta] : changes) {
+    sources.insert(g->edges()[edge].from);
+  }
+  for (graph::NodeId node : sources) g->NormalizeOutWeights(node);
 }
 
 }  // namespace
@@ -168,11 +197,14 @@ Result<OptimizeReport> KgOptimizer::SingleVoteSolve(
       report.solve_seconds += timer.ElapsedSeconds();
       // A greedy baseline applies the solver's point even when full
       // feasibility was not reached (fmincon behaves the same way).
-      RecordDeltas(program.variables, program.problem.initial(), solution.x,
-                   &report.weight_changes);
+      std::unordered_map<graph::EdgeId, double> round_changes;
+      RecordDeltas(program.variables, current, solution.x, &round_changes);
+      for (const auto& [edge, delta] : round_changes) {
+        report.weight_changes[edge] += delta;
+      }
       program.variables.ApplyValues(solution.x, &current);
       if (options_.normalize_after_update) {
-        current.NormalizeAllOutWeights();
+        NormalizeTouchedSources(round_changes, &current);
       }
       if (!encoded_any) {
         report.constraints_total += solution.total_constraints;
@@ -232,11 +264,11 @@ Result<OptimizeReport> KgOptimizer::MultiVoteSolve(
   report.solve_seconds = timer.ElapsedSeconds();
   report.solve_attempts = outcome.attempts.size();
 
-  RecordDeltas(program.variables, program.problem.initial(), solution.x,
+  RecordDeltas(program.variables, report.optimized, solution.x,
                &report.weight_changes);
   program.variables.ApplyValues(solution.x, &report.optimized);
   if (options_.normalize_after_update) {
-    report.optimized.NormalizeAllOutWeights();
+    NormalizeTouchedSources(report.weight_changes, &report.optimized);
   }
   report.constraints_total = solution.total_constraints;
   report.constraints_satisfied = solution.satisfied_constraints;
@@ -246,6 +278,47 @@ Result<OptimizeReport> KgOptimizer::MultiVoteSolve(
 Result<OptimizeReport> KgOptimizer::SplitMergeSolve(
     const std::vector<votes::Vote>& votes) const {
   return SplitMergeImpl(votes, nullptr);
+}
+
+namespace {
+
+// Options identical to `base` except that the encoder's variable set is
+// narrowed to edges satisfying both the original predicate and `scope`.
+// The judgment filter inherits encoder.is_variable, so filtering sees the
+// same narrowed scope the solve does.
+OptimizerOptions NarrowToScope(const OptimizerOptions& base,
+                               ppr::SymbolicEipd::VariablePredicate scope) {
+  OptimizerOptions scoped = base;
+  if (base.encoder.is_variable) {
+    scoped.encoder.is_variable =
+        [outer = base.encoder.is_variable, scope = std::move(scope)](
+            const graph::WeightedDigraph& g, graph::EdgeId e) {
+          return outer(g, e) && scope(g, e);
+        };
+  } else {
+    scoped.encoder.is_variable = std::move(scope);
+  }
+  return scoped;
+}
+
+}  // namespace
+
+Result<OptimizeReport> KgOptimizer::MultiVoteSolveScoped(
+    const std::vector<votes::Vote>& votes,
+    ppr::SymbolicEipd::VariablePredicate scope) const {
+  KGOV_RETURN_IF_ERROR(options_status_);
+  if (!scope) return MultiVoteSolve(votes);
+  KgOptimizer scoped(graph_, NarrowToScope(options_, std::move(scope)));
+  return scoped.MultiVoteSolve(votes);
+}
+
+Result<OptimizeReport> KgOptimizer::SplitMergeSolveScoped(
+    const std::vector<votes::Vote>& votes,
+    ppr::SymbolicEipd::VariablePredicate scope) const {
+  KGOV_RETURN_IF_ERROR(options_status_);
+  if (!scope) return SplitMergeSolve(votes);
+  KgOptimizer scoped(graph_, NarrowToScope(options_, std::move(scope)));
+  return scoped.SplitMergeImpl(votes, nullptr);
 }
 
 Result<OptimizeReport> KgOptimizer::DistributedSplitMergeSolve(
@@ -473,7 +546,7 @@ Result<OptimizeReport> KgOptimizer::SplitMergeImpl(
   }
   report.weight_changes = std::move(merged);
   if (options_.normalize_after_update) {
-    report.optimized.NormalizeAllOutWeights();
+    NormalizeTouchedSources(report.weight_changes, &report.optimized);
   }
   return report;
 }

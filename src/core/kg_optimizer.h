@@ -146,9 +146,24 @@ class KgOptimizer {
   Result<OptimizeReport> MultiVoteSolve(
       const std::vector<votes::Vote>& votes) const;
 
+  /// MultiVoteSolve restricted to a sub-scope: only edges satisfying
+  /// `scope` (ANDed with the configured encoder.is_variable) are treated
+  /// as variables; everything else is held constant. The streaming write
+  /// path uses this to re-solve only dirty partition clusters. A null
+  /// scope degenerates to MultiVoteSolve.
+  Result<OptimizeReport> MultiVoteSolveScoped(
+      const std::vector<votes::Vote>& votes,
+      ppr::SymbolicEipd::VariablePredicate scope) const;
+
   /// Split-and-merge (SVI); sequential cluster solves.
   Result<OptimizeReport> SplitMergeSolve(
       const std::vector<votes::Vote>& votes) const;
+
+  /// SplitMergeSolve restricted to a sub-scope (see MultiVoteSolveScoped):
+  /// the incremental re-solve entry point of the streaming pipeline.
+  Result<OptimizeReport> SplitMergeSolveScoped(
+      const std::vector<votes::Vote>& votes,
+      ppr::SymbolicEipd::VariablePredicate scope) const;
 
   /// Split-and-merge with clusters solved on `pool` (must have >= 1
   /// worker; the paper used 4 machines).

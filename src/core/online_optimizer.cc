@@ -1,6 +1,7 @@
 #include "core/online_optimizer.h"
 
 #include <algorithm>
+#include <cstring>
 #include <limits>
 #include <unordered_map>
 #include <utility>
@@ -21,6 +22,7 @@ struct OnlineMetrics {
   telemetry::Counter* flush_failures;
   telemetry::Counter* rollbacks;
   telemetry::Counter* epoch_swaps;
+  telemetry::Counter* epoch_skips;
   telemetry::Counter* votes_applied;
   telemetry::Counter* votes_quarantined;
   telemetry::Counter* dead_lettered;
@@ -36,6 +38,7 @@ struct OnlineMetrics {
                            reg.GetCounter("online.flush_failures"),
                            reg.GetCounter("online.rollbacks"),
                            reg.GetCounter("online.epoch_swaps"),
+                           reg.GetCounter("online.epoch_skips"),
                            reg.GetCounter("online.votes_applied"),
                            reg.GetCounter("online.votes_quarantined"),
                            reg.GetCounter("online.dead_lettered"),
@@ -47,6 +50,27 @@ struct OnlineMetrics {
     return m;
   }
 };
+
+// Partition clusters whose source-side edge weights differ bitwise between
+// `before` and `after` (identical topology). Bitwise comparison is the
+// ground truth selective invalidation hangs off: it is immune to
+// normalization reproducing an "equal" weight through a different float
+// path, and an unchanged bit pattern provably serves identical results.
+std::vector<uint32_t> DiffChangedClusters(
+    const graph::WeightedDigraph& before, const graph::WeightedDigraph& after,
+    const stream::GraphPartition& partition) {
+  KGOV_ASSERT(before.NumEdges() == after.NumEdges());
+  std::vector<uint32_t> changed;
+  for (size_t e = 0; e < before.NumEdges(); ++e) {
+    const double a = before.edges()[e].weight;
+    const double b = after.edges()[e].weight;
+    if (std::memcmp(&a, &b, sizeof(double)) != 0) {
+      changed.push_back(partition.ClusterOf(before.edges()[e].from));
+    }
+  }
+  stream::CanonicalizeClusterSet(&changed);
+  return changed;
+}
 
 }  // namespace
 
@@ -60,6 +84,14 @@ Status OnlineOptimizerOptions::Validate() const {
     return Status::InvalidArgument(
         "OnlineOptimizerOptions.max_vote_attempts must be >= 1");
   }
+  if (partition_clusters < 1) {
+    return Status::InvalidArgument(
+        "OnlineOptimizerOptions.partition_clusters must be >= 1");
+  }
+  if (delta_history_capacity < 1) {
+    return Status::InvalidArgument(
+        "OnlineOptimizerOptions.delta_history_capacity must be >= 1");
+  }
   return Status::OK();
 }
 
@@ -68,7 +100,16 @@ OnlineKgOptimizer::OnlineKgOptimizer(const graph::WeightedDigraph& initial,
     : options_(std::move(options)),
       options_status_(options_.Validate()),
       graph_(initial),
-      serving_{std::make_shared<graph::CsrSnapshot>(graph_), 0} {
+      serving_{std::make_shared<graph::CsrSnapshot>(graph_), 0, nullptr} {
+  // The partition is built once from the initial topology; weights evolve
+  // but the node set does not, so it stays valid for every future epoch.
+  // Build only fails for a zero target, which the clamp rules out (invalid
+  // options are still reported through options_status_).
+  Result<stream::GraphPartition> partition = stream::GraphPartition::Build(
+      initial, std::max<size_t>(size_t{1}, options_.partition_clusters));
+  KGOV_CHECK(partition.ok());
+  partition_ = std::make_shared<const stream::GraphPartition>(
+      std::move(partition.value()));
   // The validator must accept anything the optimizer may legally produce:
   // widen its weight band to cover the encoder's bounds (normalization can
   // push weights up to 1 regardless of the encoder's upper bound).
@@ -100,6 +141,7 @@ OnlineKgOptimizer::OnlineKgOptimizer(const graph::WeightedDigraph& initial,
   // Recovered dead letters came FROM the log; marking them persisted
   // prevents the destructor from re-appending (and duplicating) them.
   dead_letter_persisted_.assign(dead_letter_.size(), 1);
+  dead_letter_count_.store(dead_letter_.size(), std::memory_order_release);
   MutexLock lock(serving_mu_);
   serving_.epoch = restored.epoch;
   epoch_number_.store(restored.epoch, std::memory_order_release);
@@ -148,6 +190,17 @@ Result<FlushReport> OnlineKgOptimizer::AddVote(votes::Vote vote) {
   return FlushReport{};
 }
 
+Status OnlineKgOptimizer::IngestLogged(votes::Vote vote) {
+  KGOV_RETURN_IF_ERROR(options_status_);
+  // The streaming queue already appended this vote to the WAL under its
+  // own mutex (Offer OK implies logged), so re-appending here would
+  // duplicate it on replay. No auto-flush either: the pipeline owns the
+  // micro-batch cadence.
+  buffer_.push_back(PendingVote{std::move(vote), 0});
+  OnlineMetrics::Get().pending_votes->Set(static_cast<double>(buffer_.size()));
+  return Status::OK();
+}
+
 size_t OnlineKgOptimizer::RequeueOrDeadLetter(
     std::vector<PendingVote> failed) {
   const OnlineMetrics& metrics = OnlineMetrics::Get();
@@ -185,10 +238,19 @@ size_t OnlineKgOptimizer::RequeueOrDeadLetter(
         dead_letter_persisted_.begin(),
         dead_letter_persisted_.begin() + static_cast<ptrdiff_t>(evicted));
   }
+  dead_letter_count_.store(dead_letter_.size(), std::memory_order_release);
   return dead;
 }
 
-Result<FlushReport> OnlineKgOptimizer::Flush() {
+Result<FlushReport> OnlineKgOptimizer::Flush() { return FlushImpl(nullptr); }
+
+Result<FlushReport> OnlineKgOptimizer::FlushScoped(
+    const std::vector<uint32_t>& dirty_clusters) {
+  return FlushImpl(&dirty_clusters);
+}
+
+Result<FlushReport> OnlineKgOptimizer::FlushImpl(
+    const std::vector<uint32_t>* scope) {
   KGOV_RETURN_IF_ERROR(options_status_);
   FlushReport report;
   if (buffer_.empty()) return report;
@@ -203,11 +265,28 @@ Result<FlushReport> OnlineKgOptimizer::Flush() {
   for (const PendingVote& pending : batch) votes.push_back(pending.vote);
 
   Timer timer;
-  KgOptimizer optimizer(&graph_, options_.optimizer);
-  Result<OptimizeReport> result =
-      options_.strategy == FlushStrategy::kMultiVote
-          ? optimizer.MultiVoteSolve(votes)
-          : optimizer.SplitMergeSolve(votes);
+  Result<OptimizeReport> result = [&]() -> Result<OptimizeReport> {
+    KgOptimizer optimizer(&graph_, options_.optimizer);
+    if (scope == nullptr) {
+      return options_.strategy == FlushStrategy::kMultiVote
+                 ? optimizer.MultiVoteSolve(votes)
+                 : optimizer.SplitMergeSolve(votes);
+    }
+    // Restrict the solve to edges whose source node lies in a dirty
+    // cluster. The predicate composes (ANDs) with the configured
+    // encoder.is_variable inside the scoped entry points.
+    auto dirty = std::make_shared<std::vector<uint32_t>>(*scope);
+    stream::CanonicalizeClusterSet(dirty.get());
+    ppr::SymbolicEipd::VariablePredicate in_scope =
+        [part = partition_, dirty](const graph::WeightedDigraph& g,
+                                   graph::EdgeId e) {
+          return std::binary_search(dirty->begin(), dirty->end(),
+                                    part->ClusterOf(g.edges()[e].from));
+        };
+    return options_.strategy == FlushStrategy::kMultiVote
+               ? optimizer.MultiVoteSolveScoped(votes, std::move(in_scope))
+               : optimizer.SplitMergeSolveScoped(votes, std::move(in_scope));
+  }();
   if (!result.ok()) {
     // The batch is unusable this round, but the votes are NOT dropped:
     // they are re-queued (bounded by max_vote_attempts) so a later flush -
@@ -263,11 +342,30 @@ Result<FlushReport> OnlineKgOptimizer::Flush() {
   }
 
   const size_t applied = batch.size() - quarantined.size();
-  graph_ = std::move(opt.optimized);
-  // Build the new snapshot fully before taking the epoch lock: readers
-  // only ever wait on the pointer swap, never on the optimize or the CSR
-  // construction.
-  PublishEpoch(std::make_shared<graph::CsrSnapshot>(graph_));
+  // What actually changed, bitwise: the delta readers will invalidate by.
+  std::vector<uint32_t> changed =
+      DiffChangedClusters(graph_, opt.optimized, *partition_);
+  // Publication guard: a batch that applied nothing (everything rejected
+  // or quarantined), or a scoped micro-batch whose solve reproduced every
+  // weight bit-for-bit, publishes no epoch - cycling caches for an
+  // unchanged graph would only burn hit rate. Unscoped flushes with
+  // applied votes always publish (the delta may legitimately be empty).
+  const bool publish =
+      applied > 0 && (scope == nullptr || !changed.empty());
+  if (publish) {
+    report.changed_clusters = changed;
+    graph_ = std::move(opt.optimized);
+    auto delta = std::make_shared<stream::EpochDelta>();
+    delta->changed_clusters = std::move(changed);
+    // Build the new snapshot fully before taking the epoch lock: readers
+    // only ever wait on the pointer swap, never on the optimize or the CSR
+    // construction.
+    PublishEpoch(std::make_shared<graph::CsrSnapshot>(graph_),
+                 std::move(delta));
+  } else {
+    metrics.epoch_skips->Increment();
+  }
+  report.epoch_published = publish;
   report.votes_flushed = applied;
   report.votes_quarantined = quarantined.size();
   report.constraints_total = opt.constraints_total;
@@ -285,14 +383,48 @@ Result<FlushReport> OnlineKgOptimizer::Flush() {
 }
 
 void OnlineKgOptimizer::PublishEpoch(
-    std::shared_ptr<const graph::CsrSnapshot> snapshot) {
+    std::shared_ptr<const graph::CsrSnapshot> snapshot,
+    std::shared_ptr<const stream::EpochDelta> delta) {
   OnlineMetrics::Get().epoch_swaps->Increment();
   MutexLock lock(serving_mu_);
-  serving_ = ServingEpoch{std::move(snapshot), serving_.epoch + 1};
+  serving_ = ServingEpoch{std::move(snapshot), serving_.epoch + 1, delta};
+  delta_history_.push_back(DeltaRecord{serving_.epoch, std::move(delta)});
+  while (delta_history_.size() > options_.delta_history_capacity) {
+    delta_history_.pop_front();
+  }
   // Published after serving_ so CurrentEpochNumber() == N implies a
   // subsequent CurrentEpoch() returns epoch >= N (readers synchronize on
   // either the mutex or this release store, never on neither).
   epoch_number_.store(serving_.epoch, std::memory_order_release);
+}
+
+bool OnlineKgOptimizer::CollectChangedClusters(
+    uint64_t from_epoch, uint64_t to_epoch,
+    std::vector<uint32_t>* out) const {
+  KGOV_ASSERT(out != nullptr);
+  if (from_epoch == to_epoch) return true;
+  if (from_epoch > to_epoch) return false;
+  std::vector<uint32_t> merged = *out;
+  {
+    MutexLock lock(serving_mu_);
+    // Every epoch in (from, to] must have a retained selective record; a
+    // trimmed, missing, or full record makes the union unknowable and the
+    // caller must fall back to treating everything as changed.
+    uint64_t next = from_epoch + 1;
+    for (const DeltaRecord& record : delta_history_) {
+      if (record.epoch <= from_epoch) continue;
+      if (record.epoch > to_epoch) break;
+      if (record.epoch != next) return false;
+      if (record.delta == nullptr || record.delta->full) return false;
+      merged.insert(merged.end(), record.delta->changed_clusters.begin(),
+                    record.delta->changed_clusters.end());
+      ++next;
+    }
+    if (next != to_epoch + 1) return false;
+  }
+  stream::CanonicalizeClusterSet(&merged);
+  *out = std::move(merged);
+  return true;
 }
 
 }  // namespace kgov::core

@@ -32,6 +32,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <vector>
 
@@ -41,6 +42,8 @@
 #include "core/resilience.h"
 #include "graph/csr.h"
 #include "graph/graph_view.h"
+#include "stream/epoch_delta.h"
+#include "stream/partition.h"
 #include "votes/vote_log.h"
 
 namespace kgov::core {
@@ -53,6 +56,9 @@ struct ServingEpoch {
   std::shared_ptr<const graph::CsrSnapshot> snapshot;
   /// 0 for the initial graph; +1 per successful flush.
   uint64_t epoch = 0;
+  /// What changed relative to the previous epoch (null for the initial or
+  /// a restored epoch: treat as a full change). See stream::EpochDelta.
+  std::shared_ptr<const stream::EpochDelta> delta;
 
   /// The epoch's read view; valid while `snapshot` is held.
   graph::GraphView view() const {
@@ -82,6 +88,13 @@ struct OnlineOptimizerOptions {
   /// Invariants checked by the pre-swap validator. The weight bounds are
   /// widened to cover the encoder's configured bounds automatically.
   GraphValidatorOptions validator;
+  /// Target cluster count of the streaming partition (stream.md): the
+  /// granularity of dirty tracking, scoped re-solves, and selective cache
+  /// invalidation. Built once from the initial graph (topology is fixed).
+  size_t partition_clusters = 64;
+  /// Published epoch deltas retained for CollectChangedClusters (a serve
+  /// engine that fell further behind gets a conservative full answer).
+  size_t delta_history_capacity = 64;
 
   /// Checks this struct and the nested OptimizerOptions; returns
   /// InvalidArgument naming the first offending field. OnlineKgOptimizer
@@ -117,6 +130,13 @@ struct FlushReport {
   double solve_seconds = 0.0;
   /// SGP solve attempts, counting retries.
   size_t solve_attempts = 0;
+  /// Whether this flush published a new serving epoch. A successful
+  /// scoped (micro-batch) flush whose bitwise graph diff is empty keeps
+  /// the current epoch instead of forcing a pointless cache cycle.
+  bool epoch_published = false;
+  /// Partition clusters whose edge weights changed (sorted unique);
+  /// empty when epoch_published is false.
+  std::vector<uint32_t> changed_clusters;
 };
 
 /// Owns a knowledge graph that evolves under vote feedback. The write path
@@ -194,8 +214,57 @@ class OnlineKgOptimizer {
   /// outright (not buffered) and the append error is returned.
   Result<FlushReport> AddVote(votes::Vote vote);
 
+  /// Buffers one vote that has ALREADY been durably logged (the streaming
+  /// ingest queue appends to the WAL before draining). Unlike AddVote this
+  /// never writes the vote log and never auto-flushes: the caller controls
+  /// the micro-batch cadence with FlushScoped/Flush.
+  Status IngestLogged(votes::Vote vote);
+
   /// Forces a flush of the current buffer (no-op on an empty buffer).
   Result<FlushReport> Flush();
+
+  /// Flushes the current buffer re-solving only `dirty_clusters` (sorted
+  /// unique partition cluster ids; see partition()): edges whose source
+  /// node lies outside the dirty set are held constant during encoding and
+  /// solving. Publishes a new epoch only when the resulting graph differs
+  /// bitwise from the current one; FlushReport.epoch_published /
+  /// .changed_clusters say what happened. The changed set is always a
+  /// subset of `dirty_clusters` (constants cannot move, and out-weight
+  /// normalization is per source node).
+  Result<FlushReport> FlushScoped(const std::vector<uint32_t>& dirty_clusters);
+
+  /// The fixed streaming partition built from the initial graph (topology
+  /// never changes; only weights do). Never null. Thread-safe.
+  std::shared_ptr<const stream::GraphPartition> partition() const {
+    return partition_;
+  }
+
+  /// The options this optimizer was constructed with.
+  const OnlineOptimizerOptions& options() const { return options_; }
+
+  /// Accumulates into `out` the clusters that changed across epochs
+  /// (from_epoch, to_epoch] from the retained delta history. Returns true
+  /// when the history covers the whole range with selective deltas; false
+  /// (out left canonical but incomplete) when any record is missing or
+  /// marked full - callers must then treat everything as changed.
+  /// from_epoch == to_epoch trivially succeeds with no additions.
+  /// Thread-safe.
+  bool CollectChangedClusters(uint64_t from_epoch, uint64_t to_epoch,
+                              std::vector<uint32_t>* out) const
+      KGOV_EXCLUDES(serving_mu_);
+
+  /// Dead-letter occupancy, readable from any thread (the ingest queue's
+  /// shed probe). Tracks dead_letter_ with release/acquire ordering.
+  size_t DeadLetterCount() const {
+    return dead_letter_count_.load(std::memory_order_acquire);
+  }
+
+  /// True when the dead-letter buffer is at capacity: accepting further
+  /// failing votes would evict abandoned ones. VoteIngestQueue uses this
+  /// to shed instead (see stream.shed_votes).
+  bool DeadLetterFull() const {
+    return DeadLetterCount() >= options_.dead_letter_capacity;
+  }
 
   /// Votes currently buffered (including re-queued failures).
   size_t PendingVotes() const { return buffer_.size(); }
@@ -222,13 +291,26 @@ class OnlineKgOptimizer {
     int attempts = 0;
   };
 
+  /// One retained publication record for CollectChangedClusters.
+  struct DeltaRecord {
+    uint64_t epoch = 0;
+    std::shared_ptr<const stream::EpochDelta> delta;
+  };
+
+  /// Shared body of Flush (scope == nullptr: every edge variable, always
+  /// publish on success) and FlushScoped (solve restricted to *scope,
+  /// publish only on a bitwise graph change).
+  Result<FlushReport> FlushImpl(const std::vector<uint32_t>* scope);
+
   /// Re-queues `failed` votes with one more attempt on their counters;
   /// votes out of attempts move to the dead-letter buffer. Returns how
   /// many were dead-lettered.
   size_t RequeueOrDeadLetter(std::vector<PendingVote> failed);
 
-  /// Publishes `snapshot` as the next epoch (outside work done, swap only).
-  void PublishEpoch(std::shared_ptr<const graph::CsrSnapshot> snapshot)
+  /// Publishes `snapshot` as the next epoch (outside work done, swap only)
+  /// and records `delta` (null = full change) in the delta history.
+  void PublishEpoch(std::shared_ptr<const graph::CsrSnapshot> snapshot,
+                    std::shared_ptr<const stream::EpochDelta> delta)
       KGOV_EXCLUDES(serving_mu_);
 
   OnlineOptimizerOptions options_;
@@ -237,14 +319,24 @@ class OnlineKgOptimizer {
   // serve the unoptimized graph).
   Status options_status_;
   graph::WeightedDigraph graph_;
+  // Fixed node-to-cluster map shared with trackers and serve engines;
+  // built once at construction (never null, immutable afterwards).
+  std::shared_ptr<const stream::GraphPartition> partition_;
   mutable Mutex serving_mu_;
   ServingEpoch serving_ KGOV_GUARDED_BY(serving_mu_);
+  // Most recent publications, oldest first, capped at
+  // options_.delta_history_capacity. Fuel for CollectChangedClusters.
+  std::deque<DeltaRecord> delta_history_ KGOV_GUARDED_BY(serving_mu_);
   // Mirrors serving_.epoch for lock-free staleness checks. Stored with
   // release order while serving_mu_ is held (after serving_ is updated);
   // read with acquire in CurrentEpochNumber().
   std::atomic<uint64_t> epoch_number_{0};
   std::vector<PendingVote> buffer_;
   std::vector<votes::Vote> dead_letter_;
+  // Mirrors dead_letter_.size() for lock-free reads from producer threads
+  // (DeadLetterCount/DeadLetterFull). The write path updates it wherever
+  // dead_letter_ changes.
+  std::atomic<size_t> dead_letter_count_{0};
   // Parallel to dead_letter_: 1 if the entry has been written through the
   // vote log. Entries dead-lettered while a sink is attached persist
   // immediately; the rest (restored state, late-attached sink, append

@@ -6,6 +6,7 @@
 
 #include "common/contracts.h"
 #include "common/timer.h"
+#include "graph/subgraph.h"
 #include "serve/validate.h"
 #include "telemetry/metrics.h"
 
@@ -21,6 +22,8 @@ struct ServeMetrics {
   telemetry::Counter* cache_evictions;
   telemetry::Counter* cache_invalidations;
   telemetry::Counter* epoch_refreshes;
+  telemetry::Counter* invalidation_selective;
+  telemetry::Counter* invalidation_full;
   telemetry::Gauge* queue_depth;
   telemetry::Histogram* query_span;
 
@@ -33,6 +36,8 @@ struct ServeMetrics {
                           reg.GetCounter("serve.cache.evictions"),
                           reg.GetCounter("serve.cache.invalidations"),
                           reg.GetCounter("serve.epoch_refreshes"),
+                          reg.GetCounter("stream.invalidation.selective"),
+                          reg.GetCounter("stream.invalidation.full"),
                           reg.GetGauge("serve.queue_depth"),
                           reg.GetHistogram("span.serve.query.seconds")};
     }();
@@ -59,6 +64,10 @@ Status QueryEngineOptions::Validate() const {
     return Status::InvalidArgument(
         "QueryEngineOptions.cache_shards must be >= 1");
   }
+  if (!(full_flush_threshold > 0.0) || full_flush_threshold > 1.0) {
+    return Status::InvalidArgument(
+        "QueryEngineOptions.full_flush_threshold must be in (0, 1]");
+  }
   return Status::OK();
 }
 
@@ -84,6 +93,7 @@ QueryEngine::QueryEngine(const core::OnlineKgOptimizer* source,
     : source_(source),
       candidates_(candidates),
       options_(std::move(options)),
+      partition_(source->partition()),
       pinned_(source->CurrentEpoch()),
       cache_(options_.cache_capacity, options_.cache_shards),
       workspaces_(options_.num_threads),
@@ -105,17 +115,56 @@ void QueryEngine::MaybeRefreshEpoch() {
   // Pin the fresh epoch outside the exclusive section (CurrentEpoch takes
   // the optimizer's own lock), then swap under ours.
   core::ServingEpoch fresh = source_->CurrentEpoch();
+  size_t dropped = 0;
+  bool full = true;
   {
     WriterMutexLock lock(epoch_mu_);
     if (fresh.epoch <= pinned_.epoch) return;  // raced with another refresh
+    if (options_.enable_cache) {
+      // Selective invalidation: union the published deltas spanning
+      // (pinned, fresh]. Unknowable (history gap, full delta, feature
+      // off) or near-global changes fall back to a wholesale flush.
+      std::vector<uint32_t> changed;
+      if (options_.selective_invalidation &&
+          source_->CollectChangedClusters(pinned_.epoch, fresh.epoch,
+                                          &changed)) {
+        const size_t clusters = partition_->num_clusters();
+        full = clusters == 0 ||
+               static_cast<double>(changed.size()) >
+                   options_.full_flush_threshold *
+                       static_cast<double>(clusters);
+      }
+      // Advance the cache BEFORE the new pin becomes visible: a reader
+      // that sees fresh.epoch can then never hit an entry the delta
+      // invalidated (see the lock-order proof in result_cache.h).
+      dropped = cache_.AdvanceEpoch(fresh.epoch, changed, full);
+    }
     pinned_ = std::move(fresh);
   }
   const ServeMetrics& metrics = ServeMetrics::Get();
   metrics.epoch_refreshes->Increment();
-  // Wholesale invalidation: every cached entry belongs to a dead epoch.
-  // Correctness does not depend on this sweep (keys carry the epoch); it
-  // just releases the dead epoch's memory promptly.
-  metrics.cache_invalidations->Increment(cache_.InvalidateAll());
+  if (options_.enable_cache) {
+    if (full) {
+      metrics.invalidation_full->Increment();
+    } else {
+      metrics.invalidation_selective->Increment();
+    }
+    metrics.cache_invalidations->Increment(dropped);
+  }
+}
+
+std::vector<uint32_t> QueryEngine::DependencyClusters(
+    graph::GraphView view, const ppr::QuerySeed& seed) const {
+  std::vector<graph::NodeId> roots;
+  roots.reserve(seed.links.size());
+  for (const auto& [node, weight] : seed.links) roots.push_back(node);
+  // Every edge a walk of length <= L from the seed can traverse has its
+  // source inside this ball, and cluster identity is keyed by edge
+  // source (matching the optimizer's bitwise diff), so these clusters
+  // over-approximate everything the ranking depends on.
+  const std::vector<graph::NodeId> ball = graph::CollectOutNeighborhood(
+      view, roots, options_.eipd.max_length);
+  return partition_->ClustersOf(ball);
 }
 
 ppr::PropagationWorkspace* QueryEngine::WorkspaceForThisThread() {
@@ -143,8 +192,8 @@ StatusOr<RankedAnswers> QueryEngine::ServeOne(const ppr::QuerySeed& seed) {
 
   std::string key;
   if (options_.enable_cache) {
-    key = EncodeCacheKey(epoch.epoch, seed);
-    if (cache_.Get(key, &result.answers)) {
+    key = EncodeCacheKey(seed);
+    if (cache_.Get(key, epoch.epoch, &result.answers)) {
       result.from_cache = true;
       metrics.cache_hits->Increment();
       return result;
@@ -159,7 +208,8 @@ StatusOr<RankedAnswers> QueryEngine::ServeOne(const ppr::QuerySeed& seed) {
   result.answers = std::move(ranked).value();
 
   if (options_.enable_cache) {
-    if (cache_.Put(key, result.answers)) {
+    if (cache_.Put(key, result.answers,
+                   DependencyClusters(epoch.view(), seed), epoch.epoch)) {
       metrics.cache_evictions->Increment();
     }
   }

@@ -11,10 +11,14 @@
 //    ppr::PropagationWorkspace, so steady-state serving performs no
 //    per-query allocation (the workspace is addressed by
 //    ThreadPool::CurrentWorkerIndex - no locks, no thread_local growth).
-//  * Results are memoized in an epoch-keyed ShardedResultCache. A cache
-//    hit is bitwise identical to the propagation it replaced; on epoch
-//    swap the whole cache is invalidated wholesale (and the epoch-in-key
-//    scheme makes even a racing reader safe).
+//  * Results are memoized in a delta-aware ShardedResultCache. A cache
+//    hit is bitwise identical to the propagation it replaced. On epoch
+//    swap the engine asks the optimizer for the changed-cluster delta
+//    (stream::EpochDelta history) and drops only entries whose dependency
+//    clusters intersect it - selective invalidation, the read-side half
+//    of the streaming pipeline. When the delta is unavailable, disabled,
+//    or larger than full_flush_threshold of the partition, it falls back
+//    to the old wholesale flush.
 //  * Before each query the engine probes
 //    OnlineKgOptimizer::CurrentEpochNumber() (one acquire load) and
 //    re-pins when the optimizer has published a newer epoch, so fresh
@@ -23,7 +27,8 @@
 // Telemetry (kgov_telemetry registry): serve.queries, serve.cache.hits /
 // .misses / .evictions / .invalidations, serve.epoch_refreshes,
 // serve.queue_depth (gauge), span.serve.query.seconds (end-to-end
-// latency histogram). See docs/serving.md.
+// latency histogram), stream.invalidation.selective / .full (refresh
+// counts by sweep kind). See docs/serving.md and docs/streaming.md.
 
 #ifndef KGOV_SERVE_QUERY_ENGINE_H_
 #define KGOV_SERVE_QUERY_ENGINE_H_
@@ -41,6 +46,7 @@
 #include "ppr/query_seed.h"
 #include "ppr/ranking.h"
 #include "serve/result_cache.h"
+#include "stream/partition.h"
 
 namespace kgov::serve {
 
@@ -51,13 +57,21 @@ struct QueryEngineOptions {
   size_t top_k = 10;
   /// Serving worker threads.
   size_t num_threads = 4;
-  /// Memoize per-seed rankings (epoch-keyed LRU). Disable to force every
+  /// Memoize per-seed rankings (delta-aware LRU). Disable to force every
   /// query through a fresh propagation (the cache-off baseline).
   bool enable_cache = true;
   /// Total cached seed rankings across all shards.
   size_t cache_capacity = 4096;
   /// Cache shard count (locks per shard; more shards = less contention).
   size_t cache_shards = 8;
+  /// Invalidate selectively on epoch swap using the optimizer's published
+  /// changed-cluster deltas. Disable to flush the whole cache on every
+  /// swap (the pre-streaming behaviour, and the bench baseline).
+  bool selective_invalidation = true;
+  /// Fall back to a full flush when the changed-cluster set exceeds this
+  /// fraction of the partition (a near-global change makes the selective
+  /// sweep pointless bookkeeping). In (0, 1].
+  double full_flush_threshold = 0.5;
 
   /// Checks every field range; returns InvalidArgument naming the first
   /// offending field. QueryEngine::Create fails fast with the result.
@@ -119,8 +133,14 @@ class QueryEngine {
 
   /// Re-pins the serving epoch when the optimizer has published a newer
   /// one (cheap acquire-load probe; lock taken only on an actual swap),
-  /// then invalidates the cache wholesale.
+  /// advancing the cache with the changed-cluster delta (or a full flush
+  /// when no usable delta exists) BEFORE the new pin becomes visible.
   void MaybeRefreshEpoch() KGOV_EXCLUDES(epoch_mu_);
+
+  /// The partition clusters `seed`'s ranking can depend on: the L-ball
+  /// around its link nodes mapped through the streaming partition.
+  std::vector<uint32_t> DependencyClusters(graph::GraphView view,
+                                           const ppr::QuerySeed& seed) const;
 
   /// The worker-side body of one query.
   StatusOr<RankedAnswers> ServeOne(const ppr::QuerySeed& seed)
@@ -133,6 +153,8 @@ class QueryEngine {
   const core::OnlineKgOptimizer* source_;
   const std::vector<graph::NodeId>* candidates_;
   QueryEngineOptions options_;
+  /// The optimizer's fixed streaming partition (shared; never null).
+  std::shared_ptr<const stream::GraphPartition> partition_;
 
   /// Pinned epoch; a shared (reader-writer) mutex so concurrent queries
   /// copy it without serializing on each other, while a refresh takes it

@@ -1,18 +1,36 @@
-// Epoch-keyed sharded LRU cache of per-seed ranking results.
+// Delta-aware sharded LRU cache of per-seed ranking results.
 //
 // The serving hot path answers many repeats of the same query seed between
 // graph updates, and an EIPD propagation is the entire cost of a query.
-// This cache memoizes ranked answers keyed by (epoch number, exact seed
-// bytes): the epoch in the key makes a stale hit structurally impossible -
-// a reader on epoch N can never observe a value computed on epoch M != N,
-// even mid-invalidation - while InvalidateAll() (called on epoch swap)
-// promptly frees the dead epoch's entries rather than waiting for LRU
-// pressure to evict them.
+// This cache memoizes ranked answers keyed by the exact seed bytes. Each
+// entry carries the partition clusters its score can depend on (the
+// L-ball around the seed mapped through stream::GraphPartition) plus the
+// epoch it was computed on, so an epoch swap only drops entries whose
+// dependency set intersects the published changed-cluster delta
+// (AdvanceEpoch) - the selective invalidation the streaming pipeline's
+// hit-rate retention rides on. A full=true advance (unknown or too-large
+// delta) degenerates to the old wholesale flush.
+//
+// Validity rules (proved against the bitwise changed-set deltas the
+// optimizer publishes; see docs/streaming.md):
+//  * Get(key, reader_epoch) hits only entries with computed_epoch <=
+//    reader_epoch. A surviving entry's dependencies are untouched by every
+//    delta up to the cache's current epoch, so its value is bitwise
+//    identical to a recompute on any epoch in [computed_epoch, current] -
+//    including the reader's.
+//  * Put validates the insert under the shard lock against the retained
+//    epoch-change history: an in-flight result computed on an older epoch
+//    is accepted only when the history proves every intervening delta
+//    missed its dependency set, and rejected (counted, not inserted)
+//    otherwise. AdvanceEpoch records the delta BEFORE sweeping shards, so
+//    every stale insert either validates against the new record or is
+//    removed by the sweep - it cannot slip between them.
 //
 // Sharded to keep lock hold times off the serving tail: each shard owns an
-// independent mutex + LRU list, and a key touches exactly one shard.
-// Hit/miss/eviction/invalidation counts feed kgov_telemetry via the
-// owning serve::QueryEngine.
+// independent mutex + LRU list, and a key touches exactly one shard. The
+// epoch-state mutex is never held while a shard is locked by AdvanceEpoch
+// (Put nests it inside the shard lock), so the two lock orders cannot
+// deadlock.
 
 #ifndef KGOV_SERVE_RESULT_CACHE_H_
 #define KGOV_SERVE_RESULT_CACHE_H_
@@ -20,6 +38,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <list>
 #include <string>
 #include <unordered_map>
@@ -32,12 +51,13 @@
 
 namespace kgov::serve {
 
-/// Exact binary cache key: epoch number followed by the seed's links,
-/// byte for byte. Two seeds collide iff they are bitwise identical, so a
-/// cache hit returns exactly what a fresh propagation of that seed on that
-/// epoch would return (the bitwise-identity guarantee the serving tests
-/// pin down).
-std::string EncodeCacheKey(uint64_t epoch, const ppr::QuerySeed& seed);
+/// Exact binary cache key: the seed's links, byte for byte. Two seeds
+/// collide iff they are bitwise identical, so a cache hit returns exactly
+/// what a fresh propagation of that seed would return (the
+/// bitwise-identity guarantee the serving tests pin down). Epochs are NOT
+/// part of the key: entry validity across epochs is governed by the
+/// dependency metadata above.
+std::string EncodeCacheKey(const ppr::QuerySeed& seed);
 
 class ShardedResultCache {
  public:
@@ -45,8 +65,13 @@ class ShardedResultCache {
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t evictions = 0;
-    /// Entries dropped by InvalidateAll (epoch swaps).
+    /// Entries dropped by epoch advances and InvalidateAll.
     uint64_t invalidations = 0;
+    /// AdvanceEpoch calls that swept selectively vs dropped everything.
+    uint64_t selective_sweeps = 0;
+    uint64_t full_sweeps = 0;
+    /// Stale inserts rejected by Put's history validation.
+    uint64_t rejected_puts = 0;
   };
 
   /// `capacity` is the total entry budget, split evenly across
@@ -57,18 +82,31 @@ class ShardedResultCache {
   ShardedResultCache& operator=(const ShardedResultCache&) = delete;
 
   /// On hit copies the cached ranking into `*out`, refreshes the entry's
-  /// LRU position, and returns true. On miss returns false.
-  bool Get(const std::string& key, std::vector<ppr::ScoredAnswer>* out);
+  /// LRU position, and returns true. Only entries computed on the
+  /// reader's epoch or earlier qualify (see validity rules above).
+  bool Get(const std::string& key, uint64_t reader_epoch,
+           std::vector<ppr::ScoredAnswer>* out);
 
-  /// Inserts (or refreshes) `key`, evicting the shard's least recently
-  /// used entry when the shard is full. Returns true when an entry was
-  /// evicted to make room (lets the owner feed an eviction counter).
-  bool Put(const std::string& key, std::vector<ppr::ScoredAnswer> value);
+  /// Inserts (or refreshes) `key` with its dependency clusters (sorted
+  /// unique; see stream::CanonicalizeClusterSet) and the epoch the value
+  /// was computed on. Returns true when an entry was evicted to make room
+  /// (lets the owner feed an eviction counter). A stale insert the
+  /// epoch-change history cannot prove safe is dropped instead
+  /// (Stats.rejected_puts).
+  bool Put(const std::string& key, std::vector<ppr::ScoredAnswer> value,
+           std::vector<uint32_t> deps, uint64_t computed_epoch);
 
-  /// Drops every entry (epoch swap); returns how many were dropped.
-  /// Concurrent Get/Put stay safe; the epoch-qualified keys guarantee
-  /// correctness even for entries inserted while the invalidation sweeps
-  /// the shards.
+  /// Advances the cache to `epoch`, recording that exactly the clusters
+  /// in `changed` (sorted unique) differ from the previous epoch, then
+  /// drops every entry whose dependency set intersects them. full=true
+  /// means the delta is unknown or too large: everything is dropped and
+  /// the history is poisoned for older in-flight Puts. Returns how many
+  /// entries were dropped. Call BEFORE exposing the new epoch to readers.
+  size_t AdvanceEpoch(uint64_t epoch, const std::vector<uint32_t>& changed,
+                      bool full);
+
+  /// Drops every entry without recording an epoch change (a pure memory
+  /// release; entry validity never depended on it). Returns the count.
   size_t InvalidateAll();
 
   /// Monotonic counters since construction (relaxed reads).
@@ -78,24 +116,56 @@ class ShardedResultCache {
   size_t size() const;
 
  private:
+  struct Entry {
+    std::vector<ppr::ScoredAnswer> value;
+    /// Partition clusters the value's scores can depend on, sorted.
+    std::vector<uint32_t> deps;
+    uint64_t computed_epoch = 0;
+  };
+
+  /// One recorded AdvanceEpoch: the clusters that changed moving from
+  /// epoch `from` to epoch `to`. Records chain (from == previous to).
+  struct EpochChange {
+    uint64_t from = 0;
+    uint64_t to = 0;
+    std::vector<uint32_t> changed;
+    bool full = false;
+  };
+
   struct Shard {
     mutable Mutex mu;
-    /// Front = most recently used. The list owns keys and values; the
-    /// index maps a key view to its list position.
-    std::list<std::pair<std::string, std::vector<ppr::ScoredAnswer>>> lru
-        KGOV_GUARDED_BY(mu);
+    /// Front = most recently used. The list owns keys and entries; the
+    /// index maps a key to its list position.
+    std::list<std::pair<std::string, Entry>> lru KGOV_GUARDED_BY(mu);
     std::unordered_map<std::string,
                        decltype(lru)::iterator> index KGOV_GUARDED_BY(mu);
   };
 
   Shard& ShardFor(const std::string& key);
 
+  /// True when the history proves a value computed on `computed_epoch`
+  /// with dependencies `deps` is still bitwise-valid at current_epoch_.
+  bool ValidAtCurrent(const std::vector<uint32_t>& deps,
+                      uint64_t computed_epoch) const
+      KGOV_REQUIRES(epoch_mu_);
+
   size_t per_shard_capacity_;
   std::vector<Shard> shards_;
+
+  /// Epoch-change bookkeeping. Never held while AdvanceEpoch holds a
+  /// shard lock; Put acquires it nested inside its shard lock.
+  mutable Mutex epoch_mu_;
+  uint64_t current_epoch_ KGOV_GUARDED_BY(epoch_mu_) = 0;
+  /// Oldest first, capped at kHistoryCapacity.
+  std::deque<EpochChange> history_ KGOV_GUARDED_BY(epoch_mu_);
+
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> evictions_{0};
   std::atomic<uint64_t> invalidations_{0};
+  std::atomic<uint64_t> selective_sweeps_{0};
+  std::atomic<uint64_t> full_sweeps_{0};
+  std::atomic<uint64_t> rejected_puts_{0};
 };
 
 }  // namespace kgov::serve

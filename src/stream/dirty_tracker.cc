@@ -1,0 +1,50 @@
+#include "stream/dirty_tracker.h"
+
+#include "common/contracts.h"
+
+namespace kgov::stream {
+
+DirtyClusterTracker::DirtyClusterTracker(
+    std::shared_ptr<const GraphPartition> partition, int depth)
+    : partition_(std::move(partition)), depth_(depth) {
+  KGOV_CHECK(partition_ != nullptr);
+  dirty_.assign(partition_->num_clusters(), 0);
+}
+
+void DirtyClusterTracker::MarkVote(const votes::Vote& vote,
+                                   graph::GraphView view) {
+  std::vector<graph::NodeId> roots;
+  roots.reserve(vote.query.links.size() + vote.answer_list.size());
+  for (const auto& [node, weight] : vote.query.links) {
+    roots.push_back(node);
+  }
+  roots.insert(roots.end(), vote.answer_list.begin(),
+               vote.answer_list.end());
+  const std::vector<graph::NodeId> ball =
+      graph::CollectOutNeighborhood(view, roots, depth_);
+  for (graph::NodeId node : ball) {
+    MarkCluster(partition_->ClusterOf(node));
+  }
+}
+
+void DirtyClusterTracker::MarkCluster(uint32_t cluster) {
+  if (cluster >= dirty_.size() || dirty_[cluster]) return;
+  dirty_[cluster] = 1;
+  ++dirty_count_;
+}
+
+std::vector<uint32_t> DirtyClusterTracker::DirtySet() const {
+  std::vector<uint32_t> dirty;
+  dirty.reserve(dirty_count_);
+  for (uint32_t c = 0; c < dirty_.size(); ++c) {
+    if (dirty_[c]) dirty.push_back(c);
+  }
+  return dirty;
+}
+
+void DirtyClusterTracker::Clear() {
+  dirty_.assign(dirty_.size(), 0);
+  dirty_count_ = 0;
+}
+
+}  // namespace kgov::stream

@@ -1,0 +1,68 @@
+// DirtyClusterTracker: maps each accepted vote to the partition clusters
+// it can affect and accumulates the dirty set for the next micro-batch
+// re-solve.
+//
+// A vote's influence is bounded by the L-ball around its seed links and
+// listed answers: the encoder only builds constraints over edges on walks
+// of length <= L from the seeds, and applying a solution only rescales
+// out-weights of nodes inside that ball (normalization is per source
+// node). Marking the clusters of CollectOutNeighborhood(seed + answers, L)
+// therefore over-approximates every edge a re-solve of the vote may touch.
+//
+// Single-threaded: owned and driven by the pipeline's consumer side, like
+// the optimizer write path. Topology never changes, so a ball computed on
+// any epoch's view is valid on every other.
+
+#ifndef KGOV_STREAM_DIRTY_TRACKER_H_
+#define KGOV_STREAM_DIRTY_TRACKER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/graph_view.h"
+#include "graph/subgraph.h"
+#include "stream/partition.h"
+#include "votes/vote.h"
+
+namespace kgov::stream {
+
+class DirtyClusterTracker {
+ public:
+  /// `partition` is shared with the optimizer that built it. `depth` must
+  /// cover the encoder's max path length L.
+  DirtyClusterTracker(std::shared_ptr<const GraphPartition> partition,
+                      int depth);
+
+  /// Marks every cluster the vote's L-ball touches (seed link nodes plus
+  /// the answer list; out-of-range ids are ignored).
+  void MarkVote(const votes::Vote& vote, graph::GraphView view);
+
+  void MarkCluster(uint32_t cluster);
+
+  /// The accumulated dirty set, sorted ascending.
+  std::vector<uint32_t> DirtySet() const;
+
+  size_t DirtyCount() const { return dirty_count_; }
+  size_t NumClusters() const { return dirty_.size(); }
+
+  /// Fraction of clusters currently dirty (the stream.dirty_cluster_ratio
+  /// gauge); 0 when the partition is empty.
+  double DirtyRatio() const {
+    return dirty_.empty() ? 0.0
+                          : static_cast<double>(dirty_count_) /
+                                static_cast<double>(dirty_.size());
+  }
+
+  void Clear();
+
+ private:
+  std::shared_ptr<const GraphPartition> partition_;
+  int depth_;
+  std::vector<uint8_t> dirty_;
+  size_t dirty_count_ = 0;
+};
+
+}  // namespace kgov::stream
+
+#endif  // KGOV_STREAM_DIRTY_TRACKER_H_

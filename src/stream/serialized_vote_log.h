@@ -1,0 +1,52 @@
+// SerializedVoteLog: a mutex around a VoteLogSink so the streaming
+// pipeline's two writers cannot interleave on the WAL.
+//
+// VoteLogSink implementations (durability::VoteWal in particular) are
+// single-writer. Under streaming there are two: producer threads append
+// acknowledged votes from inside VoteIngestQueue::Offer, and the consumer
+// thread appends dead-letter records from inside the optimizer's flush.
+// Routing both through this decorator restores the single-writer contract
+// without widening the sink interface.
+//
+// Checkpoints do not need the lock: DurabilityManager::Checkpoint runs on
+// the consumer thread inside VoteIngestQueue::DrainAllAndRun, which holds
+// the queue mutex that every producer-side append nests under, so no
+// append can race the segment roll.
+
+#ifndef KGOV_STREAM_SERIALIZED_VOTE_LOG_H_
+#define KGOV_STREAM_SERIALIZED_VOTE_LOG_H_
+
+#include "common/contracts.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "votes/vote_log.h"
+
+namespace kgov::stream {
+
+class SerializedVoteLog final : public votes::VoteLogSink {
+ public:
+  /// `base` is borrowed and must outlive this object.
+  explicit SerializedVoteLog(votes::VoteLogSink* base) : base_(base) {
+    KGOV_CHECK(base_ != nullptr);
+  }
+
+  Status AppendVote(const votes::Vote& vote) override
+      KGOV_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return base_->AppendVote(vote);
+  }
+
+  Status AppendDeadLetter(const votes::Vote& vote) override
+      KGOV_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return base_->AppendDeadLetter(vote);
+  }
+
+ private:
+  mutable Mutex mu_;
+  votes::VoteLogSink* base_;
+};
+
+}  // namespace kgov::stream
+
+#endif  // KGOV_STREAM_SERIALIZED_VOTE_LOG_H_

@@ -42,6 +42,7 @@
 #include "durability/manager.h"
 #include "graph/graph.h"
 #include "ppr/eipd_engine.h"
+#include "stream/pipeline.h"
 #include "votes/vote.h"
 
 namespace kgov::durability {
@@ -196,6 +197,70 @@ struct ChildPlan {
   std::_Exit(kChildSurvived);
 }
 
+// The streaming variant: the same durable baseline is reached through the
+// StreamPipeline (Offer-acknowledged votes, checkpoint-on-cadence
+// interleaved with the micro-batch flush) instead of bare AddVote. The
+// extra acknowledged votes live ONLY in the WAL and the ingest queue when
+// the kill fires - recovery must resurrect them from the WAL tail even
+// though they never reached the optimizer's pending buffer.
+[[noreturn]] void RunStreamingChild(const std::string& dir,
+                                    const std::string& artifact_dir) {
+  graph::WeightedDigraph g = MakeFixture();
+  DurabilityOptions options;
+  options.dir = dir;
+  StatusOr<DurabilityManager> opened = DurabilityManager::Open(options);
+  if (!opened.ok()) std::_Exit(kChildSetupFailed);
+  DurabilityManager manager = std::move(opened.value());
+
+  core::OnlineKgOptimizer online(g, LargeBatchOptions());
+  stream::StreamPipelineOptions pipeline_options;
+  pipeline_options.checkpoint_every_batches = 1;
+  pipeline_options.checkpoint_entities = 3;
+  pipeline_options.checkpoint_documents = 2;
+  StatusOr<std::unique_ptr<stream::StreamPipeline>> created =
+      stream::StreamPipeline::Create(&online, pipeline_options, &manager);
+  if (!created.ok()) std::_Exit(kChildSetupFailed);
+  stream::StreamPipeline& pipeline = **created;
+
+  // Durable baseline: one vote streamed through a micro-batch; the
+  // cadence checkpoints (inside the queue's producer lockout) right after
+  // the flush publishes epoch 1.
+  if (!pipeline.Offer(MakeVote(0)).ok()) std::_Exit(kChildSetupFailed);
+  StatusOr<size_t> drained = pipeline.DrainOnce(16);
+  if (!drained.ok() || drained.value() != 1) std::_Exit(kChildSetupFailed);
+  if (pipeline.GetStats().checkpoints != 1) std::_Exit(kChildSetupFailed);
+
+  // Acknowledge votes that only the WAL tail protects: they sit in the
+  // ingest queue, never drained into the optimizer.
+  std::vector<uint32_t> acked;
+  for (uint32_t id : {100u, 101u}) {
+    if (!pipeline.Offer(MakeVote(id)).ok()) std::_Exit(kChildSetupFailed);
+    acked.push_back(id);
+  }
+
+  {
+    const core::ServingEpoch epoch = online.CurrentEpoch();
+    if (!fs::WriteFileAtomic(artifact_dir + "/expected_rankings.txt",
+                             RankingsFingerprint(epoch.view()))
+             .ok() ||
+        !fs::WriteFileAtomic(artifact_dir + "/expected_epoch.txt",
+                             std::to_string(online.CurrentEpochNumber()))
+             .ok() ||
+        !fs::WriteFileAtomic(artifact_dir + "/acked_votes.txt",
+                             JoinIds(acked))
+             .ok()) {
+      std::_Exit(kChildSetupFailed);
+    }
+  }
+
+  // Die inside the WAL append of the next Offer: vote 999 is torn on disk
+  // and its Offer never returned, so it was never acknowledged.
+  FaultInjector::Global().Arm(FaultSite::kCrashMidWalAppend,
+                              {.probability = 1.0});
+  (void)pipeline.Offer(MakeVote(999));
+  std::_Exit(kChildSurvived);
+}
+
 class DurabilityKillTest : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -227,6 +292,23 @@ class DurabilityKillTest : public ::testing::Test {
     ASSERT_GE(pid, 0) << "fork failed: " << std::strerror(errno);
     if (pid == 0) {
       RunChild(root_ + "/state", plan, root_);  // never returns
+    }
+    int wstatus = 0;
+    ASSERT_EQ(waitpid(pid, &wstatus, 0), pid);
+    ASSERT_TRUE(WIFEXITED(wstatus)) << "child died abnormally";
+    ASSERT_EQ(WEXITSTATUS(wstatus), kKillTestExitCode)
+        << "child exited " << WEXITSTATUS(wstatus)
+        << " instead of dying at the armed kill site";
+  }
+
+  // Same fork/kill harness, streaming-pipeline child.
+  void CrashStreamingChild() {
+    fflush(stdout);
+    fflush(stderr);
+    pid_t pid = fork();
+    ASSERT_GE(pid, 0) << "fork failed: " << std::strerror(errno);
+    if (pid == 0) {
+      RunStreamingChild(root_ + "/state", root_);  // never returns
     }
     int wstatus = 0;
     ASSERT_EQ(waitpid(pid, &wstatus, 0), pid);
@@ -313,6 +395,14 @@ TEST_F(DurabilityKillTest, CrashMidEpochSwapServesTheNewEpoch) {
   plan.crash_in_checkpoint = true;
   plan.expect_second_epoch = true;
   CrashChild(plan);
+  VerifyRecovery();
+}
+
+TEST_F(DurabilityKillTest, CrashWithStreamingPipelineKeepsQueuedAcks) {
+  // Streaming write path: the durable contract must hold when votes are
+  // acknowledged at Offer time and still sitting in the ingest queue
+  // (never drained into the optimizer) when the process dies.
+  CrashStreamingChild();
   VerifyRecovery();
 }
 

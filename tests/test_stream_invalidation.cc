@@ -1,0 +1,290 @@
+// The streaming cache-coherence property tests (the serving half of the
+// streaming pipeline): after any sequence of micro-batch epoch swaps,
+// every ranking a cache-enabled engine serves is bitwise identical to a
+// cold recompute on the same epoch - under selective invalidation AND
+// under the conservative full-flush fallback - and selective invalidation
+// retains strictly more cached entries than a full flush when the change
+// is localized.
+//
+// Fixture: K disconnected 5-node "pods" (each the canonical diamond the
+// optimizer tests use). Votes target one pod at a time, so their bitwise
+// weight changes stay inside that pod's clusters and the other pods'
+// cached rankings remain provably valid.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "core/online_optimizer.h"
+#include "serve/query_engine.h"
+#include "stream/pipeline.h"
+
+namespace kgov::serve {
+namespace {
+
+using core::OnlineKgOptimizer;
+using core::OnlineOptimizerOptions;
+using graph::WeightedDigraph;
+
+constexpr size_t kPods = 8;
+constexpr size_t kPodSize = 5;
+
+WeightedDigraph MakePods(size_t pods) {
+  WeightedDigraph g(pods * kPodSize);
+  for (size_t p = 0; p < pods; ++p) {
+    const graph::NodeId base = static_cast<graph::NodeId>(p * kPodSize);
+    EXPECT_TRUE(g.AddEdge(base + 0, base + 1, 0.6).ok());
+    EXPECT_TRUE(g.AddEdge(base + 0, base + 2, 0.4).ok());
+    EXPECT_TRUE(g.AddEdge(base + 1, base + 3, 1.0).ok());
+    EXPECT_TRUE(g.AddEdge(base + 2, base + 4, 1.0).ok());
+  }
+  return g;
+}
+
+std::vector<graph::NodeId> AllCandidates(size_t pods) {
+  std::vector<graph::NodeId> candidates;
+  for (size_t p = 0; p < pods; ++p) {
+    const graph::NodeId base = static_cast<graph::NodeId>(p * kPodSize);
+    candidates.push_back(base + 3);
+    candidates.push_back(base + 4);
+  }
+  return candidates;
+}
+
+votes::Vote PodVote(size_t pod, graph::NodeId best_offset, uint32_t id) {
+  const graph::NodeId base = static_cast<graph::NodeId>(pod * kPodSize);
+  votes::Vote vote;
+  vote.id = id;
+  vote.query.links.emplace_back(base, 1.0);
+  vote.answer_list = {base + 3, base + 4};
+  vote.best_answer = base + best_offset;
+  return vote;
+}
+
+/// One deterministic seed per pod (plus weight jitter) so the stream
+/// covers every pod and repeats exactly.
+std::vector<ppr::QuerySeed> PodStream(size_t pods, uint64_t rng_seed) {
+  std::mt19937_64 rng(rng_seed);
+  std::uniform_real_distribution<double> weight(0.1, 1.0);
+  std::vector<ppr::QuerySeed> seeds;
+  for (size_t p = 0; p < pods; ++p) {
+    const graph::NodeId base = static_cast<graph::NodeId>(p * kPodSize);
+    ppr::QuerySeed seed;
+    seed.links.emplace_back(base, weight(rng));
+    seed.links.emplace_back(base + 1, weight(rng));
+    seed.Normalize();
+    seeds.push_back(std::move(seed));
+  }
+  return seeds;
+}
+
+OnlineOptimizerOptions StreamingOnlineOptions() {
+  OnlineOptimizerOptions options;
+  options.batch_size = 1000;  // the pipeline owns the flush cadence
+  options.optimizer.encoder.symbolic.eipd.max_length = 4;
+  options.optimizer.apply_judgment_filter = false;
+  options.strategy = core::FlushStrategy::kMultiVote;
+  options.partition_clusters = kPods * kPodSize;  // fine-grained clusters
+  return options;
+}
+
+QueryEngineOptions EngineOptions(bool cache, bool selective) {
+  QueryEngineOptions options;
+  options.eipd.max_length = 4;
+  options.top_k = 4;
+  options.num_threads = 2;
+  options.enable_cache = cache;
+  options.selective_invalidation = selective;
+  return options;
+}
+
+bool BitwiseEqual(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+void ExpectIdenticalAnswers(const std::vector<ppr::ScoredAnswer>& a,
+                            const std::vector<ppr::ScoredAnswer>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].node, b[i].node) << "rank " << i;
+    EXPECT_TRUE(BitwiseEqual(a[i].score, b[i].score))
+        << "rank " << i << ": " << a[i].score << " vs " << b[i].score;
+  }
+}
+
+/// Serves `stream` on both engines and requires bitwise-identical
+/// rankings on the same epoch. Returns the epoch served.
+uint64_t ServeAndCompare(QueryEngine& cached, QueryEngine& cold,
+                         const std::vector<ppr::QuerySeed>& stream) {
+  std::vector<StatusOr<RankedAnswers>> fresh = cold.SubmitBatch(stream);
+  std::vector<StatusOr<RankedAnswers>> memo = cached.SubmitBatch(stream);
+  uint64_t epoch = 0;
+  for (size_t i = 0; i < stream.size(); ++i) {
+    EXPECT_TRUE(fresh[i].ok()) << fresh[i].status();
+    EXPECT_TRUE(memo[i].ok()) << memo[i].status();
+    if (!fresh[i].ok() || !memo[i].ok()) continue;
+    EXPECT_EQ(fresh[i]->epoch, memo[i]->epoch) << "seed " << i;
+    epoch = fresh[i]->epoch;
+    ExpectIdenticalAnswers(fresh[i]->answers, memo[i]->answers);
+  }
+  return epoch;
+}
+
+/// The core property drill: run `rounds` streaming micro-batches (each
+/// voting into one pseudo-randomly chosen pod), re-serving and comparing
+/// the full stream after every swap.
+void RunSwapProperty(QueryEngine& cached, QueryEngine& cold,
+                     OnlineKgOptimizer& online,
+                     stream::StreamPipeline& pipeline, int rounds) {
+  const std::vector<ppr::QuerySeed> stream = PodStream(kPods, 0xD1CE);
+  std::mt19937_64 rng(0xFEED);
+
+  // Warm both engines (fills the cache) and establish baseline equality.
+  ASSERT_EQ(ServeAndCompare(cached, cold, stream), 0u);
+
+  uint32_t vote_id = 0;
+  for (int round = 0; round < rounds; ++round) {
+    const size_t pod = rng() % kPods;
+    ASSERT_TRUE(
+        pipeline.Offer(PodVote(pod, round % 2 == 0 ? 4 : 3, vote_id++))
+            .ok());
+    ASSERT_TRUE(pipeline.Offer(PodVote(pod, 4, vote_id++)).ok());
+    StatusOr<size_t> drained = pipeline.DrainOnce(16);
+    ASSERT_TRUE(drained.ok()) << drained.status().ToString();
+    ASSERT_EQ(drained.value(), 2u);
+
+    // Post-swap: every served entry - cached hit or recompute - must be
+    // bitwise identical to the cold engine's fresh propagation.
+    const uint64_t epoch = ServeAndCompare(cached, cold, stream);
+    EXPECT_EQ(epoch, online.CurrentEpochNumber());
+  }
+}
+
+TEST(StreamInvalidationProperty, SelectiveSwapsServeBitwiseIdentical) {
+  WeightedDigraph g = MakePods(kPods);
+  OnlineKgOptimizer online(g, StreamingOnlineOptions());
+  auto pipeline_or = stream::StreamPipeline::Create(&online, {}, nullptr);
+  ASSERT_TRUE(pipeline_or.ok());
+  const std::vector<graph::NodeId> candidates = AllCandidates(kPods);
+
+  auto cached_or = QueryEngine::Create(
+      &online, &candidates, EngineOptions(true, /*selective=*/true));
+  auto cold_or = QueryEngine::Create(&online, &candidates,
+                                     EngineOptions(false, true));
+  ASSERT_TRUE(cached_or.ok()) << cached_or.status();
+  ASSERT_TRUE(cold_or.ok()) << cold_or.status();
+
+  RunSwapProperty(**cached_or, **cold_or, online, **pipeline_or, 8);
+
+  // The selective path was actually exercised: swaps swept selectively,
+  // kept untouched pods cached (hits), and the cold engine never hit.
+  ShardedResultCache::Stats stats = (*cached_or)->CacheStats();
+  EXPECT_GT(stats.selective_sweeps, 0u);
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_EQ((*cold_or)->CacheStats().hits, 0u);
+}
+
+TEST(StreamInvalidationProperty, FullFlushFallbackServesBitwiseIdentical) {
+  // Same property with selective invalidation disabled: every swap takes
+  // the conservative full-flush path and correctness must not depend on
+  // the delta bookkeeping.
+  WeightedDigraph g = MakePods(kPods);
+  OnlineKgOptimizer online(g, StreamingOnlineOptions());
+  auto pipeline_or = stream::StreamPipeline::Create(&online, {}, nullptr);
+  ASSERT_TRUE(pipeline_or.ok());
+  const std::vector<graph::NodeId> candidates = AllCandidates(kPods);
+
+  auto cached_or = QueryEngine::Create(
+      &online, &candidates, EngineOptions(true, /*selective=*/false));
+  auto cold_or = QueryEngine::Create(&online, &candidates,
+                                     EngineOptions(false, true));
+  ASSERT_TRUE(cached_or.ok()) << cached_or.status();
+  ASSERT_TRUE(cold_or.ok()) << cold_or.status();
+
+  RunSwapProperty(**cached_or, **cold_or, online, **pipeline_or, 8);
+
+  ShardedResultCache::Stats stats = (*cached_or)->CacheStats();
+  EXPECT_GT(stats.full_sweeps, 0u);
+  EXPECT_EQ(stats.selective_sweeps, 0u);
+}
+
+TEST(StreamInvalidationProperty, TinyThresholdForcesFullFlushFallback) {
+  // The other fallback trigger: a threshold so small every non-empty
+  // delta exceeds it. The engine must degrade to full flushes (never
+  // taking the selective sweep) and stay bitwise-correct.
+  WeightedDigraph g = MakePods(kPods);
+  OnlineKgOptimizer online(g, StreamingOnlineOptions());
+  auto pipeline_or = stream::StreamPipeline::Create(&online, {}, nullptr);
+  ASSERT_TRUE(pipeline_or.ok());
+  const std::vector<graph::NodeId> candidates = AllCandidates(kPods);
+
+  QueryEngineOptions tiny = EngineOptions(true, true);
+  tiny.full_flush_threshold = 1e-9;
+  auto cached_or = QueryEngine::Create(&online, &candidates, tiny);
+  auto cold_or = QueryEngine::Create(&online, &candidates,
+                                     EngineOptions(false, true));
+  ASSERT_TRUE(cached_or.ok()) << cached_or.status();
+  ASSERT_TRUE(cold_or.ok()) << cold_or.status();
+
+  RunSwapProperty(**cached_or, **cold_or, online, **pipeline_or, 4);
+
+  ShardedResultCache::Stats stats = (*cached_or)->CacheStats();
+  EXPECT_GT(stats.full_sweeps, 0u);
+  EXPECT_EQ(stats.selective_sweeps, 0u);
+}
+
+TEST(StreamInvalidationProperty, SelectiveRetainsStrictlyMoreThanFullFlush) {
+  // The hit-rate-retention claim, deterministically: votes into pod 0
+  // only. A selective engine keeps every other pod's entry across the
+  // swap; a full-flush engine starts cold. Both serve identical bits.
+  WeightedDigraph g = MakePods(kPods);
+  OnlineKgOptimizer online(g, StreamingOnlineOptions());
+  auto pipeline_or = stream::StreamPipeline::Create(&online, {}, nullptr);
+  ASSERT_TRUE(pipeline_or.ok());
+  stream::StreamPipeline& pipeline = **pipeline_or;
+  const std::vector<graph::NodeId> candidates = AllCandidates(kPods);
+
+  auto selective_or = QueryEngine::Create(&online, &candidates,
+                                          EngineOptions(true, true));
+  auto full_or = QueryEngine::Create(&online, &candidates,
+                                     EngineOptions(true, false));
+  auto cold_or = QueryEngine::Create(&online, &candidates,
+                                     EngineOptions(false, true));
+  ASSERT_TRUE(selective_or.ok());
+  ASSERT_TRUE(full_or.ok());
+  ASSERT_TRUE(cold_or.ok());
+  QueryEngine& selective = **selective_or;
+  QueryEngine& full = **full_or;
+  QueryEngine& cold = **cold_or;
+
+  const std::vector<ppr::QuerySeed> stream = PodStream(kPods, 0xABBA);
+  // Warm both caches on epoch 0.
+  (void)selective.SubmitBatch(stream);
+  (void)full.SubmitBatch(stream);
+
+  // One localized micro-batch: pod 0 only.
+  ASSERT_TRUE(pipeline.Offer(PodVote(0, 4, 1)).ok());
+  ASSERT_TRUE(pipeline.DrainOnce(16).ok());
+  ASSERT_EQ(online.CurrentEpochNumber(), 1u);
+
+  const ShardedResultCache::Stats selective_before = selective.CacheStats();
+  const ShardedResultCache::Stats full_before = full.CacheStats();
+  ASSERT_EQ(ServeAndCompare(selective, cold, stream), 1u);
+  std::vector<StatusOr<RankedAnswers>> full_pass = full.SubmitBatch(stream);
+  for (const auto& r : full_pass) ASSERT_TRUE(r.ok());
+
+  const uint64_t selective_hits =
+      selective.CacheStats().hits - selective_before.hits;
+  const uint64_t full_hits = full.CacheStats().hits - full_before.hits;
+  // Full flush: the post-swap pass is all misses. Selective: every pod
+  // except the voted one is still cached.
+  EXPECT_EQ(full_hits, 0u);
+  EXPECT_GE(selective_hits, kPods - 1);
+  EXPECT_GT(selective.CacheStats().selective_sweeps, 0u);
+  EXPECT_GT(full.CacheStats().full_sweeps, 0u);
+}
+
+}  // namespace
+}  // namespace kgov::serve

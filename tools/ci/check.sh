@@ -101,7 +101,13 @@ with open(sys.argv[1]) as f:
     bench = json.load(f)
 if bench.get("cache_hit_speedup", 0) <= 1.0:
     sys.exit("FAIL: cache-hit speedup not > 1x")
-if bench.get("scaling_1_to_4_ideal", 0) < 2.0:
+scaling = bench.get("scaling")
+if scaling is None:
+    # Single-core host: the bench emits "scaling": null because the thread
+    # sweep cannot measure real scaling there. Skip (don't gate) the check.
+    print("SKIP: thread-scaling gate (host_cores={}, scaling is null)"
+          .format(bench.get("host_cores", "?")))
+elif scaling.get("ideal_1_to_4", 0) < 2.0:
     sys.exit("FAIL: ideal 1->4 thread scaling below 2x")
 with open(sys.argv[2]) as f:
     snap = json.load(f)
@@ -118,8 +124,53 @@ for key in ("p50", "p95", "p99", "buckets"):
         sys.exit(f"FAIL: serve latency histogram lacks '{key}'")
 print("concurrent serving OK:",
       "{:.1f}x cache speedup,".format(bench["cache_hit_speedup"]),
-      "{:.2f}x ideal scaling,".format(bench["scaling_1_to_4_ideal"]),
+      ("{:.2f}x ideal scaling,".format(scaling["ideal_1_to_4"])
+       if scaling is not None else "scaling n/a (1 core),"),
       hist["count"], "queries served")
+EOF
+
+  echo "== [3/3] streaming bench (smoke) =="
+  STREAMING_JSON="$BUILD_DIR/BENCH_streaming_smoke.json"
+  STREAMING_TELEMETRY="$BUILD_DIR/BENCH_streaming_telemetry_smoke.json"
+  rm -f "$STREAMING_JSON" "$STREAMING_TELEMETRY"
+  "$BUILD_DIR/bench/bench_streaming" --smoke \
+      --json "$STREAMING_JSON" \
+      --telemetry-json "$STREAMING_TELEMETRY"
+
+  # The committed full-run artifact is BENCH_streaming.json at the repo
+  # root; the smoke json stays in the build dir. The gates: the pipeline
+  # must sustain a positive acknowledged-vote rate with epochs actually
+  # published, and selective invalidation must retain a strictly higher
+  # post-swap cache hit rate than the full-flush baseline on the same
+  # workload - the property the whole delta machinery exists for.
+  python3 - "$STREAMING_JSON" "$STREAMING_TELEMETRY" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    bench = json.load(f)
+ingest = bench.get("ingest", {})
+if ingest.get("votes_per_sec", 0) <= 0:
+    sys.exit("FAIL: streaming ingest rate is zero")
+if ingest.get("epochs_published", 0) == 0:
+    sys.exit("FAIL: streaming ingest published no epochs")
+if ingest.get("queries_served", 0) == 0:
+    sys.exit("FAIL: no queries served concurrently with ingest")
+inval = bench.get("invalidation", {})
+sel = inval.get("hit_rate_selective", 0.0)
+full = inval.get("hit_rate_full", 0.0)
+if sel <= full:
+    sys.exit(f"FAIL: selective invalidation hit rate {sel:.4f} not "
+             f"strictly above full-flush {full:.4f}")
+with open(sys.argv[2]) as f:
+    snap = json.load(f)
+counters = snap.get("counters", {})
+for counter in ("stream.votes_ingested", "stream.micro_batches",
+                "stream.epochs_published", "stream.invalidation.selective"):
+    if counters.get(counter, 0) == 0:
+        sys.exit(f"FAIL: telemetry counter '{counter}' is zero")
+print("streaming OK:",
+      "{:.0f} votes/s sustained,".format(ingest["votes_per_sec"]),
+      "p99 {:.2f} ms serving,".format(ingest.get("serving_p99_ms", 0.0)),
+      "retention {:.1%} selective vs {:.1%} full".format(sel, full))
 EOF
 
   echo "== [3/3] durability bench (smoke) =="

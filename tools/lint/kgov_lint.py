@@ -33,6 +33,14 @@ Rules (each suppressible on the offending line or the line above with
                      the rest must at least check the stream before
                      reporting success. (`is_open()` alone does not count:
                      it only proves the open succeeded, not the writes.)
+  stream-status-api  Entry-point verbs in src/stream/ headers (Offer /
+                     TryOffer / Drain* / Start / Stop / Close / Flush* /
+                     Ingest* / Checkpoint* / Append*) must return Status,
+                     StatusOr<T> or Result<T>. These are the pipeline's
+                     backpressure, shutdown and durability surfaces, and
+                     all three types are [[nodiscard]], so the signature
+                     is what makes it impossible for a caller to silently
+                     drop a queue-full, shed, or WAL-ordering error.
 
 Usage: kgov_lint.py [--root DIR] [--report FILE] [--file FILE]
 With --file, only that file is linted (used by the CI canary that proves
@@ -64,6 +72,24 @@ OFSTREAM_DECL_RE = re.compile(r"\bstd::ofstream\s+(\w+)\s*[({;]")
 # A statement that begins with fwrite: its size_t result (items actually
 # written) is being dropped.
 FWRITE_STMT_RE = re.compile(r"^\s*(?:std::)?fwrite\s*\(")
+
+# A single-line declaration of a stream entry-point verb in a src/stream/
+# header: optional attribute/specifiers, a return type (possibly a
+# template), then the verb immediately followed by its parameter list.
+# Member calls (`queue_.Close()`) do not match: the dot/arrow before the
+# name is outside the return-type charset.
+STREAM_API_PREFIX = os.path.join("src", "stream") + os.sep
+STREAM_ENTRY_RE = re.compile(
+    r"^\s*(?:\[\[nodiscard\]\]\s*)?"
+    r"(?:virtual\s+|static\s+|inline\s+|constexpr\s+|explicit\s+)*"
+    r"([A-Za-z_][\w:]*(?:\s*<[^;()]*>)?[\s&*]+)"
+    r"(Offer|TryOffer|Start|Stop|Close|Drain\w*|Flush\w*|Ingest\w*|"
+    r"Checkpoint\w*|Append\w*)\s*\(")
+STREAM_STATUS_RETURN_RE = re.compile(
+    r"^(?:kgov\s*::\s*)?(?:Status|StatusOr\b|Result\b)")
+STREAM_NON_TYPE_TOKENS = {
+    "return", "co_return", "co_await", "co_yield", "throw", "delete",
+    "new", "else", "case", "goto"}
 
 
 def strip_comments_and_strings(line):
@@ -233,6 +259,28 @@ class Linter:
                         "checkable before use")
             i = j + 1
 
+    def lint_stream_api(self, relpath, text):
+        lines = text.split("\n")
+        stripped = [strip_comments_and_strings(l) for l in lines]
+        for i, line in enumerate(stripped):
+            m = STREAM_ENTRY_RE.match(line)
+            if not m:
+                continue
+            ret = m.group(1).strip().rstrip("&* \t")
+            name = m.group(2)
+            if ret in STREAM_NON_TYPE_TOKENS:
+                continue
+            if STREAM_STATUS_RETURN_RE.match(ret):
+                continue
+            if not self.allowed("stream-status-api", lines, i):
+                self.report(
+                    "stream-status-api", relpath, i + 1,
+                    "stream entry point " + name + "() returns '" + ret +
+                    "'; ingestion/drain/lifecycle verbs in src/stream/ "
+                    "must return Status, StatusOr<T> or Result<T> "
+                    "([[nodiscard]]) so callers cannot drop a queue-full, "
+                    "shed, or WAL-ordering error")
+
     # -- repo-level rules -------------------------------------------------
 
     def lint_nodiscard_status(self):
@@ -265,6 +313,8 @@ class Linter:
         self.lint_source(relpath, text)
         if full.endswith(".h") and relpath.startswith("src" + os.sep):
             self.lint_options_structs(relpath, text)
+        if full.endswith(".h") and relpath.startswith(STREAM_API_PREFIX):
+            self.lint_stream_api(relpath, text)
         return self.violations
 
     def run(self):
@@ -284,6 +334,9 @@ class Linter:
                     if fname.endswith(".h") and relpath.startswith(
                             "src" + os.sep):
                         self.lint_options_structs(relpath, text)
+                    if fname.endswith(".h") and relpath.startswith(
+                            STREAM_API_PREFIX):
+                        self.lint_stream_api(relpath, text)
         self.lint_nodiscard_status()
         return self.violations
 
