@@ -16,10 +16,26 @@
 //
 // The cache rows are measured in steady state (a warm-up round fills the
 // cache), so cache-on vs cache-off is the honest hit-path speedup.
+//
+// Three serving-path phases follow the sweep:
+//
+//  * single_flight - a flash crowd (K threads, one cold key at a time)
+//    against the coalescing engine; the propagation count must equal the
+//    number of cold keys (exactly one leader per key), verified from the
+//    engine's own outcome counters.
+//  * batching - the same stream executed with multi-root batching on vs
+//    off (cache off so every query propagates), plus the
+//    serving.eipd.multi_passes / multi_roots counter deltas.
+//  * shedding - clients hammer a capacity-2 admission window; shed
+//    Submits must return kResourceExhausted promptly (p99 is gated in
+//    tools/ci/check.sh).
+//
 // Writes BENCH_concurrent.json + a telemetry snapshot with the serve.*
 // counters and the span.serve.query.seconds histogram populated
 // (tools/ci/check.sh validates both). --smoke shrinks the stream for CI.
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -31,6 +47,7 @@
 #include "core/online_optimizer.h"
 #include "qa/kg_builder.h"
 #include "serve/query_engine.h"
+#include "telemetry/metrics.h"
 
 namespace kgov {
 namespace {
@@ -78,6 +95,11 @@ SweepPoint RunConfig(const Setup& s, const core::OnlineKgOptimizer& online,
   options.top_k = 20;
   options.num_threads = threads;
   options.enable_cache = cache;
+  // The sweep is the baseline serving path (comparable across revisions):
+  // miss collapse and multi-root batching are measured by their own
+  // phases below, not folded into these rows.
+  options.enable_single_flight = false;
+  options.enable_batching = false;
   auto engine_or =
       serve::QueryEngine::Create(&online, &s.kg.answer_nodes, options);
   KGOV_CHECK(engine_or.ok());
@@ -105,6 +127,209 @@ SweepPoint RunConfig(const Setup& s, const core::OnlineKgOptimizer& online,
                    : static_cast<double>(stats.hits) /
                          static_cast<double>(lookups);
   return point;
+}
+
+serve::QueryEngineOptions PhaseOptions() {
+  serve::QueryEngineOptions options;
+  options.eipd.max_length = 5;
+  options.top_k = 20;
+  return options;
+}
+
+struct SingleFlightReport {
+  size_t flash_threads = 0;
+  size_t cold_keys = 0;
+  serve::QueryEngine::ServeStats stats;
+  double collapsed_wall_seconds = 0.0;
+  double duplicated_wall_seconds = 0.0;
+};
+
+/// Flash crowd: for each of `cold_keys` distinct seeds, `kFlash` threads
+/// Submit the same seed simultaneously. With single-flight on, exactly
+/// one propagation per key may run; everyone else follows the leader or
+/// hits the cache the leader filled. The duplicated baseline (cache and
+/// coalescing off) pays one propagation per caller.
+SingleFlightReport RunSingleFlightPhase(const Setup& s,
+                                        const core::OnlineKgOptimizer& online) {
+  constexpr size_t kFlash = 8;
+  SingleFlightReport report;
+  report.flash_threads = kFlash;
+  report.cold_keys = std::min<size_t>(4, s.seeds.size());
+
+  auto flash = [&](serve::QueryEngine& engine) {
+    Timer timer;
+    for (size_t k = 0; k < report.cold_keys; ++k) {
+      std::atomic<bool> go{false};
+      std::vector<std::thread> threads;
+      threads.reserve(kFlash);
+      for (size_t t = 0; t < kFlash; ++t) {
+        threads.emplace_back([&]() {
+          while (!go.load(std::memory_order_acquire)) {
+            std::this_thread::yield();
+          }
+          StatusOr<serve::RankedAnswers> r = engine.Submit(s.seeds[k]);
+          KGOV_CHECK(r.ok());
+        });
+      }
+      go.store(true, std::memory_order_release);
+      for (std::thread& t : threads) t.join();
+    }
+    return timer.ElapsedSeconds();
+  };
+
+  serve::QueryEngineOptions options = PhaseOptions();
+  options.num_threads = 4;
+  options.enable_cache = true;
+  options.enable_single_flight = true;
+  options.enable_batching = false;
+  auto collapsed_or =
+      serve::QueryEngine::Create(&online, &s.kg.answer_nodes, options);
+  KGOV_CHECK(collapsed_or.ok());
+  report.collapsed_wall_seconds = flash(**collapsed_or);
+  report.stats = (*collapsed_or)->GetServeStats();
+
+  options.enable_cache = false;
+  options.enable_single_flight = false;
+  auto duplicated_or =
+      serve::QueryEngine::Create(&online, &s.kg.answer_nodes, options);
+  KGOV_CHECK(duplicated_or.ok());
+  report.duplicated_wall_seconds = flash(**duplicated_or);
+  return report;
+}
+
+struct BatchingReport {
+  uint64_t queries = 0;
+  double qps_batched = 0.0;
+  double qps_solo = 0.0;
+  uint64_t multi_passes = 0;
+  double avg_roots_per_pass = 0.0;
+};
+
+/// Multi-root batching on vs off over the same stream. Cache and
+/// single-flight stay off so every query propagates and the comparison
+/// isolates the execution path (one interleaved pass per cluster group
+/// vs one solo pass per query).
+BatchingReport RunBatchingPhase(const Setup& s,
+                                const core::OnlineKgOptimizer& online,
+                                int rounds) {
+  auto run = [&](bool batching) {
+    serve::QueryEngineOptions options = PhaseOptions();
+    options.num_threads = 2;
+    options.enable_cache = false;
+    options.enable_single_flight = false;
+    options.enable_batching = batching;
+    options.max_batch_roots = 8;
+    auto engine_or =
+        serve::QueryEngine::Create(&online, &s.kg.answer_nodes, options);
+    KGOV_CHECK(engine_or.ok());
+    serve::QueryEngine& engine = **engine_or;
+    auto serve_round = [&]() {
+      std::vector<StatusOr<serve::RankedAnswers>> results =
+          engine.SubmitBatch(s.seeds);
+      for (const auto& r : results) KGOV_CHECK(r.ok());
+    };
+    serve_round();  // warm-up
+    Timer timer;
+    for (int r = 0; r < rounds; ++r) serve_round();
+    return timer.ElapsedSeconds();
+  };
+
+  telemetry::MetricRegistry& registry = telemetry::MetricRegistry::Global();
+  telemetry::Counter* passes =
+      registry.GetCounter("serving.eipd.multi_passes");
+  telemetry::Counter* roots = registry.GetCounter("serving.eipd.multi_roots");
+
+  BatchingReport report;
+  report.queries = static_cast<uint64_t>(rounds) * s.seeds.size();
+  const double solo_wall = run(false);
+  const uint64_t passes_before = passes->Value();
+  const uint64_t roots_before = roots->Value();
+  const double batched_wall = run(true);
+  report.multi_passes = passes->Value() - passes_before;
+  const uint64_t multi_roots = roots->Value() - roots_before;
+  report.avg_roots_per_pass =
+      report.multi_passes == 0
+          ? 0.0
+          : static_cast<double>(multi_roots) /
+                static_cast<double>(report.multi_passes);
+  report.qps_solo = static_cast<double>(report.queries) / solo_wall;
+  report.qps_batched = static_cast<double>(report.queries) / batched_wall;
+  return report;
+}
+
+struct ShedReport {
+  size_t capacity = 0;
+  uint64_t attempted = 0;
+  uint64_t served = 0;
+  uint64_t shed = 0;
+  double shed_p50_seconds = 0.0;
+  double shed_p99_seconds = 0.0;
+};
+
+double Percentile(std::vector<double>& sorted_in_place, double p) {
+  if (sorted_in_place.empty()) return 0.0;
+  std::sort(sorted_in_place.begin(), sorted_in_place.end());
+  const size_t idx =
+      static_cast<size_t>(p * static_cast<double>(sorted_in_place.size() - 1));
+  return sorted_in_place[idx];
+}
+
+/// Saturate a tiny admission window (capacity 2, one worker) from four
+/// client threads: while the worker propagates, further Submits must
+/// shed with kResourceExhausted without queuing behind the work. The
+/// shed-path latency percentiles are the promptness number check.sh
+/// gates on.
+ShedReport RunShedPhase(const Setup& s, const core::OnlineKgOptimizer& online,
+                        int duration_ms) {
+  serve::QueryEngineOptions options = PhaseOptions();
+  options.num_threads = 1;
+  options.enable_cache = false;  // every admitted query occupies the window
+  options.enable_single_flight = false;
+  options.enable_batching = false;
+  options.admission.capacity = 2;
+  auto engine_or =
+      serve::QueryEngine::Create(&online, &s.kg.answer_nodes, options);
+  KGOV_CHECK(engine_or.ok());
+  serve::QueryEngine& engine = **engine_or;
+
+  constexpr size_t kClients = 4;
+  std::atomic<uint64_t> served{0};
+  std::vector<std::vector<double>> shed_latency(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c]() {
+      Timer deadline;
+      size_t i = c;
+      while (deadline.ElapsedSeconds() * 1000.0 <
+             static_cast<double>(duration_ms)) {
+        Timer call;
+        StatusOr<serve::RankedAnswers> r =
+            engine.Submit(s.seeds[i % s.seeds.size()]);
+        if (r.ok()) {
+          served.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          KGOV_CHECK(r.status().code() == StatusCode::kResourceExhausted);
+          shed_latency[c].push_back(call.ElapsedSeconds());
+        }
+        i += kClients;
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  ShedReport report;
+  report.capacity = options.admission.capacity;
+  report.served = served.load();
+  std::vector<double> all;
+  for (const std::vector<double>& per_client : shed_latency) {
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  }
+  report.shed = all.size();
+  report.attempted = report.served + report.shed;
+  report.shed_p50_seconds = Percentile(all, 0.50);
+  report.shed_p99_seconds = Percentile(all, 0.99);
+  return report;
 }
 
 void RunAndReport(bool smoke, const char* json_path,
@@ -187,6 +412,36 @@ void RunAndReport(bool smoke, const char* json_path,
   std::printf("cache-hit speedup (1 thread, steady state): %.2fx\n",
               cache_speedup);
 
+  SingleFlightReport sf = RunSingleFlightPhase(s, online);
+  std::printf(
+      "single-flight: %zu threads x %zu cold keys -> %llu propagations "
+      "(%llu leaders, %llu followers, %llu hits, %llu timeouts); "
+      "collapsed %.1f ms vs duplicated %.1f ms\n",
+      sf.flash_threads, sf.cold_keys,
+      static_cast<unsigned long long>(sf.stats.misses),
+      static_cast<unsigned long long>(sf.stats.leaders),
+      static_cast<unsigned long long>(sf.stats.followers),
+      static_cast<unsigned long long>(sf.stats.hits),
+      static_cast<unsigned long long>(sf.stats.timeouts),
+      sf.collapsed_wall_seconds * 1e3, sf.duplicated_wall_seconds * 1e3);
+
+  BatchingReport batching = RunBatchingPhase(s, online, rounds);
+  std::printf(
+      "batching: %.1f q/s batched vs %.1f q/s solo "
+      "(%llu multi-root passes, %.1f roots/pass)\n",
+      batching.qps_batched, batching.qps_solo,
+      static_cast<unsigned long long>(batching.multi_passes),
+      batching.avg_roots_per_pass);
+
+  ShedReport shed = RunShedPhase(s, online, smoke ? 200 : 1000);
+  std::printf(
+      "shedding: capacity %zu, %llu attempted -> %llu served, %llu shed; "
+      "shed p50 %.1f us, p99 %.1f us\n",
+      shed.capacity, static_cast<unsigned long long>(shed.attempted),
+      static_cast<unsigned long long>(shed.served),
+      static_cast<unsigned long long>(shed.shed),
+      shed.shed_p50_seconds * 1e6, shed.shed_p99_seconds * 1e6);
+
   std::FILE* out = std::fopen(json_path, "w");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", json_path);
@@ -220,18 +475,44 @@ void RunAndReport(bool smoke, const char* json_path,
     std::fprintf(out,
                  "  ],\n"
                  "  \"scaling\": {\"ideal_1_to_4\": %.3f, "
-                 "\"measured_1_to_4\": %.3f},\n"
-                 "  \"cache_hit_speedup\": %.3f\n"
-                 "}\n",
-                 scaling_ideal, scaling_measured, cache_speedup);
+                 "\"measured_1_to_4\": %.3f},\n",
+                 scaling_ideal, scaling_measured);
   } else {
     std::fprintf(out,
                  "  ],\n"
-                 "  \"scaling\": null,\n"
-                 "  \"cache_hit_speedup\": %.3f\n"
-                 "}\n",
-                 cache_speedup);
+                 "  \"scaling\": null,\n");
   }
+  std::fprintf(out,
+               "  \"cache_hit_speedup\": %.3f,\n"
+               "  \"single_flight\": {\"flash_threads\": %zu, "
+               "\"cold_keys\": %zu, \"queries\": %llu, "
+               "\"propagations\": %llu, \"leaders\": %llu, "
+               "\"followers\": %llu, \"hits\": %llu, \"timeouts\": %llu, "
+               "\"collapsed_wall_seconds\": %.6f, "
+               "\"duplicated_wall_seconds\": %.6f},\n"
+               "  \"batching\": {\"queries\": %llu, "
+               "\"qps_batched\": %.2f, \"qps_solo\": %.2f, "
+               "\"multi_passes\": %llu, \"avg_roots_per_pass\": %.2f},\n"
+               "  \"shedding\": {\"capacity\": %zu, \"attempted\": %llu, "
+               "\"served\": %llu, \"shed\": %llu, "
+               "\"shed_p50_seconds\": %.8f, \"shed_p99_seconds\": %.8f}\n"
+               "}\n",
+               cache_speedup, sf.flash_threads, sf.cold_keys,
+               static_cast<unsigned long long>(sf.stats.queries),
+               static_cast<unsigned long long>(sf.stats.misses),
+               static_cast<unsigned long long>(sf.stats.leaders),
+               static_cast<unsigned long long>(sf.stats.followers),
+               static_cast<unsigned long long>(sf.stats.hits),
+               static_cast<unsigned long long>(sf.stats.timeouts),
+               sf.collapsed_wall_seconds, sf.duplicated_wall_seconds,
+               static_cast<unsigned long long>(batching.queries),
+               batching.qps_batched, batching.qps_solo,
+               static_cast<unsigned long long>(batching.multi_passes),
+               batching.avg_roots_per_pass, shed.capacity,
+               static_cast<unsigned long long>(shed.attempted),
+               static_cast<unsigned long long>(shed.served),
+               static_cast<unsigned long long>(shed.shed),
+               shed.shed_p50_seconds, shed.shed_p99_seconds);
   std::fclose(out);
   std::printf("wrote %s\n", json_path);
 

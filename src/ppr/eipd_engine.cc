@@ -27,6 +27,11 @@ PropagationWorkspace& ThreadLocalWorkspace() {
   return workspace;
 }
 
+MultiPropagationWorkspace& ThreadLocalMultiWorkspace() {
+  static thread_local MultiPropagationWorkspace workspace;
+  return workspace;
+}
+
 EipdEngine::EipdEngine(graph::GraphView view, EipdOptions options)
     : view_(view), options_(options) {
   Status valid = options_.Validate();
@@ -156,6 +161,52 @@ StatusOr<std::vector<ScoredAnswer>> EipdEngine::RankWithOverrides(
         "weight overrides require a view with an edge-id table");
   }
   return TopKByScore(PropagateInto(seed, &overrides, ws), candidates, k);
+}
+
+StatusOr<std::vector<std::vector<ScoredAnswer>>> EipdEngine::RankMulti(
+    const std::vector<QuerySeed>& seeds,
+    const std::vector<graph::NodeId>& candidates, size_t k,
+    MultiPropagationWorkspace* ws) const {
+  std::vector<std::vector<ScoredAnswer>> results;
+  if (seeds.empty()) return results;
+  std::vector<const QuerySeed*> roots;
+  roots.reserve(seeds.size());
+  for (const QuerySeed& seed : seeds) {
+    KGOV_RETURN_IF_ERROR(ValidateSeed(seed));
+    roots.push_back(&seed);
+  }
+
+  // Telemetry mirrors the single-root path: each lane counts as one
+  // propagation (a lane does the same arithmetic a solo query would), and
+  // the pass itself is counted so dashboards can see the batching ratio.
+  static telemetry::Histogram* const latency =
+      telemetry::MetricRegistry::Global().GetHistogram(
+          "serving.eipd.propagate.seconds");
+  static telemetry::Counter* const queries =
+      telemetry::MetricRegistry::Global().GetCounter("serving.eipd.queries");
+  static telemetry::Counter* const multi_passes =
+      telemetry::MetricRegistry::Global().GetCounter(
+          "serving.eipd.multi_passes");
+  static telemetry::Counter* const multi_roots =
+      telemetry::MetricRegistry::Global().GetCounter(
+          "serving.eipd.multi_roots");
+  Timer timer;
+  if (ws == nullptr) ws = &ThreadLocalMultiWorkspace();
+  internal::PropagatePhiMulti(internal::ViewAdjacency{view_}, roots,
+                              options_, ws);
+  queries->Increment(roots.size());
+  multi_passes->Increment();
+  multi_roots->Increment(roots.size());
+  latency->Observe(timer.ElapsedSeconds());
+
+  results.reserve(roots.size());
+  for (size_t b = 0; b < roots.size(); ++b) {
+    KGOV_ASSIGN_OR_RETURN(
+        std::vector<ScoredAnswer> ranked,
+        TopKByScore(ws->lanes[b].phi, candidates, k));
+    results.push_back(std::move(ranked));
+  }
+  return results;
 }
 
 // --- Deprecated wrappers -------------------------------------------------

@@ -67,6 +67,21 @@ struct PropagationWorkspace {
 /// The per-thread default workspace used when callers pass nullptr.
 PropagationWorkspace& ThreadLocalWorkspace();
 
+/// Scratch for a multi-root pass: one PropagationWorkspace lane per root.
+/// Lane capacity is retained across passes (EnsureLanes only grows), so a
+/// serving worker that batches queries steadily allocates nothing.
+struct MultiPropagationWorkspace {
+  std::vector<PropagationWorkspace> lanes;
+
+  void EnsureLanes(size_t count) {
+    if (lanes.size() < count) lanes.resize(count);
+  }
+};
+
+/// The per-thread default multi-root workspace used when callers pass
+/// nullptr to RankMulti.
+MultiPropagationWorkspace& ThreadLocalMultiWorkspace();
+
 namespace internal {
 
 /// Adjacency adapter over a GraphView (contiguous CSR ranges).
@@ -103,6 +118,63 @@ struct DigraphAdjacency {
   }
 };
 
+// --- Per-lane primitives ---------------------------------------------
+// One lane = one seed's propagation state in its own workspace. Both the
+// single-root driver (PropagatePhi) and the multi-root driver
+// (PropagatePhiMulti) are composed of exactly these steps, so a lane's
+// floating-point operation sequence is identical whichever driver runs
+// it: a multi-root result is bitwise-identical, per root, to the
+// single-root propagation of the same seed (tests/test_eipd_multi.cc).
+
+/// Level 1: the query's first hop.
+template <typename Adjacency>
+void SeedLane(const Adjacency& adj, const QuerySeed& seed,
+              PropagationWorkspace* ws) {
+  ws->Prepare(adj.NumNodes());
+  for (const auto& [node, weight] : seed.links) {
+    KGOV_DCHECK(adj.IsValidNode(node));
+    if (weight <= 0.0) continue;
+    if (ws->mass[node] == 0.0) ws->frontier.push_back(node);
+    ws->mass[node] += weight;
+  }
+}
+
+/// Absorbs the current level's mass into phi at the given decay
+/// c*(1-c)^len.
+inline void AbsorbLane(PropagationWorkspace* ws, double decay) {
+  for (graph::NodeId v : ws->frontier) {
+    ws->phi[v] += ws->mass[v] * decay;
+  }
+}
+
+/// Pushes the lane's mass one level along the out-edges.
+template <typename Adjacency>
+void AdvanceLane(const Adjacency& adj,
+                 const std::unordered_map<graph::EdgeId, double>* overrides,
+                 PropagationWorkspace* ws) {
+  std::vector<double>& next = ws->next;
+  ws->next_frontier.clear();
+  for (graph::NodeId u : ws->frontier) {
+    const double m = ws->mass[u];
+    adj.ForEachOut(u, [&](graph::NodeId to, double w, graph::EdgeId e) {
+      if (overrides != nullptr) {
+        auto it = overrides->find(e);
+        if (it != overrides->end()) w = it->second;
+      }
+      if (w <= 0.0) return;
+      if (next[to] == 0.0) ws->next_frontier.push_back(to);
+      next[to] += m * w;
+    });
+    ws->mass[u] = 0.0;
+  }
+  // `next` entries touched twice keep their accumulated value;
+  // next_frontier may contain duplicates only if next[v] was exactly 0
+  // after a prior add, which cannot happen with positive weights. After
+  // the swap the old mass array (all zeroed above) becomes next.
+  ws->mass.swap(ws->next);
+  ws->frontier.swap(ws->next_frontier);
+}
+
 /// THE propagation body: level-synchronous mass propagation (a truncated
 /// power iteration over the walk length), yielding the scores of *all*
 /// nodes in one pass - the property behind the paper's Table VI efficiency
@@ -116,47 +188,44 @@ void PropagatePhi(const Adjacency& adj, const QuerySeed& seed,
                   const std::unordered_map<graph::EdgeId, double>* overrides,
                   PropagationWorkspace* ws) {
   const double c = options.restart;
-  ws->Prepare(adj.NumNodes());
-  std::vector<double>& phi = ws->phi;
-  std::vector<double>& mass = ws->mass;
-  std::vector<double>& next = ws->next;
-  std::vector<graph::NodeId>& frontier = ws->frontier;
-  std::vector<graph::NodeId>& next_frontier = ws->next_frontier;
-
-  // Level 1: the query's first hop.
-  for (const auto& [node, weight] : seed.links) {
-    KGOV_DCHECK(adj.IsValidNode(node));
-    if (weight <= 0.0) continue;
-    if (mass[node] == 0.0) frontier.push_back(node);
-    mass[node] += weight;
-  }
-
+  SeedLane(adj, seed, ws);
   double decay = c * (1.0 - c);  // c*(1-c)^len for len = 1
   for (int len = 1; len <= options.max_length; ++len) {
-    for (graph::NodeId v : frontier) {
-      phi[v] += mass[v] * decay;
+    AbsorbLane(ws, decay);
+    if (len == options.max_length) break;
+    AdvanceLane(adj, overrides, ws);
+    decay *= 1.0 - c;
+  }
+}
+
+/// The multi-root kernel: B seeds advance level-synchronously through one
+/// pass, lane b in ws->lanes[b]. Because the lanes interleave at level
+/// granularity (every lane absorbs, then every lane advances), the
+/// adjacency rows a level touches are revisited across lanes while still
+/// warm - the locality batched serving rides on - and each lane's
+/// operation sequence is exactly the single-root sequence, so results
+/// are bitwise-identical per root. No overrides: the batched serving
+/// path reads the epoch's frozen weights.
+template <typename Adjacency>
+void PropagatePhiMulti(const Adjacency& adj,
+                       const std::vector<const QuerySeed*>& seeds,
+                       const EipdOptions& options,
+                       MultiPropagationWorkspace* ws) {
+  const double c = options.restart;
+  const size_t lanes = seeds.size();
+  ws->EnsureLanes(lanes);
+  for (size_t b = 0; b < lanes; ++b) {
+    SeedLane(adj, *seeds[b], &ws->lanes[b]);
+  }
+  double decay = c * (1.0 - c);
+  for (int len = 1; len <= options.max_length; ++len) {
+    for (size_t b = 0; b < lanes; ++b) {
+      AbsorbLane(&ws->lanes[b], decay);
     }
     if (len == options.max_length) break;
-
-    next_frontier.clear();
-    for (graph::NodeId u : frontier) {
-      const double m = mass[u];
-      adj.ForEachOut(u, [&](graph::NodeId to, double w, graph::EdgeId e) {
-        if (overrides != nullptr) {
-          auto it = overrides->find(e);
-          if (it != overrides->end()) w = it->second;
-        }
-        if (w <= 0.0) return;
-        if (next[to] == 0.0) next_frontier.push_back(to);
-        next[to] += m * w;
-      });
-      mass[u] = 0.0;
+    for (size_t b = 0; b < lanes; ++b) {
+      AdvanceLane(adj, nullptr, &ws->lanes[b]);
     }
-    // `next` entries touched twice keep their accumulated value;
-    // next_frontier may contain duplicates only if next[v] was exactly 0
-    // after a prior add, which cannot happen with positive weights.
-    mass.swap(next);
-    frontier.swap(next_frontier);
     decay *= 1.0 - c;
   }
 }
@@ -221,6 +290,17 @@ class EipdEngine {
       const QuerySeed& seed, const std::vector<graph::NodeId>& candidates,
       size_t k, const std::unordered_map<graph::EdgeId, double>& overrides,
       PropagationWorkspace* ws = nullptr) const;
+
+  /// Ranks every seed against `candidates` in ONE multi-root propagation
+  /// pass (internal::PropagatePhiMulti): the seeds advance
+  /// level-synchronously, so adjacency rows shared by related roots are
+  /// revisited while still cache-warm. results[b] is bitwise-identical
+  /// to Rank(seeds[b], ...) - per-lane arithmetic order is preserved.
+  /// The batched serving path folds same-cluster misses through this.
+  StatusOr<std::vector<std::vector<ScoredAnswer>>> RankMulti(
+      const std::vector<QuerySeed>& seeds,
+      const std::vector<graph::NodeId>& candidates, size_t k,
+      MultiPropagationWorkspace* ws = nullptr) const;
 
   // --- Deprecated wrappers (kept for one release) -----------------------
   // Same numerics as the checked API, but malformed input asserts

@@ -1,0 +1,130 @@
+#include "serve/admission.h"
+
+#include <string>
+
+#include "telemetry/metrics.h"
+
+namespace kgov::serve {
+
+namespace {
+
+struct AdmissionMetrics {
+  telemetry::Counter* shed;
+  telemetry::Counter* degraded_entered;
+  telemetry::Counter* degraded_exited;
+  telemetry::Gauge* queue_depth;
+  telemetry::Gauge* degraded;
+
+  static const AdmissionMetrics& Get() {
+    static const AdmissionMetrics m = [] {
+      telemetry::MetricRegistry& reg = telemetry::MetricRegistry::Global();
+      return AdmissionMetrics{reg.GetCounter("serve.admission.shed"),
+                              reg.GetCounter("serve.admission.degraded_entered"),
+                              reg.GetCounter("serve.admission.degraded_exited"),
+                              reg.GetGauge("serve.queue_depth"),
+                              reg.GetGauge("serve.admission.degraded")};
+    }();
+    return m;
+  }
+};
+
+}  // namespace
+
+Status AdmissionOptions::Validate() const {
+  if (capacity < 1) {
+    return Status::InvalidArgument(
+        "AdmissionOptions.capacity must be >= 1");
+  }
+  if (slo_seconds < 0.0) {
+    return Status::InvalidArgument(
+        "AdmissionOptions.slo_seconds must be >= 0, got " +
+        std::to_string(slo_seconds));
+  }
+  if (degraded_max_length < 1) {
+    return Status::InvalidArgument(
+        "AdmissionOptions.degraded_max_length must be >= 1, got " +
+        std::to_string(degraded_max_length));
+  }
+  if (!(ewma_alpha > 0.0) || ewma_alpha > 1.0) {
+    return Status::InvalidArgument(
+        "AdmissionOptions.ewma_alpha must be in (0, 1], got " +
+        std::to_string(ewma_alpha));
+  }
+  if (!(recover_fraction > 0.0) || !(recover_fraction < 1.0)) {
+    return Status::InvalidArgument(
+        "AdmissionOptions.recover_fraction must be in (0, 1), got " +
+        std::to_string(recover_fraction));
+  }
+  return Status::OK();
+}
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(options) {}
+
+Status AdmissionController::TryAdmit() {
+  const AdmissionMetrics& metrics = AdmissionMetrics::Get();
+  // Optimistic reserve: take the slot, give it back if that overshot the
+  // window. Exact under concurrency (two racing admits on the last slot
+  // cannot both win; the loser sees > capacity and backs out).
+  const size_t occupied =
+      in_flight_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (occupied > options_.capacity) {
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    metrics.shed->Increment();
+    return Status::ResourceExhausted(
+        "serving admission window full (" +
+        std::to_string(options_.capacity) +
+        " queries in flight); query shed");
+  }
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  metrics.queue_depth->Add(1.0);
+  return Status::OK();
+}
+
+void AdmissionController::Finish(double latency_seconds) {
+  const AdmissionMetrics& metrics = AdmissionMetrics::Get();
+  in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  metrics.queue_depth->Add(-1.0);
+
+  if (options_.slo_seconds <= 0.0) return;
+  MutexLock lock(slo_mu_);
+  if (has_sample_) {
+    ewma_seconds_ = options_.ewma_alpha * latency_seconds +
+                    (1.0 - options_.ewma_alpha) * ewma_seconds_;
+  } else {
+    ewma_seconds_ = latency_seconds;
+    has_sample_ = true;
+  }
+  const bool was_degraded = degraded_.load(std::memory_order_relaxed);
+  if (!was_degraded && ewma_seconds_ > options_.slo_seconds) {
+    degraded_.store(true, std::memory_order_relaxed);
+    degraded_entered_.fetch_add(1, std::memory_order_relaxed);
+    metrics.degraded_entered->Increment();
+    metrics.degraded->Set(1.0);
+  } else if (was_degraded &&
+             ewma_seconds_ <
+                 options_.recover_fraction * options_.slo_seconds) {
+    degraded_.store(false, std::memory_order_relaxed);
+    degraded_exited_.fetch_add(1, std::memory_order_relaxed);
+    metrics.degraded_exited->Increment();
+    metrics.degraded->Set(0.0);
+  }
+}
+
+double AdmissionController::EwmaLatencySeconds() const {
+  MutexLock lock(slo_mu_);
+  return ewma_seconds_;
+}
+
+AdmissionController::Stats AdmissionController::GetStats() const {
+  Stats stats;
+  stats.admitted = admitted_.load(std::memory_order_relaxed);
+  stats.shed = shed_.load(std::memory_order_relaxed);
+  stats.degraded_entered =
+      degraded_entered_.load(std::memory_order_relaxed);
+  stats.degraded_exited = degraded_exited_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace kgov::serve

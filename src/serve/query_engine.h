@@ -19,16 +19,38 @@
 //    of the streaming pipeline. When the delta is unavailable, disabled,
 //    or larger than full_flush_threshold of the partition, it falls back
 //    to the old wholesale flush.
+//  * Concurrent misses on the same (seed, epoch) key collapse onto one
+//    single-flight leader propagation; followers receive the leader's
+//    bitwise-identical result (serve/single_flight.h). The flight key
+//    embeds the pinned epoch and the degraded bit, so a follower is
+//    never handed a result computed under a different pin or depth.
+//  * Queries that share a partition cluster inside one SubmitBatch window
+//    fold into a single multi-root propagation pass
+//    (ppr::EipdEngine::RankMulti), amortizing the level-synchronous
+//    frontier walk across roots while keeping each lane's result bitwise
+//    identical to a solo propagation.
+//  * An AdmissionController bounds the admitted-and-unfinished window:
+//    beyond capacity, Submit sheds immediately with kResourceExhausted
+//    (never parks the caller), and under a sustained latency-SLO breach
+//    the engine serves misses at a reduced eipd.max_length (degraded
+//    rankings are flagged and never cached).
 //  * Before each query the engine probes
 //    OnlineKgOptimizer::CurrentEpochNumber() (one acquire load) and
 //    re-pins when the optimizer has published a newer epoch, so fresh
 //    results appear promptly without polling threads.
 //
 // Telemetry (kgov_telemetry registry): serve.queries, serve.cache.hits /
-// .misses / .evictions / .invalidations, serve.epoch_refreshes,
-// serve.queue_depth (gauge), span.serve.query.seconds (end-to-end
-// latency histogram), stream.invalidation.selective / .full (refresh
-// counts by sweep kind). See docs/serving.md and docs/streaming.md.
+// .misses / .evictions / .invalidations, serve.singleflight.leaders /
+// .followers / .timeouts, serve.admission.shed / .degraded (gauge),
+// serve.degraded_queries, serve.errors, serve.batch.groups,
+// serve.epoch_refreshes, serve.queue_depth (gauge, published atomically
+// via Gauge::Add from the admission window), span.serve.query.seconds
+// (end-to-end latency histogram), stream.invalidation.selective / .full.
+// serve.cache.misses counts PROPAGATIONS the engine ran (leaders,
+// follower-timeout fallbacks, single-flight-off misses) - collapsed
+// followers are counted in serve.singleflight.followers instead, so
+// hits + misses + followers + shed (+ errors) == queries. See
+// docs/serving.md.
 
 #ifndef KGOV_SERVE_QUERY_ENGINE_H_
 #define KGOV_SERVE_QUERY_ENGINE_H_
@@ -36,6 +58,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -45,7 +68,9 @@
 #include "ppr/eipd_engine.h"
 #include "ppr/query_seed.h"
 #include "ppr/ranking.h"
+#include "serve/admission.h"
 #include "serve/result_cache.h"
+#include "serve/single_flight.h"
 #include "stream/partition.h"
 
 namespace kgov::serve {
@@ -72,6 +97,21 @@ struct QueryEngineOptions {
   /// fraction of the partition (a near-global change makes the selective
   /// sweep pointless bookkeeping). In (0, 1].
   double full_flush_threshold = 0.5;
+  /// Collapse concurrent identical misses onto one leader propagation.
+  /// Disable for the duplicated-work baseline (every miss propagates).
+  bool enable_single_flight = true;
+  /// How long a follower waits for its leader before detaching and
+  /// propagating for itself. A backstop, not a latency target - it only
+  /// fires if a leader stalls for a full propagation's worth of time.
+  double single_flight_deadline_seconds = 5.0;
+  /// Fold same-cluster queries within one SubmitBatch call into
+  /// multi-root propagation passes.
+  bool enable_batching = true;
+  /// Max roots folded into one multi-root pass (bounds per-task latency
+  /// and workspace footprint).
+  size_t max_batch_roots = 8;
+  /// Admission window + load-shedding + SLO degradation settings.
+  AdmissionOptions admission;
 
   /// Checks every field range; returns InvalidArgument naming the first
   /// offending field. QueryEngine::Create fails fast with the result.
@@ -86,6 +126,13 @@ struct RankedAnswers {
   uint64_t epoch = 0;
   /// True when the ranking came out of the result cache.
   bool from_cache = false;
+  /// True when the ranking was coalesced off another query's propagation
+  /// (single-flight follower or in-batch duplicate).
+  bool coalesced = false;
+  /// True when the ranking was computed at the admission controller's
+  /// degraded max_length instead of the configured depth. Degraded
+  /// rankings are never cached.
+  bool degraded = false;
 };
 
 /// Concurrent query-serving engine over an OnlineKgOptimizer's published
@@ -93,6 +140,32 @@ struct RankedAnswers {
 /// the engine never blocks on an in-progress optimizer flush.
 class QueryEngine {
  public:
+  /// Engine-local outcome counters (mirrored into global telemetry).
+  /// Every query resolves to exactly one of {hit, miss, follower, shed,
+  /// error}, so hits + misses + followers + shed + errors == queries;
+  /// misses further splits into leaders + timeouts + plain misses
+  /// (single-flight disabled).
+  struct ServeStats {
+    uint64_t queries = 0;
+    /// Served from the result cache (first probe or leader re-probe).
+    uint64_t hits = 0;
+    /// Ran their own propagation.
+    uint64_t misses = 0;
+    /// Misses that led a single-flight (subset of misses).
+    uint64_t leaders = 0;
+    /// Coalesced onto another query's propagation.
+    uint64_t followers = 0;
+    /// Followers whose deadline expired and who self-computed (subset of
+    /// misses, disjoint from leaders).
+    uint64_t timeouts = 0;
+    /// Shed by admission control with kResourceExhausted.
+    uint64_t shed = 0;
+    /// Failed with any other status (invalid seed, abandoned leader...).
+    uint64_t errors = 0;
+    /// Served at the degraded depth (compute or coalesced; not hits).
+    uint64_t degraded = 0;
+  };
+
   /// `source` and `candidates` are borrowed and must outlive the engine.
   /// `candidates` is the fixed answer-node universe ranked for every
   /// query (a QA system's answer documents). Fails fast on invalid
@@ -109,10 +182,12 @@ class QueryEngine {
 
   /// Serves one query: enqueues it on the worker pool and blocks until
   /// its ranking is ready. InvalidArgument when the seed does not fit the
-  /// pinned epoch's view.
+  /// pinned epoch's view; ResourceExhausted (immediately, without
+  /// queueing) when the admission window is full.
   StatusOr<RankedAnswers> Submit(const ppr::QuerySeed& seed);
 
-  /// Serves a batch: all queries are enqueued up front (saturating the
+  /// Serves a batch: admitted queries are grouped by partition cluster
+  /// (when batching is enabled), enqueued up front (saturating the
   /// pool), then gathered in order. results[i] corresponds to seeds[i].
   std::vector<StatusOr<RankedAnswers>> SubmitBatch(
       const std::vector<ppr::QuerySeed>& seeds);
@@ -123,6 +198,17 @@ class QueryEngine {
 
   /// Cache counters since construction.
   ShardedResultCache::Stats CacheStats() const { return cache_.GetStats(); }
+
+  /// Outcome counters since construction (see the identity on ServeStats).
+  ServeStats GetServeStats() const;
+
+  /// Admission window counters since construction.
+  AdmissionController::Stats AdmissionStats() const {
+    return admission_.GetStats();
+  }
+
+  /// True while the engine is serving misses at the degraded depth.
+  bool Degraded() const { return admission_.degraded(); }
 
   const QueryEngineOptions& options() const { return options_; }
 
@@ -146,9 +232,32 @@ class QueryEngine {
   StatusOr<RankedAnswers> ServeOne(const ppr::QuerySeed& seed)
       KGOV_EXCLUDES(epoch_mu_);
 
+  /// The worker-side body of one same-cluster group: per-seed cache
+  /// probes, local + cross-task single-flight coalescing, then ONE
+  /// multi-root propagation pass over the keys this task leads. Returns
+  /// (index-into-seeds, result) pairs covering exactly `indices`.
+  std::vector<std::pair<size_t, StatusOr<RankedAnswers>>> ServeGroup(
+      const std::vector<ppr::QuerySeed>& seeds,
+      const std::vector<size_t>& indices) KGOV_EXCLUDES(epoch_mu_);
+
+  /// Splits the admitted indices into per-task groups: singleton groups
+  /// when batching is off, else same-cluster runs capped at
+  /// max_batch_roots (cluster of the seed's first link node).
+  std::vector<std::vector<size_t>> GroupForBatch(
+      const std::vector<ppr::QuerySeed>& seeds,
+      const std::vector<size_t>& admitted) const;
+
+  /// The propagation settings for this query: the configured eipd, with
+  /// max_length clamped to the admission controller's degraded depth
+  /// while the engine is degraded.
+  ppr::EipdOptions EffectiveEipd(bool degraded) const;
+
+  std::chrono::nanoseconds FollowerDeadline() const;
+
   /// This worker's reusable workspace (falls back to the thread-local
   /// workspace for non-pool callers).
   ppr::PropagationWorkspace* WorkspaceForThisThread();
+  ppr::MultiPropagationWorkspace* MultiWorkspaceForThisThread();
 
   const core::OnlineKgOptimizer* source_;
   const std::vector<graph::NodeId>* candidates_;
@@ -163,8 +272,19 @@ class QueryEngine {
   core::ServingEpoch pinned_ KGOV_GUARDED_BY(epoch_mu_);
 
   ShardedResultCache cache_;
+  SingleFlightGroup flights_;
+  AdmissionController admission_;
   std::vector<ppr::PropagationWorkspace> workspaces_;
-  std::atomic<int64_t> queue_depth_{0};
+  std::vector<ppr::MultiPropagationWorkspace> multi_workspaces_;
+
+  std::atomic<uint64_t> queries_{0};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> leaders_{0};
+  std::atomic<uint64_t> followers_{0};
+  std::atomic<uint64_t> timeouts_{0};
+  std::atomic<uint64_t> errors_{0};
+  std::atomic<uint64_t> degraded_served_{0};
 
   /// Declared last: destroyed first, so workers drain before the state
   /// they touch goes away.

@@ -50,9 +50,21 @@ class Counter {
 };
 
 /// Last-write-wins instantaneous value (queue depths, epoch numbers).
+/// Concurrent up/down tracking (in-flight counts) must go through Add():
+/// the read-modify-write is a CAS loop, so interleaved +1/-1 from many
+/// threads can never publish a stale depth the way Set(load()+1) can.
 class Gauge {
  public:
   void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+
+  /// Atomically adds `delta` (exact under any number of concurrent
+  /// writers; use for queue depths instead of Set-of-a-read).
+  void Add(double delta) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
 
   double Value() const { return value_.load(std::memory_order_relaxed); }
 

@@ -1,0 +1,155 @@
+// AdmissionController: bounded window, exact shedding, queue-depth gauge
+// exactness under contention, and SLO-driven degradation hysteresis.
+
+#include "serve/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/metrics.h"
+
+namespace kgov::serve {
+namespace {
+
+AdmissionOptions SmallOptions() {
+  AdmissionOptions options;
+  options.capacity = 4;
+  return options;
+}
+
+TEST(AdmissionOptionsTest, ValidateNamesTheOffendingField) {
+  struct Case {
+    void (*mutate)(AdmissionOptions&);
+    const char* field;
+  };
+  const Case cases[] = {
+      {[](AdmissionOptions& o) { o.capacity = 0; }, "capacity"},
+      {[](AdmissionOptions& o) { o.slo_seconds = -1.0; }, "slo_seconds"},
+      {[](AdmissionOptions& o) { o.degraded_max_length = 0; },
+       "degraded_max_length"},
+      {[](AdmissionOptions& o) { o.ewma_alpha = 0.0; }, "ewma_alpha"},
+      {[](AdmissionOptions& o) { o.ewma_alpha = 1.5; }, "ewma_alpha"},
+      {[](AdmissionOptions& o) { o.recover_fraction = 0.0; },
+       "recover_fraction"},
+      {[](AdmissionOptions& o) { o.recover_fraction = 1.0; },
+       "recover_fraction"},
+  };
+  for (const Case& c : cases) {
+    AdmissionOptions options;
+    c.mutate(options);
+    Status status = options.Validate();
+    ASSERT_FALSE(status.ok()) << c.field;
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(status.message().find(c.field), std::string::npos)
+        << status.message();
+  }
+  EXPECT_TRUE(AdmissionOptions{}.Validate().ok());
+}
+
+TEST(AdmissionControllerTest, ShedsExactlyBeyondCapacityAndRecovers) {
+  AdmissionController controller(SmallOptions());
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(controller.TryAdmit().ok()) << i;
+  }
+  EXPECT_EQ(controller.InFlight(), 4u);
+
+  Status shed = controller.TryAdmit();
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.code(), StatusCode::kResourceExhausted);
+  // A failed admit must not leak a slot.
+  EXPECT_EQ(controller.InFlight(), 4u);
+
+  controller.Finish(1e-6);
+  EXPECT_EQ(controller.InFlight(), 3u);
+  EXPECT_TRUE(controller.TryAdmit().ok());
+
+  AdmissionController::Stats stats = controller.GetStats();
+  EXPECT_EQ(stats.admitted, 5u);
+  EXPECT_EQ(stats.shed, 1u);
+}
+
+// The old serve.queue_depth pattern published Set(fetch_add(...)+-1):
+// two threads could interleave their atomic bumps and gauge stores so
+// the LAST store carried a STALE depth, skewing the gauge until the next
+// query. The admission window publishes with the CAS-loop Gauge::Add,
+// which this hammer pins down: after balanced admit/finish traffic from
+// many threads the gauge must read exactly its starting value - with the
+// racy pattern this test fails within a handful of runs.
+TEST(AdmissionControllerTest, QueueDepthGaugeIsExactUnderContention) {
+  telemetry::Gauge* depth =
+      telemetry::MetricRegistry::Global().GetGauge("serve.queue_depth");
+  const double before = depth->Value();
+
+  AdmissionOptions options;
+  options.capacity = 1u << 30;  // never shed: every Add(+1) gets an Add(-1)
+  AdmissionController controller(options);
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&]() {
+      for (int r = 0; r < kRounds; ++r) {
+        EXPECT_TRUE(controller.TryAdmit().ok());
+        controller.Finish(1e-6);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(controller.InFlight(), 0u);
+  EXPECT_EQ(depth->Value(), before);
+  EXPECT_EQ(controller.GetStats().admitted,
+            static_cast<uint64_t>(kThreads) * kRounds);
+}
+
+TEST(AdmissionControllerTest, DegradesOverSloAndRecoversWithHysteresis) {
+  AdmissionOptions options;
+  options.capacity = 16;
+  options.slo_seconds = 0.1;
+  options.ewma_alpha = 1.0;  // EWMA == latest sample: transitions are exact
+  options.recover_fraction = 0.5;
+  AdmissionController controller(options);
+  ASSERT_TRUE(options.Validate().ok());
+
+  auto finish_with = [&](double latency) {
+    ASSERT_TRUE(controller.TryAdmit().ok());
+    controller.Finish(latency);
+  };
+
+  EXPECT_FALSE(controller.degraded());
+  finish_with(0.2);  // above SLO -> degrade
+  EXPECT_TRUE(controller.degraded());
+  EXPECT_EQ(controller.GetStats().degraded_entered, 1u);
+
+  // Hysteresis: between recover (0.05) and SLO (0.1) nothing changes in
+  // either direction.
+  finish_with(0.07);
+  EXPECT_TRUE(controller.degraded());
+  finish_with(0.04);  // below recover threshold -> exit
+  EXPECT_FALSE(controller.degraded());
+  EXPECT_EQ(controller.GetStats().degraded_exited, 1u);
+  finish_with(0.07);  // back in the dead zone: still healthy
+  EXPECT_FALSE(controller.degraded());
+
+  AdmissionController::Stats stats = controller.GetStats();
+  EXPECT_EQ(stats.degraded_entered, 1u);
+  EXPECT_EQ(stats.degraded_exited, 1u);
+}
+
+TEST(AdmissionControllerTest, ZeroSloNeverDegrades) {
+  AdmissionController controller(SmallOptions());  // slo_seconds == 0
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(controller.TryAdmit().ok());
+    controller.Finish(1000.0);
+  }
+  EXPECT_FALSE(controller.degraded());
+  EXPECT_EQ(controller.EwmaLatencySeconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace kgov::serve

@@ -4,13 +4,16 @@
 
 #include <atomic>
 #include <cstring>
+#include <optional>
 #include <random>
 #include <thread>
 #include <vector>
 
 #include "common/fault_injection.h"
 #include "core/online_optimizer.h"
+#include "ppr/eipd_engine.h"
 #include "ppr/query_seed.h"
+#include "telemetry/metrics.h"
 
 namespace kgov::serve {
 namespace {
@@ -113,6 +116,23 @@ TEST(QueryEngineTest, CreateFailsFastNamingTheField) {
   auto null_candidates =
       QueryEngine::Create(&online, nullptr, SmallEngineOptions());
   EXPECT_FALSE(null_candidates.ok());
+
+  QueryEngineOptions bad_batch = SmallEngineOptions();
+  bad_batch.max_batch_roots = 0;
+  auto batch_or = QueryEngine::Create(&online, &Candidates(), bad_batch);
+  ASSERT_FALSE(batch_or.ok());
+  EXPECT_NE(batch_or.status().message().find("max_batch_roots"),
+            std::string::npos)
+      << batch_or.status().message();
+
+  QueryEngineOptions bad_admission = SmallEngineOptions();
+  bad_admission.admission.capacity = 0;
+  auto admission_or =
+      QueryEngine::Create(&online, &Candidates(), bad_admission);
+  ASSERT_FALSE(admission_or.ok());
+  EXPECT_NE(admission_or.status().message().find("capacity"),
+            std::string::npos)
+      << admission_or.status().message();
 }
 
 TEST(QueryEngineTest, RepeatSubmitIsServedFromCacheBitwiseIdentical) {
@@ -309,6 +329,337 @@ TEST(QueryEngineTest, ConcurrentFlushAndServeStress) {
   ASSERT_TRUE(final_result.ok()) << final_result.status();
   EXPECT_EQ(final_result->epoch, static_cast<uint64_t>(kFlushes));
   EXPECT_EQ(engine.PinnedEpochNumber(), static_cast<uint64_t>(kFlushes));
+}
+
+TEST(QueryEngineTest, ConcurrentColdMissesCollapseOntoOneLeader) {
+  WeightedDigraph g = MakeFixture();
+  OnlineKgOptimizer online(g, SmallOnlineOptions());
+  auto engine_or =
+      QueryEngine::Create(&online, &Candidates(), SmallEngineOptions());
+  ASSERT_TRUE(engine_or.ok()) << engine_or.status();
+  QueryEngine& engine = **engine_or;
+
+  // Cold single-threaded reference, cache and single-flight off.
+  QueryEngineOptions cold_options = SmallEngineOptions();
+  cold_options.enable_cache = false;
+  cold_options.enable_single_flight = false;
+  cold_options.num_threads = 1;
+  auto cold_or = QueryEngine::Create(&online, &Candidates(), cold_options);
+  ASSERT_TRUE(cold_or.ok()) << cold_or.status();
+  StatusOr<RankedAnswers> reference =
+      (*cold_or)->Submit(ppr::QuerySeed::UniformOver({0}));
+  ASSERT_TRUE(reference.ok()) << reference.status();
+
+  // A flash crowd: K threads submit the identical cold query at once.
+  constexpr int kThreads = 8;
+  std::vector<std::optional<StatusOr<RankedAnswers>>> results(kThreads);
+  std::atomic<bool> go{false};
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t]() {
+      while (!go.load(std::memory_order_relaxed)) std::this_thread::yield();
+      results[t].emplace(engine.Submit(ppr::QuerySeed::UniformOver({0})));
+    });
+  }
+  go.store(true, std::memory_order_relaxed);
+  for (std::thread& t : clients) t.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_TRUE(results[t].has_value());
+    ASSERT_TRUE(results[t]->ok()) << results[t]->status();
+    ExpectIdenticalAnswers(reference->answers, (**results[t]).answers);
+  }
+
+  // Exactly ONE propagation ran; every other query was a cache hit or a
+  // coalesced follower. This is the counter-verified dedup invariant the
+  // CI smoke gate also enforces.
+  QueryEngine::ServeStats stats = engine.GetServeStats();
+  EXPECT_EQ(stats.queries, static_cast<uint64_t>(kThreads));
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.leaders, 1u);
+  EXPECT_EQ(stats.hits + stats.followers, static_cast<uint64_t>(kThreads - 1));
+  EXPECT_EQ(stats.timeouts, 0u);
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_EQ(stats.errors, 0u);
+}
+
+TEST(QueryEngineTest, BatchedMultiRootServesBitwiseIdenticalToSolo) {
+  WeightedDigraph g = MakeFixture();
+  OnlineKgOptimizer online(g, SmallOnlineOptions());
+
+  // All seeds share first-link node 0 so the batcher folds them into
+  // same-cluster multi-root groups deterministically.
+  std::mt19937_64 rng(0xBA7C4);
+  std::uniform_real_distribution<double> weight(0.1, 1.0);
+  std::vector<ppr::QuerySeed> stream;
+  for (int i = 0; i < 32; ++i) {
+    ppr::QuerySeed seed;
+    seed.links.emplace_back(0, weight(rng));
+    if (i % 2 == 0) seed.links.emplace_back(1 + (i % 2), weight(rng));
+    seed.Normalize();
+    stream.push_back(std::move(seed));
+  }
+
+  QueryEngineOptions batched = SmallEngineOptions();
+  batched.enable_cache = false;
+  batched.enable_single_flight = false;  // every lane propagates
+  batched.enable_batching = true;
+  batched.max_batch_roots = 8;
+  QueryEngineOptions solo = batched;
+  solo.enable_batching = false;
+
+  auto batched_or = QueryEngine::Create(&online, &Candidates(), batched);
+  auto solo_or = QueryEngine::Create(&online, &Candidates(), solo);
+  ASSERT_TRUE(batched_or.ok()) << batched_or.status();
+  ASSERT_TRUE(solo_or.ok()) << solo_or.status();
+
+  telemetry::Counter* multi_passes =
+      telemetry::MetricRegistry::Global().GetCounter(
+          "serving.eipd.multi_passes");
+  const uint64_t passes_before = multi_passes->Value();
+
+  std::vector<StatusOr<RankedAnswers>> from_batched =
+      (*batched_or)->SubmitBatch(stream);
+  std::vector<StatusOr<RankedAnswers>> from_solo =
+      (*solo_or)->SubmitBatch(stream);
+  ASSERT_EQ(from_batched.size(), stream.size());
+  for (size_t i = 0; i < stream.size(); ++i) {
+    ASSERT_TRUE(from_batched[i].ok()) << from_batched[i].status();
+    ASSERT_TRUE(from_solo[i].ok()) << from_solo[i].status();
+    ExpectIdenticalAnswers(from_solo[i]->answers, from_batched[i]->answers);
+  }
+  // The batched engine really took the multi-root path.
+  EXPECT_GT(multi_passes->Value(), passes_before);
+  EXPECT_EQ((*batched_or)->GetServeStats().misses, stream.size());
+}
+
+TEST(QueryEngineTest, OutcomeAccountingIdentityHoldsUnderConcurrentLoad) {
+  WeightedDigraph g = MakeFixture();
+  OnlineKgOptimizer online(g, SmallOnlineOptions());
+  auto engine_or =
+      QueryEngine::Create(&online, &Candidates(), SmallEngineOptions());
+  ASSERT_TRUE(engine_or.ok()) << engine_or.status();
+  QueryEngine& engine = **engine_or;
+
+  constexpr int kClients = 4;
+  constexpr int kReps = 3;
+  constexpr size_t kBatch = 16;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t]() {
+      // Overlapping streams: duplicates within and across threads force
+      // hits, leaders, and followers to all occur.
+      const std::vector<ppr::QuerySeed> stream =
+          SeededStream(kBatch, 0xFEED + static_cast<uint64_t>(t % 2));
+      for (int rep = 0; rep < kReps; ++rep) {
+        std::vector<StatusOr<RankedAnswers>> results =
+            engine.SubmitBatch(stream);
+        for (const StatusOr<RankedAnswers>& r : results) {
+          if (!r.ok()) failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Every query resolves to exactly one outcome: the books must balance
+  // to the query count with nothing double- or un-counted. (This is the
+  // accounting the old code got wrong: collapsed duplicates all bumped
+  // serve.cache.misses even though only one propagation ran.)
+  QueryEngine::ServeStats stats = engine.GetServeStats();
+  EXPECT_EQ(stats.queries,
+            static_cast<uint64_t>(kClients) * kReps * kBatch);
+  EXPECT_EQ(stats.hits + stats.misses + stats.followers + stats.shed +
+                stats.errors,
+            stats.queries);
+  EXPECT_EQ(stats.leaders + stats.timeouts, stats.misses);
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.leaders, 0u);
+}
+
+TEST(QueryEngineTest, EpochSwapRacedAgainstCoalescedMissesNeverMixesPins) {
+  WeightedDigraph g = MakeFixture();
+  OnlineKgOptimizer online(g, SmallOnlineOptions());
+  auto engine_or =
+      QueryEngine::Create(&online, &Candidates(), SmallEngineOptions());
+  ASSERT_TRUE(engine_or.ok()) << engine_or.status();
+  QueryEngine& engine = **engine_or;
+
+  // Property: under racing epoch swaps, every served ranking is bitwise
+  // identical to a cold propagation on the epoch it CLAIMS - a follower
+  // can never receive a result computed under a different pin (the
+  // flight key embeds the epoch), and the acquire-probe re-pin can never
+  // hand out a stale-epoch ranking for a fresh pin.
+  struct Observation {
+    size_t seed_index;
+    uint64_t epoch;
+    std::vector<ppr::ScoredAnswer> answers;
+  };
+  const std::vector<ppr::QuerySeed> shared_stream = SeededStream(6, 0xE9);
+  constexpr int kRounds = 5;
+  constexpr int kClients = 3;
+  constexpr int kReps = 5;
+
+  for (int round = 0; round < kRounds; ++round) {
+    const core::ServingEpoch before = online.CurrentEpoch();
+    std::vector<std::vector<Observation>> observed(kClients);
+    std::atomic<int> failures{0};
+    std::atomic<bool> go{false};
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int t = 0; t < kClients; ++t) {
+      clients.emplace_back([&, t]() {
+        while (!go.load(std::memory_order_relaxed)) {
+          std::this_thread::yield();
+        }
+        for (int rep = 0; rep < kReps; ++rep) {
+          for (size_t s = 0; s < shared_stream.size(); ++s) {
+            StatusOr<RankedAnswers> served =
+                engine.Submit(shared_stream[s]);
+            if (!served.ok()) {
+              failures.fetch_add(1, std::memory_order_relaxed);
+              continue;
+            }
+            observed[t].push_back(
+                Observation{s, served->epoch, std::move(served->answers)});
+          }
+        }
+      });
+    }
+    go.store(true, std::memory_order_relaxed);
+    // Swap the epoch mid-traffic.
+    ASSERT_TRUE(
+        online.AddVote(MakeVote(round % 2 == 0 ? 4 : 3,
+                                static_cast<uint32_t>(round)))
+            .ok());
+    ASSERT_TRUE(online.Flush().ok());
+    for (std::thread& t : clients) t.join();
+    ASSERT_EQ(failures.load(), 0);
+    const core::ServingEpoch after = online.CurrentEpoch();
+    ASSERT_EQ(after.epoch, before.epoch + 1);
+
+    // Cold references on both epochs a query could have pinned.
+    ppr::EipdEngine cold_before(before.view(),
+                                SmallEngineOptions().eipd);
+    ppr::EipdEngine cold_after(after.view(), SmallEngineOptions().eipd);
+    for (const std::vector<Observation>& thread_obs : observed) {
+      for (const Observation& obs : thread_obs) {
+        ASSERT_TRUE(obs.epoch == before.epoch || obs.epoch == after.epoch)
+            << "served epoch " << obs.epoch << " outside [" << before.epoch
+            << ", " << after.epoch << "]";
+        ppr::EipdEngine& cold =
+            obs.epoch == before.epoch ? cold_before : cold_after;
+        StatusOr<std::vector<ppr::ScoredAnswer>> reference = cold.Rank(
+            shared_stream[obs.seed_index], Candidates(),
+            SmallEngineOptions().top_k);
+        ASSERT_TRUE(reference.ok()) << reference.status();
+        ExpectIdenticalAnswers(*reference, obs.answers);
+      }
+    }
+  }
+}
+
+TEST(QueryEngineTest, FullAdmissionWindowShedsWithResourceExhausted) {
+  WeightedDigraph g = MakeFixture();
+  OnlineKgOptimizer online(g, SmallOnlineOptions());
+  QueryEngineOptions options = SmallEngineOptions();
+  options.admission.capacity = 2;
+  auto engine_or = QueryEngine::Create(&online, &Candidates(), options);
+  ASSERT_TRUE(engine_or.ok()) << engine_or.status();
+  QueryEngine& engine = **engine_or;
+
+  // SubmitBatch admits every query BEFORE enqueuing any work, so with
+  // capacity 2 a 32-query batch deterministically admits exactly 2 and
+  // sheds exactly 30 - each shed immediately, with kResourceExhausted,
+  // never parked on the full window.
+  const std::vector<ppr::QuerySeed> stream = SeededStream(32, 0x5EED);
+  std::vector<StatusOr<RankedAnswers>> results = engine.SubmitBatch(stream);
+  ASSERT_EQ(results.size(), stream.size());
+  size_t served = 0;
+  size_t shed = 0;
+  for (const StatusOr<RankedAnswers>& r : results) {
+    if (r.ok()) {
+      ++served;
+      EXPECT_FALSE(r->answers.empty());
+    } else {
+      ++shed;
+      EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+    }
+  }
+  EXPECT_EQ(served, 2u);
+  EXPECT_EQ(shed, 30u);
+
+  QueryEngine::ServeStats stats = engine.GetServeStats();
+  EXPECT_EQ(stats.shed, 30u);
+  EXPECT_EQ(stats.hits + stats.misses + stats.followers + stats.shed +
+                stats.errors,
+            stats.queries);
+  EXPECT_EQ(engine.AdmissionStats().admitted, 2u);
+
+  // The window drained: the next query is admitted and served normally.
+  StatusOr<RankedAnswers> after =
+      engine.Submit(ppr::QuerySeed::UniformOver({0}));
+  ASSERT_TRUE(after.ok()) << after.status();
+}
+
+TEST(QueryEngineTest, DegradedModeServesValidShorterWalksAndNeverCaches) {
+  WeightedDigraph g = MakeFixture();
+  OnlineKgOptimizer online(g, SmallOnlineOptions());
+  QueryEngineOptions options = SmallEngineOptions();
+  options.num_threads = 1;
+  options.admission.slo_seconds = 1e-9;  // any real latency breaches it
+  options.admission.ewma_alpha = 1.0;
+  options.admission.degraded_max_length = 2;
+  auto engine_or = QueryEngine::Create(&online, &Candidates(), options);
+  ASSERT_TRUE(engine_or.ok()) << engine_or.status();
+  QueryEngine& engine = **engine_or;
+
+  // The first query is served healthy (no latency sample yet) at full
+  // depth and cached; its Finish pushes the EWMA over the SLO.
+  const ppr::QuerySeed seed_a = ppr::QuerySeed::UniformOver({0});
+  StatusOr<RankedAnswers> first = engine.Submit(seed_a);
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_FALSE(first->degraded);
+  ASSERT_TRUE(engine.Degraded());
+  EXPECT_GE(engine.AdmissionStats().degraded_entered, 1u);
+
+  // A degraded miss is served at degraded_max_length: still a valid
+  // ranking, bitwise identical to a cold walk of that shorter depth.
+  const ppr::QuerySeed seed_b = ppr::QuerySeed::UniformOver({1});
+  StatusOr<RankedAnswers> degraded = engine.Submit(seed_b);
+  ASSERT_TRUE(degraded.ok()) << degraded.status();
+  EXPECT_TRUE(degraded->degraded);
+  EXPECT_FALSE(degraded->from_cache);
+  ppr::EipdOptions short_walk = options.eipd;
+  short_walk.max_length = options.admission.degraded_max_length;
+  ppr::EipdEngine cold(online.CurrentEpoch().view(), short_walk);
+  StatusOr<std::vector<ppr::ScoredAnswer>> reference =
+      cold.Rank(seed_b, Candidates(), options.top_k);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+  ExpectIdenticalAnswers(*reference, degraded->answers);
+
+  // Degraded rankings are never cached: re-asking recomputes (no hit),
+  // because a shallow ranking must not masquerade as the full-depth one.
+  StatusOr<RankedAnswers> again = engine.Submit(seed_b);
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_FALSE(again->from_cache);
+  EXPECT_TRUE(again->degraded);
+
+  // Entries cached BEFORE degradation still serve (at full depth).
+  StatusOr<RankedAnswers> cached = engine.Submit(seed_a);
+  ASSERT_TRUE(cached.ok()) << cached.status();
+  EXPECT_TRUE(cached->from_cache);
+  EXPECT_FALSE(cached->degraded);
+  ExpectIdenticalAnswers(first->answers, cached->answers);
+
+  QueryEngine::ServeStats stats = engine.GetServeStats();
+  EXPECT_GE(stats.degraded, 2u);
 }
 
 }  // namespace

@@ -92,9 +92,18 @@ EOF
 
   # The sweep must show the cache-hit speedup and ideal thread scaling,
   # and leave a snapshot with the serve.* metrics populated
-  # (docs/serving.md). The committed full-run artifact is
-  # BENCH_concurrent.json at the repo root; the smoke json stays in the
-  # build dir so CI never clobbers it.
+  # (docs/serving.md). On top of the sweep, three serving-path gates:
+  #   * single-flight: a flash crowd of identical cold misses must
+  #     collapse to EXACTLY one propagation per cold key (counter-verified
+  #     from the engine's own outcome accounting, not timing);
+  #   * batching: the batched run must have executed real multi-root
+  #     passes (counter-verified via serving.eipd.multi_passes);
+  #   * shedding: a saturated admission window must shed with
+  #     kResourceExhausted promptly - shed-path p99 under 50 ms (the
+  #     whole point of load shedding is that rejection never queues
+  #     behind the work it is rejecting).
+  # The committed full-run artifact is BENCH_concurrent.json at the repo
+  # root; the smoke json stays in the build dir so CI never clobbers it.
   python3 - "$CONCURRENT_JSON" "$CONCURRENT_TELEMETRY" <<'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
@@ -109,6 +118,44 @@ if scaling is None:
           .format(bench.get("host_cores", "?")))
 elif scaling.get("ideal_1_to_4", 0) < 2.0:
     sys.exit("FAIL: ideal 1->4 thread scaling below 2x")
+
+sf = bench.get("single_flight")
+if not sf:
+    sys.exit("FAIL: bench json lacks 'single_flight'")
+if sf.get("propagations", -1) != sf.get("cold_keys", 0):
+    sys.exit("FAIL: single-flight dedup broken: {} cold keys but {} "
+             "propagations (want exactly one leader per key)"
+             .format(sf.get("cold_keys"), sf.get("propagations")))
+if sf.get("leaders", -1) != sf.get("cold_keys", 0):
+    sys.exit("FAIL: single-flight leader count {} != cold keys {}"
+             .format(sf.get("leaders"), sf.get("cold_keys")))
+accounted = (sf.get("propagations", 0) + sf.get("followers", 0)
+             + sf.get("hits", 0))
+if accounted != sf.get("queries", -1):
+    sys.exit("FAIL: single-flight outcome accounting broken: "
+             "propagations+followers+hits={} != queries={}"
+             .format(accounted, sf.get("queries")))
+
+batching = bench.get("batching")
+if not batching:
+    sys.exit("FAIL: bench json lacks 'batching'")
+if batching.get("multi_passes", 0) == 0:
+    sys.exit("FAIL: batched run executed no multi-root passes")
+if batching.get("avg_roots_per_pass", 0.0) <= 1.0:
+    sys.exit("FAIL: multi-root passes averaged <= 1 root - batching "
+             "folded nothing")
+
+shed = bench.get("shedding")
+if not shed:
+    sys.exit("FAIL: bench json lacks 'shedding'")
+if shed.get("shed", 0) == 0:
+    sys.exit("FAIL: saturating workload shed nothing")
+if shed.get("served", 0) == 0:
+    sys.exit("FAIL: saturating workload served nothing (window stuck)")
+if shed.get("shed_p99_seconds", 1.0) >= 0.05:
+    sys.exit("FAIL: shed-path p99 {:.4f}s >= 50ms - rejection is "
+             "queuing behind the work".format(shed["shed_p99_seconds"]))
+
 with open(sys.argv[2]) as f:
     snap = json.load(f)
 counters = snap.get("counters", {})
@@ -116,6 +163,12 @@ if counters.get("serve.queries", 0) == 0:
     sys.exit("FAIL: serve.queries counter is zero")
 if counters.get("serve.cache.hits", 0) == 0:
     sys.exit("FAIL: serve.cache.hits counter is zero")
+if counters.get("serve.singleflight.leaders", 0) == 0:
+    sys.exit("FAIL: serve.singleflight.leaders counter is zero")
+if counters.get("serve.admission.shed", 0) == 0:
+    sys.exit("FAIL: serve.admission.shed counter is zero")
+if counters.get("serve.batch.groups", 0) == 0:
+    sys.exit("FAIL: serve.batch.groups counter is zero")
 hist = snap.get("histograms", {}).get("span.serve.query.seconds")
 if not hist or hist.get("count", 0) == 0:
     sys.exit("FAIL: span.serve.query.seconds histogram is empty")
@@ -126,6 +179,9 @@ print("concurrent serving OK:",
       "{:.1f}x cache speedup,".format(bench["cache_hit_speedup"]),
       ("{:.2f}x ideal scaling,".format(scaling["ideal_1_to_4"])
        if scaling is not None else "scaling n/a (1 core),"),
+      "{}:{} flash dedup,".format(sf["queries"], sf["propagations"]),
+      "{} multi-root passes,".format(batching["multi_passes"]),
+      "shed p99 {:.2g}s,".format(shed["shed_p99_seconds"]),
       hist["count"], "queries served")
 EOF
 

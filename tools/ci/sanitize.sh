@@ -3,8 +3,8 @@
 # (including the durability suite and its fork-based kill-tests; the
 # child's std::_Exit skips LSan's atexit hook, so the injected crashes do
 # not produce false leak reports), then the concurrency-heavy tests
-# (serve, thread pool, online optimizer, durability recovery) under
-# ThreadSanitizer.
+# (serve, single-flight, admission, thread pool, online optimizer,
+# durability recovery) under ThreadSanitizer.
 #
 # Usage: tools/ci/sanitize.sh [build-dir] [ctest-args...]
 #
@@ -40,10 +40,11 @@ if [[ "${KGOV_SKIP_TSAN:-0}" != "1" ]]; then
       -DKGOV_BUILD_EXAMPLES=OFF
   cmake --build "$TSAN_BUILD_DIR" -j "$(nproc)" --target \
       test_query_engine test_thread_pool test_online_optimizer \
-      test_resilience test_durability test_stream test_stream_invalidation
+      test_resilience test_durability test_stream test_stream_invalidation \
+      test_single_flight test_admission test_eipd_multi test_telemetry
   export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
   ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure \
-      -R 'QueryEngine|ThreadPool|OnlineOptimizer|FaultPipeline|Durability|Stream|VoteIngestQueue' \
+      -R 'QueryEngine|ThreadPool|OnlineOptimizer|FaultPipeline|Durability|Stream|VoteIngestQueue|SingleFlight|Admission|RankMulti|Gauge' \
       "$@"
 else
   echo "== sanitize: TSan skipped (KGOV_SKIP_TSAN=1) =="
