@@ -14,7 +14,7 @@
 #include "math/gp_condensation.h"
 #include "common/timer.h"
 #include "core/scoring.h"
-#include "graph/generators.h"
+#include "graph/source.h"
 #include "votes/vote_generator.h"
 
 namespace kgov {
@@ -24,10 +24,14 @@ int Run() {
   bench::Banner("Ablation: SGP formulation and judgment filter",
                 "design choices behind SV (Eq. 15/18/19)");
 
-  Rng rng(881);
+  graph::GeneratorSpec spec;
+  spec.kind = graph::GeneratorKind::kScaleFree;
+  spec.num_nodes = 4000;
+  spec.num_edges = 16000;
   Result<graph::WeightedDigraph> base =
-      graph::ScaleFreeWithTargetEdges(4000, 16000, rng);
+      graph::LoadGraph(graph::GraphSource::Generator(spec, 881));
   if (!base.ok()) return 1;
+  Rng rng(882);  // workload stream, separate from the generator's
 
   votes::SyntheticVoteParams params;
   params.num_queries = 50;

@@ -11,7 +11,7 @@
 #include "bench/bench_util.h"
 #include "common/timer.h"
 #include "core/scoring.h"
-#include "graph/generators.h"
+#include "graph/source.h"
 #include "votes/vote_generator.h"
 
 namespace kgov {
@@ -21,10 +21,14 @@ int Run() {
   bench::Banner("Ablation: S-M merge rule (weighted-sign/extreme vs average)",
                 "SVI-A merge strategy, Fig. 4");
 
-  Rng rng(883);
+  graph::GeneratorSpec spec;
+  spec.kind = graph::GeneratorKind::kScaleFree;
+  spec.num_nodes = 4000;
+  spec.num_edges = 16000;
   Result<graph::WeightedDigraph> base =
-      graph::ScaleFreeWithTargetEdges(4000, 16000, rng);
+      graph::LoadGraph(graph::GraphSource::Generator(spec, 883));
   if (!base.ok()) return 1;
+  Rng rng(884);  // workload stream, separate from the generator's
 
   votes::SyntheticVoteParams params;
   params.num_queries = 80;

@@ -8,7 +8,7 @@
 #include "bench/bench_util.h"
 #include "common/timer.h"
 #include "core/scoring.h"
-#include "graph/generators.h"
+#include "graph/source.h"
 #include "votes/vote_generator.h"
 
 namespace kgov {
@@ -18,10 +18,14 @@ int Run() {
   bench::Banner("Ablation: inner solver (projected BB vs L-BFGS)",
                 "solver substitution for fmincon (DESIGN.md SS1)");
 
-  Rng rng(882);
+  graph::GeneratorSpec spec;
+  spec.kind = graph::GeneratorKind::kScaleFree;
+  spec.num_nodes = 4000;
+  spec.num_edges = 16000;
   Result<graph::WeightedDigraph> base =
-      graph::ScaleFreeWithTargetEdges(4000, 16000, rng);
+      graph::LoadGraph(graph::GraphSource::Generator(spec, 882));
   if (!base.ok()) return 1;
+  Rng rng(885);  // workload stream, separate from the generator's
 
   votes::SyntheticVoteParams params;
   params.num_queries = 60;

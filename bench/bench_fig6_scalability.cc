@@ -23,7 +23,7 @@
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/scoring.h"
-#include "graph/generators.h"
+#include "graph/source.h"
 #include "votes/vote_generator.h"
 
 namespace kgov {
@@ -42,13 +42,13 @@ int RunGraph(const graph::GraphProfile& profile, uint64_t seed) {
   std::printf("\n--- %s profile: %zu nodes, %zu edges ---\n",
               profile.name.c_str(), profile.num_nodes, profile.num_edges);
 
-  Rng rng(seed);
   Result<graph::WeightedDigraph> base =
-      graph::GenerateFromProfile(profile, rng);
+      graph::LoadGraph(graph::GraphSource::Profile(profile.name, seed));
   if (!base.ok()) {
     std::fprintf(stderr, "graph generation failed\n");
     return 1;
   }
+  Rng rng(seed + 1000);  // workload stream, separate from the generator's
 
   votes::SyntheticVoteParams params;  // paper defaults (SVII-A)
   params.num_queries = kMaxVotes;

@@ -12,8 +12,9 @@
 #include "bench/bench_util.h"
 #include "common/timer.h"
 #include "core/kg_optimizer.h"
-#include "graph/generators.h"
-#include "ppr/eipd.h"
+#include "graph/csr.h"
+#include "graph/source.h"
+#include "ppr/eipd_engine.h"
 #include "votes/vote_generator.h"
 
 namespace kgov {
@@ -26,12 +27,11 @@ int Run() {
                 "Fig. 7(a)-(b) (SVII-E)");
 
   struct GraphCase {
-    graph::GraphProfile profile;
+    const char* profile;
     uint64_t seed;
   };
-  std::vector<GraphCase> cases{{graph::TwitterProfile(), 71},
-                               {graph::DiggProfile(), 72},
-                               {graph::GnutellaProfile(), 73}};
+  std::vector<GraphCase> cases{
+      {"twitter", 71}, {"digg", 72}, {"gnutella", 73}};
 
   // ---------- (a) percentage difference of similarity sums ----------
   std::printf("\n(a) PD(L_i, L_{i+1}) of summed top-20 scores (Eq. 22)\n");
@@ -46,10 +46,11 @@ int Run() {
   };
   std::vector<PerGraph> prepared;
   for (const GraphCase& gc : cases) {
-    Rng rng(gc.seed);
     Result<graph::WeightedDigraph> base =
-        graph::GenerateFromProfile(gc.profile, rng);
+        graph::LoadGraph(graph::GraphSource::Profile(gc.profile, gc.seed));
     if (!base.ok()) return 1;
+    // The workload generator continues the profile seed's RNG stream.
+    Rng rng(gc.seed + 1000);
     votes::SyntheticVoteParams params;
     params.num_queries = kVotesForTiming;
     params.num_answers = 2379;
@@ -68,15 +69,16 @@ int Run() {
     lo_opt.max_length = length;
     ppr::EipdOptions hi_opt;
     hi_opt.max_length = length + 1;
-    ppr::EipdEvaluator lo_eval(&pg.workload.graph, lo_opt);
-    ppr::EipdEvaluator hi_eval(&pg.workload.graph, hi_opt);
+    graph::CsrSnapshot snap(pg.workload.graph);
+    ppr::EipdEngine lo_eval(snap.View(), lo_opt);
+    ppr::EipdEngine hi_eval(snap.View(), hi_opt);
     double pd_sum = 0.0;
     size_t counted = 0;
     for (const votes::Vote& vote : pg.workload.votes) {
       std::vector<double> lo =
-          lo_eval.SimilarityMany(vote.query, vote.answer_list);
+          lo_eval.Scores(vote.query, vote.answer_list).value();
       std::vector<double> hi =
-          hi_eval.SimilarityMany(vote.query, vote.answer_list);
+          hi_eval.Scores(vote.query, vote.answer_list).value();
       double lo_sum = 0.0, hi_sum = 0.0;
       for (double s : lo) lo_sum += s;
       for (double s : hi) hi_sum += s;

@@ -1,0 +1,273 @@
+// Million-node scale sweep: dense vs sparse EIPD kernel.
+//
+// Generates streaming scale-free graphs at |V| in {4096, 62586, 1e5, 1e6}
+// (the first two match the toy and Gnutella scales of the existing
+// benches) and measures per-query propagation latency through
+// EipdEngine::Rank under each kernel, plus the degree-ordered CSR layout
+// under the sparse kernel. The headline numbers back the kernel-selection
+// defaults in docs/scale.md: below kSparseKernelMinNodes the dense
+// kernel's O(V) reset is free, past 1e5 nodes it dominates and the
+// frontier-tracked kernel wins by widening margins.
+//
+// Flags:
+//   --smoke      reduced sizes/query counts for CI (see tools/ci/check.sh)
+//   --json PATH  machine-readable results (committed as BENCH_scale.json)
+
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "graph/csr.h"
+#include "graph/source.h"
+#include "ppr/eipd_engine.h"
+#include "ppr/query_seed.h"
+
+namespace kgov {
+namespace {
+
+struct LatencyStats {
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+LatencyStats Summarize(std::vector<double>& samples_ms) {
+  LatencyStats stats;
+  if (samples_ms.empty()) return stats;
+  double total = 0.0;
+  for (double s : samples_ms) total += s;
+  stats.mean_ms = total / static_cast<double>(samples_ms.size());
+  std::sort(samples_ms.begin(), samples_ms.end());
+  stats.p50_ms = samples_ms[samples_ms.size() / 2];
+  stats.p99_ms = samples_ms[std::min(samples_ms.size() - 1,
+                                     samples_ms.size() * 99 / 100)];
+  return stats;
+}
+
+struct SizeResult {
+  size_t num_nodes = 0;
+  size_t num_edges = 0;
+  double gen_seconds = 0.0;
+  size_t queries = 0;
+  LatencyStats dense;
+  LatencyStats sparse;
+  LatencyStats degree_ordered_sparse;
+  double sparse_speedup = 0.0;
+  const char* auto_kernel = "dense";
+};
+
+/// One propagation + rank per sample through the given engine.
+LatencyStats RunKernel(const ppr::EipdEngine& engine,
+                       const std::vector<ppr::QuerySeed>& seeds,
+                       const std::vector<graph::NodeId>& candidates) {
+  ppr::PropagationWorkspace ws;
+  std::vector<double> samples_ms;
+  samples_ms.reserve(seeds.size());
+  for (const ppr::QuerySeed& seed : seeds) {
+    Timer timer;
+    StatusOr<std::vector<ppr::ScoredAnswer>> ranked =
+        engine.Rank(seed, candidates, 10, &ws);
+    double ms = timer.ElapsedSeconds() * 1e3;
+    if (!ranked.ok()) {
+      std::fprintf(stderr, "rank failed: %s\n",
+                   ranked.status().ToString().c_str());
+      continue;
+    }
+    samples_ms.push_back(ms);
+  }
+  return Summarize(samples_ms);
+}
+
+StatusOr<SizeResult> RunSize(size_t num_nodes, size_t queries,
+                             uint64_t seed) {
+  SizeResult result;
+  result.num_nodes = num_nodes;
+  result.queries = queries;
+
+  graph::GeneratorSpec spec;
+  spec.kind = graph::GeneratorKind::kStreamingScaleFree;
+  spec.num_nodes = num_nodes;
+  spec.edges_per_node = 4;
+  Timer gen_timer;
+  KGOV_ASSIGN_OR_RETURN(
+      graph::WeightedDigraph g,
+      graph::LoadGraph(graph::GraphSource::Generator(spec, seed)));
+  result.gen_seconds = gen_timer.ElapsedSeconds();
+  result.num_edges = g.NumEdges();
+
+  // Workload: node-seeded queries against a fixed candidate set, the
+  // serving path's shape. Workload stream is separate from the
+  // generator's.
+  Rng rng(seed + 1000);
+  std::vector<ppr::QuerySeed> seeds;
+  while (seeds.size() < queries) {
+    ppr::QuerySeed q = ppr::QuerySeed::FromNode(
+        g, static_cast<graph::NodeId>(rng.NextIndex(num_nodes)));
+    if (!q.empty()) seeds.push_back(std::move(q));
+  }
+  std::vector<graph::NodeId> candidates;
+  for (size_t i = 0; i < 64; ++i) {
+    candidates.push_back(
+        static_cast<graph::NodeId>(rng.NextIndex(num_nodes)));
+  }
+
+  graph::CsrSnapshot natural(g);
+  ppr::EipdOptions dense_opts;
+  dense_opts.kernel = ppr::EipdKernel::kDense;
+  ppr::EipdOptions sparse_opts;
+  sparse_opts.kernel = ppr::EipdKernel::kSparse;
+  ppr::EipdEngine dense(natural.View(), dense_opts);
+  ppr::EipdEngine sparse(natural.View(), sparse_opts);
+
+  result.auto_kernel = ppr::EipdKernelName(
+      ppr::EipdEngine(natural.View(), {}).KernelFor(seeds.front()));
+
+  result.dense = RunKernel(dense, seeds, candidates);
+  result.sparse = RunKernel(sparse, seeds, candidates);
+  result.sparse_speedup =
+      result.sparse.mean_ms > 0.0 ? result.dense.mean_ms / result.sparse.mean_ms
+                                  : 0.0;
+
+  // Degree-ordered layout: remap seeds and candidates into row space.
+  graph::CsrSnapshot ordered(
+      g, graph::CsrOptions{.layout = graph::CsrLayout::kDegreeOrdered});
+  std::vector<ppr::QuerySeed> remapped_seeds = seeds;
+  for (ppr::QuerySeed& q : remapped_seeds) {
+    for (auto& [node, weight] : q.links) node = ordered.ToInternal(node);
+  }
+  std::vector<graph::NodeId> remapped_candidates = candidates;
+  for (graph::NodeId& c : remapped_candidates) c = ordered.ToInternal(c);
+  ppr::EipdEngine ordered_sparse(ordered.View(), sparse_opts);
+  result.degree_ordered_sparse =
+      RunKernel(ordered_sparse, remapped_seeds, remapped_candidates);
+
+  return result;
+}
+
+double MaxRssMb() {
+  struct rusage usage;
+  std::memset(&usage, 0, sizeof(usage));
+  getrusage(RUSAGE_SELF, &usage);
+  // ru_maxrss is KiB on Linux.
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+void WriteJson(const std::string& path, const std::vector<SizeResult>& rows,
+               bool smoke) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"bench_scale\",\n");
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(f, "  \"max_rss_mb\": %.1f,\n", MaxRssMb());
+  std::fprintf(f, "  \"sizes\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const SizeResult& r = rows[i];
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"num_nodes\": %zu,\n", r.num_nodes);
+    std::fprintf(f, "      \"num_edges\": %zu,\n", r.num_edges);
+    std::fprintf(f, "      \"gen_seconds\": %.4f,\n", r.gen_seconds);
+    std::fprintf(f, "      \"queries\": %zu,\n", r.queries);
+    std::fprintf(f, "      \"auto_kernel\": \"%s\",\n", r.auto_kernel);
+    std::fprintf(f,
+                 "      \"dense\": {\"mean_ms\": %.4f, \"p50_ms\": %.4f, "
+                 "\"p99_ms\": %.4f},\n",
+                 r.dense.mean_ms, r.dense.p50_ms, r.dense.p99_ms);
+    std::fprintf(f,
+                 "      \"sparse\": {\"mean_ms\": %.4f, \"p50_ms\": %.4f, "
+                 "\"p99_ms\": %.4f},\n",
+                 r.sparse.mean_ms, r.sparse.p50_ms, r.sparse.p99_ms);
+    std::fprintf(f,
+                 "      \"degree_ordered_sparse\": {\"mean_ms\": %.4f, "
+                 "\"p50_ms\": %.4f, \"p99_ms\": %.4f},\n",
+                 r.degree_ordered_sparse.mean_ms,
+                 r.degree_ordered_sparse.p50_ms,
+                 r.degree_ordered_sparse.p99_ms);
+    std::fprintf(f, "      \"sparse_speedup\": %.3f\n", r.sparse_speedup);
+    std::fprintf(f, "    }%s\n", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("results -> %s\n", path.c_str());
+}
+
+int Run(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
+  bench::Banner("Scale sweep: dense vs sparse EIPD kernel",
+                "million-node serving (docs/scale.md)");
+
+  struct SizeSpec {
+    size_t num_nodes;
+    size_t queries;
+  };
+  std::vector<SizeSpec> sweep;
+  if (smoke) {
+    sweep = {{4096, 40}, {100000, 15}, {1000000, 5}};
+  } else {
+    sweep = {{4096, 200}, {62586, 100}, {100000, 100}, {1000000, 30}};
+  }
+
+  bench::TablePrinter table({"|V|", "|E|", "gen", "kernel", "mean ms",
+                             "p50 ms", "p99 ms", "speedup"},
+                            {9, 9, 7, 15, 9, 9, 9, 8});
+  table.PrintHeader();
+
+  std::vector<SizeResult> rows;
+  for (const SizeSpec& spec : sweep) {
+    StatusOr<SizeResult> r = RunSize(spec.num_nodes, spec.queries, 4242);
+    if (!r.ok()) {
+      std::fprintf(stderr, "size %zu failed: %s\n", spec.num_nodes,
+                   r.status().ToString().c_str());
+      return 1;
+    }
+    const SizeResult& row = *r;
+    table.PrintRow({std::to_string(row.num_nodes),
+                    std::to_string(row.num_edges),
+                    bench::Num(row.gen_seconds, 2) + "s", "dense",
+                    bench::Num(row.dense.mean_ms, 3),
+                    bench::Num(row.dense.p50_ms, 3),
+                    bench::Num(row.dense.p99_ms, 3), ""});
+    table.PrintRow({"", "", "", "sparse", bench::Num(row.sparse.mean_ms, 3),
+                    bench::Num(row.sparse.p50_ms, 3),
+                    bench::Num(row.sparse.p99_ms, 3),
+                    bench::Num(row.sparse_speedup, 2) + "x"});
+    table.PrintRow({"", "", "", "sparse+degord",
+                    bench::Num(row.degree_ordered_sparse.mean_ms, 3),
+                    bench::Num(row.degree_ordered_sparse.p50_ms, 3),
+                    bench::Num(row.degree_ordered_sparse.p99_ms, 3), ""});
+    rows.push_back(row);
+  }
+
+  std::printf("\npeak RSS %.1f MB\n", MaxRssMb());
+  std::printf(
+      "Expected: dense wins (or ties) at 4096 nodes where the O(V) reset\n"
+      "is free; the sparse kernel pulls ahead from ~1e5 nodes and the gap\n"
+      "widens at 1e6, where per-query dense cost is dominated by zeroing\n"
+      "three million-entry arrays.\n");
+
+  if (!json_path.empty()) WriteJson(json_path, rows, smoke);
+  return 0;
+}
+
+}  // namespace
+}  // namespace kgov
+
+int main(int argc, char** argv) { return kgov::Run(argc, argv); }

@@ -1,12 +1,13 @@
-// Serving-path throughput: the mutable adjacency-list path (EipdEvaluator
-// over WeightedDigraph) vs the unified view path (EipdEngine over a
-// GraphView of a frozen CsrSnapshot, reusing one PropagationWorkspace).
+// Serving-path throughput: the dense (frozen-op-order) kernel vs the
+// frontier-tracked sparse kernel, both through EipdEngine over a GraphView
+// of a frozen CsrSnapshot, reusing one PropagationWorkspace.
 //
 // Prints queries/sec for both and writes BENCH_serving.json so CI can
 // track the serving-path trajectory (tools/ci/check.sh runs this from the
-// repo root). The view path must at least match the old snapshot
-// evaluator's throughput; FastEipdEvaluator is now an alias of the same
-// engine, so measuring the engine measures the compatibility path too.
+// repo root). At this graph scale (Taobao-size, ~4k nodes) kAuto resolves
+// to the dense kernel; the sparse column here tracks the sparse path's
+// overhead on small graphs - the large-graph crossover is bench_scale's
+// job (BENCH_scale.json).
 
 #include <benchmark/benchmark.h>
 
@@ -16,7 +17,6 @@
 #include "bench/bench_util.h"
 #include "common/timer.h"
 #include "graph/csr.h"
-#include "ppr/eipd.h"
 #include "ppr/eipd_engine.h"
 #include "qa/kg_builder.h"
 
@@ -71,61 +71,68 @@ double MeasureQps(const Setup& s, Fn&& fn) {
   return static_cast<double>(kRounds * s.seeds.size()) / seconds;
 }
 
-void BM_MutablePathServe(benchmark::State& state) {
+void BM_DenseKernelServe(benchmark::State& state) {
   Setup* s = GlobalSetup();
-  ppr::EipdEvaluator evaluator(&s->kg.graph, {.max_length = 5});
-  size_t i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(evaluator.RankAnswers(
-        s->seeds[i % s->seeds.size()], s->kg.answer_nodes, 20));
-    ++i;
-  }
-}
-BENCHMARK(BM_MutablePathServe)->Unit(benchmark::kMillisecond);
-
-void BM_ViewPathServe(benchmark::State& state) {
-  Setup* s = GlobalSetup();
-  ppr::EipdEngine engine(s->snapshot.View(), {.max_length = 5});
+  ppr::EipdEngine engine(s->snapshot.View(),
+                         {.max_length = 5, .kernel = ppr::EipdKernel::kDense});
   ppr::PropagationWorkspace workspace;
   size_t i = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(engine.RankAnswers(
+    benchmark::DoNotOptimize(engine.Rank(
         s->seeds[i % s->seeds.size()], s->kg.answer_nodes, 20, &workspace));
     ++i;
   }
 }
-BENCHMARK(BM_ViewPathServe)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DenseKernelServe)->Unit(benchmark::kMillisecond);
+
+void BM_SparseKernelServe(benchmark::State& state) {
+  Setup* s = GlobalSetup();
+  ppr::EipdEngine engine(
+      s->snapshot.View(),
+      {.max_length = 5, .kernel = ppr::EipdKernel::kSparse});
+  ppr::PropagationWorkspace workspace;
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Rank(
+        s->seeds[i % s->seeds.size()], s->kg.answer_nodes, 20, &workspace));
+    ++i;
+  }
+}
+BENCHMARK(BM_SparseKernelServe)->Unit(benchmark::kMillisecond);
 
 void RunAndReport(const char* json_path) {
-  bench::Banner("Serving path: mutable adjacency list vs GraphView engine",
-                "kgov read-path unification (docs/architecture.md)");
+  bench::Banner("Serving path: dense kernel vs sparse (frontier) kernel",
+                "kgov read-path kernels (docs/scale.md)");
   Setup* s = GlobalSetup();
   std::printf("graph: %zu nodes, %zu edges; %zu seeds x %d rounds; top-20 "
               "over %zu answers\n",
               s->kg.graph.NumNodes(), s->kg.graph.NumEdges(),
               s->seeds.size(), kRounds, s->kg.answer_nodes.size());
 
-  ppr::EipdOptions options;
-  options.max_length = 5;
-  ppr::EipdEvaluator mutable_eval(&s->kg.graph, options);
-  ppr::EipdEngine engine(s->snapshot.View(), options);
+  ppr::EipdOptions dense_options;
+  dense_options.max_length = 5;
+  dense_options.kernel = ppr::EipdKernel::kDense;
+  ppr::EipdOptions sparse_options = dense_options;
+  sparse_options.kernel = ppr::EipdKernel::kSparse;
+  ppr::EipdEngine dense(s->snapshot.View(), dense_options);
+  ppr::EipdEngine sparse(s->snapshot.View(), sparse_options);
   ppr::PropagationWorkspace workspace;
 
-  double mutable_qps = MeasureQps(*s, [&](const ppr::QuerySeed& seed) {
-    return mutable_eval.RankAnswers(seed, s->kg.answer_nodes, 20);
+  double dense_qps = MeasureQps(*s, [&](const ppr::QuerySeed& seed) {
+    return dense.Rank(seed, s->kg.answer_nodes, 20, &workspace);
   });
-  double view_qps = MeasureQps(*s, [&](const ppr::QuerySeed& seed) {
-    return engine.RankAnswers(seed, s->kg.answer_nodes, 20, &workspace);
+  double sparse_qps = MeasureQps(*s, [&](const ppr::QuerySeed& seed) {
+    return sparse.Rank(seed, s->kg.answer_nodes, 20, &workspace);
   });
 
-  bench::TablePrinter table({"path", "queries/sec", "ms/query"},
+  bench::TablePrinter table({"kernel", "queries/sec", "ms/query"},
                             {28, 12, 10});
   table.PrintHeader();
-  table.PrintRow({"mutable (WeightedDigraph)", bench::Num(mutable_qps, 1),
-                  bench::Num(1e3 / mutable_qps, 3)});
-  table.PrintRow({"view (GraphView + workspace)", bench::Num(view_qps, 1),
-                  bench::Num(1e3 / view_qps, 3)});
-  std::printf("view/mutable speedup: %.2fx\n", view_qps / mutable_qps);
+  table.PrintRow({"dense (frozen op order)", bench::Num(dense_qps, 1),
+                  bench::Num(1e3 / dense_qps, 3)});
+  table.PrintRow({"sparse (frontier-tracked)", bench::Num(sparse_qps, 1),
+                  bench::Num(1e3 / sparse_qps, 3)});
+  std::printf("sparse/dense speedup: %.2fx\n", sparse_qps / dense_qps);
 
   std::FILE* out = std::fopen(json_path, "w");
   if (out == nullptr) {
@@ -140,14 +147,14 @@ void RunAndReport(const char* json_path) {
                "  \"queries\": %zu,\n"
                "  \"top_k\": 20,\n"
                "  \"max_length\": %d,\n"
-               "  \"mutable_qps\": %.2f,\n"
-               "  \"view_qps\": %.2f,\n"
-               "  \"view_over_mutable\": %.3f\n"
+               "  \"dense_qps\": %.2f,\n"
+               "  \"sparse_qps\": %.2f,\n"
+               "  \"sparse_over_dense\": %.3f\n"
                "}\n",
                s->kg.graph.NumNodes(), s->kg.graph.NumEdges(),
                static_cast<size_t>(kRounds) * s->seeds.size(),
-               options.max_length, mutable_qps, view_qps,
-               view_qps / mutable_qps);
+               dense_options.max_length, dense_qps, sparse_qps,
+               sparse_qps / dense_qps);
   std::fclose(out);
   std::printf("wrote %s\n", json_path);
 }

@@ -15,8 +15,9 @@
 
 #include "bench/bench_util.h"
 #include "common/timer.h"
-#include "graph/generators.h"
-#include "ppr/eipd.h"
+#include "graph/csr.h"
+#include "graph/source.h"
+#include "ppr/eipd_engine.h"
 #include "ppr/ppr.h"
 
 namespace kgov {
@@ -33,9 +34,13 @@ int Run() {
       "Table VI: average elapsed time per query (similarity evaluation)",
       "Table VI (SVII-C)");
 
-  Rng rng(2211);
+  graph::GeneratorSpec spec;
+  spec.kind = graph::GeneratorKind::kErdosRenyi;
+  spec.num_nodes = kEntityNodes;
+  spec.num_edges = kEntityEdges;
   Result<graph::WeightedDigraph> base =
-      graph::ErdosRenyi(kEntityNodes, kEntityEdges, rng);
+      graph::LoadGraph(graph::GraphSource::Generator(spec, 2211));
+  Rng rng(2212);  // augmentation stream, separate from the generator's
   if (!base.ok()) {
     std::fprintf(stderr, "graph generation failed\n");
     return 1;
@@ -67,7 +72,8 @@ int Run() {
 
     ppr::EipdOptions eipd_options;
     eipd_options.max_length = 5;
-    ppr::EipdEvaluator eipd(&g, eipd_options);
+    graph::CsrSnapshot snap(g);
+    ppr::EipdEngine eipd(snap.View(), eipd_options);
     ppr::PprOptions rw_options;
     rw_options.tolerance = 1e-10;
     ppr::RandomWalkBaseline rw(&g, rw_options);
@@ -93,7 +99,7 @@ int Run() {
 
       // EIPD: one propagation yields every answer's score.
       timer.Restart();
-      std::vector<double> scores = eipd.SimilarityMany(seed, answers);
+      std::vector<double> scores = eipd.Scores(seed, answers).value();
       eipd_total += timer.ElapsedSeconds();
       if (scores.empty()) return 1;  // defeat optimizer
     }

@@ -15,7 +15,7 @@
 #include "common/thread_pool.h"
 #include "core/kg_optimizer.h"
 #include "graph/csr.h"
-#include "graph/generators.h"
+#include "graph/source.h"
 #include "ppr/eipd_engine.h"
 #include "votes/vote_generator.h"
 
@@ -25,8 +25,12 @@ int main() {
   Rng rng(99);
 
   // Term graph (concept co-occurrence on the web) + pages as answers.
+  graph::GeneratorSpec spec;
+  spec.kind = graph::GeneratorKind::kScaleFree;
+  spec.num_nodes = 2000;
+  spec.num_edges = 9000;
   Result<graph::WeightedDigraph> base =
-      graph::ScaleFreeWithTargetEdges(2000, 9000, rng);
+      graph::LoadGraph(graph::GraphSource::Generator(spec, 99));
   if (!base.ok()) {
     std::fprintf(stderr, "graph generation failed\n");
     return 1;

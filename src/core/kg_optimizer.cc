@@ -12,7 +12,7 @@
 #include "common/timer.h"
 #include "graph/csr.h"
 #include "graph/subgraph.h"
-#include "ppr/eipd.h"
+#include "ppr/eipd_engine.h"
 #include "ppr/eipd_engine.h"
 #include "telemetry/metrics.h"
 

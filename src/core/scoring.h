@@ -13,7 +13,7 @@
 
 #include "graph/graph.h"
 #include "graph/graph_view.h"
-#include "ppr/eipd.h"
+#include "ppr/eipd_engine.h"
 #include "votes/vote.h"
 
 namespace kgov::core {

@@ -112,9 +112,18 @@ Result<WeightedDigraph> ScaleFreeWithTargetEdges(size_t num_nodes,
   if (num_nodes == 0) {
     return Status::InvalidArgument("ScaleFreeWithTargetEdges: empty graph");
   }
-  if (num_edges > num_nodes * (num_nodes - 1)) {
+  // The top-up loop below draws uniform (from, to) pairs and rejects
+  // duplicates. Past half the possible edges the expected number of draws
+  // per accepted edge diverges toward infinity at saturation, so refuse
+  // upfront and name the limiting parameter instead of spinning.
+  const size_t possible = num_nodes * (num_nodes - 1);
+  if (num_edges > possible / 2) {
     return Status::InvalidArgument(
-        "ScaleFreeWithTargetEdges: too many edges");
+        "ScaleFreeWithTargetEdges: num_edges = " + std::to_string(num_edges) +
+        " exceeds the rejection-sampling saturation cap " +
+        std::to_string(possible / 2) + " (half of the " +
+        std::to_string(possible) + " possible edges for num_nodes = " +
+        std::to_string(num_nodes) + ")");
   }
   // Backbone: preferential attachment with about 3/4 of the edge budget.
   size_t per_node = std::max<size_t>(1, (num_edges * 3 / 4) / num_nodes);
@@ -135,6 +144,61 @@ Result<WeightedDigraph> ScaleFreeWithTargetEdges(size_t num_nodes,
     if (from == to) continue;
     if (!used.insert(EdgeKey(from, to)).second) continue;
     KGOV_CHECK(graph.AddEdge(from, to, 1.0).ok());
+  }
+  InitializeWeights(&graph, init, rng);
+  return graph;
+}
+
+Result<WeightedDigraph> StreamingScaleFree(size_t num_nodes,
+                                           size_t avg_out_degree, Rng& rng,
+                                           WeightInit init) {
+  if (num_nodes < 2) {
+    return Status::InvalidArgument(
+        "StreamingScaleFree: num_nodes must be >= 2, got " +
+        std::to_string(num_nodes));
+  }
+  if (avg_out_degree == 0 || avg_out_degree >= num_nodes) {
+    return Status::InvalidArgument(
+        "StreamingScaleFree: avg_out_degree must be in [1, num_nodes), got " +
+        std::to_string(avg_out_degree));
+  }
+  WeightedDigraph graph(num_nodes);
+  graph.ReserveEdges(num_nodes * avg_out_degree);
+
+  // Preferential attachment through a bounded endpoint pool: each accepted
+  // edge records its target, and 3/4 of later draws pick uniformly from
+  // the pool (probability proportional to in-degree). The pool is capped
+  // so memory stays O(min(E, cap)); once full, a random slot is replaced,
+  // which keeps the recent-degree bias while bounding the footprint.
+  constexpr size_t kPoolCap = size_t{1} << 22;
+  std::vector<NodeId> endpoint_pool;
+  endpoint_pool.reserve(std::min(num_nodes * avg_out_degree, kPoolCap));
+
+  for (NodeId v = 1; v < num_nodes; ++v) {
+    const size_t want = std::min<size_t>(avg_out_degree, v);
+    size_t attached = 0;
+    size_t attempts = 0;
+    const size_t max_attempts = 16 * avg_out_degree + 16;
+    while (attached < want && attempts < max_attempts) {
+      ++attempts;
+      NodeId target;
+      if (!endpoint_pool.empty() && rng.Bernoulli(0.75)) {
+        target = endpoint_pool[rng.NextIndex(endpoint_pool.size())];
+      } else {
+        target = static_cast<NodeId>(rng.NextIndex(v));
+      }
+      if (target == v) continue;
+      // Duplicate check against the source's own row: O(out-degree),
+      // bounded by avg_out_degree - no global edge set.
+      if (graph.FindEdge(v, target).has_value()) continue;
+      KGOV_CHECK(graph.AddEdge(v, target, 1.0).ok());
+      if (endpoint_pool.size() < kPoolCap) {
+        endpoint_pool.push_back(target);
+      } else {
+        endpoint_pool[rng.NextIndex(kPoolCap)] = target;
+      }
+      ++attached;
+    }
   }
   InitializeWeights(&graph, init, rng);
   return graph;

@@ -43,10 +43,23 @@ Result<WeightedDigraph> BarabasiAlbert(size_t num_nodes,
 
 /// Hybrid generator targeting an exact edge count: a preferential-
 /// attachment backbone plus uniform random extra edges until |E| =
-/// num_edges. This is what the KONECT profiles use.
+/// num_edges. This is what the KONECT profiles use. The uniform top-up is
+/// rejection-sampled, so edge targets above half the n*(n-1) possible
+/// edges are rejected with kInvalidArgument (naming num_edges) instead of
+/// spinning toward saturation.
 Result<WeightedDigraph> ScaleFreeWithTargetEdges(size_t num_nodes,
                                                  size_t num_edges, Rng& rng,
                                                  WeightInit init = WeightInit::kNormalizedRandom);
+
+/// Streaming scale-free generator for large graphs (10^5-10^7 nodes):
+/// preferential attachment via a bounded endpoint pool, O(V + E) memory,
+/// no global dedup table and no O(V^2) intermediates (duplicate edges are
+/// rejected by scanning the source's own O(avg_out_degree) adjacency
+/// row). Every node gets up to `avg_out_degree` out-edges; heavy-tailed
+/// in-degrees. Deterministic for a given rng state.
+Result<WeightedDigraph> StreamingScaleFree(size_t num_nodes,
+                                           size_t avg_out_degree, Rng& rng,
+                                           WeightInit init = WeightInit::kNormalizedRandom);
 
 /// Named profiles matching the datasets in the paper's Table II.
 struct GraphProfile {

@@ -62,6 +62,10 @@ class WeightedDigraph {
   /// Adds `count` nodes; returns the id of the first.
   NodeId AddNodes(size_t count);
 
+  /// Pre-allocates for `num_edges` edges so bulk construction (the
+  /// streaming generators, snapshot loads) does not pay vector regrowth.
+  void ReserveEdges(size_t num_edges) { edges_.reserve(num_edges); }
+
   size_t NumNodes() const { return out_edges_.size(); }
   size_t NumEdges() const { return edges_.size(); }
   bool IsValidNode(NodeId node) const { return node < out_edges_.size(); }

@@ -1,0 +1,203 @@
+#include "graph/source.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/rng.h"
+#include "durability/snapshot.h"
+#include "graph/graph_io.h"
+
+namespace kgov::graph {
+
+namespace {
+
+const char* KindName(GraphSourceKind kind) {
+  switch (kind) {
+    case GraphSourceKind::kEdgeList:
+      return "edge-list";
+    case GraphSourceKind::kProfile:
+      return "profile";
+    case GraphSourceKind::kGenerator:
+      return "generator";
+    case GraphSourceKind::kSnapshot:
+      return "snapshot";
+  }
+  return "unknown";
+}
+
+const char* GeneratorName(GeneratorKind kind) {
+  switch (kind) {
+    case GeneratorKind::kErdosRenyi:
+      return "erdos-renyi";
+    case GeneratorKind::kBarabasiAlbert:
+      return "barabasi-albert";
+    case GeneratorKind::kScaleFree:
+      return "scale-free";
+    case GeneratorKind::kStreamingScaleFree:
+      return "streaming-scale-free";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+GraphSource GraphSource::EdgeList(std::string path, double default_weight) {
+  GraphSource source;
+  source.kind = GraphSourceKind::kEdgeList;
+  source.path = std::move(path);
+  source.default_weight = default_weight;
+  return source;
+}
+
+GraphSource GraphSource::Profile(std::string name, uint64_t seed) {
+  GraphSource source;
+  source.kind = GraphSourceKind::kProfile;
+  source.profile = std::move(name);
+  source.seed = seed;
+  return source;
+}
+
+GraphSource GraphSource::Generator(GeneratorSpec spec, uint64_t seed) {
+  GraphSource source;
+  source.kind = GraphSourceKind::kGenerator;
+  source.generator = spec;
+  source.seed = seed;
+  return source;
+}
+
+GraphSource GraphSource::Snapshot(std::string path) {
+  GraphSource source;
+  source.kind = GraphSourceKind::kSnapshot;
+  source.path = std::move(path);
+  return source;
+}
+
+Status GraphSource::Validate() const {
+  switch (kind) {
+    case GraphSourceKind::kEdgeList:
+      if (path.empty()) {
+        return Status::InvalidArgument(
+            "GraphSource.path must be set for an edge-list source");
+      }
+      if (!(std::isfinite(default_weight) && default_weight > 0.0)) {
+        return Status::InvalidArgument(
+            "GraphSource.default_weight must be finite and > 0, got " +
+            std::to_string(default_weight));
+      }
+      return Status::OK();
+    case GraphSourceKind::kProfile:
+      return ProfileByName(profile).status();
+    case GraphSourceKind::kGenerator:
+      if (generator.num_nodes == 0) {
+        return Status::InvalidArgument(
+            "GraphSource.generator.num_nodes must be > 0");
+      }
+      switch (generator.kind) {
+        case GeneratorKind::kErdosRenyi:
+        case GeneratorKind::kScaleFree:
+          if (generator.num_edges == 0) {
+            return Status::InvalidArgument(
+                std::string("GraphSource.generator.num_edges must be > 0 "
+                            "for kind ") +
+                GeneratorName(generator.kind));
+          }
+          return Status::OK();
+        case GeneratorKind::kBarabasiAlbert:
+        case GeneratorKind::kStreamingScaleFree:
+          if (generator.edges_per_node == 0) {
+            return Status::InvalidArgument(
+                std::string("GraphSource.generator.edges_per_node must be "
+                            "> 0 for kind ") +
+                GeneratorName(generator.kind));
+          }
+          return Status::OK();
+      }
+      return Status::InvalidArgument("GraphSource.generator.kind is invalid");
+    case GraphSourceKind::kSnapshot:
+      if (path.empty()) {
+        return Status::InvalidArgument(
+            "GraphSource.path must be set for a snapshot source");
+      }
+      return Status::OK();
+  }
+  return Status::InvalidArgument("GraphSource.kind is invalid");
+}
+
+std::string GraphSource::ToString() const {
+  switch (kind) {
+    case GraphSourceKind::kEdgeList:
+      return std::string(KindName(kind)) + ":" + path;
+    case GraphSourceKind::kProfile:
+      return std::string(KindName(kind)) + ":" + profile +
+             " seed=" + std::to_string(seed);
+    case GraphSourceKind::kGenerator:
+      return std::string(KindName(kind)) + ":" +
+             GeneratorName(generator.kind) +
+             " nodes=" + std::to_string(generator.num_nodes) +
+             " seed=" + std::to_string(seed);
+    case GraphSourceKind::kSnapshot:
+      return std::string(KindName(kind)) + ":" + path;
+  }
+  return "unknown";
+}
+
+std::vector<std::string> ProfileNames() {
+  return {"twitter", "digg", "gnutella", "taobao"};
+}
+
+StatusOr<GraphProfile> ProfileByName(const std::string& name) {
+  if (name == "twitter") return TwitterProfile();
+  if (name == "digg") return DiggProfile();
+  if (name == "gnutella") return GnutellaProfile();
+  if (name == "taobao") return TaobaoProfile();
+  std::string known;
+  for (const std::string& profile : ProfileNames()) {
+    if (!known.empty()) known += ", ";
+    known += profile;
+  }
+  return Status::InvalidArgument("GraphSource.profile \"" + name +
+                                 "\" is not registered (known: " + known +
+                                 ")");
+}
+
+Result<WeightedDigraph> LoadGraph(const GraphSource& source) {
+  KGOV_RETURN_IF_ERROR(source.Validate());
+  switch (source.kind) {
+    case GraphSourceKind::kEdgeList:
+      return LoadEdgeList(source.path, source.default_weight);
+    case GraphSourceKind::kProfile: {
+      KGOV_ASSIGN_OR_RETURN(GraphProfile profile,
+                            ProfileByName(source.profile));
+      Rng rng(source.seed);
+      return GenerateFromProfile(profile, rng);
+    }
+    case GraphSourceKind::kGenerator: {
+      Rng rng(source.seed);
+      const GeneratorSpec& spec = source.generator;
+      switch (spec.kind) {
+        case GeneratorKind::kErdosRenyi:
+          return ErdosRenyi(spec.num_nodes, spec.num_edges, rng,
+                            spec.weight_init);
+        case GeneratorKind::kBarabasiAlbert:
+          return BarabasiAlbert(spec.num_nodes, spec.edges_per_node, rng,
+                                spec.weight_init);
+        case GeneratorKind::kScaleFree:
+          return ScaleFreeWithTargetEdges(spec.num_nodes, spec.num_edges,
+                                          rng, spec.weight_init);
+        case GeneratorKind::kStreamingScaleFree:
+          return StreamingScaleFree(spec.num_nodes, spec.edges_per_node,
+                                    rng, spec.weight_init);
+      }
+      return Status::InvalidArgument("GraphSource.generator.kind is invalid");
+    }
+    case GraphSourceKind::kSnapshot: {
+      KGOV_ASSIGN_OR_RETURN(
+          durability::MappedSnapshot snapshot,
+          durability::MappedSnapshot::Load(source.path, {}));
+      return snapshot.ToWeightedDigraph();
+    }
+  }
+  return Status::InvalidArgument("GraphSource.kind is invalid");
+}
+
+}  // namespace kgov::graph

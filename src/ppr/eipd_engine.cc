@@ -8,6 +8,18 @@
 
 namespace kgov::ppr {
 
+const char* EipdKernelName(EipdKernel kernel) {
+  switch (kernel) {
+    case EipdKernel::kAuto:
+      return "auto";
+    case EipdKernel::kDense:
+      return "dense";
+    case EipdKernel::kSparse:
+      return "sparse";
+  }
+  return "unknown";
+}
+
 Status EipdOptions::Validate() const {
   if (max_length < 1) {
     return Status::InvalidArgument(
@@ -18,6 +30,11 @@ Status EipdOptions::Validate() const {
     return Status::InvalidArgument(
         "EipdOptions.restart must be in (0, 1), got " +
         std::to_string(restart));
+  }
+  if (!(std::isfinite(sparse_threshold) && sparse_threshold >= 0.0)) {
+    return Status::InvalidArgument(
+        "EipdOptions.sparse_threshold must be finite and >= 0, got " +
+        std::to_string(sparse_threshold));
   }
   return Status::OK();
 }
@@ -70,6 +87,15 @@ const std::vector<double>& EipdEngine::PropagateInto(
   static telemetry::Counter* const queries =
       telemetry::MetricRegistry::Global().GetCounter(
           "serving.eipd.queries");
+  static telemetry::Counter* const dense_queries =
+      telemetry::MetricRegistry::Global().GetCounter(
+          "serving.eipd.kernel.dense");
+  static telemetry::Counter* const sparse_queries =
+      telemetry::MetricRegistry::Global().GetCounter(
+          "serving.eipd.kernel.sparse");
+  static telemetry::Counter* const sparse_pruned =
+      telemetry::MetricRegistry::Global().GetCounter(
+          "serving.eipd.sparse.pruned_nodes");
   Timer timer;
   if (overrides != nullptr) {
     // Overrides are keyed by EdgeId; without the edge-id table they would
@@ -78,8 +104,16 @@ const std::vector<double>& EipdEngine::PropagateInto(
     KGOV_CHECK(view_.HasEdgeIds() || view_.NumEdges() == 0);
   }
   if (ws == nullptr) ws = &ThreadLocalWorkspace();
-  internal::PropagatePhi(internal::ViewAdjacency{view_}, seed, options_,
-                         overrides, ws);
+  if (KernelFor(seed) == EipdKernel::kSparse) {
+    size_t pruned = internal::PropagatePhiSparse(
+        internal::ViewAdjacency{view_}, seed, options_, overrides, ws);
+    sparse_queries->Increment();
+    if (pruned > 0) sparse_pruned->Increment(pruned);
+  } else {
+    internal::PropagatePhi(internal::ViewAdjacency{view_}, seed, options_,
+                           overrides, ws);
+    dense_queries->Increment();
+  }
   queries->Increment();
   latency->Observe(timer.ElapsedSeconds());
   return ws->phi;
@@ -207,57 +241,6 @@ StatusOr<std::vector<std::vector<ScoredAnswer>>> EipdEngine::RankMulti(
     results.push_back(std::move(ranked));
   }
   return results;
-}
-
-// --- Deprecated wrappers -------------------------------------------------
-
-const std::vector<double>& EipdEngine::Propagate(
-    const QuerySeed& seed,
-    const std::unordered_map<graph::EdgeId, double>* overrides,
-    PropagationWorkspace* ws) const {
-  return PropagateInto(seed, overrides, ws);
-}
-
-double EipdEngine::Similarity(const QuerySeed& seed, graph::NodeId answer,
-                              PropagationWorkspace* ws) const {
-  KGOV_CHECK(view_.IsValidNode(answer));
-  return PropagateInto(seed, nullptr, ws)[answer];
-}
-
-std::vector<double> EipdEngine::SimilarityMany(
-    const QuerySeed& seed, const std::vector<graph::NodeId>& answers,
-    PropagationWorkspace* ws) const {
-  StatusOr<std::vector<double>> scores = Scores(seed, answers, ws);
-  KGOV_CHECK(scores.ok()) << scores.status().ToString();
-  return std::move(scores).value();
-}
-
-std::vector<double> EipdEngine::SimilarityManyWithOverrides(
-    const QuerySeed& seed, const std::vector<graph::NodeId>& answers,
-    const std::unordered_map<graph::EdgeId, double>& overrides,
-    PropagationWorkspace* ws) const {
-  StatusOr<std::vector<double>> scores =
-      ScoresWithOverrides(seed, answers, overrides, ws);
-  KGOV_CHECK(scores.ok()) << scores.status().ToString();
-  return std::move(scores).value();
-}
-
-std::vector<ScoredAnswer> EipdEngine::RankAnswers(
-    const QuerySeed& seed, const std::vector<graph::NodeId>& candidates,
-    size_t k, PropagationWorkspace* ws) const {
-  StatusOr<std::vector<ScoredAnswer>> ranked = Rank(seed, candidates, k, ws);
-  KGOV_CHECK(ranked.ok()) << ranked.status().ToString();
-  return std::move(ranked).value();
-}
-
-std::vector<ScoredAnswer> EipdEngine::RankAnswersWithOverrides(
-    const QuerySeed& seed, const std::vector<graph::NodeId>& candidates,
-    size_t k, const std::unordered_map<graph::EdgeId, double>& overrides,
-    PropagationWorkspace* ws) const {
-  StatusOr<std::vector<ScoredAnswer>> ranked =
-      RankWithOverrides(seed, candidates, k, overrides, ws);
-  KGOV_CHECK(ranked.ok()) << ranked.status().ToString();
-  return std::move(ranked).value();
 }
 
 }  // namespace kgov::ppr

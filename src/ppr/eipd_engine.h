@@ -2,12 +2,26 @@
 //
 //   Phi(vq, va) = sum over walks z : vq ~> va, |z| <= L of P[z]*c*(1-c)^|z|
 //
-// There is exactly ONE propagation implementation in kgov: the
-// level-synchronous kernel internal::PropagatePhi below, templated over an
-// adjacency source. EipdEngine instantiates it over graph::GraphView (the
-// CSR serving path); the compatibility EipdEvaluator in ppr/eipd.h
-// instantiates it over the live WeightedDigraph. Both therefore share one
-// body, and fixes/optimizations apply to every caller at once.
+// Two kernels share one set of per-lane primitives, selected through
+// EipdOptions::kernel:
+//
+//  - internal::PropagatePhi (kDense): the level-synchronous reference
+//    kernel. Its floating-point operation sequence is frozen - the
+//    serving-path bitwise gates (single-flight leader reuse, multi-root
+//    lanes, cache hits) compare against it with memcmp.
+//  - internal::PropagatePhiSparse (kSparse): identical per-level push
+//    order, but the O(n) workspace reset is replaced by a lazy reset of
+//    only the entries the previous query touched, and frontier nodes whose
+//    mass has decayed below EipdOptions::sparse_threshold are absorbed but
+//    not expanded. With sparse_threshold == 0 the arithmetic is
+//    bitwise-identical to kDense; with a positive threshold the pruning
+//    error is one-sided and bounded (see docs/scale.md).
+//
+// kAuto (the default) resolves per query via internal::ResolveKernel:
+// dense below kSparseKernelMinNodes or when the seed covers a large
+// fraction of the graph, sparse otherwise - so existing toy-graph
+// workloads keep their bitwise-frozen dense behavior while million-node
+// graphs get O(touched) queries.
 //
 // PropagationWorkspace keeps the per-query O(n) scratch (`phi`, `mass`,
 // `next` plus the frontiers) alive across queries so steady-state serving
@@ -31,16 +45,42 @@
 
 namespace kgov::ppr {
 
+/// Which propagation kernel an EipdEngine runs (see the header comment).
+enum class EipdKernel {
+  /// Resolve per query from graph size and seed sparsity
+  /// (internal::ResolveKernel). The default.
+  kAuto,
+  /// The frozen-op-order dense kernel; the bitwise reference.
+  kDense,
+  /// Frontier-tracked kernel with lazy workspace reset and threshold
+  /// pruning. Bitwise-identical to kDense when sparse_threshold == 0.
+  kSparse,
+};
+
+/// Human-readable kernel name ("auto" / "dense" / "sparse").
+const char* EipdKernelName(EipdKernel kernel);
+
 struct EipdOptions {
   /// Maximum walk length L (number of edges, including the query's first
   /// hop). Paper default: 5.
   int max_length = 5;
   /// Restart probability c. Paper default: ~0.15.
   double restart = 0.15;
+  /// Kernel selection. kAuto keeps small graphs on the bitwise-frozen
+  /// dense kernel and routes large, sparsely-seeded graphs to kSparse.
+  EipdKernel kernel = EipdKernel::kAuto;
+  /// kSparse only: a frontier node whose remaining walk mass is below this
+  /// is absorbed into phi but not expanded further. Every pruned score is
+  /// an underestimate of the dense score by at most
+  /// sparse_threshold * (1 - restart) per pruned (node, level) - see
+  /// docs/scale.md for the ranking-perturbation bound. 0 disables pruning
+  /// (bitwise-dense results through the sparse data path).
+  double sparse_threshold = 1e-12;
 
-  /// OK iff the options describe a usable propagation: max_length >= 1 and
-  /// restart in (0, 1). Consumers (EipdEngine, QaSystem, serve::QueryEngine)
-  /// call this at construction; the message names the offending field.
+  /// OK iff the options describe a usable propagation: max_length >= 1,
+  /// restart in (0, 1), and sparse_threshold finite and >= 0. Consumers
+  /// (EipdEngine, QaSystem, serve::QueryEngine) call this at construction;
+  /// the message names the offending field.
   Status Validate() const;
 };
 
@@ -54,6 +94,14 @@ struct PropagationWorkspace {
   std::vector<double> next;
   std::vector<graph::NodeId> frontier;
   std::vector<graph::NodeId> next_frontier;
+  /// Every node whose phi/mass/next entry may be nonzero, maintained only
+  /// by the sparse kernel (may contain duplicates). Lets PrepareSparse
+  /// reset in O(touched) instead of O(n).
+  std::vector<graph::NodeId> touched;
+  /// True while `touched` covers all possibly-nonzero entries. A dense run
+  /// writes without tracking, so it clears the flag and the next sparse
+  /// run falls back to one full reset.
+  bool sparse_tracked = false;
 
   void Prepare(size_t n) {
     phi.assign(n, 0.0);
@@ -61,6 +109,27 @@ struct PropagationWorkspace {
     next.assign(n, 0.0);
     frontier.clear();
     next_frontier.clear();
+    touched.clear();
+    sparse_tracked = false;
+  }
+
+  /// Sparse-kernel reset: zeroes only the entries the previous sparse
+  /// query touched. Falls back to Prepare(n) after a resize or a dense
+  /// run. Steady-state cost is O(previous query's touched set).
+  void PrepareSparse(size_t n) {
+    if (!sparse_tracked || phi.size() != n) {
+      Prepare(n);
+    } else {
+      for (graph::NodeId v : touched) {
+        phi[v] = 0.0;
+        mass[v] = 0.0;
+        next[v] = 0.0;
+      }
+      touched.clear();
+      frontier.clear();
+      next_frontier.clear();
+    }
+    sparse_tracked = true;
   }
 };
 
@@ -72,6 +141,9 @@ PropagationWorkspace& ThreadLocalWorkspace();
 /// serving worker that batches queries steadily allocates nothing.
 struct MultiPropagationWorkspace {
   std::vector<PropagationWorkspace> lanes;
+  /// Per-lane kernel resolution of the current pass (scratch; sized by
+  /// PropagatePhiMulti).
+  std::vector<EipdKernel> lane_kernels;
 
   void EnsureLanes(size_t count) {
     if (lanes.size() < count) lanes.resize(count);
@@ -99,21 +171,6 @@ struct ViewAdjacency {
     for (const graph::GraphView::Neighbor* it = b; it != e; ++it) {
       fn(it->to, it->weight,
          ids == nullptr ? graph::kInvalidEdge : ids[it - b]);
-    }
-  }
-};
-
-/// Adjacency adapter over the live mutable graph (reads current weights).
-struct DigraphAdjacency {
-  const graph::WeightedDigraph* graph;
-
-  size_t NumNodes() const { return graph->NumNodes(); }
-  bool IsValidNode(graph::NodeId v) const { return graph->IsValidNode(v); }
-
-  template <typename Fn>
-  void ForEachOut(graph::NodeId u, Fn&& fn) const {
-    for (const graph::OutEdge& out : graph->OutEdges(u)) {
-      fn(out.to, graph->Weight(out.edge), out.edge);
     }
   }
 };
@@ -198,14 +255,127 @@ void PropagatePhi(const Adjacency& adj, const QuerySeed& seed,
   }
 }
 
+// --- Sparse (frontier-tracked) lane primitives -----------------------
+// Same per-level iteration and push order as the dense primitives - the
+// only behavioral differences are the lazy workspace reset (PrepareSparse
+// + touched tracking) and the prune_threshold check in the advance step.
+// With prune_threshold == 0 every floating-point operation matches the
+// dense lane exactly, so sparse results are bitwise-identical to dense
+// ones (tests/test_eipd_sparse.cc).
+
+/// Sparse level 1: the query's first hop, with touched tracking.
+template <typename Adjacency>
+void SeedLaneSparse(const Adjacency& adj, const QuerySeed& seed,
+                    PropagationWorkspace* ws) {
+  ws->PrepareSparse(adj.NumNodes());
+  for (const auto& [node, weight] : seed.links) {
+    KGOV_DCHECK(adj.IsValidNode(node));
+    if (weight <= 0.0) continue;
+    if (ws->mass[node] == 0.0) {
+      ws->frontier.push_back(node);
+      ws->touched.push_back(node);
+    }
+    ws->mass[node] += weight;
+  }
+}
+
+/// Sparse advance: pushes mass one level along the out-edges, skipping
+/// frontier nodes whose remaining mass is below `prune_threshold` (their
+/// mass was already absorbed into phi this level; only their downstream
+/// expansion is dropped). Returns the number of pruned frontier nodes.
+template <typename Adjacency>
+size_t AdvanceLaneSparse(
+    const Adjacency& adj,
+    const std::unordered_map<graph::EdgeId, double>* overrides,
+    double prune_threshold, PropagationWorkspace* ws) {
+  std::vector<double>& next = ws->next;
+  ws->next_frontier.clear();
+  size_t pruned = 0;
+  for (graph::NodeId u : ws->frontier) {
+    const double m = ws->mass[u];
+    ws->mass[u] = 0.0;
+    if (m < prune_threshold) {
+      ++pruned;
+      continue;
+    }
+    adj.ForEachOut(u, [&](graph::NodeId to, double w, graph::EdgeId e) {
+      if (overrides != nullptr) {
+        auto it = overrides->find(e);
+        if (it != overrides->end()) w = it->second;
+      }
+      if (w <= 0.0) return;
+      if (next[to] == 0.0) {
+        ws->next_frontier.push_back(to);
+        ws->touched.push_back(to);
+      }
+      next[to] += m * w;
+    });
+  }
+  // All frontier masses were zeroed above, so after the swap the old mass
+  // array is all-zero and becomes next for the following level.
+  ws->mass.swap(ws->next);
+  ws->frontier.swap(ws->next_frontier);
+  return pruned;
+}
+
+/// The frontier-tracked kernel: same walk-sum as PropagatePhi, but the
+/// per-query cost is O(touched nodes + traversed edges) instead of
+/// O(n + traversed edges) - on a million-node graph with a sparse seed the
+/// dense kernel's three O(n) zeroing sweeps dominate, and this kernel
+/// skips them. Returns the total number of pruned (node, level) pairs.
+template <typename Adjacency>
+size_t PropagatePhiSparse(
+    const Adjacency& adj, const QuerySeed& seed, const EipdOptions& options,
+    const std::unordered_map<graph::EdgeId, double>* overrides,
+    PropagationWorkspace* ws) {
+  const double c = options.restart;
+  SeedLaneSparse(adj, seed, ws);
+  double decay = c * (1.0 - c);
+  size_t pruned = 0;
+  for (int len = 1; len <= options.max_length; ++len) {
+    AbsorbLane(ws, decay);
+    if (len == options.max_length) break;
+    pruned +=
+        AdvanceLaneSparse(adj, overrides, options.sparse_threshold, ws);
+    decay *= 1.0 - c;
+  }
+  return pruned;
+}
+
+// --- Kernel resolution ------------------------------------------------
+
+/// Below this node count kAuto always picks kDense: the O(n) reset is
+/// cheap, and every pre-existing bitwise gate (single-flight, multi-root,
+/// cache) runs on graphs well under this size.
+inline constexpr size_t kSparseKernelMinNodes = 16384;
+/// kAuto picks kDense when seed_links * this >= num_nodes (a seed covering
+/// >= 1/16 of the graph floods most of it by level 2, so frontier
+/// tracking only adds overhead).
+inline constexpr size_t kSparseKernelSeedFactor = 16;
+
+/// Pure dispatch rule behind EipdOptions::kernel == kAuto. Deterministic
+/// in (options, num_nodes, seed_links) so a multi-root lane resolves
+/// exactly as the same seed would solo.
+inline EipdKernel ResolveKernel(const EipdOptions& options, size_t num_nodes,
+                                size_t seed_links) {
+  if (options.kernel != EipdKernel::kAuto) return options.kernel;
+  if (num_nodes < kSparseKernelMinNodes) return EipdKernel::kDense;
+  if (seed_links >= num_nodes / kSparseKernelSeedFactor) {
+    return EipdKernel::kDense;
+  }
+  return EipdKernel::kSparse;
+}
+
 /// The multi-root kernel: B seeds advance level-synchronously through one
 /// pass, lane b in ws->lanes[b]. Because the lanes interleave at level
 /// granularity (every lane absorbs, then every lane advances), the
 /// adjacency rows a level touches are revisited across lanes while still
 /// warm - the locality batched serving rides on - and each lane's
 /// operation sequence is exactly the single-root sequence, so results
-/// are bitwise-identical per root. No overrides: the batched serving
-/// path reads the epoch's frozen weights.
+/// are bitwise-identical per root. Each lane resolves its kernel exactly
+/// as the same seed would solo (ResolveKernel is deterministic per seed),
+/// preserving that identity under kAuto and kSparse too. No overrides:
+/// the batched serving path reads the epoch's frozen weights.
 template <typename Adjacency>
 void PropagatePhiMulti(const Adjacency& adj,
                        const std::vector<const QuerySeed*>& seeds,
@@ -214,8 +384,15 @@ void PropagatePhiMulti(const Adjacency& adj,
   const double c = options.restart;
   const size_t lanes = seeds.size();
   ws->EnsureLanes(lanes);
+  ws->lane_kernels.resize(lanes);
   for (size_t b = 0; b < lanes; ++b) {
-    SeedLane(adj, *seeds[b], &ws->lanes[b]);
+    ws->lane_kernels[b] =
+        ResolveKernel(options, adj.NumNodes(), seeds[b]->links.size());
+    if (ws->lane_kernels[b] == EipdKernel::kSparse) {
+      SeedLaneSparse(adj, *seeds[b], &ws->lanes[b]);
+    } else {
+      SeedLane(adj, *seeds[b], &ws->lanes[b]);
+    }
   }
   double decay = c * (1.0 - c);
   for (int len = 1; len <= options.max_length; ++len) {
@@ -224,7 +401,12 @@ void PropagatePhiMulti(const Adjacency& adj,
     }
     if (len == options.max_length) break;
     for (size_t b = 0; b < lanes; ++b) {
-      AdvanceLane(adj, nullptr, &ws->lanes[b]);
+      if (ws->lane_kernels[b] == EipdKernel::kSparse) {
+        AdvanceLaneSparse(adj, nullptr, options.sparse_threshold,
+                          &ws->lanes[b]);
+      } else {
+        AdvanceLane(adj, nullptr, &ws->lanes[b]);
+      }
     }
     decay *= 1.0 - c;
   }
@@ -238,17 +420,25 @@ void PropagatePhiMulti(const Adjacency& adj,
 /// concurrent calls on one instance are safe as long as each thread uses
 /// its own workspace (the default).
 ///
-/// The checked entry points (Propagate, Scores, Rank, *WithOverrides)
+/// All entry points (Propagate, Scores, Rank, *WithOverrides, RankMulti)
 /// return StatusOr<T> and reject malformed seeds/candidates with
-/// InvalidArgument instead of asserting; they are the public read-path
-/// API. The assert-based methods at the bottom are deprecated wrappers
-/// kept for one release.
+/// InvalidArgument instead of asserting; there is no unchecked API. Code
+/// that held a raw phi reference should use the checked Propagate() and
+/// keep the returned vector.
 class EipdEngine {
  public:
   explicit EipdEngine(graph::GraphView view, EipdOptions options = {});
 
   const EipdOptions& options() const { return options_; }
   const graph::GraphView& view() const { return view_; }
+
+  /// The kernel a propagation of `seed` on this engine resolves to
+  /// (kDense or kSparse, never kAuto). Deterministic; exposed so dispatch
+  /// decisions are testable and observable.
+  EipdKernel KernelFor(const QuerySeed& seed) const {
+    return internal::ResolveKernel(options_, view_.NumNodes(),
+                                   seed.links.size());
+  }
 
   /// OK iff every seed link names a valid node of the view with a finite,
   /// non-negative weight. The error message names the offending link.
@@ -302,50 +492,11 @@ class EipdEngine {
       const std::vector<graph::NodeId>& candidates, size_t k,
       MultiPropagationWorkspace* ws = nullptr) const;
 
-  // --- Deprecated wrappers (kept for one release) -----------------------
-  // Same numerics as the checked API, but malformed input asserts
-  // (KGOV_CHECK / KGOV_DCHECK) instead of returning a Status. New code
-  // should call the StatusOr<T> entry points above.
-
-  /// Deprecated: use Scores() and index the result.
-  double Similarity(const QuerySeed& seed, graph::NodeId answer,
-                    PropagationWorkspace* ws = nullptr) const;
-
-  /// Deprecated: use Scores().
-  std::vector<double> SimilarityMany(const QuerySeed& seed,
-                                     const std::vector<graph::NodeId>& answers,
-                                     PropagationWorkspace* ws = nullptr) const;
-
-  /// Deprecated: use Scores() after PropagateWithOverrides(), or
-  /// RankWithOverrides().
-  std::vector<double> SimilarityManyWithOverrides(
-      const QuerySeed& seed, const std::vector<graph::NodeId>& answers,
-      const std::unordered_map<graph::EdgeId, double>& overrides,
-      PropagationWorkspace* ws = nullptr) const;
-
-  /// Deprecated: use Rank().
-  std::vector<ScoredAnswer> RankAnswers(
-      const QuerySeed& seed, const std::vector<graph::NodeId>& candidates,
-      size_t k, PropagationWorkspace* ws = nullptr) const;
-
-  /// Deprecated: use RankWithOverrides().
-  std::vector<ScoredAnswer> RankAnswersWithOverrides(
-      const QuerySeed& seed, const std::vector<graph::NodeId>& candidates,
-      size_t k, const std::unordered_map<graph::EdgeId, double>& overrides,
-      PropagationWorkspace* ws = nullptr) const;
-
-  /// Deprecated: runs one unchecked propagation into `ws` (nullptr: the
-  /// thread-local workspace) and returns its phi vector, valid until the
-  /// workspace's next use. Use the checked Propagate() overloads instead.
-  const std::vector<double>& Propagate(
-      const QuerySeed& seed,
-      const std::unordered_map<graph::EdgeId, double>* overrides,
-      PropagationWorkspace* ws = nullptr) const;
-
  private:
   /// The one kernel invocation every entry point funnels through:
-  /// resolves the workspace, runs PropagatePhi, records telemetry, and
-  /// returns the workspace's phi vector.
+  /// resolves the workspace and the kernel (KernelFor), runs PropagatePhi
+  /// or PropagatePhiSparse, records telemetry, and returns the
+  /// workspace's phi vector.
   const std::vector<double>& PropagateInto(
       const QuerySeed& seed,
       const std::unordered_map<graph::EdgeId, double>* overrides,

@@ -18,7 +18,7 @@
 #include "graph/graph.h"
 #include "math/signomial.h"
 #include "ppr/edge_vars.h"
-#include "ppr/eipd.h"
+#include "ppr/eipd_engine.h"
 #include "ppr/query_seed.h"
 
 namespace kgov::ppr {

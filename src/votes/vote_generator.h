@@ -14,7 +14,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "graph/graph.h"
-#include "ppr/eipd.h"
+#include "ppr/eipd_engine.h"
 #include "ppr/symbolic_eipd.h"
 #include "votes/vote.h"
 

@@ -1,15 +1,17 @@
-#include "ppr/eipd.h"
+#include "ppr/eipd_engine.h"
 
 #include <gtest/gtest.h>
 
 #include <cmath>
 
+#include "graph/csr.h"
 #include "graph/generators.h"
 #include "ppr/ppr.h"
 
 namespace kgov::ppr {
 namespace {
 
+using graph::CsrSnapshot;
 using graph::WeightedDigraph;
 
 // Small hand-checkable graph:
@@ -31,21 +33,30 @@ QuerySeed SeedAt(graph::NodeId node) {
   return seed;
 }
 
+// One-shot Phi(seed, answer) on a live graph through the checked engine.
+double Similarity(const WeightedDigraph& g, const QuerySeed& seed,
+                  graph::NodeId answer, EipdOptions options = {}) {
+  CsrSnapshot snap(g);
+  EipdEngine engine(snap.View(), options);
+  StatusOr<std::vector<double>> scores = engine.Scores(seed, {answer});
+  EXPECT_TRUE(scores.ok()) << scores.status().ToString();
+  return scores.value()[0];
+}
+
 TEST(EipdTest, HandComputedSimilarity) {
   WeightedDigraph g = MakeFixture();
   const double c = 0.15;
   EipdOptions options;
   options.max_length = 4;
   options.restart = c;
-  EipdEvaluator evaluator(&g, options);
   QuerySeed seed = SeedAt(0);
 
   // Walks to 3: q->0->1->3 (len 3, P=0.5) and q->0->2->1->3 (len 4, P=0.2).
   double expected3 = c * (0.5 * std::pow(1 - c, 3) + 0.2 * std::pow(1 - c, 4));
   // Walks to 4: q->0->2->4 (len 3, P=0.3).
   double expected4 = c * 0.3 * std::pow(1 - c, 3);
-  EXPECT_NEAR(evaluator.Similarity(seed, 3), expected3, 1e-12);
-  EXPECT_NEAR(evaluator.Similarity(seed, 4), expected4, 1e-12);
+  EXPECT_NEAR(Similarity(g, seed, 3, options), expected3, 1e-12);
+  EXPECT_NEAR(Similarity(g, seed, 4, options), expected4, 1e-12);
 }
 
 TEST(EipdTest, PruningDropsLongWalks) {
@@ -54,86 +65,113 @@ TEST(EipdTest, PruningDropsLongWalks) {
   EipdOptions options;
   options.max_length = 3;  // drops the len-4 walk to node 3
   options.restart = c;
-  EipdEvaluator evaluator(&g, options);
   double expected3 = c * 0.5 * std::pow(1 - c, 3);
-  EXPECT_NEAR(evaluator.Similarity(SeedAt(0), 3), expected3, 1e-12);
+  EXPECT_NEAR(Similarity(g, SeedAt(0), 3, options), expected3, 1e-12);
 }
 
 TEST(EipdTest, UnreachableAnswerIsZero) {
   WeightedDigraph g = MakeFixture();
-  EipdEvaluator evaluator(&g);
   // Node 0 is unreachable from node 3 (3 has no out-edges).
-  EXPECT_DOUBLE_EQ(evaluator.Similarity(SeedAt(3), 0), 0.0);
+  EXPECT_DOUBLE_EQ(Similarity(g, SeedAt(3), 0), 0.0);
 }
 
-TEST(EipdTest, SimilarityManyMatchesIndividual) {
+TEST(EipdTest, ScoresMatchesIndividual) {
   WeightedDigraph g = MakeFixture();
-  EipdEvaluator evaluator(&g);
+  CsrSnapshot snap(g);
+  EipdEngine engine(snap.View());
   QuerySeed seed = SeedAt(0);
-  std::vector<double> many = evaluator.SimilarityMany(seed, {1, 2, 3, 4});
-  EXPECT_NEAR(many[0], evaluator.Similarity(seed, 1), 1e-15);
-  EXPECT_NEAR(many[1], evaluator.Similarity(seed, 2), 1e-15);
-  EXPECT_NEAR(many[2], evaluator.Similarity(seed, 3), 1e-15);
-  EXPECT_NEAR(many[3], evaluator.Similarity(seed, 4), 1e-15);
+  StatusOr<std::vector<double>> many = engine.Scores(seed, {1, 2, 3, 4});
+  ASSERT_TRUE(many.ok());
+  EXPECT_NEAR((*many)[0], Similarity(g, seed, 1), 1e-15);
+  EXPECT_NEAR((*many)[1], Similarity(g, seed, 2), 1e-15);
+  EXPECT_NEAR((*many)[2], Similarity(g, seed, 3), 1e-15);
+  EXPECT_NEAR((*many)[3], Similarity(g, seed, 4), 1e-15);
 }
 
 TEST(EipdTest, MultiLinkSeedIsWeightedSum) {
   WeightedDigraph g = MakeFixture();
-  EipdEvaluator evaluator(&g);
   QuerySeed mix;
   mix.links.emplace_back(1, 0.4);
   mix.links.emplace_back(2, 0.6);
-  double expected = 0.4 * evaluator.Similarity(SeedAt(1), 3) +
-                    0.6 * evaluator.Similarity(SeedAt(2), 3);
-  EXPECT_NEAR(evaluator.Similarity(mix, 3), expected, 1e-14);
+  double expected = 0.4 * Similarity(g, SeedAt(1), 3) +
+                    0.6 * Similarity(g, SeedAt(2), 3);
+  EXPECT_NEAR(Similarity(g, mix, 3), expected, 1e-14);
 }
 
 TEST(EipdTest, OverridesChangeScores) {
   WeightedDigraph g = MakeFixture();
-  EipdEvaluator evaluator(&g);
+  CsrSnapshot snap(g);
+  EipdEngine engine(snap.View());
   QuerySeed seed = SeedAt(0);
   graph::EdgeId e02 = *g.FindEdge(0, 2);
 
   std::unordered_map<graph::EdgeId, double> overrides{{e02, 0.0}};
-  std::vector<double> scores =
-      evaluator.SimilarityManyWithOverrides(seed, {3, 4}, overrides);
+  StatusOr<std::vector<double>> scores =
+      engine.ScoresWithOverrides(seed, {3, 4}, overrides);
+  ASSERT_TRUE(scores.ok());
   // Blocking 0->2 kills all walks to 4 and the len-4 walk to 3.
   const double c = 0.15;
-  EXPECT_NEAR(scores[0], c * 0.5 * std::pow(1 - c, 3), 1e-12);
-  EXPECT_DOUBLE_EQ(scores[1], 0.0);
+  EXPECT_NEAR((*scores)[0], c * 0.5 * std::pow(1 - c, 3), 1e-12);
+  EXPECT_DOUBLE_EQ((*scores)[1], 0.0);
   // The graph itself must be untouched.
   EXPECT_DOUBLE_EQ(g.Weight(e02), 0.5);
 }
 
-TEST(EipdTest, RankAnswersSortsByScore) {
+TEST(EipdTest, RankSortsByScore) {
   WeightedDigraph g = MakeFixture();
-  EipdEvaluator evaluator(&g);
-  std::vector<ScoredAnswer> ranked =
-      evaluator.RankAnswers(SeedAt(0), {3, 4}, 10);
-  ASSERT_EQ(ranked.size(), 2u);
-  EXPECT_EQ(ranked[0].node, 3u);  // higher score per hand computation
-  EXPECT_EQ(ranked[1].node, 4u);
-  EXPECT_GT(ranked[0].score, ranked[1].score);
+  CsrSnapshot snap(g);
+  EipdEngine engine(snap.View());
+  StatusOr<std::vector<ScoredAnswer>> ranked =
+      engine.Rank(SeedAt(0), {3, 4}, 10);
+  ASSERT_TRUE(ranked.ok());
+  ASSERT_EQ(ranked->size(), 2u);
+  EXPECT_EQ((*ranked)[0].node, 3u);  // higher score per hand computation
+  EXPECT_EQ((*ranked)[1].node, 4u);
+  EXPECT_GT((*ranked)[0].score, (*ranked)[1].score);
 }
 
-TEST(EipdTest, RankAnswersTruncatesToK) {
+TEST(EipdTest, RankTruncatesToK) {
   WeightedDigraph g = MakeFixture();
-  EipdEvaluator evaluator(&g);
-  std::vector<ScoredAnswer> ranked =
-      evaluator.RankAnswers(SeedAt(0), {1, 2, 3, 4}, 2);
-  EXPECT_EQ(ranked.size(), 2u);
+  CsrSnapshot snap(g);
+  EipdEngine engine(snap.View());
+  StatusOr<std::vector<ScoredAnswer>> ranked =
+      engine.Rank(SeedAt(0), {1, 2, 3, 4}, 2);
+  ASSERT_TRUE(ranked.ok());
+  EXPECT_EQ(ranked->size(), 2u);
 }
 
-TEST(EipdTest, RankAnswersTieBreaksByNodeId) {
+TEST(EipdTest, RankTieBreaksByNodeId) {
   WeightedDigraph g(4);
   ASSERT_TRUE(g.AddEdge(0, 1, 0.5).ok());
   ASSERT_TRUE(g.AddEdge(0, 2, 0.5).ok());
-  EipdEvaluator evaluator(&g);
-  std::vector<ScoredAnswer> ranked =
-      evaluator.RankAnswers(SeedAt(0), {2, 1}, 5);
-  ASSERT_EQ(ranked.size(), 2u);
-  EXPECT_EQ(ranked[0].node, 1u);
-  EXPECT_EQ(ranked[1].node, 2u);
+  CsrSnapshot snap(g);
+  EipdEngine engine(snap.View());
+  StatusOr<std::vector<ScoredAnswer>> ranked =
+      engine.Rank(SeedAt(0), {2, 1}, 5);
+  ASSERT_TRUE(ranked.ok());
+  ASSERT_EQ(ranked->size(), 2u);
+  EXPECT_EQ((*ranked)[0].node, 1u);
+  EXPECT_EQ((*ranked)[1].node, 2u);
+}
+
+TEST(EipdTest, SnapshotServesWhileGraphEvolves) {
+  // The serving pattern: freeze, mutate the live graph, keep serving old
+  // scores until the next freeze.
+  WeightedDigraph g(3);
+  graph::EdgeId e01 = *g.AddEdge(0, 1, 0.5);
+  ASSERT_TRUE(g.AddEdge(0, 2, 0.5).ok());
+  CsrSnapshot before(g);
+  EipdEngine engine(before.View());
+  QuerySeed seed;
+  seed.links.emplace_back(0, 1.0);
+  double score_before = engine.Scores(seed, {1}).value()[0];
+
+  g.SetWeight(e01, 0.05);
+  EXPECT_DOUBLE_EQ(engine.Scores(seed, {1}).value()[0], score_before);
+
+  CsrSnapshot after(g);
+  EipdEngine engine_after(after.View());
+  EXPECT_LT(engine_after.Scores(seed, {1}).value()[0], score_before);
 }
 
 // --- Theorem 1 (paper): extended inverse P-distance equals the PPR vector
@@ -153,13 +191,16 @@ TEST_P(Theorem1Property, EipdConvergesToPpr) {
 
   EipdOptions options;
   options.max_length = 80;  // effectively L -> infinity at (1-c)^80
-  EipdEvaluator evaluator(&*g, options);
+  CsrSnapshot snap(*g);
+  EipdEngine engine(snap.View(), options);
+  StatusOr<std::vector<double>> phi = engine.Propagate(seed);
+  ASSERT_TRUE(phi.ok());
 
   Result<std::vector<double>> pi = PowerIterationPprFromSeed(*g, seed);
   ASSERT_TRUE(pi.ok());
 
   for (graph::NodeId v = 0; v < g->NumNodes(); ++v) {
-    EXPECT_NEAR(evaluator.Similarity(seed, v), (*pi)[v], 1e-6)
+    EXPECT_NEAR((*phi)[v], (*pi)[v], 1e-6)
         << "node " << v << " seed " << source;
   }
 }
@@ -183,11 +224,15 @@ TEST_P(MonotoneLengthProperty, SimilarityGrowsWithL) {
   shorter.max_length = length;
   EipdOptions longer;
   longer.max_length = length + 1;
-  EipdEvaluator eval_short(&*g, shorter);
-  EipdEvaluator eval_long(&*g, longer);
+  CsrSnapshot snap(*g);
+  EipdEngine eval_short(snap.View(), shorter);
+  EipdEngine eval_long(snap.View(), longer);
+  StatusOr<std::vector<double>> phi_short = eval_short.Propagate(seed);
+  StatusOr<std::vector<double>> phi_long = eval_long.Propagate(seed);
+  ASSERT_TRUE(phi_short.ok());
+  ASSERT_TRUE(phi_long.ok());
   for (graph::NodeId v = 0; v < g->NumNodes(); ++v) {
-    EXPECT_LE(eval_short.Similarity(seed, v),
-              eval_long.Similarity(seed, v) + 1e-15);
+    EXPECT_LE((*phi_short)[v], (*phi_long)[v] + 1e-15);
   }
 }
 

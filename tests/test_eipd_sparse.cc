@@ -1,0 +1,456 @@
+// The frontier-tracked sparse EIPD kernel (internal::PropagatePhiSparse)
+// and the kernel-selection layer around it.
+//
+// Load-bearing contracts, in order of importance:
+//   1. With sparse_threshold == 0 the sparse kernel is BITWISE identical
+//      to the frozen dense kernel (memcmp over the full phi vector) - the
+//      sparse data path may then sit behind every existing bitwise gate.
+//   2. With a positive threshold the error is one-sided (pruning only
+//      drops non-negative contributions) and bounded by
+//      pruned * threshold, so top-k rankings agree whenever score gaps
+//      exceed the bound.
+//   3. kAuto dispatch (internal::ResolveKernel / EipdEngine::KernelFor)
+//      is deterministic in (options, num_nodes, seed_links), so a
+//      multi-root lane resolves exactly as the same seed would solo.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "ppr/eipd_engine.h"
+#include "ppr/query_seed.h"
+#include "telemetry/metrics.h"
+
+namespace kgov::ppr {
+namespace {
+
+using graph::CsrSnapshot;
+using graph::WeightedDigraph;
+
+bool BitwiseEqualVectors(const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+// --- Contract 1: bitwise identity at threshold 0 -----------------------
+
+class SparseBitwiseIdentity : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SparseBitwiseIdentity, ZeroThresholdMatchesDenseBitwise) {
+  Rng rng(GetParam());
+  Result<WeightedDigraph> g = graph::ScaleFreeWithTargetEdges(200, 900, rng);
+  ASSERT_TRUE(g.ok());
+  CsrSnapshot snap(*g);
+
+  for (int length : {1, 3, 5}) {
+    EipdOptions dense_opts;
+    dense_opts.max_length = length;
+    dense_opts.kernel = EipdKernel::kDense;
+    EipdOptions sparse_opts = dense_opts;
+    sparse_opts.kernel = EipdKernel::kSparse;
+    sparse_opts.sparse_threshold = 0.0;
+
+    EipdEngine dense(snap.View(), dense_opts);
+    EipdEngine sparse(snap.View(), sparse_opts);
+    for (graph::NodeId v = 0; v < 200; v += 37) {
+      QuerySeed seed = QuerySeed::FromNode(*g, v);
+      if (seed.empty()) continue;
+      StatusOr<std::vector<double>> d = dense.Propagate(seed);
+      StatusOr<std::vector<double>> s = sparse.Propagate(seed);
+      ASSERT_TRUE(d.ok()) << d.status();
+      ASSERT_TRUE(s.ok()) << s.status();
+      EXPECT_TRUE(BitwiseEqualVectors(*d, *s))
+          << "seed " << v << " length " << length
+          << ": sparse phi diverged from dense";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SparseBitwiseIdentity,
+                         ::testing::Values(21, 22, 23));
+
+TEST(SparseKernelTest, ZeroThresholdMatchesDenseWithOverrides) {
+  Rng rng(31);
+  Result<WeightedDigraph> g = graph::ErdosRenyi(60, 300, rng);
+  ASSERT_TRUE(g.ok());
+  CsrSnapshot snap(*g);
+
+  // Override a handful of edge weights (including one zeroed edge, which
+  // both kernels must skip identically).
+  std::unordered_map<graph::EdgeId, double> overrides;
+  graph::GraphView view = snap.View();
+  const graph::EdgeId* ids = view.edge_ids(0);
+  if (ids != nullptr && view.begin(0) != view.end(0)) {
+    overrides[ids[0]] = 0.0;
+  }
+  for (graph::NodeId u = 1; u < 10; ++u) {
+    const graph::EdgeId* row = view.edge_ids(u);
+    if (row != nullptr && view.begin(u) != view.end(u)) {
+      overrides[row[0]] = 0.5;
+    }
+  }
+  ASSERT_FALSE(overrides.empty());
+
+  EipdEngine dense(snap.View(), {.kernel = EipdKernel::kDense});
+  EipdEngine sparse(snap.View(),
+                    {.kernel = EipdKernel::kSparse, .sparse_threshold = 0.0});
+  QuerySeed seed = QuerySeed::FromNode(*g, 0);
+  if (seed.empty()) GTEST_SKIP();
+  StatusOr<std::vector<double>> d =
+      dense.PropagateWithOverrides(seed, overrides);
+  StatusOr<std::vector<double>> s =
+      sparse.PropagateWithOverrides(seed, overrides);
+  ASSERT_TRUE(d.ok()) << d.status();
+  ASSERT_TRUE(s.ok()) << s.status();
+  EXPECT_TRUE(BitwiseEqualVectors(*d, *s));
+}
+
+TEST(SparseKernelTest, InternalKernelReportsZeroPrunedAtZeroThreshold) {
+  Rng rng(33);
+  Result<WeightedDigraph> g = graph::ScaleFreeWithTargetEdges(120, 500, rng);
+  ASSERT_TRUE(g.ok());
+  CsrSnapshot snap(*g);
+
+  EipdOptions options;
+  options.sparse_threshold = 0.0;
+  QuerySeed seed = QuerySeed::FromNode(*g, 1);
+  if (seed.empty()) GTEST_SKIP();
+
+  PropagationWorkspace ws;
+  size_t pruned = internal::PropagatePhiSparse(
+      internal::ViewAdjacency{snap.View()}, seed, options, nullptr, &ws);
+  EXPECT_EQ(pruned, 0u);
+}
+
+// --- Contract 2: bounded one-sided pruning error -----------------------
+
+TEST(SparseKernelTest, PruningErrorIsOneSidedAndBounded) {
+  Rng rng(41);
+  Result<WeightedDigraph> g = graph::ScaleFreeWithTargetEdges(400, 1800, rng);
+  ASSERT_TRUE(g.ok());
+  CsrSnapshot snap(*g);
+
+  const double threshold = 1e-4;  // aggressive: forces real pruning
+  EipdOptions dense_opts;
+  dense_opts.kernel = EipdKernel::kDense;
+  EipdEngine dense(snap.View(), dense_opts);
+
+  EipdOptions sparse_opts;
+  sparse_opts.kernel = EipdKernel::kSparse;
+  sparse_opts.sparse_threshold = threshold;
+
+  size_t total_pruned = 0;
+  for (graph::NodeId v = 0; v < 400; v += 53) {
+    QuerySeed seed = QuerySeed::FromNode(*g, v);
+    if (seed.empty()) continue;
+
+    StatusOr<std::vector<double>> exact = dense.Propagate(seed);
+    ASSERT_TRUE(exact.ok());
+
+    PropagationWorkspace ws;
+    size_t pruned = internal::PropagatePhiSparse(
+        internal::ViewAdjacency{snap.View()}, seed, sparse_opts, nullptr,
+        &ws);
+    total_pruned += pruned;
+
+    // Each pruned (node, level) drops < threshold of walk mass, and a
+    // unit of walk mass contributes at most (1 - c) of itself to any
+    // phi entry downstream - the documented bound, relaxed here to the
+    // loose-but-safe pruned * threshold.
+    const double bound =
+        static_cast<double>(pruned) * threshold + 1e-12;
+    for (size_t i = 0; i < exact->size(); ++i) {
+      EXPECT_LE(ws.phi[i], (*exact)[i] + 1e-12)
+          << "pruning must only underestimate (node " << i << ")";
+      EXPECT_LE((*exact)[i] - ws.phi[i], bound)
+          << "pruning error exceeded the documented bound (node " << i
+          << ")";
+    }
+  }
+  EXPECT_GT(total_pruned, 0u)
+      << "threshold 1e-4 on a 400-node scale-free graph should prune; "
+         "the bound check above was vacuous";
+}
+
+TEST(SparseKernelTest, TopKAgreesWithDenseAtModerateThreshold) {
+  Rng rng(43);
+  Result<WeightedDigraph> g = graph::ScaleFreeWithTargetEdges(300, 1400, rng);
+  ASSERT_TRUE(g.ok());
+  CsrSnapshot snap(*g);
+
+  std::vector<graph::NodeId> candidates;
+  for (graph::NodeId v = 0; v < 300; v += 7) candidates.push_back(v);
+
+  EipdEngine dense(snap.View(), {.kernel = EipdKernel::kDense});
+  EipdEngine sparse(snap.View(), {.kernel = EipdKernel::kSparse,
+                                  .sparse_threshold = 1e-12});
+
+  for (graph::NodeId v : {2, 29, 61, 107}) {
+    QuerySeed seed = QuerySeed::FromNode(*g, v);
+    if (seed.empty()) continue;
+    StatusOr<std::vector<ScoredAnswer>> d = dense.Rank(seed, candidates, 10);
+    StatusOr<std::vector<ScoredAnswer>> s = sparse.Rank(seed, candidates, 10);
+    ASSERT_TRUE(d.ok());
+    ASSERT_TRUE(s.ok());
+    ASSERT_EQ(d->size(), s->size());
+    for (size_t i = 0; i < d->size(); ++i) {
+      EXPECT_EQ((*d)[i].node, (*s)[i].node) << "rank " << i;
+      EXPECT_NEAR((*d)[i].score, (*s)[i].score, 1e-9) << "rank " << i;
+    }
+  }
+}
+
+// --- Contract 3: kAuto dispatch ---------------------------------------
+
+TEST(KernelResolutionTest, ExplicitKernelsAreNeverOverridden) {
+  EipdOptions dense;
+  dense.kernel = EipdKernel::kDense;
+  EipdOptions sparse;
+  sparse.kernel = EipdKernel::kSparse;
+  // Explicit choices win regardless of size and seed sparsity.
+  EXPECT_EQ(internal::ResolveKernel(dense, 10'000'000, 1),
+            EipdKernel::kDense);
+  EXPECT_EQ(internal::ResolveKernel(sparse, 10, 9), EipdKernel::kSparse);
+}
+
+TEST(KernelResolutionTest, AutoPicksDenseBelowMinNodes) {
+  EipdOptions auto_opts;
+  EXPECT_EQ(internal::ResolveKernel(auto_opts,
+                                    internal::kSparseKernelMinNodes - 1, 1),
+            EipdKernel::kDense);
+  EXPECT_EQ(
+      internal::ResolveKernel(auto_opts, internal::kSparseKernelMinNodes, 1),
+      EipdKernel::kSparse);
+}
+
+TEST(KernelResolutionTest, AutoPicksDenseForFloodingSeeds) {
+  EipdOptions auto_opts;
+  const size_t n = 1u << 20;
+  const size_t flood = n / internal::kSparseKernelSeedFactor;
+  EXPECT_EQ(internal::ResolveKernel(auto_opts, n, flood),
+            EipdKernel::kDense);
+  EXPECT_EQ(internal::ResolveKernel(auto_opts, n, flood - 1),
+            EipdKernel::kSparse);
+}
+
+TEST(KernelResolutionTest, EngineKernelForMatchesResolveKernel) {
+  Rng rng(47);
+  Result<WeightedDigraph> g = graph::ErdosRenyi(50, 250, rng);
+  ASSERT_TRUE(g.ok());
+  CsrSnapshot snap(*g);
+
+  QuerySeed seed = QuerySeed::FromNode(*g, 0);
+  if (seed.empty()) GTEST_SKIP();
+
+  EipdEngine auto_engine(snap.View(), {.kernel = EipdKernel::kAuto});
+  // 50 nodes < kSparseKernelMinNodes: kAuto resolves dense.
+  EXPECT_EQ(auto_engine.KernelFor(seed), EipdKernel::kDense);
+
+  EipdEngine sparse_engine(snap.View(), {.kernel = EipdKernel::kSparse});
+  EXPECT_EQ(sparse_engine.KernelFor(seed), EipdKernel::kSparse);
+}
+
+TEST(KernelResolutionTest, KernelTelemetryCountsDispatch) {
+  Rng rng(49);
+  Result<WeightedDigraph> g = graph::ErdosRenyi(40, 200, rng);
+  ASSERT_TRUE(g.ok());
+  CsrSnapshot snap(*g);
+  QuerySeed seed = QuerySeed::FromNode(*g, 0);
+  if (seed.empty()) GTEST_SKIP();
+
+  telemetry::MetricRegistry& reg = telemetry::MetricRegistry::Global();
+  const uint64_t dense_before =
+      reg.GetCounter("serving.eipd.kernel.dense")->Value();
+  const uint64_t sparse_before =
+      reg.GetCounter("serving.eipd.kernel.sparse")->Value();
+
+  EipdEngine dense(snap.View(), {.kernel = EipdKernel::kDense});
+  EipdEngine sparse(snap.View(), {.kernel = EipdKernel::kSparse});
+  ASSERT_TRUE(dense.Propagate(seed).ok());
+  ASSERT_TRUE(sparse.Propagate(seed).ok());
+
+  EXPECT_EQ(reg.GetCounter("serving.eipd.kernel.dense")->Value(),
+            dense_before + 1);
+  EXPECT_EQ(reg.GetCounter("serving.eipd.kernel.sparse")->Value(),
+            sparse_before + 1);
+}
+
+TEST(KernelResolutionTest, KernelNamesAreStable) {
+  EXPECT_STREQ(EipdKernelName(EipdKernel::kAuto), "auto");
+  EXPECT_STREQ(EipdKernelName(EipdKernel::kDense), "dense");
+  EXPECT_STREQ(EipdKernelName(EipdKernel::kSparse), "sparse");
+}
+
+TEST(KernelResolutionTest, OptionsValidateRejectsBadThreshold) {
+  EipdOptions options;
+  options.sparse_threshold = -1.0;
+  EXPECT_FALSE(options.Validate().ok());
+  options.sparse_threshold = 0.0;
+  EXPECT_TRUE(options.Validate().ok());
+}
+
+// --- Multi-root lanes under the sparse kernel --------------------------
+
+TEST(SparseMultiRootTest, SparseLanesBitwiseMatchSoloSparse) {
+  Rng rng(53);
+  Result<WeightedDigraph> g = graph::ScaleFreeWithTargetEdges(100, 450, rng);
+  ASSERT_TRUE(g.ok());
+  CsrSnapshot snap(*g);
+
+  EipdOptions options;
+  options.kernel = EipdKernel::kSparse;  // force sparse on a small graph
+  options.max_length = 4;
+
+  std::vector<QuerySeed> seeds;
+  for (graph::NodeId v : {3, 17, 42}) {
+    QuerySeed seed = QuerySeed::FromNode(*g, v);
+    if (!seed.empty()) seeds.push_back(std::move(seed));
+  }
+  if (seeds.empty()) GTEST_SKIP();
+
+  std::vector<const QuerySeed*> roots;
+  for (const QuerySeed& seed : seeds) roots.push_back(&seed);
+  MultiPropagationWorkspace multi_ws;
+  internal::PropagatePhiMulti(internal::ViewAdjacency{snap.View()}, roots,
+                              options, &multi_ws);
+  for (size_t b = 0; b < seeds.size(); ++b) {
+    EXPECT_EQ(multi_ws.lane_kernels[b], EipdKernel::kSparse);
+  }
+
+  PropagationWorkspace solo_ws;
+  for (size_t b = 0; b < seeds.size(); ++b) {
+    internal::PropagatePhiSparse(internal::ViewAdjacency{snap.View()},
+                                 seeds[b], options, nullptr, &solo_ws);
+    ASSERT_EQ(solo_ws.phi.size(), multi_ws.lanes[b].phi.size());
+    EXPECT_EQ(std::memcmp(solo_ws.phi.data(), multi_ws.lanes[b].phi.data(),
+                          solo_ws.phi.size() * sizeof(double)),
+              0)
+        << "sparse lane " << b << " diverged from solo sparse propagation";
+  }
+}
+
+TEST(SparseMultiRootTest, RankMultiMatchesRankUnderSparseKernel) {
+  Rng rng(59);
+  Result<WeightedDigraph> g = graph::ErdosRenyi(60, 320, rng);
+  ASSERT_TRUE(g.ok());
+  CsrSnapshot snap(*g);
+
+  EipdEngine engine(snap.View(), {.kernel = EipdKernel::kSparse});
+  std::vector<graph::NodeId> candidates{1, 5, 9, 13, 22, 31, 44};
+
+  std::vector<QuerySeed> seeds;
+  for (graph::NodeId v = 0; v < 60 && seeds.size() < 3; v += 11) {
+    QuerySeed seed = QuerySeed::FromNode(*g, v);
+    if (!seed.empty()) seeds.push_back(std::move(seed));
+  }
+  if (seeds.empty()) GTEST_SKIP();
+
+  StatusOr<std::vector<std::vector<ScoredAnswer>>> multi =
+      engine.RankMulti(seeds, candidates, 5);
+  ASSERT_TRUE(multi.ok()) << multi.status();
+  for (size_t b = 0; b < seeds.size(); ++b) {
+    StatusOr<std::vector<ScoredAnswer>> solo =
+        engine.Rank(seeds[b], candidates, 5);
+    ASSERT_TRUE(solo.ok());
+    ASSERT_EQ(solo->size(), (*multi)[b].size());
+    for (size_t i = 0; i < solo->size(); ++i) {
+      EXPECT_EQ((*solo)[i].node, (*multi)[b][i].node);
+      double a = (*solo)[i].score;
+      double bscore = (*multi)[b][i].score;
+      EXPECT_EQ(std::memcmp(&a, &bscore, sizeof(double)), 0)
+          << "lane " << b << " rank " << i;
+    }
+  }
+}
+
+// --- Workspace reuse / lazy-reset correctness --------------------------
+
+TEST(SparseWorkspaceTest, ConsecutiveSparseQueriesLazyResetCorrectly) {
+  Rng rng(61);
+  Result<WeightedDigraph> g = graph::ScaleFreeWithTargetEdges(150, 700, rng);
+  ASSERT_TRUE(g.ok());
+  CsrSnapshot snap(*g);
+  EipdEngine engine(snap.View(), {.kernel = EipdKernel::kSparse});
+
+  PropagationWorkspace shared;
+  for (graph::NodeId v = 0; v < 150; v += 13) {
+    QuerySeed seed = QuerySeed::FromNode(*g, v);
+    if (seed.empty()) continue;
+    StatusOr<std::vector<double>> reused = engine.Propagate(seed, &shared);
+    PropagationWorkspace fresh;
+    StatusOr<std::vector<double>> clean = engine.Propagate(seed, &fresh);
+    ASSERT_TRUE(reused.ok());
+    ASSERT_TRUE(clean.ok());
+    EXPECT_TRUE(BitwiseEqualVectors(*reused, *clean))
+        << "lazy reset left stale state behind (seed " << v << ")";
+  }
+}
+
+TEST(SparseWorkspaceTest, DenseRunInvalidatesSparseTracking) {
+  Rng rng(67);
+  Result<WeightedDigraph> g = graph::ErdosRenyi(80, 400, rng);
+  ASSERT_TRUE(g.ok());
+  CsrSnapshot snap(*g);
+
+  EipdEngine dense(snap.View(), {.kernel = EipdKernel::kDense});
+  EipdEngine sparse(snap.View(), {.kernel = EipdKernel::kSparse});
+
+  QuerySeed a = QuerySeed::FromNode(*g, 0);
+  QuerySeed b = QuerySeed::FromNode(*g, 7);
+  if (a.empty() || b.empty()) GTEST_SKIP();
+
+  // sparse -> dense -> sparse through one workspace. The dense run writes
+  // untracked entries; the final sparse run must detect that and fully
+  // reset rather than trusting the stale touched list.
+  PropagationWorkspace shared;
+  ASSERT_TRUE(sparse.Propagate(a, &shared).ok());
+  ASSERT_TRUE(dense.Propagate(b, &shared).ok());
+  StatusOr<std::vector<double>> interleaved = sparse.Propagate(a, &shared);
+  StatusOr<std::vector<double>> clean = sparse.Propagate(a);
+  ASSERT_TRUE(interleaved.ok());
+  ASSERT_TRUE(clean.ok());
+  EXPECT_TRUE(BitwiseEqualVectors(*interleaved, *clean));
+}
+
+TEST(SparseWorkspaceTest, ResizeAcrossGraphsFallsBackToFullReset) {
+  Rng rng(71);
+  Result<WeightedDigraph> small = graph::ErdosRenyi(40, 200, rng);
+  Result<WeightedDigraph> large = graph::ErdosRenyi(90, 500, rng);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  CsrSnapshot small_snap(*small);
+  CsrSnapshot large_snap(*large);
+
+  EipdEngine on_small(small_snap.View(), {.kernel = EipdKernel::kSparse});
+  EipdEngine on_large(large_snap.View(), {.kernel = EipdKernel::kSparse});
+
+  QuerySeed small_seed = QuerySeed::FromNode(*small, 1);
+  QuerySeed large_seed = QuerySeed::FromNode(*large, 1);
+  if (small_seed.empty() || large_seed.empty()) GTEST_SKIP();
+
+  PropagationWorkspace shared;
+  ASSERT_TRUE(on_small.Propagate(small_seed, &shared).ok());
+  StatusOr<std::vector<double>> grown =
+      on_large.Propagate(large_seed, &shared);
+  StatusOr<std::vector<double>> clean = on_large.Propagate(large_seed);
+  ASSERT_TRUE(grown.ok());
+  ASSERT_TRUE(clean.ok());
+  EXPECT_TRUE(BitwiseEqualVectors(*grown, *clean));
+
+  // Shrink back down again: size mismatch must trigger the full reset.
+  StatusOr<std::vector<double>> shrunk =
+      on_small.Propagate(small_seed, &shared);
+  StatusOr<std::vector<double>> small_clean =
+      on_small.Propagate(small_seed);
+  ASSERT_TRUE(shrunk.ok());
+  ASSERT_TRUE(small_clean.ok());
+  EXPECT_TRUE(BitwiseEqualVectors(*shrunk, *small_clean));
+}
+
+}  // namespace
+}  // namespace kgov::ppr

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
 namespace kgov::graph {
 namespace {
 
@@ -99,6 +104,83 @@ TEST(ScaleFreeTest, HitsExactEdgeTarget) {
   EXPECT_EQ(g->NumNodes(), 1000u);
   EXPECT_EQ(g->NumEdges(), 4000u);
   EXPECT_TRUE(g->IsSubStochastic());
+}
+
+TEST(ScaleFreeTest, SaturatedEdgeTargetFailsNamingTheLimit) {
+  // 10 nodes allow 90 directed edges; the rejection-sampling top-up
+  // saturates past half of that. The old behavior was an unbounded spin;
+  // now it must refuse upfront and name the limiting parameter.
+  Rng rng(12);
+  Result<WeightedDigraph> g = ScaleFreeWithTargetEdges(10, 60, rng);
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kInvalidArgument);
+  const std::string message = g.status().ToString();
+  EXPECT_NE(message.find("num_edges"), std::string::npos) << message;
+  EXPECT_NE(message.find("45"), std::string::npos)
+      << "expected the cap (90 / 2 = 45) in: " << message;
+  EXPECT_NE(message.find("num_nodes"), std::string::npos) << message;
+
+  // Just under the cap still succeeds.
+  Result<WeightedDigraph> ok = ScaleFreeWithTargetEdges(10, 45, rng);
+  EXPECT_TRUE(ok.ok()) << ok.status();
+}
+
+TEST(StreamingScaleFreeTest, CountsAndStochasticWeights) {
+  Rng rng(13);
+  Result<WeightedDigraph> g = StreamingScaleFree(5000, 4, rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumNodes(), 5000u);
+  // Node v attaches min(4, v) out-edges (best-effort under the attempt
+  // bound), so the total lands close to 4 * V.
+  EXPECT_GT(g->NumEdges(), 4u * 5000u * 9 / 10);
+  EXPECT_LE(g->NumEdges(), 4u * 5000u);
+  EXPECT_TRUE(g->IsSubStochastic());
+}
+
+TEST(StreamingScaleFreeTest, DeterministicUnderSeed) {
+  Rng rng1(14), rng2(14);
+  Result<WeightedDigraph> a = StreamingScaleFree(2000, 3, rng1);
+  Result<WeightedDigraph> b = StreamingScaleFree(2000, 3, rng2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->NumEdges(), b->NumEdges());
+  for (EdgeId e = 0; e < a->NumEdges(); ++e) {
+    EXPECT_EQ(a->edge(e).from, b->edge(e).from);
+    EXPECT_EQ(a->edge(e).to, b->edge(e).to);
+    EXPECT_DOUBLE_EQ(a->edge(e).weight, b->edge(e).weight);
+  }
+}
+
+TEST(StreamingScaleFreeTest, NoSelfLoopsOrDuplicates) {
+  Rng rng(15);
+  Result<WeightedDigraph> g = StreamingScaleFree(1000, 5, rng);
+  ASSERT_TRUE(g.ok());
+  std::unordered_set<uint64_t> seen;
+  for (const Edge& e : g->edges()) {
+    EXPECT_NE(e.from, e.to);
+    EXPECT_TRUE(
+        seen.insert((static_cast<uint64_t>(e.from) << 32) | e.to).second)
+        << "duplicate edge " << e.from << " -> " << e.to;
+  }
+}
+
+TEST(StreamingScaleFreeTest, HeavyTailedInDegree) {
+  Rng rng(16);
+  Result<WeightedDigraph> g = StreamingScaleFree(4000, 3, rng);
+  ASSERT_TRUE(g.ok());
+  std::vector<size_t> in_degree(g->NumNodes(), 0);
+  for (const Edge& e : g->edges()) ++in_degree[e.to];
+  size_t max_in = 0;
+  for (size_t d : in_degree) max_in = std::max(max_in, d);
+  // The bounded endpoint pool must preserve preferential attachment: hubs
+  // far above the mean in-degree (~3).
+  EXPECT_GT(max_in, 30u);
+}
+
+TEST(StreamingScaleFreeTest, RejectsDegenerateParameters) {
+  Rng rng(17);
+  EXPECT_FALSE(StreamingScaleFree(1, 1, rng).ok());
+  EXPECT_FALSE(StreamingScaleFree(100, 0, rng).ok());
+  EXPECT_FALSE(StreamingScaleFree(100, 100, rng).ok());
 }
 
 TEST(ProfileTest, MatchTablesInPaper) {

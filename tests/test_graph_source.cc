@@ -1,0 +1,232 @@
+// graph::GraphSource / graph::LoadGraph - the one graph-acquisition entry
+// point. Covers all four source kinds, Validate() naming the offending
+// field, and the reproducibility contract (same source + same seed => the
+// same graph, bit for bit).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "durability/snapshot.h"
+#include "graph/csr.h"
+#include "graph/graph_io.h"
+#include "graph/source.h"
+
+namespace kgov::graph {
+namespace {
+
+bool SameGraph(const WeightedDigraph& a, const WeightedDigraph& b) {
+  if (a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges()) {
+    return false;
+  }
+  for (NodeId u = 0; u < a.NumNodes(); ++u) {
+    const auto& ea = a.OutEdges(u);
+    const auto& eb = b.OutEdges(u);
+    if (ea.size() != eb.size()) return false;
+    for (size_t i = 0; i < ea.size(); ++i) {
+      if (ea[i].to != eb[i].to ||
+          a.Weight(ea[i].edge) != b.Weight(eb[i].edge)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+// --- kEdgeList ---------------------------------------------------------
+
+TEST(GraphSourceTest, EdgeListRoundTripsThroughSaveAndLoad) {
+  WeightedDigraph g(4);
+  ASSERT_TRUE(g.AddEdge(0, 1, 0.5).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2, 0.25).ok());
+  ASSERT_TRUE(g.AddEdge(2, 3, 1.0).ok());
+  const std::string path =
+      ::testing::TempDir() + "kgov_graph_source_edges.txt";
+  ASSERT_TRUE(SaveEdgeList(g, path).ok());
+
+  Result<WeightedDigraph> loaded = LoadGraph(GraphSource::EdgeList(path));
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE(SameGraph(g, *loaded));
+  std::remove(path.c_str());
+}
+
+TEST(GraphSourceTest, EdgeListMissingFileIsAnError) {
+  Result<WeightedDigraph> loaded =
+      LoadGraph(GraphSource::EdgeList("/nonexistent/kgov-no-such-file.txt"));
+  EXPECT_FALSE(loaded.ok());
+}
+
+// --- kProfile ----------------------------------------------------------
+
+TEST(GraphSourceTest, EveryRegisteredProfileLoads) {
+  for (const std::string& name : ProfileNames()) {
+    Result<WeightedDigraph> g = LoadGraph(GraphSource::Profile(name, 7));
+    ASSERT_TRUE(g.ok()) << name << ": " << g.status();
+    EXPECT_GT(g->NumNodes(), 0u) << name;
+    EXPECT_GT(g->NumEdges(), 0u) << name;
+  }
+}
+
+TEST(GraphSourceTest, ProfileIsSeedDeterministic) {
+  Result<WeightedDigraph> a = LoadGraph(GraphSource::Profile("gnutella", 42));
+  Result<WeightedDigraph> b = LoadGraph(GraphSource::Profile("gnutella", 42));
+  Result<WeightedDigraph> c = LoadGraph(GraphSource::Profile("gnutella", 43));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(SameGraph(*a, *b));
+  EXPECT_FALSE(SameGraph(*a, *c)) << "different seeds produced one graph";
+}
+
+TEST(GraphSourceTest, UnknownProfileNamesTheRegisteredOnes) {
+  Result<WeightedDigraph> g = LoadGraph(GraphSource::Profile("facebook", 1));
+  ASSERT_FALSE(g.ok());
+  // The error should steer the caller to a valid name.
+  EXPECT_NE(g.status().ToString().find("gnutella"), std::string::npos)
+      << g.status();
+}
+
+// --- kGenerator --------------------------------------------------------
+
+TEST(GraphSourceTest, GeneratorKindsProduceRequestedShapes) {
+  GeneratorSpec er;
+  er.kind = GeneratorKind::kErdosRenyi;
+  er.num_nodes = 50;
+  er.num_edges = 180;
+  Result<WeightedDigraph> g = LoadGraph(GraphSource::Generator(er, 5));
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->NumNodes(), 50u);
+  EXPECT_EQ(g->NumEdges(), 180u);
+
+  GeneratorSpec ba;
+  ba.kind = GeneratorKind::kBarabasiAlbert;
+  ba.num_nodes = 60;
+  ba.edges_per_node = 3;
+  g = LoadGraph(GraphSource::Generator(ba, 5));
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->NumNodes(), 60u);
+
+  GeneratorSpec sf;
+  sf.kind = GeneratorKind::kScaleFree;
+  sf.num_nodes = 80;
+  sf.num_edges = 300;
+  g = LoadGraph(GraphSource::Generator(sf, 5));
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->NumNodes(), 80u);
+  EXPECT_EQ(g->NumEdges(), 300u);
+
+  GeneratorSpec ssf;
+  ssf.kind = GeneratorKind::kStreamingScaleFree;
+  ssf.num_nodes = 500;
+  ssf.edges_per_node = 4;
+  g = LoadGraph(GraphSource::Generator(ssf, 5));
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->NumNodes(), 500u);
+  EXPECT_GT(g->NumEdges(), 0u);
+}
+
+TEST(GraphSourceTest, GeneratorIsSeedDeterministic) {
+  GeneratorSpec spec;
+  spec.kind = GeneratorKind::kScaleFree;
+  spec.num_nodes = 100;
+  spec.num_edges = 400;
+  Result<WeightedDigraph> a = LoadGraph(GraphSource::Generator(spec, 11));
+  Result<WeightedDigraph> b = LoadGraph(GraphSource::Generator(spec, 11));
+  Result<WeightedDigraph> c = LoadGraph(GraphSource::Generator(spec, 12));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(SameGraph(*a, *b));
+  EXPECT_FALSE(SameGraph(*a, *c));
+}
+
+// --- kSnapshot ---------------------------------------------------------
+
+TEST(GraphSourceTest, SnapshotRoundTripsThroughDurabilityFormat) {
+  GeneratorSpec spec;
+  spec.kind = GeneratorKind::kErdosRenyi;
+  spec.num_nodes = 40;
+  spec.num_edges = 150;
+  Result<WeightedDigraph> original =
+      LoadGraph(GraphSource::Generator(spec, 21));
+  ASSERT_TRUE(original.ok());
+
+  const std::string path =
+      ::testing::TempDir() + durability::SnapshotFileName(3);
+  CsrSnapshot snap(*original);
+  durability::SnapshotMeta meta;
+  meta.epoch = 3;
+  ASSERT_TRUE(durability::WriteSnapshot(path, snap.View(), meta).ok());
+
+  Result<WeightedDigraph> restored = LoadGraph(GraphSource::Snapshot(path));
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_TRUE(SameGraph(*original, *restored));
+  std::remove(path.c_str());
+}
+
+TEST(GraphSourceTest, SnapshotMissingFileIsAnError) {
+  Result<WeightedDigraph> g =
+      LoadGraph(GraphSource::Snapshot("/nonexistent/kgov-no-snapshot.kgs"));
+  EXPECT_FALSE(g.ok());
+}
+
+// --- Validate ----------------------------------------------------------
+
+TEST(GraphSourceValidateTest, ErrorsNameTheOffendingField) {
+  GraphSource no_path;
+  no_path.kind = GraphSourceKind::kEdgeList;
+  no_path.path = "";
+  Status s = no_path.Validate();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("path"), std::string::npos) << s;
+
+  GraphSource no_profile;
+  no_profile.kind = GraphSourceKind::kProfile;
+  s = no_profile.Validate();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("profile"), std::string::npos) << s;
+
+  GraphSource zero_nodes;
+  zero_nodes.kind = GraphSourceKind::kGenerator;
+  zero_nodes.generator.kind = GeneratorKind::kErdosRenyi;
+  zero_nodes.generator.num_nodes = 0;
+  s = zero_nodes.Validate();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("num_nodes"), std::string::npos) << s;
+
+  GraphSource bad_weight;
+  bad_weight.kind = GraphSourceKind::kEdgeList;
+  bad_weight.path = "x.txt";
+  bad_weight.default_weight = -1.0;
+  s = bad_weight.Validate();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("default_weight"), std::string::npos) << s;
+}
+
+TEST(GraphSourceValidateTest, NamedConstructorsValidate) {
+  EXPECT_TRUE(GraphSource::EdgeList("edges.txt").Validate().ok());
+  EXPECT_TRUE(GraphSource::Profile("twitter", 3).Validate().ok());
+  GeneratorSpec spec;
+  spec.kind = GeneratorKind::kBarabasiAlbert;
+  spec.num_nodes = 10;
+  spec.edges_per_node = 2;
+  EXPECT_TRUE(GraphSource::Generator(spec, 3).Validate().ok());
+  EXPECT_TRUE(GraphSource::Snapshot("snap.kgs").Validate().ok());
+}
+
+TEST(GraphSourceTest, ToStringDescribesTheSource) {
+  std::string s = GraphSource::Profile("digg", 9).ToString();
+  EXPECT_NE(s.find("digg"), std::string::npos) << s;
+  s = GraphSource::EdgeList("graph.txt").ToString();
+  EXPECT_NE(s.find("graph.txt"), std::string::npos) << s;
+}
+
+TEST(GraphSourceTest, ProfileByNameRejectsUnknownAndAcceptsKnown) {
+  EXPECT_TRUE(ProfileByName("taobao").ok());
+  EXPECT_FALSE(ProfileByName("").ok());
+  EXPECT_FALSE(ProfileByName("TAOBAO").ok());
+}
+
+}  // namespace
+}  // namespace kgov::graph

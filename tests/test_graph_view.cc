@@ -8,7 +8,6 @@
 #include "graph/csr.h"
 #include "graph/generators.h"
 #include "graph/subgraph.h"
-#include "ppr/eipd.h"
 #include "ppr/eipd_engine.h"
 
 namespace kgov::graph {
@@ -105,7 +104,8 @@ TEST(InducedSubviewTest, AgreesWithCopyingExtraction) {
   ASSERT_EQ(sub->NumNodes(), copied->graph.NumNodes());
   ASSERT_EQ(sub->view().NumEdges(), copied->graph.NumEdges());
 
-  ppr::EipdEvaluator on_copy(&copied->graph);
+  CsrSnapshot copied_snap(copied->graph);
+  ppr::EipdEngine on_copy(copied_snap.View());
   ppr::EipdEngine on_view(sub->view());
   ppr::QuerySeed seed;
   seed.links.emplace_back(0, 0.6);
@@ -114,8 +114,8 @@ TEST(InducedSubviewTest, AgreesWithCopyingExtraction) {
   for (NodeId local = 0; local < sub->NumNodes(); ++local) {
     answers.push_back(local);
   }
-  std::vector<double> a = on_copy.SimilarityMany(seed, answers);
-  std::vector<double> b = on_view.SimilarityMany(seed, answers);
+  std::vector<double> a = on_copy.Scores(seed, answers).value();
+  std::vector<double> b = on_view.Scores(seed, answers).value();
   for (size_t i = 0; i < answers.size(); ++i) {
     EXPECT_NEAR(a[i], b[i], 1e-14);
   }
@@ -133,8 +133,11 @@ TEST(InducedSubviewTest, ParentKeyedOverridesApply) {
   ppr::QuerySeed seed;
   seed.links.emplace_back(sub->LocalOf(0), 1.0);
   std::unordered_map<EdgeId, double> overrides{{e01, 0.0}};
-  std::vector<double> scores = engine.SimilarityManyWithOverrides(
-      seed, {sub->LocalOf(1), sub->LocalOf(2)}, overrides);
+  std::vector<double> scores =
+      engine
+          .ScoresWithOverrides(seed, {sub->LocalOf(1), sub->LocalOf(2)},
+                               overrides)
+          .value();
   EXPECT_DOUBLE_EQ(scores[0], 0.0);
   EXPECT_GT(scores[1], 0.0);
 }

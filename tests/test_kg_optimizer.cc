@@ -6,14 +6,23 @@
 
 #include "common/fault_injection.h"
 #include "core/scoring.h"
+#include "graph/csr.h"
 #include "graph/generators.h"
-#include "ppr/eipd.h"
+#include "ppr/eipd_engine.h"
 #include "votes/vote_generator.h"
 
 namespace kgov::core {
 namespace {
 
 using graph::WeightedDigraph;
+
+// One-shot Phi(seed, answer) via a snapshot of the given live graph.
+double Similarity(const WeightedDigraph& g, const ppr::QuerySeed& seed,
+                  graph::NodeId answer, const ppr::EipdOptions& options) {
+  graph::CsrSnapshot snap(g);
+  ppr::EipdEngine engine(snap.View(), options);
+  return engine.Scores(seed, {answer}).value()[0];
+}
 
 // Query 0 reaches answer 3 via node 1 and answer 4 via node 2. Under the
 // initial weights answer 3 ranks first.
@@ -52,10 +61,9 @@ TEST(KgOptimizerTest, SingleVoteFlipsRanking) {
   // After optimization the voted answer must rank first.
   ppr::EipdOptions eipd;
   eipd.max_length = 4;
-  ppr::EipdEvaluator evaluator(&report->optimized, eipd);
   votes::Vote vote = MakeVote(4);
-  double s3 = evaluator.Similarity(vote.query, 3);
-  double s4 = evaluator.Similarity(vote.query, 4);
+  double s3 = Similarity(report->optimized, vote.query, 3, eipd);
+  double s4 = Similarity(report->optimized, vote.query, 4, eipd);
   EXPECT_GT(s4, s3);
 
   OmegaResult omega = EvaluateOmega(report->optimized, {vote}, eipd);

@@ -6,13 +6,22 @@
 #include <thread>
 #include <vector>
 
-#include "ppr/fast_eipd.h"
+#include "graph/csr.h"
+#include "ppr/eipd_engine.h"
 #include "telemetry/metrics.h"
 
 namespace kgov::core {
 namespace {
 
 using graph::WeightedDigraph;
+
+// One-shot Phi(seed, answer) via a snapshot of the given live graph.
+double Similarity(const WeightedDigraph& g, const ppr::QuerySeed& seed,
+                  graph::NodeId answer, const ppr::EipdOptions& options) {
+  graph::CsrSnapshot snap(g);
+  ppr::EipdEngine engine(snap.View(), options);
+  return engine.Scores(seed, {answer}).value()[0];
+}
 
 WeightedDigraph MakeFixture() {
   WeightedDigraph g(5);
@@ -67,10 +76,9 @@ TEST(OnlineOptimizerTest, FlushChangesGraph) {
   // The voted answer now ranks first on the evolved graph.
   ppr::EipdOptions eipd;
   eipd.max_length = 4;
-  ppr::EipdEvaluator evaluator(&online.graph(), eipd);
   votes::Vote vote = MakeVote(4, 0);
-  EXPECT_GT(evaluator.Similarity(vote.query, 4),
-            evaluator.Similarity(vote.query, 3));
+  EXPECT_GT(Similarity(online.graph(), vote.query, 4, eipd),
+            Similarity(online.graph(), vote.query, 3, eipd));
 }
 
 TEST(OnlineOptimizerTest, EmptyFlushIsNoOp) {
@@ -85,19 +93,20 @@ TEST(OnlineOptimizerTest, SnapshotStableAcrossFlushes) {
   WeightedDigraph g = MakeFixture();
   OnlineKgOptimizer online(g, SmallOptions(10));
   std::shared_ptr<const graph::CsrSnapshot> before = online.snapshot();
-  ppr::FastEipdEvaluator before_eval(before.get(), {.max_length = 4});
+  ppr::EipdEngine before_eval(before->View(), {.max_length = 4});
   votes::Vote vote = MakeVote(4, 0);
-  double s4_before = before_eval.Similarity(vote.query, 4);
+  double s4_before = before_eval.Scores(vote.query, {4}).value()[0];
 
   ASSERT_TRUE(online.AddVote(vote).ok());
   ASSERT_TRUE(online.Flush().ok());
 
   // Old snapshot still serves old scores; the new one reflects the flush.
-  EXPECT_DOUBLE_EQ(before_eval.Similarity(vote.query, 4), s4_before);
+  EXPECT_DOUBLE_EQ(before_eval.Scores(vote.query, {4}).value()[0],
+                   s4_before);
   std::shared_ptr<const graph::CsrSnapshot> after = online.snapshot();
   EXPECT_NE(before.get(), after.get());
-  ppr::FastEipdEvaluator after_eval(after.get(), {.max_length = 4});
-  EXPECT_GT(after_eval.Similarity(vote.query, 4), s4_before);
+  ppr::EipdEngine after_eval(after->View(), {.max_length = 4});
+  EXPECT_GT(after_eval.Scores(vote.query, {4}).value()[0], s4_before);
 }
 
 TEST(OnlineOptimizerTest, FailedFlushPreservesVotes) {
@@ -165,7 +174,7 @@ TEST(OnlineOptimizerTest, PinnedEpochServesIdenticalScoresAcrossFlushes) {
   ppr::EipdEngine pinned_engine(pinned.view(), {.max_length = 4});
   votes::Vote vote = MakeVote(4, 0);
   std::vector<double> before =
-      pinned_engine.SimilarityMany(vote.query, vote.answer_list);
+      pinned_engine.Scores(vote.query, vote.answer_list).value();
 
   for (uint32_t i = 0; i < 3; ++i) {
     ASSERT_TRUE(online.AddVote(MakeVote(4, i)).ok());
@@ -176,14 +185,14 @@ TEST(OnlineOptimizerTest, PinnedEpochServesIdenticalScoresAcrossFlushes) {
   // The pinned epoch's view is frozen: identical scores, while the latest
   // epoch reflects the optimized graph.
   std::vector<double> after =
-      pinned_engine.SimilarityMany(vote.query, vote.answer_list);
+      pinned_engine.Scores(vote.query, vote.answer_list).value();
   for (size_t i = 0; i < before.size(); ++i) {
     EXPECT_DOUBLE_EQ(after[i], before[i]);
   }
   ServingEpoch latest = online.serving();
   ppr::EipdEngine latest_engine(latest.view(), {.max_length = 4});
-  EXPECT_GT(latest_engine.Similarity(vote.query, 4),
-            pinned_engine.Similarity(vote.query, 4));
+  EXPECT_GT(latest_engine.Scores(vote.query, {4}).value()[0],
+            pinned_engine.Scores(vote.query, {4}).value()[0]);
 }
 
 TEST(OnlineOptimizerTest, InvalidOptionsFailFastNamingTheField) {

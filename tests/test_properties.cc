@@ -11,7 +11,7 @@
 #include "core/scoring.h"
 #include "graph/csr.h"
 #include "graph/generators.h"
-#include "ppr/eipd.h"
+#include "ppr/eipd_engine.h"
 #include "votes/aggregate.h"
 #include "votes/vote_generator.h"
 #include "votes/votes_io.h"
@@ -77,8 +77,8 @@ TEST(EipdWalkSumProperty, EngineMatchesBruteForceEnumeration) {
       options.max_length = length;
       ppr::EipdEngine engine(snap.View(), options);
       std::vector<double> got =
-          engine.SimilarityManyWithOverrides(seed, answers, overrides);
-      std::vector<double> plain = engine.SimilarityMany(seed, answers);
+          engine.ScoresWithOverrides(seed, answers, overrides).value();
+      std::vector<double> plain = engine.Scores(seed, answers).value();
       for (graph::NodeId v = 0; v < 8; ++v) {
         EXPECT_NEAR(got[v], BruteForcePhi(*g, seed, v, options, overrides),
                     1e-14)
@@ -125,10 +125,11 @@ class RandomWorkloadProperty : public ::testing::TestWithParam<uint64_t> {
 TEST_P(RandomWorkloadProperty, SimilarityMonotoneInEdgeWeights) {
   ppr::EipdOptions eipd;
   eipd.max_length = 4;
-  ppr::EipdEvaluator evaluator(&workload_.graph, eipd);
+  graph::CsrSnapshot snap(workload_.graph);
+  ppr::EipdEngine engine(snap.View(), eipd);
   const votes::Vote& vote = workload_.votes.front();
   std::vector<double> before =
-      evaluator.SimilarityMany(vote.query, vote.answer_list);
+      engine.Scores(vote.query, vote.answer_list).value();
 
   Rng rng(GetParam() ^ 0xabcdef);
   for (int trial = 0; trial < 5; ++trial) {
@@ -136,8 +137,9 @@ TEST_P(RandomWorkloadProperty, SimilarityMonotoneInEdgeWeights) {
         rng.NextIndex(workload_.graph.NumEdges()));
     std::unordered_map<graph::EdgeId, double> overrides{
         {e, std::min(1.0, workload_.graph.Weight(e) * 1.5 + 0.01)}};
-    std::vector<double> after = evaluator.SimilarityManyWithOverrides(
-        vote.query, vote.answer_list, overrides);
+    std::vector<double> after =
+        engine.ScoresWithOverrides(vote.query, vote.answer_list, overrides)
+            .value();
     for (size_t i = 0; i < before.size(); ++i) {
       EXPECT_GE(after[i], before[i] - 1e-15);
     }

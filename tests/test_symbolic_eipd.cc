@@ -4,13 +4,25 @@
 
 #include <cmath>
 
+#include "graph/csr.h"
 #include "graph/generators.h"
-#include "ppr/eipd.h"
+#include "ppr/eipd_engine.h"
 
 namespace kgov::ppr {
 namespace {
 
 using graph::WeightedDigraph;
+
+// One-shot numeric Phi(seed, answer) over the live graph's current
+// weights, via a throwaway snapshot + engine.
+double NumericSimilarity(const WeightedDigraph& g, const QuerySeed& seed,
+                         graph::NodeId answer, const EipdOptions& options) {
+  graph::CsrSnapshot snap(g);
+  EipdEngine engine(snap.View(), options);
+  StatusOr<std::vector<double>> scores = engine.Scores(seed, {answer});
+  EXPECT_TRUE(scores.ok()) << scores.status().ToString();
+  return scores.value()[0];
+}
 
 WeightedDigraph MakeFixture() {
   WeightedDigraph g(5);
@@ -39,10 +51,10 @@ TEST(SymbolicEipdTest, SignomialEvaluatesToNumericSimilarity) {
   std::vector<SymbolicAnswer> answers =
       symbolic.Collect(SeedAt(0), {3, 4}, &vars);
 
-  EipdEvaluator numeric(&g, options.eipd);
   std::vector<double> x = vars.InitialValues(g);
   for (const SymbolicAnswer& answer : answers) {
-    double direct = numeric.Similarity(SeedAt(0), answer.answer);
+    double direct = NumericSimilarity(g, SeedAt(0), answer.answer,
+                                      options.eipd);
     EXPECT_NEAR(answer.similarity.Evaluate(x), direct, 1e-12);
     EXPECT_NEAR(answer.numeric_value, direct, 1e-12);
   }
@@ -123,10 +135,9 @@ TEST(SymbolicEipdTest, SymbolicSimilarityTracksWeightChanges) {
   // compare with a fresh numeric evaluation.
   graph::EdgeId e01 = *g.FindEdge(0, 1);
   g.SetWeight(e01, 0.9);
-  EipdEvaluator numeric(&g, options.eipd);
   std::vector<double> x = vars.InitialValues(g);
   EXPECT_NEAR(answers[0].similarity.Evaluate(x),
-              numeric.Similarity(SeedAt(0), 3), 1e-12);
+              NumericSimilarity(g, SeedAt(0), 3, options.eipd), 1e-12);
 }
 
 TEST(SymbolicEipdTest, RepeatedEdgeBecomesSquaredVariable) {
@@ -200,11 +211,13 @@ TEST(SymbolicEipdTest, AgreesWithNumericOnRandomGraphs) {
     std::vector<SymbolicAnswer> answers =
         symbolic.Collect(seed, targets, &vars);
 
-    EipdEvaluator numeric(&*g, options.eipd);
+    graph::CsrSnapshot snap(*g);
+    EipdEngine numeric(snap.View(), options.eipd);
     std::vector<double> x = vars.InitialValues(*g);
-    std::vector<double> direct = numeric.SimilarityMany(seed, targets);
+    StatusOr<std::vector<double>> direct = numeric.Scores(seed, targets);
+    ASSERT_TRUE(direct.ok());
     for (size_t i = 0; i < targets.size(); ++i) {
-      EXPECT_NEAR(answers[i].similarity.Evaluate(x), direct[i], 1e-10);
+      EXPECT_NEAR(answers[i].similarity.Evaluate(x), (*direct)[i], 1e-10);
     }
   }
 }

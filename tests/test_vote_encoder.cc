@@ -2,12 +2,21 @@
 
 #include <gtest/gtest.h>
 
-#include "ppr/eipd.h"
+#include "graph/csr.h"
+#include "ppr/eipd_engine.h"
 
 namespace kgov::votes {
 namespace {
 
 using graph::WeightedDigraph;
+
+// One-shot Phi(seed, answer) via a snapshot of the given live graph.
+double Similarity(const WeightedDigraph& g, const ppr::QuerySeed& seed,
+                  graph::NodeId answer, const ppr::EipdOptions& options) {
+  graph::CsrSnapshot snap(g);
+  ppr::EipdEngine engine(snap.View(), options);
+  return engine.Scores(seed, {answer}).value()[0];
+}
 
 // Fixture graph where the query reaches answers 3 and 4.
 //   0 -> 1 (0.5), 0 -> 2 (0.5), 1 -> 3 (1.0), 2 -> 4 (0.6), 2 -> 1 (0.4)
@@ -77,10 +86,9 @@ TEST(VoteEncoderTest, ConstraintSignomialIsSimilarityDifference) {
 
   ppr::EipdOptions eipd;
   eipd.max_length = 4;
-  ppr::EipdEvaluator evaluator(&g, eipd);
   Vote vote = MakeNegativeVote();
-  double expected = evaluator.Similarity(vote.query, 3) -
-                    evaluator.Similarity(vote.query, 4);
+  double expected = Similarity(g, vote.query, 3, eipd) -
+                    Similarity(g, vote.query, 4, eipd);
   EXPECT_NEAR(g_value, expected, 1e-10);
   EXPECT_GT(g_value, 0.0);
 }

@@ -6,14 +6,23 @@
 
 #include "core/kg_optimizer.h"
 #include "core/scoring.h"
+#include "graph/csr.h"
 #include "math/sgp_problem.h"
 #include "math/sgp_solver.h"
-#include "ppr/eipd.h"
+#include "ppr/eipd_engine.h"
 
 namespace kgov {
 namespace {
 
 using graph::WeightedDigraph;
+
+// One-shot Phi(seed, answer) via a snapshot of the given live graph.
+double Similarity(const WeightedDigraph& g, const ppr::QuerySeed& seed,
+                  graph::NodeId answer, const ppr::EipdOptions& options) {
+  graph::CsrSnapshot snap(g);
+  ppr::EipdEngine engine(snap.View(), options);
+  return engine.Scores(seed, {answer}).value()[0];
+}
 
 WeightedDigraph MakeFixture() {
   WeightedDigraph g(5);
@@ -75,9 +84,8 @@ TEST(VoteWeightTest, HeavierVoteWinsConflict) {
 
   ppr::EipdOptions eipd;
   eipd.max_length = 4;
-  ppr::EipdEvaluator evaluator(&report->optimized, eipd);
-  double s3 = evaluator.Similarity(conflict[0].query, 3);
-  double s4 = evaluator.Similarity(conflict[0].query, 4);
+  double s3 = Similarity(report->optimized, conflict[0].query, 3, eipd);
+  double s4 = Similarity(report->optimized, conflict[0].query, 4, eipd);
   EXPECT_GT(s4, s3);
 }
 
@@ -97,9 +105,8 @@ TEST(VoteWeightTest, LighterVoteLosesConflict) {
 
   ppr::EipdOptions eipd;
   eipd.max_length = 4;
-  ppr::EipdEvaluator evaluator(&report->optimized, eipd);
-  double s3 = evaluator.Similarity(conflict[0].query, 3);
-  double s4 = evaluator.Similarity(conflict[0].query, 4);
+  double s3 = Similarity(report->optimized, conflict[0].query, 3, eipd);
+  double s4 = Similarity(report->optimized, conflict[0].query, 4, eipd);
   EXPECT_GT(s3, s4);
 }
 
@@ -118,9 +125,8 @@ TEST(VoteWeightTest, WeightsWorkInDeviationFormulation) {
 
   ppr::EipdOptions eipd;
   eipd.max_length = 4;
-  ppr::EipdEvaluator evaluator(&report->optimized, eipd);
-  EXPECT_GT(evaluator.Similarity(conflict[0].query, 4),
-            evaluator.Similarity(conflict[0].query, 3));
+  EXPECT_GT(Similarity(report->optimized, conflict[0].query, 4, eipd),
+            Similarity(report->optimized, conflict[0].query, 3, eipd));
 }
 
 TEST(VoteWeightTest, EqualWeightsMatchUnweightedBehaviour) {

@@ -8,7 +8,9 @@
 #   3. the serving-path perf probe, emitting BENCH_serving.json at the
 #      repo root so the queries/sec trajectory is tracked per commit,
 #      plus the durability bench smoke run gating the WAL's flush-path
-#      overhead below 5%.
+#      overhead below 5%, and the scale bench smoke run gating the sparse
+#      EIPD kernel's advantage at 1e5+ nodes and the bounded
+#      million-node generator.
 #
 # Usage: tools/ci/check.sh [build-dir]
 #   KGOV_SKIP_ANALYZE=1   skip step 0
@@ -227,6 +229,60 @@ print("streaming OK:",
       "{:.0f} votes/s sustained,".format(ingest["votes_per_sec"]),
       "p99 {:.2f} ms serving,".format(ingest.get("serving_p99_ms", 0.0)),
       "retention {:.1%} selective vs {:.1%} full".format(sel, full))
+EOF
+
+  echo "== [3/3] scale bench (smoke) =="
+  SCALE_JSON="$BUILD_DIR/BENCH_scale_smoke.json"
+  rm -f "$SCALE_JSON"
+  # Bounded: the smoke sweep (4096 / 1e5 / 1e6 nodes, few queries each)
+  # including the million-node streaming-generator run must finish inside
+  # 10 minutes; `timeout` turns a generator regression into a hard FAIL
+  # instead of a hung CI job.
+  timeout 600 "$BUILD_DIR/bench/bench_scale" --smoke --json "$SCALE_JSON"
+
+  # The committed full-run artifact is BENCH_scale.json at the repo root;
+  # the smoke json stays in the build dir. Gates:
+  #   * the sweep must reach 1e6 nodes, with the million-node generator
+  #     bounded in time (< 120 s) and the whole process bounded in memory
+  #     (< 8 GB peak RSS);
+  #   * every size reports dense and sparse p99;
+  #   * the sparse kernel must be strictly faster than dense (mean) at
+  #     every size >= 1e5 - the tentpole claim behind docs/scale.md.
+  python3 - "$SCALE_JSON" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    bench = json.load(f)
+sizes = bench.get("sizes", [])
+if not sizes:
+    sys.exit("FAIL: scale bench json has no sizes")
+max_nodes = max(s["num_nodes"] for s in sizes)
+if max_nodes < 1_000_000:
+    sys.exit(f"FAIL: scale sweep stopped at {max_nodes} nodes; the "
+             "million-node generator smoke did not run")
+rss = bench.get("max_rss_mb", 1e9)
+if rss >= 8192:
+    sys.exit(f"FAIL: scale bench peak RSS {rss:.0f} MB >= 8 GB")
+for s in sizes:
+    for kernel in ("dense", "sparse"):
+        stats = s.get(kernel)
+        if not stats or "p99_ms" not in stats:
+            sys.exit("FAIL: size {} lacks {} p99".format(
+                s.get("num_nodes"), kernel))
+    if s["num_nodes"] >= 1_000_000 and s.get("gen_seconds", 1e9) >= 120:
+        sys.exit("FAIL: million-node generator took {:.1f}s >= 120s"
+                 .format(s["gen_seconds"]))
+    if s["num_nodes"] >= 100_000 and s.get("sparse_speedup", 0.0) <= 1.0:
+        sys.exit("FAIL: sparse kernel not faster than dense at {} nodes "
+                 "(speedup {:.2f}x)".format(s["num_nodes"],
+                                            s.get("sparse_speedup", 0.0)))
+million = [s for s in sizes if s["num_nodes"] >= 1_000_000][0]
+print("scale OK:",
+      "{} sizes to {} nodes,".format(len(sizes), max_nodes),
+      "1e6 gen {:.1f}s,".format(million["gen_seconds"]),
+      "sparse speedup at 1e5+: " + ", ".join(
+          "{:.2f}x".format(s["sparse_speedup"])
+          for s in sizes if s["num_nodes"] >= 100_000),
+      "peak RSS {:.0f} MB".format(rss))
 EOF
 
   echo "== [3/3] durability bench (smoke) =="

@@ -41,10 +41,11 @@ if [[ "${KGOV_SKIP_TSAN:-0}" != "1" ]]; then
   cmake --build "$TSAN_BUILD_DIR" -j "$(nproc)" --target \
       test_query_engine test_thread_pool test_online_optimizer \
       test_resilience test_durability test_stream test_stream_invalidation \
-      test_single_flight test_admission test_eipd_multi test_telemetry
+      test_single_flight test_admission test_eipd_multi test_eipd_sparse \
+      test_telemetry
   export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
   ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure \
-      -R 'QueryEngine|ThreadPool|OnlineOptimizer|FaultPipeline|Durability|Stream|VoteIngestQueue|SingleFlight|Admission|RankMulti|Gauge' \
+      -R 'QueryEngine|ThreadPool|OnlineOptimizer|FaultPipeline|Durability|Stream|VoteIngestQueue|SingleFlight|Admission|RankMulti|Gauge|Sparse|KernelResolution' \
       "$@"
 else
   echo "== sanitize: TSan skipped (KGOV_SKIP_TSAN=1) =="

@@ -44,6 +44,7 @@
 #include "durability/snapshot.h"
 #include "graph/csr.h"
 #include "graph/graph_io.h"
+#include "graph/source.h"
 #include "graph/stats.h"
 #include "qa/baselines.h"
 #include "qa/corpus_io.h"
@@ -146,7 +147,7 @@ Result<qa::KnowledgeGraph> LoadKgGraph(const std::string& path) {
     return Status::IoError(path + " lacks a kgov-kg header");
   }
   KGOV_ASSIGN_OR_RETURN(graph::WeightedDigraph g,
-                        graph::LoadEdgeList(path));
+                        graph::LoadGraph(graph::GraphSource::EdgeList(path)));
   qa::KnowledgeGraph kg;
   // The loader sizes to max referenced id; isolated trailing answers need
   // explicit nodes.
@@ -453,12 +454,54 @@ Status CmdRecover(const Flags& flags) {
   return Status::OK();
 }
 
+Status CmdGenGraph(const Flags& flags) {
+  KGOV_ASSIGN_OR_RETURN(std::string out, flags.Require("out"));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  graph::GraphSource source;
+  if (auto profile = flags.Get("profile")) {
+    source = graph::GraphSource::Profile(*profile, seed);
+  } else if (auto generator = flags.Get("generator")) {
+    graph::GeneratorSpec spec;
+    spec.num_nodes = static_cast<size_t>(flags.GetInt("nodes", 4000));
+    spec.num_edges = static_cast<size_t>(flags.GetInt("edges", 16000));
+    spec.edges_per_node =
+        static_cast<size_t>(flags.GetInt("per-node", 4));
+    if (*generator == "er") {
+      spec.kind = graph::GeneratorKind::kErdosRenyi;
+    } else if (*generator == "ba") {
+      spec.kind = graph::GeneratorKind::kBarabasiAlbert;
+    } else if (*generator == "sf") {
+      spec.kind = graph::GeneratorKind::kScaleFree;
+    } else if (*generator == "ssf") {
+      spec.kind = graph::GeneratorKind::kStreamingScaleFree;
+    } else {
+      return Status::InvalidArgument(
+          "--generator must be er, ba, sf, or ssf; got " + *generator);
+    }
+    source = graph::GraphSource::Generator(spec, seed);
+  } else if (auto snapshot = flags.Get("snapshot")) {
+    source = graph::GraphSource::Snapshot(*snapshot);
+  } else {
+    return Status::InvalidArgument(
+        "gen-graph needs --profile, --generator, or --snapshot");
+  }
+  KGOV_ASSIGN_OR_RETURN(graph::WeightedDigraph g, graph::LoadGraph(source));
+  KGOV_RETURN_IF_ERROR(graph::SaveEdgeList(g, out));
+  std::printf("%s: %zu nodes, %zu edges -> %s\n",
+              source.ToString().c_str(), g.NumNodes(), g.NumEdges(),
+              out.c_str());
+  return Status::OK();
+}
+
 int Usage() {
   std::fprintf(
       stderr,
       "usage: kgov_cli <command> [flags]\n"
       "commands:\n"
       "  gen-corpus    --out F [--entities N --topics T --docs D --seed S]\n"
+      "  gen-graph     --out F (--profile NAME | --generator er|ba|sf|ssf\n"
+      "                [--nodes N --edges E --per-node K] | --snapshot F)\n"
+      "                [--seed S]   (edge-list written to --out)\n"
       "  gen-questions --corpus F --out F [--count N --seed S]\n"
       "  build-kg      --corpus F --out F\n"
       "  ask           --graph F --question \"e:c e:c\" [--topk K]\n"
@@ -484,6 +527,8 @@ int Main(int argc, char** argv) {
   Status status;
   if (command == "gen-corpus") {
     status = CmdGenCorpus(flags);
+  } else if (command == "gen-graph") {
+    status = CmdGenGraph(flags);
   } else if (command == "gen-questions") {
     status = CmdGenQuestions(flags);
   } else if (command == "build-kg") {

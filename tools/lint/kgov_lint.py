@@ -33,6 +33,13 @@ Rules (each suppressible on the offending line or the line above with
                      the rest must at least check the stream before
                      reporting success. (`is_open()` alone does not count:
                      it only proves the open succeeded, not the writes.)
+  no-deprecated-eipd The assert-based EIPD evaluator shims (EipdEvaluator,
+                     FastEipdEvaluator) and the deprecated EipdEngine
+                     wrappers (RankAnswers* / SimilarityMany* families)
+                     were deleted in favor of the StatusOr-returning
+                     EipdEngine API; this rule keeps them from growing
+                     back. Use EipdEngine::Scores/Rank/Propagate (and
+                     their *WithOverrides variants) instead.
   stream-status-api  Entry-point verbs in src/stream/ headers (Offer /
                      TryOffer / Drain* / Start / Stop / Close / Flush* /
                      Ingest* / Checkpoint* / Append*) must return Status,
@@ -72,6 +79,13 @@ OFSTREAM_DECL_RE = re.compile(r"\bstd::ofstream\s+(\w+)\s*[({;]")
 # A statement that begins with fwrite: its size_t result (items actually
 # written) is being dropped.
 FWRITE_STMT_RE = re.compile(r"^\s*(?:std::)?fwrite\s*\(")
+
+# Deleted EIPD shims and deprecated wrapper methods. Class names match as
+# whole identifiers; the wrapper families match only as calls (the plain
+# `Similarity(` spelling stays legal - qa::RandomWalkBaseline has one).
+DEPRECATED_EIPD_RE = re.compile(
+    r"\b(?:EipdEvaluator|FastEipdEvaluator)\b"
+    r"|\b(?:RankAnswers\w*|SimilarityMany\w*)\s*\(")
 
 # A single-line declaration of a stream entry-point verb in a src/stream/
 # header: optional attribute/specifiers, a return type (possibly a
@@ -195,6 +209,14 @@ class Linter:
                         "no-log-under-lock", relpath, i + 1,
                         "logging while holding a lock serializes unrelated "
                         "threads on the sink; emit after releasing")
+            if DEPRECATED_EIPD_RE.search(line):
+                if not self.allowed("no-deprecated-eipd", lines, i):
+                    self.report(
+                        "no-deprecated-eipd", relpath, i + 1,
+                        "deprecated EIPD evaluator API; use the StatusOr-"
+                        "returning EipdEngine::Scores/Rank/Propagate "
+                        "(src/ppr/eipd_engine.h) instead")
+
             if FWRITE_STMT_RE.match(line):
                 if not self.allowed("no-unchecked-io", lines, i):
                     self.report(
