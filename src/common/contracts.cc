@@ -8,6 +8,7 @@ namespace {
 
 std::atomic<int> g_mode{static_cast<int>(CheckMode::kAbort)};
 std::atomic<uint64_t> g_violations{0};
+std::atomic<uint64_t> g_lock_order_violations{0};
 std::atomic<ViolationHandler> g_handler{nullptr};
 
 }  // namespace
@@ -28,6 +29,14 @@ void ResetViolationCount() {
   g_violations.store(0, std::memory_order_relaxed);
 }
 
+uint64_t LockOrderViolationCount() {
+  return g_lock_order_violations.load(std::memory_order_relaxed);
+}
+
+void ResetLockOrderViolationCount() {
+  g_lock_order_violations.store(0, std::memory_order_relaxed);
+}
+
 void SetViolationHandler(ViolationHandler handler) {
   g_handler.store(handler, std::memory_order_release);
 }
@@ -35,8 +44,8 @@ void SetViolationHandler(ViolationHandler handler) {
 namespace internal {
 
 ContractFailure::ContractFailure(const char* file, int line,
-                                 const char* expression)
-    : file_(file), line_(line), expression_(expression) {}
+                                 const char* expression, ViolationKind kind)
+    : file_(file), line_(line), expression_(expression), kind_(kind) {}
 
 ContractFailure::~ContractFailure() {
   const std::string context = stream_.str();
@@ -52,8 +61,11 @@ ContractFailure::~ContractFailure() {
     // kFatal aborts when `message` goes out of scope.
   }
   g_violations.fetch_add(1, std::memory_order_relaxed);
+  if (kind_ == ViolationKind::kLockOrder) {
+    g_lock_order_violations.fetch_add(1, std::memory_order_relaxed);
+  }
   if (ViolationHandler handler = g_handler.load(std::memory_order_acquire)) {
-    handler(file_, line_, expression_);
+    handler(file_, line_, expression_, kind_);
   }
 }
 

@@ -61,15 +61,31 @@ class ScopedCheckMode {
   CheckMode previous_;
 };
 
-/// Soft-mode violations since process start (or the last reset).
+/// Classification of a contract violation. Lock-order violations (from
+/// the runtime deadlock detector, common/lock_rank.h) are counted
+/// separately so a serving process can page on deadlock POTENTIAL
+/// distinctly from ordinary invariant breaks.
+enum class ViolationKind {
+  kGeneric,
+  kLockOrder,
+};
+
+/// Soft-mode violations since process start (or the last reset). The
+/// general counter includes every kind; the lock-order counter only
+/// ViolationKind::kLockOrder.
 uint64_t ViolationCount();
 void ResetViolationCount();
+uint64_t LockOrderViolationCount();
+void ResetLockOrderViolationCount();
 
-/// Called on every soft-mode violation, after the counter increments.
+/// Called on every soft-mode violation, after the counters increment.
 /// telemetry::MetricRegistry installs a handler that mirrors violations
-/// into the "contracts.soft_violations" counter. Pass nullptr to clear.
+/// into the "contracts.soft_violations" counter (and kLockOrder ones
+/// additionally into "contracts.lock_order_violations"). Pass nullptr to
+/// clear.
 using ViolationHandler = void (*)(const char* file, int line,
-                                  const char* expression);
+                                  const char* expression,
+                                  ViolationKind kind);
 void SetViolationHandler(ViolationHandler handler);
 
 namespace internal {
@@ -78,7 +94,8 @@ namespace internal {
 /// violation - FATAL + abort in kAbort mode, ERROR + count in kSoftCount.
 class ContractFailure {
  public:
-  ContractFailure(const char* file, int line, const char* expression);
+  ContractFailure(const char* file, int line, const char* expression,
+                  ViolationKind kind = ViolationKind::kGeneric);
   ~ContractFailure();
 
   ContractFailure(const ContractFailure&) = delete;
@@ -90,6 +107,7 @@ class ContractFailure {
   const char* file_;
   int line_;
   const char* expression_;
+  ViolationKind kind_;
   std::ostringstream stream_;
 };
 

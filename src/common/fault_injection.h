@@ -124,7 +124,7 @@ class FaultInjector {
     int64_t fires = 0;
   };
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{KGOV_LOCK_RANK(kFaultInjection)};
   // Fast-path summary of which sites are armed; ShouldFire reads it with
   // one relaxed load before touching anything mu_ guards.
   std::atomic<uint32_t> armed_mask_{0};
@@ -133,8 +133,14 @@ class FaultInjector {
 };
 
 /// True when `site` is armed and its schedule fires on this hit. This is
-/// the call production code makes at an injection point.
+/// the call production code makes at an injection point. Injection points
+/// double as yield points for the schedule explorer (common/sched.h):
+/// they mark exactly the recovery-path boundaries whose interleavings
+/// matter.
 inline bool FaultFires(FaultSite site) {
+#if defined(KGOV_LOCK_DEBUG)
+  if (lockinstr::Active()) sched::FaultSiteYield();
+#endif
   return FaultInjector::Global().ShouldFire(site);
 }
 

@@ -12,7 +12,7 @@ std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarning)};
 
 // Serializes whole-line emission so concurrent threads do not interleave.
 Mutex& EmitMutex() {
-  static Mutex mu;
+  static Mutex mu{KGOV_LOCK_RANK(kLogging)};
   return mu;
 }
 

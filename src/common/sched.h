@@ -1,0 +1,205 @@
+// sched::Explorer - deterministic schedule exploration for concurrent
+// unit tests (docs/static_analysis.md, "Deterministic schedule
+// exploration").
+//
+// TSan only reports interleavings the OS scheduler happens to produce.
+// The explorer removes the "happens to": it serializes 2-4 registered
+// test threads onto one run token, intercepts every yield point (lock
+// acquire/release, condvar wait/notify, fault-injection sites, explicit
+// TestYield calls), and re-runs the scenario under systematically chosen
+// schedules:
+//
+//  1. exhaustive bounded-preemption search: every schedule with at most
+//     `preemption_bound` preemptions (a la CHESS) is enumerated by DFS
+//     over the decision tree, up to `max_schedules`;
+//  2. PCT-style randomized fallback: `random_schedules` additional runs
+//     with seeded random thread priorities and priority-change points,
+//     reaching (with known probability) bugs beyond the bound.
+//
+// Every schedule is replayable: a failing run's token (printed in the
+// returned status) feeds Replay() to reproduce the exact interleaving.
+// A schedule on which every registered thread ends up blocked is
+// reported as a DEADLOCK with the token - this is how lock-order cycles
+// that the rank detector flags as *potential* become concrete,
+// reproducible executions.
+//
+// Scenario state must be owned by the closures (capture via shared_ptr):
+// a deadlocked or stuck schedule ABANDONS its threads and state (they
+// are leaked, never destroyed) so the explorer can report the failure
+// instead of hanging. Scenarios are re-created from the factory for
+// every schedule.
+//
+// Threads the scenario spawns indirectly (e.g. ThreadPool workers) are
+// NOT registered: they run freely alongside the single granted thread.
+// Set `pure = false` for such scenarios so the scheduler polls instead
+// of declaring deadlock when all registered threads are briefly blocked
+// on state only a free thread can advance. Exploration then remains
+// deterministic in the registered threads' decisions but best-effort
+// with respect to free-thread timing.
+//
+// Usage:
+//
+//   sched::ExplorerOptions opts;
+//   opts.preemption_bound = 2;
+//   sched::Explorer explorer(opts);
+//   Status result = explorer.Explore([] {
+//     auto q = std::make_shared<Queue>(...);
+//     sched::Scenario s;
+//     s.threads.push_back([q] { q->Offer(...).IgnoreError(); });
+//     s.threads.push_back([q] { q->Drain(...); });
+//     s.check = [q] { return q->Validate(); };
+//     return s;
+//   });
+//   // result embeds "schedule token: x:0,1,0,..." on failure.
+
+#ifndef KGOV_COMMON_SCHED_H_
+#define KGOV_COMMON_SCHED_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/lock_rank.h"
+#include "common/status.h"
+
+namespace kgov::sched {
+
+/// One concurrent scenario: fresh state + thread bodies + an invariant
+/// checked single-threaded after every body has finished.
+struct Scenario {
+  std::vector<std::function<void()>> threads;
+  std::function<Status()> check;
+};
+
+struct ExplorerOptions {
+  /// Maximum preemptions (switches away from a still-runnable thread)
+  /// per exhaustively-explored schedule. 2-3 catches most bugs (CHESS).
+  int preemption_bound = 2;
+  /// Cap on exhaustively enumerated schedules; hitting it is recorded in
+  /// Stats::capped and logged, never silent.
+  int max_schedules = 2048;
+  /// Seeded random (PCT-style) schedules run after the exhaustive phase.
+  int random_schedules = 32;
+  /// Seed for the randomized phase (and the replay of "p:" tokens).
+  uint64_t seed = 0x9E3779B97F4A7C15ull;
+  /// Scenarios whose registered threads interact with free (unregistered)
+  /// threads must set pure = false; see the header comment.
+  bool pure = true;
+  /// Watchdog: a schedule making no progress for this long is abandoned
+  /// and reported as stuck (deadlock is reported immediately in pure
+  /// scenarios, without waiting for this).
+  int64_t stuck_timeout_ms = 10000;
+
+  /// Returns InvalidArgument naming the first offending field.
+  Status Validate() const;
+};
+
+namespace internal {
+
+/// One recorded scheduling decision (which thread got the token, out of
+/// which runnable set); the exhaustive DFS backtracks over these.
+struct DecisionRecord {
+  std::vector<int> runnable;  // sorted ascending
+  int prev = -1;              // token holder before (-1 at the kick)
+  bool prev_runnable = false;
+  int chosen = -1;
+};
+
+}  // namespace internal
+
+class Explorer {
+ public:
+  explicit Explorer(ExplorerOptions options);
+  Explorer() : Explorer(ExplorerOptions{}) {}
+
+  Explorer(const Explorer&) = delete;
+  Explorer& operator=(const Explorer&) = delete;
+
+  /// Runs the scenario under every exhaustive schedule within the
+  /// preemption bound, then the randomized fallback schedules. Returns
+  /// OK when every schedule's bodies completed and check() passed;
+  /// otherwise an Internal status naming the failure kind (invariant /
+  /// deadlock / stuck / exception) and the replayable schedule token.
+  /// Only one Explore/Replay may run at a time per process.
+  Status Explore(const std::function<Scenario()>& scenario_factory);
+
+  /// Re-runs a single schedule from a failing Explore's token.
+  Status Replay(const std::string& token,
+                const std::function<Scenario()>& scenario_factory);
+
+  struct Stats {
+    int schedules_run = 0;
+    int exhaustive_schedules = 0;
+    int random_schedules = 0;
+    /// Largest number of scheduling decisions observed in one schedule.
+    int max_decision_points = 0;
+    /// True when the DFS enumerated every schedule within the bound.
+    bool bound_exhausted = false;
+    /// True when max_schedules cut the exhaustive phase short.
+    bool capped = false;
+  };
+  Stats GetStats() const { return stats_; }
+
+ private:
+  Status RunOne(const std::function<Scenario()>& factory,
+                const std::string& token,
+                std::vector<internal::DecisionRecord>* trace_out);
+
+  ExplorerOptions options_;
+  Stats stats_;
+};
+
+/// True when the calling thread is a registered explorer thread (fast
+/// thread-local check; hooks consult this before rerouting).
+bool CurrentThreadRegistered();
+
+/// Explicit yield point for test bodies: lets the explorer preempt
+/// between two plain memory operations that involve no lock. No-op off
+/// the explorer.
+void TestYield();
+
+/// Yield point wired into FaultInjector::ShouldFire, so fault-injection
+/// sites are schedule decision points as promised in
+/// common/fault_injection.h.
+inline void FaultSiteYield() { TestYield(); }
+
+/// Explorer-mediated condition wait, called by MutexLock::Wait for
+/// registered threads: releases `mu` through the instrumentation layer,
+/// blocks on the modeled condvar until a CvNotify or (WaitFor only) a
+/// modeled timeout, reacquires, and re-checks `pred`. notify_one is
+/// modeled as notify_all (a sound over-approximation: spurious wakeups
+/// are permitted by the real API and explore strictly more schedules).
+void CvWait(const void* cv_id, const void* mu_id, lockrank::Rank mu_rank,
+            const lockinstr::NativeLockOps& mu_ops,
+            const std::function<bool()>& pred);
+
+/// Timed variant; returns pred() at wake-up, exactly like the real
+/// WaitFor. Timeouts are modeled (taken when no other thread can run),
+/// not measured, so schedules stay deterministic.
+bool CvWaitFor(const void* cv_id, const void* mu_id, lockrank::Rank mu_rank,
+               const lockinstr::NativeLockOps& mu_ops,
+               std::chrono::nanoseconds timeout,
+               const std::function<bool()>& pred);
+
+namespace internal {
+
+/// Hooks called from lockinstr for registered threads. AcquireMutex
+/// models contention (try-lock + modeled blocking) so the harness never
+/// deadlocks for real; ReleaseMutex unlocks, wakes modeled waiters and
+/// yields; NotifyCv wakes modeled condvar waiters.
+void AcquireMutex(const void* id, const lockinstr::NativeLockOps& ops);
+bool TryAcquireMutex(const void* id, const lockinstr::NativeLockOps& ops);
+void ReleaseMutex(const void* id, const lockinstr::NativeLockOps& ops);
+void NotifyCv(const void* cv_id, bool notify_all);
+
+/// Atomic release-and-block for cv waits (one scheduler step, no
+/// lost-wakeup window). Returns true when woken by a modeled timeout.
+bool BlockOnCv(const void* mu_id, const lockinstr::NativeLockOps& mu_ops,
+               const void* cv_id, bool timed);
+
+}  // namespace internal
+}  // namespace kgov::sched
+
+#endif  // KGOV_COMMON_SCHED_H_

@@ -30,6 +30,17 @@
 #include <shared_mutex>
 #include <utility>
 
+#if defined(KGOV_LOCK_DEBUG)
+#include "common/lock_rank.h"
+#include "common/lock_ranks.h"
+#include "common/sched.h"
+#else
+// The rank registry is tiny and header-only; keeping it visible in plain
+// builds lets call sites say Mutex mu_{KGOV_LOCK_RANK(...)} without their
+// own #if. The constructor discards the value below.
+#include "common/lock_ranks.h"
+#endif
+
 #if defined(__clang__) && defined(__has_attribute)
 #if __has_attribute(guarded_by)
 #define KGOV_THREAD_ANNOTATION_(x) __attribute__((x))
@@ -99,39 +110,174 @@ namespace kgov {
 /// std::mutex with the capability annotation, so members can be declared
 /// KGOV_GUARDED_BY(mu_) and functions KGOV_REQUIRES(mu_). Lock through
 /// MutexLock; Lock()/Unlock() exist for the rare manual pairing.
+///
+/// The optional constructor rank (common/lock_ranks.h) places the mutex
+/// in the process-wide acquisition order; in lock-debug builds
+/// (KGOV_LOCK_DEBUG) every acquisition is checked against it by the
+/// runtime detector (common/lock_rank.h) whenever tracking is armed, and
+/// routed through the schedule explorer (common/sched.h) on registered
+/// test threads. When both are dormant the hook is one relaxed atomic
+/// load; in plain builds it does not exist at all.
 class KGOV_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+#if defined(KGOV_LOCK_DEBUG)
+  explicit Mutex(lockrank::Rank rank) : rank_(rank) {}
+#else
+  explicit Mutex(lockrank::Rank /*rank*/) {}
+#endif
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() KGOV_ACQUIRE() { mu_.lock(); }
-  void Unlock() KGOV_RELEASE() { mu_.unlock(); }
-  bool TryLock() KGOV_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void Lock() KGOV_ACQUIRE() {
+#if defined(KGOV_LOCK_DEBUG)
+    if (lockinstr::Active()) {
+      lockinstr::Acquire(this, rank_, Ops());
+      return;
+    }
+#endif
+    mu_.lock();
+  }
+  void Unlock() KGOV_RELEASE() {
+#if defined(KGOV_LOCK_DEBUG)
+    if (lockinstr::Active()) {
+      lockinstr::Release(this, Ops());
+      return;
+    }
+#endif
+    mu_.unlock();
+  }
+  bool TryLock() KGOV_TRY_ACQUIRE(true) {
+#if defined(KGOV_LOCK_DEBUG)
+    if (lockinstr::Active()) {
+      return lockinstr::TryAcquire(this, rank_, Ops());
+    }
+#endif
+    return mu_.try_lock();
+  }
 
   /// The wrapped handle, for condition-variable waits (MutexLock::Wait).
   /// Locking through the handle bypasses the analysis - don't.
   std::mutex& native_handle() { return mu_; }
 
  private:
+  friend class MutexLock;  // Wait/WaitFor need rank_ + Ops()
+
+#if defined(KGOV_LOCK_DEBUG)
+  lockinstr::NativeLockOps Ops() {
+    return {&mu_, [](void* h) { static_cast<std::mutex*>(h)->lock(); },
+            [](void* h) { return static_cast<std::mutex*>(h)->try_lock(); },
+            [](void* h) { static_cast<std::mutex*>(h)->unlock(); }};
+  }
+  lockrank::Rank rank_ = lockrank::Rank::kUnranked;
+#endif
   std::mutex mu_;
 };
 
 /// std::shared_mutex with the capability annotation: one writer or many
-/// readers. Lock through WriterMutexLock / ReaderMutexLock.
+/// readers. Lock through WriterMutexLock / ReaderMutexLock. Takes an
+/// optional rank exactly like Mutex; reader acquisitions participate in
+/// the ordering too (reader-writer lock cycles deadlock just as hard).
 class KGOV_CAPABILITY("shared_mutex") SharedMutex {
  public:
   SharedMutex() = default;
+#if defined(KGOV_LOCK_DEBUG)
+  explicit SharedMutex(lockrank::Rank rank) : rank_(rank) {}
+#else
+  explicit SharedMutex(lockrank::Rank /*rank*/) {}
+#endif
   SharedMutex(const SharedMutex&) = delete;
   SharedMutex& operator=(const SharedMutex&) = delete;
 
-  void Lock() KGOV_ACQUIRE() { mu_.lock(); }
-  void Unlock() KGOV_RELEASE() { mu_.unlock(); }
-  void LockShared() KGOV_ACQUIRE_SHARED() { mu_.lock_shared(); }
-  void UnlockShared() KGOV_RELEASE_SHARED() { mu_.unlock_shared(); }
+  void Lock() KGOV_ACQUIRE() {
+#if defined(KGOV_LOCK_DEBUG)
+    if (lockinstr::Active()) {
+      lockinstr::Acquire(this, rank_, ExclusiveOps());
+      return;
+    }
+#endif
+    mu_.lock();
+  }
+  void Unlock() KGOV_RELEASE() {
+#if defined(KGOV_LOCK_DEBUG)
+    if (lockinstr::Active()) {
+      lockinstr::Release(this, ExclusiveOps());
+      return;
+    }
+#endif
+    mu_.unlock();
+  }
+  void LockShared() KGOV_ACQUIRE_SHARED() {
+#if defined(KGOV_LOCK_DEBUG)
+    if (lockinstr::Active()) {
+      lockinstr::Acquire(this, rank_, SharedOps());
+      return;
+    }
+#endif
+    mu_.lock_shared();
+  }
+  void UnlockShared() KGOV_RELEASE_SHARED() {
+#if defined(KGOV_LOCK_DEBUG)
+    if (lockinstr::Active()) {
+      lockinstr::Release(this, SharedOps());
+      return;
+    }
+#endif
+    mu_.unlock_shared();
+  }
 
  private:
+#if defined(KGOV_LOCK_DEBUG)
+  lockinstr::NativeLockOps ExclusiveOps() {
+    return {&mu_, [](void* h) { static_cast<std::shared_mutex*>(h)->lock(); },
+            [](void* h) { return static_cast<std::shared_mutex*>(h)->try_lock(); },
+            [](void* h) { static_cast<std::shared_mutex*>(h)->unlock(); }};
+  }
+  lockinstr::NativeLockOps SharedOps() {
+    return {&mu_,
+            [](void* h) { static_cast<std::shared_mutex*>(h)->lock_shared(); },
+            [](void* h) {
+              return static_cast<std::shared_mutex*>(h)->try_lock_shared();
+            },
+            [](void* h) {
+              static_cast<std::shared_mutex*>(h)->unlock_shared();
+            }};
+  }
+  lockrank::Rank rank_ = lockrank::Rank::kUnranked;
+#endif
   std::shared_mutex mu_;
+};
+
+/// std::condition_variable wrapper whose notifies are visible to the
+/// schedule explorer (a registered thread's NotifyOne/NotifyAll is a
+/// yield point and wakes modeled waiters). Wait through MutexLock::Wait /
+/// WaitFor - always with a predicate (enforced by kgov_lint's
+/// condvar-naked-wait rule).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void NotifyOne() {
+#if defined(KGOV_LOCK_DEBUG)
+    if (lockinstr::Active()) lockinstr::CvNotify(this, /*notify_all=*/false);
+#endif
+    cv_.notify_one();
+  }
+  void NotifyAll() {
+#if defined(KGOV_LOCK_DEBUG)
+    if (lockinstr::Active()) lockinstr::CvNotify(this, /*notify_all=*/true);
+#endif
+    cv_.notify_all();
+  }
+
+  /// The wrapped handle, for MutexLock::Wait's native path. Waiting on it
+  /// directly bypasses the explorer - don't.
+  std::condition_variable& native_handle() { return cv_; }
+
+ private:
+  std::condition_variable cv_;
 };
 
 /// RAII exclusive critical section over a Mutex (the annotated
@@ -149,12 +295,21 @@ class KGOV_SCOPED_CAPABILITY MutexLock {
 
   /// Blocks on `cv` until `pred()` holds. The predicate runs with the
   /// mutex held; annotate its lambda KGOV_REQUIRES(mu) so guarded reads
-  /// inside it check out.
+  /// inside it check out. On a registered explorer thread the wait is
+  /// modeled (common/sched.h) so wakeup ordering becomes a schedule
+  /// decision.
   template <typename Predicate>
-  void Wait(std::condition_variable& cv, Predicate pred) {
+  void Wait(CondVar& cv, Predicate pred) {
+#if defined(KGOV_LOCK_DEBUG)
+    if (lockinstr::Active() && sched::CurrentThreadRegistered()) {
+      sched::CvWait(&cv, &mu_, mu_.rank_, mu_.Ops(),
+                    std::function<bool()>(pred));
+      return;
+    }
+#endif
     std::unique_lock<std::mutex> relock(mu_.native_handle(),
                                         std::adopt_lock);
-    cv.wait(relock, std::move(pred));
+    cv.native_handle().wait(relock, std::move(pred));
     // The wait returned with the handle re-locked; detach so the
     // unique_lock's destructor does not unlock what this scope still owns.
     relock.release();
@@ -163,14 +318,22 @@ class KGOV_SCOPED_CAPABILITY MutexLock {
   /// Timed variant: blocks on `cv` until `pred()` holds or `timeout`
   /// elapses. Returns pred()'s value at wake-up (false = timed out with
   /// the predicate still unsatisfied). The mutex is held on return either
-  /// way.
+  /// way. Under the explorer the timeout is modeled, not measured.
   template <typename Rep, typename Period, typename Predicate>
-  bool WaitFor(std::condition_variable& cv,
-               const std::chrono::duration<Rep, Period>& timeout,
+  bool WaitFor(CondVar& cv, const std::chrono::duration<Rep, Period>& timeout,
                Predicate pred) {
+#if defined(KGOV_LOCK_DEBUG)
+    if (lockinstr::Active() && sched::CurrentThreadRegistered()) {
+      return sched::CvWaitFor(
+          &cv, &mu_, mu_.rank_, mu_.Ops(),
+          std::chrono::duration_cast<std::chrono::nanoseconds>(timeout),
+          std::function<bool()>(pred));
+    }
+#endif
     std::unique_lock<std::mutex> relock(mu_.native_handle(),
                                         std::adopt_lock);
-    const bool satisfied = cv.wait_for(relock, timeout, std::move(pred));
+    const bool satisfied =
+        cv.native_handle().wait_for(relock, timeout, std::move(pred));
     relock.release();
     return satisfied;
   }

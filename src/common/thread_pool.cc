@@ -36,7 +36,7 @@ ThreadPool::~ThreadPool() {
     MutexLock lock(mu_);
     shutting_down_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (auto& worker : workers_) {
     worker.join();
   }
@@ -129,7 +129,7 @@ Status ParallelFor(ThreadPool* pool, size_t n,
                    const std::function<void(size_t)>& fn,
                    std::vector<char>* failed) {
   failed->assign(n, 0);
-  Mutex mu;
+  Mutex mu{KGOV_LOCK_RANK(kParallelForState)};
   Status first_error;
   if (pool == nullptr || pool->size() <= 1 || n <= 1) {
     for (size_t i = 0; i < n; ++i) {

@@ -6,7 +6,6 @@
 #ifndef KGOV_COMMON_THREAD_POOL_H_
 #define KGOV_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
@@ -46,17 +45,37 @@ class ThreadPool {
 
   /// Enqueues `fn` and returns a future for its result. If `fn` throws,
   /// the exception is rethrown from future.get(), not on the worker.
+  ///
+  /// Submit racing the destructor is well-defined: a task is either
+  /// enqueued before the shutdown flag is observed (the destructor's drain
+  /// runs it) or, once shutdown has begun, executed inline on the
+  /// submitting thread. Either way the returned future becomes ready with
+  /// the task's result - a submitted task is never dropped and its future
+  /// never throws broken_promise. (tests/test_thread_pool.cc,
+  /// ShutdownVsSubmit*, locks this in under TSan and sched::Explorer.)
   template <typename Fn>
   auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
     using R = std::invoke_result_t<Fn>;
     auto task =
         std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
     std::future<R> result = task->get_future();
+    bool run_inline = false;
     {
       MutexLock lock(mu_);
-      queue_.emplace_back([task]() { (*task)(); });
+      if (shutting_down_) {
+        // Workers are draining and may already have observed an empty
+        // queue; enqueueing now could strand the task (broken_promise
+        // once the pool's queue is destroyed). Run it on the caller.
+        run_inline = true;
+      } else {
+        queue_.emplace_back([task]() { (*task)(); });
+      }
     }
-    cv_.notify_one();
+    if (run_inline) {
+      (*task)();  // packaged_task captures any exception into the future
+    } else {
+      cv_.NotifyOne();
+    }
     return result;
   }
 
@@ -77,8 +96,8 @@ class ThreadPool {
  private:
   void WorkerLoop(size_t worker_index) KGOV_EXCLUDES(mu_);
 
-  mutable Mutex mu_;
-  std::condition_variable cv_;
+  mutable Mutex mu_{KGOV_LOCK_RANK(kThreadPool)};
+  CondVar cv_;
   std::deque<std::function<void()>> queue_ KGOV_GUARDED_BY(mu_);
   std::vector<std::thread> workers_;
   size_t stray_exceptions_ KGOV_GUARDED_BY(mu_) = 0;

@@ -387,7 +387,7 @@ Result<OptimizeReport> KgOptimizer::SplitMergeImpl(
   timer.Restart();
   std::vector<cluster::ClusterDelta> deltas(num_clusters);
   report.cluster_seconds.assign(num_clusters, 0.0);
-  Mutex report_mu;
+  Mutex report_mu{KGOV_LOCK_RANK(kSolverBatchReport)};
   Status first_error;
   std::vector<char> cluster_handled(num_clusters, 0);
   ResilientSgpSolver solver(options_.sgp, options_.retry);

@@ -322,7 +322,7 @@ class OnlineKgOptimizer {
   // Fixed node-to-cluster map shared with trackers and serve engines;
   // built once at construction (never null, immutable afterwards).
   std::shared_ptr<const stream::GraphPartition> partition_;
-  mutable Mutex serving_mu_;
+  mutable Mutex serving_mu_{KGOV_LOCK_RANK(kEpochPublish)};
   ServingEpoch serving_ KGOV_GUARDED_BY(serving_mu_);
   // Most recent publications, oldest first, capped at
   // options_.delta_history_capacity. Fuel for CollectChangedClusters.

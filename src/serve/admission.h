@@ -117,7 +117,7 @@ class AdmissionController {
 
   /// Guards the EWMA update + mode transition so the entered/exited
   /// counters are exact (the hot-path reads above stay lock-free).
-  mutable Mutex slo_mu_;
+  mutable Mutex slo_mu_{KGOV_LOCK_RANK(kAdmissionSlo)};
   double ewma_seconds_ KGOV_GUARDED_BY(slo_mu_) = 0.0;
   bool has_sample_ KGOV_GUARDED_BY(slo_mu_) = false;
 

@@ -268,7 +268,7 @@ class QueryEngine {
   /// Pinned epoch; a shared (reader-writer) mutex so concurrent queries
   /// copy it without serializing on each other, while a refresh takes it
   /// exclusively.
-  mutable SharedMutex epoch_mu_;
+  mutable SharedMutex epoch_mu_{KGOV_LOCK_RANK(kQueryEpochPin)};
   core::ServingEpoch pinned_ KGOV_GUARDED_BY(epoch_mu_);
 
   ShardedResultCache cache_;

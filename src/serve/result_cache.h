@@ -133,7 +133,7 @@ class ShardedResultCache {
   };
 
   struct Shard {
-    mutable Mutex mu;
+    mutable Mutex mu{KGOV_LOCK_RANK(kServeCacheShard)};
     /// Front = most recently used. The list owns keys and entries; the
     /// index maps a key to its list position.
     std::list<std::pair<std::string, Entry>> lru KGOV_GUARDED_BY(mu);
@@ -154,7 +154,7 @@ class ShardedResultCache {
 
   /// Epoch-change bookkeeping. Never held while AdvanceEpoch holds a
   /// shard lock; Put acquires it nested inside its shard lock.
-  mutable Mutex epoch_mu_;
+  mutable Mutex epoch_mu_{KGOV_LOCK_RANK(kServeCacheEpoch)};
   uint64_t current_epoch_ KGOV_GUARDED_BY(epoch_mu_) = 0;
   /// Oldest first, capped at kHistoryCapacity.
   std::deque<EpochChange> history_ KGOV_GUARDED_BY(epoch_mu_);

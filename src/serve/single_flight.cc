@@ -55,7 +55,7 @@ void SingleFlightGroup::Resolve(const std::string& key,
     flight->status = std::move(status);
     flight->answers = answers;
   }
-  flight->cv.notify_all();
+  flight->cv.NotifyAll();
 }
 
 std::string EncodeFlightKey(const std::string& cache_key, uint64_t epoch,

@@ -42,7 +42,6 @@
 #define KGOV_SERVE_SINGLE_FLIGHT_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -61,8 +60,8 @@ namespace kgov::serve {
 class SingleFlightGroup {
  private:
   struct Flight {
-    mutable Mutex mu;
-    std::condition_variable cv;
+    mutable Mutex mu{KGOV_LOCK_RANK(kSingleFlightFlight)};
+    CondVar cv;
     bool done KGOV_GUARDED_BY(mu) = false;
     Status status KGOV_GUARDED_BY(mu);
     std::vector<ppr::ScoredAnswer> answers KGOV_GUARDED_BY(mu);
@@ -112,7 +111,7 @@ class SingleFlightGroup {
                Status status, const std::vector<ppr::ScoredAnswer>& answers)
       KGOV_EXCLUDES(mu_);
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{KGOV_LOCK_RANK(kSingleFlightTable)};
   std::unordered_map<std::string, std::shared_ptr<Flight>> flights_
       KGOV_GUARDED_BY(mu_);
 

@@ -99,7 +99,7 @@ Status VoteIngestQueue::OfferImpl(votes::Vote vote, bool may_block) {
   ++stats_.accepted;
   metrics.votes_ingested->Increment();
   metrics.queue_depth->Set(static_cast<double>(queue_.size()));
-  not_empty_.notify_one();
+  not_empty_.NotifyOne();
   return Status::OK();
 }
 
@@ -114,7 +114,7 @@ StatusOr<std::vector<votes::Vote>> VoteIngestQueue::DrainUpTo(size_t max) {
   if (!drained.empty()) {
     StreamIngestMetrics::Get().queue_depth->Set(
         static_cast<double>(queue_.size()));
-    not_full_.notify_all();
+    not_full_.NotifyAll();
   }
   return drained;
 }
@@ -139,7 +139,7 @@ StatusOr<std::vector<votes::Vote>> VoteIngestQueue::WaitAndDrain(
   if (!drained.empty()) {
     StreamIngestMetrics::Get().queue_depth->Set(
         static_cast<double>(queue_.size()));
-    not_full_.notify_all();
+    not_full_.NotifyAll();
   }
   return drained;
 }
@@ -158,15 +158,15 @@ Status VoteIngestQueue::DrainAllAndRun(
   // fn runs with mu_ held: producers (whose log appends nest under mu_)
   // stay blocked out, so a checkpoint inside fn sees a frozen WAL.
   Status result = fn(std::move(drained));
-  not_full_.notify_all();
+  not_full_.NotifyAll();
   return result;
 }
 
 Status VoteIngestQueue::Close() {
   MutexLock lock(mu_);
   closed_ = true;
-  not_full_.notify_all();
-  not_empty_.notify_all();
+  not_full_.NotifyAll();
+  not_empty_.NotifyAll();
   return Status::OK();
 }
 

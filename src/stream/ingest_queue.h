@@ -24,7 +24,6 @@
 #ifndef KGOV_STREAM_INGEST_QUEUE_H_
 #define KGOV_STREAM_INGEST_QUEUE_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -117,12 +116,12 @@ class VoteIngestQueue {
   votes::VoteLogSink* log_;
   std::function<bool()> dead_letter_full_;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{KGOV_LOCK_RANK(kStreamQueue)};
   std::deque<votes::Vote> queue_ KGOV_GUARDED_BY(mu_);
   bool closed_ KGOV_GUARDED_BY(mu_) = false;
   Stats stats_ KGOV_GUARDED_BY(mu_);
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
+  CondVar not_full_;
+  CondVar not_empty_;
 };
 
 }  // namespace kgov::stream

@@ -43,7 +43,7 @@ class SerializedVoteLog final : public votes::VoteLogSink {
   }
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_{KGOV_LOCK_RANK(kVoteLogSerial)};
   votes::VoteLogSink* base_;
 };
 

@@ -166,12 +166,20 @@ namespace {
 
 // Mirrors soft-mode contract violations (common/contracts.h) into the
 // registry, so a canary process that downgrades KGOV_ASSERT to counting
-// still pages through its normal metrics pipeline.
+// still pages through its normal metrics pipeline. Lock-order violations
+// (the runtime deadlock detector, common/lock_rank.h) additionally feed
+// their own counter: deadlock potential pages on a separate signal.
 void CountContractViolation(const char* /*file*/, int /*line*/,
-                            const char* /*expression*/) {
+                            const char* /*expression*/,
+                            contracts::ViolationKind kind) {
   static Counter* counter =
       MetricRegistry::Global().GetCounter("contracts.soft_violations");
   counter->Increment();
+  if (kind == contracts::ViolationKind::kLockOrder) {
+    static Counter* lock_order =
+        MetricRegistry::Global().GetCounter("contracts.lock_order_violations");
+    lock_order->Increment();
+  }
 }
 
 }  // namespace

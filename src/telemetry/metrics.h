@@ -131,7 +131,7 @@ class Histogram {
   std::atomic<double> min_;
   std::atomic<double> max_;
 
-  mutable Mutex reservoir_mu_;
+  mutable Mutex reservoir_mu_{KGOV_LOCK_RANK(kTelemetryReservoir)};
   /// Ring buffer of recent samples.
   std::vector<double> reservoir_ KGOV_GUARDED_BY(reservoir_mu_);
   size_t reservoir_next_ KGOV_GUARDED_BY(reservoir_mu_) = 0;
@@ -169,7 +169,7 @@ class MetricRegistry {
   Status WriteSnapshotJson(const std::string& path) const;
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_{KGOV_LOCK_RANK(kTelemetryRegistry)};
   std::map<std::string, std::unique_ptr<Counter>> counters_
       KGOV_GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<Gauge>> gauges_ KGOV_GUARDED_BY(mu_);

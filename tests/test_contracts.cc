@@ -80,9 +80,8 @@ TEST(ContractsTest, SoftViolationsMirrorIntoTelemetry) {
 TEST(ContractsTest, ViolationHandlerReceivesSite) {
   static const char* seen_expression = nullptr;
   contracts::SetViolationHandler(
-      [](const char* /*file*/, int /*line*/, const char* expression) {
-        seen_expression = expression;
-      });
+      [](const char* /*file*/, int /*line*/, const char* expression,
+         contracts::ViolationKind /*kind*/) { seen_expression = expression; });
   ScopedCheckMode soft(CheckMode::kSoftCount);
   KGOV_ASSERT(1 > 2);
   // Restore the telemetry mirror for the rest of the process.

@@ -125,6 +125,57 @@ TEST(ParallelForTest, TaskExceptionBecomesStatusNotCrash) {
   }
 }
 
+// Destruction ordering: tasks that re-submit work while the destructor
+// is draining are either enqueued (and drained to completion) or run
+// inline on the submitter - never dropped, and their futures never throw
+// broken_promise. Exercised here under real scheduling noise for TSan
+// (tools/ci/sanitize.sh); the same contract is explored deterministically
+// in tests/test_sched_explorer.cc (ThreadPoolShutdownVsSubmitNeverDrops).
+TEST(ThreadPoolTest, ShutdownVsSubmitNeverDropsTasks) {
+  for (int iteration = 0; iteration < 50; ++iteration) {
+    std::vector<std::future<int>> children(4);
+    std::vector<std::future<int>> parents;
+    {
+      ThreadPool pool(2);
+      for (int i = 0; i < 4; ++i) {
+        parents.push_back(pool.Submit([&pool, &children, i]() {
+          // Races the destructor below: shutdown may already be in
+          // progress when this runs on a worker.
+          children[static_cast<size_t>(i)] = pool.Submit([i]() { return i; });
+          return i + 100;
+        }));
+      }
+      // ~ThreadPool drains: every parent (and through it every child)
+      // must complete before join returns.
+    }
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_EQ(parents[static_cast<size_t>(i)].get(), i + 100) << iteration;
+      EXPECT_EQ(children[static_cast<size_t>(i)].get(), i) << iteration;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, SubmitDuringShutdownRunsInline) {
+  std::future<int> child;
+  std::atomic<bool> observed_inline{false};
+  {
+    ThreadPool pool(1);
+    ThreadPool* raw = &pool;
+    auto parent = pool.Submit([raw, &child, &observed_inline]() {
+      // Hold the single worker until the destructor has published
+      // shutting_down_, then re-submit: the task must run inline on this
+      // worker (the drain may already have seen an empty queue).
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      child = raw->Submit([]() { return 7; });
+      observed_inline.store(true);
+      return 0;
+    });
+    // Destructor begins while the parent sleeps on the worker.
+  }
+  ASSERT_TRUE(observed_inline.load());
+  EXPECT_EQ(child.get(), 7);
+}
+
 TEST(ParallelForTest, FailedFlagsIdentifyThrowingIterations) {
   ThreadPool pool(4);
   std::vector<char> failed;

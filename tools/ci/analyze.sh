@@ -14,10 +14,17 @@
 #   4. kgov_lint (tools/lint/kgov_lint.py): repo rules - options structs
 #      must declare Validate(), no logging under a lock, no raw std lock
 #      types in src/, no unseeded RNG, [[nodiscard]] kept in place, no
-#      unchecked ofstream/fwrite writes - plus the unchecked-io lint
-#      canary: the linter must still FLAG the planted violations in
-#      tools/ci/compile_fail/unchecked_io.cc (compile-FAIL style, but for
-#      the linter itself).
+#      unchecked ofstream/fwrite writes, no predicate-less condition-
+#      variable waits, every kgov::Mutex in src/ rank-annotated - plus
+#      the lint canaries: the linter must still FLAG the planted
+#      violations in tools/ci/compile_fail/{unchecked_io,naked_wait,
+#      unranked_mutex}.cc (compile-FAIL style, but for the linter
+#      itself).
+#   5. lock-rank must-fire canary: builds tools/lockcheck_canary.cc with
+#      KGOV_LOCK_DEBUG=ON and runs it; the gate fails unless the
+#      detector FIRES on a known rank inversion AND a known two-lock
+#      cycle. The recorded acquired-after graph lands in
+#      <build-dir>/lock_acquired_after.dot (uploaded as a CI artifact).
 #
 # Any failure of an *available* phase fails the gate; unavailable tools
 # skip loudly but do not fail (the lint phase and the dropped-Status demo
@@ -48,7 +55,7 @@ if command -v "$CLANGXX" >/dev/null 2>&1; then
 fi
 
 # ----------------------------------------------------------------------
-echo "== [1/4] clang thread-safety analysis =="
+echo "== [1/5] clang thread-safety analysis =="
 if [[ "$HAVE_CLANG" == "1" ]]; then
   cmake -B "$BUILD_DIR" -S "$REPO_ROOT" \
       -DCMAKE_CXX_COMPILER="$CLANGXX" \
@@ -75,7 +82,7 @@ else
 fi
 
 # ----------------------------------------------------------------------
-echo "== [2/4] dropped-Status compile-FAIL demo =="
+echo "== [2/5] dropped-Status compile-FAIL demo =="
 CXX_FOR_DEMO="${CXX:-}"
 if [[ -z "$CXX_FOR_DEMO" ]]; then
   if [[ "$HAVE_CLANG" == "1" ]]; then CXX_FOR_DEMO="$CLANGXX";
@@ -90,7 +97,7 @@ else
 fi
 
 # ----------------------------------------------------------------------
-echo "== [3/4] clang-tidy =="
+echo "== [3/5] clang-tidy =="
 CLANG_TIDY="${KGOV_CLANG_TIDY:-clang-tidy}"
 if command -v "$CLANG_TIDY" >/dev/null 2>&1; then
   TIDY_DB_DIR="$BUILD_DIR"
@@ -109,7 +116,7 @@ else
 fi
 
 # ----------------------------------------------------------------------
-echo "== [4/4] kgov_lint =="
+echo "== [4/5] kgov_lint =="
 python3 "$REPO_ROOT/tools/lint/kgov_lint.py" --root "$REPO_ROOT" \
     --report "$BUILD_DIR/kgov_lint_report.txt" \
     || fail "kgov_lint found violations"
@@ -123,6 +130,52 @@ elif ! grep -q "no-unchecked-io" "$BUILD_DIR/unchecked_io_canary.log"; then
   fail "linter rejected unchecked_io.cc for the wrong reason (see $BUILD_DIR/unchecked_io_canary.log)"
 else
   echo "OK: planted unchecked writes flagged, as required"
+fi
+
+# One canary per concurrency lint rule: run the linter on the planted
+# file, demand a non-zero exit AND the expected rule name in the log.
+lint_canary() {
+  local canary="$1" rule="$2"
+  local log="$BUILD_DIR/${canary%.cc}_canary.log"
+  echo "-- $rule lint canary --"
+  if python3 "$REPO_ROOT/tools/lint/kgov_lint.py" --root "$REPO_ROOT" \
+      --file "$COMPILE_FAIL_DIR/$canary" >"$log" 2>&1; then
+    fail "$canary passed the linter - the $rule rule is dead"
+  elif ! grep -q "$rule" "$log"; then
+    fail "linter rejected $canary for the wrong reason (see $log)"
+  else
+    echo "OK: planted violations flagged, as required"
+  fi
+}
+lint_canary naked_wait.cc condvar-naked-wait
+lint_canary unranked_mutex.cc lock-rank-coverage
+
+# ----------------------------------------------------------------------
+echo "== [5/5] lock-rank must-fire canary =="
+LOCKCHECK_BUILD="$BUILD_DIR/lockcheck-build"
+DOT_OUT="$BUILD_DIR/lock_acquired_after.dot"
+if ! command -v cmake >/dev/null 2>&1; then
+  echo "SKIP: no cmake on PATH; cannot build lockcheck_canary."
+else
+  cmake -B "$LOCKCHECK_BUILD" -S "$REPO_ROOT" \
+      -DKGOV_BUILD_TESTS=OFF -DKGOV_BUILD_BENCHMARKS=OFF \
+      -DKGOV_BUILD_EXAMPLES=OFF -DKGOV_LOCK_DEBUG=ON \
+      >"$BUILD_DIR/lockcheck_configure.log" 2>&1 \
+      || fail "lockcheck canary: cmake configure failed (see $BUILD_DIR/lockcheck_configure.log)"
+  if cmake --build "$LOCKCHECK_BUILD" --target lockcheck_canary \
+      -j "$(nproc)" >"$BUILD_DIR/lockcheck_build.log" 2>&1; then
+    if "$LOCKCHECK_BUILD/tools/lockcheck_canary" "$DOT_OUT" \
+        >"$BUILD_DIR/lockcheck_canary.log" 2>&1; then
+      echo "OK: rank inversion and two-lock cycle both fired;"
+      echo "    acquired-after graph: $DOT_OUT"
+    else
+      fail "lockcheck canary: detector went SILENT on a planted violation (see $BUILD_DIR/lockcheck_canary.log)"
+    fi
+    [[ -s "$DOT_OUT" ]] \
+        || fail "lockcheck canary: empty acquired-after DOT dump ($DOT_OUT)"
+  else
+    fail "lockcheck canary failed to build (see $BUILD_DIR/lockcheck_build.log)"
+  fi
 fi
 
 # ----------------------------------------------------------------------

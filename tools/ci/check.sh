@@ -8,9 +8,12 @@
 #   3. the serving-path perf probe, emitting BENCH_serving.json at the
 #      repo root so the queries/sec trajectory is tracked per commit,
 #      plus the durability bench smoke run gating the WAL's flush-path
-#      overhead below 5%, and the scale bench smoke run gating the sparse
+#      overhead below 5%, the scale bench smoke run gating the sparse
 #      EIPD kernel's advantage at 1e5+ nodes and the bounded
-#      million-node generator.
+#      million-node generator, and the lock-rank detector overhead gate
+#      (the default KGOV_LOCK_DEBUG=ON build must hold 98% of a plain
+#      build's bench_concurrent_serving throughput - the hooks are one
+#      dormant atomic load).
 #
 # Usage: tools/ci/check.sh [build-dir]
 #   KGOV_SKIP_ANALYZE=1   skip step 0
@@ -318,6 +321,57 @@ print("durability OK:",
       "{:.0f} votes/s group-commit append,".format(
           bench["wal_append_qps_group_commit"]),
       "{:.0f} votes/s replay".format(bench["wal_replay_qps"]))
+EOF
+  echo "== [3/3] lock-rank detector overhead gate =="
+  # The lock-order / schedule-exploration hooks (KGOV_LOCK_DEBUG, default
+  # ON) are dormant outside tests: one relaxed atomic load per lock
+  # operation. This gate holds that claim to a number: the default
+  # (rank-tracking) build must stay within 2% of a KGOV_LOCK_DEBUG=OFF
+  # build of the same bench. Best-of-3 per build because single-core CI
+  # hosts jitter more than the margin being measured.
+  PLAIN_BUILD_DIR="$BUILD_DIR-nolockdbg"
+  cmake -B "$PLAIN_BUILD_DIR" -S "$REPO_ROOT" \
+      -DKGOV_LOCK_DEBUG=OFF -DKGOV_BUILD_TESTS=OFF \
+      -DKGOV_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build "$PLAIN_BUILD_DIR" -j "$(nproc)" \
+      --target bench_concurrent_serving
+  OVERHEAD_DIR="$BUILD_DIR/lockrank-overhead"
+  rm -rf "$OVERHEAD_DIR"
+  mkdir -p "$OVERHEAD_DIR"
+  for run in 1 2 3; do
+    "$BUILD_DIR/bench/bench_concurrent_serving" --smoke \
+        --json "$OVERHEAD_DIR/tracked_$run.json" \
+        --telemetry-json "$OVERHEAD_DIR/tracked_telemetry_$run.json" \
+        >/dev/null
+    "$PLAIN_BUILD_DIR/bench/bench_concurrent_serving" --smoke \
+        --json "$OVERHEAD_DIR/plain_$run.json" \
+        --telemetry-json "$OVERHEAD_DIR/plain_telemetry_$run.json" \
+        >/dev/null
+  done
+  python3 - "$OVERHEAD_DIR" <<'EOF'
+import glob, json, os, sys
+
+def best_qps(pattern):
+    best = 0.0
+    for path in glob.glob(pattern):
+        with open(path) as f:
+            bench = json.load(f)
+        for point in bench.get("sweep", []):
+            best = max(best, point.get("measured_qps", 0.0))
+    return best
+
+out_dir = sys.argv[1]
+tracked = best_qps(os.path.join(out_dir, "tracked_*.json"))
+plain = best_qps(os.path.join(out_dir, "plain_*.json"))
+if plain <= 0.0 or tracked <= 0.0:
+    sys.exit("FAIL: lock-rank overhead gate got no qps samples")
+ratio = tracked / plain
+if ratio < 0.98:
+    sys.exit("FAIL: rank-tracking build at {:.1f} qps vs plain "
+             "{:.1f} qps ({:.1%}) - dormant-hook overhead exceeds "
+             "2%".format(tracked, plain, ratio))
+print("lock-rank overhead OK: tracked {:.1f} qps vs plain {:.1f} qps "
+      "({:.1%} of plain, best of 3)".format(tracked, plain, ratio))
 EOF
 else
   echo "== [3/3] serving benches skipped (KGOV_SKIP_BENCH=1) =="

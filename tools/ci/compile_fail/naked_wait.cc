@@ -1,0 +1,43 @@
+// Lint canary for the condvar-naked-wait rule. This file is never
+// compiled: tools/ci/analyze.sh feeds it to tools/lint/kgov_lint.py
+// --file and fails the build if the planted violations below stop being
+// reported (a dead rule is worse than no rule).
+//
+// A condition-variable wait without a predicate returns on spurious
+// wakeups and loses races with notify; the waiter's condition must be
+// re-checked by the wait itself.
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace kgov {
+
+void NakedStdWait(std::condition_variable& cv,
+                  std::unique_lock<std::mutex>& lk) {
+  cv.wait(lk);  // violation: no predicate
+}
+
+void NakedTimedWait(std::condition_variable& cv,
+                    std::unique_lock<std::mutex>& lk) {
+  // violation: lock + timeout but no predicate, across multiple lines
+  cv.wait_for(
+      lk, std::chrono::milliseconds(10));
+}
+
+void NakedWrapperWait(MutexLock& lock, CondVar& cv) {
+  lock.Wait(cv);  // violation: wrapper form without predicate
+}
+
+void PredicatedWaitsStayClean(std::condition_variable& cv,
+                              std::unique_lock<std::mutex>& lk,
+                              MutexLock& lock, CondVar& kcv, bool& ready) {
+  cv.wait(lk, [&] { return ready; });
+  cv.wait_for(lk, std::chrono::milliseconds(10), [&] { return ready; });
+  lock.Wait(kcv, [&] { return ready; });
+  lock.WaitFor(kcv, std::chrono::milliseconds(10), [&] { return ready; });
+}
+
+}  // namespace kgov

@@ -1,0 +1,27 @@
+// Lint canary for the lock-rank-coverage rule. This file is never
+// compiled: tools/ci/analyze.sh feeds it to tools/lint/kgov_lint.py
+// --file and fails the build if the planted violations below stop being
+// reported.
+//
+// Every kgov::Mutex / SharedMutex in production code must carry a rank
+// from common/lock_ranks.h so the debug-build deadlock detector
+// (common/lock_rank.h) can check acquisition order by rank instead of
+// falling back to per-instance cycle detection.
+
+#include "common/lock_ranks.h"
+#include "common/thread_annotations.h"
+
+namespace kgov {
+
+struct UnrankedHolder {
+  mutable Mutex mu_;        // violation: no KGOV_LOCK_RANK initializer
+  SharedMutex table_mu_;    // violation: SharedMutex is covered too
+  kgov::Mutex qualified_;   // violation: qualified spelling is covered too
+
+  // Ranked and explicitly suppressed declarations must stay clean:
+  Mutex ranked_{KGOV_LOCK_RANK(kLogging)};
+  // kgov-lint: allow(lock-rank)
+  Mutex deliberately_unranked_;
+};
+
+}  // namespace kgov

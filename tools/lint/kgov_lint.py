@@ -48,6 +48,25 @@ Rules (each suppressible on the offending line or the line above with
                      all three types are [[nodiscard]], so the signature
                      is what makes it impossible for a caller to silently
                      drop a queue-full, shed, or WAL-ordering error.
+  condvar-naked-wait Every condition-variable wait in src/ must carry a
+                     predicate: `cv.wait(lock)` alone (or wait_for /
+                     wait_until with only a lock and a timeout, or the
+                     MutexLock::Wait / WaitFor wrappers without a
+                     predicate) returns on spurious wakeups and loses
+                     races with notify, so the waiter's condition must be
+                     re-checked by the wait itself. Argument counts tell
+                     the forms apart, so the rule follows multi-line
+                     calls.
+  lock-rank-coverage Every kgov::Mutex / SharedMutex declared in src/
+                     must be brace-initialized with a rank from
+                     common/lock_ranks.h (`Mutex mu_{KGOV_LOCK_RANK(
+                     kFoo)};`) so the debug-build lock-rank deadlock
+                     detector (common/lock_rank.h) can check acquisition
+                     order by rank class instead of falling back to
+                     per-instance cycle detection. Deliberately unranked
+                     locks are suppressed with the shorthand
+                     `// kgov-lint: allow(lock-rank)` (the full rule name
+                     also works).
 
 Usage: kgov_lint.py [--root DIR] [--report FILE] [--file FILE]
 With --file, only that file is linted (used by the CI canary that proves
@@ -63,7 +82,15 @@ import sys
 ALLOW_RE = re.compile(r"//\s*kgov-lint:\s*allow\(([a-z0-9-]+)\)")
 
 # Files whose job is to define the things other files are banned from.
-RAW_MUTEX_EXEMPT = {os.path.join("src", "common", "thread_annotations.h")}
+# lock_rank.cc and sched.cc implement the instrumentation layer underneath
+# the annotated wrappers (violation reporting, the schedule explorer's
+# run-loop); they must use raw std primitives precisely because the
+# wrappers call into them.
+RAW_MUTEX_EXEMPT = {
+    os.path.join("src", "common", "thread_annotations.h"),
+    os.path.join("src", "common", "lock_rank.cc"),
+    os.path.join("src", "common", "sched.cc"),
+}
 RNG_EXEMPT_PREFIXES = (os.path.join("src", "qa", "corpus"),)
 
 LOCK_DECL_RE = re.compile(
@@ -79,6 +106,23 @@ OFSTREAM_DECL_RE = re.compile(r"\bstd::ofstream\s+(\w+)\s*[({;]")
 # A statement that begins with fwrite: its size_t result (items actually
 # written) is being dropped.
 FWRITE_STMT_RE = re.compile(r"^\s*(?:std::)?fwrite\s*\(")
+
+# A condition-variable wait spelled as a member call. Which argument count
+# makes the call "naked" (predicate-less) differs per spelling:
+# cv.wait(lock) and lock.Wait(cv) take the predicate as a second argument,
+# the timed forms (wait_for / wait_until / WaitFor) as a third. Longest
+# alternatives first so `wait_for` is not split as `wait` + `_for`.
+CV_WAIT_RE = re.compile(r"[.>]\s*(wait_for|wait_until|wait|WaitFor|Wait)\s*\(")
+NAKED_WAIT_ARGC = {"wait": 1, "wait_for": 2, "wait_until": 2,
+                   "Wait": 1, "WaitFor": 2}
+
+# A kgov::Mutex / SharedMutex variable declaration. The optional capture
+# holds the initializer opener; KGOV_LOCK_RANK must appear on the same
+# (single-line) statement. References and pointers do not match: the
+# charset between type and name excludes & and *.
+MUTEX_DECL_RE = re.compile(
+    r"^\s*(?:(?:mutable|static|inline|thread_local)\s+)*"
+    r"(?:kgov\s*::\s*)?(?:Mutex|SharedMutex)\s+(\w+)\s*[;{]")
 
 # Deleted EIPD shims and deprecated wrapper methods. Class names match as
 # whole identifiers; the wrapper families match only as calls (the plain
@@ -137,6 +181,66 @@ def strip_comments_and_strings(line):
     return "".join(out)
 
 
+def blank_block_comments(stripped):
+    """Blanks /* ... */ regions (line-granular, like the old in-loop pass)
+    across a whole file of already string-stripped lines, so both the
+    per-line rules and the multi-line call scanner see the same text."""
+    out = []
+    in_block = False
+    for line in stripped:
+        if in_block:
+            end = line.find("*/")
+            if end < 0:
+                out.append("")
+                continue
+            line = " " * (end + 2) + line[end + 2:]
+            in_block = False
+        while True:
+            start = line.find("/*")
+            if start < 0:
+                break
+            end = line.find("*/", start + 2)
+            if end < 0:
+                line = line[:start]
+                in_block = True
+                break
+            line = line[:start] + " " * (end + 2 - start) + line[end + 2:]
+        out.append(line)
+    return out
+
+
+def count_call_args(blanked, line_idx, open_idx):
+    """Counts the top-level arguments of a call whose opening paren sits at
+    blanked[line_idx][open_idx], following the call across lines. Nested
+    (), [] and {} (lambdas, constructor temporaries) shield their commas.
+    Returns None if the parens never balance (macro soup: give up)."""
+    depth = 0
+    args = 0
+    saw_token = False
+    i, j = line_idx, open_idx
+    while i < len(blanked):
+        line = blanked[i]
+        while j < len(line):
+            c = line[j]
+            if c in "([{":
+                if depth >= 1:
+                    saw_token = True
+                depth += 1
+            elif c in ")]}":
+                depth -= 1
+                if depth == 0:
+                    return args + 1 if saw_token else 0
+                saw_token = True
+            elif depth == 1 and c == ",":
+                args += 1
+            elif depth >= 1 and not c.isspace():
+                saw_token = True
+            j += 1
+        i += 1
+        j = 0
+    return None
+
+
 class Linter:
     def __init__(self, root):
         self.root = root
@@ -158,28 +262,19 @@ class Linter:
     def lint_source(self, relpath, text):
         lines = text.split("\n")
         stripped = [strip_comments_and_strings(l) for l in lines]
-        in_block_comment = False
+        blanked = blank_block_comments(stripped)
+        # The concurrency rules police production code; the compile_fail
+        # canaries opt in so CI can prove each rule still fires.
+        concurrency_scope = (relpath.startswith("src" + os.sep)
+                             or "compile_fail" in relpath.split(os.sep))
         # Stack of brace depths at which a lock scope opened.
         lock_depths = []
         depth = 0
-        for i, line in enumerate(stripped):
-            # Block comments: blank them out (coarse, line-granular).
-            if in_block_comment:
-                end = line.find("*/")
-                if end < 0:
-                    continue
-                line = " " * (end + 2) + line[end + 2:]
-                in_block_comment = False
-            while True:
-                start = line.find("/*")
-                if start < 0:
-                    break
-                end = line.find("*/", start + 2)
-                if end < 0:
-                    line = line[:start]
-                    in_block_comment = True
-                    break
-                line = line[:start] + " " * (end + 2 - start) + line[end + 2:]
+        for i, line in enumerate(blanked):
+            if concurrency_scope:
+                self.check_condvar_waits(relpath, lines, blanked, i, line)
+                if relpath not in RAW_MUTEX_EXEMPT:
+                    self.check_lock_rank_coverage(relpath, lines, i, line)
 
             if RAW_MUTEX_RE.search(line) and relpath.startswith("src" + os.sep):
                 if relpath not in RAW_MUTEX_EXEMPT and not self.allowed(
@@ -246,6 +341,36 @@ class Linter:
                     depth -= 1
                     while lock_depths and depth <= lock_depths[-1]:
                         lock_depths.pop()
+
+    def check_condvar_waits(self, relpath, lines, blanked, i, line):
+        for m in CV_WAIT_RE.finditer(line):
+            name = m.group(1)
+            argc = count_call_args(blanked, i, m.end() - 1)
+            if argc != NAKED_WAIT_ARGC[name]:
+                continue
+            if self.allowed("condvar-naked-wait", lines, i):
+                continue
+            self.report(
+                "condvar-naked-wait", relpath, i + 1,
+                "'" + name + "' without a predicate: a naked condition-"
+                "variable wait returns on spurious wakeups and loses "
+                "notify races; pass the condition as a predicate "
+                "(cv.wait(lock, pred) / lock.Wait(cv, pred))")
+
+    def check_lock_rank_coverage(self, relpath, lines, i, line):
+        m = MUTEX_DECL_RE.match(line)
+        if not m or "KGOV_LOCK_RANK" in line:
+            return
+        if self.allowed("lock-rank", lines, i) or \
+                self.allowed("lock-rank-coverage", lines, i):
+            return
+        self.report(
+            "lock-rank-coverage", relpath, i + 1,
+            "kgov::Mutex '" + m.group(1) + "' has no lock rank; "
+            "brace-initialize with KGOV_LOCK_RANK(<rank>) from "
+            "common/lock_ranks.h so the debug-build deadlock detector "
+            "can order it, or mark deliberately unranked locks with "
+            "// kgov-lint: allow(lock-rank)")
 
     def lint_options_structs(self, relpath, text):
         lines = text.split("\n")

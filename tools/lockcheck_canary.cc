@@ -1,0 +1,106 @@
+// Must-fire canary for the lock-rank deadlock detector
+// (common/lock_rank.h). tools/ci/analyze.sh builds and runs this with
+// KGOV_LOCK_DEBUG=ON; a CI run where the detector goes silent on a known
+// rank inversion or a known acquired-after cycle FAILS the gate - a
+// detector that stops firing is indistinguishable from a clean tree.
+//
+// The program deliberately commits the two canonical mistakes in
+// kSoftCount mode and then checks the violation counter moved:
+//
+//   1. a ranked inversion - acquiring a higher rank while holding a
+//      lower one (ranks must strictly descend), and
+//   2. a two-lock cycle between unranked mutexes - A before B on one
+//      code path, B before A on another.
+//
+// It also dumps the process-wide acquired-after graph as DOT to argv[1]
+// (uploaded as a CI artifact) so a human can see exactly which edges the
+// run recorded and which ones were flagged.
+//
+// Exit status: 0 only if BOTH violations fired and the DOT file was
+// written; 1 if the detector was silent; 2 if the binary was built
+// without KGOV_LOCK_DEBUG (the detector is compiled out, so the canary
+// proves nothing).
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/contracts.h"
+#include "common/lock_rank.h"
+#include "common/lock_ranks.h"
+#include "common/thread_annotations.h"
+
+namespace kgov {
+namespace {
+
+int Run(const char* dot_path) {
+#if !defined(KGOV_LOCK_DEBUG)
+  (void)dot_path;
+  std::fprintf(stderr,
+               "lockcheck_canary: built without KGOV_LOCK_DEBUG; the "
+               "detector is compiled out and cannot be exercised\n");
+  return 2;
+#else
+  contracts::ScopedCheckMode soft(contracts::CheckMode::kSoftCount);
+  lockrank::ScopedTracking tracking;
+  lockrank::ResetGraph();
+  lockrank::ResetThreadState();
+  contracts::ResetLockOrderViolationCount();
+
+  // 1. Ranked inversion: kStreamQueue outranks kEpochPublish, so taking
+  // the queue lock while holding the publish lock ascends.
+  Mutex low{KGOV_LOCK_RANK(kEpochPublish)};
+  Mutex high{KGOV_LOCK_RANK(kStreamQueue)};
+  {
+    MutexLock hold_low(low);
+    MutexLock ascend(high);
+  }
+  const uint64_t after_inversion = contracts::LockOrderViolationCount();
+
+  // 2. Unranked two-lock cycle: a before b, then b before a.
+  Mutex a;
+  Mutex b;
+  {
+    MutexLock first(a);
+    MutexLock second(b);
+  }
+  {
+    MutexLock first(b);
+    MutexLock second(a);
+  }
+  const uint64_t after_cycle = contracts::LockOrderViolationCount();
+
+  const bool inversion_fired = after_inversion >= 1;
+  const bool cycle_fired = after_cycle > after_inversion;
+
+  bool dot_ok = false;
+  {
+    std::ofstream out(dot_path);
+    out << lockrank::AcquiredAfterGraphDot();
+    out.flush();
+    dot_ok = out.good();
+  }
+
+  std::printf("lockcheck_canary: rank inversion %s (violations after: "
+              "%llu), unranked cycle %s (violations after: %llu), DOT "
+              "dump to %s %s\n",
+              inversion_fired ? "FIRED" : "SILENT",
+              static_cast<unsigned long long>(after_inversion),
+              cycle_fired ? "FIRED" : "SILENT",
+              static_cast<unsigned long long>(after_cycle), dot_path,
+              dot_ok ? "ok" : "FAILED");
+  return (inversion_fired && cycle_fired && dot_ok) ? 0 : 1;
+#endif
+}
+
+}  // namespace
+}  // namespace kgov
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: lockcheck_canary <acquired-after.dot>\n");
+    return 1;
+  }
+  return kgov::Run(argv[1]);
+}
